@@ -1,0 +1,698 @@
+//! The two-pass assembler driver.
+//!
+//! Pass 1 parses statements, lays out sections and records symbol
+//! addresses (instruction expansion lengths are fixed per statement, so
+//! layout does not depend on label values). Pass 2 expands and encodes
+//! with all symbols known.
+
+use std::collections::BTreeMap;
+
+use coyote_isa::encode::encode;
+
+use crate::error::AsmError;
+use crate::expand::{expand, expansion_len, Symbols};
+use crate::operand::{parse_int, split_operands, Operand};
+use crate::program::{Program, DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE};
+
+/// Configurable assembler.
+///
+/// # Examples
+///
+/// ```
+/// use coyote_asm::Assembler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Assembler::new().assemble(
+///     "_start:
+///         li a0, 42
+///         ecall
+///     ",
+/// )?;
+/// assert_eq!(program.entry(), program.text_base());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    text_base: u64,
+    data_base: u64,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Assembler::new()
+    }
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Inst {
+        mnemonic: String,
+        ops: Vec<Operand>,
+    },
+    /// `.word` (size 4) or `.dword`/`.quad` (size 8) values.
+    Word {
+        values: Vec<Operand>,
+        size: u64,
+    },
+    /// `.double` floating-point literals.
+    Double {
+        values: Vec<f64>,
+    },
+    /// `.zero`/`.space`: `n` zero bytes.
+    Zero {
+        n: u64,
+    },
+    /// `.ascii`/`.asciz` string bytes.
+    Bytes {
+        bytes: Vec<u8>,
+    },
+    /// `.align`: align to `2^pow` bytes.
+    Align {
+        pow: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Debug)]
+struct Placed {
+    stmt: Stmt,
+    section: Section,
+    addr: u64,
+    line: usize,
+}
+
+impl Assembler {
+    /// Creates an assembler with the default section bases.
+    #[must_use]
+    pub fn new() -> Assembler {
+        Assembler {
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+        }
+    }
+
+    /// Sets the text-section base address.
+    #[must_use]
+    pub fn text_base(mut self, base: u64) -> Assembler {
+        self.text_base = base;
+        self
+    }
+
+    /// Sets the data-section base address.
+    #[must_use]
+    pub fn data_base(mut self, base: u64) -> Assembler {
+        self.data_base = base;
+        self
+    }
+
+    /// Assembles RISC-V source text into a [`Program`].
+    ///
+    /// Execution starts at the `_start` label when defined, otherwise at
+    /// the beginning of the text section.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] pinpointing the offending source line for
+    /// syntax errors, unknown mnemonics, undefined or duplicate symbols,
+    /// and out-of-range immediates.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let mut symbols: Symbols = BTreeMap::new();
+        let mut placed: Vec<Placed> = Vec::new();
+        let mut section = Section::Text;
+        let mut text_pc = self.text_base;
+        let mut data_pc = self.data_base;
+
+        // ---- pass 1: parse, lay out, collect symbols ----
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line = idx + 1;
+            let mut text = strip_comment(raw_line).trim();
+
+            // Leading labels.
+            while let Some(colon) = find_label_colon(text) {
+                let name = text[..colon].trim();
+                if !is_label_name(name) {
+                    return Err(AsmError::new(line, format!("invalid label `{name}`")));
+                }
+                let addr = match section {
+                    Section::Text => text_pc,
+                    Section::Data => data_pc,
+                };
+                if symbols.insert(name.to_owned(), addr).is_some() {
+                    return Err(AsmError::new(line, format!("duplicate symbol `{name}`")));
+                }
+                text = text[colon + 1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+
+            let (head, rest) = match text.find(char::is_whitespace) {
+                Some(pos) => (&text[..pos], text[pos..].trim()),
+                None => (text, ""),
+            };
+
+            if let Some(directive) = head.strip_prefix('.') {
+                match directive {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "section" => {
+                        section = match rest.trim_start_matches('.') {
+                            s if s.starts_with("text") => Section::Text,
+                            s if s.starts_with("data") || s.starts_with("bss") => Section::Data,
+                            other => {
+                                return Err(AsmError::new(
+                                    line,
+                                    format!("unsupported section `{other}`"),
+                                ))
+                            }
+                        };
+                    }
+                    "global" | "globl" => {} // all symbols are global already
+                    "equ" | "set" => {
+                        let parts = split_operands(rest);
+                        if parts.len() != 2 {
+                            return Err(AsmError::new(line, ".equ takes `name, value`"));
+                        }
+                        let value = parse_int(&parts[1])
+                            .or_else(|| symbols.get(parts[1].as_str()).map(|&v| v as i64))
+                            .ok_or_else(|| {
+                                AsmError::new(line, format!("bad .equ value `{}`", parts[1]))
+                            })?;
+                        if symbols.insert(parts[0].clone(), value as u64).is_some() {
+                            return Err(AsmError::new(
+                                line,
+                                format!("duplicate symbol `{}`", parts[0]),
+                            ));
+                        }
+                    }
+                    "align" => {
+                        let pow = parse_int(rest.trim())
+                            .and_then(|v| u32::try_from(v).ok())
+                            .filter(|&v| v <= 16)
+                            .ok_or_else(|| AsmError::new(line, "bad .align argument"))?;
+                        let pc = match section {
+                            Section::Text => &mut text_pc,
+                            Section::Data => &mut data_pc,
+                        };
+                        let addr = *pc;
+                        *pc = align_up(*pc, 1 << pow);
+                        placed.push(Placed {
+                            stmt: Stmt::Align { pow },
+                            section,
+                            addr,
+                            line,
+                        });
+                    }
+                    "word" | "dword" | "quad" => {
+                        if section != Section::Data {
+                            return Err(AsmError::new(line, "data directives belong in .data"));
+                        }
+                        let size = if directive == "word" { 4 } else { 8 };
+                        let values = split_operands(rest)
+                            .iter()
+                            .map(|t| Operand::parse(t))
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(|e| AsmError::new(line, e))?;
+                        data_pc = align_up(data_pc, size);
+                        let addr = data_pc;
+                        data_pc += size * values.len() as u64;
+                        placed.push(Placed {
+                            stmt: Stmt::Word { values, size },
+                            section: Section::Data,
+                            addr,
+                            line,
+                        });
+                    }
+                    "double" => {
+                        if section != Section::Data {
+                            return Err(AsmError::new(line, "data directives belong in .data"));
+                        }
+                        let values = split_operands(rest)
+                            .iter()
+                            .map(|t| {
+                                t.parse::<f64>().map_err(|_| {
+                                    AsmError::new(line, format!("bad double literal `{t}`"))
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        data_pc = align_up(data_pc, 8);
+                        let addr = data_pc;
+                        data_pc += 8 * values.len() as u64;
+                        placed.push(Placed {
+                            stmt: Stmt::Double { values },
+                            section: Section::Data,
+                            addr,
+                            line,
+                        });
+                    }
+                    "ascii" | "asciz" | "string" => {
+                        if section != Section::Data {
+                            return Err(AsmError::new(line, "data directives belong in .data"));
+                        }
+                        let mut bytes = parse_string_literal(rest)
+                            .map_err(|e| AsmError::new(line, e))?;
+                        if directive != "ascii" {
+                            bytes.push(0); // .asciz / .string are NUL-terminated
+                        }
+                        let addr = data_pc;
+                        data_pc += bytes.len() as u64;
+                        placed.push(Placed {
+                            stmt: Stmt::Bytes { bytes },
+                            section: Section::Data,
+                            addr,
+                            line,
+                        });
+                    }
+                    "zero" | "space" | "skip" => {
+                        if section != Section::Data {
+                            return Err(AsmError::new(line, "data directives belong in .data"));
+                        }
+                        let n = parse_int(rest.trim())
+                            .or_else(|| symbols.get(rest.trim()).map(|&v| v as i64))
+                            .and_then(|v| u64::try_from(v).ok())
+                            .ok_or_else(|| AsmError::new(line, "bad .zero argument"))?;
+                        let addr = data_pc;
+                        data_pc += n;
+                        placed.push(Placed {
+                            stmt: Stmt::Zero { n },
+                            section: Section::Data,
+                            addr,
+                            line,
+                        });
+                    }
+                    other => {
+                        return Err(AsmError::new(line, format!("unknown directive `.{other}`")))
+                    }
+                }
+                continue;
+            }
+
+            // An instruction.
+            if section != Section::Data {
+                let ops = split_operands(rest)
+                    .iter()
+                    .map(|t| Operand::parse(t))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| AsmError::new(line, e))?;
+                let len = expansion_len(head, &ops, &symbols)
+                    .map_err(|e| AsmError::new(line, e))? as u64;
+                placed.push(Placed {
+                    stmt: Stmt::Inst {
+                        mnemonic: head.to_owned(),
+                        ops,
+                    },
+                    section: Section::Text,
+                    addr: text_pc,
+                    line,
+                });
+                text_pc += 4 * len;
+            } else {
+                return Err(AsmError::new(line, "instructions belong in .text"));
+            }
+        }
+
+        // ---- pass 2: expand and encode ----
+        let mut text: Vec<u32> = Vec::new();
+        let mut data: Vec<u8> = Vec::new();
+        for item in &placed {
+            match &item.stmt {
+                Stmt::Inst { mnemonic, ops } => {
+                    debug_assert_eq!(item.addr, self.text_base + 4 * text.len() as u64);
+                    let insts = expand(mnemonic, ops, item.addr, &symbols)
+                        .map_err(|e| AsmError::new(item.line, e))?;
+                    for inst in insts {
+                        let word = encode(&inst)
+                            .map_err(|e| AsmError::new(item.line, e.to_string()))?;
+                        text.push(word);
+                    }
+                }
+                Stmt::Align { pow } => {
+                    let target = align_up(item.addr, 1u64 << pow);
+                    match item.section {
+                        Section::Data => pad_data(&mut data, self.data_base, target),
+                        Section::Text => {
+                            while self.text_base + 4 * (text.len() as u64) < target {
+                                text.push(0x0000_0013); // nop
+                            }
+                        }
+                    }
+                }
+                Stmt::Word { values, size } => {
+                    pad_data(&mut data, self.data_base, item.addr);
+                    for value in values {
+                        let v = match value {
+                            Operand::Imm(v) => *v,
+                            Operand::Sym(name) => {
+                                *symbols.get(name).ok_or_else(|| {
+                                    AsmError::new(item.line, format!("undefined symbol `{name}`"))
+                                })? as i64
+                            }
+                            other => {
+                                return Err(AsmError::new(
+                                    item.line,
+                                    format!("bad data value {other:?}"),
+                                ))
+                            }
+                        };
+                        data.extend_from_slice(&v.to_le_bytes()[..*size as usize]);
+                    }
+                }
+                Stmt::Double { values } => {
+                    pad_data(&mut data, self.data_base, item.addr);
+                    for v in values {
+                        data.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Stmt::Zero { n } => {
+                    pad_data(&mut data, self.data_base, item.addr);
+                    data.resize(data.len() + *n as usize, 0);
+                }
+                Stmt::Bytes { bytes } => {
+                    pad_data(&mut data, self.data_base, item.addr);
+                    data.extend_from_slice(bytes);
+                }
+            }
+        }
+
+        let entry = symbols.get("_start").copied().unwrap_or(self.text_base);
+        Ok(Program::from_parts(
+            self.text_base,
+            text,
+            self.data_base,
+            data,
+            entry,
+            symbols,
+        ))
+    }
+}
+
+fn pad_data(data: &mut Vec<u8>, base: u64, target_addr: u64) {
+    let want = (target_addr - base) as usize;
+    if data.len() < want {
+        data.resize(want, 0);
+    }
+}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    value.div_ceil(align) * align
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut prev_slash = false;
+    for (i, c) in line.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            prev_slash = false;
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '#' | ';' => return &line[..i],
+            '/' if prev_slash => return &line[..i - 1],
+            _ => {}
+        }
+        prev_slash = c == '/';
+    }
+    line
+}
+
+/// Parses a double-quoted string literal with `\n`, `\t`, `\0`,
+/// `\\` and `\"` escapes.
+fn parse_string_literal(text: &str) -> Result<Vec<u8>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{text}`"))?;
+    let mut bytes = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => bytes.push(b'\n'),
+            Some('t') => bytes.push(b'\t'),
+            Some('0') => bytes.push(0),
+            Some('\\') => bytes.push(b'\\'),
+            Some('"') => bytes.push(b'"'),
+            other => return Err(format!("unsupported escape `\\{other:?}`")),
+        }
+    }
+    Ok(bytes)
+}
+
+/// Finds the colon ending a leading label, ignoring colons elsewhere.
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    // Only treat it as a label if everything before it is a name.
+    if is_label_name(text[..colon].trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Assembles with the default configuration.
+///
+/// # Errors
+///
+/// See [`Assembler::assemble`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_isa::decode::decode;
+    use coyote_isa::inst::{AluOp, Inst};
+    use coyote_isa::XReg;
+
+    #[test]
+    fn minimal_program() {
+        let p = assemble("_start:\n  li a0, 7\n  ecall\n").unwrap();
+        assert_eq!(p.text().len(), 2);
+        assert_eq!(p.entry(), p.text_base());
+        assert_eq!(
+            decode(p.text()[0]).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 7
+            }
+        );
+        assert_eq!(decode(p.text()[1]).unwrap(), Inst::Ecall);
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let p = assemble(
+            "_start:
+                j end
+             loop:
+                addi a0, a0, 1
+                j loop
+             end:
+                ecall",
+        )
+        .unwrap();
+        // `j end` jumps forward over two instructions.
+        let Inst::Jal { offset, .. } = decode(p.text()[0]).unwrap() else {
+            panic!("expected jal");
+        };
+        assert_eq!(offset, 12);
+        // `j loop` jumps back one instruction.
+        let Inst::Jal { offset, .. } = decode(p.text()[2]).unwrap() else {
+            panic!("expected jal");
+        };
+        assert_eq!(offset, -4);
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let p = assemble(
+            ".data
+             values:
+                .double 1.5, 2.5
+             count:
+                .dword 2
+             table:
+                .word 1, 2, 3
+             buffer:
+                .zero 16
+             .text
+             _start:
+                la a0, values
+                ecall",
+        )
+        .unwrap();
+        let base = p.data_base();
+        assert_eq!(p.symbol("values"), Some(base));
+        assert_eq!(p.symbol("count"), Some(base + 16));
+        assert_eq!(p.symbol("table"), Some(base + 24));
+        assert_eq!(p.symbol("buffer"), Some(base + 36));
+        assert_eq!(&p.data()[0..8], &1.5f64.to_le_bytes());
+        assert_eq!(&p.data()[8..16], &2.5f64.to_le_bytes());
+        assert_eq!(&p.data()[16..24], &2u64.to_le_bytes());
+        assert_eq!(&p.data()[24..28], &1u32.to_le_bytes());
+        assert_eq!(p.data().len(), 36 + 16);
+    }
+
+    #[test]
+    fn word_alignment_after_odd_zero() {
+        let p = assemble(
+            ".data
+                .zero 3
+             aligned:
+                .dword 99",
+        )
+        .unwrap();
+        // .dword aligns to 8; label recorded before alignment points at
+        // the pre-padding address, so use the data contents to verify.
+        assert_eq!(&p.data()[8..16], &99u64.to_le_bytes());
+        assert_eq!(p.data()[..8], [0u8; 8]);
+    }
+
+    #[test]
+    fn equ_constants_usable_as_immediates() {
+        let p = assemble(
+            ".equ N, 64
+             _start:
+                li a0, N
+                addi a1, zero, N
+                ecall",
+        )
+        .unwrap();
+        let Inst::OpImm { imm, .. } = decode(p.text()[0]).unwrap() else {
+            panic!();
+        };
+        assert_eq!(imm, 64);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "# leading comment
+             _start:           // trailing comment
+                nop            ; semicolon comment
+
+                ecall",
+        )
+        .unwrap();
+        assert_eq!(p.text().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus a0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = assemble(".data\n.word 1\n.text\nx:\nx:\n").unwrap_err();
+        assert_eq!(err.line, 5);
+        let err = assemble("lw a0, nowhere_sym(t0)\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn ascii_directives_emit_bytes() {
+        let p = assemble(
+            ".data
+             msg: .asciz \"Hi\\n\"
+             raw: .ascii \"a#b\"   # comment after string
+             after: .dword 1",
+        )
+        .unwrap();
+        assert_eq!(&p.data()[0..4], b"Hi\n\0");
+        assert_eq!(&p.data()[4..7], b"a#b");
+        // .dword aligns to 8 after the 7 string bytes.
+        assert_eq!(p.symbol("after"), Some(p.data_base() + 7));
+        assert_eq!(&p.data()[8..16], &1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn bad_string_literal_is_an_error() {
+        assert!(assemble(".data
+ s: .ascii unquoted").is_err());
+        assert!(assemble(".data
+ s: .ascii \"bad\\q\"").is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(assemble("a:\na:\n nop").is_err());
+    }
+
+    #[test]
+    fn instructions_in_data_rejected() {
+        let err = assemble(".data\n add a0, a1, a2\n").unwrap_err();
+        assert!(err.message.contains(".text"));
+    }
+
+    #[test]
+    fn data_in_text_rejected() {
+        assert!(assemble(".word 1").is_err());
+    }
+
+    #[test]
+    fn align_in_text_pads_with_nops() {
+        let p = assemble("_start:\n nop\n .align 4\nafter:\n ecall").unwrap();
+        assert_eq!(p.symbol("after"), Some(p.text_base() + 16));
+        assert_eq!(p.text().len(), 5);
+        for w in &p.text()[1..4] {
+            assert_eq!(*w, 0x0000_0013);
+        }
+    }
+
+    #[test]
+    fn custom_bases() {
+        let p = Assembler::new()
+            .text_base(0x1000)
+            .data_base(0x2000)
+            .assemble(".data\nv: .dword 1\n.text\n_start: la a0, v\n ecall")
+            .unwrap();
+        assert_eq!(p.text_base(), 0x1000);
+        assert_eq!(p.symbol("v"), Some(0x2000));
+    }
+
+    #[test]
+    fn dword_of_label_address() {
+        let p = assemble(
+            ".data
+             ptr:
+                .dword target
+             target:
+                .dword 42",
+        )
+        .unwrap();
+        let ptr_bytes: [u8; 8] = p.data()[0..8].try_into().unwrap();
+        assert_eq!(u64::from_le_bytes(ptr_bytes), p.symbol("target").unwrap());
+    }
+}

@@ -1,0 +1,45 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// Error produced while assembling a source text.
+///
+/// Carries the 1-based source line so kernel authors can find the
+/// offending statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line` with the given message.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(42, "unknown mnemonic `bogus`");
+        assert_eq!(e.to_string(), "line 42: unknown mnemonic `bogus`");
+    }
+}

@@ -1,0 +1,1516 @@
+//! Mnemonic expansion: one source statement → one or more [`Inst`]s.
+//!
+//! Handles both real instructions and the standard pseudo-instructions
+//! (`li`, `la`, `mv`, `call`, `beqz`, …). Expansion lengths are fixed per
+//! mnemonic (and, for `li`, per immediate value), so the layout pass can
+//! size the text section before labels are resolved.
+//!
+//! Vector multiply-accumulate operands: the RVV specification writes
+//! `vmacc.vv vd, vs1, vs2` while every other vector op is
+//! `vop.vv vd, vs2, vs1`. Because multiplication is commutative the two
+//! source orders are semantically identical for the MAC family, so this
+//! assembler (and the matching disassembler) use the uniform
+//! `vd, vs2, vs1` order everywhere.
+
+use std::collections::BTreeMap;
+
+use coyote_isa::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+use coyote_isa::{Csr, FReg, Lmul, Sew, VReg, VType, XReg};
+
+use crate::operand::Operand;
+
+/// Symbol table: labels and `.equ` constants.
+pub type Symbols = BTreeMap<String, u64>;
+
+type R<T> = Result<T, String>;
+
+fn get(ops: &[Operand], i: usize) -> R<&Operand> {
+    ops.get(i)
+        .ok_or_else(|| format!("missing operand {}", i + 1))
+}
+
+fn xr(ops: &[Operand], i: usize) -> R<XReg> {
+    match get(ops, i)? {
+        Operand::X(r) => Ok(*r),
+        other => Err(format!("operand {} must be an x register, got {other:?}", i + 1)),
+    }
+}
+
+fn fr(ops: &[Operand], i: usize) -> R<FReg> {
+    match get(ops, i)? {
+        Operand::F(r) => Ok(*r),
+        other => Err(format!("operand {} must be an f register, got {other:?}", i + 1)),
+    }
+}
+
+fn vr(ops: &[Operand], i: usize) -> R<VReg> {
+    match get(ops, i)? {
+        Operand::V(r) => Ok(*r),
+        other => Err(format!("operand {} must be a v register, got {other:?}", i + 1)),
+    }
+}
+
+fn resolve(op: &Operand, symbols: &Symbols) -> R<i64> {
+    match op {
+        Operand::Imm(v) => Ok(*v),
+        Operand::Sym(name) => symbols
+            .get(name)
+            .map(|&v| v as i64)
+            .ok_or_else(|| format!("undefined symbol `{name}`")),
+        Operand::Hi(name) => {
+            let v = symbols
+                .get(name)
+                .ok_or_else(|| format!("undefined symbol `{name}`"))?;
+            // %hi: upper 20 bits with the +0x800 rounding that pairs
+            // with a sign-extended %lo.
+            Ok(((v.wrapping_add(0x800) as i64) >> 12) & 0xfffff)
+        }
+        Operand::Lo(name) => {
+            let v = symbols
+                .get(name)
+                .ok_or_else(|| format!("undefined symbol `{name}`"))?;
+            Ok(((*v as i64) << 52) >> 52)
+        }
+        other => Err(format!("expected an immediate, got {other:?}")),
+    }
+}
+
+fn imm(ops: &[Operand], i: usize, symbols: &Symbols) -> R<i64> {
+    resolve(get(ops, i)?, symbols)
+}
+
+fn mem(ops: &[Operand], i: usize, symbols: &Symbols) -> R<(i64, XReg)> {
+    match get(ops, i)? {
+        Operand::Mem { offset, base } => Ok((resolve(offset, symbols)?, *base)),
+        other => Err(format!(
+            "operand {} must be a memory operand `off(reg)`, got {other:?}",
+            i + 1
+        )),
+    }
+}
+
+/// Base of a vector memory operand: just `(reg)`.
+fn vmem_base(ops: &[Operand], i: usize) -> R<XReg> {
+    match get(ops, i)? {
+        Operand::Mem { offset, base } => {
+            if **offset != Operand::Imm(0) {
+                return Err("vector memory operands take no offset".to_owned());
+            }
+            Ok(*base)
+        }
+        other => Err(format!(
+            "operand {} must be `(reg)`, got {other:?}",
+            i + 1
+        )),
+    }
+}
+
+/// Branch/jump target: a label (resolved PC-relative) or a literal offset.
+fn target(ops: &[Operand], i: usize, pc: u64, symbols: &Symbols) -> R<i64> {
+    match get(ops, i)? {
+        Operand::Imm(v) => Ok(*v),
+        Operand::Sym(name) => {
+            let addr = symbols
+                .get(name)
+                .ok_or_else(|| format!("undefined label `{name}`"))?;
+            Ok(*addr as i64 - pc as i64)
+        }
+        other => Err(format!("operand {} must be a label or offset, got {other:?}", i + 1)),
+    }
+}
+
+fn csr_operand(ops: &[Operand], i: usize) -> R<Csr> {
+    match get(ops, i)? {
+        Operand::Sym(name) => {
+            Csr::parse(name).ok_or_else(|| format!("unknown csr `{name}`"))
+        }
+        Operand::Imm(v) => {
+            u16::try_from(*v)
+                .ok()
+                .and_then(|a| Csr::new(a).ok())
+                .ok_or_else(|| format!("csr address {v} out of range"))
+        }
+        other => Err(format!("operand {} must be a csr, got {other:?}", i + 1)),
+    }
+}
+
+/// Requires the operand at `i` to be the literal `v0` (the merge
+/// family's mandatory mask operand).
+fn require_v0(ops: &[Operand], i: usize) -> R<()> {
+    match get(ops, i)? {
+        Operand::V(reg) if reg.index() == 0 => Ok(()),
+        other => Err(format!("operand {} must be v0, got {other:?}", i + 1)),
+    }
+}
+
+/// Whether a trailing `v0.t` mask operand is present at index `i`.
+fn mask_at(ops: &[Operand], i: usize) -> bool {
+    matches!(ops.get(i), Some(Operand::VMask))
+}
+
+/// The `li` expansion for an arbitrary 64-bit immediate.
+#[must_use]
+pub fn li_sequence(rd: XReg, value: i64) -> Vec<Inst> {
+    if (-2048..=2047).contains(&value) {
+        return vec![Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: XReg::ZERO,
+            imm: value,
+        }];
+    }
+    if i32::try_from(value).is_ok() {
+        let hi20 = (value.wrapping_add(0x800)) >> 12;
+        let lui_imm = ((hi20 << 12) as i32) as i64;
+        let lo = value.wrapping_sub(lui_imm);
+        let mut seq = vec![Inst::Lui { rd, imm: lui_imm }];
+        if lo != 0 {
+            seq.push(Inst::OpImm32 {
+                op: AluWOp::Addw,
+                rd,
+                rs1: rd,
+                imm: lo,
+            });
+        }
+        return seq;
+    }
+    // General 64-bit constant: materialize the upper part, shift, add the
+    // low 12 bits; recurse on the upper part.
+    let lo12 = (value << 52) >> 52;
+    let hi = (value.wrapping_sub(lo12)) >> 12;
+    let mut seq = li_sequence(rd, hi);
+    seq.push(Inst::OpImm {
+        op: AluOp::Sll,
+        rd,
+        rs1: rd,
+        imm: 12,
+    });
+    if lo12 != 0 {
+        seq.push(Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: rd,
+            imm: lo12,
+        });
+    }
+    seq
+}
+
+/// Number of instructions `mnemonic` expands to.
+///
+/// # Errors
+///
+/// Returns a message if the mnemonic is unknown or (for `li`) the value
+/// operand cannot be evaluated during layout.
+pub fn expansion_len(mnemonic: &str, ops: &[Operand], symbols: &Symbols) -> R<usize> {
+    match mnemonic {
+        "li" => {
+            let rd = xr(ops, 0)?;
+            let value = imm(ops, 1, symbols)
+                .map_err(|e| format!("{e} (li values must be known at layout time)"))?;
+            Ok(li_sequence(rd, value).len())
+        }
+        "la" | "call" => Ok(2),
+        _ => Ok(1),
+    }
+}
+
+/// Expands one statement into machine instructions.
+///
+/// `pc` is the address of the first emitted instruction; label operands
+/// resolve PC-relative against it.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed statement.
+pub fn expand(mnemonic: &str, ops: &[Operand], pc: u64, symbols: &Symbols) -> R<Vec<Inst>> {
+    // Vector mnemonics have systematic shapes; try those first.
+    if let Some(insts) = expand_vector(mnemonic, ops, symbols)? {
+        return Ok(insts);
+    }
+
+    let one = |inst: Inst| Ok(vec![inst]);
+    match mnemonic {
+        // ---- upper immediates ----
+        "lui" | "auipc" => {
+            let rd = xr(ops, 0)?;
+            let raw = imm(ops, 1, symbols)?;
+            if !(-0x8_0000..=0xf_ffff).contains(&raw) {
+                return Err(format!("20-bit immediate out of range: {raw}"));
+            }
+            let value = (((raw & 0xfffff) << 12) as i32) as i64;
+            one(if mnemonic == "lui" {
+                Inst::Lui { rd, imm: value }
+            } else {
+                Inst::Auipc { rd, imm: value }
+            })
+        }
+        // ---- jumps ----
+        "jal" => {
+            // `jal target` or `jal rd, target`.
+            let (rd, idx) = if ops.len() == 1 {
+                (XReg::RA, 0)
+            } else {
+                (xr(ops, 0)?, 1)
+            };
+            let offset = target(ops, idx, pc, symbols)?;
+            one(Inst::Jal {
+                rd,
+                offset: i32::try_from(offset).map_err(|_| "jal offset too large")?,
+            })
+        }
+        "jalr" => {
+            // `jalr rs1` | `jalr rd, offset(rs1)` | `jalr rd, rs1, offset`.
+            match ops.len() {
+                1 => one(Inst::Jalr {
+                    rd: XReg::RA,
+                    rs1: xr(ops, 0)?,
+                    offset: 0,
+                }),
+                2 => {
+                    let rd = xr(ops, 0)?;
+                    let (offset, rs1) = mem(ops, 1, symbols)?;
+                    one(Inst::Jalr {
+                        rd,
+                        rs1,
+                        offset: i32::try_from(offset).map_err(|_| "jalr offset too large")?,
+                    })
+                }
+                _ => {
+                    let rd = xr(ops, 0)?;
+                    let rs1 = xr(ops, 1)?;
+                    let offset = imm(ops, 2, symbols)?;
+                    one(Inst::Jalr {
+                        rd,
+                        rs1,
+                        offset: i32::try_from(offset).map_err(|_| "jalr offset too large")?,
+                    })
+                }
+            }
+        }
+        "j" => one(Inst::Jal {
+            rd: XReg::ZERO,
+            offset: i32::try_from(target(ops, 0, pc, symbols)?)
+                .map_err(|_| "jump offset too large")?,
+        }),
+        "jr" => one(Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: xr(ops, 0)?,
+            offset: 0,
+        }),
+        "ret" => one(Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            offset: 0,
+        }),
+        "call" => {
+            let value = match get(ops, 0)? {
+                Operand::Sym(name) => *symbols
+                    .get(name)
+                    .ok_or_else(|| format!("undefined label `{name}`"))?,
+                other => return Err(format!("call target must be a label, got {other:?}")),
+            };
+            Ok(pcrel_pair(XReg::RA, value, pc, PcrelKind::Call)?)
+        }
+        "la" => {
+            let rd = xr(ops, 0)?;
+            let value = match get(ops, 1)? {
+                Operand::Sym(name) => *symbols
+                    .get(name)
+                    .ok_or_else(|| format!("undefined symbol `{name}`"))?,
+                other => return Err(format!("la source must be a symbol, got {other:?}")),
+            };
+            Ok(pcrel_pair(rd, value, pc, PcrelKind::Address)?)
+        }
+        // ---- branches ----
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let op = branch_op(mnemonic);
+            branch(op, xr(ops, 0)?, xr(ops, 1)?, target(ops, 2, pc, symbols)?)
+        }
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            // Swapped-operand aliases.
+            let op = match mnemonic {
+                "bgt" => BranchOp::Lt,
+                "ble" => BranchOp::Ge,
+                "bgtu" => BranchOp::Ltu,
+                _ => BranchOp::Geu,
+            };
+            branch(op, xr(ops, 1)?, xr(ops, 0)?, target(ops, 2, pc, symbols)?)
+        }
+        "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
+            let rs = xr(ops, 0)?;
+            let t = target(ops, 1, pc, symbols)?;
+            match mnemonic {
+                "beqz" => branch(BranchOp::Eq, rs, XReg::ZERO, t),
+                "bnez" => branch(BranchOp::Ne, rs, XReg::ZERO, t),
+                "blez" => branch(BranchOp::Ge, XReg::ZERO, rs, t),
+                "bgez" => branch(BranchOp::Ge, rs, XReg::ZERO, t),
+                "bltz" => branch(BranchOp::Lt, rs, XReg::ZERO, t),
+                _ => branch(BranchOp::Lt, XReg::ZERO, rs, t),
+            }
+        }
+        // ---- loads/stores ----
+        "lb" | "lh" | "lw" | "ld" | "lbu" | "lhu" | "lwu" => {
+            let (width, signed) = match mnemonic {
+                "lb" => (MemWidth::B, true),
+                "lh" => (MemWidth::H, true),
+                "lw" => (MemWidth::W, true),
+                "ld" => (MemWidth::D, true),
+                "lbu" => (MemWidth::B, false),
+                "lhu" => (MemWidth::H, false),
+                _ => (MemWidth::W, false),
+            };
+            let rd = xr(ops, 0)?;
+            let (offset, rs1) = mem(ops, 1, symbols)?;
+            one(Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: i32::try_from(offset).map_err(|_| "load offset too large")?,
+            })
+        }
+        "sb" | "sh" | "sw" | "sd" => {
+            let width = match mnemonic {
+                "sb" => MemWidth::B,
+                "sh" => MemWidth::H,
+                "sw" => MemWidth::W,
+                _ => MemWidth::D,
+            };
+            let rs2 = xr(ops, 0)?;
+            let (offset, rs1) = mem(ops, 1, symbols)?;
+            one(Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset: i32::try_from(offset).map_err(|_| "store offset too large")?,
+            })
+        }
+        // ---- ALU immediates ----
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+            let op = match mnemonic {
+                "addi" => AluOp::Add,
+                "slti" => AluOp::Slt,
+                "sltiu" => AluOp::Sltu,
+                "xori" => AluOp::Xor,
+                "ori" => AluOp::Or,
+                "andi" => AluOp::And,
+                "slli" => AluOp::Sll,
+                "srli" => AluOp::Srl,
+                _ => AluOp::Sra,
+            };
+            one(Inst::OpImm {
+                op,
+                rd: xr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+                imm: imm(ops, 2, symbols)?,
+            })
+        }
+        "addiw" | "slliw" | "srliw" | "sraiw" => {
+            let op = match mnemonic {
+                "addiw" => AluWOp::Addw,
+                "slliw" => AluWOp::Sllw,
+                "srliw" => AluWOp::Srlw,
+                _ => AluWOp::Sraw,
+            };
+            one(Inst::OpImm32 {
+                op,
+                rd: xr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+                imm: imm(ops, 2, symbols)?,
+            })
+        }
+        // ---- ALU register ----
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "sll" => AluOp::Sll,
+                "slt" => AluOp::Slt,
+                "sltu" => AluOp::Sltu,
+                "xor" => AluOp::Xor,
+                "srl" => AluOp::Srl,
+                "sra" => AluOp::Sra,
+                "or" => AluOp::Or,
+                "and" => AluOp::And,
+                "mul" => AluOp::Mul,
+                "mulh" => AluOp::Mulh,
+                "mulhsu" => AluOp::Mulhsu,
+                "mulhu" => AluOp::Mulhu,
+                "div" => AluOp::Div,
+                "divu" => AluOp::Divu,
+                "rem" => AluOp::Rem,
+                _ => AluOp::Remu,
+            };
+            one(Inst::Op {
+                op,
+                rd: xr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+                rs2: xr(ops, 2)?,
+            })
+        }
+        "addw" | "subw" | "sllw" | "srlw" | "sraw" | "mulw" | "divw" | "divuw" | "remw"
+        | "remuw" => {
+            let op = match mnemonic {
+                "addw" => AluWOp::Addw,
+                "subw" => AluWOp::Subw,
+                "sllw" => AluWOp::Sllw,
+                "srlw" => AluWOp::Srlw,
+                "sraw" => AluWOp::Sraw,
+                "mulw" => AluWOp::Mulw,
+                "divw" => AluWOp::Divw,
+                "divuw" => AluWOp::Divuw,
+                "remw" => AluWOp::Remw,
+                _ => AluWOp::Remuw,
+            };
+            one(Inst::Op32 {
+                op,
+                rd: xr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+                rs2: xr(ops, 2)?,
+            })
+        }
+        // ---- misc ----
+        "fence" => one(Inst::Fence),
+        "ecall" => one(Inst::Ecall),
+        "ebreak" => one(Inst::Ebreak),
+        "nop" => one(Inst::OpImm {
+            op: AluOp::Add,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        }),
+        "li" => {
+            let rd = xr(ops, 0)?;
+            Ok(li_sequence(rd, imm(ops, 1, symbols)?))
+        }
+        "mv" => one(Inst::OpImm {
+            op: AluOp::Add,
+            rd: xr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+            imm: 0,
+        }),
+        "not" => one(Inst::OpImm {
+            op: AluOp::Xor,
+            rd: xr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+            imm: -1,
+        }),
+        "neg" => one(Inst::Op {
+            op: AluOp::Sub,
+            rd: xr(ops, 0)?,
+            rs1: XReg::ZERO,
+            rs2: xr(ops, 1)?,
+        }),
+        "negw" => one(Inst::Op32 {
+            op: AluWOp::Subw,
+            rd: xr(ops, 0)?,
+            rs1: XReg::ZERO,
+            rs2: xr(ops, 1)?,
+        }),
+        "sext.w" => one(Inst::OpImm32 {
+            op: AluWOp::Addw,
+            rd: xr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+            imm: 0,
+        }),
+        "seqz" => one(Inst::OpImm {
+            op: AluOp::Sltu,
+            rd: xr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+            imm: 1,
+        }),
+        "snez" => one(Inst::Op {
+            op: AluOp::Sltu,
+            rd: xr(ops, 0)?,
+            rs1: XReg::ZERO,
+            rs2: xr(ops, 1)?,
+        }),
+        "sltz" => one(Inst::Op {
+            op: AluOp::Slt,
+            rd: xr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+            rs2: XReg::ZERO,
+        }),
+        "sgtz" => one(Inst::Op {
+            op: AluOp::Slt,
+            rd: xr(ops, 0)?,
+            rs1: XReg::ZERO,
+            rs2: xr(ops, 1)?,
+        }),
+        // ---- CSR ----
+        "csrrw" | "csrrs" | "csrrc" => {
+            let op = csr_op(mnemonic);
+            one(Inst::Csr {
+                op,
+                rd: xr(ops, 0)?,
+                csr: csr_operand(ops, 1)?,
+                src: CsrSrc::Reg(xr(ops, 2)?),
+            })
+        }
+        "csrrwi" | "csrrsi" | "csrrci" => {
+            let op = csr_op(&mnemonic[..5]);
+            let z = imm(ops, 2, symbols)?;
+            let z = u8::try_from(z).map_err(|_| "csr immediate out of range")?;
+            one(Inst::Csr {
+                op,
+                rd: xr(ops, 0)?,
+                csr: csr_operand(ops, 1)?,
+                src: CsrSrc::Imm(z),
+            })
+        }
+        "csrr" => one(Inst::Csr {
+            op: CsrOp::Rs,
+            rd: xr(ops, 0)?,
+            csr: csr_operand(ops, 1)?,
+            src: CsrSrc::Reg(XReg::ZERO),
+        }),
+        "csrw" => one(Inst::Csr {
+            op: CsrOp::Rw,
+            rd: XReg::ZERO,
+            csr: csr_operand(ops, 0)?,
+            src: CsrSrc::Reg(xr(ops, 1)?),
+        }),
+        // ---- atomics ----
+        "lr.w" | "lr.d" => one(Inst::Amo {
+            op: AmoOp::Lr,
+            width: amo_width(mnemonic),
+            rd: xr(ops, 0)?,
+            rs1: vmem_base(ops, 1)?,
+            rs2: XReg::ZERO,
+        }),
+        "sc.w" | "sc.d" | "amoswap.w" | "amoswap.d" | "amoadd.w" | "amoadd.d" | "amoxor.w"
+        | "amoxor.d" | "amoand.w" | "amoand.d" | "amoor.w" | "amoor.d" | "amomin.w"
+        | "amomin.d" | "amomax.w" | "amomax.d" | "amominu.w" | "amominu.d" | "amomaxu.w"
+        | "amomaxu.d" => {
+            let base = mnemonic.split('.').next().unwrap_or(mnemonic);
+            let op = match base {
+                "sc" => AmoOp::Sc,
+                "amoswap" => AmoOp::Swap,
+                "amoadd" => AmoOp::Add,
+                "amoxor" => AmoOp::Xor,
+                "amoand" => AmoOp::And,
+                "amoor" => AmoOp::Or,
+                "amomin" => AmoOp::Min,
+                "amomax" => AmoOp::Max,
+                "amominu" => AmoOp::Minu,
+                _ => AmoOp::Maxu,
+            };
+            one(Inst::Amo {
+                op,
+                width: amo_width(mnemonic),
+                rd: xr(ops, 0)?,
+                rs1: vmem_base(ops, 2)?,
+                rs2: xr(ops, 1)?,
+            })
+        }
+        // ---- D extension ----
+        "fld" => {
+            let rd = fr(ops, 0)?;
+            let (offset, rs1) = mem(ops, 1, symbols)?;
+            one(Inst::Fld {
+                rd,
+                rs1,
+                offset: i32::try_from(offset).map_err(|_| "fld offset too large")?,
+            })
+        }
+        "fsd" => {
+            let rs2 = fr(ops, 0)?;
+            let (offset, rs1) = mem(ops, 1, symbols)?;
+            one(Inst::Fsd {
+                rs2,
+                rs1,
+                offset: i32::try_from(offset).map_err(|_| "fsd offset too large")?,
+            })
+        }
+        "fadd.d" | "fsub.d" | "fmul.d" | "fdiv.d" | "fsgnj.d" | "fsgnjn.d" | "fsgnjx.d"
+        | "fmin.d" | "fmax.d" => {
+            let op = match mnemonic {
+                "fadd.d" => FpOp::Add,
+                "fsub.d" => FpOp::Sub,
+                "fmul.d" => FpOp::Mul,
+                "fdiv.d" => FpOp::Div,
+                "fsgnj.d" => FpOp::Sgnj,
+                "fsgnjn.d" => FpOp::Sgnjn,
+                "fsgnjx.d" => FpOp::Sgnjx,
+                "fmin.d" => FpOp::Min,
+                _ => FpOp::Max,
+            };
+            one(Inst::FpOp {
+                op,
+                rd: fr(ops, 0)?,
+                rs1: fr(ops, 1)?,
+                rs2: fr(ops, 2)?,
+            })
+        }
+        "fmadd.d" | "fmsub.d" | "fnmsub.d" | "fnmadd.d" => {
+            let op = match mnemonic {
+                "fmadd.d" => FmaOp::Madd,
+                "fmsub.d" => FmaOp::Msub,
+                "fnmsub.d" => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            one(Inst::FpFma {
+                op,
+                rd: fr(ops, 0)?,
+                rs1: fr(ops, 1)?,
+                rs2: fr(ops, 2)?,
+                rs3: fr(ops, 3)?,
+            })
+        }
+        "feq.d" | "flt.d" | "fle.d" => {
+            let op = match mnemonic {
+                "feq.d" => FpCmpOp::Eq,
+                "flt.d" => FpCmpOp::Lt,
+                _ => FpCmpOp::Le,
+            };
+            one(Inst::FpCmp {
+                op,
+                rd: xr(ops, 0)?,
+                rs1: fr(ops, 1)?,
+                rs2: fr(ops, 2)?,
+            })
+        }
+        "fcvt.d.l" | "fcvt.d.lu" | "fcvt.d.w" => {
+            let op = match mnemonic {
+                "fcvt.d.l" => FpCvtOp::DFromL,
+                "fcvt.d.lu" => FpCvtOp::DFromLu,
+                _ => FpCvtOp::DFromW,
+            };
+            one(Inst::FpCvt {
+                op,
+                rd: fr(ops, 0)?.into(),
+                rs1: xr(ops, 1)?.into(),
+            })
+        }
+        "fcvt.l.d" | "fcvt.lu.d" | "fcvt.w.d" => {
+            let op = match mnemonic {
+                "fcvt.l.d" => FpCvtOp::LFromD,
+                "fcvt.lu.d" => FpCvtOp::LuFromD,
+                _ => FpCvtOp::WFromD,
+            };
+            one(Inst::FpCvt {
+                op,
+                rd: xr(ops, 0)?.into(),
+                rs1: fr(ops, 1)?.into(),
+            })
+        }
+        "fmv.x.d" => one(Inst::FmvXD {
+            rd: xr(ops, 0)?,
+            rs1: fr(ops, 1)?,
+        }),
+        "fmv.d.x" => one(Inst::FmvDX {
+            rd: fr(ops, 0)?,
+            rs1: xr(ops, 1)?,
+        }),
+        "fmv.d" => one(Inst::FpOp {
+            op: FpOp::Sgnj,
+            rd: fr(ops, 0)?,
+            rs1: fr(ops, 1)?,
+            rs2: fr(ops, 1)?,
+        }),
+        "fneg.d" => one(Inst::FpOp {
+            op: FpOp::Sgnjn,
+            rd: fr(ops, 0)?,
+            rs1: fr(ops, 1)?,
+            rs2: fr(ops, 1)?,
+        }),
+        "fabs.d" => one(Inst::FpOp {
+            op: FpOp::Sgnjx,
+            rd: fr(ops, 0)?,
+            rs1: fr(ops, 1)?,
+            rs2: fr(ops, 1)?,
+        }),
+        _ => Err(format!("unknown mnemonic `{mnemonic}`")),
+    }
+}
+
+fn branch_op(mnemonic: &str) -> BranchOp {
+    match mnemonic {
+        "beq" => BranchOp::Eq,
+        "bne" => BranchOp::Ne,
+        "blt" => BranchOp::Lt,
+        "bge" => BranchOp::Ge,
+        "bltu" => BranchOp::Ltu,
+        _ => BranchOp::Geu,
+    }
+}
+
+fn csr_op(mnemonic: &str) -> CsrOp {
+    match mnemonic {
+        "csrrw" => CsrOp::Rw,
+        "csrrs" => CsrOp::Rs,
+        _ => CsrOp::Rc,
+    }
+}
+
+fn amo_width(mnemonic: &str) -> MemWidth {
+    if mnemonic.ends_with(".w") {
+        MemWidth::W
+    } else {
+        MemWidth::D
+    }
+}
+
+fn branch(op: BranchOp, rs1: XReg, rs2: XReg, offset: i64) -> R<Vec<Inst>> {
+    Ok(vec![Inst::Branch {
+        op,
+        rs1,
+        rs2,
+        offset: i32::try_from(offset).map_err(|_| "branch offset too large")?,
+    }])
+}
+
+enum PcrelKind {
+    Address,
+    Call,
+}
+
+/// `auipc`+`addi`/`jalr` pair for PC-relative addressing.
+fn pcrel_pair(rd: XReg, value: u64, pc: u64, kind: PcrelKind) -> R<Vec<Inst>> {
+    let delta = value.wrapping_sub(pc) as i64;
+    let hi20 = (delta.wrapping_add(0x800)) >> 12;
+    let auipc_imm = ((hi20 << 12) as i32) as i64;
+    let lo = delta.wrapping_sub(auipc_imm);
+    if i32::try_from(delta).is_err() {
+        return Err(format!("pc-relative target {delta:#x} out of ±2 GiB range"));
+    }
+    let second = match kind {
+        PcrelKind::Address => Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: rd,
+            imm: lo,
+        },
+        PcrelKind::Call => Inst::Jalr {
+            rd,
+            rs1: rd,
+            offset: lo as i32,
+        },
+    };
+    Ok(vec![Inst::Auipc { rd, imm: auipc_imm }, second])
+}
+
+/// Vector mnemonic handling; returns `Ok(None)` when the mnemonic is not
+/// a vector instruction.
+fn expand_vector(mnemonic: &str, ops: &[Operand], symbols: &Symbols) -> R<Option<Vec<Inst>>> {
+    let some = |inst: Inst| Ok(Some(vec![inst]));
+    match mnemonic {
+        "vsetvli" => {
+            let rd = xr(ops, 0)?;
+            let rs1 = xr(ops, 1)?;
+            let vtype = parse_vtype(&ops[2..])?;
+            return some(Inst::Vsetvli { rd, rs1, vtype });
+        }
+        "vsetivli" => {
+            let rd = xr(ops, 0)?;
+            let avl = imm(ops, 1, symbols)?;
+            let avl = u8::try_from(avl).map_err(|_| "vsetivli avl out of range")?;
+            let vtype = parse_vtype(&ops[2..])?;
+            return some(Inst::Vsetivli { rd, avl, vtype });
+        }
+        "vsetvl" => {
+            return some(Inst::Vsetvl {
+                rd: xr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+                rs2: xr(ops, 2)?,
+            });
+        }
+        "vmv.v.v" => return some(Inst::VMvVV { vd: vr(ops, 0)?, vs1: vr(ops, 1)? }),
+        "vmv.v.x" => return some(Inst::VMvVX { vd: vr(ops, 0)?, rs1: xr(ops, 1)? }),
+        "vmv.v.i" => {
+            let i = imm(ops, 1, symbols)?;
+            return some(Inst::VMvVI {
+                vd: vr(ops, 0)?,
+                imm: i8::try_from(i).map_err(|_| "vmv.v.i immediate out of range")?,
+            });
+        }
+        "vfmv.v.f" => return some(Inst::VFMvVF { vd: vr(ops, 0)?, rs1: fr(ops, 1)? }),
+        "vmv.x.s" => return some(Inst::VMvXS { rd: xr(ops, 0)?, vs2: vr(ops, 1)? }),
+        "vmv.s.x" => return some(Inst::VMvSX { vd: vr(ops, 0)?, rs1: xr(ops, 1)? }),
+        "vfmv.f.s" => return some(Inst::VFMvFS { rd: fr(ops, 0)?, vs2: vr(ops, 1)? }),
+        "vfmv.s.f" => return some(Inst::VFMvSF { vd: vr(ops, 0)?, rs1: fr(ops, 1)? }),
+        "vid.v" => {
+            return some(Inst::Vid {
+                vd: vr(ops, 0)?,
+                vm: !mask_at(ops, 1),
+            });
+        }
+        "vcpop.m" => {
+            return some(Inst::Vcpop {
+                rd: xr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                vm: !mask_at(ops, 2),
+            });
+        }
+        "vfirst.m" => {
+            return some(Inst::Vfirst {
+                rd: xr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                vm: !mask_at(ops, 2),
+            });
+        }
+        "vmerge.vvm" => {
+            require_v0(ops, 3)?;
+            return some(Inst::VMerge {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                src: VScalar::Vector(vr(ops, 2)?),
+            });
+        }
+        "vmerge.vxm" => {
+            require_v0(ops, 3)?;
+            return some(Inst::VMerge {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                src: VScalar::Xreg(xr(ops, 2)?),
+            });
+        }
+        "vmerge.vim" => {
+            require_v0(ops, 3)?;
+            let i = imm(ops, 2, symbols)?;
+            return some(Inst::VMergeImm {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                imm: i8::try_from(i).map_err(|_| "vmerge immediate out of range")?,
+            });
+        }
+        "vfmerge.vfm" => {
+            require_v0(ops, 3)?;
+            return some(Inst::VFMerge {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                rs1: fr(ops, 2)?,
+            });
+        }
+        "vredsum.vs" => {
+            return some(Inst::VRedSum {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                vs1: vr(ops, 2)?,
+                vm: !mask_at(ops, 3),
+            });
+        }
+        "vfredusum.vs" | "vfredsum.vs" => {
+            return some(Inst::VFRedSum {
+                vd: vr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+                vs1: vr(ops, 2)?,
+                vm: !mask_at(ops, 3),
+            });
+        }
+        _ => {}
+    }
+
+    // Vector memory: v{l,s}{e,se,uxei}<bits>.v
+    if let Some(parsed) = parse_vmem_mnemonic(mnemonic) {
+        let (is_load, needs_extra, eew) = parsed;
+        let vreg0 = vr(ops, 0)?;
+        let rs1 = vmem_base(ops, 1)?;
+        let (mode, mask_idx) = match needs_extra {
+            VMemExtra::None => (VAddrMode::Unit, 2),
+            VMemExtra::Stride => (VAddrMode::Strided(xr(ops, 2)?), 3),
+            VMemExtra::Index => (VAddrMode::Indexed(vr(ops, 2)?), 3),
+        };
+        let vm = !mask_at(ops, mask_idx);
+        return some(if is_load {
+            Inst::VLoad {
+                vd: vreg0,
+                rs1,
+                mode,
+                eew,
+                vm,
+            }
+        } else {
+            Inst::VStore {
+                vs3: vreg0,
+                rs1,
+                mode,
+                eew,
+                vm,
+            }
+        });
+    }
+
+    // Vector arithmetic: <base>.<form> where form ∈ {vv, vx, vi, vf, mm}.
+    let Some((base, form)) = mnemonic.rsplit_once('.') else {
+        return Ok(None);
+    };
+    if !matches!(form, "vv" | "vx" | "vi" | "vf" | "mm") {
+        return Ok(None);
+    }
+    if form == "mm" {
+        let op = match base {
+            "vmand" => VMaskOp::And,
+            "vmnand" => VMaskOp::Nand,
+            "vmandn" | "vmandnot" => VMaskOp::AndNot,
+            "vmxor" => VMaskOp::Xor,
+            "vmor" => VMaskOp::Or,
+            "vmnor" => VMaskOp::Nor,
+            "vmorn" | "vmornot" => VMaskOp::OrNot,
+            "vmxnor" => VMaskOp::Xnor,
+            _ => return Ok(None),
+        };
+        return some(Inst::VMaskLogical {
+            op,
+            vd: vr(ops, 0)?,
+            vs2: vr(ops, 1)?,
+            vs1: vr(ops, 2)?,
+        });
+    }
+    let vcmp = |name: &str| -> Option<VCmpOp> {
+        Some(match name {
+            "vmseq" => VCmpOp::Eq,
+            "vmsne" => VCmpOp::Ne,
+            "vmsltu" => VCmpOp::Ltu,
+            "vmslt" => VCmpOp::Lt,
+            "vmsleu" => VCmpOp::Leu,
+            "vmsle" => VCmpOp::Le,
+            "vmsgtu" => VCmpOp::Gtu,
+            "vmsgt" => VCmpOp::Gt,
+            _ => return None,
+        })
+    };
+    if let Some(op) = vcmp(base) {
+        let vd = vr(ops, 0)?;
+        let vs2 = vr(ops, 1)?;
+        let vm = !mask_at(ops, 3);
+        return some(match form {
+            "vv" => Inst::VMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Vector(vr(ops, 2)?),
+                vm,
+            },
+            "vx" => Inst::VMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Xreg(xr(ops, 2)?),
+                vm,
+            },
+            "vi" => {
+                let i = imm(ops, 2, symbols)?;
+                Inst::VMaskCmpImm {
+                    op,
+                    vd,
+                    vs2,
+                    imm: i8::try_from(i).map_err(|_| "compare immediate out of range")?,
+                    vm,
+                }
+            }
+            _ => return Err(format!("`{mnemonic}` has no {form} form")),
+        });
+    }
+    let vfcmp = |name: &str| -> Option<VFCmpOp> {
+        Some(match name {
+            "vmfeq" => VFCmpOp::Eq,
+            "vmfle" => VFCmpOp::Le,
+            "vmflt" => VFCmpOp::Lt,
+            "vmfne" => VFCmpOp::Ne,
+            "vmfgt" => VFCmpOp::Gt,
+            "vmfge" => VFCmpOp::Ge,
+            _ => return None,
+        })
+    };
+    if let Some(op) = vfcmp(base) {
+        let vd = vr(ops, 0)?;
+        let vs2 = vr(ops, 1)?;
+        let vm = !mask_at(ops, 3);
+        return some(match form {
+            "vv" => Inst::VFMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Vector(vr(ops, 2)?),
+                vm,
+            },
+            "vf" => Inst::VFMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Freg(fr(ops, 2)?),
+                vm,
+            },
+            _ => return Err(format!("`{mnemonic}` has no {form} form")),
+        });
+    }
+    let vint = |name: &str| -> Option<VIntOp> {
+        Some(match name {
+            "vadd" => VIntOp::Add,
+            "vsub" => VIntOp::Sub,
+            "vrsub" => VIntOp::Rsub,
+            "vand" => VIntOp::And,
+            "vor" => VIntOp::Or,
+            "vxor" => VIntOp::Xor,
+            "vsll" => VIntOp::Sll,
+            "vsrl" => VIntOp::Srl,
+            "vsra" => VIntOp::Sra,
+            "vmin" => VIntOp::Min,
+            "vmax" => VIntOp::Max,
+            "vminu" => VIntOp::Minu,
+            "vmaxu" => VIntOp::Maxu,
+        _ => return None,
+        })
+    };
+    let vmul = |name: &str| -> Option<VMulOp> {
+        Some(match name {
+            "vmul" => VMulOp::Mul,
+            "vmulh" => VMulOp::Mulh,
+            "vmulhu" => VMulOp::Mulhu,
+            "vdiv" => VMulOp::Div,
+            "vdivu" => VMulOp::Divu,
+            "vrem" => VMulOp::Rem,
+            "vremu" => VMulOp::Remu,
+            "vmacc" => VMulOp::Macc,
+            _ => return None,
+        })
+    };
+    let vfp = |name: &str| -> Option<VFpOp> {
+        Some(match name {
+            "vfadd" => VFpOp::Add,
+            "vfsub" => VFpOp::Sub,
+            "vfmul" => VFpOp::Mul,
+            "vfdiv" => VFpOp::Div,
+            "vfmin" => VFpOp::Min,
+            "vfmax" => VFpOp::Max,
+            "vfsgnj" => VFpOp::Sgnj,
+            "vfmacc" => VFpOp::Macc,
+            _ => return None,
+        })
+    };
+
+    if let Some(op) = vint(base) {
+        let vd = vr(ops, 0)?;
+        let vs2 = vr(ops, 1)?;
+        let vm = !mask_at(ops, 3);
+        return some(match form {
+            "vv" => Inst::VIntOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Vector(vr(ops, 2)?),
+                vm,
+            },
+            "vx" => Inst::VIntOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Xreg(xr(ops, 2)?),
+                vm,
+            },
+            "vi" => {
+                let i = imm(ops, 2, symbols)?;
+                let range = if matches!(op, VIntOp::Sll | VIntOp::Srl | VIntOp::Sra) {
+                    0..=31
+                } else {
+                    -16..=15
+                };
+                if !range.contains(&i) {
+                    return Err(format!("vector immediate {i} out of range"));
+                }
+                Inst::VIntOpImm {
+                    op,
+                    vd,
+                    vs2,
+                    imm: i as i8,
+                    vm,
+                }
+            }
+            _ => return Err(format!("`{mnemonic}` has no {form} form")),
+        });
+    }
+    if let Some(op) = vmul(base) {
+        let vd = vr(ops, 0)?;
+        let vs2 = vr(ops, 1)?;
+        let vm = !mask_at(ops, 3);
+        return some(match form {
+            "vv" => Inst::VMulOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Vector(vr(ops, 2)?),
+                vm,
+            },
+            "vx" => Inst::VMulOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Xreg(xr(ops, 2)?),
+                vm,
+            },
+            _ => return Err(format!("`{mnemonic}` has no {form} form")),
+        });
+    }
+    if let Some(op) = vfp(base) {
+        let vd = vr(ops, 0)?;
+        let vs2 = vr(ops, 1)?;
+        let vm = !mask_at(ops, 3);
+        return some(match form {
+            "vv" => Inst::VFpOp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Vector(vr(ops, 2)?),
+                vm,
+            },
+            "vf" => Inst::VFpOp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Freg(fr(ops, 2)?),
+                vm,
+            },
+            _ => return Err(format!("`{mnemonic}` has no {form} form")),
+        });
+    }
+    Ok(None)
+}
+
+enum VMemExtra {
+    None,
+    Stride,
+    Index,
+}
+
+/// Parses `v{l,s}{e,se,uxei}<bits>.v`.
+fn parse_vmem_mnemonic(mnemonic: &str) -> Option<(bool, VMemExtra, Sew)> {
+    let rest = mnemonic.strip_prefix('v')?;
+    let (is_load, rest) = if let Some(r) = rest.strip_prefix('l') {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix('s') {
+        (false, r)
+    } else {
+        return None;
+    };
+    let rest = rest.strip_suffix(".v")?;
+    let (extra, digits) = if let Some(r) = rest.strip_prefix("uxei") {
+        (VMemExtra::Index, r)
+    } else if let Some(r) = rest.strip_prefix("se") {
+        (VMemExtra::Stride, r)
+    } else if let Some(r) = rest.strip_prefix('e') {
+        (VMemExtra::None, r)
+    } else {
+        return None;
+    };
+    let eew = match digits {
+        "8" => Sew::E8,
+        "16" => Sew::E16,
+        "32" => Sew::E32,
+        "64" => Sew::E64,
+        _ => return None,
+    };
+    Some((is_load, extra, eew))
+}
+
+/// Parses the trailing `eXX,mY,ta,ma` operands of a `vset*` instruction.
+fn parse_vtype(ops: &[Operand]) -> R<VType> {
+    let mut sew = None;
+    let mut lmul = None;
+    let mut ta = false;
+    let mut ma = false;
+    for op in ops {
+        let Operand::Sym(word) = op else {
+            return Err(format!("invalid vtype element {op:?}"));
+        };
+        match word.as_str() {
+            "e8" => sew = Some(Sew::E8),
+            "e16" => sew = Some(Sew::E16),
+            "e32" => sew = Some(Sew::E32),
+            "e64" => sew = Some(Sew::E64),
+            "mf8" => lmul = Some(Lmul::MF8),
+            "mf4" => lmul = Some(Lmul::MF4),
+            "mf2" => lmul = Some(Lmul::MF2),
+            "m1" => lmul = Some(Lmul::M1),
+            "m2" => lmul = Some(Lmul::M2),
+            "m4" => lmul = Some(Lmul::M4),
+            "m8" => lmul = Some(Lmul::M8),
+            "ta" => ta = true,
+            "tu" => ta = false,
+            "ma" => ma = true,
+            "mu" => ma = false,
+            other => return Err(format!("invalid vtype element `{other}`")),
+        }
+    }
+    Ok(VType {
+        sew: sew.ok_or("vtype missing element width")?,
+        lmul: lmul.ok_or("vtype missing lmul")?,
+        ta,
+        ma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ops(text: &str) -> Vec<Operand> {
+        crate::operand::split_operands(text)
+            .iter()
+            .map(|t| Operand::parse(t).unwrap())
+            .collect()
+    }
+
+    fn expand1(mnemonic: &str, ops_text: &str) -> Inst {
+        let ops = parse_ops(ops_text);
+        let insts = expand(mnemonic, &ops, 0x8000_0000, &Symbols::new()).unwrap();
+        assert_eq!(insts.len(), 1);
+        insts[0]
+    }
+
+    #[test]
+    fn li_small_medium_large() {
+        let rd = XReg::A0;
+        assert_eq!(li_sequence(rd, 5).len(), 1);
+        assert_eq!(li_sequence(rd, -2048).len(), 1);
+        assert_eq!(li_sequence(rd, 0x1000).len(), 1); // lui only, lo == 0
+        assert_eq!(li_sequence(rd, 0x12345).len(), 2);
+        assert!(li_sequence(rd, 0x1234_5678_9abc_def0).len() >= 5);
+    }
+
+    /// Interpret an li sequence to verify it materializes the value.
+    fn run_li(value: i64) -> i64 {
+        let seq = li_sequence(XReg::A0, value);
+        let mut reg: i64 = 0;
+        for inst in seq {
+            match inst {
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    imm,
+                    ..
+                } => reg = reg.wrapping_add(imm),
+                Inst::OpImm {
+                    op: AluOp::Sll,
+                    imm,
+                    ..
+                } => reg <<= imm,
+                Inst::Lui { imm, .. } => reg = imm,
+                Inst::OpImm32 {
+                    op: AluWOp::Addw,
+                    imm,
+                    ..
+                } => reg = i64::from((reg.wrapping_add(imm)) as i32),
+                other => panic!("unexpected inst in li sequence: {other:?}"),
+            }
+        }
+        reg
+    }
+
+    #[test]
+    fn li_materializes_exact_values() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x8000_0000,
+            0x1234_5678,
+            -0x1234_5678,
+            0x1234_5678_9abc_def0,
+            i64::MAX,
+            i64::MIN,
+            0x8000_0000_0000_0000u64 as i64,
+        ] {
+            assert_eq!(run_li(v), v, "li of {v:#x}");
+        }
+    }
+
+    #[test]
+    fn branch_to_label_is_pc_relative() {
+        let mut symbols = Symbols::new();
+        symbols.insert("loop".to_owned(), 0x8000_0000);
+        let ops = parse_ops("a0, a1, loop");
+        let insts = expand("bne", &ops, 0x8000_0010, &symbols).unwrap();
+        assert_eq!(
+            insts[0],
+            Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: XReg::A0,
+                rs2: XReg::A1,
+                offset: -16
+            }
+        );
+    }
+
+    #[test]
+    fn la_emits_auipc_addi() {
+        let mut symbols = Symbols::new();
+        symbols.insert("data".to_owned(), 0x8100_0008);
+        let ops = parse_ops("a0, data");
+        let insts = expand("la", &ops, 0x8000_0000, &symbols).unwrap();
+        assert_eq!(insts.len(), 2);
+        let Inst::Auipc { imm: hi, .. } = insts[0] else {
+            panic!("expected auipc");
+        };
+        let Inst::OpImm { imm: lo, .. } = insts[1] else {
+            panic!("expected addi");
+        };
+        assert_eq!(0x8000_0000i64 + hi + lo, 0x8100_0008);
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        assert_eq!(
+            expand1("mv", "a0, a1"),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            expand1("nop", ""),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }
+        );
+        assert!(matches!(expand1("ret", ""), Inst::Jalr { .. }));
+        assert!(matches!(
+            expand1("csrr", "a0, mhartid"),
+            Inst::Csr {
+                op: CsrOp::Rs,
+                src: CsrSrc::Reg(XReg::ZERO),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn vector_memory_forms() {
+        assert!(matches!(
+            expand1("vle64.v", "v8, (a0)"),
+            Inst::VLoad {
+                mode: VAddrMode::Unit,
+                eew: Sew::E64,
+                vm: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            expand1("vlse64.v", "v8, (a0), t0"),
+            Inst::VLoad {
+                mode: VAddrMode::Strided(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            expand1("vluxei64.v", "v8, (a0), v16"),
+            Inst::VLoad {
+                mode: VAddrMode::Indexed(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            expand1("vse32.v", "v8, (a0), v0.t"),
+            Inst::VStore {
+                eew: Sew::E32,
+                vm: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn vector_arith_forms() {
+        assert!(matches!(
+            expand1("vadd.vv", "v1, v2, v3"),
+            Inst::VIntOp {
+                op: VIntOp::Add,
+                src: VScalar::Vector(_),
+                vm: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            expand1("vsll.vi", "v1, v2, 3"),
+            Inst::VIntOpImm { op: VIntOp::Sll, imm: 3, .. }
+        ));
+        assert!(matches!(
+            expand1("vfmacc.vf", "v1, v2, fa0"),
+            Inst::VFpOp {
+                op: VFpOp::Macc,
+                src: VFScalar::Freg(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            expand1("vmacc.vx", "v1, v2, a0, v0.t"),
+            Inst::VMulOp { op: VMulOp::Macc, vm: false, .. }
+        ));
+    }
+
+    #[test]
+    fn vsetvli_parses_joined_vtype() {
+        let inst = expand1("vsetvli", "t0, a0, e64,m1,ta,ma");
+        assert_eq!(
+            inst,
+            Inst::Vsetvli {
+                rd: XReg::parse("t0").unwrap(),
+                rs1: XReg::A0,
+                vtype: VType::new(Sew::E64, Lmul::M1),
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = expand("bogus", &[], 0, &Symbols::new()).unwrap_err();
+        assert!(err.contains("bogus"));
+        let ops = parse_ops("a0, a1, nowhere");
+        let err = expand("beq", &ops, 0, &Symbols::new()).unwrap_err();
+        assert!(err.contains("nowhere"));
+        let ops = parse_ops("v1, v2, 99");
+        assert!(expand("vadd.vi", &ops, 0, &Symbols::new()).is_err());
+    }
+
+    #[test]
+    fn expansion_len_matches_expand() {
+        let symbols = {
+            let mut s = Symbols::new();
+            s.insert("somewhere".to_owned(), 0x8000_0100);
+            s
+        };
+        for (mnemonic, ops_text) in [
+            ("li", "a0, 0x123456789"),
+            ("li", "a0, 7"),
+            ("la", "a0, somewhere"),
+            ("call", "somewhere"),
+            ("add", "a0, a1, a2"),
+            ("vadd.vv", "v1, v2, v3"),
+        ] {
+            let ops = parse_ops(ops_text);
+            let len = expansion_len(mnemonic, &ops, &symbols).unwrap();
+            let insts = expand(mnemonic, &ops, 0x8000_0000, &symbols).unwrap();
+            assert_eq!(len, insts.len(), "{mnemonic} {ops_text}");
+        }
+    }
+
+    #[test]
+    fn amo_forms() {
+        assert!(matches!(
+            expand1("lr.d", "a0, (a1)"),
+            Inst::Amo { op: AmoOp::Lr, .. }
+        ));
+        assert!(matches!(
+            expand1("amoadd.w", "a0, a2, (a1)"),
+            Inst::Amo {
+                op: AmoOp::Add,
+                width: MemWidth::W,
+                ..
+            }
+        ));
+    }
+}

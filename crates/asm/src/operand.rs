@@ -1,0 +1,280 @@
+//! Operand lexing and parsing.
+//!
+//! Operands are parsed without symbol resolution: label references stay
+//! textual until the emit pass, when addresses are known.
+
+use coyote_isa::{FReg, VReg, XReg};
+
+/// A parsed instruction operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Integer register.
+    X(XReg),
+    /// Floating-point register.
+    F(FReg),
+    /// Vector register.
+    V(VReg),
+    /// Numeric immediate.
+    Imm(i64),
+    /// Unresolved symbol reference (label or `.equ` constant).
+    Sym(String),
+    /// `%hi(symbol)` relocation-style operand.
+    Hi(String),
+    /// `%lo(symbol)` relocation-style operand.
+    Lo(String),
+    /// Memory operand `offset(base)`.
+    Mem {
+        /// Offset expression (immediate, symbol or `%lo`).
+        offset: Box<Operand>,
+        /// Base register.
+        base: XReg,
+    },
+    /// The `v0.t` mask operand.
+    VMask,
+}
+
+impl Operand {
+    /// Parses one operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not a recognizable operand.
+    pub fn parse(text: &str) -> Result<Operand, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("empty operand".to_owned());
+        }
+        if text == "v0.t" {
+            return Ok(Operand::VMask);
+        }
+        if let Some(reg) = XReg::parse(text) {
+            return Ok(Operand::X(reg));
+        }
+        if let Some(reg) = FReg::parse(text) {
+            return Ok(Operand::F(reg));
+        }
+        if let Some(reg) = VReg::parse(text) {
+            return Ok(Operand::V(reg));
+        }
+        // Memory operand: anything ending in `(reg)` whose parenthesized
+        // tail names a register. Checked before `%hi`/`%lo` so that
+        // `%lo(sym)(reg)` parses as a memory operand.
+        if let Some(open) = text.rfind('(') {
+            if let Some(stripped) = text.strip_suffix(')') {
+                let base_text = stripped[open + 1..].trim();
+                if let Some(base) = XReg::parse(base_text) {
+                    let offset_text = stripped[..open].trim();
+                    let offset = if offset_text.is_empty() {
+                        Operand::Imm(0)
+                    } else {
+                        Operand::parse(offset_text)?
+                    };
+                    match offset {
+                        Operand::Imm(_) | Operand::Sym(_) | Operand::Lo(_) => {
+                            return Ok(Operand::Mem {
+                                offset: Box::new(offset),
+                                base,
+                            });
+                        }
+                        other => return Err(format!("invalid memory offset `{other:?}`")),
+                    }
+                }
+            }
+        }
+        if let Some(rest) = text.strip_prefix("%hi(") {
+            let inner = rest
+                .strip_suffix(')')
+                .filter(|s| !s.contains('(') && !s.contains(')'))
+                .ok_or_else(|| format!("unterminated %hi in `{text}`"))?;
+            return Ok(Operand::Hi(inner.trim().to_owned()));
+        }
+        if let Some(rest) = text.strip_prefix("%lo(") {
+            let inner = rest
+                .strip_suffix(')')
+                .filter(|s| !s.contains('(') && !s.contains(')'))
+                .ok_or_else(|| format!("unterminated %lo in `{text}`"))?;
+            return Ok(Operand::Lo(inner.trim().to_owned()));
+        }
+        if let Some(value) = parse_int(text) {
+            return Ok(Operand::Imm(value));
+        }
+        if is_symbol(text) {
+            return Ok(Operand::Sym(text.to_owned()));
+        }
+        Err(format!("cannot parse operand `{text}`"))
+    }
+}
+
+/// Parses a decimal, hex (`0x`), octal (`0o`) or binary (`0b`) integer,
+/// with optional leading `-`.
+#[must_use]
+pub fn parse_int(text: &str) -> Option<i64> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+    {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else if let Some(oct) = body.strip_prefix("0o") {
+        u64::from_str_radix(&oct.replace('_', ""), 8).ok()?
+    } else {
+        body.replace('_', "").parse::<u64>().ok()?
+    };
+    if neg {
+        // Allow -(2^63).
+        if magnitude > 1 << 63 {
+            return None;
+        }
+        Some((magnitude as i64).wrapping_neg())
+    } else {
+        i64::try_from(magnitude).ok().or({
+            // Permit large unsigned constants (e.g. 0xffff_ffff_ffff_ffff)
+            // reinterpreted as two's-complement.
+            Some(magnitude as i64)
+        })
+    }
+}
+
+fn is_symbol(text: &str) -> bool {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Splits an operand list on commas that are outside parentheses.
+#[must_use]
+pub fn split_operands(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(current.trim().to_owned());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    let last = current.trim();
+    if !last.is_empty() {
+        out.push(last.to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registers() {
+        assert_eq!(Operand::parse("a0").unwrap(), Operand::X(XReg::A0));
+        assert_eq!(
+            Operand::parse("x31").unwrap(),
+            Operand::X(XReg::new(31).unwrap())
+        );
+        assert_eq!(
+            Operand::parse("fa0").unwrap(),
+            Operand::F(FReg::new(10).unwrap())
+        );
+        assert_eq!(
+            Operand::parse("v7").unwrap(),
+            Operand::V(VReg::new(7).unwrap())
+        );
+    }
+
+    #[test]
+    fn parses_immediates() {
+        assert_eq!(Operand::parse("42").unwrap(), Operand::Imm(42));
+        assert_eq!(Operand::parse("-16").unwrap(), Operand::Imm(-16));
+        assert_eq!(Operand::parse("0x1f").unwrap(), Operand::Imm(31));
+        assert_eq!(Operand::parse("0b101").unwrap(), Operand::Imm(5));
+        assert_eq!(
+            Operand::parse("0xffff_ffff_ffff_ffff").unwrap(),
+            Operand::Imm(-1)
+        );
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let op = Operand::parse("8(sp)").unwrap();
+        assert_eq!(
+            op,
+            Operand::Mem {
+                offset: Box::new(Operand::Imm(8)),
+                base: XReg::SP
+            }
+        );
+        let op = Operand::parse("(a0)").unwrap();
+        assert_eq!(
+            op,
+            Operand::Mem {
+                offset: Box::new(Operand::Imm(0)),
+                base: XReg::A0
+            }
+        );
+        let op = Operand::parse("%lo(table)(t0)").unwrap();
+        assert_eq!(
+            op,
+            Operand::Mem {
+                offset: Box::new(Operand::Lo("table".to_owned())),
+                base: XReg::parse("t0").unwrap()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_relocations_and_symbols() {
+        assert_eq!(
+            Operand::parse("%hi(table)").unwrap(),
+            Operand::Hi("table".to_owned())
+        );
+        assert_eq!(
+            Operand::parse("loop_start").unwrap(),
+            Operand::Sym("loop_start".to_owned())
+        );
+        assert_eq!(Operand::parse("v0.t").unwrap(), Operand::VMask);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Operand::parse("").is_err());
+        assert!(Operand::parse("12abc").is_err());
+        assert!(Operand::parse("%hi(oops").is_err());
+        assert!(Operand::parse("8(notareg)").is_err());
+    }
+
+    #[test]
+    fn split_respects_parens() {
+        assert_eq!(
+            split_operands("a0, 8(sp), %lo(x)(t0)"),
+            vec!["a0", "8(sp)", "%lo(x)(t0)"]
+        );
+        assert_eq!(split_operands(""), Vec::<String>::new());
+        assert_eq!(split_operands("t0, a0, e64,m1,ta,ma").len(), 6);
+    }
+
+    #[test]
+    fn int_edge_cases() {
+        assert_eq!(parse_int("-9223372036854775808"), Some(i64::MIN));
+        assert_eq!(parse_int("9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_int("0x8000000000000000"), Some(i64::MIN));
+        assert_eq!(parse_int("1_000_000"), Some(1_000_000));
+        assert_eq!(parse_int("abc"), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! The assembled program image loaded into the simulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default base address of the text section (mirrors the conventional
+/// RISC-V baremetal reset address).
+pub const DEFAULT_TEXT_BASE: u64 = 0x8000_0000;
+/// Default base address of the data section.
+pub const DEFAULT_DATA_BASE: u64 = 0x8100_0000;
+
+/// An assembled baremetal program: code, initialized data and symbols.
+///
+/// Produced by [`crate::assemble`] (or [`crate::Assembler`]) and consumed
+/// by the simulator's loader. All harts begin execution at
+/// [`Program::entry`]; kernels read `mhartid` to partition work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    text_base: u64,
+    text: Vec<u32>,
+    data_base: u64,
+    data: Vec<u8>,
+    entry: u64,
+    symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// Creates a program from raw parts. Library users normally obtain
+    /// programs from the assembler instead.
+    #[must_use]
+    pub fn from_parts(
+        text_base: u64,
+        text: Vec<u32>,
+        data_base: u64,
+        data: Vec<u8>,
+        entry: u64,
+        symbols: BTreeMap<String, u64>,
+    ) -> Program {
+        Program {
+            text_base,
+            text,
+            data_base,
+            data,
+            entry,
+            symbols,
+        }
+    }
+
+    /// Base address of the text section.
+    #[must_use]
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Encoded instruction words in text-section order.
+    #[must_use]
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Base address of the data section.
+    #[must_use]
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Initialized data bytes.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Address of the first executed instruction.
+    #[must_use]
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Looks up a label or `.equ` symbol.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Total footprint (text + data bytes).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.text.len() * 4 + self.data.len()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} insts @ {:#x}, {} data bytes @ {:#x}, entry {:#x}",
+            self.text.len(),
+            self.text_base,
+            self.data.len(),
+            self.data_base,
+            self.entry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reflect_parts() {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("main".to_owned(), 0x8000_0000);
+        let p = Program::from_parts(
+            0x8000_0000,
+            vec![0x13, 0x13],
+            0x8100_0000,
+            vec![1, 2, 3],
+            0x8000_0000,
+            symbols,
+        );
+        assert_eq!(p.text().len(), 2);
+        assert_eq!(p.data(), &[1, 2, 3]);
+        assert_eq!(p.symbol("main"), Some(0x8000_0000));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.size_bytes(), 11);
+        assert_eq!(p.symbols().count(), 1);
+        assert!(p.to_string().contains("2 insts"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Property test: for every decodable instruction word, the
+//! disassembled text re-assembles to the same instruction.
+//!
+//! This closes the loop between the three ISA representations
+//! (word ↔ [`coyote_isa::Inst`] ↔ text) without duplicating the
+//! instruction-space strategy: random words are filtered through the
+//! decoder.
+
+use coyote_asm::Assembler;
+use coyote_isa::decode::decode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+    #[test]
+    fn disassembly_reassembles(word in any::<u32>()) {
+        let Ok(inst) = decode(word) else {
+            return Ok(());
+        };
+        let text = format!("_start:\n {inst}\n");
+        let program = Assembler::new()
+            .assemble(&text)
+            .unwrap_or_else(|e| panic!("assembling `{inst}` ({word:#010x}): {e}"));
+        prop_assert_eq!(program.text().len(), 1, "`{}` expanded to multiple insts", inst);
+        let back = decode(program.text()[0]).expect("assembled word decodes");
+        prop_assert_eq!(back, inst, "through text `{}`", inst);
+    }
+}
+
+#[test]
+fn known_tricky_disassemblies_reassemble() {
+    // Hand-picked encodings that exercise corner syntax.
+    for word in [
+        0x0010_0093u32, // addi ra, zero, 1
+        0x0ff0_000f,    // fence
+        0xf140_2573,    // csrr a0, mhartid (csrrs)
+        0x1234_5537,    // lui a0, 0x12345
+        0x8000_0537,    // lui a0, 0x80000 (negative upper immediate)
+    ] {
+        let inst = decode(word).unwrap();
+        let text = format!("_start:\n {inst}\n");
+        let program = Assembler::new().assemble(&text).unwrap();
+        assert_eq!(decode(program.text()[0]).unwrap(), inst, "{inst}");
+    }
+}

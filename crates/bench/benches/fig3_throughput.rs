@@ -1,0 +1,39 @@
+//! Figure 3 bench: wall-clock cost of simulating scalar matmul and
+//! scalar SpMV as the simulated core count grows. Criterion's mean
+//! time per iteration divided into the (fixed) retired-instruction
+//! count gives the paper's aggregate-MIPS series; `repro fig3` prints
+//! it directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::SimConfig;
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::{MatmulScalar, SpmvScalar};
+
+fn config(cores: usize) -> SimConfig {
+    SimConfig::builder()
+        .cores(cores)
+        .cores_per_tile(8)
+        .build()
+        .expect("valid config")
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let matmul = MatmulScalar::new(24, 1001);
+    let spmv = SpmvScalar::new(128, 128, 0.06, 1002);
+    for cores in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("matmul", cores), &cores, |b, &cores| {
+            b.iter(|| run_workload(&matmul, config(cores)).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("spmv", cores), &cores, |b, &cores| {
+            b.iter(|| run_workload(&spmv, config(cores)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

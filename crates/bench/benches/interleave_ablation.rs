@@ -1,0 +1,35 @@
+//! Interleaving ablation bench: host cost of the same simulation with
+//! Spike-style instruction batching re-enabled (factor > 1). The paper
+//! attributes its low-core Figure 3 bottleneck to running with the
+//! equivalent of factor 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::SimConfig;
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulScalar;
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interleave_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = MatmulScalar::new(20, 2001);
+    for factor in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("1core", factor),
+            &factor,
+            |b, &factor| {
+                let config = SimConfig::builder()
+                    .cores(1)
+                    .interleave(factor)
+                    .build()
+                    .expect("valid config");
+                b.iter(|| run_workload(&workload, config).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleave);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Kernel-suite bench: host cost of simulating each of the paper's six
+//! kernels under the default configuration (the statistics table comes
+//! from `repro kernels`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use coyote::SimConfig;
+use coyote_kernels::workload::{run_workload, Workload};
+use coyote_kernels::{
+    MatmulScalar, MatmulVector, SpmvScalar, SpmvVectorAdaptive, SpmvVectorCsr, SpmvVectorEll,
+    StencilVector,
+};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let ms = MatmulScalar::new(16, 2009);
+    let mv = MatmulVector::new(16, 2009);
+    let ss = SpmvScalar::new(64, 64, 0.05, 2010);
+    let sc = SpmvVectorCsr::new(64, 64, 0.05, 2010);
+    let se = SpmvVectorEll::new(64, 64, 0.05, 2010);
+    let sa = SpmvVectorAdaptive::new(64, 64, 0.05, 2010);
+    let st = StencilVector::new(18, 18, 2, 2011);
+    let workloads: [&dyn Workload; 7] = [&ms, &mv, &ss, &sc, &se, &sa, &st];
+    let config = SimConfig::builder()
+        .cores(8)
+        .cores_per_tile(8)
+        .build()
+        .expect("valid config");
+    for workload in workloads {
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| run_workload(workload, config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! L2-geometry bench: host cost across bank-capacity and MSHR settings
+//! (the miss-rate/stall table comes from `repro l2sweep`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::{L2Config, SimConfig};
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulVector;
+
+fn bench_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = MatmulVector::new(24, 2006);
+    for size_kib in [64u64, 256, 1024] {
+        for mshrs in [2usize, 64] {
+            let l2 = L2Config {
+                bank_size_bytes: size_kib * 1024,
+                mshrs,
+                ..L2Config::default()
+            };
+            let id = format!("{size_kib}KiB/{mshrs}mshr");
+            group.bench_with_input(BenchmarkId::new("matmul", id), &l2, |b, &l2| {
+                let config = SimConfig::builder()
+                    .cores(16)
+                    .cores_per_tile(8)
+                    .l2(l2)
+                    .build()
+                    .expect("valid config");
+                b.iter(|| run_workload(&workload, config).expect("runs"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_l2);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Mapping-policy bench: page-to-bank vs. set-interleaving host cost
+//! (the bank-imbalance table comes from `repro mapping`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::{MappingPolicy, SimConfig};
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulVector;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_policy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = MatmulVector::new(24, 2004);
+    for policy in [MappingPolicy::page_to_bank(), MappingPolicy::SetInterleave] {
+        group.bench_with_input(
+            BenchmarkId::new("matmul", policy.name()),
+            &policy,
+            |b, &policy| {
+                let config = SimConfig::builder()
+                    .cores(16)
+                    .cores_per_tile(8)
+                    .mapping(policy)
+                    .build()
+                    .expect("valid config");
+                b.iter(|| run_workload(&workload, config).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

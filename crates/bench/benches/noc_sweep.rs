@@ -1,0 +1,51 @@
+//! NoC bench: crossbar latencies and the mesh extension (the
+//! simulated-cycle table comes from `repro noc`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::{NocModel, SimConfig};
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::SpmvVectorCsr;
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = SpmvVectorCsr::new(96, 96, 0.05, 2007);
+    let mut models: Vec<(String, NocModel)> = [1u64, 16, 64]
+        .iter()
+        .map(|&lat| {
+            (
+                format!("crossbar{lat}"),
+                NocModel::IdealCrossbar {
+                    request_latency: lat,
+                    response_latency: lat,
+                },
+            )
+        })
+        .collect();
+    models.push((
+        "mesh4x4".to_owned(),
+        NocModel::Mesh {
+            width: 4,
+            height: 4,
+            hop_latency: 2,
+            base_latency: 2,
+        },
+    ));
+    for (name, model) in models {
+        group.bench_with_input(BenchmarkId::new("spmv", &name), &model, |b, &model| {
+            let config = SimConfig::builder()
+                .cores(16)
+                .cores_per_tile(8)
+                .noc(model)
+                .build()
+                .expect("valid config");
+            b.iter(|| run_workload(&workload, config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

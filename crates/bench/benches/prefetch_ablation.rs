@@ -1,0 +1,31 @@
+//! Prefetch-degree bench: host cost of the simulation at increasing L2
+//! next-line prefetch degrees (the simulated-cycle/usefulness table
+//! comes from `repro prefetch`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::SimConfig;
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulVector;
+
+fn bench_prefetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetch_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = MatmulVector::new(24, 2015);
+    for degree in [0usize, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("matmul", degree), &degree, |b, &degree| {
+            let config = SimConfig::builder()
+                .cores(16)
+                .cores_per_tile(8)
+                .prefetch_degree(degree)
+                .build()
+                .expect("valid config");
+            b.iter(|| run_workload(&workload, config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch);
+criterion_main!(benches);

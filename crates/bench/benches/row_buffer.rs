@@ -1,0 +1,43 @@
+//! Memory-controller row-buffer bench: flat vs. open-page MC models
+//! (the row-hit table comes from `repro rowbuffer`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coyote::{McConfig, SimConfig};
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulVector;
+
+fn bench_row_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_buffer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let workload = MatmulVector::new(24, 2017);
+    let models = [
+        ("flat", McConfig::default()),
+        (
+            "open_page_row_interleave",
+            McConfig {
+                row_bytes: 2048,
+                row_hit_latency: 60,
+                row_miss_latency: 160,
+                interleave_bytes: 2048,
+                ..McConfig::default()
+            },
+        ),
+    ];
+    for (name, mc) in models {
+        group.bench_with_input(BenchmarkId::new("matmul", name), &mc, |b, &mc| {
+            let config = SimConfig::builder()
+                .cores(16)
+                .cores_per_tile(8)
+                .mc(mc)
+                .build()
+                .expect("valid config");
+            b.iter(|| run_workload(&workload, config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_buffer);
+criterion_main!(benches);

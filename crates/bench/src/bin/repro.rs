@@ -1,0 +1,94 @@
+//! The reproduction driver: regenerates every table and figure series
+//! recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! repro [--quick] all
+//! ```
+//!
+//! Experiments: `fig3`, `interleave`, `l2share`, `mapping`, `l2sweep`,
+//! `noc`, `kernels`, `vector`, `trace`.
+
+use std::process::ExitCode;
+
+use coyote_bench::{experiments, fig3, Scale};
+
+fn print_experiment(name: &str, scale: Scale) -> bool {
+    println!("== {name} ({scale:?}) ==");
+    let table = match name {
+        "fig3" => fig3::table(&fig3::run(scale)),
+        "fig3weak" => fig3::table(&fig3::run_weak(scale)),
+        "interleave" => experiments::interleave_ablation(scale),
+        "l2share" => experiments::l2_sharing(scale),
+        "mapping" => experiments::mapping_policy(scale),
+        "l2sweep" => experiments::l2_sweep(scale),
+        "noc" => experiments::noc_sweep(scale),
+        "kernels" => experiments::kernel_suite(scale),
+        "vector" => experiments::vector_comparison(scale),
+        "prefetch" => experiments::prefetch_ablation(scale),
+        "rowbuffer" => experiments::row_buffer(scale),
+        "trace" => {
+            let path = std::path::Path::new("target/stencil_trace");
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let t = experiments::trace_demo(scale, Some(path));
+            println!("trace written to target/stencil_trace.prv (+ .pcf)");
+            t
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            return false;
+        }
+    };
+    println!("{table}");
+    true
+}
+
+const ALL: [&str; 12] = [
+    "fig3",
+    "fig3weak",
+    "interleave",
+    "l2share",
+    "mapping",
+    "l2sweep",
+    "noc",
+    "kernels",
+    "vector",
+    "prefetch",
+    "rowbuffer",
+    "trace",
+];
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] <experiment>... | all");
+                println!("experiments: {}", ALL.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: repro [--quick] <experiment>... | all");
+        eprintln!("experiments: {}", ALL.join(", "));
+        return ExitCode::FAILURE;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    let mut ok = true;
+    for name in &names {
+        ok &= print_experiment(name, scale);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal fixed-width table printing for the reproduction harness.
+
+/// A printable table: header plus rows of equally many cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn push<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with padded columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        emit(&mut out, &rule);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = Table::new(["cores", "mips"]);
+        t.push(["1", "0.52"]);
+        t.push(["128", "6.01"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "cores  mips");
+        assert_eq!(lines[1], "-----  ----");
+        assert_eq!(lines[2], "1      0.52");
+        assert_eq!(lines[3], "128    6.01");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only-one"]);
+    }
+}

@@ -1,0 +1,213 @@
+//! `coyote-sim`: run a RISC-V assembly file on the Coyote simulator.
+//!
+//! ```text
+//! coyote-sim program.s [options]
+//!
+//!   --cores N            simulated cores (default 1)
+//!   --cores-per-tile N   tile width (default 8)
+//!   --banks-per-tile N   L2 banks per tile (default 4)
+//!   --l2-private         tile-private L2 (default shared)
+//!   --mapping page|set   bank mapping policy (default set)
+//!   --noc-latency N      crossbar request/response latency
+//!   --mesh WxH           use a 2D mesh NoC instead of the crossbar
+//!   --prefetch N         L2 next-line prefetch degree (default 0)
+//!   --interleave N       instructions per core per cycle (default 1)
+//!   --max-cycles N       cycle budget (default 2e9)
+//!   --trace FILE         write a Paraver trace to FILE(.prv/.pcf)
+//! ```
+//!
+//! The program's console output (ecall 64) is printed; the process exit
+//! code is the maximum hart exit code.
+
+use std::process::ExitCode;
+
+use coyote::{L2Sharing, MappingPolicy, NocModel, SimConfig, Simulation};
+
+struct Options {
+    source: String,
+    config: SimConfig,
+    trace_path: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut source = None;
+    let mut builder = SimConfig::builder().cores(1);
+    let mut trace_path = None;
+    let mut mesh: Option<(usize, usize)> = None;
+    let mut noc_latency: Option<u64> = None;
+
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cores" => {
+                builder = builder.cores(
+                    value(&mut args, "--cores")?
+                        .parse()
+                        .map_err(|e| format!("--cores: {e}"))?,
+                );
+            }
+            "--cores-per-tile" => {
+                builder = builder.cores_per_tile(
+                    value(&mut args, "--cores-per-tile")?
+                        .parse()
+                        .map_err(|e| format!("--cores-per-tile: {e}"))?,
+                );
+            }
+            "--banks-per-tile" => {
+                builder = builder.banks_per_tile(
+                    value(&mut args, "--banks-per-tile")?
+                        .parse()
+                        .map_err(|e| format!("--banks-per-tile: {e}"))?,
+                );
+            }
+            "--l2-private" => builder = builder.sharing(L2Sharing::Private),
+            "--mapping" => {
+                let policy = match value(&mut args, "--mapping")?.as_str() {
+                    "page" => MappingPolicy::page_to_bank(),
+                    "set" => MappingPolicy::SetInterleave,
+                    other => return Err(format!("unknown mapping `{other}` (page|set)")),
+                };
+                builder = builder.mapping(policy);
+            }
+            "--noc-latency" => {
+                noc_latency = Some(
+                    value(&mut args, "--noc-latency")?
+                        .parse()
+                        .map_err(|e| format!("--noc-latency: {e}"))?,
+                );
+            }
+            "--mesh" => {
+                let spec = value(&mut args, "--mesh")?;
+                let (w, h) = spec
+                    .split_once('x')
+                    .ok_or_else(|| format!("--mesh takes WxH, got `{spec}`"))?;
+                mesh = Some((
+                    w.parse().map_err(|e| format!("--mesh width: {e}"))?,
+                    h.parse().map_err(|e| format!("--mesh height: {e}"))?,
+                ));
+            }
+            "--prefetch" => {
+                builder = builder.prefetch_degree(
+                    value(&mut args, "--prefetch")?
+                        .parse()
+                        .map_err(|e| format!("--prefetch: {e}"))?,
+                );
+            }
+            "--interleave" => {
+                builder = builder.interleave(
+                    value(&mut args, "--interleave")?
+                        .parse()
+                        .map_err(|e| format!("--interleave: {e}"))?,
+                );
+            }
+            "--max-cycles" => {
+                builder = builder.max_cycles(
+                    value(&mut args, "--max-cycles")?
+                        .parse()
+                        .map_err(|e| format!("--max-cycles: {e}"))?,
+                );
+            }
+            "--trace" => {
+                trace_path = Some(value(&mut args, "--trace")?);
+                builder = builder.trace(true);
+            }
+            "--help" | "-h" => {
+                println!("usage: coyote-sim <program.s> [options]");
+                println!("  --cores N            simulated cores (default 1)");
+                println!("  --cores-per-tile N   tile width (default 8)");
+                println!("  --banks-per-tile N   L2 banks per tile (default 4)");
+                println!("  --l2-private         tile-private L2 (default shared)");
+                println!("  --mapping page|set   bank mapping policy (default set)");
+                println!("  --noc-latency N      crossbar request/response latency");
+                println!("  --mesh WxH           2D mesh NoC instead of the crossbar");
+                println!("  --prefetch N         L2 next-line prefetch degree (default 0)");
+                println!("  --interleave N       instructions per core per cycle (default 1)");
+                println!("  --max-cycles N       cycle budget");
+                println!("  --trace FILE         write a Paraver trace to FILE(.prv/.pcf)");
+                std::process::exit(0);
+            }
+            other if source.is_none() && !other.starts_with('-') => {
+                source = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some((w, h)) = mesh {
+        builder = builder.noc(NocModel::Mesh {
+            width: w,
+            height: h,
+            hop_latency: noc_latency.unwrap_or(2),
+            base_latency: 2,
+        });
+    } else if let Some(lat) = noc_latency {
+        builder = builder.noc(NocModel::IdealCrossbar {
+            request_latency: lat,
+            response_latency: lat,
+        });
+    }
+
+    Ok(Options {
+        source: source.ok_or("no input file given (try --help)")?,
+        config: builder.build().map_err(|e| e.to_string())?,
+        trace_path,
+    })
+}
+
+fn run(options: &Options) -> Result<i64, String> {
+    let text = std::fs::read_to_string(&options.source)
+        .map_err(|e| format!("{}: {e}", options.source))?;
+    let program = coyote_asm::assemble(&text).map_err(|e| format!("{}: {e}", options.source))?;
+    let mut sim =
+        Simulation::new(options.config, &program).map_err(|e| e.to_string())?;
+    let report = sim.run().map_err(|e| e.to_string())?;
+
+    let console = report.console_string();
+    if !console.is_empty() {
+        print!("{console}");
+        if !console.ends_with('\n') {
+            println!();
+        }
+    }
+    eprintln!("{report}");
+
+    if let Some(path) = &options.trace_path {
+        let trace = sim.trace().expect("tracing was enabled");
+        let base = std::path::Path::new(path);
+        let prv = base.with_extension("prv");
+        let pcf = base.with_extension("pcf");
+        trace
+            .write_prv(std::fs::File::create(&prv).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        trace
+            .write_pcf(std::fs::File::create(&pcf).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        eprintln!("trace: {} (+ {})", prv.display(), pcf.display());
+    }
+
+    Ok(report
+        .exit_codes()
+        .map(|codes| codes.into_iter().max().unwrap_or(0))
+        .unwrap_or(-1))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("coyote-sim: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(code) => ExitCode::from((code & 0xff) as u8),
+        Err(message) => {
+            eprintln!("coyote-sim: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

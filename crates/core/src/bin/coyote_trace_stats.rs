@@ -1,0 +1,158 @@
+//! `coyote-trace-stats`: summarize a Coyote-produced Paraver trace
+//! without the Paraver GUI.
+//!
+//! ```text
+//! coyote-trace-stats trace.prv [--top N]
+//! ```
+//!
+//! Prints per-core state breakdowns (running / dependency-stall /
+//! fetch-stall fractions), miss counts by kind, the hottest cache
+//! lines and the busiest 10%-of-runtime window — the first-order
+//! analyses the paper describes doing in Paraver ("identifying access
+//! patterns or analyzing how and when the L2 banks, NoC, or memory are
+//! stressed").
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use coyote::trace::{STATE_DEP_STALL, STATE_FETCH_STALL, STATE_RUNNING};
+use coyote::Trace;
+use coyote_iss::MissKind;
+
+fn run(path: &str, top: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::parse_prv(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let horizon = trace
+        .events()
+        .iter()
+        .map(|e| e.cycle)
+        .chain(trace.states().iter().map(|s| s.end))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    println!("trace: {} events over {} cycles", trace.len(), horizon);
+
+    // ---- per-core state breakdown ----
+    let cores = trace
+        .states()
+        .iter()
+        .map(|s| s.core)
+        .chain(trace.events().iter().map(|e| e.core))
+        .max()
+        .map_or(0, |c| c + 1);
+    if !trace.states().is_empty() {
+        println!("\nper-core time breakdown:");
+        println!("  core  running%  dep-stall%  fetch-stall%");
+        for core in 0..cores {
+            let mut running = 0u64;
+            let mut dep = 0u64;
+            let mut fetch = 0u64;
+            for interval in trace.states().iter().filter(|s| s.core == core) {
+                let span = interval.end - interval.start;
+                match interval.state {
+                    s if s == STATE_RUNNING => running += span,
+                    s if s == STATE_DEP_STALL => dep += span,
+                    s if s == STATE_FETCH_STALL => fetch += span,
+                    _ => {}
+                }
+            }
+            let total = (running + dep + fetch).max(1) as f64;
+            println!(
+                "  {core:>4}  {:>7.1}%  {:>9.1}%  {:>11.1}%",
+                100.0 * running as f64 / total,
+                100.0 * dep as f64 / total,
+                100.0 * fetch as f64 / total,
+            );
+        }
+    }
+
+    // ---- miss mix ----
+    println!("\nmiss mix:");
+    for (kind, label) in [
+        (MissKind::Ifetch, "instruction fetch"),
+        (MissKind::Load, "data load"),
+        (MissKind::Store, "data store"),
+        (MissKind::Writeback, "writeback"),
+    ] {
+        let count = trace.events().iter().filter(|e| e.kind == kind).count();
+        println!("  {label:<18} {count}");
+    }
+
+    // ---- hottest lines ----
+    let mut per_line: HashMap<u64, usize> = HashMap::new();
+    for event in trace.events() {
+        *per_line.entry(event.line_addr).or_default() += 1;
+    }
+    let mut hot: Vec<(u64, usize)> = per_line.into_iter().collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("\nhottest lines:");
+    for (addr, count) in hot.iter().take(top) {
+        println!("  {addr:#012x}  {count} misses");
+    }
+
+    // ---- busiest window (10% of the horizon) ----
+    let window = (horizon / 10).max(1);
+    let mut best_start = 0u64;
+    let mut best_count = 0usize;
+    let mut cycles: Vec<u64> = trace.events().iter().map(|e| e.cycle).collect();
+    cycles.sort_unstable();
+    let mut lo = 0usize;
+    for hi in 0..cycles.len() {
+        while cycles[hi] - cycles[lo] > window {
+            lo += 1;
+        }
+        if hi - lo + 1 > best_count {
+            best_count = hi - lo + 1;
+            best_start = cycles[lo];
+        }
+    }
+    if best_count > 0 {
+        println!(
+            "\nbusiest window: {} misses in cycles {}..{} ({:.1}% of all misses in 10% of time)",
+            best_count,
+            best_start,
+            best_start + window,
+            100.0 * best_count as f64 / trace.len().max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut top = 8usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => {
+                    eprintln!("--top needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: coyote-trace-stats <trace.prv> [--top N]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: coyote-trace-stats <trace.prv> [--top N]");
+        return ExitCode::FAILURE;
+    };
+    match run(&path, top) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("coyote-trace-stats: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

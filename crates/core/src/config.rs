@@ -1,0 +1,363 @@
+//! Simulation configuration.
+//!
+//! Gathers every knob the paper names: core count and tiling, L1 and L2
+//! geometry, L2 sharing, data-mapping policy, NoC latencies, memory
+//! controllers, VLEN — plus the Spike-interleaving ablation control.
+
+use coyote_iss::{CacheConfig, CoreConfig};
+use coyote_mem::hierarchy::{HierarchyConfig, L2Sharing};
+use coyote_mem::l2::L2Config;
+use coyote_mem::mapping::MappingPolicy;
+use coyote_mem::mc::McConfig;
+use coyote_mem::noc::NocModel;
+use std::fmt;
+
+/// Complete configuration of a Coyote simulation.
+///
+/// Build with [`SimConfig::builder`]; `SimConfig::default()` models a
+/// single 8-core tile resembling one ACME VAS tile.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Total simulated cores.
+    pub cores: usize,
+    /// Cores per tile (the paper's VAS tile holds 8).
+    pub cores_per_tile: usize,
+    /// L2 banks per tile.
+    pub banks_per_tile: usize,
+    /// Per-core configuration (L1s + VLEN).
+    pub core: CoreConfig,
+    /// Per-bank L2 configuration.
+    pub l2: L2Config,
+    /// Shared vs. tile-private L2.
+    pub sharing: L2Sharing,
+    /// Bank-mapping policy.
+    pub mapping: MappingPolicy,
+    /// NoC model.
+    pub noc: NocModel,
+    /// Memory controllers.
+    pub mc: McConfig,
+    /// L2 next-line prefetch degree (0 disables, the paper's baseline).
+    pub prefetch_degree: usize,
+    /// Instructions each active core executes per simulated cycle.
+    ///
+    /// Coyote runs with 1 (interleaving disabled, the paper's timing
+    /// model); larger values reproduce Spike's back-to-back
+    /// interleaving as an ablation of the Figure 3 bottleneck
+    /// discussion.
+    pub interleave: usize,
+    /// Cycle budget before [`crate::sim::RunError::CycleLimit`].
+    pub max_cycles: u64,
+    /// Whether to collect the Paraver L1-miss trace.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 8,
+            cores_per_tile: 8,
+            banks_per_tile: 4,
+            core: CoreConfig::default(),
+            l2: L2Config::default(),
+            sharing: L2Sharing::Shared,
+            mapping: MappingPolicy::SetInterleave,
+            noc: NocModel::default(),
+            mc: McConfig::default(),
+            prefetch_degree: 0,
+            interleave: 1,
+            max_cycles: 2_000_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Starts a builder from the defaults.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Number of tiles implied by `cores` and `cores_per_tile`.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_tile)
+    }
+
+    /// The tile hosting a core.
+    #[must_use]
+    pub fn tile_of_core(&self, core: usize) -> usize {
+        core / self.cores_per_tile
+    }
+
+    /// Derives the hierarchy configuration.
+    #[must_use]
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        HierarchyConfig {
+            tiles: self.tiles(),
+            banks_per_tile: self.banks_per_tile,
+            l2: self.l2,
+            sharing: self.sharing,
+            mapping: self.mapping,
+            noc: self.noc,
+            mc: self.mc,
+            prefetch_degree: self.prefetch_degree,
+        }
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("core count must be positive"));
+        }
+        if self.cores_per_tile == 0 {
+            return Err(ConfigError::new("cores_per_tile must be positive"));
+        }
+        if self.interleave == 0 {
+            return Err(ConfigError::new("interleave must be at least 1"));
+        }
+        self.core
+            .l1i
+            .validate()
+            .map_err(|m| ConfigError::new(format!("l1i: {m}")))?;
+        self.core
+            .l1d
+            .validate()
+            .map_err(|m| ConfigError::new(format!("l1d: {m}")))?;
+        if self.core.l1d.line_bytes != self.l2.line_bytes
+            || self.core.l1i.line_bytes != self.l2.line_bytes
+        {
+            return Err(ConfigError::new(
+                "L1 and L2 line sizes must match (line-granular hierarchy requests)",
+            ));
+        }
+        self.hierarchy()
+            .validate()
+            .map_err(ConfigError::new)?;
+        Ok(())
+    }
+}
+
+/// Error describing an invalid [`SimConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulation config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`SimConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use coyote::config::SimConfig;
+/// use coyote_mem::hierarchy::L2Sharing;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SimConfig::builder()
+///     .cores(16)
+///     .cores_per_tile(8)
+///     .sharing(L2Sharing::Private)
+///     .build()?;
+/// assert_eq!(config.tiles(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the total core count.
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets the cores per tile.
+    #[must_use]
+    pub fn cores_per_tile(mut self, n: usize) -> Self {
+        self.config.cores_per_tile = n;
+        self
+    }
+
+    /// Sets the L2 banks per tile.
+    #[must_use]
+    pub fn banks_per_tile(mut self, n: usize) -> Self {
+        self.config.banks_per_tile = n;
+        self
+    }
+
+    /// Sets the per-core configuration.
+    #[must_use]
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.config.core = core;
+        self
+    }
+
+    /// Sets the L1D geometry.
+    #[must_use]
+    pub fn l1d(mut self, l1d: CacheConfig) -> Self {
+        self.config.core.l1d = l1d;
+        self
+    }
+
+    /// Sets the L1I geometry.
+    #[must_use]
+    pub fn l1i(mut self, l1i: CacheConfig) -> Self {
+        self.config.core.l1i = l1i;
+        self
+    }
+
+    /// Sets the per-bank L2 configuration.
+    #[must_use]
+    pub fn l2(mut self, l2: L2Config) -> Self {
+        self.config.l2 = l2;
+        self
+    }
+
+    /// Sets L2 sharing.
+    #[must_use]
+    pub fn sharing(mut self, sharing: L2Sharing) -> Self {
+        self.config.sharing = sharing;
+        self
+    }
+
+    /// Sets the mapping policy.
+    #[must_use]
+    pub fn mapping(mut self, mapping: MappingPolicy) -> Self {
+        self.config.mapping = mapping;
+        self
+    }
+
+    /// Sets the NoC model.
+    #[must_use]
+    pub fn noc(mut self, noc: NocModel) -> Self {
+        self.config.noc = noc;
+        self
+    }
+
+    /// Sets the memory-controller configuration.
+    #[must_use]
+    pub fn mc(mut self, mc: McConfig) -> Self {
+        self.config.mc = mc;
+        self
+    }
+
+    /// Sets the L2 next-line prefetch degree (0 disables).
+    #[must_use]
+    pub fn prefetch_degree(mut self, degree: usize) -> Self {
+        self.config.prefetch_degree = degree;
+        self
+    }
+
+    /// Sets the interleaving factor (1 = Coyote's timing model).
+    #[must_use]
+    pub fn interleave(mut self, interleave: usize) -> Self {
+        self.config.interleave = interleave;
+        self
+    }
+
+    /// Sets the cycle budget.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.config.max_cycles = max_cycles;
+        self
+    }
+
+    /// Enables or disables trace collection.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn tiles_round_up() {
+        let c = SimConfig::builder()
+            .cores(12)
+            .cores_per_tile(8)
+            .build()
+            .unwrap();
+        assert_eq!(c.tiles(), 2);
+        assert_eq!(c.tile_of_core(0), 0);
+        assert_eq!(c.tile_of_core(7), 0);
+        assert_eq!(c.tile_of_core(8), 1);
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        assert!(SimConfig::builder().cores(0).build().is_err());
+    }
+
+    #[test]
+    fn mismatched_line_sizes_rejected() {
+        let l2 = L2Config {
+            line_bytes: 128,
+            ..L2Config::default()
+        };
+        let err = SimConfig::builder().l2(l2).build().unwrap_err();
+        assert!(err.to_string().contains("line sizes"));
+    }
+
+    #[test]
+    fn zero_interleave_rejected() {
+        assert!(SimConfig::builder().interleave(0).build().is_err());
+    }
+
+    #[test]
+    fn hierarchy_reflects_topology() {
+        let c = SimConfig::builder()
+            .cores(32)
+            .cores_per_tile(8)
+            .banks_per_tile(2)
+            .build()
+            .unwrap();
+        let h = c.hierarchy();
+        assert_eq!(h.tiles, 4);
+        assert_eq!(h.total_banks(), 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Simulation report: the statistics the paper says Coyote outputs
+//! ("statistics about memory accesses (miss rates, number of stalls due
+//! to dependencies, etc.), the execution time of the simulated
+//! application"), plus host-side throughput for the Figure 3
+//! reproduction.
+
+use std::fmt;
+use std::time::Duration;
+
+use coyote_iss::{CacheStats, CoreStats};
+use coyote_mem::hierarchy::HierarchyStats;
+
+/// Per-core slice of a report.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Core counters (retired, stalls, …).
+    pub stats: CoreStats,
+    /// L1I counters.
+    pub l1i: CacheStats,
+    /// L1D counters.
+    pub l1d: CacheStats,
+    /// Exit code, if the core halted.
+    pub exit_code: Option<i64>,
+    /// Console bytes the core printed.
+    pub console: Vec<u8>,
+}
+
+/// Complete result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Simulated execution time in cycles.
+    pub cycles: u64,
+    /// Per-core results.
+    pub cores: Vec<CoreReport>,
+    /// Memory-hierarchy counters.
+    pub hierarchy: HierarchyStats,
+    /// Host wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl Report {
+    /// Total instructions retired across cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.retired).sum()
+    }
+
+    /// Aggregate simulation throughput in simulated MIPS
+    /// (million instructions per host second) — the Figure 3 metric.
+    #[must_use]
+    pub fn host_mips(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_retired() as f64 / secs / 1.0e6
+        }
+    }
+
+    /// Aggregate instructions per simulated cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Combined L1D miss rate.
+    #[must_use]
+    pub fn l1d_miss_rate(&self) -> f64 {
+        let hits: u64 = self.cores.iter().map(|c| c.l1d.hits).sum();
+        let misses: u64 = self.cores.iter().map(|c| c.l1d.misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            misses as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Total cycles cores spent stalled on RAW dependencies.
+    #[must_use]
+    pub fn total_dep_stall_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.dep_stall_cycles).sum()
+    }
+
+    /// All cores' exit codes, if all halted.
+    #[must_use]
+    pub fn exit_codes(&self) -> Option<Vec<i64>> {
+        self.cores.iter().map(|c| c.exit_code).collect()
+    }
+
+    /// Concatenated console output in core order.
+    #[must_use]
+    pub fn console_string(&self) -> String {
+        let mut out = String::new();
+        for core in &self.cores {
+            out.push_str(&String::from_utf8_lossy(&core.console));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles: {}  instructions: {}  IPC: {:.3}  host MIPS: {:.2}",
+            self.cycles,
+            self.total_retired(),
+            self.ipc(),
+            self.host_mips()
+        )?;
+        writeln!(
+            f,
+            "L1D miss rate: {:.2}%  L2 miss rate: {:.2}%  dep-stall cycles: {}",
+            self.l1d_miss_rate() * 100.0,
+            self.hierarchy.l2_miss_rate() * 100.0,
+            self.total_dep_stall_cycles()
+        )?;
+        for (i, core) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "  core {i}: {} retired, {} dep stalls ({} cycles), L1D {:.1}% miss, exit {:?}",
+                core.stats.retired,
+                core.stats.dep_stalls,
+                core.stats.dep_stall_cycles,
+                core.l1d.miss_rate() * 100.0,
+                core.exit_code
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        let core = CoreReport {
+            stats: CoreStats {
+                retired: 500,
+                dep_stall_cycles: 100,
+                dep_stalls: 10,
+                ..CoreStats::default()
+            },
+            l1i: CacheStats::default(),
+            l1d: CacheStats {
+                hits: 90,
+                misses: 10,
+                writebacks: 0,
+            },
+            exit_code: Some(0),
+            console: b"ok".to_vec(),
+        };
+        Report {
+            cycles: 1000,
+            cores: vec![core.clone(), core],
+            hierarchy: HierarchyStats::default(),
+            wall_time: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let r = report();
+        assert_eq!(r.total_retired(), 1000);
+        assert_eq!(r.ipc(), 1.0);
+        assert_eq!(r.l1d_miss_rate(), 0.1);
+        assert_eq!(r.total_dep_stall_cycles(), 200);
+        // 1000 instructions / 0.01 s = 100k inst/s = 0.1 MIPS.
+        assert!((r.host_mips() - 0.1).abs() < 1e-9);
+        assert_eq!(r.exit_codes(), Some(vec![0, 0]));
+        assert_eq!(r.console_string(), "okok");
+    }
+
+    #[test]
+    fn partial_halt_yields_no_exit_codes() {
+        let mut r = report();
+        r.cores[1].exit_code = None;
+        assert_eq!(r.exit_codes(), None);
+    }
+
+    #[test]
+    fn display_mentions_key_metrics() {
+        let text = report().to_string();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("core 0"));
+        assert!(text.contains("L1D miss rate"));
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let r = Report {
+            cycles: 0,
+            cores: Vec::new(),
+            hierarchy: HierarchyStats::default(),
+            wall_time: Duration::ZERO,
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.host_mips(), 0.0);
+        assert_eq!(r.l1d_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,608 @@
+//! The Orchestrator: couples the functional cores (Spike substitute)
+//! with the event-driven hierarchy (Sparta substitute).
+//!
+//! Per the paper, every cycle the Orchestrator "first tries to simulate
+//! an instruction on each of the active cores"; detected RAW
+//! dependencies deactivate cores, L1 misses are "enqueued into Sparta",
+//! and then the event model is advanced "to keep it in sync with the
+//! rest of the simulation", waking stalled cores whose misses were
+//! serviced.
+
+use std::fmt;
+use std::time::Instant;
+
+use coyote_asm::Program;
+use coyote_iss::core::{Core, CoreState, DecodedText};
+use coyote_iss::{MissKind, SimError, SparseMemory};
+use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
+
+use crate::config::{ConfigError, SimConfig};
+use crate::report::{CoreReport, Report};
+use crate::trace::{StateInterval, Trace, TraceEvent};
+
+/// Error terminating a simulation run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// A core faulted (illegal instruction, unsupported vector config).
+    Core {
+        /// Which core faulted.
+        core: usize,
+        /// The underlying fault.
+        source: SimError,
+    },
+    /// No core can ever make progress again (all stalled or halted with
+    /// an idle hierarchy) — indicates a kernel or simulator bug.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// The configured cycle budget was exhausted.
+    CycleLimit {
+        /// The budget that was exceeded.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "{e}"),
+            RunError::Core { core, source } => write!(f, "core {core}: {source}"),
+            RunError::Deadlock { cycle } => write!(f, "deadlock at cycle {cycle}"),
+            RunError::CycleLimit { cycles } => write!(f, "cycle limit {cycles} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            RunError::Core { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+/// Maps a core state to its Paraver state value.
+fn state_code(state: CoreState) -> u64 {
+    match state {
+        CoreState::Active => crate::trace::STATE_RUNNING,
+        CoreState::StalledDep => crate::trace::STATE_DEP_STALL,
+        CoreState::StalledFetch => crate::trace::STATE_FETCH_STALL,
+        CoreState::Halted(_) => crate::trace::STATE_HALTED,
+    }
+}
+
+/// Encodes (core, miss kind) into a hierarchy request tag.
+fn encode_tag(core: usize, kind: MissKind) -> u64 {
+    let code = match kind {
+        MissKind::Ifetch => 0u64,
+        MissKind::Load => 1,
+        MissKind::Store => 2,
+        MissKind::Writeback => 3,
+    };
+    ((core as u64) << 2) | code
+}
+
+/// Decodes a hierarchy completion tag back to (core, kind).
+fn decode_tag(tag: u64) -> (usize, MissKind) {
+    let kind = match tag & 0b11 {
+        0 => MissKind::Ifetch,
+        1 => MissKind::Load,
+        2 => MissKind::Store,
+        _ => MissKind::Writeback,
+    };
+    ((tag >> 2) as usize, kind)
+}
+
+/// A configured multicore simulation ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use coyote::{SimConfig, Simulation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = coyote_asm::assemble(
+///     "_start:
+///         csrr a0, mhartid
+///         li a7, 93
+///         ecall",
+/// )?;
+/// let config = SimConfig::builder().cores(4).build()?;
+/// let mut sim = Simulation::new(config, &program)?;
+/// let report = sim.run()?;
+/// assert_eq!(report.exit_codes(), Some(vec![0, 1, 2, 3]));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation {
+    config: SimConfig,
+    cores: Vec<Core>,
+    mem: SparseMemory,
+    text: DecodedText,
+    hierarchy: Hierarchy,
+    cycle: u64,
+    trace: Option<Trace>,
+    /// Per-core (state, since-cycle) for trace state intervals.
+    state_track: Vec<(CoreState, u64)>,
+    miss_buf: Vec<coyote_iss::MissRequest>,
+    completion_buf: Vec<Completion>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of `program` under `config`.
+    ///
+    /// All cores start at the program's entry point; kernels partition
+    /// work by reading `mhartid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Config`] for invalid configurations.
+    pub fn new(config: SimConfig, program: &Program) -> Result<Simulation, RunError> {
+        config.validate()?;
+        let mut mem = SparseMemory::new();
+        mem.load_program(program);
+        let text = DecodedText::from_program(program);
+        let cores = (0..config.cores)
+            .map(|i| Core::new(i, program.entry(), &config.core))
+            .collect();
+        let hierarchy = Hierarchy::new(config.hierarchy())
+            .map_err(|m| RunError::Config(ConfigError::new(m)))?;
+        Ok(Simulation {
+            cores,
+            mem,
+            text,
+            hierarchy,
+            cycle: 0,
+            trace: config.trace.then(|| Trace::new(config.cores)),
+            state_track: vec![(CoreState::Active, 0); config.cores],
+            miss_buf: Vec::new(),
+            completion_buf: Vec::new(),
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current simulated cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The functional memory (for verifying kernel results).
+    #[must_use]
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the functional memory, for populating workload
+    /// data before the run starts. Mutating memory mid-run bypasses the
+    /// cache model's view of traffic; call this only before
+    /// [`Simulation::run`].
+    #[must_use]
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// The simulated cores.
+    #[must_use]
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// The collected trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the simulation, returning the trace.
+    #[must_use]
+    pub fn into_trace(self) -> Option<Trace> {
+        self.trace
+    }
+
+    /// Runs until every core exits, producing the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on core faults, deadlock, or when
+    /// `max_cycles` is exceeded.
+    pub fn run(&mut self) -> Result<Report, RunError> {
+        let started = Instant::now();
+        loop {
+            if self.step_cycle()? {
+                return Ok(self.build_report(started.elapsed()));
+            }
+            if self.cycle >= self.config.max_cycles {
+                return Err(RunError::CycleLimit {
+                    cycles: self.config.max_cycles,
+                });
+            }
+        }
+    }
+
+    /// Advances the system by one orchestrator cycle.
+    ///
+    /// Returns `true` once every core has halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on core faults or deadlock.
+    pub fn step_cycle(&mut self) -> Result<bool, RunError> {
+        self.cycle += 1;
+        let cycle = self.cycle;
+
+        // 1. Attempt instructions on each active core (the interleave
+        //    factor reproduces Spike's back-to-back batching; Coyote
+        //    proper uses 1).
+        for core in &mut self.cores {
+            for _ in 0..self.config.interleave {
+                if core.state() != CoreState::Active {
+                    break;
+                }
+                core.step(&mut self.mem, &self.text, cycle, &mut self.miss_buf)
+                    .map_err(|source| RunError::Core {
+                        core: core.index(),
+                        source,
+                    })?;
+            }
+        }
+
+        // 2. Enqueue this cycle's L1 misses into the event model.
+        for miss in self.miss_buf.drain(..) {
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle,
+                    core: miss.core,
+                    kind: miss.kind,
+                    line_addr: miss.line_addr,
+                });
+            }
+            self.hierarchy.submit(
+                cycle,
+                Request {
+                    line_addr: miss.line_addr,
+                    tile: self.config.tile_of_core(miss.core),
+                    needs_response: miss.kind != MissKind::Writeback,
+                    tag: encode_tag(miss.core, miss.kind),
+                },
+            );
+        }
+
+        // 3. Advance the event model to the current cycle and service
+        //    completed misses (waking stalled cores).
+        self.hierarchy.advance(cycle, &mut self.completion_buf);
+        for completion in self.completion_buf.drain(..) {
+            let (core, kind) = decode_tag(completion.tag);
+            self.cores[core].complete_fill(completion.line_addr, kind, cycle);
+        }
+
+        // 4. Trace core-state intervals on transitions.
+        if self.trace.is_some() {
+            self.record_state_transitions(cycle);
+        }
+
+        // 5. Progress bookkeeping.
+        let mut all_halted = true;
+        let mut any_active = false;
+        for core in &self.cores {
+            match core.state() {
+                CoreState::Halted(_) => {}
+                CoreState::Active => {
+                    all_halted = false;
+                    any_active = true;
+                }
+                _ => all_halted = false,
+            }
+        }
+        if all_halted {
+            if self.trace.is_some() {
+                self.flush_state_intervals(cycle);
+            }
+            return Ok(true);
+        }
+        if !any_active {
+            // Every live core is stalled; fast-forward to the next
+            // hierarchy event (or report a deadlock if there is none).
+            match self.hierarchy.next_event_time() {
+                Some(t) => self.cycle = self.cycle.max(t.saturating_sub(1)),
+                None => return Err(RunError::Deadlock { cycle }),
+            }
+        }
+        Ok(false)
+    }
+
+    fn record_state_transitions(&mut self, cycle: u64) {
+        let trace = self.trace.as_mut().expect("tracing enabled");
+        for (core, track) in self.cores.iter().zip(&mut self.state_track) {
+            let current = core.state();
+            if current != track.0 {
+                trace.record_state(StateInterval {
+                    core: core.index(),
+                    start: track.1,
+                    end: cycle,
+                    state: state_code(track.0),
+                });
+                *track = (current, cycle);
+            }
+        }
+    }
+
+    fn flush_state_intervals(&mut self, cycle: u64) {
+        let trace = self.trace.as_mut().expect("tracing enabled");
+        for (core, track) in self.cores.iter().zip(&mut self.state_track) {
+            trace.record_state(StateInterval {
+                core: core.index(),
+                start: track.1,
+                end: cycle,
+                state: state_code(track.0),
+            });
+            *track = (core.state(), cycle);
+        }
+    }
+
+    fn build_report(&self, wall_time: std::time::Duration) -> Report {
+        Report {
+            cycles: self.cycle,
+            cores: self
+                .cores
+                .iter()
+                .map(|core| CoreReport {
+                    stats: core.stats(),
+                    l1i: core.icache_stats(),
+                    l1d: core.dcache_stats(),
+                    exit_code: match core.state() {
+                        CoreState::Halted(code) => Some(code),
+                        _ => None,
+                    },
+                    console: core.console().to_vec(),
+                })
+                .collect(),
+            hierarchy: self.hierarchy.stats(),
+            wall_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_asm::assemble;
+
+    fn run_program(src: &str, config: SimConfig) -> Report {
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for core in [0usize, 1, 7, 127] {
+            for kind in [
+                MissKind::Ifetch,
+                MissKind::Load,
+                MissKind::Store,
+                MissKind::Writeback,
+            ] {
+                assert_eq!(decode_tag(encode_tag(core, kind)), (core, kind));
+            }
+        }
+    }
+
+    #[test]
+    fn multicore_hart_partitioning() {
+        let src = "
+            .data
+            out: .zero 64
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, out
+                slli t2, t0, 3
+                add t1, t1, t2
+                addi t3, t0, 100
+                sd t3, 0(t1)
+                mv a0, t0
+                li a7, 93
+                ecall";
+        let config = SimConfig::builder().cores(8).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.exit_codes(), Some((0..8).collect()));
+        let base = program.symbol("out").unwrap();
+        for i in 0..8u64 {
+            assert_eq!(sim.memory().read_u64(base + i * 8), 100 + i);
+        }
+        assert!(report.cycles > 0);
+        assert!(report.total_retired() >= 8 * 8);
+    }
+
+    #[test]
+    fn stalls_are_counted_with_slow_memory() {
+        let src = "
+            .data
+            x: .dword 3
+            .text
+            _start:
+                la t0, x
+                ld t1, 0(t0)
+                addi t2, t1, 1   # RAW right behind the load
+                mv a0, t2
+                li a7, 93
+                ecall";
+        let report = run_program(src, SimConfig::builder().cores(1).build().unwrap());
+        assert_eq!(report.exit_codes(), Some(vec![4]));
+        assert!(report.total_dep_stall_cycles() > 0, "{report}");
+        assert!(report.cores[0].stats.dep_stalls >= 1);
+    }
+
+    #[test]
+    fn deadlock_reported_for_impossible_waits() {
+        // A program that never halts and only spins is NOT a deadlock
+        // (the core stays active) — it hits the cycle limit instead.
+        let src = "_start:\n j _start";
+        let config = SimConfig::builder().max_cycles(10_000).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        match sim.run() {
+            Err(RunError::CycleLimit { .. }) => {}
+            other => panic!("expected cycle limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleave_reduces_simulated_cycles() {
+        let src = "
+            _start:
+                li t0, 2000
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                li a0, 0
+                li a7, 93
+                ecall";
+        let base = run_program(src, SimConfig::builder().cores(1).build().unwrap());
+        let batched = run_program(
+            src,
+            SimConfig::builder().cores(1).interleave(8).build().unwrap(),
+        );
+        assert_eq!(base.total_retired(), batched.total_retired());
+        assert!(
+            batched.cycles * 4 < base.cycles,
+            "interleave should compress cycles: {} vs {}",
+            batched.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn trace_collects_misses() {
+        let src = "
+            .data
+            x: .dword 1
+            .text
+            _start:
+                la t0, x
+                ld t1, 0(t0)
+                mv a0, t1
+                li a7, 93
+                ecall";
+        let config = SimConfig::builder().cores(1).trace(true).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        sim.run().unwrap();
+        let trace = sim.trace().expect("tracing enabled");
+        assert!(!trace.is_empty());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == MissKind::Load));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == MissKind::Ifetch));
+    }
+
+    #[test]
+    fn trace_records_state_intervals() {
+        let src = "
+            .data
+            x: .dword 1
+            .text
+            _start:
+                la t0, x
+                ld t1, 0(t0)
+                addi t2, t1, 1   # RAW: guarantees a dep-stall interval
+                li a7, 93
+                li a0, 0
+                ecall";
+        let config = SimConfig::builder().cores(1).trace(true).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        sim.run().unwrap();
+        let trace = sim.trace().unwrap();
+        let states = trace.states();
+        assert!(!states.is_empty());
+        assert!(states
+            .iter()
+            .any(|s| s.state == crate::trace::STATE_DEP_STALL));
+        assert!(states
+            .iter()
+            .any(|s| s.state == crate::trace::STATE_RUNNING));
+        // Intervals for one core tile the timeline without overlap.
+        let mut cursor = 0;
+        for interval in states.iter().filter(|s| s.core == 0) {
+            assert!(interval.start >= cursor, "overlap at {interval:?}");
+            cursor = interval.end;
+        }
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let src = "
+            .data
+            buf: .zero 4096
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, buf
+                li t2, 64
+            loop:
+                slli t3, t0, 3
+                add t3, t1, t3
+                ld t4, 0(t3)
+                addi t4, t4, 1
+                sd t4, 0(t3)
+                addi t0, t0, 4
+                addi t2, t2, -1
+                bnez t2, loop
+                li a0, 0
+                li a7, 93
+                ecall";
+        let run = || {
+            let config = SimConfig::builder().cores(4).build().unwrap();
+            let program = assemble(src).unwrap();
+            let mut sim = Simulation::new(config, &program).unwrap();
+            let report = sim.run().unwrap();
+            let per_core: Vec<String> = report
+                .cores
+                .iter()
+                .map(|c| format!("{:?}/{:?}/{:?}", c.stats, c.l1d, c.exit_code))
+                .collect();
+            (
+                report.cycles,
+                report.total_retired(),
+                format!("{:?}{per_core:?}", report.hierarchy),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,459 @@
+//! Paraver-compatible L1-miss trace output.
+//!
+//! The paper: "Simulation outputs [...] a trace of L1 misses. This trace
+//! can be analyzed using the Paraver Visualization Tools". This module
+//! collects per-cycle miss events during simulation and serializes them
+//! as a Paraver `.prv` event trace (one application, one task per core)
+//! plus the matching `.pcf` configuration naming the event types.
+
+use std::io::{self, Write};
+
+use coyote_iss::MissKind;
+
+/// Paraver event type for L1 miss kind (value = [`kind_code`]).
+pub const EVENT_MISS_KIND: u64 = 42_000_001;
+/// Paraver event type carrying the missing line address.
+pub const EVENT_LINE_ADDR: u64 = 42_000_002;
+
+/// Paraver state value: the core is executing.
+pub const STATE_RUNNING: u64 = 1;
+/// Paraver state value: stalled on a register dependency.
+pub const STATE_DEP_STALL: u64 = 2;
+/// Paraver state value: stalled on an instruction fetch.
+pub const STATE_FETCH_STALL: u64 = 3;
+/// Paraver state value: halted.
+pub const STATE_HALTED: u64 = 0;
+
+/// Encodes a miss kind as a Paraver event value.
+#[must_use]
+pub fn kind_code(kind: MissKind) -> u64 {
+    match kind {
+        MissKind::Ifetch => 1,
+        MissKind::Load => 2,
+        MissKind::Store => 3,
+        MissKind::Writeback => 4,
+    }
+}
+
+/// One recorded miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle of the miss.
+    pub cycle: u64,
+    /// Issuing core.
+    pub core: usize,
+    /// Miss kind.
+    pub kind: MissKind,
+    /// Line-aligned address.
+    pub line_addr: u64,
+}
+
+/// One recorded core-state interval (Paraver record type 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateInterval {
+    /// Core the interval belongs to.
+    pub core: usize,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+    /// State value (`STATE_RUNNING`, `STATE_DEP_STALL`, …).
+    pub state: u64,
+}
+
+/// In-memory collector of miss events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    states: Vec<StateInterval>,
+    cores: usize,
+    final_cycle: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace for a system of `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            states: Vec::new(),
+            cores,
+            final_cycle: 0,
+        }
+    }
+
+    /// Records one miss.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.final_cycle = self.final_cycle.max(event.cycle);
+        self.events.push(event);
+    }
+
+    /// Records a core-state interval (emitted as a Paraver state
+    /// record). Zero-length intervals are dropped.
+    pub fn record_state(&mut self, interval: StateInterval) {
+        if interval.end > interval.start {
+            self.final_cycle = self.final_cycle.max(interval.end);
+            self.states.push(interval);
+        }
+    }
+
+    /// Recorded state intervals.
+    #[must_use]
+    pub fn states(&self) -> &[StateInterval] {
+        &self.states
+    }
+
+    /// Recorded events in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Writes the Paraver `.prv` trace.
+    ///
+    /// Layout: one node, one application with `cores` tasks of one
+    /// thread each; every miss becomes a pair of punctual events
+    /// ([`EVENT_MISS_KIND`], [`EVENT_LINE_ADDR`]) on the issuing core's
+    /// task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`. A `&mut Vec<u8>` or `&mut File`
+    /// can be passed for `out`.
+    pub fn write_prv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        let cores = self.cores.max(1);
+        // Header: #Paraver (date):duration:nodes(cpus):apps:app1(tasks)
+        write!(
+            out,
+            "#Paraver (01/01/2021 at 00:00):{}:1({}):1:{}(",
+            self.final_cycle + 1,
+            cores,
+            cores
+        )?;
+        for task in 0..cores {
+            if task > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "1:1")?;
+        }
+        writeln!(out, ")")?;
+        for st in &self.states {
+            // Record type 1 (state): 1:cpu:appl:task:thread:begin:end:state
+            writeln!(
+                out,
+                "1:{cpu}:1:{task}:1:{begin}:{end}:{state}",
+                cpu = st.core + 1,
+                task = st.core + 1,
+                begin = st.start,
+                end = st.end,
+                state = st.state,
+            )?;
+        }
+        for ev in &self.events {
+            // Record type 2 (event): 2:cpu:appl:task:thread:time:type:value[:type:value]
+            writeln!(
+                out,
+                "2:{cpu}:1:{task}:1:{time}:{kt}:{kv}:{at}:{av}",
+                cpu = ev.core + 1,
+                task = ev.core + 1,
+                time = ev.cycle,
+                kt = EVENT_MISS_KIND,
+                kv = kind_code(ev.kind),
+                at = EVENT_LINE_ADDR,
+                av = ev.line_addr,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes the Paraver `.pcf` configuration naming the event types.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_pcf<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "STATES")?;
+        writeln!(out, "{STATE_HALTED}	halted")?;
+        writeln!(out, "{STATE_RUNNING}	running")?;
+        writeln!(out, "{STATE_DEP_STALL}	dependency stall")?;
+        writeln!(out, "{STATE_FETCH_STALL}	fetch stall")?;
+        writeln!(out)?;
+        writeln!(out, "EVENT_TYPE")?;
+        writeln!(out, "0\t{EVENT_MISS_KIND}\tL1 miss kind")?;
+        writeln!(out, "VALUES")?;
+        writeln!(out, "1\tinstruction fetch")?;
+        writeln!(out, "2\tdata load")?;
+        writeln!(out, "3\tdata store")?;
+        writeln!(out, "4\twriteback")?;
+        writeln!(out)?;
+        writeln!(out, "EVENT_TYPE")?;
+        writeln!(out, "0\t{EVENT_LINE_ADDR}\tL1 miss line address")?;
+        Ok(())
+    }
+}
+
+/// Error from parsing a `.prv` trace back in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line of the malformed record.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// Parses a `.prv` trace previously produced by
+    /// [`Trace::write_prv`] (state records and the miss-event pairs
+    /// this simulator emits; other Paraver record types are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] for malformed records.
+    pub fn parse_prv(text: &str) -> Result<Trace, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| ParseTraceError {
+            line: 1,
+            message: "empty trace".to_owned(),
+        })?;
+        if !header.starts_with("#Paraver") {
+            return Err(ParseTraceError {
+                line: 1,
+                message: "missing #Paraver header".to_owned(),
+            });
+        }
+        // Task count from "...:1:N(1:1,...)": scan fields right-to-left
+        // for the last `N(` field (the date and task list also contain
+        // colons, so positional splitting is unreliable).
+        let cores = header
+            .split(':')
+            .rev()
+            .find_map(|field| {
+                let (digits, _) = field.split_once('(')?;
+                digits.parse::<usize>().ok()
+            })
+            .ok_or_else(|| ParseTraceError {
+                line: 1,
+                message: "cannot read task count from header".to_owned(),
+            })?;
+        let mut trace = Trace::new(cores);
+        for (idx, line) in lines {
+            let err = |message: String| ParseTraceError {
+                line: idx + 1,
+                message,
+            };
+            let fields: Vec<&str> = line.split(':').collect();
+            match fields.first() {
+                Some(&"1") => {
+                    if fields.len() != 8 {
+                        return Err(err("state record needs 8 fields".to_owned()));
+                    }
+                    let parse =
+                        |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
+                    trace.record_state(StateInterval {
+                        core: parse(fields[3])? as usize - 1,
+                        start: parse(fields[5])?,
+                        end: parse(fields[6])?,
+                        state: parse(fields[7])?,
+                    });
+                }
+                Some(&"2") => {
+                    if fields.len() != 10 {
+                        return Err(err("event record needs 10 fields".to_owned()));
+                    }
+                    let parse =
+                        |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
+                    let kind = match parse(fields[6])? {
+                        k if k == EVENT_MISS_KIND => match parse(fields[7])? {
+                            1 => MissKind::Ifetch,
+                            2 => MissKind::Load,
+                            3 => MissKind::Store,
+                            4 => MissKind::Writeback,
+                            other => return Err(err(format!("unknown miss kind {other}"))),
+                        },
+                        other => return Err(err(format!("unknown event type {other}"))),
+                    };
+                    trace.record(TraceEvent {
+                        cycle: parse(fields[5])?,
+                        core: parse(fields[3])? as usize - 1,
+                        kind,
+                        line_addr: parse(fields[9])?,
+                    });
+                }
+                Some(other) => {
+                    return Err(err(format!("unsupported record type `{other}`")));
+                }
+                None => {}
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(2);
+        t.record(TraceEvent {
+            cycle: 10,
+            core: 0,
+            kind: MissKind::Load,
+            line_addr: 0x1000,
+        });
+        t.record(TraceEvent {
+            cycle: 12,
+            core: 1,
+            kind: MissKind::Ifetch,
+            line_addr: 0x2000,
+        });
+        t
+    }
+
+    #[test]
+    fn collects_events_in_order() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.events()[0].cycle, 10);
+        assert_eq!(t.events()[1].core, 1);
+    }
+
+    #[test]
+    fn prv_format_lines() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_prv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("#Paraver"));
+        assert!(header.contains(":13:1(2):1:2(1:1,1:1)"), "header: {header}");
+        assert_eq!(
+            lines.next().unwrap(),
+            "2:1:1:1:1:10:42000001:2:42000002:4096"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "2:2:1:2:1:12:42000001:1:42000002:8192"
+        );
+    }
+
+    #[test]
+    fn pcf_names_event_values() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_pcf(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("L1 miss kind"));
+        assert!(text.contains("data load"));
+    }
+
+    #[test]
+    fn state_records_serialize_before_events() {
+        let mut t = sample();
+        t.record_state(StateInterval {
+            core: 0,
+            start: 0,
+            end: 10,
+            state: STATE_RUNNING,
+        });
+        t.record_state(StateInterval {
+            core: 0,
+            start: 10,
+            end: 20,
+            state: STATE_DEP_STALL,
+        });
+        // Zero-length intervals are dropped.
+        t.record_state(StateInterval {
+            core: 1,
+            start: 5,
+            end: 5,
+            state: STATE_RUNNING,
+        });
+        assert_eq!(t.states().len(), 2);
+        let mut buf = Vec::new();
+        t.write_prv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "1:1:1:1:1:0:10:1");
+        assert_eq!(lines[2], "1:1:1:1:1:10:20:2");
+        assert!(lines[3].starts_with("2:"));
+    }
+
+    #[test]
+    fn pcf_names_states() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_pcf(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("dependency stall"));
+    }
+
+    #[test]
+    fn kind_codes_are_distinct() {
+        let codes = [
+            kind_code(MissKind::Ifetch),
+            kind_code(MissKind::Load),
+            kind_code(MissKind::Store),
+            kind_code(MissKind::Writeback),
+        ];
+        let set: std::collections::BTreeSet<u64> = codes.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn prv_round_trips_through_parse() {
+        let mut t = sample();
+        t.record_state(StateInterval {
+            core: 1,
+            start: 0,
+            end: 12,
+            state: STATE_RUNNING,
+        });
+        let mut buf = Vec::new();
+        t.write_prv(&mut buf).unwrap();
+        let parsed = Trace::parse_prv(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(parsed.events(), t.events());
+        assert_eq!(parsed.states(), t.states());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse_prv("").is_err());
+        assert!(Trace::parse_prv("not a header
+").is_err());
+        let bad_record = "#Paraver (x):10:1(1):1:1(1:1)
+9:1:1:1:1:0:1:1
+";
+        assert!(Trace::parse_prv(bad_record).is_err());
+    }
+
+    #[test]
+    fn empty_trace_writes_valid_header() {
+        let t = Trace::new(1);
+        let mut buf = Vec::new();
+        t.write_prv(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().starts_with("#Paraver"));
+    }
+}

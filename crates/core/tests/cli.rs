@@ -1,0 +1,153 @@
+//! Integration test for the `coyote-sim` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn sim_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_coyote-sim")
+}
+
+fn write_temp_program(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("coyote-sim-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let mut file = std::fs::File::create(&path).expect("create temp file");
+    file.write_all(source.as_bytes()).expect("write program");
+    path
+}
+
+#[test]
+fn runs_a_program_and_propagates_exit_code() {
+    let path = write_temp_program(
+        "exit7.s",
+        "_start:
+            li a0, 7
+            li a7, 93
+            ecall",
+    );
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(7));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cycles:"), "report on stderr: {stderr}");
+}
+
+#[test]
+fn prints_console_output_on_stdout() {
+    let path = write_temp_program(
+        "print.s",
+        "_start:
+            li a0, 104     # 'h'
+            li a7, 64
+            ecall
+            li a0, 105     # 'i'
+            ecall
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&output.stdout), "hi\n");
+}
+
+#[test]
+fn multicore_flags_and_trace_output() {
+    let path = write_temp_program(
+        "multi.s",
+        "_start:
+            csrr t0, mhartid
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let trace = std::env::temp_dir().join("coyote-sim-tests/trace-out");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "4", "--l2-private", "--mapping", "page"])
+        .args(["--prefetch", "2", "--noc-latency", "3"])
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(0));
+    let prv = trace.with_extension("prv");
+    let contents = std::fs::read_to_string(&prv).expect("trace written");
+    assert!(contents.starts_with("#Paraver"));
+    assert!(trace.with_extension("pcf").exists());
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let output = Command::new(sim_binary())
+        .arg("--cores")
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--cores"));
+
+    let output = Command::new(sim_binary())
+        .arg("/nonexistent/file.s")
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+}
+
+#[test]
+fn assembly_errors_point_at_the_line() {
+    let path = write_temp_program(
+        "broken.s",
+        "_start:
+            nop
+            bogus_mnemonic a0",
+    );
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_stats_summarizes_a_trace() {
+    let path = write_temp_program(
+        "traced.s",
+        ".data
+         x: .dword 7
+         .text
+         _start:
+            la t0, x
+            ld t1, 0(t0)
+            addi t2, t1, 1
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let trace = std::env::temp_dir().join("coyote-sim-tests/stats-trace");
+    let status = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "2"])
+        .arg("--trace")
+        .arg(&trace)
+        .status()
+        .expect("spawn coyote-sim");
+    assert!(status.success());
+
+    let stats_bin = env!("CARGO_BIN_EXE_coyote-trace-stats");
+    let output = Command::new(stats_bin)
+        .arg(trace.with_extension("prv"))
+        .output()
+        .expect("spawn coyote-trace-stats");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("miss mix"), "{stdout}");
+    assert!(stdout.contains("per-core time breakdown"), "{stdout}");
+    assert!(stdout.contains("data load"), "{stdout}");
+}

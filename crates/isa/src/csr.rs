@@ -1,0 +1,175 @@
+//! Control and status register (CSR) addresses used by the simulator.
+//!
+//! Coyote runs baremetal kernels, so only a small machine-mode and
+//! vector-state subset is needed: hart identification for work
+//! partitioning, the cycle/instret counters, and the V-extension state
+//! CSRs.
+
+use std::fmt;
+
+/// A 12-bit CSR address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Csr(u16);
+
+impl Csr {
+    /// Machine hart ID (`mhartid`): read by kernels to partition work.
+    pub const MHARTID: Csr = Csr(0xF14);
+    /// Machine status (`mstatus`).
+    pub const MSTATUS: Csr = Csr(0x300);
+    /// Machine scratch register (`mscratch`).
+    pub const MSCRATCH: Csr = Csr(0x340);
+    /// Cycle counter (`cycle`).
+    pub const CYCLE: Csr = Csr(0xC00);
+    /// Timer (`time`).
+    pub const TIME: Csr = Csr(0xC01);
+    /// Instructions retired (`instret`).
+    pub const INSTRET: Csr = Csr(0xC02);
+    /// Vector start position (`vstart`).
+    pub const VSTART: Csr = Csr(0x008);
+    /// Vector length (`vl`), read-only.
+    pub const VL: Csr = Csr(0xC20);
+    /// Vector type (`vtype`), read-only.
+    pub const VTYPE: Csr = Csr(0xC21);
+    /// Vector register length in bytes (`vlenb`), read-only.
+    pub const VLENB: Csr = Csr(0xC22);
+
+    /// Creates a CSR address from a raw 12-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCsrError`] if `addr` does not fit in 12 bits.
+    pub fn new(addr: u16) -> Result<Csr, InvalidCsrError> {
+        if addr < 0x1000 {
+            Ok(Csr(addr))
+        } else {
+            Err(InvalidCsrError { addr })
+        }
+    }
+
+    /// Creates a CSR address from the 12-bit immediate field of an
+    /// instruction encoding.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Csr {
+        Csr((bits & 0xfff) as u16)
+    }
+
+    /// The raw 12-bit address.
+    #[must_use]
+    pub fn addr(self) -> u16 {
+        self.0
+    }
+
+    /// The raw address as an encoding field value.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Whether this CSR is read-only per the privileged-spec address
+    /// convention (top two bits both set).
+    #[must_use]
+    pub fn is_read_only(self) -> bool {
+        self.0 >> 10 == 0b11
+    }
+
+    /// The conventional name, if this is one of the CSRs the simulator
+    /// knows about.
+    #[must_use]
+    pub fn name(self) -> Option<&'static str> {
+        NAMES
+            .iter()
+            .find_map(|&(csr, name)| (csr == self).then_some(name))
+    }
+
+    /// Parses a CSR by conventional name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Csr> {
+        NAMES
+            .iter()
+            .find_map(|&(csr, csr_name)| (csr_name == name).then_some(csr))
+    }
+}
+
+/// Error returned when a CSR address does not fit in 12 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCsrError {
+    /// The rejected address.
+    pub addr: u16,
+}
+
+impl fmt::Display for InvalidCsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csr address {:#x} out of range (12 bits)", self.addr)
+    }
+}
+
+impl std::error::Error for InvalidCsrError {}
+
+const NAMES: [(Csr, &str); 10] = [
+    (Csr::MHARTID, "mhartid"),
+    (Csr::MSTATUS, "mstatus"),
+    (Csr::MSCRATCH, "mscratch"),
+    (Csr::CYCLE, "cycle"),
+    (Csr::TIME, "time"),
+    (Csr::INSTRET, "instret"),
+    (Csr::VSTART, "vstart"),
+    (Csr::VL, "vl"),
+    (Csr::VTYPE, "vtype"),
+    (Csr::VLENB, "vlenb"),
+];
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "{:#x}", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_addresses() {
+        assert_eq!(Csr::MHARTID.addr(), 0xF14);
+        assert_eq!(Csr::VL.addr(), 0xC20);
+        assert_eq!(Csr::VLENB.addr(), 0xC22);
+    }
+
+    #[test]
+    fn read_only_convention() {
+        assert!(Csr::MHARTID.is_read_only());
+        assert!(Csr::CYCLE.is_read_only());
+        assert!(!Csr::MSTATUS.is_read_only());
+        assert!(!Csr::VSTART.is_read_only());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (csr, name) in NAMES {
+            assert_eq!(csr.name(), Some(name));
+            assert_eq!(Csr::parse(name), Some(csr));
+            assert_eq!(csr.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_csr_displays_hex() {
+        let csr = Csr::new(0x123).unwrap();
+        assert_eq!(csr.name(), None);
+        assert_eq!(csr.to_string(), "0x123");
+    }
+
+    #[test]
+    fn new_rejects_wide_addresses() {
+        assert!(Csr::new(0xfff).is_ok());
+        assert!(Csr::new(0x1000).is_err());
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        assert_eq!(Csr::from_bits(0xffff_ff14).addr(), 0xf14);
+    }
+}

@@ -1,0 +1,1258 @@
+//! Instruction decoder: 32-bit machine code → [`Inst`].
+//!
+//! Exact mirror of [`mod@crate::encode`]; the pair is property-tested as
+//! inverses over the supported instruction space. Rounding-mode fields of
+//! floating-point instructions are accepted but not represented (the
+//! simulator always computes with the canonical rounding the encoder
+//! emits).
+
+use std::fmt;
+
+use crate::csr::Csr;
+use crate::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+use crate::reg::{FReg, VReg, XReg};
+use crate::vtype::{Sew, VType};
+
+/// Error produced when a 32-bit word is not a supported instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd_x(word: u32) -> XReg {
+    XReg::from_bits(word >> 7)
+}
+fn rs1_x(word: u32) -> XReg {
+    XReg::from_bits(word >> 15)
+}
+fn rs2_x(word: u32) -> XReg {
+    XReg::from_bits(word >> 20)
+}
+fn rd_f(word: u32) -> FReg {
+    FReg::from_bits(word >> 7)
+}
+fn rs1_f(word: u32) -> FReg {
+    FReg::from_bits(word >> 15)
+}
+fn rs2_f(word: u32) -> FReg {
+    FReg::from_bits(word >> 20)
+}
+fn rd_v(word: u32) -> VReg {
+    VReg::from_bits(word >> 7)
+}
+fn vs1(word: u32) -> VReg {
+    VReg::from_bits(word >> 15)
+}
+fn vs2(word: u32) -> VReg {
+    VReg::from_bits(word >> 20)
+}
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i64 {
+    i64::from((word as i32) >> 20)
+}
+
+fn imm_s(word: u32) -> i64 {
+    let hi = ((word as i32) >> 25) << 5;
+    let lo = ((word >> 7) & 0x1f) as i32;
+    i64::from(hi | lo)
+}
+
+fn imm_b(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 12;
+    let b11 = (((word >> 7) & 1) << 11) as i32;
+    let b10_5 = (((word >> 25) & 0x3f) << 5) as i32;
+    let b4_1 = (((word >> 8) & 0xf) << 1) as i32;
+    sign | b11 | b10_5 | b4_1
+}
+
+fn imm_u(word: u32) -> i64 {
+    i64::from((word & 0xffff_f000) as i32)
+}
+
+fn imm_j(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 20;
+    let b19_12 = ((word >> 12) & 0xff) << 12;
+    let b11 = ((word >> 20) & 1) << 11;
+    let b10_1 = ((word >> 21) & 0x3ff) << 1;
+    sign | (b19_12 | b11 | b10_1) as i32
+}
+
+fn err(word: u32) -> Result<Inst, DecodeError> {
+    Err(DecodeError { word })
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not in the supported subset
+/// (RV64IM, A-subset, Zicsr, D, V-subset).
+///
+/// # Examples
+///
+/// ```
+/// # use coyote_isa::{decode::decode, inst::{Inst, AluOp}, reg::XReg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = decode(0x0010_0093)?; // addi ra, zero, 1
+/// assert_eq!(
+///     inst,
+///     Inst::OpImm { op: AluOp::Add, rd: XReg::RA, rs1: XReg::ZERO, imm: 1 }
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    match word & 0x7f {
+        0b0110111 => Ok(Inst::Lui {
+            rd: rd_x(word),
+            imm: imm_u(word),
+        }),
+        0b0010111 => Ok(Inst::Auipc {
+            rd: rd_x(word),
+            imm: imm_u(word),
+        }),
+        0b1101111 => Ok(Inst::Jal {
+            rd: rd_x(word),
+            offset: imm_j(word),
+        }),
+        0b1100111 => {
+            if funct3(word) != 0 {
+                return err(word);
+            }
+            Ok(Inst::Jalr {
+                rd: rd_x(word),
+                rs1: rs1_x(word),
+                offset: imm_i(word) as i32,
+            })
+        }
+        0b1100011 => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return err(word),
+            };
+            Ok(Inst::Branch {
+                op,
+                rs1: rs1_x(word),
+                rs2: rs2_x(word),
+                offset: imm_b(word),
+            })
+        }
+        0b0000011 => {
+            let (width, signed) = match funct3(word) {
+                0b000 => (MemWidth::B, true),
+                0b001 => (MemWidth::H, true),
+                0b010 => (MemWidth::W, true),
+                0b011 => (MemWidth::D, true),
+                0b100 => (MemWidth::B, false),
+                0b101 => (MemWidth::H, false),
+                0b110 => (MemWidth::W, false),
+                _ => return err(word),
+            };
+            Ok(Inst::Load {
+                width,
+                signed,
+                rd: rd_x(word),
+                rs1: rs1_x(word),
+                offset: imm_i(word) as i32,
+            })
+        }
+        0b0100011 => {
+            let width = match funct3(word) {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b011 => MemWidth::D,
+                _ => return err(word),
+            };
+            Ok(Inst::Store {
+                width,
+                rs2: rs2_x(word),
+                rs1: rs1_x(word),
+                offset: imm_s(word) as i32,
+            })
+        }
+        0b0010011 => {
+            let rd = rd_x(word);
+            let rs1 = rs1_x(word);
+            let f3 = funct3(word);
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 | 0b101 => {
+                    let funct6 = word >> 26;
+                    let sh = i64::from((word >> 20) & 0x3f);
+                    let op = match (f3, funct6) {
+                        (0b001, 0b000000) => AluOp::Sll,
+                        (0b101, 0b000000) => AluOp::Srl,
+                        (0b101, 0b010000) => AluOp::Sra,
+                        _ => return err(word),
+                    };
+                    return Ok(Inst::OpImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm: sh,
+                    });
+                }
+                _ => return err(word),
+            };
+            Ok(Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm: imm_i(word),
+            })
+        }
+        0b0110011 => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000001, 0b001) => AluOp::Mulh,
+                (0b0000001, 0b010) => AluOp::Mulhsu,
+                (0b0000001, 0b011) => AluOp::Mulhu,
+                (0b0000001, 0b100) => AluOp::Div,
+                (0b0000001, 0b101) => AluOp::Divu,
+                (0b0000001, 0b110) => AluOp::Rem,
+                (0b0000001, 0b111) => AluOp::Remu,
+                _ => return err(word),
+            };
+            Ok(Inst::Op {
+                op,
+                rd: rd_x(word),
+                rs1: rs1_x(word),
+                rs2: rs2_x(word),
+            })
+        }
+        0b0011011 => {
+            let rd = rd_x(word);
+            let rs1 = rs1_x(word);
+            match funct3(word) {
+                0b000 => Ok(Inst::OpImm32 {
+                    op: AluWOp::Addw,
+                    rd,
+                    rs1,
+                    imm: imm_i(word),
+                }),
+                0b001 | 0b101 => {
+                    let sh = i64::from((word >> 20) & 0x1f);
+                    let op = match (funct3(word), funct7(word)) {
+                        (0b001, 0b0000000) => AluWOp::Sllw,
+                        (0b101, 0b0000000) => AluWOp::Srlw,
+                        (0b101, 0b0100000) => AluWOp::Sraw,
+                        _ => return err(word),
+                    };
+                    Ok(Inst::OpImm32 {
+                        op,
+                        rd,
+                        rs1,
+                        imm: sh,
+                    })
+                }
+                _ => err(word),
+            }
+        }
+        0b0111011 => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluWOp::Addw,
+                (0b0100000, 0b000) => AluWOp::Subw,
+                (0b0000000, 0b001) => AluWOp::Sllw,
+                (0b0000000, 0b101) => AluWOp::Srlw,
+                (0b0100000, 0b101) => AluWOp::Sraw,
+                (0b0000001, 0b000) => AluWOp::Mulw,
+                (0b0000001, 0b100) => AluWOp::Divw,
+                (0b0000001, 0b101) => AluWOp::Divuw,
+                (0b0000001, 0b110) => AluWOp::Remw,
+                (0b0000001, 0b111) => AluWOp::Remuw,
+                _ => return err(word),
+            };
+            Ok(Inst::Op32 {
+                op,
+                rd: rd_x(word),
+                rs1: rs1_x(word),
+                rs2: rs2_x(word),
+            })
+        }
+        0b0001111 => Ok(Inst::Fence),
+        0b1110011 => match funct3(word) {
+            0b000 => match word {
+                0x0000_0073 => Ok(Inst::Ecall),
+                0x0010_0073 => Ok(Inst::Ebreak),
+                _ => err(word),
+            },
+            f3 => {
+                let op = match f3 & 0b011 {
+                    0b01 => CsrOp::Rw,
+                    0b10 => CsrOp::Rs,
+                    0b11 => CsrOp::Rc,
+                    _ => return err(word),
+                };
+                let field = (word >> 15) & 0x1f;
+                let src = if f3 & 0b100 != 0 {
+                    CsrSrc::Imm(field as u8)
+                } else {
+                    CsrSrc::Reg(XReg::from_bits(field))
+                };
+                Ok(Inst::Csr {
+                    op,
+                    rd: rd_x(word),
+                    csr: Csr::from_bits(word >> 20),
+                    src,
+                })
+            }
+        },
+        0b0101111 => {
+            let width = match funct3(word) {
+                0b010 => MemWidth::W,
+                0b011 => MemWidth::D,
+                _ => return err(word),
+            };
+            let op = match word >> 27 {
+                0b00010 => AmoOp::Lr,
+                0b00011 => AmoOp::Sc,
+                0b00001 => AmoOp::Swap,
+                0b00000 => AmoOp::Add,
+                0b00100 => AmoOp::Xor,
+                0b01100 => AmoOp::And,
+                0b01000 => AmoOp::Or,
+                0b10000 => AmoOp::Min,
+                0b10100 => AmoOp::Max,
+                0b11000 => AmoOp::Minu,
+                0b11100 => AmoOp::Maxu,
+                _ => return err(word),
+            };
+            if op == AmoOp::Lr && rs2_x(word) != XReg::ZERO {
+                return err(word);
+            }
+            Ok(Inst::Amo {
+                op,
+                width,
+                rd: rd_x(word),
+                rs1: rs1_x(word),
+                rs2: rs2_x(word),
+            })
+        }
+        0b0000111 => decode_load_fp(word),
+        0b0100111 => decode_store_fp(word),
+        0b1010011 => decode_op_fp(word),
+        0b1000011 => decode_fma(word, FmaOp::Madd),
+        0b1000111 => decode_fma(word, FmaOp::Msub),
+        0b1001011 => decode_fma(word, FmaOp::Nmsub),
+        0b1001111 => decode_fma(word, FmaOp::Nmadd),
+        0b1010111 => decode_op_v(word),
+        _ => err(word),
+    }
+}
+
+fn decode_vmem_eew(width: u32) -> Option<Sew> {
+    match width {
+        0b000 => Some(Sew::E8),
+        0b101 => Some(Sew::E16),
+        0b110 => Some(Sew::E32),
+        0b111 => Some(Sew::E64),
+        _ => None,
+    }
+}
+
+fn decode_vmem_mode(word: u32) -> Option<VAddrMode> {
+    let mop = (word >> 26) & 0b11;
+    let f24_20 = (word >> 20) & 0x1f;
+    match mop {
+        0b00 if f24_20 == 0 => Some(VAddrMode::Unit),
+        0b01 => Some(VAddrMode::Indexed(VReg::from_bits(f24_20))),
+        0b10 => Some(VAddrMode::Strided(XReg::from_bits(f24_20))),
+        _ => None,
+    }
+}
+
+fn decode_load_fp(word: u32) -> Result<Inst, DecodeError> {
+    // The width field discriminates scalar FP loads (010/011/100) from
+    // vector loads (000/101/110/111) on the shared LOAD-FP opcode.
+    match funct3(word) {
+        0b011 => Ok(Inst::Fld {
+            rd: rd_f(word),
+            rs1: rs1_x(word),
+            offset: imm_i(word) as i32,
+        }),
+        width @ (0b000 | 0b101 | 0b110 | 0b111) => {
+            let eew = decode_vmem_eew(width).ok_or(DecodeError { word })?;
+            if (word >> 28) != 0 {
+                return err(word); // nf/mew unsupported
+            }
+            let mode = decode_vmem_mode(word).ok_or(DecodeError { word })?;
+            Ok(Inst::VLoad {
+                vd: rd_v(word),
+                rs1: rs1_x(word),
+                mode,
+                eew,
+                vm: (word >> 25) & 1 == 1,
+            })
+        }
+        _ => err(word),
+    }
+}
+
+fn decode_store_fp(word: u32) -> Result<Inst, DecodeError> {
+    match funct3(word) {
+        0b011 => Ok(Inst::Fsd {
+            rs2: rs2_f(word),
+            rs1: rs1_x(word),
+            offset: imm_s(word) as i32,
+        }),
+        width @ (0b000 | 0b101 | 0b110 | 0b111) => {
+            let eew = decode_vmem_eew(width).ok_or(DecodeError { word })?;
+            if (word >> 28) != 0 {
+                return err(word);
+            }
+            let mode = decode_vmem_mode(word).ok_or(DecodeError { word })?;
+            Ok(Inst::VStore {
+                vs3: rd_v(word),
+                rs1: rs1_x(word),
+                mode,
+                eew,
+                vm: (word >> 25) & 1 == 1,
+            })
+        }
+        _ => err(word),
+    }
+}
+
+fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
+    let f7 = funct7(word);
+    let rm = funct3(word);
+    match f7 {
+        0b0000001 => Ok(Inst::FpOp {
+            op: FpOp::Add,
+            rd: rd_f(word),
+            rs1: rs1_f(word),
+            rs2: rs2_f(word),
+        }),
+        0b0000101 => Ok(Inst::FpOp {
+            op: FpOp::Sub,
+            rd: rd_f(word),
+            rs1: rs1_f(word),
+            rs2: rs2_f(word),
+        }),
+        0b0001001 => Ok(Inst::FpOp {
+            op: FpOp::Mul,
+            rd: rd_f(word),
+            rs1: rs1_f(word),
+            rs2: rs2_f(word),
+        }),
+        0b0001101 => Ok(Inst::FpOp {
+            op: FpOp::Div,
+            rd: rd_f(word),
+            rs1: rs1_f(word),
+            rs2: rs2_f(word),
+        }),
+        0b0010001 => {
+            let op = match rm {
+                0b000 => FpOp::Sgnj,
+                0b001 => FpOp::Sgnjn,
+                0b010 => FpOp::Sgnjx,
+                _ => return err(word),
+            };
+            Ok(Inst::FpOp {
+                op,
+                rd: rd_f(word),
+                rs1: rs1_f(word),
+                rs2: rs2_f(word),
+            })
+        }
+        0b0010101 => {
+            let op = match rm {
+                0b000 => FpOp::Min,
+                0b001 => FpOp::Max,
+                _ => return err(word),
+            };
+            Ok(Inst::FpOp {
+                op,
+                rd: rd_f(word),
+                rs1: rs1_f(word),
+                rs2: rs2_f(word),
+            })
+        }
+        0b1010001 => {
+            let op = match rm {
+                0b010 => FpCmpOp::Eq,
+                0b001 => FpCmpOp::Lt,
+                0b000 => FpCmpOp::Le,
+                _ => return err(word),
+            };
+            Ok(Inst::FpCmp {
+                op,
+                rd: rd_x(word),
+                rs1: rs1_f(word),
+                rs2: rs2_f(word),
+            })
+        }
+        0b1100001 => {
+            let op = match (word >> 20) & 0x1f {
+                0b00000 => FpCvtOp::WFromD,
+                0b00010 => FpCvtOp::LFromD,
+                0b00011 => FpCvtOp::LuFromD,
+                _ => return err(word),
+            };
+            Ok(Inst::FpCvt {
+                op,
+                rd: ((word >> 7) & 0x1f) as u8,
+                rs1: ((word >> 15) & 0x1f) as u8,
+            })
+        }
+        0b1101001 => {
+            let op = match (word >> 20) & 0x1f {
+                0b00000 => FpCvtOp::DFromW,
+                0b00010 => FpCvtOp::DFromL,
+                0b00011 => FpCvtOp::DFromLu,
+                _ => return err(word),
+            };
+            Ok(Inst::FpCvt {
+                op,
+                rd: ((word >> 7) & 0x1f) as u8,
+                rs1: ((word >> 15) & 0x1f) as u8,
+            })
+        }
+        0b1110001 if rm == 0b000 && (word >> 20) & 0x1f == 0 => Ok(Inst::FmvXD {
+            rd: rd_x(word),
+            rs1: rs1_f(word),
+        }),
+        0b1111001 if rm == 0b000 && (word >> 20) & 0x1f == 0 => Ok(Inst::FmvDX {
+            rd: rd_f(word),
+            rs1: rs1_x(word),
+        }),
+        _ => err(word),
+    }
+}
+
+fn decode_fma(word: u32, op: FmaOp) -> Result<Inst, DecodeError> {
+    if (word >> 25) & 0b11 != 0b01 {
+        return err(word); // only the D format is supported
+    }
+    Ok(Inst::FpFma {
+        op,
+        rd: rd_f(word),
+        rs1: rs1_f(word),
+        rs2: rs2_f(word),
+        rs3: FReg::from_bits(word >> 27),
+    })
+}
+
+fn decode_op_v(word: u32) -> Result<Inst, DecodeError> {
+    let f3 = funct3(word);
+    if f3 == 0b111 {
+        return decode_vset(word);
+    }
+    let funct6 = word >> 26;
+    let vm = (word >> 25) & 1 == 1;
+    let vd = rd_v(word);
+    let v2 = vs2(word);
+    let f19_15 = (word >> 15) & 0x1f;
+
+    let vint = |funct6: u32| -> Option<VIntOp> {
+        Some(match funct6 {
+            0b000000 => VIntOp::Add,
+            0b000010 => VIntOp::Sub,
+            0b000011 => VIntOp::Rsub,
+            0b000100 => VIntOp::Minu,
+            0b000101 => VIntOp::Min,
+            0b000110 => VIntOp::Maxu,
+            0b000111 => VIntOp::Max,
+            0b001001 => VIntOp::And,
+            0b001010 => VIntOp::Or,
+            0b001011 => VIntOp::Xor,
+            0b100101 => VIntOp::Sll,
+            0b101000 => VIntOp::Srl,
+            0b101001 => VIntOp::Sra,
+            _ => return None,
+        })
+    };
+    let vmul = |funct6: u32| -> Option<VMulOp> {
+        Some(match funct6 {
+            0b100000 => VMulOp::Divu,
+            0b100001 => VMulOp::Div,
+            0b100010 => VMulOp::Remu,
+            0b100011 => VMulOp::Rem,
+            0b100100 => VMulOp::Mulhu,
+            0b100101 => VMulOp::Mul,
+            0b100111 => VMulOp::Mulh,
+            0b101101 => VMulOp::Macc,
+            _ => return None,
+        })
+    };
+    let vcmp = |funct6: u32| -> Option<VCmpOp> {
+        Some(match funct6 {
+            0b011000 => VCmpOp::Eq,
+            0b011001 => VCmpOp::Ne,
+            0b011010 => VCmpOp::Ltu,
+            0b011011 => VCmpOp::Lt,
+            0b011100 => VCmpOp::Leu,
+            0b011101 => VCmpOp::Le,
+            0b011110 => VCmpOp::Gtu,
+            0b011111 => VCmpOp::Gt,
+            _ => return None,
+        })
+    };
+    let vfcmp = |funct6: u32| -> Option<VFCmpOp> {
+        Some(match funct6 {
+            0b011000 => VFCmpOp::Eq,
+            0b011001 => VFCmpOp::Le,
+            0b011011 => VFCmpOp::Lt,
+            0b011100 => VFCmpOp::Ne,
+            0b011101 => VFCmpOp::Gt,
+            0b011111 => VFCmpOp::Ge,
+            _ => return None,
+        })
+    };
+    let vmask = |funct6: u32| -> Option<VMaskOp> {
+        Some(match funct6 {
+            0b011000 => VMaskOp::AndNot,
+            0b011001 => VMaskOp::And,
+            0b011010 => VMaskOp::Or,
+            0b011011 => VMaskOp::Xor,
+            0b011100 => VMaskOp::OrNot,
+            0b011101 => VMaskOp::Nand,
+            0b011110 => VMaskOp::Nor,
+            0b011111 => VMaskOp::Xnor,
+            _ => return None,
+        })
+    };
+    let vfp = |funct6: u32| -> Option<VFpOp> {
+        Some(match funct6 {
+            0b000000 => VFpOp::Add,
+            0b000010 => VFpOp::Sub,
+            0b000100 => VFpOp::Min,
+            0b000110 => VFpOp::Max,
+            0b001000 => VFpOp::Sgnj,
+            0b100000 => VFpOp::Div,
+            0b100100 => VFpOp::Mul,
+            0b101100 => VFpOp::Macc,
+            _ => return None,
+        })
+    };
+
+    match f3 {
+        0b000 => {
+            // OPIVV
+            if funct6 == 0b010111 {
+                if vm {
+                    if v2 == VReg::V0 {
+                        return Ok(Inst::VMvVV {
+                            vd,
+                            vs1: vs1(word),
+                        });
+                    }
+                    return err(word);
+                }
+                return Ok(Inst::VMerge {
+                    vd,
+                    vs2: v2,
+                    src: VScalar::Vector(vs1(word)),
+                });
+            }
+            if let Some(op) = vcmp(funct6) {
+                if matches!(op, VCmpOp::Gt | VCmpOp::Gtu) {
+                    return err(word);
+                }
+                return Ok(Inst::VMaskCmp {
+                    op,
+                    vd,
+                    vs2: v2,
+                    src: VScalar::Vector(vs1(word)),
+                    vm,
+                });
+            }
+            let op = vint(funct6).ok_or(DecodeError { word })?;
+            if op == VIntOp::Rsub {
+                return err(word);
+            }
+            Ok(Inst::VIntOp {
+                op,
+                vd,
+                vs2: v2,
+                src: VScalar::Vector(vs1(word)),
+                vm,
+            })
+        }
+        0b100 => {
+            // OPIVX
+            if funct6 == 0b010111 {
+                if vm {
+                    if v2 == VReg::V0 {
+                        return Ok(Inst::VMvVX {
+                            vd,
+                            rs1: rs1_x(word),
+                        });
+                    }
+                    return err(word);
+                }
+                return Ok(Inst::VMerge {
+                    vd,
+                    vs2: v2,
+                    src: VScalar::Xreg(rs1_x(word)),
+                });
+            }
+            if let Some(op) = vcmp(funct6) {
+                return Ok(Inst::VMaskCmp {
+                    op,
+                    vd,
+                    vs2: v2,
+                    src: VScalar::Xreg(rs1_x(word)),
+                    vm,
+                });
+            }
+            let op = vint(funct6).ok_or(DecodeError { word })?;
+            Ok(Inst::VIntOp {
+                op,
+                vd,
+                vs2: v2,
+                src: VScalar::Xreg(rs1_x(word)),
+                vm,
+            })
+        }
+        0b011 => {
+            // OPIVI
+            let imm_field = f19_15;
+            if funct6 == 0b010111 {
+                if vm {
+                    if v2 == VReg::V0 {
+                        return Ok(Inst::VMvVI {
+                            vd,
+                            imm: sext5(imm_field),
+                        });
+                    }
+                    return err(word);
+                }
+                return Ok(Inst::VMergeImm {
+                    vd,
+                    vs2: v2,
+                    imm: sext5(imm_field),
+                });
+            }
+            if let Some(op) = vcmp(funct6) {
+                if matches!(op, VCmpOp::Lt | VCmpOp::Ltu) {
+                    return err(word);
+                }
+                return Ok(Inst::VMaskCmpImm {
+                    op,
+                    vd,
+                    vs2: v2,
+                    imm: sext5(imm_field),
+                    vm,
+                });
+            }
+            let op = vint(funct6).ok_or(DecodeError { word })?;
+            let imm = if matches!(op, VIntOp::Sll | VIntOp::Srl | VIntOp::Sra) {
+                imm_field as i8 // unsigned 5-bit shift amount
+            } else {
+                sext5(imm_field)
+            };
+            match op {
+                VIntOp::Sub | VIntOp::Min | VIntOp::Max | VIntOp::Minu | VIntOp::Maxu => err(word),
+                _ => Ok(Inst::VIntOpImm {
+                    op,
+                    vd,
+                    vs2: v2,
+                    imm,
+                    vm,
+                }),
+            }
+        }
+        0b010 => {
+            // OPMVV
+            match funct6 {
+                0b000000 => Ok(Inst::VRedSum {
+                    vd,
+                    vs2: v2,
+                    vs1: vs1(word),
+                    vm,
+                }),
+                0b010000 if f19_15 == 0 => Ok(Inst::VMvXS {
+                    rd: rd_x(word),
+                    vs2: v2,
+                }),
+                0b010000 if f19_15 == 0b10000 => Ok(Inst::Vcpop {
+                    rd: rd_x(word),
+                    vs2: v2,
+                    vm,
+                }),
+                0b010000 if f19_15 == 0b10001 => Ok(Inst::Vfirst {
+                    rd: rd_x(word),
+                    vs2: v2,
+                    vm,
+                }),
+                0b010100 if f19_15 == 0b10001 && v2 == VReg::V0 => Ok(Inst::Vid { vd, vm }),
+                _ if vm && vmask(funct6).is_some() => Ok(Inst::VMaskLogical {
+                    op: vmask(funct6).expect("checked"),
+                    vd,
+                    vs2: v2,
+                    vs1: vs1(word),
+                }),
+                _ => {
+                    let op = vmul(funct6).ok_or(DecodeError { word })?;
+                    Ok(Inst::VMulOp {
+                        op,
+                        vd,
+                        vs2: v2,
+                        src: VScalar::Vector(vs1(word)),
+                        vm,
+                    })
+                }
+            }
+        }
+        0b110 => {
+            // OPMVX
+            match funct6 {
+                0b010000 if v2 == VReg::V0 && vm => Ok(Inst::VMvSX {
+                    vd,
+                    rs1: rs1_x(word),
+                }),
+                _ => {
+                    let op = vmul(funct6).ok_or(DecodeError { word })?;
+                    Ok(Inst::VMulOp {
+                        op,
+                        vd,
+                        vs2: v2,
+                        src: VScalar::Xreg(rs1_x(word)),
+                        vm,
+                    })
+                }
+            }
+        }
+        0b001 => {
+            // OPFVV
+            match funct6 {
+                0b000001 => Ok(Inst::VFRedSum {
+                    vd,
+                    vs2: v2,
+                    vs1: vs1(word),
+                    vm,
+                }),
+                0b010000 if f19_15 == 0 => Ok(Inst::VFMvFS {
+                    rd: rd_f(word),
+                    vs2: v2,
+                }),
+                _ if vfcmp(funct6).is_some() => {
+                    let op = vfcmp(funct6).expect("checked");
+                    if matches!(op, VFCmpOp::Gt | VFCmpOp::Ge) {
+                        return err(word);
+                    }
+                    Ok(Inst::VFMaskCmp {
+                        op,
+                        vd,
+                        vs2: v2,
+                        src: VFScalar::Vector(vs1(word)),
+                        vm,
+                    })
+                }
+                _ => {
+                    let op = vfp(funct6).ok_or(DecodeError { word })?;
+                    Ok(Inst::VFpOp {
+                        op,
+                        vd,
+                        vs2: v2,
+                        src: VFScalar::Vector(vs1(word)),
+                        vm,
+                    })
+                }
+            }
+        }
+        0b101 => {
+            // OPFVF
+            match funct6 {
+                0b010000 if v2 == VReg::V0 && vm => Ok(Inst::VFMvSF {
+                    vd,
+                    rs1: rs1_f(word),
+                }),
+                0b010111 if v2 == VReg::V0 && vm => Ok(Inst::VFMvVF {
+                    vd,
+                    rs1: rs1_f(word),
+                }),
+                0b010111 if !vm => Ok(Inst::VFMerge {
+                    vd,
+                    vs2: v2,
+                    rs1: rs1_f(word),
+                }),
+                _ if vfcmp(funct6).is_some() => Ok(Inst::VFMaskCmp {
+                    op: vfcmp(funct6).expect("checked"),
+                    vd,
+                    vs2: v2,
+                    src: VFScalar::Freg(rs1_f(word)),
+                    vm,
+                }),
+                _ => {
+                    let op = vfp(funct6).ok_or(DecodeError { word })?;
+                    Ok(Inst::VFpOp {
+                        op,
+                        vd,
+                        vs2: v2,
+                        src: VFScalar::Freg(rs1_f(word)),
+                        vm,
+                    })
+                }
+            }
+        }
+        _ => err(word),
+    }
+}
+
+fn sext5(field: u32) -> i8 {
+    (((field << 3) as u8) as i8) >> 3
+}
+
+fn decode_vset(word: u32) -> Result<Inst, DecodeError> {
+    let rd = rd_x(word);
+    if word >> 31 == 0 {
+        let vtype = VType::from_bits(u64::from((word >> 20) & 0x7ff)).ok_or(DecodeError { word })?;
+        Ok(Inst::Vsetvli {
+            rd,
+            rs1: rs1_x(word),
+            vtype,
+        })
+    } else if word >> 30 == 0b11 {
+        let vtype = VType::from_bits(u64::from((word >> 20) & 0x3ff)).ok_or(DecodeError { word })?;
+        Ok(Inst::Vsetivli {
+            rd,
+            avl: ((word >> 15) & 0x1f) as u8,
+            vtype,
+        })
+    } else if word >> 25 == 0b1000000 {
+        Ok(Inst::Vsetvl {
+            rd,
+            rs1: rs1_x(word),
+            rs2: rs2_x(word),
+        })
+    } else {
+        err(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::vtype::Lmul;
+
+    fn x(n: u8) -> XReg {
+        XReg::new(n).unwrap()
+    }
+    fn v(n: u8) -> VReg {
+        VReg::new(n).unwrap()
+    }
+    fn f(n: u8) -> FReg {
+        FReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn decode_golden_words() {
+        assert_eq!(
+            decode(0x0010_0093).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: x(1),
+                rs1: x(0),
+                imm: 1
+            }
+        );
+        assert_eq!(
+            decode(0xff01_0113).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: x(2),
+                rs1: x(2),
+                imm: -16
+            }
+        );
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+    }
+
+    #[test]
+    fn undecodable_words_error() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        // funct3 = 111 load (no such width)
+        assert!(decode(0x0000_7003).is_err());
+    }
+
+    /// Every instruction we can build round-trips encode → decode.
+    #[test]
+    fn round_trip_representative_sample() {
+        let sample: Vec<Inst> = vec![
+            Inst::Lui {
+                rd: x(7),
+                imm: -4096,
+            },
+            Inst::Auipc {
+                rd: x(3),
+                imm: 0x7ffff000,
+            },
+            Inst::Jal {
+                rd: x(1),
+                offset: -2048,
+            },
+            Inst::Jalr {
+                rd: x(0),
+                rs1: x(1),
+                offset: 0,
+            },
+            Inst::Branch {
+                op: BranchOp::Geu,
+                rs1: x(4),
+                rs2: x(5),
+                offset: 4094,
+            },
+            Inst::Load {
+                width: MemWidth::W,
+                signed: false,
+                rd: x(9),
+                rs1: x(8),
+                offset: -2048,
+            },
+            Inst::Store {
+                width: MemWidth::B,
+                rs2: x(6),
+                rs1: x(7),
+                offset: 2047,
+            },
+            Inst::OpImm {
+                op: AluOp::Sra,
+                rd: x(1),
+                rs1: x(2),
+                imm: 63,
+            },
+            Inst::Op {
+                op: AluOp::Mulhsu,
+                rd: x(1),
+                rs1: x(2),
+                rs2: x(3),
+            },
+            Inst::OpImm32 {
+                op: AluWOp::Sraw,
+                rd: x(1),
+                rs1: x(2),
+                imm: 31,
+            },
+            Inst::Op32 {
+                op: AluWOp::Remuw,
+                rd: x(1),
+                rs1: x(2),
+                rs2: x(3),
+            },
+            Inst::Fence,
+            Inst::Csr {
+                op: CsrOp::Rs,
+                rd: x(10),
+                csr: Csr::MHARTID,
+                src: CsrSrc::Reg(x(0)),
+            },
+            Inst::Csr {
+                op: CsrOp::Rw,
+                rd: x(0),
+                csr: Csr::MSCRATCH,
+                src: CsrSrc::Imm(31),
+            },
+            Inst::Amo {
+                op: AmoOp::Add,
+                width: MemWidth::D,
+                rd: x(10),
+                rs1: x(11),
+                rs2: x(12),
+            },
+            Inst::Fld {
+                rd: f(5),
+                rs1: x(10),
+                offset: 16,
+            },
+            Inst::Fsd {
+                rs2: f(5),
+                rs1: x(10),
+                offset: -8,
+            },
+            Inst::FpOp {
+                op: FpOp::Max,
+                rd: f(1),
+                rs1: f(2),
+                rs2: f(3),
+            },
+            Inst::FpFma {
+                op: FmaOp::Nmadd,
+                rd: f(1),
+                rs1: f(2),
+                rs2: f(3),
+                rs3: f(4),
+            },
+            Inst::FpCmp {
+                op: FpCmpOp::Le,
+                rd: x(5),
+                rs1: f(6),
+                rs2: f(7),
+            },
+            Inst::FpCvt {
+                op: FpCvtOp::DFromLu,
+                rd: 3,
+                rs1: 4,
+            },
+            Inst::FmvXD { rd: x(5), rs1: f(6) },
+            Inst::FmvDX { rd: f(6), rs1: x(5) },
+            Inst::Vsetvli {
+                rd: x(5),
+                rs1: x(10),
+                vtype: VType::new(Sew::E64, Lmul::M8),
+            },
+            Inst::Vsetivli {
+                rd: x(5),
+                avl: 16,
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+            Inst::Vsetvl {
+                rd: x(5),
+                rs1: x(10),
+                rs2: x(11),
+            },
+            Inst::VLoad {
+                vd: v(8),
+                rs1: x(10),
+                mode: VAddrMode::Unit,
+                eew: Sew::E64,
+                vm: true,
+            },
+            Inst::VLoad {
+                vd: v(8),
+                rs1: x(10),
+                mode: VAddrMode::Strided(x(11)),
+                eew: Sew::E32,
+                vm: true,
+            },
+            Inst::VLoad {
+                vd: v(8),
+                rs1: x(10),
+                mode: VAddrMode::Indexed(v(16)),
+                eew: Sew::E64,
+                vm: false,
+            },
+            Inst::VStore {
+                vs3: v(8),
+                rs1: x(10),
+                mode: VAddrMode::Unit,
+                eew: Sew::E64,
+                vm: true,
+            },
+            Inst::VIntOp {
+                op: VIntOp::Add,
+                vd: v(1),
+                vs2: v(2),
+                src: VScalar::Vector(v(3)),
+                vm: true,
+            },
+            Inst::VIntOp {
+                op: VIntOp::Rsub,
+                vd: v(1),
+                vs2: v(2),
+                src: VScalar::Xreg(x(3)),
+                vm: false,
+            },
+            Inst::VIntOpImm {
+                op: VIntOp::Sll,
+                vd: v(1),
+                vs2: v(2),
+                imm: 3,
+                vm: true,
+            },
+            Inst::VIntOpImm {
+                op: VIntOp::Add,
+                vd: v(1),
+                vs2: v(2),
+                imm: -16,
+                vm: true,
+            },
+            Inst::VMulOp {
+                op: VMulOp::Macc,
+                vd: v(1),
+                vs2: v(2),
+                src: VScalar::Vector(v(3)),
+                vm: true,
+            },
+            Inst::VFpOp {
+                op: VFpOp::Macc,
+                vd: v(1),
+                vs2: v(2),
+                src: VFScalar::Freg(f(3)),
+                vm: true,
+            },
+            Inst::VRedSum {
+                vd: v(1),
+                vs2: v(2),
+                vs1: v(3),
+                vm: true,
+            },
+            Inst::VFRedSum {
+                vd: v(1),
+                vs2: v(2),
+                vs1: v(3),
+                vm: true,
+            },
+            Inst::VMvVV { vd: v(1), vs1: v(2) },
+            Inst::VMvVX { vd: v(1), rs1: x(2) },
+            Inst::VMvVI { vd: v(1), imm: -5 },
+            Inst::VFMvVF { vd: v(1), rs1: f(2) },
+            Inst::VMvXS { rd: x(1), vs2: v(2) },
+            Inst::VMvSX { vd: v(1), rs1: x(2) },
+            Inst::VFMvFS { rd: f(1), vs2: v(2) },
+            Inst::VFMvSF { vd: v(1), rs1: f(2) },
+            Inst::Vid { vd: v(1), vm: true },
+        ];
+        for inst in sample {
+            let word = encode(&inst).unwrap();
+            let back = decode(word).unwrap_or_else(|e| panic!("decode of {inst:?}: {e}"));
+            assert_eq!(back, inst, "round-trip through {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn vector_shift_imm_decodes_unsigned() {
+        let inst = Inst::VIntOpImm {
+            op: VIntOp::Srl,
+            vd: v(4),
+            vs2: v(5),
+            imm: 17,
+            vm: true,
+        };
+        let word = encode(&inst).unwrap();
+        assert_eq!(decode(word).unwrap(), inst);
+    }
+}

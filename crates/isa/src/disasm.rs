@@ -1,0 +1,643 @@
+//! Disassembler: [`Inst`] → assembler text.
+//!
+//! The output uses the same syntax the `coyote-asm` crate parses, so
+//! `assemble(inst.to_string())` reproduces the instruction; that
+//! round-trip is property-tested in the assembler crate.
+
+use std::fmt;
+
+use crate::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Mulhsu => "mulhsu",
+        AluOp::Mulhu => "mulhu",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn alu_w_name(op: AluWOp) -> &'static str {
+    match op {
+        AluWOp::Addw => "addw",
+        AluWOp::Subw => "subw",
+        AluWOp::Sllw => "sllw",
+        AluWOp::Srlw => "srlw",
+        AluWOp::Sraw => "sraw",
+        AluWOp::Mulw => "mulw",
+        AluWOp::Divw => "divw",
+        AluWOp::Divuw => "divuw",
+        AluWOp::Remw => "remw",
+        AluWOp::Remuw => "remuw",
+    }
+}
+
+fn branch_name(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Eq => "beq",
+        BranchOp::Ne => "bne",
+        BranchOp::Lt => "blt",
+        BranchOp::Ge => "bge",
+        BranchOp::Ltu => "bltu",
+        BranchOp::Geu => "bgeu",
+    }
+}
+
+fn load_name(width: MemWidth, signed: bool) -> &'static str {
+    match (width, signed) {
+        (MemWidth::B, true) => "lb",
+        (MemWidth::H, true) => "lh",
+        (MemWidth::W, true) => "lw",
+        (MemWidth::D, _) => "ld",
+        (MemWidth::B, false) => "lbu",
+        (MemWidth::H, false) => "lhu",
+        (MemWidth::W, false) => "lwu",
+    }
+}
+
+fn store_name(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::B => "sb",
+        MemWidth::H => "sh",
+        MemWidth::W => "sw",
+        MemWidth::D => "sd",
+    }
+}
+
+fn amo_name(op: AmoOp, width: MemWidth) -> String {
+    let base = match op {
+        AmoOp::Lr => "lr",
+        AmoOp::Sc => "sc",
+        AmoOp::Swap => "amoswap",
+        AmoOp::Add => "amoadd",
+        AmoOp::Xor => "amoxor",
+        AmoOp::And => "amoand",
+        AmoOp::Or => "amoor",
+        AmoOp::Min => "amomin",
+        AmoOp::Max => "amomax",
+        AmoOp::Minu => "amominu",
+        AmoOp::Maxu => "amomaxu",
+    };
+    let suffix = if width == MemWidth::W { "w" } else { "d" };
+    format!("{base}.{suffix}")
+}
+
+fn vint_name(op: VIntOp) -> &'static str {
+    match op {
+        VIntOp::Add => "vadd",
+        VIntOp::Sub => "vsub",
+        VIntOp::Rsub => "vrsub",
+        VIntOp::And => "vand",
+        VIntOp::Or => "vor",
+        VIntOp::Xor => "vxor",
+        VIntOp::Sll => "vsll",
+        VIntOp::Srl => "vsrl",
+        VIntOp::Sra => "vsra",
+        VIntOp::Min => "vmin",
+        VIntOp::Max => "vmax",
+        VIntOp::Minu => "vminu",
+        VIntOp::Maxu => "vmaxu",
+    }
+}
+
+fn vmul_name(op: VMulOp) -> &'static str {
+    match op {
+        VMulOp::Mul => "vmul",
+        VMulOp::Mulh => "vmulh",
+        VMulOp::Mulhu => "vmulhu",
+        VMulOp::Div => "vdiv",
+        VMulOp::Divu => "vdivu",
+        VMulOp::Rem => "vrem",
+        VMulOp::Remu => "vremu",
+        VMulOp::Macc => "vmacc",
+    }
+}
+
+fn vfp_name(op: VFpOp) -> &'static str {
+    match op {
+        VFpOp::Add => "vfadd",
+        VFpOp::Sub => "vfsub",
+        VFpOp::Mul => "vfmul",
+        VFpOp::Div => "vfdiv",
+        VFpOp::Min => "vfmin",
+        VFpOp::Max => "vfmax",
+        VFpOp::Sgnj => "vfsgnj",
+        VFpOp::Macc => "vfmacc",
+    }
+}
+
+fn vcmp_name(op: VCmpOp) -> &'static str {
+    match op {
+        VCmpOp::Eq => "vmseq",
+        VCmpOp::Ne => "vmsne",
+        VCmpOp::Ltu => "vmsltu",
+        VCmpOp::Lt => "vmslt",
+        VCmpOp::Leu => "vmsleu",
+        VCmpOp::Le => "vmsle",
+        VCmpOp::Gtu => "vmsgtu",
+        VCmpOp::Gt => "vmsgt",
+    }
+}
+
+fn vfcmp_name(op: VFCmpOp) -> &'static str {
+    match op {
+        VFCmpOp::Eq => "vmfeq",
+        VFCmpOp::Le => "vmfle",
+        VFCmpOp::Lt => "vmflt",
+        VFCmpOp::Ne => "vmfne",
+        VFCmpOp::Gt => "vmfgt",
+        VFCmpOp::Ge => "vmfge",
+    }
+}
+
+fn vmask_name(op: VMaskOp) -> &'static str {
+    match op {
+        VMaskOp::And => "vmand",
+        VMaskOp::Nand => "vmnand",
+        VMaskOp::AndNot => "vmandn",
+        VMaskOp::Xor => "vmxor",
+        VMaskOp::Or => "vmor",
+        VMaskOp::Nor => "vmnor",
+        VMaskOp::OrNot => "vmorn",
+        VMaskOp::Xnor => "vmxnor",
+    }
+}
+
+fn vmem_name(load: bool, mode: VAddrMode, eew: crate::vtype::Sew) -> String {
+    let dir = if load { "l" } else { "s" };
+    let kind = match mode {
+        VAddrMode::Unit => "e",
+        VAddrMode::Strided(_) => "se",
+        VAddrMode::Indexed(_) => "uxei",
+    };
+    format!("v{dir}{kind}{}.v", eew.bits())
+}
+
+fn mask_suffix(vm: bool) -> &'static str {
+    if vm {
+        ""
+    } else {
+        ", v0.t"
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm >> 12) & 0xfffff),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xfffff),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", branch_name(op)),
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", load_name(width, signed)),
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", store_name(width)),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    _ => "op-imm?",
+                };
+                write!(f, "{name} {rd}, {rs1}, {imm}")
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op))
+            }
+            Inst::OpImm32 { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluWOp::Addw => "addiw",
+                    AluWOp::Sllw => "slliw",
+                    AluWOp::Srlw => "srliw",
+                    AluWOp::Sraw => "sraiw",
+                    _ => "op-imm-32?",
+                };
+                write!(f, "{name} {rd}, {rs1}, {imm}")
+            }
+            Inst::Op32 { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_w_name(op))
+            }
+            Inst::Fence => f.write_str("fence"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Csr { op, rd, csr, src } => {
+                let base = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                match src {
+                    CsrSrc::Reg(rs1) => write!(f, "{base} {rd}, {csr}, {rs1}"),
+                    CsrSrc::Imm(z) => write!(f, "{base}i {rd}, {csr}, {z}"),
+                }
+            }
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                if op == AmoOp::Lr {
+                    write!(f, "{} {rd}, ({rs1})", amo_name(op, width))
+                } else {
+                    write!(f, "{} {rd}, {rs2}, ({rs1})", amo_name(op, width))
+                }
+            }
+            Inst::Fld { rd, rs1, offset } => write!(f, "fld {rd}, {offset}({rs1})"),
+            Inst::Fsd { rs2, rs1, offset } => write!(f, "fsd {rs2}, {offset}({rs1})"),
+            Inst::FpOp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpOp::Add => "fadd.d",
+                    FpOp::Sub => "fsub.d",
+                    FpOp::Mul => "fmul.d",
+                    FpOp::Div => "fdiv.d",
+                    FpOp::Sgnj => "fsgnj.d",
+                    FpOp::Sgnjn => "fsgnjn.d",
+                    FpOp::Sgnjx => "fsgnjx.d",
+                    FpOp::Min => "fmin.d",
+                    FpOp::Max => "fmax.d",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpFma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
+                let name = match op {
+                    FmaOp::Madd => "fmadd.d",
+                    FmaOp::Msub => "fmsub.d",
+                    FmaOp::Nmsub => "fnmsub.d",
+                    FmaOp::Nmadd => "fnmadd.d",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Inst::FpCmp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpCmpOp::Eq => "feq.d",
+                    FpCmpOp::Lt => "flt.d",
+                    FpCmpOp::Le => "fle.d",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpCvt { op, rd, rs1 } => {
+                // rd/rs1 are raw indices; render with the class each side
+                // of the conversion uses.
+                let (name, rd_f, rs1_f) = match op {
+                    FpCvtOp::DFromL => ("fcvt.d.l", true, false),
+                    FpCvtOp::DFromLu => ("fcvt.d.lu", true, false),
+                    FpCvtOp::DFromW => ("fcvt.d.w", true, false),
+                    FpCvtOp::LFromD => ("fcvt.l.d", false, true),
+                    FpCvtOp::LuFromD => ("fcvt.lu.d", false, true),
+                    FpCvtOp::WFromD => ("fcvt.w.d", false, true),
+                };
+                let rd_s = if rd_f {
+                    crate::reg::FReg::new(rd).map(|r| r.to_string())
+                } else {
+                    crate::reg::XReg::new(rd).map(|r| r.to_string())
+                }
+                .unwrap_or_else(|_| format!("?{rd}"));
+                let rs1_s = if rs1_f {
+                    crate::reg::FReg::new(rs1).map(|r| r.to_string())
+                } else {
+                    crate::reg::XReg::new(rs1).map(|r| r.to_string())
+                }
+                .unwrap_or_else(|_| format!("?{rs1}"));
+                write!(f, "{name} {rd_s}, {rs1_s}")
+            }
+            Inst::FmvXD { rd, rs1 } => write!(f, "fmv.x.d {rd}, {rs1}"),
+            Inst::FmvDX { rd, rs1 } => write!(f, "fmv.d.x {rd}, {rs1}"),
+            Inst::Vsetvli { rd, rs1, vtype } => write!(f, "vsetvli {rd}, {rs1}, {vtype}"),
+            Inst::Vsetivli { rd, avl, vtype } => write!(f, "vsetivli {rd}, {avl}, {vtype}"),
+            Inst::Vsetvl { rd, rs1, rs2 } => write!(f, "vsetvl {rd}, {rs1}, {rs2}"),
+            Inst::VLoad {
+                vd,
+                rs1,
+                mode,
+                eew,
+                vm,
+            } => {
+                let name = vmem_name(true, mode, eew);
+                match mode {
+                    VAddrMode::Unit => write!(f, "{name} {vd}, ({rs1}){}", mask_suffix(vm)),
+                    VAddrMode::Strided(rs2) => {
+                        write!(f, "{name} {vd}, ({rs1}), {rs2}{}", mask_suffix(vm))
+                    }
+                    VAddrMode::Indexed(v2) => {
+                        write!(f, "{name} {vd}, ({rs1}), {v2}{}", mask_suffix(vm))
+                    }
+                }
+            }
+            Inst::VStore {
+                vs3,
+                rs1,
+                mode,
+                eew,
+                vm,
+            } => {
+                let name = vmem_name(false, mode, eew);
+                match mode {
+                    VAddrMode::Unit => write!(f, "{name} {vs3}, ({rs1}){}", mask_suffix(vm)),
+                    VAddrMode::Strided(rs2) => {
+                        write!(f, "{name} {vs3}, ({rs1}), {rs2}{}", mask_suffix(vm))
+                    }
+                    VAddrMode::Indexed(v2) => {
+                        write!(f, "{name} {vs3}, ({rs1}), {v2}{}", mask_suffix(vm))
+                    }
+                }
+            }
+            Inst::VIntOp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => match src {
+                VScalar::Vector(v1) => write!(
+                    f,
+                    "{}.vv {vd}, {vs2}, {v1}{}",
+                    vint_name(op),
+                    mask_suffix(vm)
+                ),
+                VScalar::Xreg(r1) => write!(
+                    f,
+                    "{}.vx {vd}, {vs2}, {r1}{}",
+                    vint_name(op),
+                    mask_suffix(vm)
+                ),
+            },
+            Inst::VIntOpImm {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm,
+            } => write!(
+                f,
+                "{}.vi {vd}, {vs2}, {imm}{}",
+                vint_name(op),
+                mask_suffix(vm)
+            ),
+            Inst::VMulOp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => match src {
+                VScalar::Vector(v1) => write!(
+                    f,
+                    "{}.vv {vd}, {vs2}, {v1}{}",
+                    vmul_name(op),
+                    mask_suffix(vm)
+                ),
+                VScalar::Xreg(r1) => write!(
+                    f,
+                    "{}.vx {vd}, {vs2}, {r1}{}",
+                    vmul_name(op),
+                    mask_suffix(vm)
+                ),
+            },
+            Inst::VFpOp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => match src {
+                VFScalar::Vector(v1) => write!(
+                    f,
+                    "{}.vv {vd}, {vs2}, {v1}{}",
+                    vfp_name(op),
+                    mask_suffix(vm)
+                ),
+                VFScalar::Freg(r1) => write!(
+                    f,
+                    "{}.vf {vd}, {vs2}, {r1}{}",
+                    vfp_name(op),
+                    mask_suffix(vm)
+                ),
+            },
+            Inst::VRedSum { vd, vs2, vs1, vm } => {
+                write!(f, "vredsum.vs {vd}, {vs2}, {vs1}{}", mask_suffix(vm))
+            }
+            Inst::VFRedSum { vd, vs2, vs1, vm } => {
+                write!(f, "vfredusum.vs {vd}, {vs2}, {vs1}{}", mask_suffix(vm))
+            }
+            Inst::VMvVV { vd, vs1 } => write!(f, "vmv.v.v {vd}, {vs1}"),
+            Inst::VMvVX { vd, rs1 } => write!(f, "vmv.v.x {vd}, {rs1}"),
+            Inst::VMvVI { vd, imm } => write!(f, "vmv.v.i {vd}, {imm}"),
+            Inst::VFMvVF { vd, rs1 } => write!(f, "vfmv.v.f {vd}, {rs1}"),
+            Inst::VMvXS { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
+            Inst::VMvSX { vd, rs1 } => write!(f, "vmv.s.x {vd}, {rs1}"),
+            Inst::VFMvFS { rd, vs2 } => write!(f, "vfmv.f.s {rd}, {vs2}"),
+            Inst::VFMvSF { vd, rs1 } => write!(f, "vfmv.s.f {vd}, {rs1}"),
+            Inst::Vid { vd, vm } => write!(f, "vid.v {vd}{}", mask_suffix(vm)),
+            Inst::VMaskCmp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => match src {
+                VScalar::Vector(v1) => write!(
+                    f,
+                    "{}.vv {vd}, {vs2}, {v1}{}",
+                    vcmp_name(op),
+                    mask_suffix(vm)
+                ),
+                VScalar::Xreg(r1) => write!(
+                    f,
+                    "{}.vx {vd}, {vs2}, {r1}{}",
+                    vcmp_name(op),
+                    mask_suffix(vm)
+                ),
+            },
+            Inst::VMaskCmpImm {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm,
+            } => write!(
+                f,
+                "{}.vi {vd}, {vs2}, {imm}{}",
+                vcmp_name(op),
+                mask_suffix(vm)
+            ),
+            Inst::VFMaskCmp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => match src {
+                VFScalar::Vector(v1) => write!(
+                    f,
+                    "{}.vv {vd}, {vs2}, {v1}{}",
+                    vfcmp_name(op),
+                    mask_suffix(vm)
+                ),
+                VFScalar::Freg(r1) => write!(
+                    f,
+                    "{}.vf {vd}, {vs2}, {r1}{}",
+                    vfcmp_name(op),
+                    mask_suffix(vm)
+                ),
+            },
+            Inst::VMaskLogical { op, vd, vs2, vs1 } => {
+                write!(f, "{}.mm {vd}, {vs2}, {vs1}", vmask_name(op))
+            }
+            Inst::VMerge { vd, vs2, src } => match src {
+                VScalar::Vector(v1) => write!(f, "vmerge.vvm {vd}, {vs2}, {v1}, v0"),
+                VScalar::Xreg(r1) => write!(f, "vmerge.vxm {vd}, {vs2}, {r1}, v0"),
+            },
+            Inst::VMergeImm { vd, vs2, imm } => {
+                write!(f, "vmerge.vim {vd}, {vs2}, {imm}, v0")
+            }
+            Inst::VFMerge { vd, vs2, rs1 } => {
+                write!(f, "vfmerge.vfm {vd}, {vs2}, {rs1}, v0")
+            }
+            Inst::Vcpop { rd, vs2, vm } => {
+                write!(f, "vcpop.m {rd}, {vs2}{}", mask_suffix(vm))
+            }
+            Inst::Vfirst { rd, vs2, vm } => {
+                write!(f, "vfirst.m {rd}, {vs2}{}", mask_suffix(vm))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, VReg, XReg};
+    use crate::vtype::{Lmul, Sew, VType};
+
+    fn x(n: u8) -> XReg {
+        XReg::new(n).unwrap()
+    }
+    fn v(n: u8) -> VReg {
+        VReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn scalar_disassembly() {
+        let inst = Inst::OpImm {
+            op: AluOp::Add,
+            rd: x(2),
+            rs1: x(2),
+            imm: -16,
+        };
+        assert_eq!(inst.to_string(), "addi sp, sp, -16");
+
+        let inst = Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: x(10),
+            rs1: x(2),
+            offset: 8,
+        };
+        assert_eq!(inst.to_string(), "ld a0, 8(sp)");
+    }
+
+    #[test]
+    fn vector_disassembly() {
+        let inst = Inst::VLoad {
+            vd: v(8),
+            rs1: x(10),
+            mode: VAddrMode::Unit,
+            eew: Sew::E64,
+            vm: true,
+        };
+        assert_eq!(inst.to_string(), "vle64.v v8, (a0)");
+
+        let inst = Inst::VLoad {
+            vd: v(8),
+            rs1: x(10),
+            mode: VAddrMode::Indexed(v(16)),
+            eew: Sew::E64,
+            vm: true,
+        };
+        assert_eq!(inst.to_string(), "vluxei64.v v8, (a0), v16");
+
+        let inst = Inst::Vsetvli {
+            rd: x(5),
+            rs1: x(10),
+            vtype: VType::new(Sew::E64, Lmul::M1),
+        };
+        assert_eq!(inst.to_string(), "vsetvli t0, a0, e64,m1,ta,ma");
+    }
+
+    #[test]
+    fn masked_op_gets_v0t_suffix() {
+        let inst = Inst::VIntOp {
+            op: VIntOp::Add,
+            vd: v(1),
+            vs2: v(2),
+            src: VScalar::Vector(v(3)),
+            vm: false,
+        };
+        assert_eq!(inst.to_string(), "vadd.vv v1, v2, v3, v0.t");
+    }
+
+    #[test]
+    fn fp_disassembly() {
+        let inst = Inst::FpFma {
+            op: FmaOp::Madd,
+            rd: FReg::new(1).unwrap(),
+            rs1: FReg::new(2).unwrap(),
+            rs2: FReg::new(3).unwrap(),
+            rs3: FReg::new(4).unwrap(),
+        };
+        assert_eq!(inst.to_string(), "fmadd.d ft1, ft2, ft3, ft4");
+
+        let inst = Inst::FpCvt {
+            op: FpCvtOp::DFromL,
+            rd: 1,
+            rs1: 10,
+        };
+        assert_eq!(inst.to_string(), "fcvt.d.l ft1, a0");
+    }
+}

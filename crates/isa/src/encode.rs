@@ -1,0 +1,1203 @@
+//! Instruction encoder: [`Inst`] → 32-bit machine code.
+//!
+//! The encoder is the canonical definition of the bit layouts used by the
+//! whole workspace; [`mod@crate::decode`] mirrors it exactly and the two are
+//! property-tested as inverses.
+//!
+//! Rounding modes are not represented in [`Inst`]; floating-point
+//! instructions encode the conventional choices (dynamic rounding for
+//! arithmetic, round-toward-zero for float→int conversions), matching
+//! what the GNU assembler emits for the corresponding mnemonics.
+
+use std::fmt;
+
+use crate::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+use crate::vtype::Sew;
+
+/// Error produced when an [`Inst`] has no valid encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate or offset does not fit in its encoding field.
+    ImmOutOfRange {
+        /// Mnemonic-ish context for the message.
+        what: &'static str,
+        /// The rejected value.
+        value: i64,
+    },
+    /// A branch/jump offset is not a multiple of two.
+    MisalignedOffset {
+        /// Mnemonic-ish context for the message.
+        what: &'static str,
+        /// The rejected value.
+        value: i64,
+    },
+    /// The instruction variant cannot be expressed (e.g. `OpImm` with
+    /// `Sub`, or a `.vi` form of an operation that has none).
+    InvalidForm(&'static str),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { what, value } => {
+                write!(f, "immediate {value} out of range for {what}")
+            }
+            EncodeError::MisalignedOffset { what, value } => {
+                write!(f, "offset {value} for {what} is not a multiple of 2")
+            }
+            EncodeError::InvalidForm(what) => write!(f, "no valid encoding for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+type Result32 = Result<u32, EncodeError>;
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_OP_IMM32: u32 = 0b0011011;
+const OPC_OP32: u32 = 0b0111011;
+const OPC_SYSTEM: u32 = 0b1110011;
+const OPC_AMO: u32 = 0b0101111;
+const OPC_LOAD_FP: u32 = 0b0000111;
+const OPC_STORE_FP: u32 = 0b0100111;
+const OPC_OP_FP: u32 = 0b1010011;
+const OPC_FMADD: u32 = 0b1000011;
+const OPC_FMSUB: u32 = 0b1000111;
+const OPC_FNMSUB: u32 = 0b1001011;
+const OPC_FNMADD: u32 = 0b1001111;
+const OPC_OP_V: u32 = 0b1010111;
+
+/// Dynamic rounding mode, used for FP arithmetic.
+const RM_DYN: u32 = 0b111;
+/// Round-toward-zero, used for float→int conversions.
+const RM_RTZ: u32 = 0b001;
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i64, rs1: u32, funct3: u32, rd: u32, opcode: u32, what: &'static str) -> Result32 {
+    if !(-2048..=2047).contains(&imm) {
+        return Err(EncodeError::ImmOutOfRange { what, value: imm });
+    }
+    let imm12 = (imm as u32) & 0xfff;
+    Ok((imm12 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode)
+}
+
+fn s_type(imm: i64, rs2: u32, rs1: u32, funct3: u32, opcode: u32, what: &'static str) -> Result32 {
+    if !(-2048..=2047).contains(&imm) {
+        return Err(EncodeError::ImmOutOfRange { what, value: imm });
+    }
+    let imm = imm as u32;
+    Ok(((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode)
+}
+
+fn b_type(offset: i64, rs2: u32, rs1: u32, funct3: u32, what: &'static str) -> Result32 {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset {
+            what,
+            value: offset,
+        });
+    }
+    if !(-4096..=4094).contains(&offset) {
+        return Err(EncodeError::ImmOutOfRange {
+            what,
+            value: offset,
+        });
+    }
+    let imm = offset as u32;
+    Ok(((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | OPC_BRANCH)
+}
+
+fn u_type(imm: i64, rd: u32, opcode: u32, what: &'static str) -> Result32 {
+    if imm % 4096 != 0 {
+        return Err(EncodeError::ImmOutOfRange { what, value: imm });
+    }
+    if !(-(1i64 << 31)..(1i64 << 31)).contains(&imm) {
+        return Err(EncodeError::ImmOutOfRange { what, value: imm });
+    }
+    Ok(((imm as u32) & 0xffff_f000) | (rd << 7) | opcode)
+}
+
+fn j_type(offset: i64, rd: u32, what: &'static str) -> Result32 {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset {
+            what,
+            value: offset,
+        });
+    }
+    if !(-(1i64 << 20)..(1i64 << 20)).contains(&offset) {
+        return Err(EncodeError::ImmOutOfRange {
+            what,
+            value: offset,
+        });
+    }
+    let imm = offset as u32;
+    Ok(((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | OPC_JAL)
+}
+
+fn shamt(imm: i64, max: i64, what: &'static str) -> Result<u32, EncodeError> {
+    if (0..=max).contains(&imm) {
+        Ok(imm as u32)
+    } else {
+        Err(EncodeError::ImmOutOfRange { what, value: imm })
+    }
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0b000,
+        BranchOp::Ne => 0b001,
+        BranchOp::Lt => 0b100,
+        BranchOp::Ge => 0b101,
+        BranchOp::Ltu => 0b110,
+        BranchOp::Geu => 0b111,
+    }
+}
+
+/// `(funct3, funct7)` for the register form of an [`AluOp`].
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0b0000000),
+        AluOp::Sub => (0b000, 0b0100000),
+        AluOp::Sll => (0b001, 0b0000000),
+        AluOp::Slt => (0b010, 0b0000000),
+        AluOp::Sltu => (0b011, 0b0000000),
+        AluOp::Xor => (0b100, 0b0000000),
+        AluOp::Srl => (0b101, 0b0000000),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0b0000000),
+        AluOp::And => (0b111, 0b0000000),
+        AluOp::Mul => (0b000, 0b0000001),
+        AluOp::Mulh => (0b001, 0b0000001),
+        AluOp::Mulhsu => (0b010, 0b0000001),
+        AluOp::Mulhu => (0b011, 0b0000001),
+        AluOp::Div => (0b100, 0b0000001),
+        AluOp::Divu => (0b101, 0b0000001),
+        AluOp::Rem => (0b110, 0b0000001),
+        AluOp::Remu => (0b111, 0b0000001),
+    }
+}
+
+fn alu_w_funct(op: AluWOp) -> (u32, u32) {
+    match op {
+        AluWOp::Addw => (0b000, 0b0000000),
+        AluWOp::Subw => (0b000, 0b0100000),
+        AluWOp::Sllw => (0b001, 0b0000000),
+        AluWOp::Srlw => (0b101, 0b0000000),
+        AluWOp::Sraw => (0b101, 0b0100000),
+        AluWOp::Mulw => (0b000, 0b0000001),
+        AluWOp::Divw => (0b100, 0b0000001),
+        AluWOp::Divuw => (0b101, 0b0000001),
+        AluWOp::Remw => (0b110, 0b0000001),
+        AluWOp::Remuw => (0b111, 0b0000001),
+    }
+}
+
+fn load_funct3(width: MemWidth, signed: bool) -> Result<u32, EncodeError> {
+    Ok(match (width, signed) {
+        (MemWidth::B, true) => 0b000,
+        (MemWidth::H, true) => 0b001,
+        (MemWidth::W, true) => 0b010,
+        (MemWidth::D, true) => 0b011,
+        (MemWidth::B, false) => 0b100,
+        (MemWidth::H, false) => 0b101,
+        (MemWidth::W, false) => 0b110,
+        (MemWidth::D, false) => return Err(EncodeError::InvalidForm("ldu does not exist")),
+    })
+}
+
+fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Lr => 0b00010,
+        AmoOp::Sc => 0b00011,
+        AmoOp::Swap => 0b00001,
+        AmoOp::Add => 0b00000,
+        AmoOp::Xor => 0b00100,
+        AmoOp::And => 0b01100,
+        AmoOp::Or => 0b01000,
+        AmoOp::Min => 0b10000,
+        AmoOp::Max => 0b10100,
+        AmoOp::Minu => 0b11000,
+        AmoOp::Maxu => 0b11100,
+    }
+}
+
+/// Vector element width → mem-op `width` field.
+fn vmem_width(eew: Sew) -> u32 {
+    match eew {
+        Sew::E8 => 0b000,
+        Sew::E16 => 0b101,
+        Sew::E32 => 0b110,
+        Sew::E64 => 0b111,
+    }
+}
+
+/// `(mop, field24_20)` for a vector addressing mode.
+fn vmem_mode(mode: VAddrMode) -> (u32, u32) {
+    match mode {
+        VAddrMode::Unit => (0b00, 0b00000),
+        VAddrMode::Indexed(vs2) => (0b01, vs2.bits()),
+        VAddrMode::Strided(rs2) => (0b10, rs2.bits()),
+    }
+}
+
+/// OPIVV/OPIVX/OPIVI funct6 for a [`VIntOp`].
+fn vint_funct6(op: VIntOp) -> u32 {
+    match op {
+        VIntOp::Add => 0b000000,
+        VIntOp::Sub => 0b000010,
+        VIntOp::Rsub => 0b000011,
+        VIntOp::Minu => 0b000100,
+        VIntOp::Min => 0b000101,
+        VIntOp::Maxu => 0b000110,
+        VIntOp::Max => 0b000111,
+        VIntOp::And => 0b001001,
+        VIntOp::Or => 0b001010,
+        VIntOp::Xor => 0b001011,
+        VIntOp::Sll => 0b100101,
+        VIntOp::Srl => 0b101000,
+        VIntOp::Sra => 0b101001,
+    }
+}
+
+/// Whether the `.vi` form exists for a [`VIntOp`].
+fn vint_has_vi(op: VIntOp) -> bool {
+    matches!(
+        op,
+        VIntOp::Add
+            | VIntOp::Rsub
+            | VIntOp::And
+            | VIntOp::Or
+            | VIntOp::Xor
+            | VIntOp::Sll
+            | VIntOp::Srl
+            | VIntOp::Sra
+    )
+}
+
+/// Whether the `.vx` (and `.vv`) form exists: `Rsub` has no `.vv`.
+fn vint_has_vv(op: VIntOp) -> bool {
+    op != VIntOp::Rsub
+}
+
+/// OPMVV/OPMVX funct6 for a [`VMulOp`].
+fn vmul_funct6(op: VMulOp) -> u32 {
+    match op {
+        VMulOp::Divu => 0b100000,
+        VMulOp::Div => 0b100001,
+        VMulOp::Remu => 0b100010,
+        VMulOp::Rem => 0b100011,
+        VMulOp::Mulhu => 0b100100,
+        VMulOp::Mul => 0b100101,
+        VMulOp::Mulh => 0b100111,
+        VMulOp::Macc => 0b101101,
+    }
+}
+
+/// OPIVV/OPIVX/OPIVI funct6 for a [`VCmpOp`].
+fn vcmp_funct6(op: VCmpOp) -> u32 {
+    match op {
+        VCmpOp::Eq => 0b011000,
+        VCmpOp::Ne => 0b011001,
+        VCmpOp::Ltu => 0b011010,
+        VCmpOp::Lt => 0b011011,
+        VCmpOp::Leu => 0b011100,
+        VCmpOp::Le => 0b011101,
+        VCmpOp::Gtu => 0b011110,
+        VCmpOp::Gt => 0b011111,
+    }
+}
+
+/// OPFVV/OPFVF funct6 for a [`VFCmpOp`].
+fn vfcmp_funct6(op: VFCmpOp) -> u32 {
+    match op {
+        VFCmpOp::Eq => 0b011000,
+        VFCmpOp::Le => 0b011001,
+        VFCmpOp::Lt => 0b011011,
+        VFCmpOp::Ne => 0b011100,
+        VFCmpOp::Gt => 0b011101,
+        VFCmpOp::Ge => 0b011111,
+    }
+}
+
+/// OPMVV funct6 for a [`VMaskOp`] (`.mm` form).
+fn vmask_funct6(op: VMaskOp) -> u32 {
+    match op {
+        VMaskOp::AndNot => 0b011000,
+        VMaskOp::And => 0b011001,
+        VMaskOp::Or => 0b011010,
+        VMaskOp::Xor => 0b011011,
+        VMaskOp::OrNot => 0b011100,
+        VMaskOp::Nand => 0b011101,
+        VMaskOp::Nor => 0b011110,
+        VMaskOp::Xnor => 0b011111,
+    }
+}
+
+/// OPFVV/OPFVF funct6 for a [`VFpOp`].
+fn vfp_funct6(op: VFpOp) -> u32 {
+    match op {
+        VFpOp::Add => 0b000000,
+        VFpOp::Sub => 0b000010,
+        VFpOp::Min => 0b000100,
+        VFpOp::Max => 0b000110,
+        VFpOp::Sgnj => 0b001000,
+        VFpOp::Div => 0b100000,
+        VFpOp::Mul => 0b100100,
+        VFpOp::Macc => 0b101100,
+    }
+}
+
+/// OP-V arithmetic encoding: `funct6 | vm | vs2 | vs1/rs1/imm | funct3 | vd`.
+fn op_v(funct6: u32, vm: bool, f19_15: u32, f24_20: u32, funct3: u32, vd: u32) -> u32 {
+    (funct6 << 26)
+        | (u32::from(vm) << 25)
+        | (f24_20 << 20)
+        | (f19_15 << 15)
+        | (funct3 << 12)
+        | (vd << 7)
+        | OPC_OP_V
+}
+
+const F3_OPIVV: u32 = 0b000;
+const F3_OPFVV: u32 = 0b001;
+const F3_OPMVV: u32 = 0b010;
+const F3_OPIVI: u32 = 0b011;
+const F3_OPIVX: u32 = 0b100;
+const F3_OPFVF: u32 = 0b101;
+const F3_OPMVX: u32 = 0b110;
+const F3_OPCFG: u32 = 0b111;
+
+fn simm5(imm: i8, what: &'static str) -> Result<u32, EncodeError> {
+    if (-16..=15).contains(&imm) {
+        Ok((imm as u32) & 0x1f)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            what,
+            value: i64::from(imm),
+        })
+    }
+}
+
+/// Encodes a decoded instruction into its 32-bit machine representation.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an immediate or offset does not fit its
+/// field, or the variant has no architectural encoding (see the error's
+/// variants).
+///
+/// # Examples
+///
+/// ```
+/// # use coyote_isa::{encode::encode, inst::{Inst, AluOp}, reg::XReg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = Inst::OpImm {
+///     op: AluOp::Add,
+///     rd: XReg::RA,
+///     rs1: XReg::ZERO,
+///     imm: 1,
+/// };
+/// assert_eq!(encode(&inst)?, 0x0010_0093); // addi ra, zero, 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(inst: &Inst) -> Result32 {
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(imm, rd.bits(), OPC_LUI, "lui"),
+        Inst::Auipc { rd, imm } => u_type(imm, rd.bits(), OPC_AUIPC, "auipc"),
+        Inst::Jal { rd, offset } => j_type(i64::from(offset), rd.bits(), "jal"),
+        Inst::Jalr { rd, rs1, offset } => i_type(
+            i64::from(offset),
+            rs1.bits(),
+            0b000,
+            rd.bits(),
+            OPC_JALR,
+            "jalr",
+        ),
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => b_type(
+            i64::from(offset),
+            rs2.bits(),
+            rs1.bits(),
+            branch_funct3(op),
+            "branch",
+        ),
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => i_type(
+            i64::from(offset),
+            rs1.bits(),
+            load_funct3(width, signed)?,
+            rd.bits(),
+            OPC_LOAD,
+            "load",
+        ),
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => s_type(
+            i64::from(offset),
+            rs2.bits(),
+            rs1.bits(),
+            width.log2_bytes(),
+            OPC_STORE,
+            "store",
+        ),
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let (funct3, funct7) = alu_funct(op);
+            match op {
+                AluOp::Sub => Err(EncodeError::InvalidForm("subi does not exist")),
+                _ if op.is_m_ext() => Err(EncodeError::InvalidForm("op-imm with M-extension op")),
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    let sh = shamt(imm, 63, "shift amount")?;
+                    Ok(r_type(
+                        funct7 | (sh >> 5),
+                        sh & 0x1f,
+                        rs1.bits(),
+                        funct3,
+                        rd.bits(),
+                        OPC_OP_IMM,
+                    ))
+                }
+                _ => i_type(imm, rs1.bits(), funct3, rd.bits(), OPC_OP_IMM, "op-imm"),
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = alu_funct(op);
+            Ok(r_type(
+                funct7,
+                rs2.bits(),
+                rs1.bits(),
+                funct3,
+                rd.bits(),
+                OPC_OP,
+            ))
+        }
+        Inst::OpImm32 { op, rd, rs1, imm } => {
+            let (funct3, funct7) = alu_w_funct(op);
+            match op {
+                AluWOp::Addw => i_type(imm, rs1.bits(), funct3, rd.bits(), OPC_OP_IMM32, "addiw"),
+                AluWOp::Sllw | AluWOp::Srlw | AluWOp::Sraw => {
+                    let sh = shamt(imm, 31, "word shift amount")?;
+                    Ok(r_type(
+                        funct7,
+                        sh,
+                        rs1.bits(),
+                        funct3,
+                        rd.bits(),
+                        OPC_OP_IMM32,
+                    ))
+                }
+                _ => Err(EncodeError::InvalidForm("op-imm-32 variant")),
+            }
+        }
+        Inst::Op32 { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = alu_w_funct(op);
+            Ok(r_type(
+                funct7,
+                rs2.bits(),
+                rs1.bits(),
+                funct3,
+                rd.bits(),
+                OPC_OP32,
+            ))
+        }
+        Inst::Fence => Ok(0x0ff0_000f),
+        Inst::Ecall => Ok(0x0000_0073),
+        Inst::Ebreak => Ok(0x0010_0073),
+        Inst::Csr { op, rd, csr, src } => {
+            let base = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            let (funct3, field) = match src {
+                CsrSrc::Reg(rs1) => (base, rs1.bits()),
+                CsrSrc::Imm(z) => {
+                    if z >= 32 {
+                        return Err(EncodeError::ImmOutOfRange {
+                            what: "csr immediate",
+                            value: i64::from(z),
+                        });
+                    }
+                    (base | 0b100, u32::from(z))
+                }
+            };
+            Ok((csr.bits() << 20) | (field << 15) | (funct3 << 12) | (rd.bits() << 7) | OPC_SYSTEM)
+        }
+        Inst::Amo {
+            op,
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let funct3 = match width {
+                MemWidth::W => 0b010,
+                MemWidth::D => 0b011,
+                _ => return Err(EncodeError::InvalidForm("amo width must be w or d")),
+            };
+            if op == AmoOp::Lr && rs2 != crate::reg::XReg::ZERO {
+                return Err(EncodeError::InvalidForm("lr with rs2 != x0"));
+            }
+            Ok(r_type(
+                amo_funct5(op) << 2,
+                rs2.bits(),
+                rs1.bits(),
+                funct3,
+                rd.bits(),
+                OPC_AMO,
+            ))
+        }
+        Inst::Fld { rd, rs1, offset } => i_type(
+            i64::from(offset),
+            rs1.bits(),
+            0b011,
+            rd.bits(),
+            OPC_LOAD_FP,
+            "fld",
+        ),
+        Inst::Fsd { rs2, rs1, offset } => s_type(
+            i64::from(offset),
+            rs2.bits(),
+            rs1.bits(),
+            0b011,
+            OPC_STORE_FP,
+            "fsd",
+        ),
+        Inst::FpOp { op, rd, rs1, rs2 } => {
+            let (funct7, rm) = match op {
+                FpOp::Add => (0b0000001, RM_DYN),
+                FpOp::Sub => (0b0000101, RM_DYN),
+                FpOp::Mul => (0b0001001, RM_DYN),
+                FpOp::Div => (0b0001101, RM_DYN),
+                FpOp::Sgnj => (0b0010001, 0b000),
+                FpOp::Sgnjn => (0b0010001, 0b001),
+                FpOp::Sgnjx => (0b0010001, 0b010),
+                FpOp::Min => (0b0010101, 0b000),
+                FpOp::Max => (0b0010101, 0b001),
+            };
+            Ok(r_type(
+                funct7,
+                rs2.bits(),
+                rs1.bits(),
+                rm,
+                rd.bits(),
+                OPC_OP_FP,
+            ))
+        }
+        Inst::FpFma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
+            let opcode = match op {
+                FmaOp::Madd => OPC_FMADD,
+                FmaOp::Msub => OPC_FMSUB,
+                FmaOp::Nmsub => OPC_FNMSUB,
+                FmaOp::Nmadd => OPC_FNMADD,
+            };
+            Ok((rs3.bits() << 27)
+                | (0b01 << 25)
+                | (rs2.bits() << 20)
+                | (rs1.bits() << 15)
+                | (RM_DYN << 12)
+                | (rd.bits() << 7)
+                | opcode)
+        }
+        Inst::FpCmp { op, rd, rs1, rs2 } => {
+            let rm = match op {
+                FpCmpOp::Eq => 0b010,
+                FpCmpOp::Lt => 0b001,
+                FpCmpOp::Le => 0b000,
+            };
+            Ok(r_type(
+                0b1010001,
+                rs2.bits(),
+                rs1.bits(),
+                rm,
+                rd.bits(),
+                OPC_OP_FP,
+            ))
+        }
+        Inst::FpCvt { op, rd, rs1 } => {
+            let (funct7, rs2_field, rm) = match op {
+                FpCvtOp::DFromW => (0b1101001, 0b00000, 0b000),
+                FpCvtOp::DFromL => (0b1101001, 0b00010, 0b000),
+                FpCvtOp::DFromLu => (0b1101001, 0b00011, 0b000),
+                FpCvtOp::WFromD => (0b1100001, 0b00000, RM_RTZ),
+                FpCvtOp::LFromD => (0b1100001, 0b00010, RM_RTZ),
+                FpCvtOp::LuFromD => (0b1100001, 0b00011, RM_RTZ),
+            };
+            if rd >= 32 || rs1 >= 32 {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "fcvt register index",
+                    value: i64::from(rd.max(rs1)),
+                });
+            }
+            Ok(r_type(
+                funct7,
+                rs2_field,
+                u32::from(rs1),
+                rm,
+                u32::from(rd),
+                OPC_OP_FP,
+            ))
+        }
+        Inst::FmvXD { rd, rs1 } => Ok(r_type(
+            0b1110001,
+            0,
+            rs1.bits(),
+            0b000,
+            rd.bits(),
+            OPC_OP_FP,
+        )),
+        Inst::FmvDX { rd, rs1 } => Ok(r_type(
+            0b1111001,
+            0,
+            rs1.bits(),
+            0b000,
+            rd.bits(),
+            OPC_OP_FP,
+        )),
+        Inst::Vsetvli { rd, rs1, vtype } => {
+            let zimm = (vtype.to_bits() as u32) & 0x7ff;
+            Ok((zimm << 20) | (rs1.bits() << 15) | (F3_OPCFG << 12) | (rd.bits() << 7) | OPC_OP_V)
+        }
+        Inst::Vsetivli { rd, avl, vtype } => {
+            if avl >= 32 {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "vsetivli avl",
+                    value: i64::from(avl),
+                });
+            }
+            let zimm = (vtype.to_bits() as u32) & 0x3ff;
+            Ok((0b11 << 30)
+                | (zimm << 20)
+                | (u32::from(avl) << 15)
+                | (F3_OPCFG << 12)
+                | (rd.bits() << 7)
+                | OPC_OP_V)
+        }
+        Inst::Vsetvl { rd, rs1, rs2 } => Ok((1 << 31)
+            | (rs2.bits() << 20)
+            | (rs1.bits() << 15)
+            | (F3_OPCFG << 12)
+            | (rd.bits() << 7)
+            | OPC_OP_V),
+        Inst::VLoad {
+            vd,
+            rs1,
+            mode,
+            eew,
+            vm,
+        } => {
+            let (mop, f24_20) = vmem_mode(mode);
+            Ok((mop << 26)
+                | (u32::from(vm) << 25)
+                | (f24_20 << 20)
+                | (rs1.bits() << 15)
+                | (vmem_width(eew) << 12)
+                | (vd.bits() << 7)
+                | OPC_LOAD_FP)
+        }
+        Inst::VStore {
+            vs3,
+            rs1,
+            mode,
+            eew,
+            vm,
+        } => {
+            let (mop, f24_20) = vmem_mode(mode);
+            Ok((mop << 26)
+                | (u32::from(vm) << 25)
+                | (f24_20 << 20)
+                | (rs1.bits() << 15)
+                | (vmem_width(eew) << 12)
+                | (vs3.bits() << 7)
+                | OPC_STORE_FP)
+        }
+        Inst::VIntOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let funct6 = vint_funct6(op);
+            match src {
+                VScalar::Vector(vs1) => {
+                    if !vint_has_vv(op) {
+                        return Err(EncodeError::InvalidForm("vrsub.vv does not exist"));
+                    }
+                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPIVV, vd.bits()))
+                }
+                VScalar::Xreg(rs1) => {
+                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPIVX, vd.bits()))
+                }
+            }
+        }
+        Inst::VIntOpImm {
+            op,
+            vd,
+            vs2,
+            imm,
+            vm,
+        } => {
+            if !vint_has_vi(op) {
+                return Err(EncodeError::InvalidForm("vector op has no .vi form"));
+            }
+            let field = if matches!(op, VIntOp::Sll | VIntOp::Srl | VIntOp::Sra) {
+                if !(0..=31).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange {
+                        what: "vector shift immediate",
+                        value: i64::from(imm),
+                    });
+                }
+                (imm as u32) & 0x1f
+            } else {
+                simm5(imm, "vector immediate")?
+            };
+            Ok(op_v(
+                vint_funct6(op),
+                vm,
+                field,
+                vs2.bits(),
+                F3_OPIVI,
+                vd.bits(),
+            ))
+        }
+        Inst::VMulOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let funct6 = vmul_funct6(op);
+            match src {
+                VScalar::Vector(vs1) => {
+                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPMVV, vd.bits()))
+                }
+                VScalar::Xreg(rs1) => {
+                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPMVX, vd.bits()))
+                }
+            }
+        }
+        Inst::VFpOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let funct6 = vfp_funct6(op);
+            match src {
+                VFScalar::Vector(vs1) => {
+                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPFVV, vd.bits()))
+                }
+                VFScalar::Freg(rs1) => {
+                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPFVF, vd.bits()))
+                }
+            }
+        }
+        Inst::VRedSum { vd, vs2, vs1, vm } => Ok(op_v(
+            0b000000,
+            vm,
+            vs1.bits(),
+            vs2.bits(),
+            F3_OPMVV,
+            vd.bits(),
+        )),
+        Inst::VFRedSum { vd, vs2, vs1, vm } => Ok(op_v(
+            0b000001,
+            vm,
+            vs1.bits(),
+            vs2.bits(),
+            F3_OPFVV,
+            vd.bits(),
+        )),
+        Inst::VMvVV { vd, vs1 } => Ok(op_v(0b010111, true, vs1.bits(), 0, F3_OPIVV, vd.bits())),
+        Inst::VMvVX { vd, rs1 } => Ok(op_v(0b010111, true, rs1.bits(), 0, F3_OPIVX, vd.bits())),
+        Inst::VMvVI { vd, imm } => Ok(op_v(
+            0b010111,
+            true,
+            simm5(imm, "vmv.v.i immediate")?,
+            0,
+            F3_OPIVI,
+            vd.bits(),
+        )),
+        Inst::VFMvVF { vd, rs1 } => Ok(op_v(0b010111, true, rs1.bits(), 0, F3_OPFVF, vd.bits())),
+        Inst::VMvXS { rd, vs2 } => Ok(op_v(0b010000, true, 0, vs2.bits(), F3_OPMVV, rd.bits())),
+        Inst::VMvSX { vd, rs1 } => Ok(op_v(0b010000, true, rs1.bits(), 0, F3_OPMVX, vd.bits())),
+        Inst::VFMvFS { rd, vs2 } => Ok(op_v(0b010000, true, 0, vs2.bits(), F3_OPFVV, rd.bits())),
+        Inst::VFMvSF { vd, rs1 } => Ok(op_v(0b010000, true, rs1.bits(), 0, F3_OPFVF, vd.bits())),
+        Inst::Vid { vd, vm } => Ok(op_v(0b010100, vm, 0b10001, 0, F3_OPMVV, vd.bits())),
+        Inst::VMaskCmp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let funct6 = vcmp_funct6(op);
+            match src {
+                VScalar::Vector(vs1) => {
+                    if matches!(op, VCmpOp::Gt | VCmpOp::Gtu) {
+                        return Err(EncodeError::InvalidForm("vmsgt has no .vv form"));
+                    }
+                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPIVV, vd.bits()))
+                }
+                VScalar::Xreg(rs1) => {
+                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPIVX, vd.bits()))
+                }
+            }
+        }
+        Inst::VMaskCmpImm {
+            op,
+            vd,
+            vs2,
+            imm,
+            vm,
+        } => {
+            if matches!(op, VCmpOp::Lt | VCmpOp::Ltu) {
+                return Err(EncodeError::InvalidForm("vmslt has no .vi form"));
+            }
+            Ok(op_v(
+                vcmp_funct6(op),
+                vm,
+                simm5(imm, "mask-compare immediate")?,
+                vs2.bits(),
+                F3_OPIVI,
+                vd.bits(),
+            ))
+        }
+        Inst::VFMaskCmp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let funct6 = vfcmp_funct6(op);
+            match src {
+                VFScalar::Vector(vs1) => {
+                    if matches!(op, VFCmpOp::Gt | VFCmpOp::Ge) {
+                        return Err(EncodeError::InvalidForm("vmfgt/vmfge have no .vv form"));
+                    }
+                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPFVV, vd.bits()))
+                }
+                VFScalar::Freg(rs1) => {
+                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPFVF, vd.bits()))
+                }
+            }
+        }
+        Inst::VMaskLogical { op, vd, vs2, vs1 } => Ok(op_v(
+            vmask_funct6(op),
+            true,
+            vs1.bits(),
+            vs2.bits(),
+            F3_OPMVV,
+            vd.bits(),
+        )),
+        Inst::VMerge { vd, vs2, src } => match src {
+            VScalar::Vector(vs1) => Ok(op_v(
+                0b010111,
+                false,
+                vs1.bits(),
+                vs2.bits(),
+                F3_OPIVV,
+                vd.bits(),
+            )),
+            VScalar::Xreg(rs1) => Ok(op_v(
+                0b010111,
+                false,
+                rs1.bits(),
+                vs2.bits(),
+                F3_OPIVX,
+                vd.bits(),
+            )),
+        },
+        Inst::VMergeImm { vd, vs2, imm } => Ok(op_v(
+            0b010111,
+            false,
+            simm5(imm, "vmerge immediate")?,
+            vs2.bits(),
+            F3_OPIVI,
+            vd.bits(),
+        )),
+        Inst::VFMerge { vd, vs2, rs1 } => Ok(op_v(
+            0b010111,
+            false,
+            rs1.bits(),
+            vs2.bits(),
+            F3_OPFVF,
+            vd.bits(),
+        )),
+        Inst::Vcpop { rd, vs2, vm } => Ok(op_v(
+            0b010000,
+            vm,
+            0b10000,
+            vs2.bits(),
+            F3_OPMVV,
+            rd.bits(),
+        )),
+        Inst::Vfirst { rd, vs2, vm } => Ok(op_v(
+            0b010000,
+            vm,
+            0b10001,
+            vs2.bits(),
+            F3_OPMVV,
+            rd.bits(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::XReg;
+    use crate::vtype::{Lmul, VType};
+
+    fn x(n: u8) -> XReg {
+        XReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn golden_scalar_encodings() {
+        // Cross-checked against the RISC-V spec / GNU as output.
+        let cases: Vec<(Inst, u32)> = vec![
+            (
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: x(1),
+                    rs1: x(0),
+                    imm: 1,
+                },
+                0x0010_0093, // addi ra, zero, 1
+            ),
+            (
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: x(1),
+                    rs1: x(2),
+                    rs2: x(3),
+                },
+                0x0031_00b3, // add ra, sp, gp
+            ),
+            (
+                Inst::Lui {
+                    rd: x(10),
+                    imm: 0x12345 << 12,
+                },
+                0x1234_5537, // lui a0, 0x12345
+            ),
+            (Inst::Jal { rd: x(0), offset: 0 }, 0x0000_006f),
+            (
+                Inst::Load {
+                    width: MemWidth::D,
+                    signed: true,
+                    rd: x(10),
+                    rs1: x(2),
+                    offset: 8,
+                },
+                0x0081_3503, // ld a0, 8(sp)
+            ),
+            (
+                Inst::Store {
+                    width: MemWidth::D,
+                    rs2: x(10),
+                    rs1: x(2),
+                    offset: 8,
+                },
+                0x00a1_3423, // sd a0, 8(sp)
+            ),
+            (Inst::Ecall, 0x0000_0073),
+            (Inst::Ebreak, 0x0010_0073),
+        ];
+        for (inst, want) in cases {
+            assert_eq!(encode(&inst).unwrap(), want, "encoding {inst:?}");
+        }
+    }
+
+    #[test]
+    fn negative_immediates() {
+        // addi sp, sp, -16 = 0xff010113
+        let inst = Inst::OpImm {
+            op: AluOp::Add,
+            rd: x(2),
+            rs1: x(2),
+            imm: -16,
+        };
+        assert_eq!(encode(&inst).unwrap(), 0xff01_0113);
+    }
+
+    #[test]
+    fn branch_encoding_bne() {
+        // bne a0, a1, -4  (backward branch)
+        let inst = Inst::Branch {
+            op: BranchOp::Ne,
+            rs1: x(10),
+            rs2: x(11),
+            offset: -4,
+        };
+        assert_eq!(encode(&inst).unwrap(), 0xfeb5_1ee3);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let inst = Inst::OpImm {
+            op: AluOp::Add,
+            rd: x(1),
+            rs1: x(1),
+            imm: 5000,
+        };
+        assert!(matches!(
+            encode(&inst),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+
+        let inst = Inst::Jal {
+            rd: x(0),
+            offset: 3,
+        };
+        assert!(matches!(
+            encode(&inst),
+            Err(EncodeError::MisalignedOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_forms_rejected() {
+        let inst = Inst::OpImm {
+            op: AluOp::Sub,
+            rd: x(1),
+            rs1: x(1),
+            imm: 0,
+        };
+        assert_eq!(
+            encode(&inst),
+            Err(EncodeError::InvalidForm("subi does not exist"))
+        );
+
+        let inst = Inst::OpImm {
+            op: AluOp::Mul,
+            rd: x(1),
+            rs1: x(1),
+            imm: 0,
+        };
+        assert!(encode(&inst).is_err());
+    }
+
+    #[test]
+    fn vsetvli_layout() {
+        // vsetvli t0, a0, e64,m1,ta,ma: zimm = 0b11011000 = 0xd8
+        let inst = Inst::Vsetvli {
+            rd: x(5),
+            rs1: x(10),
+            vtype: VType::new(crate::vtype::Sew::E64, Lmul::M1),
+        };
+        let word = encode(&inst).unwrap();
+        assert_eq!(word & 0x7f, OPC_OP_V);
+        assert_eq!((word >> 12) & 0x7, F3_OPCFG);
+        assert_eq!(word >> 31, 0); // vsetvli bit
+        assert_eq!((word >> 20) & 0x7ff, 0xd8);
+        assert_eq!((word >> 7) & 0x1f, 5);
+        assert_eq!((word >> 15) & 0x1f, 10);
+    }
+
+    #[test]
+    fn vector_shift_immediate_range() {
+        use crate::reg::VReg;
+        let v = |n| VReg::new(n).unwrap();
+        let ok = Inst::VIntOpImm {
+            op: VIntOp::Sll,
+            vd: v(1),
+            vs2: v(2),
+            imm: 31,
+            vm: true,
+        };
+        assert!(encode(&ok).is_ok());
+        // Shift amounts are unsigned 5-bit: 17 would be negative as simm5
+        // but is a legal shift.
+        let ok17 = Inst::VIntOpImm {
+            op: VIntOp::Sll,
+            vd: v(1),
+            vs2: v(2),
+            imm: 17,
+            vm: true,
+        };
+        assert!(encode(&ok17).is_ok());
+        let bad = Inst::VIntOpImm {
+            op: VIntOp::Sll,
+            vd: v(1),
+            vs2: v(2),
+            imm: -1,
+            vm: true,
+        };
+        assert!(encode(&bad).is_err());
+    }
+
+    #[test]
+    fn lr_requires_x0_rs2() {
+        let bad = Inst::Amo {
+            op: AmoOp::Lr,
+            width: MemWidth::D,
+            rd: x(10),
+            rs1: x(11),
+            rs2: x(12),
+        };
+        assert!(encode(&bad).is_err());
+        let ok = Inst::Amo {
+            op: AmoOp::Lr,
+            width: MemWidth::D,
+            rd: x(10),
+            rs1: x(11),
+            rs2: x(0),
+        };
+        assert!(encode(&ok).is_ok());
+    }
+}

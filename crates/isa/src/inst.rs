@@ -1,0 +1,1070 @@
+//! The decoded instruction representation.
+//!
+//! [`Inst`] covers the subset of RV64 that Coyote's HPC kernels and the
+//! paper's evaluation need: RV64I, the M extension, a word/doubleword
+//! subset of A, the `Zicsr` instructions, the D floating-point extension
+//! and a substantial slice of the V vector extension (unit-stride,
+//! strided and indexed memory operations plus the integer/floating-point
+//! arithmetic used by matmul, SpMV and stencil kernels).
+//!
+//! The representation is *semantic*: immediates are stored fully
+//! sign-extended and shifted, so the execution engine never re-derives
+//! encoding details.
+
+use crate::csr::Csr;
+use crate::reg::{FReg, VReg, XReg};
+use crate::vtype::{Sew, VType};
+
+/// Conditional branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+    /// Branch if less than (unsigned).
+    Ltu,
+    /// Branch if greater or equal (unsigned).
+    Geu,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B,
+    /// Two bytes (halfword).
+    H,
+    /// Four bytes (word).
+    W,
+    /// Eight bytes (doubleword).
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+
+    /// `log2` of the access size.
+    #[must_use]
+    pub fn log2_bytes(self) -> u32 {
+        match self {
+            MemWidth::B => 0,
+            MemWidth::H => 1,
+            MemWidth::W => 2,
+            MemWidth::D => 3,
+        }
+    }
+}
+
+/// Integer register-register / register-immediate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+    /// Multiplication, low 64 bits (M extension).
+    Mul,
+    /// Multiplication, high bits, signed×signed.
+    Mulh,
+    /// Multiplication, high bits, signed×unsigned.
+    Mulhsu,
+    /// Multiplication, high bits, unsigned×unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+impl AluOp {
+    /// Whether this operation belongs to the M extension (and thus uses
+    /// funct7 = `0000001` in the register encoding).
+    #[must_use]
+    pub fn is_m_ext(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+        )
+    }
+}
+
+/// 32-bit (`*W`) integer operation for RV64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluWOp {
+    /// `addw` / `addiw`.
+    Addw,
+    /// `subw` (register form only).
+    Subw,
+    /// `sllw` / `slliw`.
+    Sllw,
+    /// `srlw` / `srliw`.
+    Srlw,
+    /// `sraw` / `sraiw`.
+    Sraw,
+    /// `mulw` (M extension).
+    Mulw,
+    /// `divw` (M extension).
+    Divw,
+    /// `divuw` (M extension).
+    Divuw,
+    /// `remw` (M extension).
+    Remw,
+    /// `remuw` (M extension).
+    Remuw,
+}
+
+impl AluWOp {
+    /// Whether this operation belongs to the M extension.
+    #[must_use]
+    pub fn is_m_ext(self) -> bool {
+        matches!(
+            self,
+            AluWOp::Mulw | AluWOp::Divw | AluWOp::Divuw | AluWOp::Remw | AluWOp::Remuw
+        )
+    }
+}
+
+/// Atomic memory operation (A extension subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// Load-reserved.
+    Lr,
+    /// Store-conditional.
+    Sc,
+    /// Atomic swap.
+    Swap,
+    /// Atomic add.
+    Add,
+    /// Atomic xor.
+    Xor,
+    /// Atomic and.
+    And,
+    /// Atomic or.
+    Or,
+    /// Atomic minimum (signed).
+    Min,
+    /// Atomic maximum (signed).
+    Max,
+    /// Atomic minimum (unsigned).
+    Minu,
+    /// Atomic maximum (unsigned).
+    Maxu,
+}
+
+/// CSR access operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// Read/write (`csrrw`).
+    Rw,
+    /// Read and set bits (`csrrs`).
+    Rs,
+    /// Read and clear bits (`csrrc`).
+    Rc,
+}
+
+/// Source operand of a CSR instruction: register or 5-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    /// Register form (`csrrw`/`csrrs`/`csrrc`).
+    Reg(XReg),
+    /// Immediate form (`csrrwi`/`csrrsi`/`csrrci`).
+    Imm(u8),
+}
+
+/// Two-operand double-precision floating-point operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// `fadd.d`.
+    Add,
+    /// `fsub.d`.
+    Sub,
+    /// `fmul.d`.
+    Mul,
+    /// `fdiv.d`.
+    Div,
+    /// `fsgnj.d` (also `fmv.d`).
+    Sgnj,
+    /// `fsgnjn.d` (also `fneg.d`).
+    Sgnjn,
+    /// `fsgnjx.d` (also `fabs.d`).
+    Sgnjx,
+    /// `fmin.d`.
+    Min,
+    /// `fmax.d`.
+    Max,
+}
+
+/// Fused multiply-add family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FmaOp {
+    /// `fmadd.d`: `rd = rs1*rs2 + rs3`.
+    Madd,
+    /// `fmsub.d`: `rd = rs1*rs2 - rs3`.
+    Msub,
+    /// `fnmsub.d`: `rd = -(rs1*rs2) + rs3`.
+    Nmsub,
+    /// `fnmadd.d`: `rd = -(rs1*rs2) - rs3`.
+    Nmadd,
+}
+
+/// Floating-point comparison writing an integer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmpOp {
+    /// `feq.d`.
+    Eq,
+    /// `flt.d`.
+    Lt,
+    /// `fle.d`.
+    Le,
+}
+
+/// Conversions between `f64` and integer registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCvtOp {
+    /// `fcvt.d.l`: signed 64-bit integer to double.
+    DFromL,
+    /// `fcvt.d.lu`: unsigned 64-bit integer to double.
+    DFromLu,
+    /// `fcvt.l.d`: double to signed 64-bit integer (round toward zero).
+    LFromD,
+    /// `fcvt.lu.d`: double to unsigned 64-bit integer (round toward zero).
+    LuFromD,
+    /// `fcvt.d.w`: signed 32-bit integer to double.
+    DFromW,
+    /// `fcvt.w.d`: double to signed 32-bit integer (round toward zero).
+    WFromD,
+}
+
+/// Vector memory addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VAddrMode {
+    /// Unit-stride: consecutive elements.
+    Unit,
+    /// Constant byte stride held in an `x` register.
+    Strided(XReg),
+    /// Indexed (gather/scatter): byte offsets held in a vector register,
+    /// unordered variant.
+    Indexed(VReg),
+}
+
+/// Integer vector operation usable in `.vv`, `.vx` and (subset) `.vi`
+/// forms (the OPIVV/OPIVX/OPIVI funct3 space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VIntOp {
+    /// `vadd`.
+    Add,
+    /// `vsub` (no `.vi` form).
+    Sub,
+    /// `vrsub` (`.vx`/`.vi` only).
+    Rsub,
+    /// `vand`.
+    And,
+    /// `vor`.
+    Or,
+    /// `vxor`.
+    Xor,
+    /// `vsll`.
+    Sll,
+    /// `vsrl`.
+    Srl,
+    /// `vsra`.
+    Sra,
+    /// `vmin` (signed; no `.vi` form).
+    Min,
+    /// `vmax` (signed; no `.vi` form).
+    Max,
+    /// `vminu` (no `.vi` form).
+    Minu,
+    /// `vmaxu` (no `.vi` form).
+    Maxu,
+}
+
+/// Integer vector multiply/divide family (the OPMVV/OPMVX funct3 space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VMulOp {
+    /// `vmul`.
+    Mul,
+    /// `vmulh`.
+    Mulh,
+    /// `vmulhu`.
+    Mulhu,
+    /// `vdiv`.
+    Div,
+    /// `vdivu`.
+    Divu,
+    /// `vrem`.
+    Rem,
+    /// `vremu`.
+    Remu,
+    /// `vmacc`: `vd += vs1 * vs2`.
+    Macc,
+}
+
+/// Integer vector comparison producing a mask (the `vmseq` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VCmpOp {
+    /// `vmseq`.
+    Eq,
+    /// `vmsne`.
+    Ne,
+    /// `vmsltu` (no `.vi` form).
+    Ltu,
+    /// `vmslt` (no `.vi` form).
+    Lt,
+    /// `vmsleu`.
+    Leu,
+    /// `vmsle`.
+    Le,
+    /// `vmsgtu` (`.vx`/`.vi` only).
+    Gtu,
+    /// `vmsgt` (`.vx`/`.vi` only).
+    Gt,
+}
+
+/// Floating-point vector comparison producing a mask (`vmf*` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VFCmpOp {
+    /// `vmfeq`.
+    Eq,
+    /// `vmfle`.
+    Le,
+    /// `vmflt`.
+    Lt,
+    /// `vmfne`.
+    Ne,
+    /// `vmfgt` (`.vf` only).
+    Gt,
+    /// `vmfge` (`.vf` only).
+    Ge,
+}
+
+/// Mask-register logical operation (`vm*.mm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VMaskOp {
+    /// `vmand.mm`.
+    And,
+    /// `vmnand.mm`.
+    Nand,
+    /// `vmandn.mm` (`vd = vs2 & !vs1`).
+    AndNot,
+    /// `vmxor.mm`.
+    Xor,
+    /// `vmor.mm`.
+    Or,
+    /// `vmnor.mm`.
+    Nor,
+    /// `vmorn.mm` (`vd = vs2 | !vs1`).
+    OrNot,
+    /// `vmxnor.mm`.
+    Xnor,
+}
+
+/// Floating-point vector operation (the OPFVV/OPFVF funct3 space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VFpOp {
+    /// `vfadd`.
+    Add,
+    /// `vfsub`.
+    Sub,
+    /// `vfmul`.
+    Mul,
+    /// `vfdiv`.
+    Div,
+    /// `vfmin`.
+    Min,
+    /// `vfmax`.
+    Max,
+    /// `vfsgnj`.
+    Sgnj,
+    /// `vfmacc`: `vd += vs1 * vs2` (fused).
+    Macc,
+}
+
+/// Scalar source of a `.vx`/`.vf` vector operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VScalar {
+    /// A second vector operand (`.vv` form), naming `vs1`.
+    Vector(VReg),
+    /// An `x`-register operand (`.vx` form).
+    Xreg(XReg),
+}
+
+/// Scalar source of a floating-point vector operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VFScalar {
+    /// A second vector operand (`.vv` form), naming `vs1`.
+    Vector(VReg),
+    /// An `f`-register operand (`.vf` form).
+    Freg(FReg),
+}
+
+/// A decoded instruction.
+///
+/// Construct values directly, via [`crate::decode::decode`], or by
+/// assembling text with the `coyote-asm` crate; re-encode with
+/// [`crate::encode::encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    // ---- RV64I ----
+    /// Load upper immediate. `imm` is the full sign-extended value
+    /// (already shifted left by 12).
+    Lui {
+        /// Destination register.
+        rd: XReg,
+        /// Sign-extended, pre-shifted immediate (multiple of 4096).
+        imm: i64,
+    },
+    /// Add upper immediate to PC.
+    Auipc {
+        /// Destination register.
+        rd: XReg,
+        /// Sign-extended, pre-shifted immediate (multiple of 4096).
+        imm: i64,
+    },
+    /// Jump and link.
+    Jal {
+        /// Destination register for the return address.
+        rd: XReg,
+        /// PC-relative byte offset (multiple of 2).
+        offset: i32,
+    },
+    /// Jump and link register.
+    Jalr {
+        /// Destination register for the return address.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Byte offset added to `rs1`.
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison performed.
+        op: BranchOp,
+        /// First compared register.
+        rs1: XReg,
+        /// Second compared register.
+        rs2: XReg,
+        /// PC-relative byte offset (multiple of 2).
+        offset: i32,
+    },
+    /// Scalar integer load.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Whether the loaded value is sign-extended.
+        signed: bool,
+        /// Destination register.
+        rd: XReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Scalar integer store.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Source data register.
+        rs2: XReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Register-immediate ALU operation. For shifts, `imm` holds the
+    /// 6-bit shift amount. `Sub` and M-extension ops are invalid here.
+    OpImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rs1: XReg,
+        /// Sign-extended 12-bit immediate (or shift amount).
+        imm: i64,
+    },
+    /// Register-register ALU operation (including M extension).
+    Op {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: XReg,
+        /// First source register.
+        rs1: XReg,
+        /// Second source register.
+        rs2: XReg,
+    },
+    /// 32-bit register-immediate operation (`addiw`, `slliw`, …).
+    OpImm32 {
+        /// Operation (`Addw`, `Sllw`, `Srlw`, `Sraw` only).
+        op: AluWOp,
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rs1: XReg,
+        /// Sign-extended 12-bit immediate (or 5-bit shift amount).
+        imm: i64,
+    },
+    /// 32-bit register-register operation (including M-extension `*w`).
+    Op32 {
+        /// Operation.
+        op: AluWOp,
+        /// Destination register.
+        rd: XReg,
+        /// First source register.
+        rs1: XReg,
+        /// Second source register.
+        rs2: XReg,
+    },
+    /// Memory fence (a timing no-op in Coyote's in-order model).
+    Fence,
+    /// Environment call; Coyote's baremetal HTIF intercepts it.
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// CSR access.
+    Csr {
+        /// Operation.
+        op: CsrOp,
+        /// Destination register for the old CSR value.
+        rd: XReg,
+        /// Accessed CSR.
+        csr: Csr,
+        /// Source operand.
+        src: CsrSrc,
+    },
+    /// Atomic memory operation (word or doubleword).
+    Amo {
+        /// Operation.
+        op: AmoOp,
+        /// Access width (`W` or `D`).
+        width: MemWidth,
+        /// Destination register for the old memory value.
+        rd: XReg,
+        /// Address register.
+        rs1: XReg,
+        /// Data register (must be `x0` for `lr`).
+        rs2: XReg,
+    },
+
+    // ---- D extension ----
+    /// `fld`.
+    Fld {
+        /// Destination FP register.
+        rd: FReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `fsd`.
+    Fsd {
+        /// Source FP register.
+        rs2: FReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Two-operand double-precision operation.
+    FpOp {
+        /// Operation.
+        op: FpOp,
+        /// Destination FP register.
+        rd: FReg,
+        /// First source.
+        rs1: FReg,
+        /// Second source.
+        rs2: FReg,
+    },
+    /// Fused multiply-add.
+    FpFma {
+        /// Variant.
+        op: FmaOp,
+        /// Destination FP register.
+        rd: FReg,
+        /// Multiplicand.
+        rs1: FReg,
+        /// Multiplier.
+        rs2: FReg,
+        /// Addend.
+        rs3: FReg,
+    },
+    /// Floating-point compare into an integer register.
+    FpCmp {
+        /// Comparison.
+        op: FpCmpOp,
+        /// Integer destination (1 if true).
+        rd: XReg,
+        /// First source.
+        rs1: FReg,
+        /// Second source.
+        rs2: FReg,
+    },
+    /// Conversion between double and integer registers.
+    FpCvt {
+        /// Conversion performed.
+        op: FpCvtOp,
+        /// Destination register index (interpreted per `op`).
+        rd: u8,
+        /// Source register index (interpreted per `op`).
+        rs1: u8,
+    },
+    /// `fmv.x.d`: move raw bits FP → integer register.
+    FmvXD {
+        /// Integer destination.
+        rd: XReg,
+        /// FP source.
+        rs1: FReg,
+    },
+    /// `fmv.d.x`: move raw bits integer → FP register.
+    FmvDX {
+        /// FP destination.
+        rd: FReg,
+        /// Integer source.
+        rs1: XReg,
+    },
+
+    // ---- V extension ----
+    /// `vsetvli rd, rs1, vtypei`.
+    Vsetvli {
+        /// Receives the new `vl`.
+        rd: XReg,
+        /// Requested application vector length (`x0` = keep/maximal).
+        rs1: XReg,
+        /// Requested type.
+        vtype: VType,
+    },
+    /// `vsetivli rd, uimm, vtypei`.
+    Vsetivli {
+        /// Receives the new `vl`.
+        rd: XReg,
+        /// 5-bit immediate AVL.
+        avl: u8,
+        /// Requested type.
+        vtype: VType,
+    },
+    /// `vsetvl rd, rs1, rs2`.
+    Vsetvl {
+        /// Receives the new `vl`.
+        rd: XReg,
+        /// Requested AVL.
+        rs1: XReg,
+        /// Register holding the raw `vtype` bits.
+        rs2: XReg,
+    },
+    /// Vector load.
+    VLoad {
+        /// Destination vector register.
+        vd: VReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Addressing mode.
+        mode: VAddrMode,
+        /// Effective element width encoded in the instruction.
+        eew: Sew,
+        /// Mask bit: `true` = unmasked (`vm`=1).
+        vm: bool,
+    },
+    /// Vector store.
+    VStore {
+        /// Source vector register.
+        vs3: VReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Addressing mode.
+        mode: VAddrMode,
+        /// Effective element width encoded in the instruction.
+        eew: Sew,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Integer vector ALU op, `.vv`/`.vx` forms.
+    VIntOp {
+        /// Operation.
+        op: VIntOp,
+        /// Destination.
+        vd: VReg,
+        /// Vector source (`vs2`).
+        vs2: VReg,
+        /// Second operand.
+        src: VScalar,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Integer vector ALU op, `.vi` form (5-bit signed immediate).
+    VIntOpImm {
+        /// Operation (immediate-capable subset).
+        op: VIntOp,
+        /// Destination.
+        vd: VReg,
+        /// Vector source (`vs2`).
+        vs2: VReg,
+        /// Sign-extended 5-bit immediate.
+        imm: i8,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Integer vector multiply/divide/MAC, `.vv`/`.vx` forms.
+    VMulOp {
+        /// Operation.
+        op: VMulOp,
+        /// Destination (also accumulator for `Macc`).
+        vd: VReg,
+        /// Vector source (`vs2`).
+        vs2: VReg,
+        /// Second operand.
+        src: VScalar,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Floating-point vector op, `.vv`/`.vf` forms.
+    VFpOp {
+        /// Operation.
+        op: VFpOp,
+        /// Destination (also accumulator for `Macc`).
+        vd: VReg,
+        /// Vector source (`vs2`).
+        vs2: VReg,
+        /// Second operand.
+        src: VFScalar,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// `vredsum.vs`: `vd[0] = sum(vs2[*]) + vs1[0]`.
+    VRedSum {
+        /// Destination.
+        vd: VReg,
+        /// Summed vector.
+        vs2: VReg,
+        /// Scalar seed in element 0.
+        vs1: VReg,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// `vfredusum.vs` (unordered FP reduction).
+    VFRedSum {
+        /// Destination.
+        vd: VReg,
+        /// Summed vector.
+        vs2: VReg,
+        /// Scalar seed in element 0.
+        vs1: VReg,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// `vmv.v.v`.
+    VMvVV {
+        /// Destination.
+        vd: VReg,
+        /// Source (`vs1`).
+        vs1: VReg,
+    },
+    /// `vmv.v.x` (splat an integer register).
+    VMvVX {
+        /// Destination.
+        vd: VReg,
+        /// Splatted register.
+        rs1: XReg,
+    },
+    /// `vmv.v.i` (splat a 5-bit immediate).
+    VMvVI {
+        /// Destination.
+        vd: VReg,
+        /// Sign-extended immediate.
+        imm: i8,
+    },
+    /// `vfmv.v.f` (splat an FP register).
+    VFMvVF {
+        /// Destination.
+        vd: VReg,
+        /// Splatted register.
+        rs1: FReg,
+    },
+    /// `vmv.x.s`: element 0 → integer register.
+    VMvXS {
+        /// Integer destination.
+        rd: XReg,
+        /// Vector source.
+        vs2: VReg,
+    },
+    /// `vmv.s.x`: integer register → element 0.
+    VMvSX {
+        /// Vector destination.
+        vd: VReg,
+        /// Integer source.
+        rs1: XReg,
+    },
+    /// `vfmv.f.s`: element 0 → FP register.
+    VFMvFS {
+        /// FP destination.
+        rd: FReg,
+        /// Vector source.
+        vs2: VReg,
+    },
+    /// `vfmv.s.f`: FP register → element 0.
+    VFMvSF {
+        /// Vector destination.
+        vd: VReg,
+        /// FP source.
+        rs1: FReg,
+    },
+    /// `vid.v`: write element indices 0,1,2,… .
+    Vid {
+        /// Destination.
+        vd: VReg,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Integer compare into a mask register, `.vv`/`.vx` forms.
+    VMaskCmp {
+        /// Comparison.
+        op: VCmpOp,
+        /// Mask destination.
+        vd: VReg,
+        /// Vector source.
+        vs2: VReg,
+        /// Second operand.
+        src: VScalar,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Integer compare into a mask register, `.vi` form.
+    VMaskCmpImm {
+        /// Comparison (immediate-capable subset).
+        op: VCmpOp,
+        /// Mask destination.
+        vd: VReg,
+        /// Vector source.
+        vs2: VReg,
+        /// Sign-extended 5-bit immediate.
+        imm: i8,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Floating-point compare into a mask register.
+    VFMaskCmp {
+        /// Comparison.
+        op: VFCmpOp,
+        /// Mask destination.
+        vd: VReg,
+        /// Vector source.
+        vs2: VReg,
+        /// Second operand.
+        src: VFScalar,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// Mask-register logical, `.mm` form (always unmasked).
+    VMaskLogical {
+        /// Operation.
+        op: VMaskOp,
+        /// Destination mask.
+        vd: VReg,
+        /// First source mask (`vs2`).
+        vs2: VReg,
+        /// Second source mask (`vs1`).
+        vs1: VReg,
+    },
+    /// `vmerge.v?m`: `vd[i] = v0.mask[i] ? src[i] : vs2[i]`.
+    VMerge {
+        /// Destination.
+        vd: VReg,
+        /// Taken where the mask bit is clear.
+        vs2: VReg,
+        /// Taken where the mask bit is set.
+        src: VScalar,
+    },
+    /// `vmerge.vim` with an immediate "set" operand.
+    VMergeImm {
+        /// Destination.
+        vd: VReg,
+        /// Taken where the mask bit is clear.
+        vs2: VReg,
+        /// Taken (sign-extended) where the mask bit is set.
+        imm: i8,
+    },
+    /// `vfmerge.vfm`: `vd[i] = v0.mask[i] ? rs1 : vs2[i]`.
+    VFMerge {
+        /// Destination.
+        vd: VReg,
+        /// Taken where the mask bit is clear.
+        vs2: VReg,
+        /// FP scalar taken where the mask bit is set.
+        rs1: FReg,
+    },
+    /// `vcpop.m`: count set mask bits in `vs2[0..vl]`.
+    Vcpop {
+        /// Integer destination.
+        rd: XReg,
+        /// Source mask.
+        vs2: VReg,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+    /// `vfirst.m`: index of the first set mask bit, or -1.
+    Vfirst {
+        /// Integer destination.
+        rd: XReg,
+        /// Source mask.
+        vs2: VReg,
+        /// Mask bit: `true` = unmasked.
+        vm: bool,
+    },
+}
+
+impl Inst {
+    /// Whether this instruction may redirect control flow.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
+    }
+
+    /// Whether this instruction accesses data memory.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::Amo { .. }
+                | Inst::Fld { .. }
+                | Inst::Fsd { .. }
+                | Inst::VLoad { .. }
+                | Inst::VStore { .. }
+        )
+    }
+
+    /// Whether this instruction belongs to the V extension.
+    #[must_use]
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Inst::Vsetvli { .. }
+                | Inst::Vsetivli { .. }
+                | Inst::Vsetvl { .. }
+                | Inst::VLoad { .. }
+                | Inst::VStore { .. }
+                | Inst::VIntOp { .. }
+                | Inst::VIntOpImm { .. }
+                | Inst::VMulOp { .. }
+                | Inst::VFpOp { .. }
+                | Inst::VRedSum { .. }
+                | Inst::VFRedSum { .. }
+                | Inst::VMvVV { .. }
+                | Inst::VMvVX { .. }
+                | Inst::VMvVI { .. }
+                | Inst::VFMvVF { .. }
+                | Inst::VMvXS { .. }
+                | Inst::VMvSX { .. }
+                | Inst::VFMvFS { .. }
+                | Inst::VFMvSF { .. }
+                | Inst::Vid { .. }
+                | Inst::VMaskCmp { .. }
+                | Inst::VMaskCmpImm { .. }
+                | Inst::VFMaskCmp { .. }
+                | Inst::VMaskLogical { .. }
+                | Inst::VMerge { .. }
+                | Inst::VMergeImm { .. }
+                | Inst::VFMerge { .. }
+                | Inst::Vcpop { .. }
+                | Inst::Vfirst { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::D.bytes(), 8);
+        assert_eq!(MemWidth::W.log2_bytes(), 2);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let ld = Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: XReg::A0,
+            rs1: XReg::SP,
+            offset: 8,
+        };
+        assert!(ld.is_memory());
+        assert!(!ld.is_control_flow());
+        assert!(!ld.is_vector());
+
+        let j = Inst::Jal {
+            rd: XReg::RA,
+            offset: 16,
+        };
+        assert!(j.is_control_flow());
+        assert!(!j.is_memory());
+
+        let vl = Inst::VLoad {
+            vd: VReg::V0,
+            rs1: XReg::A0,
+            mode: VAddrMode::Unit,
+            eew: Sew::E64,
+            vm: true,
+        };
+        assert!(vl.is_memory());
+        assert!(vl.is_vector());
+    }
+
+    #[test]
+    fn m_extension_classification() {
+        assert!(AluOp::Mul.is_m_ext());
+        assert!(!AluOp::Add.is_m_ext());
+        assert!(AluWOp::Remuw.is_m_ext());
+        assert!(!AluWOp::Sraw.is_m_ext());
+    }
+}

@@ -1,0 +1,315 @@
+//! Vector type (`vtype`) register encoding per the RISC-V V extension.
+//!
+//! `vsetvli`-family instructions carry a `vtype` immediate that selects the
+//! selected element width ([`Sew`]), the register-group multiplier
+//! ([`Lmul`]) and the tail/mask agnostic policy bits. The simulator's
+//! vector unit interprets the decoded [`VType`].
+
+use std::fmt;
+
+/// Selected element width (SEW) in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements.
+    E32,
+    /// 64-bit elements (the default for Coyote's HPC kernels).
+    #[default]
+    E64,
+}
+
+impl Sew {
+    /// Element width in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+            Sew::E64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits() / 8)
+    }
+
+    /// Decodes the 3-bit `vsew` field. Returns `None` for reserved values.
+    #[must_use]
+    pub fn from_vsew(vsew: u32) -> Option<Sew> {
+        match vsew & 0x7 {
+            0 => Some(Sew::E8),
+            1 => Some(Sew::E16),
+            2 => Some(Sew::E32),
+            3 => Some(Sew::E64),
+            _ => None,
+        }
+    }
+
+    /// Encodes as the 3-bit `vsew` field.
+    #[must_use]
+    pub fn to_vsew(self) -> u32 {
+        match self {
+            Sew::E8 => 0,
+            Sew::E16 => 1,
+            Sew::E32 => 2,
+            Sew::E64 => 3,
+        }
+    }
+}
+
+impl fmt::Display for Sew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.bits())
+    }
+}
+
+/// Vector register group multiplier (LMUL).
+///
+/// Fractional multipliers are decoded for completeness but the Coyote
+/// kernels only use the integral ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Lmul {
+    /// 1/8 of a vector register.
+    MF8,
+    /// 1/4 of a vector register.
+    MF4,
+    /// 1/2 of a vector register.
+    MF2,
+    /// One vector register (the default).
+    #[default]
+    M1,
+    /// A group of two registers.
+    M2,
+    /// A group of four registers.
+    M4,
+    /// A group of eight registers.
+    M8,
+}
+
+impl Lmul {
+    /// Decodes the 3-bit `vlmul` field. Returns `None` for the reserved
+    /// encoding `100`.
+    #[must_use]
+    pub fn from_vlmul(vlmul: u32) -> Option<Lmul> {
+        match vlmul & 0x7 {
+            0 => Some(Lmul::M1),
+            1 => Some(Lmul::M2),
+            2 => Some(Lmul::M4),
+            3 => Some(Lmul::M8),
+            5 => Some(Lmul::MF8),
+            6 => Some(Lmul::MF4),
+            7 => Some(Lmul::MF2),
+            _ => None,
+        }
+    }
+
+    /// Encodes as the 3-bit `vlmul` field.
+    #[must_use]
+    pub fn to_vlmul(self) -> u32 {
+        match self {
+            Lmul::M1 => 0,
+            Lmul::M2 => 1,
+            Lmul::M4 => 2,
+            Lmul::M8 => 3,
+            Lmul::MF8 => 5,
+            Lmul::MF4 => 6,
+            Lmul::MF2 => 7,
+        }
+    }
+
+    /// The multiplier as a rational `(numerator, denominator)`.
+    #[must_use]
+    pub fn ratio(self) -> (u64, u64) {
+        match self {
+            Lmul::MF8 => (1, 8),
+            Lmul::MF4 => (1, 4),
+            Lmul::MF2 => (1, 2),
+            Lmul::M1 => (1, 1),
+            Lmul::M2 => (2, 1),
+            Lmul::M4 => (4, 1),
+            Lmul::M8 => (8, 1),
+        }
+    }
+
+    /// Number of architectural registers in a group (1 for fractional).
+    #[must_use]
+    pub fn group_len(self) -> usize {
+        match self {
+            Lmul::M2 => 2,
+            Lmul::M4 => 4,
+            Lmul::M8 => 8,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Lmul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Lmul::MF8 => "mf8",
+            Lmul::MF4 => "mf4",
+            Lmul::MF2 => "mf2",
+            Lmul::M1 => "m1",
+            Lmul::M2 => "m2",
+            Lmul::M4 => "m4",
+            Lmul::M8 => "m8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded `vtype` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VType {
+    /// Selected element width.
+    pub sew: Sew,
+    /// Register group multiplier.
+    pub lmul: Lmul,
+    /// Tail-agnostic policy bit.
+    pub ta: bool,
+    /// Mask-agnostic policy bit.
+    pub ma: bool,
+}
+
+impl VType {
+    /// Builds a `vtype` with both agnostic bits set (`ta, ma`), the common
+    /// configuration used by all Coyote kernels.
+    #[must_use]
+    pub fn new(sew: Sew, lmul: Lmul) -> VType {
+        VType {
+            sew,
+            lmul,
+            ta: true,
+            ma: true,
+        }
+    }
+
+    /// Decodes the low 8 bits of a `vtype` immediate or CSR value.
+    ///
+    /// Returns `None` for reserved `vsew`/`vlmul` encodings (the hardware
+    /// would set `vill`; the simulator treats it as a configuration error).
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Option<VType> {
+        let b = (bits & 0xff) as u32;
+        Some(VType {
+            lmul: Lmul::from_vlmul(b & 0x7)?,
+            sew: Sew::from_vsew((b >> 3) & 0x7)?,
+            ta: (b >> 6) & 1 == 1,
+            ma: (b >> 7) & 1 == 1,
+        })
+    }
+
+    /// Encodes into the low 8 bits of a `vtype` value.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        u64::from(
+            self.lmul.to_vlmul()
+                | (self.sew.to_vsew() << 3)
+                | (u32::from(self.ta) << 6)
+                | (u32::from(self.ma) << 7),
+        )
+    }
+
+    /// Maximum vector length `VLMAX = VLEN/SEW * LMUL` for a given VLEN
+    /// in bits.
+    #[must_use]
+    pub fn vlmax(self, vlen_bits: u64) -> u64 {
+        let (num, den) = self.lmul.ratio();
+        vlen_bits / u64::from(self.sew.bits()) * num / den
+    }
+}
+
+impl fmt::Display for VType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{},{},{},{}",
+            self.sew,
+            self.lmul,
+            if self.ta { "ta" } else { "tu" },
+            if self.ma { "ma" } else { "mu" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtype_bits_round_trip() {
+        for sew in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+            for lmul in [
+                Lmul::MF8,
+                Lmul::MF4,
+                Lmul::MF2,
+                Lmul::M1,
+                Lmul::M2,
+                Lmul::M4,
+                Lmul::M8,
+            ] {
+                for (ta, ma) in [(false, false), (true, false), (false, true), (true, true)] {
+                    let vt = VType { sew, lmul, ta, ma };
+                    assert_eq!(VType::from_bits(vt.to_bits()), Some(vt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_vlmul_rejected() {
+        // vlmul = 100 is reserved.
+        assert_eq!(VType::from_bits(0b100), None);
+    }
+
+    #[test]
+    fn vlmax_matches_spec_formula() {
+        // VLEN = 1024 (16 lanes of 64 bits, the paper's VPU shape).
+        let vt = VType::new(Sew::E64, Lmul::M1);
+        assert_eq!(vt.vlmax(1024), 16);
+        let vt = VType::new(Sew::E64, Lmul::M8);
+        assert_eq!(vt.vlmax(1024), 128);
+        let vt = VType::new(Sew::E32, Lmul::M1);
+        assert_eq!(vt.vlmax(1024), 32);
+        let vt = VType {
+            sew: Sew::E64,
+            lmul: Lmul::MF2,
+            ta: true,
+            ma: true,
+        };
+        assert_eq!(vt.vlmax(1024), 8);
+    }
+
+    #[test]
+    fn display_is_assembler_syntax() {
+        assert_eq!(VType::new(Sew::E64, Lmul::M1).to_string(), "e64,m1,ta,ma");
+        let vt = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M4,
+            ta: false,
+            ma: false,
+        };
+        assert_eq!(vt.to_string(), "e32,m4,tu,mu");
+    }
+
+    #[test]
+    fn sew_sizes() {
+        assert_eq!(Sew::E64.bytes(), 8);
+        assert_eq!(Sew::E8.bytes(), 1);
+        assert_eq!(Sew::from_vsew(9), Some(Sew::E16)); // masked to 3 bits
+        assert_eq!(Sew::from_vsew(4), None);
+    }
+
+    #[test]
+    fn lmul_group_len() {
+        assert_eq!(Lmul::M1.group_len(), 1);
+        assert_eq!(Lmul::M8.group_len(), 8);
+        assert_eq!(Lmul::MF2.group_len(), 1);
+    }
+}

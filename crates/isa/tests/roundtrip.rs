@@ -1,0 +1,566 @@
+//! Property tests: `encode` and `decode` are exact inverses over the
+//! supported instruction space, and `decode` never panics on arbitrary
+//! words.
+
+use coyote_isa::decode::decode;
+use coyote_isa::encode::encode;
+use coyote_isa::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+use coyote_isa::{Csr, FReg, Lmul, Sew, VReg, VType, XReg};
+use proptest::prelude::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0u8..32).prop_map(|n| XReg::new(n).unwrap())
+}
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(|n| FReg::new(n).unwrap())
+}
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0u8..32).prop_map(|n| VReg::new(n).unwrap())
+}
+fn csr() -> impl Strategy<Value = Csr> {
+    (0u16..0x1000).prop_map(|a| Csr::new(a).unwrap())
+}
+fn sew() -> impl Strategy<Value = Sew> {
+    prop_oneof![
+        Just(Sew::E8),
+        Just(Sew::E16),
+        Just(Sew::E32),
+        Just(Sew::E64)
+    ]
+}
+fn lmul() -> impl Strategy<Value = Lmul> {
+    prop_oneof![
+        Just(Lmul::MF8),
+        Just(Lmul::MF4),
+        Just(Lmul::MF2),
+        Just(Lmul::M1),
+        Just(Lmul::M2),
+        Just(Lmul::M4),
+        Just(Lmul::M8),
+    ]
+}
+fn vtype() -> impl Strategy<Value = VType> {
+    (sew(), lmul(), any::<bool>(), any::<bool>())
+        .prop_map(|(sew, lmul, ta, ma)| VType { sew, lmul, ta, ma })
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ]
+}
+
+fn reg_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn imm_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn shift_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)]
+}
+
+fn alu_w_op() -> impl Strategy<Value = AluWOp> {
+    prop_oneof![
+        Just(AluWOp::Addw),
+        Just(AluWOp::Subw),
+        Just(AluWOp::Sllw),
+        Just(AluWOp::Srlw),
+        Just(AluWOp::Sraw),
+        Just(AluWOp::Mulw),
+        Just(AluWOp::Divw),
+        Just(AluWOp::Divuw),
+        Just(AluWOp::Remw),
+        Just(AluWOp::Remuw),
+    ]
+}
+
+fn amo_op() -> impl Strategy<Value = AmoOp> {
+    prop_oneof![
+        Just(AmoOp::Sc),
+        Just(AmoOp::Swap),
+        Just(AmoOp::Add),
+        Just(AmoOp::Xor),
+        Just(AmoOp::And),
+        Just(AmoOp::Or),
+        Just(AmoOp::Min),
+        Just(AmoOp::Max),
+        Just(AmoOp::Minu),
+        Just(AmoOp::Maxu),
+    ]
+}
+
+fn fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::Sgnj),
+        Just(FpOp::Sgnjn),
+        Just(FpOp::Sgnjx),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+    ]
+}
+
+fn vint_vv_op() -> impl Strategy<Value = VIntOp> {
+    prop_oneof![
+        Just(VIntOp::Add),
+        Just(VIntOp::Sub),
+        Just(VIntOp::And),
+        Just(VIntOp::Or),
+        Just(VIntOp::Xor),
+        Just(VIntOp::Sll),
+        Just(VIntOp::Srl),
+        Just(VIntOp::Sra),
+        Just(VIntOp::Min),
+        Just(VIntOp::Max),
+        Just(VIntOp::Minu),
+        Just(VIntOp::Maxu),
+    ]
+}
+
+fn vmul_op() -> impl Strategy<Value = VMulOp> {
+    prop_oneof![
+        Just(VMulOp::Mul),
+        Just(VMulOp::Mulh),
+        Just(VMulOp::Mulhu),
+        Just(VMulOp::Div),
+        Just(VMulOp::Divu),
+        Just(VMulOp::Rem),
+        Just(VMulOp::Remu),
+        Just(VMulOp::Macc),
+    ]
+}
+
+fn vfp_op() -> impl Strategy<Value = VFpOp> {
+    prop_oneof![
+        Just(VFpOp::Add),
+        Just(VFpOp::Sub),
+        Just(VFpOp::Mul),
+        Just(VFpOp::Div),
+        Just(VFpOp::Min),
+        Just(VFpOp::Max),
+        Just(VFpOp::Sgnj),
+        Just(VFpOp::Macc),
+    ]
+}
+
+fn vaddr_mode() -> impl Strategy<Value = VAddrMode> {
+    prop_oneof![
+        Just(VAddrMode::Unit),
+        xreg().prop_map(VAddrMode::Strided),
+        vreg().prop_map(VAddrMode::Indexed),
+    ]
+}
+
+prop_compose! {
+    fn b_offset()(raw in -2048i32..=2047) -> i32 { raw * 2 }
+}
+prop_compose! {
+    fn j_offset()(raw in -(1i32 << 19)..(1i32 << 19)) -> i32 { raw * 2 }
+}
+prop_compose! {
+    fn u_imm()(raw in -(1i64 << 19)..(1i64 << 19)) -> i64 { raw * 4096 }
+}
+
+/// A strategy over every encodable instruction form.
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (xreg(), u_imm()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (xreg(), u_imm()).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+        (xreg(), j_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (xreg(), xreg(), -2048i32..=2047)
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (branch_op(), xreg(), xreg(), b_offset())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                (Just(MemWidth::B), any::<bool>()),
+                (Just(MemWidth::H), any::<bool>()),
+                (Just(MemWidth::W), any::<bool>()),
+                (Just(MemWidth::D), Just(true)),
+            ],
+            xreg(),
+            xreg(),
+            -2048i32..=2047
+        )
+            .prop_map(|((width, signed), rd, rs1, offset)| Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset
+            }),
+        (
+            prop_oneof![
+                Just(MemWidth::B),
+                Just(MemWidth::H),
+                Just(MemWidth::W),
+                Just(MemWidth::D)
+            ],
+            xreg(),
+            xreg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Inst::Store { width, rs2, rs1, offset }),
+        (imm_alu_op(), xreg(), xreg(), -2048i64..=2047)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (shift_op(), xreg(), xreg(), 0i64..=63)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (reg_alu_op(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (xreg(), xreg(), -2048i64..=2047)
+            .prop_map(|(rd, rs1, imm)| Inst::OpImm32 { op: AluWOp::Addw, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluWOp::Sllw), Just(AluWOp::Srlw), Just(AluWOp::Sraw)],
+            xreg(),
+            xreg(),
+            0i64..=31
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm32 { op, rd, rs1, imm }),
+        (alu_w_op(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op32 { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (
+            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
+            xreg(),
+            csr(),
+            prop_oneof![
+                xreg().prop_map(CsrSrc::Reg),
+                (0u8..32).prop_map(CsrSrc::Imm)
+            ]
+        )
+            .prop_map(|(op, rd, csr, src)| Inst::Csr { op, rd, csr, src }),
+        (
+            amo_op(),
+            prop_oneof![Just(MemWidth::W), Just(MemWidth::D)],
+            xreg(),
+            xreg(),
+            xreg()
+        )
+            .prop_map(|(op, width, rd, rs1, rs2)| Inst::Amo { op, width, rd, rs1, rs2 }),
+        (
+            prop_oneof![Just(MemWidth::W), Just(MemWidth::D)],
+            xreg(),
+            xreg()
+        )
+            .prop_map(|(width, rd, rs1)| Inst::Amo {
+                op: AmoOp::Lr,
+                width,
+                rd,
+                rs1,
+                rs2: XReg::ZERO
+            }),
+        (freg(), xreg(), -2048i32..=2047)
+            .prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
+        (freg(), xreg(), -2048i32..=2047)
+            .prop_map(|(rs2, rs1, offset)| Inst::Fsd { rs2, rs1, offset }),
+        (fp_op(), freg(), freg(), freg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpOp { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(FmaOp::Madd),
+                Just(FmaOp::Msub),
+                Just(FmaOp::Nmsub),
+                Just(FmaOp::Nmadd)
+            ],
+            freg(),
+            freg(),
+            freg(),
+            freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::FpFma { op, rd, rs1, rs2, rs3 }),
+        (
+            prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
+            xreg(),
+            freg(),
+            freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(FpCvtOp::DFromL),
+                Just(FpCvtOp::DFromLu),
+                Just(FpCvtOp::DFromW),
+                Just(FpCvtOp::LFromD),
+                Just(FpCvtOp::LuFromD),
+                Just(FpCvtOp::WFromD)
+            ],
+            0u8..32,
+            0u8..32
+        )
+            .prop_map(|(op, rd, rs1)| Inst::FpCvt { op, rd, rs1 }),
+        (xreg(), freg()).prop_map(|(rd, rs1)| Inst::FmvXD { rd, rs1 }),
+        (freg(), xreg()).prop_map(|(rd, rs1)| Inst::FmvDX { rd, rs1 }),
+        (xreg(), xreg(), vtype()).prop_map(|(rd, rs1, vtype)| Inst::Vsetvli { rd, rs1, vtype }),
+        (xreg(), 0u8..32, vtype()).prop_map(|(rd, avl, vtype)| Inst::Vsetivli { rd, avl, vtype }),
+        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Inst::Vsetvl { rd, rs1, rs2 }),
+        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>())
+            .prop_map(|(vd, rs1, mode, eew, vm)| Inst::VLoad { vd, rs1, mode, eew, vm }),
+        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>())
+            .prop_map(|(vs3, rs1, mode, eew, vm)| Inst::VStore { vs3, rs1, mode, eew, vm }),
+        (vint_vv_op(), vreg(), vreg(), vreg(), any::<bool>()).prop_map(
+            |(op, vd, vs2, vs1, vm)| Inst::VIntOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Vector(vs1),
+                vm
+            }
+        ),
+        (
+            prop_oneof![vint_vv_op(), Just(VIntOp::Rsub)],
+            vreg(),
+            vreg(),
+            xreg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, rs1, vm)| Inst::VIntOp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Xreg(rs1),
+                vm
+            }),
+        (
+            prop_oneof![
+                Just(VIntOp::Add),
+                Just(VIntOp::Rsub),
+                Just(VIntOp::And),
+                Just(VIntOp::Or),
+                Just(VIntOp::Xor)
+            ],
+            vreg(),
+            vreg(),
+            -16i8..=15,
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm { op, vd, vs2, imm, vm }),
+        (
+            prop_oneof![Just(VIntOp::Sll), Just(VIntOp::Srl), Just(VIntOp::Sra)],
+            vreg(),
+            vreg(),
+            0i8..=31,
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm { op, vd, vs2, imm, vm }),
+        (
+            vmul_op(),
+            vreg(),
+            vreg(),
+            prop_oneof![vreg().prop_map(VScalar::Vector), xreg().prop_map(VScalar::Xreg)],
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, src, vm)| Inst::VMulOp { op, vd, vs2, src, vm }),
+        (
+            vfp_op(),
+            vreg(),
+            vreg(),
+            prop_oneof![vreg().prop_map(VFScalar::Vector), freg().prop_map(VFScalar::Freg)],
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, src, vm)| Inst::VFpOp { op, vd, vs2, src, vm }),
+        (vreg(), vreg(), vreg(), any::<bool>())
+            .prop_map(|(vd, vs2, vs1, vm)| Inst::VRedSum { vd, vs2, vs1, vm }),
+        (vreg(), vreg(), vreg(), any::<bool>())
+            .prop_map(|(vd, vs2, vs1, vm)| Inst::VFRedSum { vd, vs2, vs1, vm }),
+        (vreg(), vreg()).prop_map(|(vd, vs1)| Inst::VMvVV { vd, vs1 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Inst::VMvVX { vd, rs1 }),
+        (vreg(), -16i8..=15).prop_map(|(vd, imm)| Inst::VMvVI { vd, imm }),
+        (vreg(), freg()).prop_map(|(vd, rs1)| Inst::VFMvVF { vd, rs1 }),
+        (xreg(), vreg()).prop_map(|(rd, vs2)| Inst::VMvXS { rd, vs2 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Inst::VMvSX { vd, rs1 }),
+        (freg(), vreg()).prop_map(|(rd, vs2)| Inst::VFMvFS { rd, vs2 }),
+        (vreg(), freg()).prop_map(|(vd, rs1)| Inst::VFMvSF { vd, rs1 }),
+        (vreg(), any::<bool>()).prop_map(|(vd, vm)| Inst::Vid { vd, vm }),
+        // Mask subset.
+        (
+            prop_oneof![
+                Just(VCmpOp::Eq),
+                Just(VCmpOp::Ne),
+                Just(VCmpOp::Ltu),
+                Just(VCmpOp::Lt),
+                Just(VCmpOp::Leu),
+                Just(VCmpOp::Le)
+            ],
+            vreg(),
+            vreg(),
+            vreg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, vs1, vm)| Inst::VMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Vector(vs1),
+                vm
+            }),
+        (
+            prop_oneof![
+                Just(VCmpOp::Eq),
+                Just(VCmpOp::Ne),
+                Just(VCmpOp::Ltu),
+                Just(VCmpOp::Lt),
+                Just(VCmpOp::Leu),
+                Just(VCmpOp::Le),
+                Just(VCmpOp::Gtu),
+                Just(VCmpOp::Gt)
+            ],
+            vreg(),
+            vreg(),
+            xreg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, rs1, vm)| Inst::VMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VScalar::Xreg(rs1),
+                vm
+            }),
+        (
+            prop_oneof![
+                Just(VCmpOp::Eq),
+                Just(VCmpOp::Ne),
+                Just(VCmpOp::Leu),
+                Just(VCmpOp::Le),
+                Just(VCmpOp::Gtu),
+                Just(VCmpOp::Gt)
+            ],
+            vreg(),
+            vreg(),
+            -16i8..=15,
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VMaskCmpImm { op, vd, vs2, imm, vm }),
+        (
+            prop_oneof![
+                Just(VFCmpOp::Eq),
+                Just(VFCmpOp::Le),
+                Just(VFCmpOp::Lt),
+                Just(VFCmpOp::Ne)
+            ],
+            vreg(),
+            vreg(),
+            vreg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, vs1, vm)| Inst::VFMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Vector(vs1),
+                vm
+            }),
+        (
+            prop_oneof![
+                Just(VFCmpOp::Eq),
+                Just(VFCmpOp::Le),
+                Just(VFCmpOp::Lt),
+                Just(VFCmpOp::Ne),
+                Just(VFCmpOp::Gt),
+                Just(VFCmpOp::Ge)
+            ],
+            vreg(),
+            vreg(),
+            freg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, vd, vs2, rs1, vm)| Inst::VFMaskCmp {
+                op,
+                vd,
+                vs2,
+                src: VFScalar::Freg(rs1),
+                vm
+            }),
+        (
+            prop_oneof![
+                Just(VMaskOp::And),
+                Just(VMaskOp::Nand),
+                Just(VMaskOp::AndNot),
+                Just(VMaskOp::Xor),
+                Just(VMaskOp::Or),
+                Just(VMaskOp::Nor),
+                Just(VMaskOp::OrNot),
+                Just(VMaskOp::Xnor)
+            ],
+            vreg(),
+            vreg(),
+            vreg()
+        )
+            .prop_map(|(op, vd, vs2, vs1)| Inst::VMaskLogical { op, vd, vs2, vs1 }),
+        (
+            vreg(),
+            vreg(),
+            prop_oneof![vreg().prop_map(VScalar::Vector), xreg().prop_map(VScalar::Xreg)]
+        )
+            .prop_map(|(vd, vs2, src)| Inst::VMerge { vd, vs2, src }),
+        (vreg(), vreg(), -16i8..=15)
+            .prop_map(|(vd, vs2, imm)| Inst::VMergeImm { vd, vs2, imm }),
+        (vreg(), vreg(), freg()).prop_map(|(vd, vs2, rs1)| Inst::VFMerge { vd, vs2, rs1 }),
+        (xreg(), vreg(), any::<bool>()).prop_map(|(rd, vs2, vm)| Inst::Vcpop { rd, vs2, vm }),
+        (xreg(), vreg(), any::<bool>()).prop_map(|(rd, vs2, vm)| Inst::Vfirst { rd, vs2, vm }),
+    ]
+}
+
+proptest! {
+    /// encode ∘ decode = id over the whole encodable space.
+    #[test]
+    fn encode_decode_round_trip(inst in inst()) {
+        let word = encode(&inst).expect("strategy only yields encodable forms");
+        let back = decode(word).expect("every encoded word decodes");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// decode never panics and, when it succeeds, re-encoding reproduces
+    /// a word that decodes to the same instruction (decode is a
+    /// retraction of encode).
+    #[test]
+    fn decode_total_and_stable(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let re = encode(&inst).expect("decoded instructions are encodable");
+            let again = decode(re).expect("re-encoded word decodes");
+            prop_assert_eq!(again, inst);
+        }
+    }
+}

@@ -1,0 +1,1424 @@
+//! Functional execution semantics.
+//!
+//! [`execute`] applies one decoded instruction to a [`Hart`] and the
+//! shared [`SparseMemory`], reporting the data-memory accesses performed
+//! and the destination register written, which the timing layer (L1
+//! caches + RAW scoreboard + event-driven hierarchy) uses to drive the
+//! Coyote cycle loop.
+//!
+//! Floating-point notes: the simulator computes with host `f64`
+//! arithmetic. Arithmetic uses round-to-nearest-even (the canonical
+//! dynamic rounding the encoder emits); float→int conversions use
+//! round-toward-zero with saturation, matching RISC-V `rtz` semantics
+//! for in-range values. `fmin`/`fmax` follow IEEE `minNum`/`maxNum` for
+//! non-NaN inputs.
+
+use std::fmt;
+
+use coyote_isa::inst::{
+    AluOp, AluWOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpCvtOp, FpOp, Inst, MemWidth,
+    VAddrMode, VCmpOp, VFCmpOp, VFScalar, VFpOp, VIntOp, VMaskOp, VMulOp, VScalar,
+};
+use coyote_isa::{FReg, Sew, VReg, XReg};
+
+use crate::hart::Hart;
+use crate::mem::SparseMemory;
+
+/// One data-memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// `true` for stores (and the store half of atomics).
+    pub write: bool,
+}
+
+/// Destination register written by an instruction, for scoreboarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Integer register.
+    X(XReg),
+    /// Floating-point register.
+    F(FReg),
+    /// Vector register group (base register + group length).
+    V(VReg, u8),
+}
+
+/// Environment-call request raised by `ecall` under the proxy-kernel
+/// convention Coyote's baremetal kernels use (`a7` = syscall number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ecall {
+    /// `a7 = 93`: exit with the code in `a0`.
+    Exit(i64),
+    /// `a7 = 64`: write the byte in `a0` to the console.
+    PutChar(u8),
+    /// Any other syscall number (treated as a no-op by the simulator).
+    Unknown(u64),
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Effects {
+    /// Destination register, if any, for RAW tracking of loads.
+    pub dest: Option<Dest>,
+    /// Raised environment call, if the instruction was `ecall`.
+    pub ecall: Option<Ecall>,
+    /// Whether control flow was redirected (taken branch or jump).
+    pub branched: bool,
+}
+
+/// Error from executing an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A vector operation ran with a SEW the unit does not support.
+    UnsupportedSew {
+        /// The current SEW.
+        sew: Sew,
+        /// The operation family that rejected it.
+        what: &'static str,
+    },
+    /// A vector FP operation needs SEW=64.
+    FpVectorNeedsE64,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnsupportedSew { sew, what } => {
+                write!(f, "unsupported element width {sew} for {what}")
+            }
+            ExecError::FpVectorNeedsE64 => {
+                write!(f, "vector floating-point requires e64 elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A set of registers, used for hazard detection (bit per register).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegSet {
+    /// Integer registers (bit 0 = `x0`, always clear).
+    pub x: u32,
+    /// FP registers.
+    pub f: u32,
+    /// Vector registers.
+    pub v: u32,
+}
+
+impl RegSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    /// Adds an integer register (`x0` is ignored: it can never be
+    /// pending).
+    pub fn add_x(&mut self, reg: XReg) {
+        if reg != XReg::ZERO {
+            self.x |= 1 << reg.index();
+        }
+    }
+
+    /// Adds an FP register.
+    pub fn add_f(&mut self, reg: FReg) {
+        self.f |= 1 << reg.index();
+    }
+
+    /// Adds a vector register group of `len` registers starting at
+    /// `reg` (wrapping masked off at `v31`).
+    pub fn add_v_group(&mut self, reg: VReg, len: u8) {
+        for i in 0..u32::from(len) {
+            let idx = reg.index() as u32 + i;
+            if idx < 32 {
+                self.v |= 1 << idx;
+            }
+        }
+    }
+
+    /// Whether the two sets intersect.
+    #[must_use]
+    pub fn intersects(&self, other: &RegSet) -> bool {
+        (self.x & other.x) | (self.f & other.f) | (self.v & other.v) != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x == 0 && self.f == 0 && self.v == 0
+    }
+
+    /// Removes every register in `other` from `self`.
+    pub fn remove(&mut self, other: &RegSet) {
+        self.x &= !other.x;
+        self.f &= !other.f;
+        self.v &= !other.v;
+    }
+
+    /// Unions `other` into `self`.
+    pub fn insert_all(&mut self, other: &RegSet) {
+        self.x |= other.x;
+        self.f |= other.f;
+        self.v |= other.v;
+    }
+}
+
+/// Vector register group length implied by the hart's current LMUL.
+fn group_len(hart: &Hart) -> u8 {
+    hart.vtype.lmul.group_len() as u8
+}
+
+/// Registers read by `inst` (for RAW-hazard detection).
+#[must_use]
+pub fn uses(inst: &Inst, hart: &Hart) -> RegSet {
+    let mut set = RegSet::new();
+    let g = group_len(hart);
+    match *inst {
+        Inst::Lui { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak | Inst::Auipc { .. } => {}
+        Inst::Jal { .. } => {}
+        Inst::Jalr { rs1, .. } => set.add_x(rs1),
+        Inst::Branch { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Load { rs1, .. } => set.add_x(rs1),
+        Inst::Store { rs2, rs1, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::OpImm { rs1, .. } | Inst::OpImm32 { rs1, .. } => set.add_x(rs1),
+        Inst::Op { rs1, rs2, .. } | Inst::Op32 { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Csr { src, .. } => {
+            if let CsrSrc::Reg(rs1) = src {
+                set.add_x(rs1);
+            }
+        }
+        Inst::Amo { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Fld { rs1, .. } => set.add_x(rs1),
+        Inst::Fsd { rs2, rs1, .. } => {
+            set.add_x(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpOp { rs1, rs2, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpFma { rs1, rs2, rs3, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+            set.add_f(rs3);
+        }
+        Inst::FpCmp { rs1, rs2, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpCvt { op, rs1, .. } => match op {
+            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
+                set.add_x(XReg::new(rs1).unwrap_or(XReg::ZERO));
+            }
+            _ => set.add_f(FReg::new(rs1).unwrap_or_default()),
+        },
+        Inst::FmvXD { rs1, .. } => set.add_f(rs1),
+        Inst::FmvDX { rs1, .. } => set.add_x(rs1),
+        Inst::Vsetvli { rs1, .. } => set.add_x(rs1),
+        Inst::Vsetivli { .. } => {}
+        Inst::Vsetvl { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::VLoad { rs1, mode, vm, .. } => {
+            set.add_x(rs1);
+            add_mode_uses(&mut set, mode, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VStore {
+            vs3, rs1, mode, vm, ..
+        } => {
+            set.add_x(rs1);
+            set.add_v_group(vs3, g);
+            add_mode_uses(&mut set, mode, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VIntOp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VIntOpImm { vs2, vm, .. } => {
+            set.add_v_group(vs2, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMulOp {
+            op, vd, vs2, src, vm, ..
+        } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if op == VMulOp::Macc {
+                set.add_v_group(vd, g); // accumulator is also a source
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VFpOp {
+            op, vd, vs2, src, vm, ..
+        } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VFScalar::Vector(v1) => set.add_v_group(v1, g),
+                VFScalar::Freg(r1) => set.add_f(r1),
+            }
+            if op == VFpOp::Macc {
+                set.add_v_group(vd, g);
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VRedSum { vs2, vs1, vm, .. } | Inst::VFRedSum { vs2, vs1, vm, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_v_group(vs1, 1);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMvVV { vs1, .. } => set.add_v_group(vs1, g),
+        Inst::VMvVX { rs1, .. } | Inst::VMvSX { rs1, .. } => set.add_x(rs1),
+        Inst::VMvVI { .. } => {}
+        Inst::VFMvVF { rs1, .. } | Inst::VFMvSF { rs1, .. } => set.add_f(rs1),
+        Inst::VMvXS { vs2, .. } | Inst::VFMvFS { vs2, .. } => set.add_v_group(vs2, 1),
+        Inst::Vid { vm, .. } => {
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskCmp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskCmpImm { vs2, vm, .. } => {
+            set.add_v_group(vs2, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VFMaskCmp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VFScalar::Vector(v1) => set.add_v_group(v1, g),
+                VFScalar::Freg(r1) => set.add_f(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskLogical { vs2, vs1, .. } => {
+            set.add_v_group(vs2, 1);
+            set.add_v_group(vs1, 1);
+        }
+        Inst::VMerge { vs2, src, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::VMergeImm { vs2, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::VFMerge { vs2, rs1, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_f(rs1);
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::Vcpop { vs2, vm, .. } | Inst::Vfirst { vs2, vm, .. } => {
+            set.add_v_group(vs2, 1);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+    }
+    set
+}
+
+fn add_mode_uses(set: &mut RegSet, mode: VAddrMode, g: u8) {
+    match mode {
+        VAddrMode::Unit => {}
+        VAddrMode::Strided(rs2) => set.add_x(rs2),
+        VAddrMode::Indexed(vs2) => set.add_v_group(vs2, g),
+    }
+}
+
+/// Registers written by `inst` (for WAW-hazard detection against pending
+/// fills).
+#[must_use]
+pub fn defs(inst: &Inst, hart: &Hart) -> RegSet {
+    let mut set = RegSet::new();
+    let g = group_len(hart);
+    match *inst {
+        Inst::Lui { rd, .. }
+        | Inst::Auipc { rd, .. }
+        | Inst::Jal { rd, .. }
+        | Inst::Jalr { rd, .. }
+        | Inst::Load { rd, .. }
+        | Inst::OpImm { rd, .. }
+        | Inst::Op { rd, .. }
+        | Inst::OpImm32 { rd, .. }
+        | Inst::Op32 { rd, .. }
+        | Inst::Csr { rd, .. }
+        | Inst::Amo { rd, .. }
+        | Inst::FpCmp { rd, .. }
+        | Inst::FmvXD { rd, .. }
+        | Inst::Vsetvli { rd, .. }
+        | Inst::Vsetivli { rd, .. }
+        | Inst::Vsetvl { rd, .. }
+        | Inst::VMvXS { rd, .. } => set.add_x(rd),
+        Inst::Fld { rd, .. } | Inst::FmvDX { rd, .. } | Inst::VFMvFS { rd, .. } => set.add_f(rd),
+        Inst::FpOp { rd, .. } | Inst::FpFma { rd, .. } => set.add_f(rd),
+        Inst::FpCvt { op, rd, .. } => match op {
+            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
+                set.add_f(FReg::new(rd).unwrap_or_default());
+            }
+            _ => set.add_x(XReg::new(rd).unwrap_or(XReg::ZERO)),
+        },
+        Inst::VLoad { vd, .. } => set.add_v_group(vd, g),
+        Inst::VIntOp { vd, .. }
+        | Inst::VIntOpImm { vd, .. }
+        | Inst::VMulOp { vd, .. }
+        | Inst::VFpOp { vd, .. }
+        | Inst::VMvVV { vd, .. }
+        | Inst::VMvVX { vd, .. }
+        | Inst::VMvVI { vd, .. }
+        | Inst::VFMvVF { vd, .. } => set.add_v_group(vd, g),
+        Inst::VRedSum { vd, .. }
+        | Inst::VFRedSum { vd, .. }
+        | Inst::VMvSX { vd, .. }
+        | Inst::VFMvSF { vd, .. } => set.add_v_group(vd, 1),
+        Inst::Vid { vd, .. } => set.add_v_group(vd, g),
+        Inst::VMaskCmp { vd, .. }
+        | Inst::VMaskCmpImm { vd, .. }
+        | Inst::VFMaskCmp { vd, .. }
+        | Inst::VMaskLogical { vd, .. } => set.add_v_group(vd, 1),
+        Inst::VMerge { vd, .. } | Inst::VMergeImm { vd, .. } | Inst::VFMerge { vd, .. } => {
+            set.add_v_group(vd, g);
+        }
+        Inst::Vcpop { rd, .. } | Inst::Vfirst { rd, .. } => set.add_x(rd),
+        Inst::Branch { .. }
+        | Inst::Store { .. }
+        | Inst::Fsd { .. }
+        | Inst::VStore { .. }
+        | Inst::Fence
+        | Inst::Ecall
+        | Inst::Ebreak => {}
+    }
+    set
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((i128::from(a as i64) * i128::from(b as i64)) >> 64) as u64,
+        AluOp::Mulhsu => ((i128::from(a as i64) * i128::from(b)) >> 64) as u64,
+        AluOp::Mulhu => ((u128::from(a) * u128::from(b)) >> 64) as u64,
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                (a / b) as u64
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn alu_w(op: AluWOp, a: u64, b: u64) -> u64 {
+    let a32 = a as i32;
+    let b32 = b as i32;
+    let result = match op {
+        AluWOp::Addw => a32.wrapping_add(b32),
+        AluWOp::Subw => a32.wrapping_sub(b32),
+        AluWOp::Sllw => a32.wrapping_shl(b as u32 & 31),
+        AluWOp::Srlw => ((a32 as u32).wrapping_shr(b as u32 & 31)) as i32,
+        AluWOp::Sraw => a32.wrapping_shr(b as u32 & 31),
+        AluWOp::Mulw => a32.wrapping_mul(b32),
+        AluWOp::Divw => {
+            if b32 == 0 {
+                -1
+            } else if a32 == i32::MIN && b32 == -1 {
+                a32
+            } else {
+                a32 / b32
+            }
+        }
+        AluWOp::Divuw => {
+            if b32 == 0 {
+                -1
+            } else {
+                ((a32 as u32) / (b32 as u32)) as i32
+            }
+        }
+        AluWOp::Remw => {
+            if b32 == 0 {
+                a32
+            } else if a32 == i32::MIN && b32 == -1 {
+                0
+            } else {
+                a32 % b32
+            }
+        }
+        AluWOp::Remuw => {
+            if b32 == 0 {
+                a32
+            } else {
+                ((a32 as u32) % (b32 as u32)) as i32
+            }
+        }
+    };
+    result as i64 as u64
+}
+
+fn load_value(mem: &SparseMemory, addr: u64, width: MemWidth, signed: bool) -> u64 {
+    match (width, signed) {
+        (MemWidth::B, true) => mem.read_u8(addr) as i8 as i64 as u64,
+        (MemWidth::B, false) => u64::from(mem.read_u8(addr)),
+        (MemWidth::H, true) => mem.read_u16(addr) as i16 as i64 as u64,
+        (MemWidth::H, false) => u64::from(mem.read_u16(addr)),
+        (MemWidth::W, true) => mem.read_u32(addr) as i32 as i64 as u64,
+        (MemWidth::W, false) => u64::from(mem.read_u32(addr)),
+        (MemWidth::D, _) => mem.read_u64(addr),
+    }
+}
+
+fn store_value(mem: &mut SparseMemory, addr: u64, width: MemWidth, value: u64) {
+    match width {
+        MemWidth::B => mem.write_u8(addr, value as u8),
+        MemWidth::H => mem.write_u16(addr, value as u16),
+        MemWidth::W => mem.write_u32(addr, value as u32),
+        MemWidth::D => mem.write_u64(addr, value),
+    }
+}
+
+/// Executes one instruction on `hart`, mutating `mem`.
+///
+/// `accesses` is cleared and refilled with the data-memory accesses the
+/// instruction performed (an out-buffer so the hot simulation loop does
+/// not allocate). `cycle`/`instret` feed the counter CSRs.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for vector operations at unsupported element
+/// widths. The instruction is not retired in that case.
+pub fn execute(
+    hart: &mut Hart,
+    mem: &mut SparseMemory,
+    inst: &Inst,
+    cycle: u64,
+    instret: u64,
+    accesses: &mut Vec<MemAccess>,
+) -> Result<Effects, ExecError> {
+    accesses.clear();
+    let mut fx = Effects::default();
+    let mut next_pc = hart.pc.wrapping_add(4);
+
+    match *inst {
+        Inst::Lui { rd, imm } => {
+            hart.set_x(rd, imm as u64);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Auipc { rd, imm } => {
+            hart.set_x(rd, hart.pc.wrapping_add(imm as u64));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Jal { rd, offset } => {
+            hart.set_x(rd, next_pc);
+            next_pc = hart.pc.wrapping_add(offset as i64 as u64);
+            fx.dest = Some(Dest::X(rd));
+            fx.branched = true;
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            let target = hart.x(rs1).wrapping_add(offset as i64 as u64) & !1;
+            hart.set_x(rd, next_pc);
+            next_pc = target;
+            fx.dest = Some(Dest::X(rd));
+            fx.branched = true;
+        }
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let (a, b) = (hart.x(rs1), hart.x(rs2));
+            let taken = match op {
+                BranchOp::Eq => a == b,
+                BranchOp::Ne => a != b,
+                BranchOp::Lt => (a as i64) < (b as i64),
+                BranchOp::Ge => (a as i64) >= (b as i64),
+                BranchOp::Ltu => a < b,
+                BranchOp::Geu => a >= b,
+            };
+            if taken {
+                next_pc = hart.pc.wrapping_add(offset as i64 as u64);
+                fx.branched = true;
+            }
+        }
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let addr = hart.x(rs1).wrapping_add(offset as i64 as u64);
+            hart.set_x(rd, load_value(mem, addr, width, signed));
+            accesses.push(MemAccess {
+                addr,
+                size: width.bytes() as u8,
+                write: false,
+            });
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let addr = hart.x(rs1).wrapping_add(offset as i64 as u64);
+            store_value(mem, addr, width, hart.x(rs2));
+            accesses.push(MemAccess {
+                addr,
+                size: width.bytes() as u8,
+                write: true,
+            });
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            hart.set_x(rd, alu(op, hart.x(rs1), imm as u64));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            hart.set_x(rd, alu(op, hart.x(rs1), hart.x(rs2)));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::OpImm32 { op, rd, rs1, imm } => {
+            hart.set_x(rd, alu_w(op, hart.x(rs1), imm as u64));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Op32 { op, rd, rs1, rs2 } => {
+            hart.set_x(rd, alu_w(op, hart.x(rs1), hart.x(rs2)));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Fence => {}
+        Inst::Ecall => {
+            let number = hart.x(XReg::new(17).expect("a7"));
+            let arg = hart.x(XReg::A0);
+            fx.ecall = Some(match number {
+                93 => Ecall::Exit(arg as i64),
+                64 => Ecall::PutChar(arg as u8),
+                other => Ecall::Unknown(other),
+            });
+        }
+        Inst::Ebreak => {
+            fx.ecall = Some(Ecall::Exit(-1));
+        }
+        Inst::Csr { op, rd, csr, src } => {
+            let old = hart.read_csr(csr, cycle, instret);
+            let operand = match src {
+                CsrSrc::Reg(rs1) => hart.x(rs1),
+                CsrSrc::Imm(z) => u64::from(z),
+            };
+            let new = match op {
+                CsrOp::Rw => Some(operand),
+                CsrOp::Rs => (operand != 0).then_some(old | operand),
+                CsrOp::Rc => (operand != 0).then_some(old & !operand),
+            };
+            if let Some(v) = new {
+                hart.write_csr(csr, v);
+            }
+            hart.set_x(rd, old);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Amo {
+            op,
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let addr = hart.x(rs1);
+            let old = load_value(mem, addr, width, true);
+            let src = hart.x(rs2);
+            let new = match op {
+                AmoOp::Lr => None,
+                AmoOp::Sc => Some(src),
+                AmoOp::Swap => Some(src),
+                AmoOp::Add => Some(old.wrapping_add(src)),
+                AmoOp::Xor => Some(old ^ src),
+                AmoOp::And => Some(old & src),
+                AmoOp::Or => Some(old | src),
+                AmoOp::Min => Some(if (old as i64) <= (src as i64) { old } else { src }),
+                AmoOp::Max => Some(if (old as i64) >= (src as i64) { old } else { src }),
+                AmoOp::Minu => Some(old.min(src)),
+                AmoOp::Maxu => Some(old.max(src)),
+            };
+            let is_write = new.is_some();
+            if let Some(v) = new {
+                store_value(mem, addr, width, v);
+            }
+            // sc writes rd = 0 (success: the in-order single-memory model
+            // makes every reservation succeed); others return the old value.
+            hart.set_x(rd, if op == AmoOp::Sc { 0 } else { old });
+            accesses.push(MemAccess {
+                addr,
+                size: width.bytes() as u8,
+                write: is_write,
+            });
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Fld { rd, rs1, offset } => {
+            let addr = hart.x(rs1).wrapping_add(offset as i64 as u64);
+            hart.set_f_bits(rd, mem.read_u64(addr));
+            accesses.push(MemAccess {
+                addr,
+                size: 8,
+                write: false,
+            });
+            fx.dest = Some(Dest::F(rd));
+        }
+        Inst::Fsd { rs2, rs1, offset } => {
+            let addr = hart.x(rs1).wrapping_add(offset as i64 as u64);
+            mem.write_u64(addr, hart.f_bits(rs2));
+            accesses.push(MemAccess {
+                addr,
+                size: 8,
+                write: true,
+            });
+        }
+        Inst::FpOp { op, rd, rs1, rs2 } => {
+            let (a, b) = (hart.f(rs1), hart.f(rs2));
+            let result = match op {
+                FpOp::Add => a + b,
+                FpOp::Sub => a - b,
+                FpOp::Mul => a * b,
+                FpOp::Div => a / b,
+                FpOp::Sgnj => a.copysign(b),
+                FpOp::Sgnjn => a.copysign(-b),
+                FpOp::Sgnjx => {
+                    f64::from_bits(a.to_bits() ^ (b.to_bits() & (1 << 63)))
+                }
+                FpOp::Min => a.min(b),
+                FpOp::Max => a.max(b),
+            };
+            hart.set_f(rd, result);
+            fx.dest = Some(Dest::F(rd));
+        }
+        Inst::FpFma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
+            let (a, b, c) = (hart.f(rs1), hart.f(rs2), hart.f(rs3));
+            let result = match op {
+                FmaOp::Madd => a.mul_add(b, c),
+                FmaOp::Msub => a.mul_add(b, -c),
+                FmaOp::Nmsub => (-a).mul_add(b, c),
+                FmaOp::Nmadd => (-a).mul_add(b, -c),
+            };
+            hart.set_f(rd, result);
+            fx.dest = Some(Dest::F(rd));
+        }
+        Inst::FpCmp { op, rd, rs1, rs2 } => {
+            let (a, b) = (hart.f(rs1), hart.f(rs2));
+            let result = match op {
+                FpCmpOp::Eq => a == b,
+                FpCmpOp::Lt => a < b,
+                FpCmpOp::Le => a <= b,
+            };
+            hart.set_x(rd, u64::from(result));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::FpCvt { op, rd, rs1 } => match op {
+            FpCvtOp::DFromL => {
+                let x = XReg::new(rs1).unwrap_or(XReg::ZERO);
+                let f = FReg::new(rd).unwrap_or_default();
+                hart.set_f(f, hart.x(x) as i64 as f64);
+                fx.dest = Some(Dest::F(f));
+            }
+            FpCvtOp::DFromLu => {
+                let x = XReg::new(rs1).unwrap_or(XReg::ZERO);
+                let f = FReg::new(rd).unwrap_or_default();
+                hart.set_f(f, hart.x(x) as f64);
+                fx.dest = Some(Dest::F(f));
+            }
+            FpCvtOp::DFromW => {
+                let x = XReg::new(rs1).unwrap_or(XReg::ZERO);
+                let f = FReg::new(rd).unwrap_or_default();
+                hart.set_f(f, hart.x(x) as i32 as f64);
+                fx.dest = Some(Dest::F(f));
+            }
+            FpCvtOp::LFromD => {
+                let f = FReg::new(rs1).unwrap_or_default();
+                let x = XReg::new(rd).unwrap_or(XReg::ZERO);
+                hart.set_x(x, hart.f(f) as i64 as u64);
+                fx.dest = Some(Dest::X(x));
+            }
+            FpCvtOp::LuFromD => {
+                let f = FReg::new(rs1).unwrap_or_default();
+                let x = XReg::new(rd).unwrap_or(XReg::ZERO);
+                hart.set_x(x, hart.f(f) as u64);
+                fx.dest = Some(Dest::X(x));
+            }
+            FpCvtOp::WFromD => {
+                let f = FReg::new(rs1).unwrap_or_default();
+                let x = XReg::new(rd).unwrap_or(XReg::ZERO);
+                hart.set_x(x, hart.f(f) as i32 as i64 as u64);
+                fx.dest = Some(Dest::X(x));
+            }
+        },
+        Inst::FmvXD { rd, rs1 } => {
+            hart.set_x(rd, hart.f_bits(rs1));
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::FmvDX { rd, rs1 } => {
+            hart.set_f_bits(rd, hart.x(rs1));
+            fx.dest = Some(Dest::F(rd));
+        }
+        Inst::Vsetvli { rd, rs1, vtype } => {
+            let avl = if rs1 == XReg::ZERO {
+                if rd == XReg::ZERO {
+                    hart.vl // change vtype only, keep vl
+                } else {
+                    u64::MAX // request the maximum
+                }
+            } else {
+                hart.x(rs1)
+            };
+            hart.vtype = vtype;
+            hart.vl = avl.min(vtype.vlmax(hart.vlen_bits()));
+            hart.set_x(rd, hart.vl);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Vsetivli { rd, avl, vtype } => {
+            hart.vtype = vtype;
+            hart.vl = u64::from(avl).min(vtype.vlmax(hart.vlen_bits()));
+            hart.set_x(rd, hart.vl);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Vsetvl { rd, rs1, rs2 } => {
+            let vtype = coyote_isa::VType::from_bits(hart.x(rs2)).unwrap_or_default();
+            let avl = if rs1 == XReg::ZERO {
+                u64::MAX
+            } else {
+                hart.x(rs1)
+            };
+            hart.vtype = vtype;
+            hart.vl = avl.min(vtype.vlmax(hart.vlen_bits()));
+            hart.set_x(rd, hart.vl);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::VLoad {
+            vd,
+            rs1,
+            mode,
+            eew,
+            vm,
+        } => {
+            let base = hart.x(rs1);
+            let bytes = eew.bytes();
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let addr = vector_elem_addr(hart, base, mode, eew, i);
+                let mut buf = [0u8; 8];
+                mem.read_bytes(addr, &mut buf[..bytes as usize]);
+                hart.set_v_elem(vd, i, bytes, u64::from_le_bytes(buf));
+                accesses.push(MemAccess {
+                    addr,
+                    size: bytes as u8,
+                    write: false,
+                });
+            }
+            fx.dest = Some(Dest::V(vd, vmem_group_len(hart, eew)));
+        }
+        Inst::VStore {
+            vs3,
+            rs1,
+            mode,
+            eew,
+            vm,
+        } => {
+            let base = hart.x(rs1);
+            let bytes = eew.bytes();
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let addr = vector_elem_addr(hart, base, mode, eew, i);
+                let value = hart.v_elem(vs3, i, bytes);
+                mem.write_bytes(addr, &value.to_le_bytes()[..bytes as usize]);
+                accesses.push(MemAccess {
+                    addr,
+                    size: bytes as u8,
+                    write: true,
+                });
+            }
+        }
+        Inst::VIntOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let src = VIntSrc::from_scalar(hart, src);
+            vint_loop(hart, op, vd, vs2, src, vm)?;
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VIntOpImm {
+            op,
+            vd,
+            vs2,
+            imm,
+            vm,
+        } => {
+            vint_loop(hart, op, vd, vs2, VIntSrc::Imm(imm), vm)?;
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMulOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let sew = hart.vtype.sew;
+            let bytes = sew.bytes();
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let a = sext(hart.v_elem(vd, i, bytes), sew);
+                let b2 = sext(hart.v_elem(vs2, i, bytes), sew);
+                let b1 = match src {
+                    VScalar::Vector(v1) => sext(hart.v_elem(v1, i, bytes), sew),
+                    VScalar::Xreg(r1) => hart.x(r1) as i64,
+                };
+                let result = vmul_op(op, a, b1, b2, sew);
+                hart.set_v_elem(vd, i, bytes, result as u64);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VFpOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            if hart.vtype.sew != Sew::E64 {
+                return Err(ExecError::FpVectorNeedsE64);
+            }
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let acc = f64::from_bits(hart.v_elem(vd, i, 8));
+                let b2 = f64::from_bits(hart.v_elem(vs2, i, 8));
+                let b1 = match src {
+                    VFScalar::Vector(v1) => f64::from_bits(hart.v_elem(v1, i, 8)),
+                    VFScalar::Freg(r1) => hart.f(r1),
+                };
+                let result = match op {
+                    VFpOp::Add => b2 + b1,
+                    VFpOp::Sub => b2 - b1,
+                    VFpOp::Mul => b2 * b1,
+                    VFpOp::Div => b2 / b1,
+                    VFpOp::Min => b2.min(b1),
+                    VFpOp::Max => b2.max(b1),
+                    VFpOp::Sgnj => b2.copysign(b1),
+                    VFpOp::Macc => b1.mul_add(b2, acc),
+                };
+                hart.set_v_elem(vd, i, 8, result.to_bits());
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VRedSum { vd, vs2, vs1, vm } => {
+            let sew = hart.vtype.sew;
+            let bytes = sew.bytes();
+            let mut acc = hart.v_elem(vs1, 0, bytes);
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                acc = acc.wrapping_add(hart.v_elem(vs2, i, bytes));
+            }
+            acc &= mask_for(sew);
+            hart.set_v_elem(vd, 0, bytes, acc);
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VFRedSum { vd, vs2, vs1, vm } => {
+            if hart.vtype.sew != Sew::E64 {
+                return Err(ExecError::FpVectorNeedsE64);
+            }
+            let mut acc = f64::from_bits(hart.v_elem(vs1, 0, 8));
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                acc += f64::from_bits(hart.v_elem(vs2, i, 8));
+            }
+            hart.set_v_elem(vd, 0, 8, acc.to_bits());
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VMvVV { vd, vs1 } => {
+            let bytes = hart.vtype.sew.bytes();
+            for i in 0..hart.vl {
+                let v = hart.v_elem(vs1, i, bytes);
+                hart.set_v_elem(vd, i, bytes, v);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMvVX { vd, rs1 } => {
+            let bytes = hart.vtype.sew.bytes();
+            let v = hart.x(rs1);
+            for i in 0..hart.vl {
+                hart.set_v_elem(vd, i, bytes, v);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMvVI { vd, imm } => {
+            let bytes = hart.vtype.sew.bytes();
+            for i in 0..hart.vl {
+                hart.set_v_elem(vd, i, bytes, imm as i64 as u64);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VFMvVF { vd, rs1 } => {
+            if hart.vtype.sew != Sew::E64 {
+                return Err(ExecError::FpVectorNeedsE64);
+            }
+            let bits = hart.f_bits(rs1);
+            for i in 0..hart.vl {
+                hart.set_v_elem(vd, i, 8, bits);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMvXS { rd, vs2 } => {
+            let sew = hart.vtype.sew;
+            let value = sext(hart.v_elem(vs2, 0, sew.bytes()), sew) as u64;
+            hart.set_x(rd, value);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::VMvSX { vd, rs1 } => {
+            let bytes = hart.vtype.sew.bytes();
+            hart.set_v_elem(vd, 0, bytes, hart.x(rs1));
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VFMvFS { rd, vs2 } => {
+            hart.set_f_bits(rd, hart.v_elem(vs2, 0, 8));
+            fx.dest = Some(Dest::F(rd));
+        }
+        Inst::VFMvSF { vd, rs1 } => {
+            hart.set_v_elem(vd, 0, 8, hart.f_bits(rs1));
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::Vid { vd, vm } => {
+            let bytes = hart.vtype.sew.bytes();
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                hart.set_v_elem(vd, i, bytes, i);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMaskCmp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            let sew = hart.vtype.sew;
+            let bytes = sew.bytes();
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let a = hart.v_elem(vs2, i, bytes);
+                let b = match src {
+                    VScalar::Vector(v1) => hart.v_elem(v1, i, bytes),
+                    VScalar::Xreg(r1) => hart.x(r1) & mask_for(sew),
+                };
+                hart.set_v_bit(vd, i, vint_compare(op, a, b, sew));
+            }
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VMaskCmpImm {
+            op,
+            vd,
+            vs2,
+            imm,
+            vm,
+        } => {
+            let sew = hart.vtype.sew;
+            let bytes = sew.bytes();
+            let b = (imm as i64 as u64) & mask_for(sew);
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let a = hart.v_elem(vs2, i, bytes);
+                hart.set_v_bit(vd, i, vint_compare(op, a, b, sew));
+            }
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VFMaskCmp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+        } => {
+            if hart.vtype.sew != Sew::E64 {
+                return Err(ExecError::FpVectorNeedsE64);
+            }
+            for i in 0..hart.vl {
+                if !vm && !hart.v0_mask_bit(i) {
+                    continue;
+                }
+                let a = f64::from_bits(hart.v_elem(vs2, i, 8));
+                let b = match src {
+                    VFScalar::Vector(v1) => f64::from_bits(hart.v_elem(v1, i, 8)),
+                    VFScalar::Freg(r1) => hart.f(r1),
+                };
+                let result = match op {
+                    VFCmpOp::Eq => a == b,
+                    VFCmpOp::Le => a <= b,
+                    VFCmpOp::Lt => a < b,
+                    VFCmpOp::Ne => a != b,
+                    VFCmpOp::Gt => a > b,
+                    VFCmpOp::Ge => a >= b,
+                };
+                hart.set_v_bit(vd, i, result);
+            }
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VMaskLogical { op, vd, vs2, vs1 } => {
+            for i in 0..hart.vl {
+                let a = hart.v_bit(vs2, i);
+                let b = hart.v_bit(vs1, i);
+                let result = match op {
+                    VMaskOp::And => a & b,
+                    VMaskOp::Nand => !(a & b),
+                    VMaskOp::AndNot => a & !b,
+                    VMaskOp::Xor => a ^ b,
+                    VMaskOp::Or => a | b,
+                    VMaskOp::Nor => !(a | b),
+                    VMaskOp::OrNot => a | !b,
+                    VMaskOp::Xnor => !(a ^ b),
+                };
+                hart.set_v_bit(vd, i, result);
+            }
+            fx.dest = Some(Dest::V(vd, 1));
+        }
+        Inst::VMerge { vd, vs2, src } => {
+            let bytes = hart.vtype.sew.bytes();
+            for i in 0..hart.vl {
+                let value = if hart.v0_mask_bit(i) {
+                    match src {
+                        VScalar::Vector(v1) => hart.v_elem(v1, i, bytes),
+                        VScalar::Xreg(r1) => hart.x(r1) & mask_for(hart.vtype.sew),
+                    }
+                } else {
+                    hart.v_elem(vs2, i, bytes)
+                };
+                hart.set_v_elem(vd, i, bytes, value);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VMergeImm { vd, vs2, imm } => {
+            let sew = hart.vtype.sew;
+            let bytes = sew.bytes();
+            let set_value = (imm as i64 as u64) & mask_for(sew);
+            for i in 0..hart.vl {
+                let value = if hart.v0_mask_bit(i) {
+                    set_value
+                } else {
+                    hart.v_elem(vs2, i, bytes)
+                };
+                hart.set_v_elem(vd, i, bytes, value);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::VFMerge { vd, vs2, rs1 } => {
+            if hart.vtype.sew != Sew::E64 {
+                return Err(ExecError::FpVectorNeedsE64);
+            }
+            let scalar = hart.f_bits(rs1);
+            for i in 0..hart.vl {
+                let value = if hart.v0_mask_bit(i) {
+                    scalar
+                } else {
+                    hart.v_elem(vs2, i, 8)
+                };
+                hart.set_v_elem(vd, i, 8, value);
+            }
+            fx.dest = Some(Dest::V(vd, group_len(hart)));
+        }
+        Inst::Vcpop { rd, vs2, vm } => {
+            let mut count = 0u64;
+            for i in 0..hart.vl {
+                if (vm || hart.v0_mask_bit(i)) && hart.v_bit(vs2, i) {
+                    count += 1;
+                }
+            }
+            hart.set_x(rd, count);
+            fx.dest = Some(Dest::X(rd));
+        }
+        Inst::Vfirst { rd, vs2, vm } => {
+            let mut first = u64::MAX; // -1 when no bit is set
+            for i in 0..hart.vl {
+                if (vm || hart.v0_mask_bit(i)) && hart.v_bit(vs2, i) {
+                    first = i;
+                    break;
+                }
+            }
+            hart.set_x(rd, first);
+            fx.dest = Some(Dest::X(rd));
+        }
+    }
+
+    hart.pc = next_pc;
+    Ok(fx)
+}
+
+/// Register-group length for a vector memory op whose EEW may differ
+/// from the configured SEW (EMUL = EEW/SEW × LMUL).
+fn vmem_group_len(hart: &Hart, eew: Sew) -> u8 {
+    let (num, den) = hart.vtype.lmul.ratio();
+    let emul8 = 8 * u64::from(eew.bits()) * num / (u64::from(hart.vtype.sew.bits()) * den);
+    (emul8 / 8).clamp(1, 8) as u8
+}
+
+fn vector_elem_addr(hart: &Hart, base: u64, mode: VAddrMode, eew: Sew, i: u64) -> u64 {
+    match mode {
+        VAddrMode::Unit => base + i * eew.bytes(),
+        VAddrMode::Strided(rs2) => base.wrapping_add(hart.x(rs2).wrapping_mul(i)),
+        VAddrMode::Indexed(vs2) => base.wrapping_add(hart.v_elem(vs2, i, eew.bytes())),
+    }
+}
+
+enum VIntSrc {
+    Vector(VReg),
+    Scalar(u64),
+    Imm(i8),
+}
+
+impl VIntSrc {
+    fn from_scalar(hart: &Hart, src: VScalar) -> VIntSrc {
+        match src {
+            VScalar::Vector(v1) => VIntSrc::Vector(v1),
+            VScalar::Xreg(r1) => VIntSrc::Scalar(hart.x(r1)),
+        }
+    }
+}
+
+fn mask_for(sew: Sew) -> u64 {
+    match sew {
+        Sew::E8 => 0xff,
+        Sew::E16 => 0xffff,
+        Sew::E32 => 0xffff_ffff,
+        Sew::E64 => u64::MAX,
+    }
+}
+
+fn sext(value: u64, sew: Sew) -> i64 {
+    match sew {
+        Sew::E8 => value as u8 as i8 as i64,
+        Sew::E16 => value as u16 as i16 as i64,
+        Sew::E32 => value as u32 as i32 as i64,
+        Sew::E64 => value as i64,
+    }
+}
+
+fn vint_loop(
+    hart: &mut Hart,
+    op: VIntOp,
+    vd: VReg,
+    vs2: VReg,
+    src: VIntSrc,
+    vm: bool,
+) -> Result<(), ExecError> {
+    let sew = hart.vtype.sew;
+    let bytes = sew.bytes();
+    let sh_mask = u64::from(sew.bits()) - 1;
+    for i in 0..hart.vl {
+        if !vm && !hart.v0_mask_bit(i) {
+            continue;
+        }
+        let b2 = hart.v_elem(vs2, i, bytes);
+        let b1 = match src {
+            VIntSrc::Vector(v1) => hart.v_elem(v1, i, bytes),
+            VIntSrc::Scalar(x) => x & mask_for(sew),
+            VIntSrc::Imm(v) => (v as i64 as u64) & mask_for(sew),
+        };
+        let result = match op {
+            VIntOp::Add => b2.wrapping_add(b1),
+            VIntOp::Sub => b2.wrapping_sub(b1),
+            VIntOp::Rsub => b1.wrapping_sub(b2),
+            VIntOp::And => b2 & b1,
+            VIntOp::Or => b2 | b1,
+            VIntOp::Xor => b2 ^ b1,
+            VIntOp::Sll => b2 << (b1 & sh_mask),
+            VIntOp::Srl => b2 >> (b1 & sh_mask),
+            VIntOp::Sra => (sext(b2, sew) >> (b1 & sh_mask)) as u64,
+            VIntOp::Min => {
+                if sext(b2, sew) <= sext(b1, sew) {
+                    b2
+                } else {
+                    b1
+                }
+            }
+            VIntOp::Max => {
+                if sext(b2, sew) >= sext(b1, sew) {
+                    b2
+                } else {
+                    b1
+                }
+            }
+            VIntOp::Minu => b2.min(b1),
+            VIntOp::Maxu => b2.max(b1),
+        } & mask_for(sew);
+        hart.set_v_elem(vd, i, bytes, result);
+    }
+    Ok(())
+}
+
+/// Element compare for the `vmseq` family. `a` is the `vs2` element,
+/// `b` the scalar/vector/immediate operand — the spec compares
+/// `vs2 OP src`.
+fn vint_compare(op: VCmpOp, a: u64, b: u64, sew: Sew) -> bool {
+    let (sa, sb) = (sext(a, sew), sext(b, sew));
+    match op {
+        VCmpOp::Eq => a == b,
+        VCmpOp::Ne => a != b,
+        VCmpOp::Ltu => a < b,
+        VCmpOp::Lt => sa < sb,
+        VCmpOp::Leu => a <= b,
+        VCmpOp::Le => sa <= sb,
+        VCmpOp::Gtu => a > b,
+        VCmpOp::Gt => sa > sb,
+    }
+}
+
+fn vmul_op(op: VMulOp, acc: i64, b1: i64, b2: i64, sew: Sew) -> i64 {
+    let bits = i64::from(sew.bits());
+    match op {
+        VMulOp::Mul => b2.wrapping_mul(b1),
+        VMulOp::Mulh => ((i128::from(b2) * i128::from(b1)) >> bits) as i64,
+        VMulOp::Mulhu => {
+            let ua = (b2 as u64) & mask_for(sew);
+            let ub = (b1 as u64) & mask_for(sew);
+            ((u128::from(ua) * u128::from(ub)) >> bits) as i64
+        }
+        VMulOp::Div => {
+            if b1 == 0 {
+                -1
+            } else if b2 == i64::MIN && b1 == -1 {
+                b2
+            } else {
+                b2 / b1
+            }
+        }
+        VMulOp::Divu => {
+            let ua = (b2 as u64) & mask_for(sew);
+            let ub = (b1 as u64) & mask_for(sew);
+            ua.checked_div(ub).map_or(-1, |q| q as i64)
+        }
+        VMulOp::Rem => {
+            if b1 == 0 {
+                b2
+            } else if b2 == i64::MIN && b1 == -1 {
+                0
+            } else {
+                b2 % b1
+            }
+        }
+        VMulOp::Remu => {
+            let ua = (b2 as u64) & mask_for(sew);
+            let ub = (b1 as u64) & mask_for(sew);
+            if ub == 0 {
+                ua as i64
+            } else {
+                (ua % ub) as i64
+            }
+        }
+        VMulOp::Macc => acc.wrapping_add(b1.wrapping_mul(b2)),
+    }
+}

@@ -1,0 +1,235 @@
+//! Sparse physical memory.
+//!
+//! Backing store for the functional simulator: a page-granular sparse
+//! array so that kernels can use a 4 GiB-style address space without the
+//! host allocating it. Reads of never-written memory return zeroes,
+//! matching the zero-initialized DRAM the paper's baremetal kernels
+//! assume.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use coyote_asm::Program;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Multiplicative hasher for page/line numbers: the simulator hashes
+/// billions of `u64` keys on its hot path, where SipHash's DoS
+/// resistance buys nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused on the hot path).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// `HashMap` keyed by addresses/pages using [`AddrHasher`].
+pub type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+
+/// Sparse byte-addressable memory with 4 KiB page granularity.
+///
+/// All harts of a simulated system share one `SparseMemory` (the paper's
+/// tiles are not coherence-modelled, but they are functionally shared).
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: AddrMap<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Loads a program image (text + data sections).
+    pub fn load_program(&mut self, program: &Program) {
+        let mut addr = program.text_base();
+        for word in program.text() {
+            self.write_u32(addr, *word);
+            addr += 4;
+        }
+        self.write_bytes(program.data_base(), program.data());
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        // Fast path: the whole range is inside one page.
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + buf.len() <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => buf.copy_from_slice(&page[offset..offset + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
+        for (i, byte) in buf.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + bytes.len() <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[offset..offset + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, byte) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *byte);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        let mut b = [0u8; 2];
+        self.read_bytes(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `f64` (IEEE-754 bits).
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Number of populated pages (for memory-footprint diagnostics).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_u64(0xdead_beef), 0);
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_written_values() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1000, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(0x1000), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u32(0x1000), 0x89ab_cdef);
+        assert_eq!(mem.read_u16(0x1006), 0x0123);
+        assert_eq!(mem.read_u8(0x1007), 0x01);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1ffc, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(0x1ffc), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+        let mut buf = [0u8; 16];
+        mem.read_bytes(0x1ff8, &mut buf);
+        assert_eq!(&buf[4..12], &0x1122_3344_5566_7788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut mem = SparseMemory::new();
+        mem.write_f64(0x2000, -1.5e300);
+        assert_eq!(mem.read_f64(0x2000), -1.5e300);
+        // NaN bit patterns preserved exactly.
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        mem.write_f64(0x2008, nan);
+        assert_eq!(mem.read_f64(0x2008).to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn load_program_places_sections() {
+        let program = coyote_asm::assemble(
+            ".data
+             v: .dword 42
+             .text
+             _start: ecall",
+        )
+        .unwrap();
+        let mut mem = SparseMemory::new();
+        mem.load_program(&program);
+        assert_eq!(mem.read_u32(program.text_base()), 0x0000_0073);
+        assert_eq!(mem.read_u64(program.symbol("v").unwrap()), 42);
+    }
+}

@@ -1,0 +1,317 @@
+//! Deterministic workload generators: dense matrices, CSR/ELL sparse
+//! matrices and stencil grids.
+//!
+//! All generators are seeded so that every run of a benchmark sees the
+//! same data — a prerequisite for the simulator's end-to-end
+//! determinism tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values.
+    pub values: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Generates a matrix with values in `[-1, 1)`.
+    #[must_use]
+    pub fn random(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseMatrix {
+            rows,
+            cols,
+            values: (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols);
+        self.values[row * self.cols + col]
+    }
+
+    /// Host-side reference matmul `self × other`, accumulating with
+    /// fused multiply-add in the same order as the simulated kernels
+    /// (so results compare exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = vec![0.0f64; self.rows * other.cols];
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0f64;
+                for k in 0..self.cols {
+                    acc = self.at(i, k).mul_add(other.at(k, j), acc);
+                }
+                out[i * other.cols + j] = acc;
+            }
+        }
+        DenseMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            values: out,
+        }
+    }
+}
+
+/// A sparse matrix in compressed sparse row format. Column indices are
+/// stored as `u64` so the vector kernels can gather with `vluxei64`
+/// without widening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// `rows + 1` offsets into `col_idx`/`values`.
+    pub row_ptr: Vec<u64>,
+    /// Column index of each stored value.
+    pub col_idx: Vec<u64>,
+    /// Stored values.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Generates a uniformly random sparse matrix with ~`density`
+    /// fraction of nonzeros per row (at least one per row, columns
+    /// sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]` or the matrix is empty.
+    #[must_use]
+    pub fn random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+        assert!(density > 0.0 && density <= 1.0, "density out of range");
+        assert!(rows > 0 && cols > 0, "empty matrix");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let per_row = ((cols as f64 * density).round() as usize).max(1);
+        for _ in 0..rows {
+            let nnz = rng.gen_range((per_row / 2).max(1)..=per_row.max(1) * 2).min(cols);
+            let mut cols_of_row: Vec<u64> = Vec::with_capacity(nnz);
+            while cols_of_row.len() < nnz {
+                let c = rng.gen_range(0..cols as u64);
+                if !cols_of_row.contains(&c) {
+                    cols_of_row.push(c);
+                }
+            }
+            cols_of_row.sort_unstable();
+            for c in cols_of_row {
+                col_idx.push(c);
+                values.push(rng.gen_range(-1.0..1.0));
+            }
+            row_ptr.push(col_idx.len() as u64);
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Maximum nonzeros in any row (the ELL width).
+    #[must_use]
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows)
+            .map(|r| (self.row_ptr[r + 1] - self.row_ptr[r]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Host-side reference SpMV `y = A·x`, accumulating in CSR order
+    /// with fused multiply-add (matches the simulated kernels exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = 0.0f64;
+                for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                    acc = self.values[k].mul_add(x[self.col_idx[k] as usize], acc);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Converts to ELLPACK: column-major slot arrays padded with
+    /// `(col 0, value 0.0)` entries. Returns `(width, cols, vals)` where
+    /// `cols[s * rows + r]` is slot `s` of row `r`.
+    #[must_use]
+    pub fn to_ell(&self) -> (usize, Vec<u64>, Vec<f64>) {
+        let width = self.max_row_nnz();
+        let mut cols = vec![0u64; width * self.rows];
+        let mut vals = vec![0.0f64; width * self.rows];
+        for r in 0..self.rows {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            for (slot, k) in (start..end).enumerate() {
+                cols[slot * self.rows + r] = self.col_idx[k];
+                vals[slot * self.rows + r] = self.values[k];
+            }
+        }
+        (width, cols, vals)
+    }
+}
+
+/// Generates a deterministic dense vector with values in `[-1, 1)`.
+#[must_use]
+pub fn random_vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// One Jacobi sweep of the 5-point stencil over an `n × m` row-major
+/// grid (boundary cells copied unchanged) — the host reference for the
+/// stencil kernel.
+#[must_use]
+pub fn stencil_step(grid: &[f64], n: usize, m: usize, c0: f64, c1: f64) -> Vec<f64> {
+    assert_eq!(grid.len(), n * m);
+    let mut out = grid.to_vec();
+    for i in 1..n.saturating_sub(1) {
+        for j in 1..m.saturating_sub(1) {
+            let center = grid[i * m + j];
+            let sum =
+                grid[(i - 1) * m + j] + grid[(i + 1) * m + j] + grid[i * m + j - 1]
+                    + grid[i * m + j + 1];
+            out[i * m + j] = c1.mul_add(sum, c0 * center);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_is_deterministic() {
+        let a = DenseMatrix::random(8, 8, 42);
+        let b = DenseMatrix::random(8, 8, 42);
+        assert_eq!(a, b);
+        let c = DenseMatrix::random(8, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::random(4, 4, 1);
+        let mut eye = DenseMatrix {
+            rows: 4,
+            cols: 4,
+            values: vec![0.0; 16],
+        };
+        for i in 0..4 {
+            eye.values[i * 4 + i] = 1.0;
+        }
+        let c = a.matmul(&eye);
+        assert_eq!(c.values, a.values);
+    }
+
+    #[test]
+    fn csr_structure_is_valid() {
+        let m = CsrMatrix::random(32, 64, 0.1, 7);
+        assert_eq!(m.row_ptr.len(), 33);
+        assert_eq!(m.row_ptr[0], 0);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        for r in 0..m.rows {
+            let (s, e) = (m.row_ptr[r] as usize, m.row_ptr[r + 1] as usize);
+            assert!(s <= e);
+            assert!(e - s >= 1, "every row has at least one nonzero");
+            // Columns sorted and in range.
+            for w in m.col_idx[s..e].windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &c in &m.col_idx[s..e] {
+                assert!((c as usize) < m.cols);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_against_dense_equivalent() {
+        let m = CsrMatrix::random(16, 16, 0.3, 3);
+        let x = random_vector(16, 4);
+        let y = m.spmv(&x);
+        // Expand to dense and compare within FP tolerance (different
+        // accumulation orders).
+        let mut dense = vec![0.0; 16 * 16];
+        for r in 0..16 {
+            for k in m.row_ptr[r] as usize..m.row_ptr[r + 1] as usize {
+                dense[r * 16 + m.col_idx[k] as usize] = m.values[k];
+            }
+        }
+        for r in 0..16 {
+            let expected: f64 = (0..16).map(|c| dense[r * 16 + c] * x[c]).sum();
+            assert!((y[r] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ell_round_trips_spmv() {
+        let m = CsrMatrix::random(16, 32, 0.2, 9);
+        let (width, cols, vals) = m.to_ell();
+        assert_eq!(width, m.max_row_nnz());
+        let x = random_vector(32, 10);
+        // ELL-order SpMV (slot-major accumulation).
+        let mut y = vec![0.0f64; m.rows];
+        for slot in 0..width {
+            for (r, acc) in y.iter_mut().enumerate() {
+                let v = vals[slot * m.rows + r];
+                let c = cols[slot * m.rows + r] as usize;
+                *acc = v.mul_add(x[c], *acc);
+            }
+        }
+        let reference = m.spmv(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stencil_keeps_boundary() {
+        let grid = random_vector(8 * 8, 5);
+        let out = stencil_step(&grid, 8, 8, 0.5, 0.125);
+        for j in 0..8 {
+            assert_eq!(out[j], grid[j]); // top row
+            assert_eq!(out[7 * 8 + j], grid[7 * 8 + j]); // bottom row
+        }
+        for i in 0..8 {
+            assert_eq!(out[i * 8], grid[i * 8]); // left col
+            assert_eq!(out[i * 8 + 7], grid[i * 8 + 7]); // right col
+        }
+        // Interior actually changed.
+        assert_ne!(out[3 * 8 + 3], grid[3 * 8 + 3]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Radix-2 complex FFT kernel — the "FFT" workload from the paper's
+//! future-work list.
+//!
+//! Iterative Cooley–Tukey over split real/imaginary `f64` arrays. The
+//! kernel performs the bit-reversal permutation (index-table driven)
+//! and `log2 n` butterfly stages; harts own contiguous blocks of each
+//! stage's butterflies and synchronize with an `amoadd.d` counting
+//! barrier between stages (each stage reads the previous stage's
+//! output).
+//!
+//! Within a butterfly block the `j` indices are consecutive, so for
+//! half-sizes `m ≥ 2` the complex multiply-add runs on the vector unit
+//! with unit-stride loads; the first stage (`m = 1`) runs scalar.
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::random_vector;
+use crate::workload::{read_f64_slice, write_f64_slice, VerifyError, Workload};
+
+/// Host-side reference FFT mirroring the kernel's stage order exactly.
+fn reference_fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut m = 1usize;
+    while m < n {
+        for block in 0..(n / (2 * m)) {
+            for j in 0..m {
+                let angle = -std::f64::consts::PI * j as f64 / m as f64;
+                let (w_im, w_re) = angle.sin_cos();
+                let i0 = block * 2 * m + j;
+                let i1 = i0 + m;
+                // Complex t = w * x1, mirroring the kernel's fused ops:
+                // tr = w_re*x1_re - w_im*x1_im (fmsub-style)
+                // ti = w_re*x1_im + w_im*x1_re (fmadd-style)
+                let tr = w_re.mul_add(re[i1], -(w_im * im[i1]));
+                let ti = w_re.mul_add(im[i1], w_im * re[i1]);
+                re[i1] = re[i0] - tr;
+                im[i1] = im[i0] - ti;
+                re[i0] += tr;
+                im[i0] += ti;
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// Radix-2 FFT over `n` complex points (split re/im layout).
+#[derive(Debug, Clone)]
+pub struct FftRadix2 {
+    n: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl FftRadix2 {
+    /// Creates an `n`-point FFT over seeded random complex input.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two ≥ 4.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> FftRadix2 {
+        assert!(n >= 4 && n.is_power_of_two(), "n must be a power of two >= 4");
+        FftRadix2 {
+            n,
+            re: random_vector(n, seed),
+            im: random_vector(n, seed ^ 0xabcd),
+        }
+    }
+
+    /// Transform length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The bit-reversal index table.
+    fn bitrev_table(&self) -> Vec<u64> {
+        let bits = self.n.trailing_zeros();
+        (0..self.n as u64)
+            .map(|i| i.reverse_bits() >> (64 - bits) as u64)
+            .collect()
+    }
+
+    /// Flat twiddle tables: for each stage (half-size m = 1, 2, 4, …)
+    /// the `m` factors `exp(-iπ j / m)`, concatenated. The stage with
+    /// half-size `m` starts at offset `m - 1`.
+    fn twiddles(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut w_re = Vec::with_capacity(self.n - 1);
+        let mut w_im = Vec::with_capacity(self.n - 1);
+        let mut m = 1usize;
+        while m < self.n {
+            for j in 0..m {
+                let angle = -std::f64::consts::PI * j as f64 / m as f64;
+                let (s, c) = angle.sin_cos();
+                w_re.push(c);
+                w_im.push(s);
+            }
+            m *= 2;
+        }
+        (w_re, w_im)
+    }
+}
+
+impl Workload for FftRadix2 {
+    fn name(&self) -> &'static str {
+        "fft-radix2"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let n = self.n;
+        // Each barrier episode adds `harts` to the counter; there is one
+        // barrier after the permutation and one after each stage.
+        let src = format!(
+            "
+            .data
+            in_re:  .zero {vb}
+            in_im:  .zero {vb}
+            re:     .zero {vb}
+            im:     .zero {vb}
+            brev:   .zero {vb}
+            w_re:   .zero {tb}
+            w_im:   .zero {tb}
+            barrier: .dword 0
+            .text
+            _start:
+                csrr s0, mhartid
+                li s10, {harts}
+                li s11, {n}
+                li s8, 0                # completed barrier episodes
+
+                # ---- bit-reversal permutation: re[i] = in_re[brev[i]] ----
+                la t0, brev
+                la t1, in_re
+                la t2, in_im
+                la t3, re
+                la t4, im
+                mv t5, s0               # i = hart
+            perm_loop:
+                bge t5, s11, perm_done
+                slli t6, t5, 3
+                add a0, t0, t6
+                ld a1, 0(a0)            # src index
+                slli a1, a1, 3
+                add a2, t1, a1
+                fld fa0, 0(a2)
+                add a2, t2, a1
+                fld fa1, 0(a2)
+                add a2, t3, t6
+                fsd fa0, 0(a2)
+                add a2, t4, t6
+                fsd fa1, 0(a2)
+                add t5, t5, s10
+                j perm_loop
+            perm_done:
+                jal ra, barrier_sync
+
+                # ---- butterfly stages ----
+                # Contiguous ownership: hart h owns butterflies
+                # [h*chunk, min((h+1)*chunk, n/2)), so vector strips
+                # never cross into another hart's range.
+                li s1, 1                # m: butterfly half-size
+            stage_loop:
+                bge s1, s11, done
+                srli s2, s11, 1         # n/2 total butterflies
+                li t0, {chunk}
+                mul s3, s0, t0          # k = hart * chunk
+                add t1, s3, t0          # tentative end
+                blt t1, s2, end_ok
+                mv t1, s2
+            end_ok:
+                mv s2, t1               # k_end for this hart
+            bfly_loop:
+                bge s3, s2, stage_done
+                # block = k / m, j = k % m (m is a power of two)
+                addi t0, s1, -1
+                and s5, s3, t0          # j
+                sub s4, s3, s5          # k - j = block * m
+                slli s4, s4, 1          # block * 2m
+                add s4, s4, s5          # i0
+                # consecutive lanes = min(m - j, k_end - k)
+                sub t1, s1, s5
+                sub t2, s2, s3
+                blt t1, t2, lanes_ok
+                mv t1, t2
+            lanes_ok:
+                li t3, 2
+                blt t1, t3, scalar_bfly
+
+                # ---- vector butterflies over consecutive j ----
+                vsetvli t4, t1, e64,m1,ta,ma
+                # pointers: i0, i1 = i0 + m, twiddle base (m-1)+j
+                la a0, re
+                la a1, im
+                slli t5, s4, 3
+                add a2, a0, t5          # &re[i0]
+                add a3, a1, t5          # &im[i0]
+                slli t6, s1, 3
+                add a4, a2, t6          # &re[i1]
+                add a5, a3, t6          # &im[i1]
+                addi t0, s1, -1
+                add t0, t0, s5          # twiddle offset
+                slli t0, t0, 3
+                la a6, w_re
+                add a6, a6, t0
+                la a7, w_im
+                add a7, a7, t0
+                vle64.v v1, (a2)        # x0.re
+                vle64.v v2, (a3)        # x0.im
+                vle64.v v3, (a4)        # x1.re
+                vle64.v v4, (a5)        # x1.im
+                vle64.v v5, (a6)        # w.re
+                vle64.v v6, (a7)        # w.im
+                # tr = w_re*x1_re - w_im*x1_im
+                vfmul.vv v7, v5, v3
+                vfmul.vv v8, v6, v4
+                vfsub.vv v7, v7, v8
+                # ti = w_re*x1_im + w_im*x1_re
+                vfmul.vv v8, v5, v4
+                vfmacc.vv v8, v6, v3
+                # x1 = x0 - t ; x0 = x0 + t
+                vfsub.vv v9, v1, v7
+                vse64.v v9, (a4)
+                vfsub.vv v9, v2, v8
+                vse64.v v9, (a5)
+                vfadd.vv v9, v1, v7
+                vse64.v v9, (a2)
+                vfadd.vv v9, v2, v8
+                vse64.v v9, (a3)
+                add s3, s3, t4
+                j bfly_loop
+
+                # ---- scalar butterfly (m == 1 or strip tail) ----
+            scalar_bfly:
+                la a0, re
+                la a1, im
+                slli t5, s4, 3
+                add a2, a0, t5
+                add a3, a1, t5
+                slli t6, s1, 3
+                add a4, a2, t6
+                add a5, a3, t6
+                addi t0, s1, -1
+                add t0, t0, s5
+                slli t0, t0, 3
+                la a6, w_re
+                add a6, a6, t0
+                fld fa4, 0(a6)          # w.re
+                la a7, w_im
+                add a7, a7, t0
+                fld fa5, 0(a7)          # w.im
+                fld fa0, 0(a2)          # x0.re
+                fld fa1, 0(a3)          # x0.im
+                fld fa2, 0(a4)          # x1.re
+                fld fa3, 0(a5)          # x1.im
+                # tr = w_re*x1_re - w_im*x1_im (fused like the oracle)
+                fmul.d ft0, fa5, fa3
+                fmsub.d ft1, fa4, fa2, ft0
+                # ti = w_re*x1_im + w_im*x1_re
+                fmul.d ft2, fa5, fa2
+                fmadd.d ft3, fa4, fa3, ft2
+                fsub.d ft4, fa0, ft1
+                fsd ft4, 0(a4)
+                fsub.d ft4, fa1, ft3
+                fsd ft4, 0(a5)
+                fadd.d ft4, fa0, ft1
+                fsd ft4, 0(a2)
+                fadd.d ft4, fa1, ft3
+                fsd ft4, 0(a3)
+                addi s3, s3, 1          # next butterfly in this hart's range
+                j bfly_loop
+            stage_done:
+                jal ra, barrier_sync
+                slli s1, s1, 1
+                j stage_loop
+
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+
+            # Counting barrier: episode target = harts * (++episodes).
+            barrier_sync:
+                la t0, barrier
+                li t1, 1
+                amoadd.d t2, t1, (t0)
+                addi s8, s8, 1
+                mul t3, s8, s10
+            bspin:
+                ld t4, 0(t0)
+                blt t4, t3, bspin
+                ret
+            ",
+            vb = 8 * n,
+            tb = 8 * (n - 1),
+            chunk = (n / 2).div_ceil(harts).max(1),
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        let sym = |name: &str| program.symbol(name).expect("fft symbol");
+        write_f64_slice(mem, sym("in_re"), &self.re);
+        write_f64_slice(mem, sym("in_im"), &self.im);
+        let brev = self.bitrev_table();
+        for (i, &v) in brev.iter().enumerate() {
+            mem.write_u64(sym("brev") + (i as u64) * 8, v);
+        }
+        let (w_re, w_im) = self.twiddles();
+        write_f64_slice(mem, sym("w_re"), &w_re);
+        write_f64_slice(mem, sym("w_im"), &w_im);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let mut re = self.re.clone();
+        let mut im = self.im.clone();
+        reference_fft(&mut re, &mut im);
+        let got_re = read_f64_slice(mem, program.symbol("re").expect("re"), self.n);
+        let got_im = read_f64_slice(mem, program.symbol("im").expect("im"), self.n);
+        verify_slice_scaled(&got_re, &re, self.n)?;
+        verify_slice_scaled(&got_im, &im, self.n)
+    }
+}
+
+/// FFT outputs grow with √n·‖x‖; compare with a tolerance scaled to the
+/// transform length.
+fn verify_slice_scaled(got: &[f64], expected: &[f64], n: usize) -> Result<(), VerifyError> {
+    let tolerance = 1e-10 * (n as f64);
+    for (index, (&g, &e)) in got.iter().zip(expected).enumerate() {
+        if (g - e).abs() > tolerance * e.abs().max(1.0) {
+            return Err(VerifyError {
+                index,
+                got: g,
+                expected: e,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    #[test]
+    fn reference_fft_matches_dft() {
+        // Check the oracle itself against the O(n²) definition.
+        let n = 16;
+        let re_in = random_vector(n, 77);
+        let im_in = random_vector(n, 78);
+        let mut re = re_in.clone();
+        let mut im = im_in.clone();
+        reference_fft(&mut re, &mut im);
+        for k in 0..n {
+            let mut acc_re = 0.0f64;
+            let mut acc_im = 0.0f64;
+            for (t, (&xr, &xi)) in re_in.iter().zip(&im_in).enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (s, c) = angle.sin_cos();
+                acc_re += xr * c - xi * s;
+                acc_im += xr * s + xi * c;
+            }
+            assert!((re[k] - acc_re).abs() < 1e-9, "re[{k}]");
+            assert!((im[k] - acc_im).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_single_core_verifies() {
+        let w = FftRadix2::new(64, 51);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn fft_multicore_verifies() {
+        let w = FftRadix2::new(128, 52);
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn fft_more_harts_than_butterflies() {
+        let w = FftRadix2::new(8, 53);
+        let config = SimConfig::builder().cores(8).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let _ = FftRadix2::new(48, 54);
+    }
+}

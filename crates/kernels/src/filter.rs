@@ -1,0 +1,166 @@
+//! Masked-vector filter kernel: thresholded ReLU sparsification.
+//!
+//! `y[i] = max(x[i] - tau, 0)` with a global count of surviving
+//! (non-zero) activations — the conditional-update pattern of HPDA
+//! pipelines, expressed with the V extension's mask subset
+//! (`vmfgt.vf` → `vfmerge.vfm`/masked arithmetic → `vcpop.m`) rather
+//! than branches. Each hart filters a contiguous block and adds its
+//! survivor count to a shared counter with `amoadd.d`.
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::random_vector;
+use crate::workload::{read_f64_slice, verify_f64_slice, write_f64_slice, VerifyError, Workload};
+
+/// Thresholded-ReLU stream filter.
+#[derive(Debug, Clone)]
+pub struct ThresholdFilter {
+    n: usize,
+    tau: f64,
+    x: Vec<f64>,
+}
+
+impl ThresholdFilter {
+    /// Creates a filter over `n` seeded random values in `[-1, 1)` with
+    /// threshold `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, tau: f64, seed: u64) -> ThresholdFilter {
+        assert!(n > 0, "need at least one element");
+        ThresholdFilter {
+            n,
+            tau,
+            x: random_vector(n, seed),
+        }
+    }
+
+    /// The host oracle: filtered vector and survivor count.
+    fn oracle(&self) -> (Vec<f64>, u64) {
+        let y: Vec<f64> = self.x.iter().map(|&v| (v - self.tau).max(0.0)).collect();
+        let count = y.iter().filter(|&&v| v > 0.0).count() as u64;
+        (y, count)
+    }
+}
+
+impl Workload for ThresholdFilter {
+    fn name(&self) -> &'static str {
+        "threshold-filter"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let n = self.n;
+        let block = n.div_ceil(harts);
+        let src = format!(
+            "
+            .data
+            x: .zero {vb}
+            y: .zero {vb}
+            tau: .double {tau}
+            survivors: .dword 0
+            .text
+            _start:
+                csrr s0, mhartid
+                li t0, {block}
+                mul s1, s0, t0          # start
+                add s2, s1, t0          # end
+                li t1, {n}
+                blt s2, t1, clamped
+                mv s2, t1
+            clamped:
+                la t2, tau
+                fld fa1, 0(t2)
+                fmv.d.x fa2, zero       # 0.0
+                li s4, 0                # local survivor count
+            strip:
+                sub t3, s2, s1
+                blez t3, finish
+                vsetvli t4, t3, e64,m1,ta,ma
+                la t5, x
+                slli t6, s1, 3
+                add t5, t5, t6
+                vle64.v v1, (t5)
+                vfsub.vf v1, v1, fa1    # x - tau
+                vmflt.vf v0, v1, fa2    # mask: below zero
+                vfmerge.vfm v2, v1, fa2, v0   # clamp negatives to 0.0
+                vmfgt.vf v3, v1, fa2    # strictly positive survivors
+                vcpop.m a1, v3
+                add s4, s4, a1
+                la t5, y
+                add t5, t5, t6
+                vse64.v v2, (t5)
+                add s1, s1, t4
+                j strip
+            finish:
+                la t0, survivors
+                amoadd.d t1, s4, (t0)
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            vb = 8 * n,
+            tau = self.tau,
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        write_f64_slice(mem, program.symbol("x").expect("x"), &self.x);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let (expected_y, expected_count) = self.oracle();
+        let y = read_f64_slice(mem, program.symbol("y").expect("y"), self.n);
+        verify_f64_slice(&y, &expected_y)?;
+        let count = mem.read_u64(program.symbol("survivors").expect("survivors"));
+        if count != expected_count {
+            return Err(VerifyError {
+                index: self.n, // sentinel: the counter, not an element
+                got: count as f64,
+                expected: expected_count as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    #[test]
+    fn single_core_filter_verifies() {
+        let w = ThresholdFilter::new(100, 0.25, 61);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn multicore_filter_counts_globally() {
+        let w = ThresholdFilter::new(257, 0.0, 62); // odd size: uneven blocks
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        // tau = -2: nothing clamped; tau = 2: everything clamped.
+        for tau in [-2.0, 2.0] {
+            let w = ThresholdFilter::new(64, tau, 63);
+            let config = SimConfig::builder().cores(2).build().unwrap();
+            run_workload(&w, config).unwrap();
+        }
+    }
+
+    #[test]
+    fn oracle_counts_strictly_positive() {
+        let w = ThresholdFilter::new(8, 0.5, 64);
+        let (y, count) = w.oracle();
+        assert_eq!(count, y.iter().filter(|&&v| v > 0.0).count() as u64);
+    }
+}

@@ -1,0 +1,327 @@
+//! Dense matrix multiplication kernels (scalar and vector), the first
+//! two of the paper's four kernel families.
+//!
+//! Both kernels compute `C = A × B` for row-major `f64` matrices
+//! (square by default, rectangular `rows × n` for weak-scaling sweeps),
+//! partitioning output rows round-robin across harts by `mhartid`.
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::DenseMatrix;
+use crate::workload::{read_f64_slice, verify_f64_slice, write_f64_slice, VerifyError, Workload};
+
+fn matrix_symbols(program: &Program) -> (u64, u64, u64) {
+    (
+        program.symbol("a").expect("a"),
+        program.symbol("b").expect("b"),
+        program.symbol("c").expect("c"),
+    )
+}
+
+/// Scalar matmul: the plain three-level loop nest with `fmadd.d`
+/// accumulation (one of the two workloads in the paper's Figure 3).
+#[derive(Debug, Clone)]
+pub struct MatmulScalar {
+    rows: usize,
+    n: usize,
+    a: DenseMatrix,
+    b: DenseMatrix,
+}
+
+impl MatmulScalar {
+    /// Creates an `n × n` scalar matmul with seeded random inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> MatmulScalar {
+        MatmulScalar::with_rows(n, n, seed)
+    }
+
+    /// Creates a rectangular `C (rows × n) = A (rows × n) × B (n × n)`
+    /// matmul — used for weak-scaling sweeps where the row count grows
+    /// with the core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_rows(rows: usize, n: usize, seed: u64) -> MatmulScalar {
+        assert!(rows > 0 && n > 0, "matrix dimensions must be positive");
+        MatmulScalar {
+            rows,
+            n,
+            a: DenseMatrix::random(rows, n, seed),
+            b: DenseMatrix::random(n, n, seed ^ 0x9e37_79b9),
+        }
+    }
+
+    /// Inner matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Workload for MatmulScalar {
+    fn name(&self) -> &'static str {
+        "matmul-scalar"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let n = self.n;
+        let rows = self.rows;
+        let ab_bytes = 8 * rows * n;
+        let b_bytes = 8 * n * n;
+        let row_bytes = 8 * n;
+        let src = format!(
+            "
+            .data
+            a: .zero {ab_bytes}
+            b: .zero {b_bytes}
+            c: .zero {ab_bytes}
+            .text
+            _start:
+                csrr s0, mhartid
+                li s11, {n}
+                li s9, {rows}
+                li s10, {harts}
+                li t1, {row_bytes}
+            outer:
+                bge s0, s9, done
+                la s1, a
+                la s2, b
+                la s3, c
+                mul t2, s0, t1
+                add s1, s1, t2          # &a[i][0]
+                add s3, s3, t2          # &c[i][0]
+                li s4, 0                # j
+            col:
+                fmv.d.x fa0, zero
+                mv t3, s1
+                slli t4, s4, 3
+                add t4, s2, t4          # &b[0][j]
+                li s5, 0                # k
+            inner:
+                fld fa1, 0(t3)
+                fld fa2, 0(t4)
+                fmadd.d fa0, fa1, fa2, fa0
+                addi t3, t3, 8
+                add t4, t4, t1
+                addi s5, s5, 1
+                blt s5, s11, inner
+                slli t6, s4, 3
+                add t6, s3, t6
+                fsd fa0, 0(t6)
+                addi s4, s4, 1
+                blt s4, s11, col
+                add s0, s0, s10
+                j outer
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            "
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        let (a, b, _) = matrix_symbols(program);
+        write_f64_slice(mem, a, &self.a.values);
+        write_f64_slice(mem, b, &self.b.values);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let (_, _, c) = matrix_symbols(program);
+        let got = read_f64_slice(mem, c, self.rows * self.n);
+        let expected = self.a.matmul(&self.b);
+        verify_f64_slice(&got, &expected.values)
+    }
+}
+
+/// Vector matmul: the inner two loops exchanged so each `vfmacc.vf`
+/// updates a strip of a `C` row with a broadcast `A` element — the
+/// canonical RVV formulation.
+#[derive(Debug, Clone)]
+pub struct MatmulVector {
+    rows: usize,
+    n: usize,
+    a: DenseMatrix,
+    b: DenseMatrix,
+}
+
+impl MatmulVector {
+    /// Creates an `n × n` vector matmul with seeded random inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> MatmulVector {
+        MatmulVector::with_rows(n, n, seed)
+    }
+
+    /// Creates a rectangular `C (rows × n) = A (rows × n) × B (n × n)`
+    /// vector matmul (weak-scaling form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_rows(rows: usize, n: usize, seed: u64) -> MatmulVector {
+        assert!(rows > 0 && n > 0, "matrix dimensions must be positive");
+        MatmulVector {
+            rows,
+            n,
+            a: DenseMatrix::random(rows, n, seed),
+            b: DenseMatrix::random(n, n, seed ^ 0x9e37_79b9),
+        }
+    }
+
+    /// Inner matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Workload for MatmulVector {
+    fn name(&self) -> &'static str {
+        "matmul-vector"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let n = self.n;
+        let rows = self.rows;
+        let ab_bytes = 8 * rows * n;
+        let b_bytes = 8 * n * n;
+        let row_bytes = 8 * n;
+        let src = format!(
+            "
+            .data
+            a: .zero {ab_bytes}
+            b: .zero {b_bytes}
+            c: .zero {ab_bytes}
+            .text
+            _start:
+                csrr s0, mhartid
+                li s11, {n}
+                li s9, {rows}
+                li s10, {harts}
+                li t1, {row_bytes}
+            outer:
+                bge s0, s9, done
+                la s1, a
+                la s2, b
+                la s3, c
+                mul t2, s0, t1
+                add s1, s1, t2          # &a[i][0]
+                add s3, s3, t2          # &c[i][0]
+                li s4, 0                # j: column strip base
+            strip:
+                sub t0, s11, s4
+                vsetvli s5, t0, e64,m1,ta,ma
+                vmv.v.i v8, 0           # C strip accumulator
+                mv t3, s1               # &a[i][k]
+                slli t4, s4, 3
+                add t4, s2, t4          # &b[k][j]
+                li s6, 0                # k
+            inner:
+                fld fa0, 0(t3)
+                vle64.v v9, (t4)
+                vfmacc.vf v8, v9, fa0   # strip += a[i][k] * b[k][j..]
+                addi t3, t3, 8
+                add t4, t4, t1
+                addi s6, s6, 1
+                blt s6, s11, inner
+                slli t5, s4, 3
+                add t5, s3, t5
+                vse64.v v8, (t5)
+                add s4, s4, s5
+                blt s4, s11, strip
+                add s0, s0, s10
+                j outer
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            "
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        let (a, b, _) = matrix_symbols(program);
+        write_f64_slice(mem, a, &self.a.values);
+        write_f64_slice(mem, b, &self.b.values);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let (_, _, c) = matrix_symbols(program);
+        let got = read_f64_slice(mem, c, self.rows * self.n);
+        let expected = self.a.matmul(&self.b);
+        verify_f64_slice(&got, &expected.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    #[test]
+    fn scalar_matmul_verifies_single_core() {
+        let w = MatmulScalar::new(8, 1);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        let (report, _) = run_workload(&w, config).unwrap();
+        assert!(report.total_retired() > 8 * 8 * 8);
+    }
+
+    #[test]
+    fn scalar_matmul_verifies_multicore() {
+        let w = MatmulScalar::new(12, 2);
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn vector_matmul_verifies() {
+        let w = MatmulVector::new(12, 3);
+        let config = SimConfig::builder().cores(2).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn vector_needs_fewer_instructions_than_scalar() {
+        let n = 16;
+        let scalar = MatmulScalar::new(n, 5);
+        let vector = MatmulVector::new(n, 5);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        let (rs, _) = run_workload(&scalar, config).unwrap();
+        let (rv, _) = run_workload(&vector, config).unwrap();
+        assert!(
+            rv.total_retired() * 2 < rs.total_retired(),
+            "vector {} vs scalar {}",
+            rv.total_retired(),
+            rs.total_retired()
+        );
+    }
+
+    #[test]
+    fn rectangular_weak_scaling_shape_verifies() {
+        let w = MatmulScalar::with_rows(6, 16, 9);
+        let config = SimConfig::builder().cores(3).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn more_harts_than_rows_is_fine() {
+        let w = MatmulScalar::new(3, 7);
+        let config = SimConfig::builder().cores(8).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+}

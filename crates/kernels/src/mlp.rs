@@ -1,0 +1,265 @@
+//! Two-layer MLP inference kernel — the "AI" workload from the paper's
+//! future-work list ("These will include FFT, AI and other
+//! representative HPC and HPDA kernels").
+//!
+//! Computes `z = W2 · relu(W1 · x + b1) + b2` with dense row-major
+//! weights. Layer rows are partitioned round-robin across harts; an
+//! `amoadd.d` counting barrier separates the layers (the hidden vector
+//! must be complete before layer 2 consumes it). The matrix-vector
+//! products use the unit-stride `vfmacc.vv`/`vfredusum` pattern; the
+//! ReLU is a scalar `fmax.d` against zero.
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::{random_vector, DenseMatrix};
+use crate::workload::{read_f64_slice, verify_f64_slice, write_f64_slice, VerifyError, Workload};
+
+/// Two-layer MLP inference.
+#[derive(Debug, Clone)]
+pub struct MlpInference {
+    d_in: usize,
+    d_hidden: usize,
+    d_out: usize,
+    w1: DenseMatrix,
+    b1: Vec<f64>,
+    w2: DenseMatrix,
+    b2: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl MlpInference {
+    /// Creates a `d_in → d_hidden → d_out` MLP with seeded random
+    /// weights and input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(d_in: usize, d_hidden: usize, d_out: usize, seed: u64) -> MlpInference {
+        assert!(d_in > 0 && d_hidden > 0 && d_out > 0, "empty layer");
+        MlpInference {
+            d_in,
+            d_hidden,
+            d_out,
+            w1: DenseMatrix::random(d_hidden, d_in, seed),
+            b1: random_vector(d_hidden, seed ^ 0x1111),
+            w2: DenseMatrix::random(d_out, d_hidden, seed ^ 0x2222),
+            b2: random_vector(d_out, seed ^ 0x3333),
+            x: random_vector(d_in, seed ^ 0x4444),
+        }
+    }
+
+    /// Hidden-layer width.
+    #[must_use]
+    pub fn d_hidden(&self) -> usize {
+        self.d_hidden
+    }
+
+    /// Host oracle mirroring the kernel's per-row accumulation order.
+    fn oracle(&self) -> Vec<f64> {
+        let matvec = |w: &DenseMatrix, b: &[f64], input: &[f64], relu: bool| -> Vec<f64> {
+            (0..w.rows)
+                .map(|i| {
+                    let mut acc = 0.0f64;
+                    for (k, &value) in input.iter().enumerate().take(w.cols) {
+                        acc = w.at(i, k).mul_add(value, acc);
+                    }
+                    acc += b[i];
+                    if relu {
+                        acc.max(0.0)
+                    } else {
+                        acc
+                    }
+                })
+                .collect()
+        };
+        let h = matvec(&self.w1, &self.b1, &self.x, true);
+        matvec(&self.w2, &self.b2, &h, false)
+    }
+}
+
+impl Workload for MlpInference {
+    fn name(&self) -> &'static str {
+        "mlp-inference"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let src = format!(
+            "
+            .data
+            w1: .zero {w1b}
+            b1: .zero {b1b}
+            w2: .zero {w2b}
+            b2: .zero {b2b}
+            x:  .zero {xb}
+            h:  .zero {hb}
+            z:  .zero {zb}
+            barrier: .dword 0
+            .text
+            # Layer routine convention (no stack; inlined twice):
+            #   s1 = weights, s2 = bias, s3 = input, s4 = output
+            #   s5 = rows, s6 = cols, s7 = relu flag
+            _start:
+                csrr s0, mhartid
+                li s10, {harts}
+                li s9, 65536            # AVL request for VLMAX
+
+                # ---- layer 1: h = relu(w1 x + b1) ----
+                la s1, w1
+                la s2, b1
+                la s3, x
+                la s4, h
+                li s5, {d_hidden}
+                li s6, {d_in}
+                li s7, 1
+                jal ra, layer
+
+                # ---- barrier: all h elements written ----
+                la t0, barrier
+                li t1, 1
+                amoadd.d t2, t1, (t0)
+            spin:
+                ld t3, 0(t0)
+                blt t3, s10, spin
+
+                # ---- layer 2: z = w2 h + b2 ----
+                la s1, w2
+                la s2, b2
+                la s3, h
+                la s4, z
+                li s5, {d_out}
+                li s6, {d_hidden}
+                li s7, 0
+                jal ra, layer
+
+                li a0, 0
+                li a7, 93
+                ecall
+
+            layer:
+                mv t0, s0               # row = hart
+            row_loop:
+                bge t0, s5, layer_done
+                # acc lanes = 0 at VLMAX
+                vsetvli t1, s9, e64,m1,ta,ma
+                vmv.v.i v8, 0
+                # row pointer = weights + row*cols*8
+                mul t2, t0, s6
+                slli t2, t2, 3
+                add t2, s1, t2
+                mv t3, s3               # input pointer
+                mv t4, s6               # remaining cols
+            strip:
+                blez t4, reduce
+                vsetvli t5, t4, e64,m1,ta,ma
+                vle64.v v1, (t2)
+                vle64.v v2, (t3)
+                vfmacc.vv v8, v1, v2
+                slli t6, t5, 3
+                add t2, t2, t6
+                add t3, t3, t6
+                sub t4, t4, t5
+                j strip
+            reduce:
+                vsetvli t1, s9, e64,m1,ta,ma
+                vmv.v.i v9, 0
+                vfredusum.vs v9, v8, v9
+                vfmv.f.s fa0, v9
+                # + bias
+                slli t6, t0, 3
+                add t5, s2, t6
+                fld fa1, 0(t5)
+                fadd.d fa0, fa0, fa1
+                # optional ReLU
+                beqz s7, store
+                fmv.d.x fa2, zero
+                fmax.d fa0, fa0, fa2
+            store:
+                add t5, s4, t6
+                fsd fa0, 0(t5)
+                add t0, t0, s10
+                j row_loop
+            layer_done:
+                ret
+            ",
+            w1b = 8 * self.d_hidden * self.d_in,
+            b1b = 8 * self.d_hidden,
+            w2b = 8 * self.d_out * self.d_hidden,
+            b2b = 8 * self.d_out,
+            xb = 8 * self.d_in,
+            hb = 8 * self.d_hidden,
+            zb = 8 * self.d_out,
+            d_in = self.d_in,
+            d_hidden = self.d_hidden,
+            d_out = self.d_out,
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        let sym = |name: &str| program.symbol(name).expect("mlp symbol");
+        write_f64_slice(mem, sym("w1"), &self.w1.values);
+        write_f64_slice(mem, sym("b1"), &self.b1);
+        write_f64_slice(mem, sym("w2"), &self.w2.values);
+        write_f64_slice(mem, sym("b2"), &self.b2);
+        write_f64_slice(mem, sym("x"), &self.x);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let z = read_f64_slice(
+            mem,
+            program.symbol("z").expect("z"),
+            self.d_out,
+        );
+        verify_f64_slice(&z, &self.oracle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    #[test]
+    fn single_core_inference_verifies() {
+        let w = MlpInference::new(24, 16, 8, 31);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn multicore_inference_with_barrier_verifies() {
+        let w = MlpInference::new(32, 24, 10, 32);
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn more_harts_than_rows() {
+        let w = MlpInference::new(8, 3, 2, 33);
+        let config = SimConfig::builder().cores(8).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn relu_actually_clamps() {
+        // With random weights in [-1, 1) some hidden pre-activations are
+        // negative; the oracle must show zeros after ReLU for the kernel
+        // comparison to be meaningful.
+        let w = MlpInference::new(16, 32, 4, 34);
+        let pre: Vec<f64> = (0..w.d_hidden)
+            .map(|i| {
+                let mut acc = 0.0f64;
+                for k in 0..w.d_in {
+                    acc = w.w1.at(i, k).mul_add(w.x[k], acc);
+                }
+                acc + w.b1[i]
+            })
+            .collect();
+        assert!(pre.iter().any(|&v| v < 0.0), "want negative activations");
+        let config = SimConfig::builder().cores(2).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+}

@@ -1,0 +1,559 @@
+//! Sparse matrix–vector multiplication kernels: the paper's scalar SpMV
+//! plus "three different implementations of the algorithm" in vector
+//! form.
+//!
+//! All four compute `y = A · x` for a CSR matrix. The vector variants
+//! differ in how they map the irregular structure onto the vector unit:
+//!
+//! * [`SpmvVectorCsr`] — strip-mines each row's nonzeros and gathers
+//!   `x` with `vluxei64` (row-per-reduction);
+//! * [`SpmvVectorEll`] — converts to ELLPACK and vectorizes *across*
+//!   rows with unit-stride slot loads (regular accesses, padded work);
+//! * [`SpmvVectorAdaptive`] — per-row hybrid: rows with enough
+//!   nonzeros take the gather path, short rows stay scalar.
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::{random_vector, CsrMatrix};
+use crate::workload::{
+    read_f64_slice, verify_f64_slice, write_f64_slice, write_u64_slice, VerifyError, Workload,
+};
+
+/// Shared inputs of every SpMV variant.
+#[derive(Debug, Clone)]
+struct SpmvData {
+    matrix: CsrMatrix,
+    x: Vec<f64>,
+}
+
+impl SpmvData {
+    fn new(rows: usize, cols: usize, density: f64, seed: u64) -> SpmvData {
+        let matrix = CsrMatrix::random(rows, cols, density, seed);
+        let x = random_vector(cols, seed ^ 0x5bd1_e995);
+        SpmvData { matrix, x }
+    }
+
+    fn populate_csr(&self, program: &Program, mem: &mut SparseMemory) {
+        write_u64_slice(mem, program.symbol("row_ptr").expect("row_ptr"), &self.matrix.row_ptr);
+        write_u64_slice(mem, program.symbol("col_idx").expect("col_idx"), &self.matrix.col_idx);
+        write_f64_slice(mem, program.symbol("vals").expect("vals"), &self.matrix.values);
+        write_f64_slice(mem, program.symbol("x").expect("x"), &self.x);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let y = read_f64_slice(
+            mem,
+            program.symbol("y").expect("y"),
+            self.matrix.rows,
+        );
+        verify_f64_slice(&y, &self.matrix.spmv(&self.x))
+    }
+
+    fn csr_data_section(&self) -> String {
+        format!(
+            ".data
+             row_ptr: .zero {rp}
+             col_idx: .zero {ci}
+             vals:    .zero {va}
+             x:       .zero {xb}
+             y:       .zero {yb}",
+            rp = 8 * (self.matrix.rows + 1),
+            ci = 8 * self.matrix.nnz(),
+            va = 8 * self.matrix.nnz(),
+            xb = 8 * self.matrix.cols,
+            yb = 8 * self.matrix.rows,
+        )
+    }
+}
+
+/// Scalar CSR SpMV (the paper's Figure 3 "SpMV" workload).
+#[derive(Debug, Clone)]
+pub struct SpmvScalar {
+    data: SpmvData,
+}
+
+impl SpmvScalar {
+    /// Creates a `rows × cols` SpMV with the given nonzero density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or density is out of `(0, 1]`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, density: f64, seed: u64) -> SpmvScalar {
+        SpmvScalar {
+            data: SpmvData::new(rows, cols, density, seed),
+        }
+    }
+
+    /// The generated matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.data.matrix
+    }
+}
+
+impl Workload for SpmvScalar {
+    fn name(&self) -> &'static str {
+        "spmv-scalar"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let rows = self.data.matrix.rows;
+        let src = format!(
+            "
+            {data}
+            .text
+            _start:
+                csrr s0, mhartid
+                li s11, {rows}
+                li s10, {harts}
+            outer:
+                bge s0, s11, done
+                la t0, row_ptr
+                slli t1, s0, 3
+                add t0, t0, t1
+                ld s1, 0(t0)            # k = row start
+                ld s2, 8(t0)            # row end
+                la s3, col_idx
+                la s4, vals
+                la s5, x
+                fmv.d.x fa0, zero
+                bge s1, s2, store
+            inner:
+                slli t2, s1, 3
+                add t3, s3, t2
+                ld t4, 0(t3)            # col
+                slli t4, t4, 3
+                add t4, s5, t4
+                fld fa1, 0(t4)          # x[col]
+                add t5, s4, t2
+                fld fa2, 0(t5)          # value
+                fmadd.d fa0, fa2, fa1, fa0
+                addi s1, s1, 1
+                blt s1, s2, inner
+            store:
+                la t6, y
+                slli t2, s0, 3
+                add t6, t6, t2
+                fsd fa0, 0(t6)
+                add s0, s0, s10
+                j outer
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            data = self.data.csr_data_section(),
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        self.data.populate_csr(program, mem);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        self.data.verify(program, mem)
+    }
+}
+
+/// Vector SpMV, variant 1: per-row strip-mined gather.
+#[derive(Debug, Clone)]
+pub struct SpmvVectorCsr {
+    data: SpmvData,
+}
+
+impl SpmvVectorCsr {
+    /// Creates a `rows × cols` SpMV with the given nonzero density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or density is out of `(0, 1]`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, density: f64, seed: u64) -> SpmvVectorCsr {
+        SpmvVectorCsr {
+            data: SpmvData::new(rows, cols, density, seed),
+        }
+    }
+
+    /// The generated matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.data.matrix
+    }
+}
+
+impl Workload for SpmvVectorCsr {
+    fn name(&self) -> &'static str {
+        "spmv-vector-csr"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let rows = self.data.matrix.rows;
+        let src = format!(
+            "
+            {data}
+            .text
+            _start:
+                csrr s0, mhartid
+                li s11, {rows}
+                li s10, {harts}
+                li s9, 65536            # AVL request for VLMAX
+            outer:
+                bge s0, s11, done
+                la t0, row_ptr
+                slli t1, s0, 3
+                add t0, t0, t1
+                ld s1, 0(t0)            # k
+                ld s2, 8(t0)            # end
+                vsetvli t2, s9, e64,m1,ta,ma
+                vmv.v.i v8, 0           # per-lane accumulators
+            strip:
+                sub t3, s2, s1
+                blez t3, reduce
+                vsetvli t4, t3, e64,m1,ta,ma
+                slli t5, s1, 3
+                la t6, col_idx
+                add t6, t6, t5
+                vle64.v v1, (t6)        # column indices
+                vsll.vi v1, v1, 3       # byte offsets
+                la s3, x
+                vluxei64.v v2, (s3), v1 # gather x[col]
+                la s4, vals
+                add s4, s4, t5
+                vle64.v v3, (s4)
+                vfmacc.vv v8, v3, v2    # acc += value * x
+                add s1, s1, t4
+                j strip
+            reduce:
+                vsetvli t2, s9, e64,m1,ta,ma
+                vmv.v.i v9, 0
+                vfredusum.vs v9, v8, v9
+                vfmv.f.s fa0, v9
+                la t6, y
+                slli t5, s0, 3
+                add t6, t6, t5
+                fsd fa0, 0(t6)
+                add s0, s0, s10
+                j outer
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            data = self.data.csr_data_section(),
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        self.data.populate_csr(program, mem);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        self.data.verify(program, mem)
+    }
+}
+
+/// Vector SpMV, variant 2: ELLPACK, vectorized across rows.
+#[derive(Debug, Clone)]
+pub struct SpmvVectorEll {
+    data: SpmvData,
+    width: usize,
+    ell_cols: Vec<u64>,
+    ell_vals: Vec<f64>,
+}
+
+impl SpmvVectorEll {
+    /// Creates a `rows × cols` SpMV with the given nonzero density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or density is out of `(0, 1]`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, density: f64, seed: u64) -> SpmvVectorEll {
+        let data = SpmvData::new(rows, cols, density, seed);
+        let (width, ell_cols, ell_vals) = data.matrix.to_ell();
+        SpmvVectorEll {
+            data,
+            width,
+            ell_cols,
+            ell_vals,
+        }
+    }
+
+    /// The ELL width (maximum nonzeros per row).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Workload for SpmvVectorEll {
+    fn name(&self) -> &'static str {
+        "spmv-vector-ell"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let rows = self.data.matrix.rows;
+        let width = self.width;
+        let block = rows.div_ceil(harts);
+        let slot_bytes = 8 * width * rows;
+        let src = format!(
+            "
+            .data
+            ell_cols: .zero {slot_bytes}
+            ell_vals: .zero {slot_bytes}
+            x:        .zero {xb}
+            y:        .zero {yb}
+            .text
+            _start:
+                csrr s0, mhartid
+                li t0, {block}
+                mul s1, s0, t0          # r0
+                add s2, s1, t0          # r1
+                li t1, {rows}
+                blt s2, t1, clamped
+                mv s2, t1
+            clamped:
+                li s7, {width}
+            row_strip:
+                bge s1, s2, done
+                sub t2, s2, s1
+                vsetvli s3, t2, e64,m1,ta,ma
+                vmv.v.i v8, 0           # acc for rows r0..r0+vl
+                li s4, 0                # slot
+            slot_loop:
+                bge s4, s7, store
+                li t3, {rows}
+                mul t4, s4, t3
+                add t4, t4, s1
+                slli t4, t4, 3          # (slot*rows + r0) * 8
+                la t5, ell_cols
+                add t5, t5, t4
+                vle64.v v1, (t5)        # cols (unit stride across rows)
+                vsll.vi v1, v1, 3
+                la t6, x
+                vluxei64.v v2, (t6), v1
+                la t5, ell_vals
+                add t5, t5, t4
+                vle64.v v3, (t5)
+                vfmacc.vv v8, v3, v2
+                addi s4, s4, 1
+                j slot_loop
+            store:
+                la t5, y
+                slli t4, s1, 3
+                add t5, t5, t4
+                vse64.v v8, (t5)
+                add s1, s1, s3
+                j row_strip
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            xb = 8 * self.data.matrix.cols,
+            yb = 8 * rows,
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        write_u64_slice(mem, program.symbol("ell_cols").expect("ell_cols"), &self.ell_cols);
+        write_f64_slice(mem, program.symbol("ell_vals").expect("ell_vals"), &self.ell_vals);
+        write_f64_slice(mem, program.symbol("x").expect("x"), &self.data.x);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        self.data.verify(program, mem)
+    }
+}
+
+/// Vector SpMV, variant 3: adaptive row hybrid — rows with at least 16
+/// nonzeros take the gather path, shorter rows stay scalar (avoiding
+/// vector-setup overhead on nearly-empty rows).
+#[derive(Debug, Clone)]
+pub struct SpmvVectorAdaptive {
+    data: SpmvData,
+}
+
+impl SpmvVectorAdaptive {
+    /// Vector-path threshold in nonzeros per row.
+    pub const THRESHOLD: usize = 16;
+
+    /// Creates a `rows × cols` SpMV with the given nonzero density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or density is out of `(0, 1]`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, density: f64, seed: u64) -> SpmvVectorAdaptive {
+        SpmvVectorAdaptive {
+            data: SpmvData::new(rows, cols, density, seed),
+        }
+    }
+}
+
+impl Workload for SpmvVectorAdaptive {
+    fn name(&self) -> &'static str {
+        "spmv-vector-adaptive"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let rows = self.data.matrix.rows;
+        let threshold = Self::THRESHOLD;
+        let src = format!(
+            "
+            {data}
+            .text
+            _start:
+                csrr s0, mhartid
+                li s11, {rows}
+                li s10, {harts}
+                li s9, 65536
+            outer:
+                bge s0, s11, done
+                la t0, row_ptr
+                slli t1, s0, 3
+                add t0, t0, t1
+                ld s1, 0(t0)
+                ld s2, 8(t0)
+                sub t2, s2, s1
+                li t3, {threshold}
+                bge t2, t3, vector_row
+
+                # ---- scalar path for short rows ----
+                la s3, col_idx
+                la s4, vals
+                la s5, x
+                fmv.d.x fa0, zero
+                bge s1, s2, store
+            scalar_inner:
+                slli t2, s1, 3
+                add t3, s3, t2
+                ld t4, 0(t3)
+                slli t4, t4, 3
+                add t4, s5, t4
+                fld fa1, 0(t4)
+                add t5, s4, t2
+                fld fa2, 0(t5)
+                fmadd.d fa0, fa2, fa1, fa0
+                addi s1, s1, 1
+                blt s1, s2, scalar_inner
+                j store
+
+                # ---- gather path for long rows ----
+            vector_row:
+                vsetvli t2, s9, e64,m1,ta,ma
+                vmv.v.i v8, 0
+            vstrip:
+                sub t3, s2, s1
+                blez t3, vreduce
+                vsetvli t4, t3, e64,m1,ta,ma
+                slli t5, s1, 3
+                la t6, col_idx
+                add t6, t6, t5
+                vle64.v v1, (t6)
+                vsll.vi v1, v1, 3
+                la s3, x
+                vluxei64.v v2, (s3), v1
+                la s4, vals
+                add s4, s4, t5
+                vle64.v v3, (s4)
+                vfmacc.vv v8, v3, v2
+                add s1, s1, t4
+                j vstrip
+            vreduce:
+                vsetvli t2, s9, e64,m1,ta,ma
+                vmv.v.i v9, 0
+                vfredusum.vs v9, v8, v9
+                vfmv.f.s fa0, v9
+            store:
+                la t6, y
+                slli t5, s0, 3
+                add t6, t6, t5
+                fsd fa0, 0(t6)
+                add s0, s0, s10
+                j outer
+            done:
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            data = self.data.csr_data_section(),
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        self.data.populate_csr(program, mem);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        self.data.verify(program, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    fn small_config(cores: usize) -> SimConfig {
+        SimConfig::builder().cores(cores).build().unwrap()
+    }
+
+    #[test]
+    fn scalar_spmv_verifies() {
+        let w = SpmvScalar::new(24, 32, 0.2, 11);
+        run_workload(&w, small_config(2)).unwrap();
+    }
+
+    #[test]
+    fn gather_spmv_verifies() {
+        let w = SpmvVectorCsr::new(24, 32, 0.3, 12);
+        run_workload(&w, small_config(2)).unwrap();
+    }
+
+    #[test]
+    fn ell_spmv_verifies() {
+        let w = SpmvVectorEll::new(24, 32, 0.25, 13);
+        assert!(w.width() > 0);
+        run_workload(&w, small_config(2)).unwrap();
+    }
+
+    #[test]
+    fn adaptive_spmv_verifies_with_mixed_rows() {
+        // Density chosen so some rows sit below and some above the
+        // threshold (rows get 3..=12 nnz at 0.1 of 64... widen range).
+        let w = SpmvVectorAdaptive::new(32, 64, 0.25, 14);
+        let m = &w.data.matrix;
+        let nnzs: Vec<usize> = (0..m.rows)
+            .map(|r| (m.row_ptr[r + 1] - m.row_ptr[r]) as usize)
+            .collect();
+        assert!(
+            nnzs.iter().any(|&n| n >= SpmvVectorAdaptive::THRESHOLD)
+                && nnzs.iter().any(|&n| n < SpmvVectorAdaptive::THRESHOLD),
+            "want mixed row lengths, got {nnzs:?}"
+        );
+        run_workload(&w, small_config(4)).unwrap();
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let w = SpmvScalar::new(1, 8, 0.5, 15);
+        run_workload(&w, small_config(4)).unwrap();
+    }
+
+    #[test]
+    fn variants_agree_on_same_seed() {
+        // All variants must produce identical y for identical inputs.
+        let a = SpmvScalar::new(16, 24, 0.3, 99);
+        let b = SpmvVectorCsr::new(16, 24, 0.3, 99);
+        assert_eq!(a.data.matrix, b.data.matrix);
+        assert_eq!(a.data.x, b.data.x);
+    }
+}

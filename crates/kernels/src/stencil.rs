@@ -1,0 +1,226 @@
+//! Vector 5-point stencil kernel (the paper's fourth kernel family).
+//!
+//! Performs `iters` Jacobi sweeps over an `n × m` `f64` grid:
+//! `out = c0·center + c1·(north + south + west + east)` on interior
+//! cells, with boundary cells held fixed. Rows are block-partitioned
+//! across harts; iterations are separated by a sense-free counting
+//! barrier built from `amoadd.d` (exercising the A extension the way
+//! the paper's MCPU discussion envisions).
+
+use coyote::SparseMemory;
+use coyote_asm::{AsmError, Assembler, Program};
+
+use crate::data::{random_vector, stencil_step};
+use crate::workload::{read_f64_slice, verify_f64_slice, write_f64_slice, VerifyError, Workload};
+
+/// Vectorized multi-iteration 2D stencil.
+#[derive(Debug, Clone)]
+pub struct StencilVector {
+    n: usize,
+    m: usize,
+    iters: usize,
+    c0: f64,
+    c1: f64,
+    grid: Vec<f64>,
+}
+
+impl StencilVector {
+    /// Creates an `n × m` stencil with `iters` Jacobi sweeps over a
+    /// seeded random grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 3`, `m >= 3` and `iters >= 1`.
+    #[must_use]
+    pub fn new(n: usize, m: usize, iters: usize, seed: u64) -> StencilVector {
+        assert!(n >= 3 && m >= 3, "grid must have interior cells");
+        assert!(iters >= 1, "at least one iteration");
+        StencilVector {
+            n,
+            m,
+            iters,
+            c0: 0.5,
+            c1: 0.125,
+            grid: random_vector(n * m, seed),
+        }
+    }
+
+    /// Grid rows.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Grid columns.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The label holding the final grid after `iters` sweeps.
+    fn result_symbol(&self) -> &'static str {
+        if self.iters.is_multiple_of(2) {
+            "g0"
+        } else {
+            "g1"
+        }
+    }
+}
+
+impl Workload for StencilVector {
+    fn name(&self) -> &'static str {
+        "stencil-vector"
+    }
+
+    fn program(&self, harts: usize) -> Result<Program, AsmError> {
+        let (n, m, iters) = (self.n, self.m, self.iters);
+        let grid_bytes = 8 * n * m;
+        let row_bytes = 8 * m;
+        // Interior rows 1..n-1 split into blocks.
+        let block = (n - 2).div_ceil(harts).max(1);
+        let src = format!(
+            "
+            .data
+            g0: .zero {grid_bytes}
+            g1: .zero {grid_bytes}
+            coef: .double {c0}, {c1}
+            barrier: .dword 0
+            .text
+            _start:
+                csrr s0, mhartid
+                li s10, {harts}
+                li s11, {iters}
+                la s9, barrier
+                la t0, coef
+                fld fs0, 0(t0)          # c0
+                fld fs1, 8(t0)          # c1
+                li t1, {block}
+                mul s1, s0, t1
+                addi s1, s1, 1          # r0 (interior starts at 1)
+                add s2, s1, t1          # r1 exclusive
+                li t2, {n_minus_1}
+                blt s2, t2, clamped
+                mv s2, t2
+            clamped:
+                li s8, 0                # iteration
+            iter_loop:
+                bge s8, s11, finish
+                andi t0, s8, 1
+                la s3, g0               # src
+                la s4, g1               # dst
+                beqz t0, no_swap
+                mv t3, s3
+                mv s3, s4
+                mv s4, t3
+            no_swap:
+                mv s5, s1               # row
+            row_loop:
+                bge s5, s2, sync
+                li s6, 1                # j
+            col_strip:
+                li t4, {m_minus_1}
+                sub t6, t4, s6          # remaining interior cols
+                blez t6, row_done
+                vsetvli s7, t6, e64,m1,ta,ma
+                li t4, {m}
+                mul t5, s5, t4
+                add t5, t5, s6
+                slli t5, t5, 3          # (row*m + j) * 8
+                add t0, s3, t5          # src center
+                vle64.v v1, (t0)
+                li t4, {row_bytes}
+                sub t2, t0, t4
+                vle64.v v2, (t2)        # north
+                add t2, t0, t4
+                vle64.v v3, (t2)        # south
+                addi t2, t0, -8
+                vle64.v v4, (t2)        # west
+                addi t2, t0, 8
+                vle64.v v5, (t2)        # east
+                vfadd.vv v2, v2, v3
+                vfadd.vv v4, v4, v5
+                vfadd.vv v2, v2, v4     # neighbor sum
+                vfmul.vf v1, v1, fs0    # c0 * center
+                vfmacc.vf v1, v2, fs1   # += c1 * sum
+                add t2, s4, t5          # dst
+                vse64.v v1, (t2)
+                add s6, s6, s7
+                j col_strip
+            row_done:
+                addi s5, s5, 1
+                j row_loop
+            sync:
+                li t0, 1
+                amoadd.d t1, t0, (s9)
+                addi s8, s8, 1
+                mul t2, s8, s10         # barrier target = harts * iter
+            spin:
+                ld t3, 0(s9)
+                blt t3, t2, spin
+                j iter_loop
+            finish:
+                li a0, 0
+                li a7, 93
+                ecall
+            ",
+            c0 = self.c0,
+            c1 = self.c1,
+            n_minus_1 = n - 1,
+            m_minus_1 = m - 1,
+        );
+        Assembler::new().assemble(&src)
+    }
+
+    fn populate(&self, program: &Program, mem: &mut SparseMemory) {
+        // Both buffers start with the same data so boundary cells (never
+        // written) remain consistent after swaps.
+        write_f64_slice(mem, program.symbol("g0").expect("g0"), &self.grid);
+        write_f64_slice(mem, program.symbol("g1").expect("g1"), &self.grid);
+    }
+
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
+        let mut expected = self.grid.clone();
+        for _ in 0..self.iters {
+            expected = stencil_step(&expected, self.n, self.m, self.c0, self.c1);
+        }
+        let addr = program.symbol(self.result_symbol()).expect("grid symbol");
+        let got = read_f64_slice(mem, addr, self.n * self.m);
+        verify_f64_slice(&got, &expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use coyote::SimConfig;
+
+    #[test]
+    fn single_iteration_single_core() {
+        let w = StencilVector::new(8, 8, 1, 21);
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn multi_iteration_multicore_barrier() {
+        let w = StencilVector::new(10, 12, 3, 22);
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn more_harts_than_interior_rows() {
+        let w = StencilVector::new(4, 8, 2, 23);
+        let config = SimConfig::builder().cores(8).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+
+    #[test]
+    fn wide_grid_strip_mines() {
+        // m-2 = 30 interior columns with VLMAX=16 forces two strips.
+        let w = StencilVector::new(5, 32, 2, 24);
+        let config = SimConfig::builder().cores(2).build().unwrap();
+        run_workload(&w, config).unwrap();
+    }
+}

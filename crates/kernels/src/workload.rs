@@ -1,0 +1,212 @@
+//! The [`Workload`] abstraction: a kernel + its data + its oracle.
+//!
+//! Every paper kernel implements this trait so the benchmark harness
+//! can assemble, populate, simulate and verify any of them uniformly.
+
+use std::fmt;
+
+use coyote::{Report, RunError, SimConfig, Simulation, SparseMemory};
+use coyote_asm::{AsmError, Program};
+
+/// Numerical tolerance for verifying kernel output against the host
+/// oracle. The kernels mirror the oracle's operation order, so results
+/// are usually bit-exact; the tolerance absorbs unordered reductions.
+pub const VERIFY_EPSILON: f64 = 1e-9;
+
+/// Error raised when a kernel's output does not match the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Which output element diverged.
+    pub index: usize,
+    /// Value the simulation produced.
+    pub got: f64,
+    /// Value the oracle expects.
+    pub expected: f64,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output[{}] = {} differs from expected {}",
+            self.index, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Compares simulated output `got` against `expected` element-wise.
+///
+/// # Errors
+///
+/// Returns the first diverging element.
+pub fn verify_f64_slice(got: &[f64], expected: &[f64]) -> Result<(), VerifyError> {
+    assert_eq!(got.len(), expected.len(), "verification length mismatch");
+    for (index, (&g, &e)) in got.iter().zip(expected).enumerate() {
+        let tolerance = VERIFY_EPSILON * e.abs().max(1.0);
+        if (g - e).abs() > tolerance || g.is_nan() != e.is_nan() {
+            return Err(VerifyError {
+                index,
+                got: g,
+                expected: e,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reads `len` consecutive `f64`s from simulated memory.
+#[must_use]
+pub fn read_f64_slice(mem: &SparseMemory, addr: u64, len: usize) -> Vec<f64> {
+    (0..len as u64).map(|i| mem.read_f64(addr + i * 8)).collect()
+}
+
+/// Writes a slice of `f64` into simulated memory.
+pub fn write_f64_slice(mem: &mut SparseMemory, addr: u64, values: &[f64]) {
+    for (i, &v) in values.iter().enumerate() {
+        mem.write_f64(addr + (i as u64) * 8, v);
+    }
+}
+
+/// Writes a slice of `u64` into simulated memory.
+pub fn write_u64_slice(mem: &mut SparseMemory, addr: u64, values: &[u64]) {
+    for (i, &v) in values.iter().enumerate() {
+        mem.write_u64(addr + (i as u64) * 8, v);
+    }
+}
+
+/// A runnable, verifiable kernel.
+pub trait Workload {
+    /// Kernel name (used in reports and benchmark rows).
+    fn name(&self) -> &'static str;
+
+    /// Assembles the kernel for a system of `harts` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error (a kernel bug).
+    fn program(&self, harts: usize) -> Result<Program, AsmError>;
+
+    /// Writes the input data into simulated memory. `program` is the
+    /// image returned by [`Workload::program`] (for symbol lookup).
+    fn populate(&self, program: &Program, mem: &mut SparseMemory);
+
+    /// Checks the kernel's output in simulated memory against the host
+    /// oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first diverging output element.
+    fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError>;
+}
+
+/// Error from [`run_workload`].
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The kernel failed to assemble (a kernel bug).
+    Asm(AsmError),
+    /// The simulation faulted or exceeded its budget.
+    Run(RunError),
+    /// A core exited with a non-zero code.
+    ExitCode(Vec<i64>),
+    /// The output did not match the oracle.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Asm(e) => write!(f, "assembly failed: {e}"),
+            WorkloadError::Run(e) => write!(f, "simulation failed: {e}"),
+            WorkloadError::ExitCode(codes) => write!(f, "non-zero exit codes: {codes:?}"),
+            WorkloadError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Asm(e) => Some(e),
+            WorkloadError::Run(e) => Some(e),
+            WorkloadError::Verify(e) => Some(e),
+            WorkloadError::ExitCode(_) => None,
+        }
+    }
+}
+
+impl From<AsmError> for WorkloadError {
+    fn from(e: AsmError) -> Self {
+        WorkloadError::Asm(e)
+    }
+}
+impl From<RunError> for WorkloadError {
+    fn from(e: RunError) -> Self {
+        WorkloadError::Run(e)
+    }
+}
+impl From<VerifyError> for WorkloadError {
+    fn from(e: VerifyError) -> Self {
+        WorkloadError::Verify(e)
+    }
+}
+
+/// Assembles, populates, simulates and verifies a workload under
+/// `config`, returning the report (and, when tracing was enabled, the
+/// trace inside the returned simulation).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] for assembly, simulation, exit-code or
+/// verification failures.
+pub fn run_workload(
+    workload: &dyn Workload,
+    config: SimConfig,
+) -> Result<(Report, Simulation), WorkloadError> {
+    let program = workload.program(config.cores)?;
+    let mut sim = Simulation::new(config, &program)?;
+    workload.populate(&program, sim.memory_mut());
+    let report = sim.run()?;
+    match report.exit_codes() {
+        Some(codes) if codes.iter().all(|&c| c == 0) => {}
+        Some(codes) => return Err(WorkloadError::ExitCode(codes)),
+        None => unreachable!("run() returned without all cores halting"),
+    }
+    workload.verify(&program, sim.memory())?;
+    Ok((report, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_slice_accepts_exact_and_close() {
+        verify_f64_slice(&[1.0, 2.0], &[1.0, 2.0 + 1e-12]).unwrap();
+    }
+
+    #[test]
+    fn verify_slice_rejects_divergence() {
+        let err = verify_f64_slice(&[1.0, 2.5], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.got, 2.5);
+        assert!(err.to_string().contains("output[1]"));
+    }
+
+    #[test]
+    fn verify_slice_scales_tolerance() {
+        // Relative tolerance for large magnitudes.
+        verify_f64_slice(&[1.0e12 + 1.0], &[1.0e12]).unwrap();
+        assert!(verify_f64_slice(&[1.0e12 + 1.0e4], &[1.0e12]).is_err());
+    }
+
+    #[test]
+    fn slice_io_round_trips() {
+        let mut mem = SparseMemory::new();
+        write_f64_slice(&mut mem, 0x1000, &[1.5, -2.5, 3.5]);
+        assert_eq!(read_f64_slice(&mem, 0x1000, 3), vec![1.5, -2.5, 3.5]);
+        write_u64_slice(&mut mem, 0x2000, &[7, 8]);
+        assert_eq!(mem.read_u64(0x2008), 8);
+    }
+}

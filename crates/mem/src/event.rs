@@ -1,0 +1,170 @@
+//! Deterministic discrete-event kernel.
+//!
+//! The Sparta framework's essential service to Coyote is a cycle-ordered
+//! event queue driving modular components. [`EventQueue`] reproduces
+//! that: events fire in (time, insertion-sequence) order, so identical
+//! inputs always produce identical simulations — a property the
+//! simulator's tests assert end-to-end.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: Key,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use coyote_mem::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "later");
+/// q.schedule(2, "sooner");
+/// q.schedule(2, "sooner-but-second");
+/// assert_eq!(q.pop_due(2), Some("sooner"));
+/// assert_eq!(q.pop_due(2), Some("sooner-but-second"));
+/// assert_eq!(q.pop_due(2), None); // "later" is not due yet
+/// assert_eq!(q.next_time(), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute `time`. Events scheduled
+    /// for the same time fire in scheduling order.
+    pub fn schedule(&mut self, time: u64, payload: T) {
+        let key = Key {
+            time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { key, payload }));
+    }
+
+    /// Pops the next event whose time is `<= now`, if any.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.0.key.time <= now) {
+            Some(self.heap.pop().expect("peeked").0.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Pops the next event together with its scheduled time, regardless
+    /// of the current cycle (used for fast-forwarding an idle system).
+    pub fn pop_next(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| (e.0.key.time, e.0.payload))
+    }
+
+    /// The time of the earliest scheduled event.
+    #[must_use]
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.0.key.time)
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 'c');
+        q.schedule(1, 'a');
+        q.schedule(5, 'b');
+        assert_eq!(q.pop_due(10), Some('a'));
+        assert_eq!(q.pop_due(10), Some('b'));
+        assert_eq!(q.pop_due(10), Some('c'));
+        assert_eq!(q.pop_due(10), None);
+    }
+
+    #[test]
+    fn same_time_fires_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_due(7), Some(i));
+        }
+    }
+
+    #[test]
+    fn not_due_events_stay() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_due(5), Some(()));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_next_fast_forwards() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "far");
+        assert_eq!(q.next_time(), Some(100));
+        assert_eq!(q.pop_next(), Some((100, "far")));
+        assert_eq!(q.pop_next(), None);
+    }
+}

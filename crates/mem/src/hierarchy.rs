@@ -1,0 +1,903 @@
+//! The event-driven memory hierarchy below the L1s.
+//!
+//! Reproduces the paper's Sparta-modelled half of Coyote: L1 misses are
+//! submitted as [`Request`]s, travel over the NoC to an L2 bank chosen
+//! by the [`MappingPolicy`], possibly on to a memory controller, and
+//! come back as [`Completion`]s that the orchestrator routes to the
+//! issuing core.
+//!
+//! Request pipeline (each `→` is an event):
+//!
+//! ```text
+//! submit → [NoC] → bank lookup ─ hit ──────────→ [NoC] → completion
+//!                      │ miss (MSHR, merge, queue)
+//!                      └→ [NoC] → MC (queue+latency) → [NoC] → fill → [NoC] → completion
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::event::EventQueue;
+use crate::l2::{BankStats, L2Bank, L2Config, Lookup};
+use crate::mapping::MappingPolicy;
+use crate::mc::{McConfig, McStats, MemoryController};
+use crate::noc::{Noc, NocModel, NocNode, NocStats};
+
+/// Multiplicative hasher for line addresses and request ids (the
+/// hierarchy's maps sit on the simulation hot path).
+#[derive(Debug, Default, Clone, Copy)]
+struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+type FastMap<V> = HashMap<u64, V, BuildHasherDefault<FastHasher>>;
+
+/// Whether the L2 is shared across tiles or private per tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Sharing {
+    /// All banks serve all tiles; a request may cross the NoC to a
+    /// remote tile's bank.
+    Shared,
+    /// A tile's requests are served only by its own banks.
+    Private,
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// Number of compute tiles.
+    pub tiles: usize,
+    /// L2 banks per tile.
+    pub banks_per_tile: usize,
+    /// Per-bank L2 geometry and timing.
+    pub l2: L2Config,
+    /// Shared or tile-private L2.
+    pub sharing: L2Sharing,
+    /// Bank-selection policy.
+    pub mapping: MappingPolicy,
+    /// NoC model.
+    pub noc: NocModel,
+    /// Memory controllers.
+    pub mc: McConfig,
+    /// Next-line prefetch degree at the L2 banks: on a demand miss,
+    /// speculatively fetch this many sequential lines (0 = off, the
+    /// paper's baseline; prefetching is the paper's named future work).
+    pub prefetch_degree: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            tiles: 1,
+            banks_per_tile: 4,
+            l2: L2Config::default(),
+            sharing: L2Sharing::Shared,
+            mapping: MappingPolicy::SetInterleave,
+            noc: NocModel::default(),
+            mc: McConfig::default(),
+            prefetch_degree: 0,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Validates the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiles == 0 || self.banks_per_tile == 0 {
+            return Err("tiles and banks_per_tile must be positive".to_owned());
+        }
+        self.l2.validate()?;
+        self.mc.validate()?;
+        Ok(())
+    }
+
+    /// Total bank count.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.tiles * self.banks_per_tile
+    }
+}
+
+/// An L1 miss entering the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Line-aligned address.
+    pub line_addr: u64,
+    /// Issuing tile.
+    pub tile: usize,
+    /// `false` for fire-and-forget writebacks.
+    pub needs_response: bool,
+    /// Opaque caller tag, returned in the [`Completion`].
+    pub tag: u64,
+}
+
+/// A serviced miss leaving the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The tag from the originating [`Request`].
+    pub tag: u64,
+    /// The serviced line.
+    pub line_addr: u64,
+    /// The tile that issued the request.
+    pub tile: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Request `id` arrives at its bank.
+    BankArrive(u64),
+    /// Request `id` leaves its bank toward the MC.
+    McSend(u64),
+    /// Request `id`'s data leaves the MC back toward the bank.
+    McRespond(u64),
+    /// Request `id`'s line is installed in the bank.
+    BankFill(u64),
+    /// Request `id`'s response reaches the requesting tile.
+    Complete(u64),
+}
+
+#[derive(Debug, Clone)]
+struct ReqState {
+    req: Request,
+    bank: usize,
+    local_idx: u64,
+    /// Synthesized L2-victim writebacks carry no MSHR and no response.
+    is_l2_writeback: bool,
+    /// Speculative next-line prefetch: fills quietly, never responds.
+    is_prefetch: bool,
+}
+
+/// Aggregated hierarchy statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyStats {
+    /// Per-bank counters.
+    pub banks: Vec<BankStats>,
+    /// NoC counters.
+    pub noc: NocStats,
+    /// Per-MC counters.
+    pub mcs: Vec<McStats>,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Misses merged into an already-in-flight fill of the same line.
+    pub merged: u64,
+}
+
+impl HierarchyStats {
+    /// Total L2 hits across banks.
+    #[must_use]
+    pub fn l2_hits(&self) -> u64 {
+        self.banks.iter().map(|b| b.hits).sum()
+    }
+
+    /// Total L2 misses across banks.
+    #[must_use]
+    pub fn l2_misses(&self) -> u64 {
+        self.banks.iter().map(|b| b.misses).sum()
+    }
+
+    /// L2 miss rate over all banks.
+    #[must_use]
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.l2_hits() + self.l2_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_misses() as f64 / total as f64
+        }
+    }
+}
+
+/// The event-driven hierarchy.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    banks: Vec<L2Bank>,
+    /// Per-bank: line → request ids merged onto one in-flight fill.
+    bank_pending: Vec<FastMap<Vec<u64>>>,
+    noc: Noc,
+    mcs: Vec<MemoryController>,
+    events: EventQueue<Ev>,
+    states: FastMap<ReqState>,
+    next_id: u64,
+    completions_out: Vec<Completion>,
+    submitted: u64,
+    completed: u64,
+    merged: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for inconsistent
+    /// configurations.
+    pub fn new(config: HierarchyConfig) -> Result<Hierarchy, String> {
+        config.validate()?;
+        let total_banks = config.total_banks();
+        Ok(Hierarchy {
+            config,
+            banks: (0..total_banks).map(|_| L2Bank::new(config.l2)).collect(),
+            bank_pending: vec![FastMap::default(); total_banks],
+            noc: Noc::new(config.noc, config.tiles, config.mc.count),
+            mcs: (0..config.mc.count)
+                .map(|_| MemoryController::new(config.mc))
+                .collect(),
+            events: EventQueue::new(),
+            states: FastMap::default(),
+            next_id: 0,
+            completions_out: Vec::new(),
+            submitted: 0,
+            completed: 0,
+            merged: 0,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Which tile hosts a global bank index.
+    fn bank_tile(&self, bank: usize) -> usize {
+        bank / self.config.banks_per_tile
+    }
+
+    /// Selects the bank and bank-local index for a request.
+    fn route(&self, req: &Request) -> (usize, u64) {
+        let line_bytes = self.config.l2.line_bytes;
+        match self.config.sharing {
+            L2Sharing::Shared => {
+                let banks = self.config.total_banks() as u64;
+                let (bank, local) = self.config.mapping.map(req.line_addr, line_bytes, banks);
+                (bank, local)
+            }
+            L2Sharing::Private => {
+                let banks = self.config.banks_per_tile as u64;
+                let (local_bank, local) =
+                    self.config.mapping.map(req.line_addr, line_bytes, banks);
+                (req.tile * self.config.banks_per_tile + local_bank, local)
+            }
+        }
+    }
+
+    /// Submits an L1 miss at the current cycle.
+    pub fn submit(&mut self, now: u64, req: Request) {
+        self.submitted += 1;
+        let (bank, local_idx) = self.route(&req);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.states.insert(
+            id,
+            ReqState {
+                req,
+                bank,
+                local_idx,
+                is_l2_writeback: false,
+                is_prefetch: false,
+            },
+        );
+        let latency = self
+            .noc
+            .traverse_request(NocNode::Tile(req.tile), NocNode::Tile(self.bank_tile(bank)));
+        self.events.schedule(now + latency, Ev::BankArrive(id));
+    }
+
+    /// Advances the model to `now`, processing every event due at or
+    /// before it; serviced requests are appended to `completions`.
+    ///
+    /// Call this every cycle (as the orchestrator does) or step `now`
+    /// through [`Hierarchy::next_event_time`]: handler-relative delays
+    /// are measured from `now`, so skipping past several distinct event
+    /// times in one call would stretch modelled latencies.
+    pub fn advance(&mut self, now: u64, completions: &mut Vec<Completion>) {
+        while let Some(ev) = self.events.pop_due(now) {
+            self.handle(now, ev);
+        }
+        completions.append(&mut self.completions_out);
+    }
+
+    /// The cycle of the earliest pending event (for fast-forwarding an
+    /// otherwise idle system).
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.events.next_time()
+    }
+
+    /// Whether any request is still in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.states.is_empty() && self.events.is_empty()
+    }
+
+    /// Snapshot of all counters.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            banks: self.banks.iter().map(|b| b.stats()).collect(),
+            noc: self.noc.stats(),
+            mcs: self.mcs.iter().map(|m| m.stats()).collect(),
+            submitted: self.submitted,
+            completed: self.completed,
+            merged: self.merged,
+        }
+    }
+
+    fn handle(&mut self, now: u64, ev: Ev) {
+        match ev {
+            Ev::BankArrive(id) => self.on_bank_arrive(now, id),
+            Ev::McSend(id) => self.on_mc_send(now, id),
+            Ev::McRespond(id) => self.on_mc_respond(now, id),
+            Ev::BankFill(id) => self.on_bank_fill(now, id),
+            Ev::Complete(id) => self.on_complete(id),
+        }
+    }
+
+    fn on_bank_arrive(&mut self, now: u64, id: u64) {
+        let state = self.states.get(&id).expect("state").clone();
+        if state.is_prefetch {
+            // Prefetches are best-effort: drop if the line is resident,
+            // already being fetched, or no MSHR is free.
+            let resident =
+                self.banks[state.bank].probe_quiet(state.req.line_addr, state.local_idx);
+            let in_flight = self.bank_pending[state.bank].contains_key(&state.req.line_addr);
+            if resident || in_flight || !self.banks[state.bank].mshr_available() {
+                self.states.remove(&id);
+                return;
+            }
+            self.banks[state.bank].mshr_acquire();
+            self.bank_pending[state.bank]
+                .insert(state.req.line_addr, Vec::new());
+            self.events
+                .schedule(now + self.config.l2.miss_latency, Ev::McSend(id));
+            return;
+        }
+        let bank = &mut self.banks[state.bank];
+        let write = !state.req.needs_response;
+        match bank.lookup(state.req.line_addr, state.local_idx, write) {
+            Lookup::Hit => {
+                if state.req.needs_response {
+                    let hit_latency = self.config.l2.hit_latency;
+                    self.schedule_response(now + hit_latency, id);
+                } else {
+                    // Writeback absorbed by the bank (line marked dirty).
+                    self.states.remove(&id);
+                }
+            }
+            Lookup::Miss => {
+                let lookup_done = now + self.config.l2.hit_latency;
+                if state.req.needs_response {
+                    // Merge with an in-flight fill of the same line.
+                    if let Some(waiters) =
+                        self.bank_pending[state.bank].get_mut(&state.req.line_addr)
+                    {
+                        waiters.push(id);
+                        self.merged += 1;
+                        return;
+                    }
+                    if self.banks[state.bank].mshr_available() {
+                        self.banks[state.bank].mshr_acquire();
+                        self.bank_pending[state.bank]
+                            .insert(state.req.line_addr, vec![id]);
+                        self.events.schedule(
+                            lookup_done + self.config.l2.miss_latency,
+                            Ev::McSend(id),
+                        );
+                    } else {
+                        self.banks[state.bank].enqueue_waiting(id);
+                    }
+                    self.issue_prefetches(now, &state);
+                } else {
+                    // Writeback missing in L2: forward to memory.
+                    self.events
+                        .schedule(lookup_done, Ev::McSend(id));
+                }
+            }
+        }
+    }
+
+    /// Issues next-line prefetches triggered by a demand miss. Each
+    /// candidate is routed through the normal mapping (it may land on a
+    /// different bank) and enters that bank one cycle later.
+    fn issue_prefetches(&mut self, now: u64, demand: &ReqState) {
+        for i in 1..=self.config.prefetch_degree as u64 {
+            let line_addr = demand
+                .req
+                .line_addr
+                .wrapping_add(i * self.config.l2.line_bytes);
+            let req = Request {
+                line_addr,
+                tile: demand.req.tile,
+                needs_response: false,
+                tag: 0,
+            };
+            let (bank, local_idx) = self.route(&req);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.states.insert(
+                id,
+                ReqState {
+                    req,
+                    bank,
+                    local_idx,
+                    is_l2_writeback: false,
+                    is_prefetch: true,
+                },
+            );
+            self.events.schedule(now + 1, Ev::BankArrive(id));
+        }
+    }
+
+    fn on_mc_send(&mut self, now: u64, id: u64) {
+        let state = self.states.get(&id).expect("state").clone();
+        let mc_index = self
+            .config
+            .mc
+            .mc_for(state.req.line_addr, self.config.l2.line_bytes);
+        let bank_tile = self.bank_tile(state.bank);
+        let latency = self
+            .noc
+            .traverse_request(NocNode::Tile(bank_tile), NocNode::Mc(mc_index));
+        let write = !state.req.needs_response && !state.is_prefetch;
+        let done = self.mcs[mc_index].service(
+            now + latency,
+            state.req.line_addr,
+            self.config.l2.line_bytes,
+            write,
+        );
+        if write {
+            // Writebacks (L1-originated or L2 victims) are absorbed.
+            self.states.remove(&id);
+        } else {
+            self.events.schedule(done, Ev::McRespond(id));
+        }
+    }
+
+    fn on_mc_respond(&mut self, now: u64, id: u64) {
+        let state = self.states.get(&id).expect("state").clone();
+        let mc_index = self
+            .config
+            .mc
+            .mc_for(state.req.line_addr, self.config.l2.line_bytes);
+        let bank_tile = self.bank_tile(state.bank);
+        let latency = self
+            .noc
+            .traverse_response(NocNode::Mc(mc_index), NocNode::Tile(bank_tile));
+        self.events.schedule(now + latency, Ev::BankFill(id));
+    }
+
+    fn on_bank_fill(&mut self, now: u64, id: u64) {
+        let state = self.states.get(&id).expect("state").clone();
+        // Install the line; a dirty victim becomes a synthesized
+        // writeback to memory.
+        if let Some(victim) = self.banks[state.bank].fill(
+            state.req.line_addr,
+            state.local_idx,
+            false,
+            state.is_prefetch,
+        ) {
+            let wb_id = self.next_id;
+            self.next_id += 1;
+            self.states.insert(
+                wb_id,
+                ReqState {
+                    req: Request {
+                        line_addr: victim,
+                        tile: state.req.tile,
+                        needs_response: false,
+                        tag: 0,
+                    },
+                    bank: state.bank,
+                    local_idx: 0,
+                    is_l2_writeback: true,
+                    is_prefetch: false,
+                },
+            );
+            self.events.schedule(now, Ev::McSend(wb_id));
+        }
+        self.banks[state.bank].mshr_release();
+        // Respond to every request merged onto this line (before waking
+        // queued requests, so a same-line waiter is not answered twice).
+        let waiters = self.bank_pending[state.bank]
+            .remove(&state.req.line_addr)
+            .unwrap_or_default();
+        for waiter in waiters {
+            if self.states[&waiter].is_prefetch {
+                self.states.remove(&waiter);
+            } else {
+                self.schedule_response(now, waiter);
+            }
+        }
+        if state.is_prefetch {
+            self.states.remove(&id);
+        }
+        // Wake one queued request now that an MSHR is free.
+        if let Some(waiting_id) = self.banks[state.bank].pop_waiting() {
+            let wbank = self.states[&waiting_id].bank;
+            let line = self.states[&waiting_id].req.line_addr;
+            // A fetch for this line may have started while the request
+            // sat in the queue; merge instead of fetching twice.
+            if let Some(same_line) = self.bank_pending[wbank].get_mut(&line) {
+                same_line.push(waiting_id);
+                self.merged += 1;
+            } else {
+                self.banks[wbank].mshr_acquire();
+                self.bank_pending[wbank].insert(line, vec![waiting_id]);
+                // Lookup was already paid on arrival; only the miss path
+                // remains.
+                self.events
+                    .schedule(now + self.config.l2.miss_latency, Ev::McSend(waiting_id));
+            }
+        }
+    }
+
+    fn schedule_response(&mut self, now: u64, id: u64) {
+        let state = self.states.get(&id).expect("state");
+        let bank_tile = self.bank_tile(state.bank);
+        let latency = self
+            .noc
+            .traverse_response(NocNode::Tile(bank_tile), NocNode::Tile(state.req.tile));
+        self.events.schedule(now + latency, Ev::Complete(id));
+    }
+
+    fn on_complete(&mut self, id: u64) {
+        let state = self.states.remove(&id).expect("state");
+        debug_assert!(!state.is_l2_writeback);
+        self.completed += 1;
+        self.completions_out.push(Completion {
+            tag: state.req.tag,
+            line_addr: state.req.line_addr,
+            tile: state.req.tile,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HierarchyConfig {
+        HierarchyConfig {
+            tiles: 2,
+            banks_per_tile: 2,
+            l2: L2Config {
+                bank_size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                mshrs: 4,
+                hit_latency: 10,
+                miss_latency: 5,
+            },
+            sharing: L2Sharing::Shared,
+            mapping: MappingPolicy::SetInterleave,
+            noc: NocModel::IdealCrossbar {
+                request_latency: 8,
+                response_latency: 8,
+            },
+            mc: McConfig {
+                count: 2,
+                channels_per_mc: 4,
+                access_latency: 100,
+                cycles_per_line: 4,
+                ..McConfig::default()
+            },
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Runs the hierarchy until idle, returning (cycle, completions).
+    fn drain(h: &mut Hierarchy, from: u64) -> (u64, Vec<Completion>) {
+        let mut out = Vec::new();
+        let mut now = from;
+        while !h.is_idle() {
+            now = h.next_event_time().unwrap_or(now + 1).max(now);
+            h.advance(now, &mut out);
+        }
+        (now, out)
+    }
+
+    #[test]
+    fn cold_miss_round_trip_latency() {
+        let mut h = Hierarchy::new(config()).unwrap();
+        h.submit(
+            0,
+            Request {
+                line_addr: 0x4000,
+                tile: 0,
+                needs_response: true,
+                tag: 1,
+            },
+        );
+        let (done, out) = drain(&mut h, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tag, 1);
+        // Line 0x4000 with 4 banks set-interleaved: bank = (0x4000/64)%4
+        // = 0 → tile 0, so the tile→bank and bank→tile NoC hops are
+        // local (0 cycles). Path: lookup(10) + miss(5) + NoC(8) +
+        // MC(4+100) + NoC(8) + fill/respond(0).
+        assert_eq!(done, 10 + 5 + 8 + 104 + 8);
+        let stats = h.stats();
+        assert_eq!(stats.l2_misses(), 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn second_access_hits_in_l2() {
+        let mut h = Hierarchy::new(config()).unwrap();
+        let req = Request {
+            line_addr: 0x4000,
+            tile: 0,
+            needs_response: true,
+            tag: 1,
+        };
+        h.submit(0, req);
+        let (t1, _) = drain(&mut h, 0);
+        h.submit(t1, Request { tag: 2, ..req });
+        let (t2, out) = drain(&mut h, t1);
+        assert_eq!(out.len(), 1);
+        // Hit path: local NoC (0) + hit latency + local response (0).
+        assert_eq!(t2 - t1, 10);
+        assert_eq!(h.stats().l2_hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_misses_to_same_line_merge() {
+        let mut h = Hierarchy::new(config()).unwrap();
+        for tag in 0..4 {
+            h.submit(
+                0,
+                Request {
+                    line_addr: 0x8000,
+                    tile: 0,
+                    needs_response: true,
+                    tag,
+                },
+            );
+        }
+        let (_, out) = drain(&mut h, 0);
+        assert_eq!(out.len(), 4);
+        let stats = h.stats();
+        assert_eq!(stats.merged, 3);
+        assert_eq!(stats.mcs.iter().map(|m| m.reads).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_queues_and_eventually_serves() {
+        let mut cfg = config();
+        cfg.l2.mshrs = 1;
+        cfg.banks_per_tile = 1;
+        cfg.tiles = 1;
+        let mut h = Hierarchy::new(cfg).unwrap();
+        // 8 distinct lines, all to the single bank with 1 MSHR.
+        for i in 0..8u64 {
+            h.submit(
+                0,
+                Request {
+                    line_addr: i * 64,
+                    tile: 0,
+                    needs_response: true,
+                    tag: i,
+                },
+            );
+        }
+        let (_, out) = drain(&mut h, 0);
+        assert_eq!(out.len(), 8);
+        let stats = h.stats();
+        assert!(stats.banks[0].mshr_stalls >= 6, "stalls: {stats:?}");
+    }
+
+    #[test]
+    fn private_l2_keeps_requests_on_tile() {
+        let mut cfg = config();
+        cfg.sharing = L2Sharing::Private;
+        let mut h = Hierarchy::new(cfg).unwrap();
+        // Tile 1's request must be served by banks 2..4.
+        h.submit(
+            0,
+            Request {
+                line_addr: 0x4000,
+                tile: 1,
+                needs_response: true,
+                tag: 7,
+            },
+        );
+        let (_, out) = drain(&mut h, 0);
+        assert_eq!(out.len(), 1);
+        let stats = h.stats();
+        let touched: Vec<usize> = stats
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.accesses() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(touched.iter().all(|&b| b >= 2), "banks {touched:?}");
+    }
+
+    #[test]
+    fn writeback_is_fire_and_forget() {
+        let mut h = Hierarchy::new(config()).unwrap();
+        h.submit(
+            0,
+            Request {
+                line_addr: 0xc000,
+                tile: 0,
+                needs_response: false,
+                tag: 0,
+            },
+        );
+        let (_, out) = drain(&mut h, 0);
+        assert!(out.is_empty());
+        // Missing in L2 → forwarded to memory as a write.
+        assert_eq!(h.stats().mcs.iter().map(|m| m.writes).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_misses_into_hits() {
+        let mut cfg = config();
+        cfg.tiles = 1;
+        cfg.banks_per_tile = 1;
+        // Stream 32 sequential lines twice: without prefetch, the first
+        // pass misses on every line; with degree 2, later lines of the
+        // first pass hit on prefetched data.
+        let run_with = |degree: usize| {
+            let mut c = cfg;
+            c.prefetch_degree = degree;
+            let mut h = Hierarchy::new(c).unwrap();
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            for i in 0..32u64 {
+                h.submit(
+                    now,
+                    Request {
+                        line_addr: i * 64,
+                        tile: 0,
+                        needs_response: true,
+                        tag: i,
+                    },
+                );
+                // Space the requests out so prefetches can land.
+                for _ in 0..300 {
+                    now += 1;
+                    h.advance(now, &mut out);
+                }
+            }
+            while !h.is_idle() {
+                now += 1;
+                h.advance(now, &mut out);
+            }
+            (h.stats(), out.len())
+        };
+        let (base, base_done) = run_with(0);
+        let (pf, pf_done) = run_with(2);
+        assert_eq!(base_done, 32);
+        assert_eq!(pf_done, 32);
+        assert_eq!(base.banks[0].prefetch_fills, 0);
+        assert!(pf.banks[0].prefetch_fills > 0);
+        assert!(pf.banks[0].prefetch_useful > 0);
+        assert!(
+            pf.l2_hits() > base.l2_hits(),
+            "prefetch should convert stream misses into hits: {} vs {}",
+            pf.l2_hits(),
+            base.l2_hits()
+        );
+    }
+
+    #[test]
+    fn determinism_same_input_same_timeline() {
+        let run = || {
+            let mut h = Hierarchy::new(config()).unwrap();
+            for i in 0..64u64 {
+                h.submit(
+                    i / 4,
+                    Request {
+                        line_addr: (i * 37 % 50) * 64,
+                        tile: (i % 2) as usize,
+                        needs_response: i % 5 != 0,
+                        tag: i,
+                    },
+                );
+            }
+            let mut out = Vec::new();
+            let mut now = 0;
+            while !h.is_idle() {
+                now += 1;
+                h.advance(now, &mut out);
+            }
+            (now, out, format!("{:?}", h.stats()))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn capacity_pressure_generates_l2_writebacks() {
+        let mut cfg = config();
+        cfg.tiles = 1;
+        cfg.banks_per_tile = 1;
+        cfg.l2.bank_size_bytes = 4096; // 64 lines
+        cfg.l2.ways = 1;
+        let mut h = Hierarchy::new(cfg).unwrap();
+        let mut now = 0;
+        let mut out = Vec::new();
+        // Dirty the whole cache with L1 writebacks that miss and then
+        // get filled... writebacks don't allocate; instead stream reads
+        // then re-read far addresses to cause evictions. Evictions are
+        // only dirty if a writeback marked them; so first fill, then
+        // dirty them with writebacks, then evict.
+        for i in 0..64u64 {
+            h.submit(
+                now,
+                Request {
+                    line_addr: i * 64,
+                    tile: 0,
+                    needs_response: true,
+                    tag: i,
+                },
+            );
+        }
+        while !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        for i in 0..64u64 {
+            h.submit(
+                now,
+                Request {
+                    line_addr: i * 64,
+                    tile: 0,
+                    needs_response: false,
+                    tag: 0,
+                },
+            );
+        }
+        while !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        // Conflicting fills evict the dirty lines.
+        for i in 0..64u64 {
+            h.submit(
+                now,
+                Request {
+                    line_addr: 4096 + i * 64,
+                    tile: 0,
+                    needs_response: true,
+                    tag: 100 + i,
+                },
+            );
+        }
+        while !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.banks[0].writebacks, 64);
+        assert_eq!(stats.mcs.iter().map(|m| m.writes).sum::<u64>(), 64);
+    }
+}

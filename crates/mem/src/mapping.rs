@@ -1,0 +1,140 @@
+//! Data-mapping policies: which L2 bank holds a memory block.
+//!
+//! The paper implements "two different well-known data mapping policies
+//! [...] that use different bits of the address to identify the L2 bank
+//! that holds a certain memory block: page-to-bank and set-interleaving".
+//!
+//! Both policies also yield a *bank-local line index* so each bank's tag
+//! array enumerates its own lines densely (every set usable regardless
+//! of the bank count).
+
+/// Bank-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// Consecutive pages round-robin across banks; lines within a page
+    /// stay together. Good for page-grained locality, prone to bank
+    /// camping under strided access.
+    PageToBank {
+        /// Page size in bytes (power of two).
+        page_bytes: u64,
+    },
+    /// Consecutive lines round-robin across banks. Spreads any stream
+    /// evenly; sacrifices page locality.
+    SetInterleave,
+}
+
+impl MappingPolicy {
+    /// The conventional page-to-bank policy with 4 KiB pages.
+    #[must_use]
+    pub fn page_to_bank() -> MappingPolicy {
+        MappingPolicy::PageToBank { page_bytes: 4096 }
+    }
+
+    /// Maps a line address onto `(bank, bank-local line index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0` or `line_bytes` is not a power of two
+    /// (validated at configuration time).
+    #[must_use]
+    pub fn map(&self, line_addr: u64, line_bytes: u64, banks: u64) -> (usize, u64) {
+        assert!(banks > 0, "bank count must be positive");
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^n");
+        match *self {
+            MappingPolicy::PageToBank { page_bytes } => {
+                let lines_per_page = page_bytes / line_bytes;
+                let page = line_addr / page_bytes;
+                let bank = page % banks;
+                let local =
+                    (page / banks) * lines_per_page + (line_addr % page_bytes) / line_bytes;
+                (bank as usize, local)
+            }
+            MappingPolicy::SetInterleave => {
+                let line = line_addr / line_bytes;
+                ((line % banks) as usize, line / banks)
+            }
+        }
+    }
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingPolicy::PageToBank { .. } => "page-to-bank",
+            MappingPolicy::SetInterleave => "set-interleave",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_interleave_round_robins_lines() {
+        let p = MappingPolicy::SetInterleave;
+        assert_eq!(p.map(0, 64, 4), (0, 0));
+        assert_eq!(p.map(64, 64, 4), (1, 0));
+        assert_eq!(p.map(128, 64, 4), (2, 0));
+        assert_eq!(p.map(192, 64, 4), (3, 0));
+        assert_eq!(p.map(256, 64, 4), (0, 1));
+    }
+
+    #[test]
+    fn page_to_bank_keeps_pages_together() {
+        let p = MappingPolicy::page_to_bank();
+        let (bank0, _) = p.map(0, 64, 4);
+        for line in (0..4096).step_by(64) {
+            assert_eq!(p.map(line, 64, 4).0, bank0, "line {line} left its page's bank");
+        }
+        // Next page moves to the next bank.
+        assert_eq!(p.map(4096, 64, 4).0, (bank0 + 1) % 4);
+    }
+
+    #[test]
+    fn local_indices_are_dense_per_bank() {
+        // For both policies, the local indices of the lines mapping to a
+        // given bank must enumerate 0..n without gaps.
+        for policy in [MappingPolicy::SetInterleave, MappingPolicy::page_to_bank()] {
+            let banks = 4u64;
+            let mut seen: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
+            for line in (0..(64 * 1024)).step_by(64) {
+                let (bank, local) = policy.map(line, 64, banks);
+                seen[bank].push(local);
+            }
+            for (bank, locals) in seen.iter_mut().enumerate() {
+                locals.sort_unstable();
+                for (i, &local) in locals.iter().enumerate() {
+                    assert_eq!(local, i as u64, "{} bank {bank} gap", policy.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_bank_degenerates_to_identity() {
+        let p = MappingPolicy::SetInterleave;
+        assert_eq!(p.map(64 * 17, 64, 1), (0, 17));
+        let p = MappingPolicy::page_to_bank();
+        assert_eq!(p.map(64 * 17, 64, 1), (0, 17));
+    }
+
+    #[test]
+    fn strided_page_access_camps_one_bank_under_page_to_bank() {
+        // A page-strided walk (the pathological case the paper's policy
+        // comparison is about) hits a single bank with page-to-bank but
+        // spreads with set-interleaving.
+        let banks = 8u64;
+        let stride = 4096 * banks; // one page on the same bank each time
+        let p2b = MappingPolicy::page_to_bank();
+        let sil = MappingPolicy::SetInterleave;
+        let first = p2b.map(0, 64, banks).0;
+        let mut sil_banks = std::collections::BTreeSet::new();
+        for i in 0..banks {
+            let addr = i * stride;
+            assert_eq!(p2b.map(addr, 64, banks).0, first);
+            sil_banks.insert(sil.map(addr + i * 64, 64, banks).0);
+        }
+        assert!(sil_banks.len() > 1);
+    }
+}

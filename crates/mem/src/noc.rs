@@ -1,0 +1,297 @@
+//! Network-on-chip latency models.
+//!
+//! The paper models the NoC "as a highly idealized crossbar, that uses
+//! fixed, configurable latencies", and names a more realistic model as
+//! work in progress. Both are provided here: [`NocModel::IdealCrossbar`]
+//! reproduces the paper's model; [`NocModel::Mesh`] is the "more
+//! realistic modelling" extension — a 2D mesh with per-hop latency and
+//! XY dimension-ordered routing distance.
+
+/// A node attached to the NoC: a compute tile or a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NocNode {
+    /// Compute tile `index`.
+    Tile(usize),
+    /// Memory controller `index`.
+    Mc(usize),
+}
+
+/// NoC timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocModel {
+    /// The paper's idealized crossbar: every traversal costs a fixed
+    /// latency (requests and responses may differ).
+    IdealCrossbar {
+        /// Cycles for a request traversal.
+        request_latency: u64,
+        /// Cycles for a response traversal.
+        response_latency: u64,
+    },
+    /// 2D mesh with XY routing. Tiles fill the grid row-major; memory
+    /// controllers sit on the west and east edges, alternating.
+    Mesh {
+        /// Grid width in tiles.
+        width: usize,
+        /// Grid height in tiles.
+        height: usize,
+        /// Cycles per hop.
+        hop_latency: u64,
+        /// Fixed injection/ejection overhead per traversal.
+        base_latency: u64,
+    },
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        NocModel::IdealCrossbar {
+            request_latency: 8,
+            response_latency: 8,
+        }
+    }
+}
+
+/// Traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Traversals carried.
+    pub traversals: u64,
+    /// Total latency cycles accumulated over all traversals.
+    pub total_latency: u64,
+    /// Total hop count (mesh only; crossbar counts one hop each).
+    pub total_hops: u64,
+}
+
+impl NocStats {
+    /// Mean traversal latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.traversals == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.traversals as f64
+        }
+    }
+}
+
+/// The NoC component: computes traversal latencies and keeps stats.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    model: NocModel,
+    tiles: usize,
+    mcs: usize,
+    stats: NocStats,
+}
+
+impl Noc {
+    /// Creates a NoC connecting `tiles` tiles and `mcs` memory
+    /// controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mesh model's grid cannot hold `tiles` tiles.
+    #[must_use]
+    pub fn new(model: NocModel, tiles: usize, mcs: usize) -> Noc {
+        if let NocModel::Mesh { width, height, .. } = model {
+            assert!(
+                width * height >= tiles,
+                "mesh {width}x{height} too small for {tiles} tiles"
+            );
+        }
+        Noc {
+            model,
+            tiles,
+            mcs,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The model in use.
+    #[must_use]
+    pub fn model(&self) -> NocModel {
+        self.model
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Latency of a request traversal from `from` to `to`, recording
+    /// stats. Same-node traversals are free (tile-local L2 banks).
+    pub fn traverse_request(&mut self, from: NocNode, to: NocNode) -> u64 {
+        let latency = self.latency(from, to, true);
+        self.record(from, to, latency);
+        latency
+    }
+
+    /// Latency of a response traversal, recording stats.
+    pub fn traverse_response(&mut self, from: NocNode, to: NocNode) -> u64 {
+        let latency = self.latency(from, to, false);
+        self.record(from, to, latency);
+        latency
+    }
+
+    fn record(&mut self, from: NocNode, to: NocNode, latency: u64) {
+        if from == to {
+            return;
+        }
+        self.stats.traversals += 1;
+        self.stats.total_latency += latency;
+        self.stats.total_hops += self.hops(from, to);
+    }
+
+    /// Pure latency computation (no stats).
+    #[must_use]
+    pub fn latency(&self, from: NocNode, to: NocNode, request: bool) -> u64 {
+        if from == to {
+            return 0;
+        }
+        match self.model {
+            NocModel::IdealCrossbar {
+                request_latency,
+                response_latency,
+            } => {
+                if request {
+                    request_latency
+                } else {
+                    response_latency
+                }
+            }
+            NocModel::Mesh {
+                hop_latency,
+                base_latency,
+                ..
+            } => base_latency + hop_latency * self.hops(from, to),
+        }
+    }
+
+    /// Manhattan hop distance between two nodes (1 for the crossbar).
+    #[must_use]
+    pub fn hops(&self, from: NocNode, to: NocNode) -> u64 {
+        if from == to {
+            return 0;
+        }
+        match self.model {
+            NocModel::IdealCrossbar { .. } => 1,
+            NocModel::Mesh { width, height, .. } => {
+                let (fx, fy) = self.position(from, width, height);
+                let (tx, ty) = self.position(to, width, height);
+                fx.abs_diff(tx) + fy.abs_diff(ty)
+            }
+        }
+    }
+
+    /// Grid position of a node. Tiles are row-major inside the grid;
+    /// MCs sit just outside the west (even index) and east (odd index)
+    /// edges, spread over the rows.
+    fn position(&self, node: NocNode, width: usize, height: usize) -> (u64, u64) {
+        match node {
+            NocNode::Tile(i) => {
+                assert!(i < self.tiles, "tile {i} out of range");
+                ((i % width) as u64, (i / width) as u64)
+            }
+            NocNode::Mc(i) => {
+                assert!(i < self.mcs, "mc {i} out of range");
+                let side_count = self.mcs.div_ceil(2);
+                let row_step = height.max(1) / side_count.max(1);
+                let row = ((i / 2) * row_step.max(1)).min(height.saturating_sub(1));
+                if i % 2 == 0 {
+                    (0, row as u64) // west edge, column 0
+                } else {
+                    ((width.saturating_sub(1)) as u64, row as u64) // east edge
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_is_distance_independent() {
+        let mut noc = Noc::new(
+            NocModel::IdealCrossbar {
+                request_latency: 5,
+                response_latency: 7,
+            },
+            16,
+            2,
+        );
+        assert_eq!(noc.traverse_request(NocNode::Tile(0), NocNode::Tile(15)), 5);
+        assert_eq!(noc.traverse_request(NocNode::Tile(0), NocNode::Tile(1)), 5);
+        assert_eq!(noc.traverse_response(NocNode::Mc(1), NocNode::Tile(3)), 7);
+        assert_eq!(noc.stats().traversals, 3);
+        assert_eq!(noc.stats().total_latency, 17);
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let mut noc = Noc::new(NocModel::default(), 4, 1);
+        assert_eq!(noc.traverse_request(NocNode::Tile(2), NocNode::Tile(2)), 0);
+        assert_eq!(noc.stats().traversals, 0);
+    }
+
+    #[test]
+    fn mesh_latency_scales_with_distance() {
+        let noc = Noc::new(
+            NocModel::Mesh {
+                width: 4,
+                height: 4,
+                hop_latency: 2,
+                base_latency: 3,
+            },
+            16,
+            4,
+        );
+        // Tile 0 is (0,0); tile 15 is (3,3): 6 hops.
+        assert_eq!(noc.hops(NocNode::Tile(0), NocNode::Tile(15)), 6);
+        assert_eq!(noc.latency(NocNode::Tile(0), NocNode::Tile(15), true), 15);
+        // Adjacent tiles: 1 hop.
+        assert_eq!(noc.latency(NocNode::Tile(0), NocNode::Tile(1), true), 5);
+    }
+
+    #[test]
+    fn mesh_mcs_sit_on_edges() {
+        let noc = Noc::new(
+            NocModel::Mesh {
+                width: 4,
+                height: 4,
+                hop_latency: 1,
+                base_latency: 0,
+            },
+            16,
+            4,
+        );
+        // MC 0 on the west edge near row 0: close to tile 0.
+        let near = noc.hops(NocNode::Mc(0), NocNode::Tile(0));
+        let far = noc.hops(NocNode::Mc(0), NocNode::Tile(15));
+        assert!(near < far);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn mesh_must_fit_tiles() {
+        let _ = Noc::new(
+            NocModel::Mesh {
+                width: 2,
+                height: 2,
+                hop_latency: 1,
+                base_latency: 0,
+            },
+            16,
+            2,
+        );
+    }
+
+    #[test]
+    fn mean_latency_math() {
+        let mut noc = Noc::new(NocModel::default(), 4, 1);
+        assert_eq!(noc.stats().mean_latency(), 0.0);
+        noc.traverse_request(NocNode::Tile(0), NocNode::Mc(0));
+        noc.traverse_response(NocNode::Mc(0), NocNode::Tile(0));
+        assert_eq!(noc.stats().mean_latency(), 8.0);
+    }
+}

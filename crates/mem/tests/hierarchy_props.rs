@@ -1,0 +1,137 @@
+//! Property tests over the memory hierarchy: every response-requiring
+//! request completes exactly once, the system drains to idle, and the
+//! whole timeline is deterministic — for arbitrary request streams and
+//! arbitrary (valid) configurations.
+
+use coyote_mem::hierarchy::{Hierarchy, HierarchyConfig, L2Sharing, Request};
+use coyote_mem::l2::L2Config;
+use coyote_mem::mapping::MappingPolicy;
+use coyote_mem::mc::McConfig;
+use coyote_mem::noc::NocModel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Workload {
+    config: HierarchyConfig,
+    /// (submit_cycle_delta, line_index, tile, needs_response)
+    requests: Vec<(u64, u64, usize, bool)>,
+}
+
+fn config_strategy() -> impl Strategy<Value = HierarchyConfig> {
+    (
+        1usize..4,                       // tiles
+        1usize..4,                       // banks per tile
+        prop_oneof![Just(1u64), Just(2), Just(4)], // ways
+        prop_oneof![Just(4usize), Just(1), Just(64)], // mshrs
+        prop_oneof![
+            Just(MappingPolicy::SetInterleave),
+            Just(MappingPolicy::page_to_bank())
+        ],
+        prop_oneof![Just(L2Sharing::Shared), Just(L2Sharing::Private)],
+        prop_oneof![
+            Just(NocModel::IdealCrossbar {
+                request_latency: 4,
+                response_latency: 4
+            }),
+            Just(NocModel::Mesh {
+                width: 4,
+                height: 4,
+                hop_latency: 2,
+                base_latency: 1
+            })
+        ],
+        1usize..3, // mcs
+        0usize..4, // prefetch degree
+    )
+        .prop_map(
+            |(tiles, banks_per_tile, ways, mshrs, mapping, sharing, noc, mcs, prefetch)| HierarchyConfig {
+                tiles,
+                banks_per_tile,
+                l2: L2Config {
+                    bank_size_bytes: 16 * 1024 * ways / ways * ways, // keep divisible
+                    ways,
+                    line_bytes: 64,
+                    mshrs,
+                    hit_latency: 10,
+                    miss_latency: 4,
+                },
+                sharing,
+                mapping,
+                noc,
+                mc: McConfig {
+                    count: mcs,
+                    channels_per_mc: 2,
+                    access_latency: 50,
+                    cycles_per_line: 4,
+                    ..McConfig::default()
+                },
+                prefetch_degree: prefetch,
+            },
+        )
+        .prop_filter("valid config", |c| c.validate().is_ok())
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        config_strategy(),
+        prop::collection::vec(
+            (0u64..3, 0u64..512, 0usize..4, prop::bool::ANY),
+            1..200,
+        ),
+    )
+        .prop_map(|(config, requests)| Workload { config, requests })
+}
+
+fn run(workload: &Workload) -> (u64, Vec<(u64, u64)>, String) {
+    let mut h = Hierarchy::new(workload.config).expect("valid config");
+    let mut completions = Vec::new();
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    let mut expected_responses = 0u64;
+    for &(delta, line, tile, needs_response) in &workload.requests {
+        now += delta;
+        h.advance(now, &mut completions);
+        let tile = tile % workload.config.tiles;
+        h.submit(
+            now,
+            Request {
+                line_addr: line * 64,
+                tile,
+                needs_response,
+                tag: line,
+            },
+        );
+        expected_responses += u64::from(needs_response);
+    }
+    let mut guard = 0;
+    while !h.is_idle() {
+        now += 1;
+        h.advance(now, &mut completions);
+        guard += 1;
+        assert!(guard < 5_000_000, "hierarchy failed to drain");
+    }
+    out.extend(completions.iter().map(|c| (c.tag, c.line_addr)));
+    assert_eq!(
+        out.len() as u64,
+        expected_responses,
+        "every response-requiring request completes exactly once"
+    );
+    (now, out, format!("{:?}", h.stats()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn drains_and_conserves(workload in workload_strategy()) {
+        let _ = run(&workload);
+    }
+
+    #[test]
+    fn deterministic(workload in workload_strategy()) {
+        let a = run(&workload);
+        let b = run(&workload);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+}

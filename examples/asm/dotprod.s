@@ -1,0 +1,102 @@
+# Vector dot product for coyote-sim: each hart reduces its slice of two
+# 64-element arrays with vfmacc/vfredusum, then atomically accumulates
+# the per-hart partial into a shared result (fixed-point via integer
+# amoadd is avoided by writing per-hart slots and letting hart 0 sum).
+    .equ N, 64
+    .data
+a:      .zero 512          # N doubles, initialized by startup loop
+b:      .zero 512
+partials: .zero 64         # up to 8 harts
+barrier:  .dword 0
+result:   .double 0.0
+    .text
+_start:
+    csrr s0, mhartid
+    li s10, 8              # harts (run with --cores 8)
+    li s11, N
+
+    # hart 0 initializes a[i] = i, b[i] = 2 (everyone else waits)
+    bnez s0, wait_init
+    la t0, a
+    la t1, b
+    li t2, 0
+    li t4, 2
+    fcvt.d.l fa1, t4
+init:
+    fcvt.d.l fa0, t2
+    slli t3, t2, 3
+    add t5, t0, t3
+    fsd fa0, 0(t5)
+    add t5, t1, t3
+    fsd fa1, 0(t5)
+    addi t2, t2, 1
+    blt t2, s11, init
+wait_init:
+    la t6, barrier
+    li t0, 1
+    amoadd.d t1, t0, (t6)
+spin0:
+    ld t1, 0(t6)
+    blt t1, s10, spin0
+
+    # each hart: slice = [hart*8, hart*8+8)
+    li t0, 8
+    mul t1, s0, t0          # start index
+    la t2, a
+    la t3, b
+    slli t4, t1, 3
+    add t2, t2, t4
+    add t3, t3, t4
+    vsetvli t5, t0, e64,m1,ta,ma
+    vle64.v v1, (t2)
+    vle64.v v2, (t3)
+    vmv.v.i v3, 0
+    vfmacc.vv v3, v1, v2
+    vmv.v.i v4, 0
+    vfredusum.vs v4, v3, v4
+    vfmv.f.s fa0, v4
+    la t6, partials
+    slli t4, s0, 3
+    add t6, t6, t4
+    fsd fa0, 0(t6)
+
+    # second barrier, then hart 0 sums partials
+    la t6, barrier
+    li t0, 1
+    amoadd.d t1, t0, (t6)
+    slli t2, s10, 1         # target = 2 * harts
+spin1:
+    ld t1, 0(t6)
+    blt t1, t2, spin1
+    bnez s0, finish
+    la t0, partials
+    fmv.d.x fa0, zero
+    li t1, 0
+sum:
+    slli t2, t1, 3
+    add t3, t0, t2
+    fld fa1, 0(t3)
+    fadd.d fa0, fa0, fa1
+    addi t1, t1, 1
+    blt t1, s10, sum
+    la t4, result
+    fsd fa0, 0(t4)
+    # print 'O','K' then exit; dot(0..63, 2) = 2*2016 = 4032
+    fcvt.l.d t5, fa0
+    li t6, 4032
+    bne t5, t6, fail
+    li a0, 79
+    li a7, 64
+    ecall
+    li a0, 75
+    ecall
+    li a0, 10
+    ecall
+finish:
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall

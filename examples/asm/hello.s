@@ -1,0 +1,17 @@
+# Hello-world for coyote-sim: each hart prints one letter via the
+# write ecall, then exits with its hart id.
+    .data
+letters:
+    .dword 72, 101, 108, 108, 111, 33, 10, 10   # "Hello!\n\n"
+    .text
+_start:
+    csrr t0, mhartid
+    la t1, letters
+    slli t2, t0, 3
+    add t1, t1, t2
+    ld a0, 0(t1)
+    li a7, 64
+    ecall               # putchar
+    csrr a0, mhartid
+    li a7, 93
+    ecall               # exit(hartid)

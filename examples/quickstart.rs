@@ -1,0 +1,65 @@
+//! Quickstart: assemble a tiny multicore program, simulate it, and read
+//! the report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use coyote::{SimConfig, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each hart sums its slice of an array and stores the result;
+    // `mhartid` partitions the work, exactly like the paper's baremetal
+    // kernels.
+    let program = coyote_asm::assemble(
+        ".equ N, 256
+         .data
+         input:   .zero 2048        # N dwords, filled below
+         partial: .zero 64          # one dword per hart
+         .text
+         _start:
+             csrr s0, mhartid
+             li s1, 8               # harts
+             li s2, N
+             la s3, input
+             la s4, partial
+             li t0, 0               # accumulator
+             mv t1, s0              # index = hartid
+         loop:
+             bge t1, s2, store
+             slli t2, t1, 3
+             add t2, s3, t2
+             ld t3, 0(t2)
+             add t0, t0, t3
+             add t1, t1, s1         # index += harts
+             j loop
+         store:
+             slli t2, s0, 3
+             add t2, s4, t2
+             sd t0, 0(t2)
+             li a0, 0
+             li a7, 93
+             ecall",
+    )?;
+
+    let config = SimConfig::builder().cores(8).build()?;
+    let mut sim = Simulation::new(config, &program)?;
+
+    // Fill the input array (1..=256) before the run starts.
+    let input = program.symbol("input").expect("input symbol");
+    for i in 0..256u64 {
+        sim.memory_mut().write_u64(input + i * 8, i + 1);
+    }
+
+    let report = sim.run()?;
+    println!("{report}");
+
+    // Gather the per-hart partial sums.
+    let partial = program.symbol("partial").expect("partial symbol");
+    let total: u64 = (0..8)
+        .map(|h| sim.memory().read_u64(partial + h * 8))
+        .sum();
+    println!("sum(1..=256) computed on 8 simulated cores = {total}");
+    assert_eq!(total, 256 * 257 / 2);
+    Ok(())
+}

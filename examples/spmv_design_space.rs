@@ -1,0 +1,49 @@
+//! Design-space exploration on sparse matrix–vector multiplication —
+//! the workflow the paper motivates: compare L2 sharing modes and
+//! data-mapping policies for an irregular HPC workload within seconds.
+//!
+//! ```text
+//! cargo run --release --example spmv_design_space
+//! ```
+
+use coyote::{L2Sharing, MappingPolicy, SimConfig};
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::SpmvVectorCsr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = SpmvVectorCsr::new(256, 256, 0.05, 7);
+    println!(
+        "SpMV (gather kernel): 256x256, {} nonzeros, 32 cores / 4 tiles\n",
+        workload.matrix().nnz()
+    );
+    println!(
+        "{:<10} {:<16} {:>12} {:>10} {:>14}",
+        "L2", "mapping", "sim cycles", "L2 miss%", "NoC traversals"
+    );
+
+    for (sharing, sharing_name) in [
+        (L2Sharing::Shared, "shared"),
+        (L2Sharing::Private, "private"),
+    ] {
+        for mapping in [MappingPolicy::page_to_bank(), MappingPolicy::SetInterleave] {
+            let config = SimConfig::builder()
+                .cores(32)
+                .cores_per_tile(8)
+                .sharing(sharing)
+                .mapping(mapping)
+                .build()?;
+            let (report, _) = run_workload(&workload, config)?;
+            println!(
+                "{:<10} {:<16} {:>12} {:>9.2}% {:>14}",
+                sharing_name,
+                mapping.name(),
+                report.cycles,
+                report.hierarchy.l2_miss_rate() * 100.0,
+                report.hierarchy.noc.traversals,
+            );
+        }
+    }
+
+    println!("\nEvery configuration verified the kernel's numerical output.");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Workspace-level umbrella for the Coyote reproduction: re-exports the
+//! member crates so the examples and integration tests have a single
+//! import surface. See the `coyote` crate for the simulator itself.
+
+pub use coyote;
+pub use coyote_asm;
+pub use coyote_isa;
+pub use coyote_iss;
+pub use coyote_kernels;
+pub use coyote_mem;

@@ -1,0 +1,363 @@
+//! Workspace integration tests: full simulations spanning every crate
+//! (assembler → ISS → hierarchy → orchestrator → kernels), checking
+//! numerical results, statistics invariants and determinism.
+
+use coyote::{L2Sharing, MappingPolicy, NocModel, Report, SimConfig, Simulation};
+use coyote_kernels::workload::{run_workload, Workload};
+use coyote_kernels::{
+    FftRadix2, MatmulScalar, MatmulVector, MlpInference, SpmvScalar, SpmvVectorAdaptive,
+    SpmvVectorCsr, SpmvVectorEll, StencilVector, ThresholdFilter,
+};
+
+fn all_kernels() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(MatmulScalar::new(12, 100)),
+        Box::new(MatmulVector::new(12, 101)),
+        Box::new(SpmvScalar::new(48, 48, 0.1, 102)),
+        Box::new(SpmvVectorCsr::new(48, 48, 0.1, 103)),
+        Box::new(SpmvVectorEll::new(48, 48, 0.1, 104)),
+        Box::new(SpmvVectorAdaptive::new(48, 64, 0.25, 105)),
+        Box::new(StencilVector::new(10, 12, 2, 106)),
+        Box::new(MlpInference::new(20, 12, 6, 107)),
+        Box::new(FftRadix2::new(32, 108)),
+        Box::new(ThresholdFilter::new(96, 0.1, 109)),
+    ]
+}
+
+/// Statistics invariants that must hold for every finished run.
+fn check_invariants(report: &Report) {
+    // Cache accounting: hits + misses = accesses for every cache.
+    for core in &report.cores {
+        assert_eq!(
+            core.l1d.accesses(),
+            core.l1d.hits + core.l1d.misses,
+            "L1D accounting"
+        );
+        assert_eq!(core.l1i.accesses(), core.l1i.hits + core.l1i.misses);
+        // Every attempted instruction either retired or stalled; cycles
+        // can never be undercounted.
+        assert!(core.stats.retired > 0, "every hart runs its epilogue");
+    }
+    // The hierarchy serviced every response-requiring request.
+    let h = &report.hierarchy;
+    assert!(h.completed <= h.submitted);
+    // L2 lookups can only be triggered by L1 misses or L2-internal
+    // traffic; there must be at least one per submitted request group.
+    assert!(h.l2_hits() + h.l2_misses() > 0 || h.submitted == 0);
+    // Simulated time moved.
+    assert!(report.cycles > 0);
+    assert!(report.total_retired() > 0);
+}
+
+#[test]
+fn every_kernel_verifies_on_every_topology() {
+    let topologies = [
+        (1usize, 8usize),  // single core
+        (4, 2),            // 2 tiles of 2
+        (8, 8),            // one full VAS-like tile
+    ];
+    for kernel in all_kernels() {
+        for &(cores, per_tile) in &topologies {
+            let config = SimConfig::builder()
+                .cores(cores)
+                .cores_per_tile(per_tile)
+                .build()
+                .unwrap();
+            let (report, _) = run_workload(kernel.as_ref(), config)
+                .unwrap_or_else(|e| panic!("{} on {cores} cores: {e}", kernel.name()));
+            check_invariants(&report);
+        }
+    }
+}
+
+#[test]
+fn kernels_verify_under_every_hierarchy_variant() {
+    let kernel = SpmvVectorCsr::new(64, 64, 0.1, 200);
+    for sharing in [L2Sharing::Shared, L2Sharing::Private] {
+        for mapping in [MappingPolicy::page_to_bank(), MappingPolicy::SetInterleave] {
+            for noc in [
+                NocModel::IdealCrossbar {
+                    request_latency: 4,
+                    response_latency: 4,
+                },
+                NocModel::Mesh {
+                    width: 4,
+                    height: 4,
+                    hop_latency: 2,
+                    base_latency: 1,
+                },
+            ] {
+                let config = SimConfig::builder()
+                    .cores(16)
+                    .cores_per_tile(8)
+                    .sharing(sharing)
+                    .mapping(mapping)
+                    .noc(noc)
+                    .build()
+                    .unwrap();
+                let (report, _) = run_workload(&kernel, config)
+                    .unwrap_or_else(|e| panic!("{sharing:?}/{mapping:?}/{noc:?}: {e}"));
+                check_invariants(&report);
+            }
+        }
+    }
+}
+
+#[test]
+fn full_kernel_runs_are_deterministic() {
+    let kernel = MatmulVector::new(16, 300);
+    let run = || {
+        let config = SimConfig::builder().cores(4).build().unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        (
+            report.cycles,
+            report.total_retired(),
+            format!("{:?}", report.hierarchy),
+            report
+                .cores
+                .iter()
+                .map(|c| format!("{:?}", c.stats))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_speedup_on_matmul() {
+    // More cores must reduce simulated execution time for an
+    // embarrassingly parallel kernel (the DSE signal Coyote exists to
+    // measure).
+    let kernel = MatmulScalar::new(32, 301);
+    let cycles_at = |cores: usize| {
+        let config = SimConfig::builder().cores(cores).build().unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.cycles
+    };
+    let c1 = cycles_at(1);
+    let c4 = cycles_at(4);
+    let c8 = cycles_at(8);
+    assert!(c4 * 2 < c1, "4 cores should be >2x faster: {c1} vs {c4}");
+    assert!(c8 < c4, "8 cores should beat 4: {c4} vs {c8}");
+}
+
+#[test]
+fn slower_memory_costs_simulated_cycles() {
+    use coyote::McConfig;
+    let kernel = SpmvScalar::new(64, 64, 0.1, 302);
+    let cycles_with_latency = |access_latency: u64| {
+        let config = SimConfig::builder()
+            .cores(4)
+            .mc(McConfig {
+                access_latency,
+                ..McConfig::default()
+            })
+            .build()
+            .unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.cycles
+    };
+    let fast = cycles_with_latency(20);
+    let slow = cycles_with_latency(400);
+    assert!(
+        slow > fast,
+        "higher memory latency must cost cycles: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn noc_latency_is_monotone_in_simulated_time() {
+    let kernel = SpmvVectorCsr::new(64, 64, 0.1, 303);
+    let cycles_with_noc = |latency: u64| {
+        let config = SimConfig::builder()
+            .cores(16)
+            .cores_per_tile(8)
+            .noc(NocModel::IdealCrossbar {
+                request_latency: latency,
+                response_latency: latency,
+            })
+            .build()
+            .unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.cycles
+    };
+    let c1 = cycles_with_noc(1);
+    let c16 = cycles_with_noc(16);
+    let c64 = cycles_with_noc(64);
+    assert!(c1 <= c16 && c16 <= c64, "{c1} <= {c16} <= {c64} violated");
+    assert!(c64 > c1, "64-cycle NoC must be visibly slower");
+}
+
+#[test]
+fn bigger_l1_reduces_miss_rate() {
+    use coyote::CacheConfig;
+    let kernel = MatmulScalar::new(24, 304);
+    let miss_rate_with_l1d = |size: u64| {
+        let config = SimConfig::builder()
+            .cores(1)
+            .l1d(CacheConfig {
+                size_bytes: size,
+                ways: 8,
+                line_bytes: 64,
+            })
+            .build()
+            .unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.l1d_miss_rate()
+    };
+    let small = miss_rate_with_l1d(4 * 1024);
+    let large = miss_rate_with_l1d(64 * 1024);
+    assert!(
+        large < small,
+        "64 KiB L1D should miss less than 4 KiB: {small} vs {large}"
+    );
+}
+
+#[test]
+fn raw_simulation_api_reads_results() {
+    // The README's "library usage" path: assemble by hand, poke data,
+    // run, read memory.
+    let program = coyote_asm::assemble(
+        ".data
+         x: .dword 0
+         y: .dword 0
+         .text
+         _start:
+            la t0, x
+            ld t1, 0(t0)
+            slli t1, t1, 1
+            la t2, y
+            sd t1, 0(t2)
+            li a0, 0
+            li a7, 93
+            ecall",
+    )
+    .unwrap();
+    let config = SimConfig::builder().cores(1).build().unwrap();
+    let mut sim = Simulation::new(config, &program).unwrap();
+    sim.memory_mut()
+        .write_u64(program.symbol("x").unwrap(), 21);
+    let report = sim.run().unwrap();
+    assert_eq!(report.exit_codes(), Some(vec![0]));
+    assert_eq!(sim.memory().read_u64(program.symbol("y").unwrap()), 42);
+}
+
+#[test]
+fn prefetching_helps_streaming_kernels() {
+    let kernel = MatmulVector::new(32, 400);
+    let cycles_with_degree = |degree: usize| {
+        let config = SimConfig::builder()
+            .cores(8)
+            .prefetch_degree(degree)
+            .build()
+            .unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        (report.cycles, report.hierarchy.l2_miss_rate())
+    };
+    let (base_cycles, base_miss) = cycles_with_degree(0);
+    let (pf_cycles, pf_miss) = cycles_with_degree(4);
+    assert!(
+        pf_cycles < base_cycles,
+        "next-line prefetch should speed up a streaming kernel: {base_cycles} vs {pf_cycles}"
+    );
+    assert!(pf_miss < base_miss, "{base_miss} vs {pf_miss}");
+}
+
+#[test]
+fn row_interleaved_open_page_beats_line_interleaved() {
+    use coyote::McConfig;
+    let kernel = MatmulVector::new(32, 401);
+    let cycles_with_mc = |mc: McConfig| {
+        let config = SimConfig::builder().cores(8).mc(mc).build().unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.cycles
+    };
+    let open_page = McConfig {
+        row_bytes: 2048,
+        row_hit_latency: 60,
+        row_miss_latency: 160,
+        ..McConfig::default()
+    };
+    let line_interleaved = cycles_with_mc(open_page);
+    let row_interleaved = cycles_with_mc(McConfig {
+        interleave_bytes: 2048,
+        ..open_page
+    });
+    assert!(
+        row_interleaved < line_interleaved,
+        "row-granular interleave preserves locality: {row_interleaved} vs {line_interleaved}"
+    );
+}
+
+#[test]
+fn kernels_are_vector_length_agnostic() {
+    // RVV's core promise: strip-mined code works unchanged at any VLEN.
+    // Run vector kernels at 256/512/1024-bit VLEN (4/8/16 lanes) and
+    // verify numerical output every time.
+    use coyote::CoreConfig;
+    let matmul = MatmulVector::new(20, 500);
+    let spmv = SpmvVectorCsr::new(48, 48, 0.15, 501);
+    let fft = FftRadix2::new(64, 502);
+    let kernels: [&dyn Workload; 3] = [&matmul, &spmv, &fft];
+    for vlen_bits in [256u64, 512, 1024] {
+        for kernel in kernels {
+            let config = SimConfig::builder()
+                .cores(4)
+                .core(CoreConfig {
+                    vlen_bits,
+                    ..CoreConfig::default()
+                })
+                .build()
+                .unwrap();
+            run_workload(kernel, config)
+                .unwrap_or_else(|e| panic!("{} @ VLEN={vlen_bits}: {e}", kernel.name()));
+        }
+    }
+}
+
+#[test]
+fn narrower_vlen_needs_more_instructions() {
+    use coyote::CoreConfig;
+    let kernel = MatmulVector::new(32, 503);
+    let retired_at = |vlen_bits: u64| {
+        let config = SimConfig::builder()
+            .cores(1)
+            .core(CoreConfig {
+                vlen_bits,
+                ..CoreConfig::default()
+            })
+            .build()
+            .unwrap();
+        let (report, _) = run_workload(&kernel, config).unwrap();
+        report.total_retired()
+    };
+    let narrow = retired_at(256);
+    let wide = retired_at(1024);
+    assert!(
+        narrow > wide,
+        "4-lane machine must retire more instructions than 16-lane: {narrow} vs {wide}"
+    );
+}
+
+#[test]
+fn illegal_instruction_is_reported_not_panicked() {
+    // Jumping into the data section executes zeros, which must surface
+    // as a clean RunError::Core, not a panic or hang.
+    let program = coyote_asm::assemble(
+        ".data
+         pool: .dword 0
+         .text
+         _start:
+            la t0, pool
+            jr t0",
+    )
+    .unwrap();
+    let config = SimConfig::builder().cores(1).build().unwrap();
+    let mut sim = Simulation::new(config, &program).unwrap();
+    match sim.run() {
+        Err(coyote::RunError::Core { core: 0, source }) => {
+            assert!(source.to_string().contains("illegal instruction"));
+        }
+        other => panic!("expected a core fault, got {other:?}"),
+    }
+}
