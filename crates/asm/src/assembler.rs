@@ -255,8 +255,8 @@ impl Assembler {
                         if section != Section::Data {
                             return Err(AsmError::new(line, "data directives belong in .data"));
                         }
-                        let mut bytes = parse_string_literal(rest)
-                            .map_err(|e| AsmError::new(line, e))?;
+                        let mut bytes =
+                            parse_string_literal(rest).map_err(|e| AsmError::new(line, e))?;
                         if directive != "ascii" {
                             bytes.push(0); // .asciz / .string are NUL-terminated
                         }
@@ -300,8 +300,8 @@ impl Assembler {
                     .map(|t| Operand::parse(t))
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| AsmError::new(line, e))?;
-                let len = expansion_len(head, &ops, &symbols)
-                    .map_err(|e| AsmError::new(line, e))? as u64;
+                let len =
+                    expansion_len(head, &ops, &symbols).map_err(|e| AsmError::new(line, e))? as u64;
                 placed.push(Placed {
                     stmt: Stmt::Inst {
                         mnemonic: head.to_owned(),
@@ -327,8 +327,8 @@ impl Assembler {
                     let insts = expand(mnemonic, ops, item.addr, &symbols)
                         .map_err(|e| AsmError::new(item.line, e))?;
                     for inst in insts {
-                        let word = encode(&inst)
-                            .map_err(|e| AsmError::new(item.line, e.to_string()))?;
+                        let word =
+                            encode(&inst).map_err(|e| AsmError::new(item.line, e.to_string()))?;
                         text.push(word);
                     }
                 }
@@ -348,11 +348,9 @@ impl Assembler {
                     for value in values {
                         let v = match value {
                             Operand::Imm(v) => *v,
-                            Operand::Sym(name) => {
-                                *symbols.get(name).ok_or_else(|| {
-                                    AsmError::new(item.line, format!("undefined symbol `{name}`"))
-                                })? as i64
-                            }
+                            Operand::Sym(name) => *symbols.get(name).ok_or_else(|| {
+                                AsmError::new(item.line, format!("undefined symbol `{name}`"))
+                            })? as i64,
                             other => {
                                 return Err(AsmError::new(
                                     item.line,
@@ -639,10 +637,16 @@ mod tests {
 
     #[test]
     fn bad_string_literal_is_an_error() {
-        assert!(assemble(".data
- s: .ascii unquoted").is_err());
-        assert!(assemble(".data
- s: .ascii \"bad\\q\"").is_err());
+        assert!(assemble(
+            ".data
+ s: .ascii unquoted"
+        )
+        .is_err());
+        assert!(assemble(
+            ".data
+ s: .ascii \"bad\\q\""
+        )
+        .is_err());
     }
 
     #[test]

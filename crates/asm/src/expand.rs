@@ -35,21 +35,30 @@ fn get(ops: &[Operand], i: usize) -> R<&Operand> {
 fn xr(ops: &[Operand], i: usize) -> R<XReg> {
     match get(ops, i)? {
         Operand::X(r) => Ok(*r),
-        other => Err(format!("operand {} must be an x register, got {other:?}", i + 1)),
+        other => Err(format!(
+            "operand {} must be an x register, got {other:?}",
+            i + 1
+        )),
     }
 }
 
 fn fr(ops: &[Operand], i: usize) -> R<FReg> {
     match get(ops, i)? {
         Operand::F(r) => Ok(*r),
-        other => Err(format!("operand {} must be an f register, got {other:?}", i + 1)),
+        other => Err(format!(
+            "operand {} must be an f register, got {other:?}",
+            i + 1
+        )),
     }
 }
 
 fn vr(ops: &[Operand], i: usize) -> R<VReg> {
     match get(ops, i)? {
         Operand::V(r) => Ok(*r),
-        other => Err(format!("operand {} must be a v register, got {other:?}", i + 1)),
+        other => Err(format!(
+            "operand {} must be a v register, got {other:?}",
+            i + 1
+        )),
     }
 }
 
@@ -101,10 +110,7 @@ fn vmem_base(ops: &[Operand], i: usize) -> R<XReg> {
             }
             Ok(*base)
         }
-        other => Err(format!(
-            "operand {} must be `(reg)`, got {other:?}",
-            i + 1
-        )),
+        other => Err(format!("operand {} must be `(reg)`, got {other:?}", i + 1)),
     }
 }
 
@@ -118,21 +124,20 @@ fn target(ops: &[Operand], i: usize, pc: u64, symbols: &Symbols) -> R<i64> {
                 .ok_or_else(|| format!("undefined label `{name}`"))?;
             Ok(*addr as i64 - pc as i64)
         }
-        other => Err(format!("operand {} must be a label or offset, got {other:?}", i + 1)),
+        other => Err(format!(
+            "operand {} must be a label or offset, got {other:?}",
+            i + 1
+        )),
     }
 }
 
 fn csr_operand(ops: &[Operand], i: usize) -> R<Csr> {
     match get(ops, i)? {
-        Operand::Sym(name) => {
-            Csr::parse(name).ok_or_else(|| format!("unknown csr `{name}`"))
-        }
-        Operand::Imm(v) => {
-            u16::try_from(*v)
-                .ok()
-                .and_then(|a| Csr::new(a).ok())
-                .ok_or_else(|| format!("csr address {v} out of range"))
-        }
+        Operand::Sym(name) => Csr::parse(name).ok_or_else(|| format!("unknown csr `{name}`")),
+        Operand::Imm(v) => u16::try_from(*v)
+            .ok()
+            .and_then(|a| Csr::new(a).ok())
+            .ok_or_else(|| format!("csr address {v} out of range")),
         other => Err(format!("operand {} must be a csr, got {other:?}", i + 1)),
     }
 }
@@ -820,8 +825,18 @@ fn expand_vector(mnemonic: &str, ops: &[Operand], symbols: &Symbols) -> R<Option
                 rs2: xr(ops, 2)?,
             });
         }
-        "vmv.v.v" => return some(Inst::VMvVV { vd: vr(ops, 0)?, vs1: vr(ops, 1)? }),
-        "vmv.v.x" => return some(Inst::VMvVX { vd: vr(ops, 0)?, rs1: xr(ops, 1)? }),
+        "vmv.v.v" => {
+            return some(Inst::VMvVV {
+                vd: vr(ops, 0)?,
+                vs1: vr(ops, 1)?,
+            })
+        }
+        "vmv.v.x" => {
+            return some(Inst::VMvVX {
+                vd: vr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+            })
+        }
         "vmv.v.i" => {
             let i = imm(ops, 1, symbols)?;
             return some(Inst::VMvVI {
@@ -829,11 +844,36 @@ fn expand_vector(mnemonic: &str, ops: &[Operand], symbols: &Symbols) -> R<Option
                 imm: i8::try_from(i).map_err(|_| "vmv.v.i immediate out of range")?,
             });
         }
-        "vfmv.v.f" => return some(Inst::VFMvVF { vd: vr(ops, 0)?, rs1: fr(ops, 1)? }),
-        "vmv.x.s" => return some(Inst::VMvXS { rd: xr(ops, 0)?, vs2: vr(ops, 1)? }),
-        "vmv.s.x" => return some(Inst::VMvSX { vd: vr(ops, 0)?, rs1: xr(ops, 1)? }),
-        "vfmv.f.s" => return some(Inst::VFMvFS { rd: fr(ops, 0)?, vs2: vr(ops, 1)? }),
-        "vfmv.s.f" => return some(Inst::VFMvSF { vd: vr(ops, 0)?, rs1: fr(ops, 1)? }),
+        "vfmv.v.f" => {
+            return some(Inst::VFMvVF {
+                vd: vr(ops, 0)?,
+                rs1: fr(ops, 1)?,
+            })
+        }
+        "vmv.x.s" => {
+            return some(Inst::VMvXS {
+                rd: xr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+            })
+        }
+        "vmv.s.x" => {
+            return some(Inst::VMvSX {
+                vd: vr(ops, 0)?,
+                rs1: xr(ops, 1)?,
+            })
+        }
+        "vfmv.f.s" => {
+            return some(Inst::VFMvFS {
+                rd: fr(ops, 0)?,
+                vs2: vr(ops, 1)?,
+            })
+        }
+        "vfmv.s.f" => {
+            return some(Inst::VFMvSF {
+                vd: vr(ops, 0)?,
+                rs1: fr(ops, 1)?,
+            })
+        }
         "vid.v" => {
             return some(Inst::Vid {
                 vd: vr(ops, 0)?,
@@ -1055,7 +1095,7 @@ fn expand_vector(mnemonic: &str, ops: &[Operand], symbols: &Symbols) -> R<Option
             "vmax" => VIntOp::Max,
             "vminu" => VIntOp::Minu,
             "vmaxu" => VIntOp::Maxu,
-        _ => return None,
+            _ => return None,
         })
     };
     let vmul = |name: &str| -> Option<VMulOp> {
@@ -1436,7 +1476,11 @@ mod tests {
         ));
         assert!(matches!(
             expand1("vsll.vi", "v1, v2, 3"),
-            Inst::VIntOpImm { op: VIntOp::Sll, imm: 3, .. }
+            Inst::VIntOpImm {
+                op: VIntOp::Sll,
+                imm: 3,
+                ..
+            }
         ));
         assert!(matches!(
             expand1("vfmacc.vf", "v1, v2, fa0"),
@@ -1448,7 +1492,11 @@ mod tests {
         ));
         assert!(matches!(
             expand1("vmacc.vx", "v1, v2, a0, v0.t"),
-            Inst::VMulOp { op: VMulOp::Macc, vm: false, .. }
+            Inst::VMulOp {
+                op: VMulOp::Macc,
+                vm: false,
+                ..
+            }
         ));
     }
 

@@ -4,10 +4,10 @@
 //! count gives the paper's aggregate-MIPS series; `repro fig3` prints
 //! it directly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::SimConfig;
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::{MatmulScalar, SpmvScalar};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn config(cores: usize) -> SimConfig {
     SimConfig::builder()

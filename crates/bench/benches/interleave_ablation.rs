@@ -3,10 +3,10 @@
 //! attributes its low-core Figure 3 bottleneck to running with the
 //! equivalent of factor 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::SimConfig;
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::MatmulScalar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_interleave(c: &mut Criterion) {
     let mut group = c.benchmark_group("interleave_ablation");
@@ -15,18 +15,14 @@ fn bench_interleave(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     let workload = MatmulScalar::new(20, 2001);
     for factor in [1usize, 8, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("1core", factor),
-            &factor,
-            |b, &factor| {
-                let config = SimConfig::builder()
-                    .cores(1)
-                    .interleave(factor)
-                    .build()
-                    .expect("valid config");
-                b.iter(|| run_workload(&workload, config).expect("runs"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("1core", factor), &factor, |b, &factor| {
+            let config = SimConfig::builder()
+                .cores(1)
+                .interleave(factor)
+                .build()
+                .expect("valid config");
+            b.iter(|| run_workload(&workload, config).expect("runs"));
+        });
     }
     group.finish();
 }

@@ -2,13 +2,13 @@
 //! kernels under the default configuration (the statistics table comes
 //! from `repro kernels`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote::SimConfig;
 use coyote_kernels::workload::{run_workload, Workload};
 use coyote_kernels::{
     MatmulScalar, MatmulVector, SpmvScalar, SpmvVectorAdaptive, SpmvVectorCsr, SpmvVectorEll,
     StencilVector,
 };
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_suite");

@@ -1,10 +1,10 @@
 //! L2-sharing bench: simulation cost under shared vs. tile-private L2
 //! (the timing-result table comes from `repro l2share`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::{L2Sharing, SimConfig};
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::SpmvVectorCsr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sharing(c: &mut Criterion) {
     let mut group = c.benchmark_group("l2_sharing");
@@ -12,7 +12,10 @@ fn bench_sharing(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_millis(1500));
     let workload = SpmvVectorCsr::new(96, 96, 0.05, 2003);
-    for (name, sharing) in [("shared", L2Sharing::Shared), ("private", L2Sharing::Private)] {
+    for (name, sharing) in [
+        ("shared", L2Sharing::Shared),
+        ("private", L2Sharing::Private),
+    ] {
         group.bench_with_input(BenchmarkId::new("spmv", name), &sharing, |b, &sharing| {
             let config = SimConfig::builder()
                 .cores(16)

@@ -1,10 +1,10 @@
 //! L2-geometry bench: host cost across bank-capacity and MSHR settings
 //! (the miss-rate/stall table comes from `repro l2sweep`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::{L2Config, SimConfig};
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::MatmulVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_l2(c: &mut Criterion) {
     let mut group = c.benchmark_group("l2_sweep");

@@ -1,10 +1,10 @@
 //! Mapping-policy bench: page-to-bank vs. set-interleaving host cost
 //! (the bank-imbalance table comes from `repro mapping`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::{MappingPolicy, SimConfig};
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::MatmulVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapping_policy");

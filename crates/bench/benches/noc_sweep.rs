@@ -1,10 +1,10 @@
 //! NoC bench: crossbar latencies and the mesh extension (the
 //! simulated-cycle table comes from `repro noc`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::{NocModel, SimConfig};
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::SpmvVectorCsr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_noc(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_sweep");

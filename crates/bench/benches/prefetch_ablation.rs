@@ -2,10 +2,10 @@
 //! next-line prefetch degrees (the simulated-cycle/usefulness table
 //! comes from `repro prefetch`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::SimConfig;
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::MatmulVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_prefetch(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefetch_ablation");

@@ -1,10 +1,10 @@
 //! Memory-controller row-buffer bench: flat vs. open-page MC models
 //! (the row-hit table comes from `repro rowbuffer`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coyote::{McConfig, SimConfig};
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::MatmulVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_row_buffer(c: &mut Criterion) {
     let mut group = c.benchmark_group("row_buffer");

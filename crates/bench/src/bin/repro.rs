@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `fig3`, `interleave`, `l2share`, `mapping`, `l2sweep`,
-//! `noc`, `kernels`, `vector`, `trace`.
+//! `noc`, `kernels`, `oracle`, `vector`, `trace`.
 
 use std::process::ExitCode;
 
@@ -24,6 +24,7 @@ fn print_experiment(name: &str, scale: Scale) -> bool {
         "l2sweep" => experiments::l2_sweep(scale),
         "noc" => experiments::noc_sweep(scale),
         "kernels" => experiments::kernel_suite(scale),
+        "oracle" => experiments::oracle_check(scale),
         "vector" => experiments::vector_comparison(scale),
         "prefetch" => experiments::prefetch_ablation(scale),
         "rowbuffer" => experiments::row_buffer(scale),
@@ -45,7 +46,7 @@ fn print_experiment(name: &str, scale: Scale) -> bool {
     true
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "fig3",
     "fig3weak",
     "interleave",
@@ -54,6 +55,7 @@ const ALL: [&str; 12] = [
     "l2sweep",
     "noc",
     "kernels",
+    "oracle",
     "vector",
     "prefetch",
     "rowbuffer",

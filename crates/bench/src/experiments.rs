@@ -24,8 +24,7 @@ fn base_builder(cores: usize) -> coyote::SimConfigBuilder {
 }
 
 fn run(workload: &dyn Workload, config: SimConfig) -> (Report, Simulation) {
-    run_workload(workload, config)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()))
+    run_workload(workload, config).unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()))
 }
 
 /// Spike-interleaving ablation (§III-A): with interleaving disabled
@@ -88,7 +87,10 @@ pub fn l2_sharing(scale: Scale) -> Table {
         "dep-stall cycles",
     ]);
     for workload in workloads {
-        for (sharing, name) in [(L2Sharing::Shared, "shared"), (L2Sharing::Private, "private")] {
+        for (sharing, name) in [
+            (L2Sharing::Shared, "shared"),
+            (L2Sharing::Private, "private"),
+        ] {
             let config = base_builder(32)
                 .sharing(sharing)
                 .build()
@@ -140,8 +142,7 @@ pub fn mapping_policy(scale: Scale) -> Table {
                 .map(|b| b.accesses())
                 .collect();
             let max = accesses.iter().copied().max().unwrap_or(0) as f64;
-            let mean =
-                accesses.iter().sum::<u64>() as f64 / accesses.len().max(1) as f64;
+            let mean = accesses.iter().sum::<u64>() as f64 / accesses.len().max(1) as f64;
             let imbalance = if mean == 0.0 { 0.0 } else { max / mean };
             t.push([
                 workload.name().to_owned(),
@@ -235,10 +236,7 @@ pub fn noc_sweep(scale: Scale) -> Table {
     ));
     for workload in workloads {
         for (name, model) in &models {
-            let config = base_builder(32)
-                .noc(*model)
-                .build()
-                .expect("valid config");
+            let config = base_builder(32).noc(*model).build().expect("valid config");
             let (report, _) = run(workload, config);
             t.push([
                 workload.name().to_owned(),
@@ -278,8 +276,7 @@ pub fn kernel_suite(scale: Scale) -> Table {
     );
     let ff = FftRadix2::new(if quick { 64 } else { 1024 }, 2020);
     let tf = ThresholdFilter::new(if quick { 128 } else { 4096 }, 0.2, 2021);
-    let workloads: [&dyn Workload; 10] =
-        [&ms, &mv, &ss, &sc, &se, &sa, &st, &ml, &ff, &tf];
+    let workloads: [&dyn Workload; 10] = [&ms, &mv, &ss, &sc, &se, &sa, &st, &ml, &ff, &tf];
     let mut t = Table::new([
         "kernel",
         "instructions",
@@ -305,6 +302,49 @@ pub fn kernel_suite(scale: Scale) -> Table {
                 .map(|c| c.stats.dep_stalls)
                 .sum::<u64>()
                 .to_string(),
+        ]);
+    }
+    t
+}
+
+/// Differential-oracle sweep: the whole kernel suite re-runs with the
+/// lockstep co-simulation oracle enabled ([`SimConfig::oracle`]). Any
+/// timing/functional-separation violation aborts the experiment with
+/// the oracle's structured divergence report, so a printed table is
+/// itself the assertion that every kernel is oracle-clean.
+#[must_use]
+pub fn oracle_check(scale: Scale) -> Table {
+    let quick = scale == Scale::Quick;
+    let matmul_n = if quick { 16 } else { 32 };
+    let spmv_rows = if quick { 64 } else { 256 };
+    let ms = MatmulScalar::new(matmul_n, 2030);
+    let mv = MatmulVector::new(matmul_n, 2030);
+    let ss = SpmvScalar::new(spmv_rows, spmv_rows, 0.05, 2031);
+    let sc = SpmvVectorCsr::new(spmv_rows, spmv_rows, 0.05, 2031);
+    let st = StencilVector::new(
+        if quick { 10 } else { 34 },
+        if quick { 10 } else { 34 },
+        2,
+        2032,
+    );
+    let ml = MlpInference::new(
+        if quick { 16 } else { 64 },
+        if quick { 8 } else { 32 },
+        8,
+        2033,
+    );
+    let ff = FftRadix2::new(if quick { 32 } else { 256 }, 2034);
+    let tf = ThresholdFilter::new(if quick { 64 } else { 1024 }, 0.2, 2035);
+    let workloads: [&dyn Workload; 8] = [&ms, &mv, &ss, &sc, &st, &ml, &ff, &tf];
+    let mut t = Table::new(["kernel", "instructions", "sim cycles", "oracle"]);
+    for workload in workloads {
+        let config = base_builder(8).oracle(true).build().expect("valid config");
+        let (report, _) = run(workload, config);
+        t.push([
+            workload.name().to_owned(),
+            report.total_retired().to_string(),
+            report.cycles.to_string(),
+            "clean".to_owned(),
         ]);
     }
     t
@@ -429,12 +469,7 @@ pub fn row_buffer(scale: Scale) -> Table {
         2018,
     );
     let workloads: [&dyn Workload; 2] = [&matmul, &spmv];
-    let mut t = Table::new([
-        "kernel",
-        "MC model",
-        "sim cycles",
-        "row hit %",
-    ]);
+    let mut t = Table::new(["kernel", "MC model", "sim cycles", "row hit %"]);
     for workload in workloads {
         for (name, mc) in [
             ("flat(100)", McConfig::default()),

@@ -102,8 +102,7 @@ pub fn run_weak(scale: Scale) -> Vec<Fig3Row> {
     };
     let mut rows = Vec::new();
     for &cores in &core_counts(scale) {
-        let matmul =
-            coyote_kernels::MatmulScalar::with_rows(rows_per_core * cores, n, 1003);
+        let matmul = coyote_kernels::MatmulScalar::with_rows(rows_per_core * cores, n, 1003);
         let spmv = SpmvScalar::new(spmv_rows_per_core * cores, spmv_cols, 0.04, 1004);
         rows.push(measure(&matmul, cores));
         rows.push(measure(&spmv, cores));
@@ -116,7 +115,12 @@ pub fn run_weak(scale: Scale) -> Vec<Fig3Row> {
 #[must_use]
 pub fn table(rows: &[Fig3Row]) -> Table {
     let mut t = Table::new([
-        "cores", "kernel", "instructions", "sim cycles", "wall [ms]", "MIPS",
+        "cores",
+        "kernel",
+        "instructions",
+        "sim cycles",
+        "wall [ms]",
+        "MIPS",
     ]);
     for row in rows {
         t.push([

@@ -14,6 +14,8 @@
 //!   --interleave N       instructions per core per cycle (default 1)
 //!   --max-cycles N       cycle budget (default 2e9)
 //!   --trace FILE         write a Paraver trace to FILE(.prv/.pcf)
+//!   --oracle             co-simulate a functional reference machine and
+//!                        abort on the first architectural divergence
 //! ```
 //!
 //! The program's console output (ecall 64) is printed; the process exit
@@ -115,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
                 trace_path = Some(value(&mut args, "--trace")?);
                 builder = builder.trace(true);
             }
+            "--oracle" => builder = builder.oracle(true),
             "--help" | "-h" => {
                 println!("usage: coyote-sim <program.s> [options]");
                 println!("  --cores N            simulated cores (default 1)");
@@ -128,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
                 println!("  --interleave N       instructions per core per cycle (default 1)");
                 println!("  --max-cycles N       cycle budget");
                 println!("  --trace FILE         write a Paraver trace to FILE(.prv/.pcf)");
+                println!("  --oracle             check against a functional reference machine");
                 std::process::exit(0);
             }
             other if source.is_none() && !other.starts_with('-') => {
@@ -159,11 +163,10 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run(options: &Options) -> Result<i64, String> {
-    let text = std::fs::read_to_string(&options.source)
-        .map_err(|e| format!("{}: {e}", options.source))?;
+    let text =
+        std::fs::read_to_string(&options.source).map_err(|e| format!("{}: {e}", options.source))?;
     let program = coyote_asm::assemble(&text).map_err(|e| format!("{}: {e}", options.source))?;
-    let mut sim =
-        Simulation::new(options.config, &program).map_err(|e| e.to_string())?;
+    let mut sim = Simulation::new(options.config, &program).map_err(|e| e.to_string())?;
     let report = sim.run().map_err(|e| e.to_string())?;
 
     let console = report.console_string();

@@ -49,6 +49,11 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Whether to collect the Paraver L1-miss trace.
     pub trace: bool,
+    /// Whether to run the differential co-simulation oracle: a pure
+    /// functional reference machine replays every retirement and the
+    /// run aborts with [`crate::sim::RunError::OracleDivergence`] on
+    /// the first architectural mismatch.
+    pub oracle: bool,
 }
 
 impl Default for SimConfig {
@@ -67,6 +72,7 @@ impl Default for SimConfig {
             interleave: 1,
             max_cycles: 2_000_000_000,
             trace: false,
+            oracle: false,
         }
     }
 }
@@ -137,9 +143,7 @@ impl SimConfig {
                 "L1 and L2 line sizes must match (line-granular hierarchy requests)",
             ));
         }
-        self.hierarchy()
-            .validate()
-            .map_err(ConfigError::new)?;
+        self.hierarchy().validate().map_err(ConfigError::new)?;
         Ok(())
     }
 }
@@ -292,6 +296,13 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn trace(mut self, trace: bool) -> Self {
         self.config.trace = trace;
+        self
+    }
+
+    /// Enables or disables the differential co-simulation oracle.
+    #[must_use]
+    pub fn oracle(mut self, oracle: bool) -> Self {
+        self.config.oracle = oracle;
         self
     }
 

@@ -51,9 +51,10 @@ pub use sim::{RunError, Simulation};
 pub use trace::{Trace, TraceEvent};
 
 // Re-export the building blocks so downstream users need one import.
-pub use coyote_iss::{CacheConfig, CoreConfig, SparseMemory};
+pub use coyote_iss::{CacheConfig, CoreConfig, CoreSnapshot, SparseMemory};
 pub use coyote_mem::hierarchy::L2Sharing;
 pub use coyote_mem::l2::L2Config;
 pub use coyote_mem::mapping::MappingPolicy;
 pub use coyote_mem::mc::McConfig;
 pub use coyote_mem::noc::NocModel;
+pub use coyote_oracle::{Delta, Divergence, LockstepChecker};

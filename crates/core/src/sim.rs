@@ -12,9 +12,11 @@ use std::fmt;
 use std::time::Instant;
 
 use coyote_asm::Program;
-use coyote_iss::core::{Core, CoreState, DecodedText};
+use coyote_isa::XReg;
+use coyote_iss::core::{Core, CoreSnapshot, CoreState, DecodedText, StepEvent};
 use coyote_iss::{MissKind, SimError, SparseMemory};
 use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
+use coyote_oracle::{Divergence, LockstepChecker};
 
 use crate::config::{ConfigError, SimConfig};
 use crate::report::{CoreReport, Report};
@@ -37,7 +39,14 @@ pub enum RunError {
     Deadlock {
         /// Cycle at which the deadlock was detected.
         cycle: u64,
+        /// Snapshot of every core at detection time: state, stalled PC
+        /// and outstanding-miss counts.
+        cores: Vec<CoreSnapshot>,
     },
+    /// The co-simulation oracle caught the timed machine producing a
+    /// different architectural result than the functional reference
+    /// ([`SimConfig::oracle`]).
+    OracleDivergence(Box<Divergence>),
     /// The configured cycle budget was exhausted.
     CycleLimit {
         /// The budget that was exceeded.
@@ -50,7 +59,14 @@ impl fmt::Display for RunError {
         match self {
             RunError::Config(e) => write!(f, "{e}"),
             RunError::Core { core, source } => write!(f, "core {core}: {source}"),
-            RunError::Deadlock { cycle } => write!(f, "deadlock at cycle {cycle}"),
+            RunError::Deadlock { cycle, cores } => {
+                write!(f, "deadlock at cycle {cycle}")?;
+                for snap in cores {
+                    write!(f, "\n  {snap}")?;
+                }
+                Ok(())
+            }
+            RunError::OracleDivergence(divergence) => write!(f, "{divergence}"),
             RunError::CycleLimit { cycles } => write!(f, "cycle limit {cycles} exceeded"),
         }
     }
@@ -61,6 +77,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Config(e) => Some(e),
             RunError::Core { source, .. } => Some(source),
+            RunError::OracleDivergence(divergence) => Some(divergence.as_ref()),
             _ => None,
         }
     }
@@ -137,6 +154,8 @@ pub struct Simulation {
     state_track: Vec<(CoreState, u64)>,
     miss_buf: Vec<coyote_iss::MissRequest>,
     completion_buf: Vec<Completion>,
+    /// Lockstep functional reference, present when the oracle is on.
+    oracle: Option<LockstepChecker>,
 }
 
 impl fmt::Debug for Simulation {
@@ -177,8 +196,26 @@ impl Simulation {
             state_track: vec![(CoreState::Active, 0); config.cores],
             miss_buf: Vec::new(),
             completion_buf: Vec::new(),
+            oracle: config
+                .oracle
+                .then(|| LockstepChecker::new(program, config.cores, config.core.vlen_bits)),
             config,
         })
+    }
+
+    /// Attaches a property-test replay seed to oracle divergence
+    /// reports. No-op when the oracle is disabled.
+    pub fn set_oracle_replay_seed(&mut self, seed: u64) {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.set_replay_seed(seed);
+        }
+    }
+
+    /// Arms a deliberate timing-model fault on `core`: its next data
+    /// fill delivers into the wrong register. Mutation-testing hook
+    /// used to demonstrate the oracle catches timing-model corruption.
+    pub fn inject_fill_corruption(&mut self, core: usize, reg: XReg) {
+        self.cores[core].inject_fill_corruption(reg);
     }
 
     /// The configuration in use.
@@ -257,19 +294,38 @@ impl Simulation {
         self.cycle += 1;
         let cycle = self.cycle;
 
+        // Workload data is populated through `memory_mut` between
+        // construction and the first cycle; give the oracle's reference
+        // machine the same initial memory image.
+        if cycle == 1 {
+            if let Some(oracle) = &mut self.oracle {
+                oracle.sync_memory(&self.mem);
+            }
+        }
+
         // 1. Attempt instructions on each active core (the interleave
         //    factor reproduces Spike's back-to-back batching; Coyote
-        //    proper uses 1).
-        for core in &mut self.cores {
+        //    proper uses 1). The oracle replays each retirement in this
+        //    same global order, so its reference memory reproduces the
+        //    timed machine's exact interleaving.
+        for idx in 0..self.cores.len() {
             for _ in 0..self.config.interleave {
-                if core.state() != CoreState::Active {
+                if self.cores[idx].state() != CoreState::Active {
                     break;
                 }
-                core.step(&mut self.mem, &self.text, cycle, &mut self.miss_buf)
-                    .map_err(|source| RunError::Core {
-                        core: core.index(),
-                        source,
-                    })?;
+                let event = self.cores[idx]
+                    .step(&mut self.mem, &self.text, cycle, &mut self.miss_buf)
+                    .map_err(|source| RunError::Core { core: idx, source })?;
+                if let Some(oracle) = &mut self.oracle {
+                    if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
+                        if let Err(mut divergence) =
+                            oracle.check_retirement(idx, cycle, self.cores[idx].hart(), &self.mem)
+                        {
+                            divergence.context = self.cores.iter().map(Core::snapshot).collect();
+                            return Err(RunError::OracleDivergence(divergence));
+                        }
+                    }
+                }
             }
         }
 
@@ -331,7 +387,12 @@ impl Simulation {
             // hierarchy event (or report a deadlock if there is none).
             match self.hierarchy.next_event_time() {
                 Some(t) => self.cycle = self.cycle.max(t.saturating_sub(1)),
-                None => return Err(RunError::Deadlock { cycle }),
+                None => {
+                    return Err(RunError::Deadlock {
+                        cycle,
+                        cores: self.cores.iter().map(Core::snapshot).collect(),
+                    })
+                }
             }
         }
         Ok(false)
@@ -519,14 +580,8 @@ mod tests {
         sim.run().unwrap();
         let trace = sim.trace().expect("tracing enabled");
         assert!(!trace.is_empty());
-        assert!(trace
-            .events()
-            .iter()
-            .any(|e| e.kind == MissKind::Load));
-        assert!(trace
-            .events()
-            .iter()
-            .any(|e| e.kind == MissKind::Ifetch));
+        assert!(trace.events().iter().any(|e| e.kind == MissKind::Load));
+        assert!(trace.events().iter().any(|e| e.kind == MissKind::Ifetch));
     }
 
     #[test]

@@ -267,8 +267,7 @@ impl Trace {
                     if fields.len() != 8 {
                         return Err(err("state record needs 8 fields".to_owned()));
                     }
-                    let parse =
-                        |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
+                    let parse = |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
                     trace.record_state(StateInterval {
                         core: parse(fields[3])? as usize - 1,
                         start: parse(fields[5])?,
@@ -280,8 +279,7 @@ impl Trace {
                     if fields.len() != 10 {
                         return Err(err("event record needs 10 fields".to_owned()));
                     }
-                    let parse =
-                        |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
+                    let parse = |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
                     let kind = match parse(fields[6])? {
                         k if k == EVENT_MISS_KIND => match parse(fields[7])? {
                             1 => MissKind::Ifetch,
@@ -441,8 +439,11 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!(Trace::parse_prv("").is_err());
-        assert!(Trace::parse_prv("not a header
-").is_err());
+        assert!(Trace::parse_prv(
+            "not a header
+"
+        )
+        .is_err());
         let bad_record = "#Paraver (x):10:1(1):1:1(1:1)
 9:1:1:1:1:0:1:1
 ";

@@ -1,0 +1,136 @@
+//! Mutation tests of the differential co-simulation oracle: prove it
+//! stays silent on clean runs and catches deliberately injected
+//! timing-model corruption at the exact retiring instruction.
+
+use coyote::{RunError, SimConfig, Simulation};
+use coyote_isa::XReg;
+
+fn sim(src: &str, config: SimConfig) -> Simulation {
+    let program = coyote_asm::assemble(src).expect("valid program");
+    Simulation::new(config, &program).expect("valid config")
+}
+
+const LOAD_CHAIN: &str = "
+    .data
+    x: .dword 7
+    .text
+    _start:
+        la t0, x
+        ld t1, 0(t0)
+        addi t2, t1, 1
+        sd t2, 8(t0)
+        li a0, 0
+        li a7, 93
+        ecall";
+
+#[test]
+fn clean_run_is_oracle_silent() {
+    let config = SimConfig::builder().cores(1).oracle(true).build().unwrap();
+    let report = sim(LOAD_CHAIN, config).run().expect("oracle-clean run");
+    assert_eq!(report.exit_codes(), Some(vec![0]));
+}
+
+#[test]
+fn clean_multicore_amo_run_is_oracle_silent() {
+    // Shared-counter AMOs race across harts; the oracle replays the
+    // simulation's own retirement interleaving, so even racy programs
+    // must check out clean.
+    let src = "
+        .data
+        counter: .dword 0
+        .text
+        _start:
+            la t0, counter
+            li t1, 1
+            amoadd.d t2, t1, (t0)
+            amoadd.d t3, t1, (t0)
+            li a0, 0
+            li a7, 93
+            ecall";
+    let config = SimConfig::builder().cores(4).oracle(true).build().unwrap();
+    let mut s = sim(src, config);
+    let report = s.run().expect("oracle-clean run");
+    assert_eq!(report.exit_codes(), Some(vec![0; 4]));
+    let program = coyote_asm::assemble(src).unwrap();
+    let counter = program.symbol("counter").unwrap();
+    assert_eq!(s.memory().read_u64(counter), 8);
+}
+
+#[test]
+fn injected_fill_corruption_is_caught_at_the_retiring_instruction() {
+    let config = SimConfig::builder().cores(1).oracle(true).build().unwrap();
+    let mut s = sim(LOAD_CHAIN, config);
+    s.set_oracle_replay_seed(0x00c0_ffee);
+    // Arm the fault: the first data fill delivers into t1 instead of
+    // completing cleanly, corrupting the loaded value the dependent
+    // addi consumes.
+    let t1 = XReg::parse("t1").unwrap();
+    s.inject_fill_corruption(0, t1);
+    let err = s.run().expect_err("oracle must catch the corruption");
+    let divergence = match err {
+        RunError::OracleDivergence(d) => d,
+        other => panic!("expected OracleDivergence, got {other}"),
+    };
+    // The corruption lands when the ld's line fill completes, so the
+    // first retirement that can observe it is the dependent addi.
+    assert_eq!(divergence.core, 0);
+    assert!(divergence.cycle > 0);
+    assert!(
+        divergence.inst.starts_with("addi"),
+        "diverged at `{}`, expected the dependent addi",
+        divergence.inst
+    );
+    // The register delta names the corrupted register and both values.
+    assert!(
+        divergence.deltas.iter().any(|d| d.item.contains("t1")),
+        "deltas: {:?}",
+        divergence.deltas
+    );
+    assert!(!divergence.context.is_empty(), "per-core context missing");
+    let rendered = divergence.to_string();
+    assert!(rendered.contains("core 0"), "{rendered}");
+    assert!(rendered.contains("cycle"), "{rendered}");
+    assert!(
+        rendered.contains(&format!("{:#x}", divergence.pc)),
+        "{rendered}"
+    );
+    assert!(rendered.contains("replay seed"), "{rendered}");
+}
+
+#[test]
+fn corruption_without_oracle_goes_unnoticed() {
+    // Control case: the same fault with the oracle off silently
+    // corrupts the result — which is exactly why the oracle exists.
+    let config = SimConfig::builder().cores(1).build().unwrap();
+    let mut s = sim(LOAD_CHAIN, config);
+    s.inject_fill_corruption(0, XReg::parse("t1").unwrap());
+    let report = s.run().expect("runs to completion");
+    assert_eq!(report.exit_codes(), Some(vec![0]));
+    let program = coyote_asm::assemble(LOAD_CHAIN).unwrap();
+    let x = program.symbol("x").unwrap();
+    assert_ne!(s.memory().read_u64(x + 8), 8, "fault should corrupt x+8");
+}
+
+#[test]
+fn deadlock_report_carries_core_snapshots() {
+    use coyote::CoreSnapshot;
+    use coyote_iss::CoreState;
+
+    let err = RunError::Deadlock {
+        cycle: 1234,
+        cores: vec![CoreSnapshot {
+            core: 0,
+            state: CoreState::StalledDep,
+            pc: 0x8000_0040,
+            in_flight_lines: 2,
+            pending_fetch: None,
+            retired: 17,
+        }],
+    };
+    let rendered = err.to_string();
+    assert!(rendered.contains("deadlock at cycle 1234"), "{rendered}");
+    assert!(rendered.contains("0x80000040"), "{rendered}");
+    assert!(rendered.contains("StalledDep"), "{rendered}");
+    assert!(rendered.contains("2 data line(s) in flight"), "{rendered}");
+    assert!(rendered.contains("17 retired"), "{rendered}");
+}

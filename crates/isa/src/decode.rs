@@ -671,10 +671,7 @@ fn decode_op_v(word: u32) -> Result<Inst, DecodeError> {
             if funct6 == 0b010111 {
                 if vm {
                     if v2 == VReg::V0 {
-                        return Ok(Inst::VMvVV {
-                            vd,
-                            vs1: vs1(word),
-                        });
+                        return Ok(Inst::VMvVV { vd, vs1: vs1(word) });
                     }
                     return err(word);
                 }
@@ -937,14 +934,16 @@ fn sext5(field: u32) -> i8 {
 fn decode_vset(word: u32) -> Result<Inst, DecodeError> {
     let rd = rd_x(word);
     if word >> 31 == 0 {
-        let vtype = VType::from_bits(u64::from((word >> 20) & 0x7ff)).ok_or(DecodeError { word })?;
+        let vtype =
+            VType::from_bits(u64::from((word >> 20) & 0x7ff)).ok_or(DecodeError { word })?;
         Ok(Inst::Vsetvli {
             rd,
             rs1: rs1_x(word),
             vtype,
         })
     } else if word >> 30 == 0b11 {
-        let vtype = VType::from_bits(u64::from((word >> 20) & 0x3ff)).ok_or(DecodeError { word })?;
+        let vtype =
+            VType::from_bits(u64::from((word >> 20) & 0x3ff)).ok_or(DecodeError { word })?;
         Ok(Inst::Vsetivli {
             rd,
             avl: ((word >> 15) & 0x1f) as u8,
@@ -1127,8 +1126,14 @@ mod tests {
                 rd: 3,
                 rs1: 4,
             },
-            Inst::FmvXD { rd: x(5), rs1: f(6) },
-            Inst::FmvDX { rd: f(6), rs1: x(5) },
+            Inst::FmvXD {
+                rd: x(5),
+                rs1: f(6),
+            },
+            Inst::FmvDX {
+                rd: f(6),
+                rs1: x(5),
+            },
             Inst::Vsetvli {
                 rd: x(5),
                 rs1: x(10),
@@ -1226,14 +1231,35 @@ mod tests {
                 vs1: v(3),
                 vm: true,
             },
-            Inst::VMvVV { vd: v(1), vs1: v(2) },
-            Inst::VMvVX { vd: v(1), rs1: x(2) },
+            Inst::VMvVV {
+                vd: v(1),
+                vs1: v(2),
+            },
+            Inst::VMvVX {
+                vd: v(1),
+                rs1: x(2),
+            },
             Inst::VMvVI { vd: v(1), imm: -5 },
-            Inst::VFMvVF { vd: v(1), rs1: f(2) },
-            Inst::VMvXS { rd: x(1), vs2: v(2) },
-            Inst::VMvSX { vd: v(1), rs1: x(2) },
-            Inst::VFMvFS { rd: f(1), vs2: v(2) },
-            Inst::VFMvSF { vd: v(1), rs1: f(2) },
+            Inst::VFMvVF {
+                vd: v(1),
+                rs1: f(2),
+            },
+            Inst::VMvXS {
+                rd: x(1),
+                vs2: v(2),
+            },
+            Inst::VMvSX {
+                vd: v(1),
+                rs1: x(2),
+            },
+            Inst::VFMvFS {
+                rd: f(1),
+                vs2: v(2),
+            },
+            Inst::VFMvSF {
+                vd: v(1),
+                rs1: f(2),
+            },
             Inst::Vid { vd: v(1), vm: true },
         ];
         for inst in sample {

@@ -773,11 +773,23 @@ pub fn encode(inst: &Inst) -> Result32 {
                     if !vint_has_vv(op) {
                         return Err(EncodeError::InvalidForm("vrsub.vv does not exist"));
                     }
-                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPIVV, vd.bits()))
+                    Ok(op_v(
+                        funct6,
+                        vm,
+                        vs1.bits(),
+                        vs2.bits(),
+                        F3_OPIVV,
+                        vd.bits(),
+                    ))
                 }
-                VScalar::Xreg(rs1) => {
-                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPIVX, vd.bits()))
-                }
+                VScalar::Xreg(rs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    rs1.bits(),
+                    vs2.bits(),
+                    F3_OPIVX,
+                    vd.bits(),
+                )),
             }
         }
         Inst::VIntOpImm {
@@ -819,12 +831,22 @@ pub fn encode(inst: &Inst) -> Result32 {
         } => {
             let funct6 = vmul_funct6(op);
             match src {
-                VScalar::Vector(vs1) => {
-                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPMVV, vd.bits()))
-                }
-                VScalar::Xreg(rs1) => {
-                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPMVX, vd.bits()))
-                }
+                VScalar::Vector(vs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    vs1.bits(),
+                    vs2.bits(),
+                    F3_OPMVV,
+                    vd.bits(),
+                )),
+                VScalar::Xreg(rs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    rs1.bits(),
+                    vs2.bits(),
+                    F3_OPMVX,
+                    vd.bits(),
+                )),
             }
         }
         Inst::VFpOp {
@@ -836,12 +858,22 @@ pub fn encode(inst: &Inst) -> Result32 {
         } => {
             let funct6 = vfp_funct6(op);
             match src {
-                VFScalar::Vector(vs1) => {
-                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPFVV, vd.bits()))
-                }
-                VFScalar::Freg(rs1) => {
-                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPFVF, vd.bits()))
-                }
+                VFScalar::Vector(vs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    vs1.bits(),
+                    vs2.bits(),
+                    F3_OPFVV,
+                    vd.bits(),
+                )),
+                VFScalar::Freg(rs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    rs1.bits(),
+                    vs2.bits(),
+                    F3_OPFVF,
+                    vd.bits(),
+                )),
             }
         }
         Inst::VRedSum { vd, vs2, vs1, vm } => Ok(op_v(
@@ -889,11 +921,23 @@ pub fn encode(inst: &Inst) -> Result32 {
                     if matches!(op, VCmpOp::Gt | VCmpOp::Gtu) {
                         return Err(EncodeError::InvalidForm("vmsgt has no .vv form"));
                     }
-                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPIVV, vd.bits()))
+                    Ok(op_v(
+                        funct6,
+                        vm,
+                        vs1.bits(),
+                        vs2.bits(),
+                        F3_OPIVV,
+                        vd.bits(),
+                    ))
                 }
-                VScalar::Xreg(rs1) => {
-                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPIVX, vd.bits()))
-                }
+                VScalar::Xreg(rs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    rs1.bits(),
+                    vs2.bits(),
+                    F3_OPIVX,
+                    vd.bits(),
+                )),
             }
         }
         Inst::VMaskCmpImm {
@@ -928,11 +972,23 @@ pub fn encode(inst: &Inst) -> Result32 {
                     if matches!(op, VFCmpOp::Gt | VFCmpOp::Ge) {
                         return Err(EncodeError::InvalidForm("vmfgt/vmfge have no .vv form"));
                     }
-                    Ok(op_v(funct6, vm, vs1.bits(), vs2.bits(), F3_OPFVV, vd.bits()))
+                    Ok(op_v(
+                        funct6,
+                        vm,
+                        vs1.bits(),
+                        vs2.bits(),
+                        F3_OPFVV,
+                        vd.bits(),
+                    ))
                 }
-                VFScalar::Freg(rs1) => {
-                    Ok(op_v(funct6, vm, rs1.bits(), vs2.bits(), F3_OPFVF, vd.bits()))
-                }
+                VFScalar::Freg(rs1) => Ok(op_v(
+                    funct6,
+                    vm,
+                    rs1.bits(),
+                    vs2.bits(),
+                    F3_OPFVF,
+                    vd.bits(),
+                )),
             }
         }
         Inst::VMaskLogical { op, vd, vs2, vs1 } => Ok(op_v(
@@ -977,22 +1033,12 @@ pub fn encode(inst: &Inst) -> Result32 {
             F3_OPFVF,
             vd.bits(),
         )),
-        Inst::Vcpop { rd, vs2, vm } => Ok(op_v(
-            0b010000,
-            vm,
-            0b10000,
-            vs2.bits(),
-            F3_OPMVV,
-            rd.bits(),
-        )),
-        Inst::Vfirst { rd, vs2, vm } => Ok(op_v(
-            0b010000,
-            vm,
-            0b10001,
-            vs2.bits(),
-            F3_OPMVV,
-            rd.bits(),
-        )),
+        Inst::Vcpop { rd, vs2, vm } => {
+            Ok(op_v(0b010000, vm, 0b10000, vs2.bits(), F3_OPMVV, rd.bits()))
+        }
+        Inst::Vfirst { rd, vs2, vm } => {
+            Ok(op_v(0b010000, vm, 0b10001, vs2.bits(), F3_OPMVV, rd.bits()))
+        }
     }
 }
 
@@ -1035,7 +1081,13 @@ mod tests {
                 },
                 0x1234_5537, // lui a0, 0x12345
             ),
-            (Inst::Jal { rd: x(0), offset: 0 }, 0x0000_006f),
+            (
+                Inst::Jal {
+                    rd: x(0),
+                    offset: 0,
+                },
+                0x0000_006f,
+            ),
             (
                 Inst::Load {
                     width: MemWidth::D,

@@ -43,8 +43,12 @@ fn lmul() -> impl Strategy<Value = Lmul> {
     ]
 }
 fn vtype() -> impl Strategy<Value = VType> {
-    (sew(), lmul(), any::<bool>(), any::<bool>())
-        .prop_map(|(sew, lmul, ta, ma)| VType { sew, lmul, ta, ma })
+    (sew(), lmul(), any::<bool>(), any::<bool>()).prop_map(|(sew, lmul, ta, ma)| VType {
+        sew,
+        lmul,
+        ta,
+        ma,
+    })
 }
 
 fn branch_op() -> impl Strategy<Value = BranchOp> {
@@ -207,10 +211,17 @@ fn inst() -> impl Strategy<Value = Inst> {
         (xreg(), u_imm()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
         (xreg(), u_imm()).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
         (xreg(), j_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (xreg(), xreg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (branch_op(), xreg(), xreg(), b_offset())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (xreg(), xreg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (branch_op(), xreg(), xreg(), b_offset()).prop_map(|(op, rs1, rs2, offset)| Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset
+        }),
         (
             prop_oneof![
                 (Just(MemWidth::B), any::<bool>()),
@@ -240,15 +251,32 @@ fn inst() -> impl Strategy<Value = Inst> {
             xreg(),
             -2048i32..=2047
         )
-            .prop_map(|(width, rs2, rs1, offset)| Inst::Store { width, rs2, rs1, offset }),
+            .prop_map(|(width, rs2, rs1, offset)| Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset
+            }),
         (imm_alu_op(), xreg(), xreg(), -2048i64..=2047)
             .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (shift_op(), xreg(), xreg(), 0i64..=63)
-            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (reg_alu_op(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
-        (xreg(), xreg(), -2048i64..=2047)
-            .prop_map(|(rd, rs1, imm)| Inst::OpImm32 { op: AluWOp::Addw, rd, rs1, imm }),
+        (shift_op(), xreg(), xreg(), 0i64..=63).prop_map(|(op, rd, rs1, imm)| Inst::OpImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (reg_alu_op(), xreg(), xreg(), xreg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (xreg(), xreg(), -2048i64..=2047).prop_map(|(rd, rs1, imm)| Inst::OpImm32 {
+            op: AluWOp::Addw,
+            rd,
+            rs1,
+            imm
+        }),
         (
             prop_oneof![Just(AluWOp::Sllw), Just(AluWOp::Srlw), Just(AluWOp::Sraw)],
             xreg(),
@@ -256,8 +284,12 @@ fn inst() -> impl Strategy<Value = Inst> {
             0i64..=31
         )
             .prop_map(|(op, rd, rs1, imm)| Inst::OpImm32 { op, rd, rs1, imm }),
-        (alu_w_op(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op32 { op, rd, rs1, rs2 }),
+        (alu_w_op(), xreg(), xreg(), xreg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op32 {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         Just(Inst::Fence),
         Just(Inst::Ecall),
         Just(Inst::Ebreak),
@@ -278,7 +310,13 @@ fn inst() -> impl Strategy<Value = Inst> {
             xreg(),
             xreg()
         )
-            .prop_map(|(op, width, rd, rs1, rs2)| Inst::Amo { op, width, rd, rs1, rs2 }),
+            .prop_map(|(op, width, rd, rs1, rs2)| Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2
+            }),
         (
             prop_oneof![Just(MemWidth::W), Just(MemWidth::D)],
             xreg(),
@@ -291,12 +329,22 @@ fn inst() -> impl Strategy<Value = Inst> {
                 rs1,
                 rs2: XReg::ZERO
             }),
-        (freg(), xreg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
-        (freg(), xreg(), -2048i32..=2047)
-            .prop_map(|(rs2, rs1, offset)| Inst::Fsd { rs2, rs1, offset }),
-        (fp_op(), freg(), freg(), freg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::FpOp { op, rd, rs1, rs2 }),
+        (freg(), xreg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Inst::Fld {
+            rd,
+            rs1,
+            offset
+        }),
+        (freg(), xreg(), -2048i32..=2047).prop_map(|(rs2, rs1, offset)| Inst::Fsd {
+            rs2,
+            rs1,
+            offset
+        }),
+        (fp_op(), freg(), freg(), freg()).prop_map(|(op, rd, rs1, rs2)| Inst::FpOp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (
             prop_oneof![
                 Just(FmaOp::Madd),
@@ -309,7 +357,13 @@ fn inst() -> impl Strategy<Value = Inst> {
             freg(),
             freg()
         )
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::FpFma { op, rd, rs1, rs2, rs3 }),
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::FpFma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3
+            }),
         (
             prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
             xreg(),
@@ -335,19 +389,33 @@ fn inst() -> impl Strategy<Value = Inst> {
         (xreg(), xreg(), vtype()).prop_map(|(rd, rs1, vtype)| Inst::Vsetvli { rd, rs1, vtype }),
         (xreg(), 0u8..32, vtype()).prop_map(|(rd, avl, vtype)| Inst::Vsetivli { rd, avl, vtype }),
         (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Inst::Vsetvl { rd, rs1, rs2 }),
-        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>())
-            .prop_map(|(vd, rs1, mode, eew, vm)| Inst::VLoad { vd, rs1, mode, eew, vm }),
-        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>())
-            .prop_map(|(vs3, rs1, mode, eew, vm)| Inst::VStore { vs3, rs1, mode, eew, vm }),
-        (vint_vv_op(), vreg(), vreg(), vreg(), any::<bool>()).prop_map(
-            |(op, vd, vs2, vs1, vm)| Inst::VIntOp {
+        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>()).prop_map(
+            |(vd, rs1, mode, eew, vm)| Inst::VLoad {
+                vd,
+                rs1,
+                mode,
+                eew,
+                vm
+            }
+        ),
+        (vreg(), xreg(), vaddr_mode(), sew(), any::<bool>()).prop_map(
+            |(vs3, rs1, mode, eew, vm)| Inst::VStore {
+                vs3,
+                rs1,
+                mode,
+                eew,
+                vm
+            }
+        ),
+        (vint_vv_op(), vreg(), vreg(), vreg(), any::<bool>()).prop_map(|(op, vd, vs2, vs1, vm)| {
+            Inst::VIntOp {
                 op,
                 vd,
                 vs2,
                 src: VScalar::Vector(vs1),
-                vm
+                vm,
             }
-        ),
+        }),
         (
             prop_oneof![vint_vv_op(), Just(VIntOp::Rsub)],
             vreg(),
@@ -375,7 +443,13 @@ fn inst() -> impl Strategy<Value = Inst> {
             -16i8..=15,
             any::<bool>()
         )
-            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm { op, vd, vs2, imm, vm }),
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm
+            }),
         (
             prop_oneof![Just(VIntOp::Sll), Just(VIntOp::Srl), Just(VIntOp::Sra)],
             vreg(),
@@ -383,27 +457,59 @@ fn inst() -> impl Strategy<Value = Inst> {
             0i8..=31,
             any::<bool>()
         )
-            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm { op, vd, vs2, imm, vm }),
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VIntOpImm {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm
+            }),
         (
             vmul_op(),
             vreg(),
             vreg(),
-            prop_oneof![vreg().prop_map(VScalar::Vector), xreg().prop_map(VScalar::Xreg)],
+            prop_oneof![
+                vreg().prop_map(VScalar::Vector),
+                xreg().prop_map(VScalar::Xreg)
+            ],
             any::<bool>()
         )
-            .prop_map(|(op, vd, vs2, src, vm)| Inst::VMulOp { op, vd, vs2, src, vm }),
+            .prop_map(|(op, vd, vs2, src, vm)| Inst::VMulOp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm
+            }),
         (
             vfp_op(),
             vreg(),
             vreg(),
-            prop_oneof![vreg().prop_map(VFScalar::Vector), freg().prop_map(VFScalar::Freg)],
+            prop_oneof![
+                vreg().prop_map(VFScalar::Vector),
+                freg().prop_map(VFScalar::Freg)
+            ],
             any::<bool>()
         )
-            .prop_map(|(op, vd, vs2, src, vm)| Inst::VFpOp { op, vd, vs2, src, vm }),
-        (vreg(), vreg(), vreg(), any::<bool>())
-            .prop_map(|(vd, vs2, vs1, vm)| Inst::VRedSum { vd, vs2, vs1, vm }),
-        (vreg(), vreg(), vreg(), any::<bool>())
-            .prop_map(|(vd, vs2, vs1, vm)| Inst::VFRedSum { vd, vs2, vs1, vm }),
+            .prop_map(|(op, vd, vs2, src, vm)| Inst::VFpOp {
+                op,
+                vd,
+                vs2,
+                src,
+                vm
+            }),
+        (vreg(), vreg(), vreg(), any::<bool>()).prop_map(|(vd, vs2, vs1, vm)| Inst::VRedSum {
+            vd,
+            vs2,
+            vs1,
+            vm
+        }),
+        (vreg(), vreg(), vreg(), any::<bool>()).prop_map(|(vd, vs2, vs1, vm)| Inst::VFRedSum {
+            vd,
+            vs2,
+            vs1,
+            vm
+        }),
         (vreg(), vreg()).prop_map(|(vd, vs1)| Inst::VMvVV { vd, vs1 }),
         (vreg(), xreg()).prop_map(|(vd, rs1)| Inst::VMvVX { vd, rs1 }),
         (vreg(), -16i8..=15).prop_map(|(vd, imm)| Inst::VMvVI { vd, imm }),
@@ -472,7 +578,13 @@ fn inst() -> impl Strategy<Value = Inst> {
             -16i8..=15,
             any::<bool>()
         )
-            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VMaskCmpImm { op, vd, vs2, imm, vm }),
+            .prop_map(|(op, vd, vs2, imm, vm)| Inst::VMaskCmpImm {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm
+            }),
         (
             prop_oneof![
                 Just(VFCmpOp::Eq),
@@ -532,11 +644,13 @@ fn inst() -> impl Strategy<Value = Inst> {
         (
             vreg(),
             vreg(),
-            prop_oneof![vreg().prop_map(VScalar::Vector), xreg().prop_map(VScalar::Xreg)]
+            prop_oneof![
+                vreg().prop_map(VScalar::Vector),
+                xreg().prop_map(VScalar::Xreg)
+            ]
         )
             .prop_map(|(vd, vs2, src)| Inst::VMerge { vd, vs2, src }),
-        (vreg(), vreg(), -16i8..=15)
-            .prop_map(|(vd, vs2, imm)| Inst::VMergeImm { vd, vs2, imm }),
+        (vreg(), vreg(), -16i8..=15).prop_map(|(vd, vs2, imm)| Inst::VMergeImm { vd, vs2, imm }),
         (vreg(), vreg(), freg()).prop_map(|(vd, vs2, rs1)| Inst::VFMerge { vd, vs2, rs1 }),
         (xreg(), vreg(), any::<bool>()).prop_map(|(rd, vs2, vm)| Inst::Vcpop { rd, vs2, vm }),
         (xreg(), vreg(), any::<bool>()).prop_map(|(rd, vs2, vm)| Inst::Vfirst { rd, vs2, vm }),

@@ -207,8 +207,7 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
             .expect("at least one way");
-        let writeback = (victim.valid && victim.dirty)
-            .then(|| victim.tag << self.line_shift);
+        let writeback = (victim.valid && victim.dirty).then(|| victim.tag << self.line_shift);
         if writeback.is_some() {
             self.stats.writebacks += 1;
         }
@@ -331,7 +330,7 @@ mod tests {
         c.access(0x0000, true); // dirty
         c.access(0x0080, false);
         c.access(0x0100, false); // evicts 0x0000? No: 0x0080 touched later.
-        // LRU in set 0 after the two fills is 0x0000 (oldest).
+                                 // LRU in set 0 after the two fills is 0x0000 (oldest).
         let probe = c.access(0x0180, false);
         // Two evictions happened; exactly one of them was dirty.
         let _ = probe;

@@ -15,7 +15,7 @@ use std::fmt;
 
 use coyote_asm::Program;
 use coyote_isa::decode::decode;
-use coyote_isa::Inst;
+use coyote_isa::{Inst, XReg};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::exec::{defs, execute, uses, Ecall, ExecError, MemAccess, RegSet};
@@ -185,6 +185,41 @@ impl DecodedText {
     }
 }
 
+/// Point-in-time diagnostic view of one core.
+///
+/// Embedded in deadlock reports and oracle divergence context so a
+/// failure message can show where every core was without dumping the
+/// whole machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Core index.
+    pub core: usize,
+    /// Execution state at snapshot time.
+    pub state: CoreState,
+    /// Program counter (next instruction, or the stalled one).
+    pub pc: u64,
+    /// Outstanding data-line misses.
+    pub in_flight_lines: usize,
+    /// Instruction line the fetcher is blocked on, if any.
+    pub pending_fetch: Option<u64>,
+    /// Instructions retired so far.
+    pub retired: u64,
+}
+
+impl fmt::Display for CoreSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}: {:?} at pc {:#x}, {} data line(s) in flight",
+            self.core, self.state, self.pc, self.in_flight_lines
+        )?;
+        if let Some(line) = self.pending_fetch {
+            write!(f, ", fetch blocked on line {line:#x}")?;
+        }
+        write!(f, ", {} retired", self.retired)
+    }
+}
+
 /// One simulated core.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -205,6 +240,10 @@ pub struct Core {
     stats: CoreStats,
     console: Vec<u8>,
     access_buf: Vec<MemAccess>,
+    /// Fault-injection hook for oracle self-tests: when set, the next
+    /// serviced data fill "delivers" into the wrong register,
+    /// corrupting this register's architectural value.
+    corrupt_fill: Option<XReg>,
 }
 
 impl Core {
@@ -230,6 +269,7 @@ impl Core {
             stats: CoreStats::default(),
             console: Vec::new(),
             access_buf: Vec::new(),
+            corrupt_fill: None,
         }
     }
 
@@ -279,6 +319,29 @@ impl Core {
     #[must_use]
     pub fn in_flight_lines(&self) -> usize {
         self.pending_data.len()
+    }
+
+    /// Captures a diagnostic snapshot of this core.
+    #[must_use]
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            core: self.index,
+            state: self.state,
+            pc: self.hart.pc,
+            in_flight_lines: self.pending_data.len(),
+            pending_fetch: self.pending_fetch,
+            retired: self.stats.retired,
+        }
+    }
+
+    /// Arms a deliberate timing-model fault: the next data fill this
+    /// core services clobbers `reg` instead of delivering cleanly, as
+    /// if the hierarchy routed the completion to the wrong register.
+    ///
+    /// Mutation-testing hook — exists so the co-simulation oracle can
+    /// be shown to catch exactly this class of timing-model bug.
+    pub fn inject_fill_corruption(&mut self, reg: XReg) {
+        self.corrupt_fill = Some(reg);
     }
 
     /// Attempts to execute one instruction at the current cycle.
@@ -371,7 +434,13 @@ impl Core {
                     kind: MissKind::Writeback,
                 });
             }
-            let waiting = !access.write && !dest_regs.is_empty();
+            // A destination register must wait for the fill when the
+            // access reads memory: plain loads, but also read-modify-
+            // write atomics — an AMO's rd carries the *old* memory
+            // value, so skipping the scoreboard here let a dependent
+            // consume it while the line (including a not-yet-drained
+            // store to the same line) was still in flight.
+            let waiting = (!access.write || access.rmw) && !dest_regs.is_empty();
             if !probe.hit {
                 // New outstanding line (unless an in-flight request to
                 // the same line already exists — an MSHR merge).
@@ -443,8 +512,7 @@ impl Core {
                 if self.pending_fetch == Some(line_addr) {
                     self.pending_fetch = None;
                     if self.state == CoreState::StalledFetch {
-                        self.stats.fetch_stall_cycles +=
-                            cycle.saturating_sub(self.stall_started);
+                        self.stats.fetch_stall_cycles += cycle.saturating_sub(self.stall_started);
                         self.state = CoreState::Active;
                         return true;
                     }
@@ -454,14 +522,18 @@ impl Core {
             MissKind::Load | MissKind::Store => {
                 if let Some(regs) = self.pending_data.remove(&line_addr) {
                     self.scoreboard.release(&regs);
+                    if let Some(reg) = self.corrupt_fill.take() {
+                        // Armed fault: deliver the fill into the wrong
+                        // register (see `inject_fill_corruption`).
+                        let bad = self.hart.x(reg) ^ 0xDEAD_BEEF;
+                        self.hart.set_x(reg, bad);
+                    }
                 }
                 // Wake only when the blocked instruction's registers are
                 // actually clear — spurious wake/re-stall churn dominates
                 // many-core memory-bound simulations otherwise.
                 if self.state == CoreState::StalledDep
-                    && !self
-                        .scoreboard
-                        .blocks(&self.blocked_regs, &RegSet::new())
+                    && !self.scoreboard.blocks(&self.blocked_regs, &RegSet::new())
                 {
                     self.stats.dep_stall_cycles += cycle.saturating_sub(self.stall_started);
                     self.state = CoreState::Active;
@@ -593,10 +665,7 @@ mod tests {
         }
         // The addi stalled; hart value is already correct functionally.
         let load_line = load_line.expect("ld missed");
-        assert!(core
-            .hart()
-            .x(coyote_isa::XReg::parse("t1").unwrap())
-            .eq(&7));
+        assert!(core.hart().x(coyote_isa::XReg::parse("t1").unwrap()).eq(&7));
         // Completing the data fill wakes the core.
         assert!(core.complete_fill(load_line, MissKind::Load, cycle + 10));
         assert_eq!(core.state(), CoreState::Active);
@@ -652,8 +721,7 @@ mod tests {
         let mut misses = Vec::new();
         let mut data_requests = 0;
         let mut cycle = 0;
-        while !matches!(core.state(), CoreState::Halted(_))
-            && core.state() != CoreState::StalledDep
+        while !matches!(core.state(), CoreState::Halted(_)) && core.state() != CoreState::StalledDep
         {
             cycle += 1;
             if core.state() == CoreState::Active {

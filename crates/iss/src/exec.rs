@@ -33,6 +33,11 @@ pub struct MemAccess {
     pub size: u8,
     /// `true` for stores (and the store half of atomics).
     pub write: bool,
+    /// `true` for read-modify-write accesses (writing atomics): the
+    /// destination register carries the pre-store memory value, so it
+    /// depends on the line fill exactly like a load even though the
+    /// access also writes.
+    pub rmw: bool,
 }
 
 /// Destination register written by an instruction, for scoreboarding.
@@ -270,7 +275,12 @@ pub fn uses(inst: &Inst, hart: &Hart) -> RegSet {
             }
         }
         Inst::VMulOp {
-            op, vd, vs2, src, vm, ..
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+            ..
         } => {
             set.add_v_group(vs2, g);
             match src {
@@ -285,7 +295,12 @@ pub fn uses(inst: &Inst, hart: &Hart) -> RegSet {
             }
         }
         Inst::VFpOp {
-            op, vd, vs2, src, vm, ..
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+            ..
         } => {
             set.add_v_group(vs2, g);
             match src {
@@ -637,6 +652,7 @@ pub fn execute(
                 addr,
                 size: width.bytes() as u8,
                 write: false,
+                rmw: false,
             });
             fx.dest = Some(Dest::X(rd));
         }
@@ -652,6 +668,7 @@ pub fn execute(
                 addr,
                 size: width.bytes() as u8,
                 write: true,
+                rmw: false,
             });
         }
         Inst::OpImm { op, rd, rs1, imm } => {
@@ -718,8 +735,16 @@ pub fn execute(
                 AmoOp::Xor => Some(old ^ src),
                 AmoOp::And => Some(old & src),
                 AmoOp::Or => Some(old | src),
-                AmoOp::Min => Some(if (old as i64) <= (src as i64) { old } else { src }),
-                AmoOp::Max => Some(if (old as i64) >= (src as i64) { old } else { src }),
+                AmoOp::Min => Some(if (old as i64) <= (src as i64) {
+                    old
+                } else {
+                    src
+                }),
+                AmoOp::Max => Some(if (old as i64) >= (src as i64) {
+                    old
+                } else {
+                    src
+                }),
                 AmoOp::Minu => Some(old.min(src)),
                 AmoOp::Maxu => Some(old.max(src)),
             };
@@ -734,6 +759,7 @@ pub fn execute(
                 addr,
                 size: width.bytes() as u8,
                 write: is_write,
+                rmw: is_write,
             });
             fx.dest = Some(Dest::X(rd));
         }
@@ -744,6 +770,7 @@ pub fn execute(
                 addr,
                 size: 8,
                 write: false,
+                rmw: false,
             });
             fx.dest = Some(Dest::F(rd));
         }
@@ -754,6 +781,7 @@ pub fn execute(
                 addr,
                 size: 8,
                 write: true,
+                rmw: false,
             });
         }
         Inst::FpOp { op, rd, rs1, rs2 } => {
@@ -765,9 +793,7 @@ pub fn execute(
                 FpOp::Div => a / b,
                 FpOp::Sgnj => a.copysign(b),
                 FpOp::Sgnjn => a.copysign(-b),
-                FpOp::Sgnjx => {
-                    f64::from_bits(a.to_bits() ^ (b.to_bits() & (1 << 63)))
-                }
+                FpOp::Sgnjx => f64::from_bits(a.to_bits() ^ (b.to_bits() & (1 << 63))),
                 FpOp::Min => a.min(b),
                 FpOp::Max => a.max(b),
             };
@@ -901,6 +927,7 @@ pub fn execute(
                     addr,
                     size: bytes as u8,
                     write: false,
+                    rmw: false,
                 });
             }
             fx.dest = Some(Dest::V(vd, vmem_group_len(hart, eew)));
@@ -925,6 +952,7 @@ pub fn execute(
                     addr,
                     size: bytes as u8,
                     write: true,
+                    rmw: false,
                 });
             }
         }

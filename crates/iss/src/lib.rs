@@ -61,7 +61,10 @@ pub mod hart;
 pub mod mem;
 pub mod scoreboard;
 
-pub use crate::core::{Core, CoreConfig, CoreState, CoreStats, DecodedText, MissKind, MissRequest, SimError, StepEvent};
+pub use crate::core::{
+    Core, CoreConfig, CoreSnapshot, CoreState, CoreStats, DecodedText, MissKind, MissRequest,
+    SimError, StepEvent,
+};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use exec::{Dest, Ecall, Effects, ExecError, MemAccess, RegSet};
 pub use hart::{Hart, DEFAULT_VLEN_BITS};

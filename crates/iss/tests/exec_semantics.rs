@@ -111,10 +111,7 @@ fn fp_arithmetic_matches_host() {
 
 #[test]
 fn fp_compare_and_convert() {
-    assert_eq!(
-        compute("li t0, 7\n fcvt.d.l fa0, t0\n fcvt.l.d a0, fa0"),
-        7
-    );
+    assert_eq!(compute("li t0, 7\n fcvt.d.l fa0, t0\n fcvt.l.d a0, fa0"), 7);
     // Conversion truncates toward zero.
     let src = "
         .data
@@ -134,7 +131,10 @@ fn csr_mhartid_and_counters() {
     // Hart 0 → mhartid reads 0.
     assert_eq!(compute("csrr a0, mhartid"), 0);
     // instret grows monotonically.
-    assert_eq!(compute("csrr t0, instret\n csrr t1, instret\n sub a0, t1, t0"), 1);
+    assert_eq!(
+        compute("csrr t0, instret\n csrr t1, instret\n sub a0, t1, t0"),
+        1
+    );
 }
 
 #[test]
@@ -274,7 +274,10 @@ fn vector_fp_dot_product_via_macc_and_reduction() {
             ecall";
     let (_, mem) = run(src);
     let out = mem.read_f64(0x8100_0000 + 64);
-    assert_eq!(out, 1.0f64.mul_add(0.5, 2.0f64.mul_add(0.25, 3.0f64.mul_add(2.0, 4.0 * 1.5))) - 0.0);
+    assert_eq!(
+        out,
+        1.0f64.mul_add(0.5, 2.0f64.mul_add(0.25, 3.0f64.mul_add(2.0, 4.0 * 1.5))) - 0.0
+    );
 }
 
 #[test]

@@ -106,7 +106,9 @@ impl CsrMatrix {
         row_ptr.push(0);
         let per_row = ((cols as f64 * density).round() as usize).max(1);
         for _ in 0..rows {
-            let nnz = rng.gen_range((per_row / 2).max(1)..=per_row.max(1) * 2).min(cols);
+            let nnz = rng
+                .gen_range((per_row / 2).max(1)..=per_row.max(1) * 2)
+                .min(cols);
             let mut cols_of_row: Vec<u64> = Vec::with_capacity(nnz);
             while cols_of_row.len() < nnz {
                 let c = rng.gen_range(0..cols as u64);
@@ -202,9 +204,10 @@ pub fn stencil_step(grid: &[f64], n: usize, m: usize, c0: f64, c1: f64) -> Vec<f
     for i in 1..n.saturating_sub(1) {
         for j in 1..m.saturating_sub(1) {
             let center = grid[i * m + j];
-            let sum =
-                grid[(i - 1) * m + j] + grid[(i + 1) * m + j] + grid[i * m + j - 1]
-                    + grid[i * m + j + 1];
+            let sum = grid[(i - 1) * m + j]
+                + grid[(i + 1) * m + j]
+                + grid[i * m + j - 1]
+                + grid[i * m + j + 1];
             out[i * m + j] = c1.mul_add(sum, c0 * center);
         }
     }

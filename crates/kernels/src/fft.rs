@@ -70,7 +70,10 @@ impl FftRadix2 {
     /// Panics unless `n` is a power of two ≥ 4.
     #[must_use]
     pub fn new(n: usize, seed: u64) -> FftRadix2 {
-        assert!(n >= 4 && n.is_power_of_two(), "n must be a power of two >= 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "n must be a power of two >= 4"
+        );
         FftRadix2 {
             n,
             re: random_vector(n, seed),

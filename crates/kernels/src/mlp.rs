@@ -207,11 +207,7 @@ impl Workload for MlpInference {
     }
 
     fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
-        let z = read_f64_slice(
-            mem,
-            program.symbol("z").expect("z"),
-            self.d_out,
-        );
+        let z = read_f64_slice(mem, program.symbol("z").expect("z"), self.d_out);
         verify_f64_slice(&z, &self.oracle())
     }
 }

@@ -35,18 +35,26 @@ impl SpmvData {
     }
 
     fn populate_csr(&self, program: &Program, mem: &mut SparseMemory) {
-        write_u64_slice(mem, program.symbol("row_ptr").expect("row_ptr"), &self.matrix.row_ptr);
-        write_u64_slice(mem, program.symbol("col_idx").expect("col_idx"), &self.matrix.col_idx);
-        write_f64_slice(mem, program.symbol("vals").expect("vals"), &self.matrix.values);
+        write_u64_slice(
+            mem,
+            program.symbol("row_ptr").expect("row_ptr"),
+            &self.matrix.row_ptr,
+        );
+        write_u64_slice(
+            mem,
+            program.symbol("col_idx").expect("col_idx"),
+            &self.matrix.col_idx,
+        );
+        write_f64_slice(
+            mem,
+            program.symbol("vals").expect("vals"),
+            &self.matrix.values,
+        );
         write_f64_slice(mem, program.symbol("x").expect("x"), &self.x);
     }
 
     fn verify(&self, program: &Program, mem: &SparseMemory) -> Result<(), VerifyError> {
-        let y = read_f64_slice(
-            mem,
-            program.symbol("y").expect("y"),
-            self.matrix.rows,
-        );
+        let y = read_f64_slice(mem, program.symbol("y").expect("y"), self.matrix.rows);
         verify_f64_slice(&y, &self.matrix.spmv(&self.x))
     }
 
@@ -361,8 +369,16 @@ impl Workload for SpmvVectorEll {
     }
 
     fn populate(&self, program: &Program, mem: &mut SparseMemory) {
-        write_u64_slice(mem, program.symbol("ell_cols").expect("ell_cols"), &self.ell_cols);
-        write_f64_slice(mem, program.symbol("ell_vals").expect("ell_vals"), &self.ell_vals);
+        write_u64_slice(
+            mem,
+            program.symbol("ell_cols").expect("ell_cols"),
+            &self.ell_cols,
+        );
+        write_f64_slice(
+            mem,
+            program.symbol("ell_vals").expect("ell_vals"),
+            &self.ell_vals,
+        );
         write_f64_slice(mem, program.symbol("x").expect("x"), &self.data.x);
     }
 

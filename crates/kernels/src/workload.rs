@@ -59,7 +59,9 @@ pub fn verify_f64_slice(got: &[f64], expected: &[f64]) -> Result<(), VerifyError
 /// Reads `len` consecutive `f64`s from simulated memory.
 #[must_use]
 pub fn read_f64_slice(mem: &SparseMemory, addr: u64, len: usize) -> Vec<f64> {
-    (0..len as u64).map(|i| mem.read_f64(addr + i * 8)).collect()
+    (0..len as u64)
+        .map(|i| mem.read_f64(addr + i * 8))
+        .collect()
 }
 
 /// Writes a slice of `f64` into simulated memory.

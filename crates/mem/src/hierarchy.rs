@@ -276,8 +276,7 @@ impl Hierarchy {
             }
             L2Sharing::Private => {
                 let banks = self.config.banks_per_tile as u64;
-                let (local_bank, local) =
-                    self.config.mapping.map(req.line_addr, line_bytes, banks);
+                let (local_bank, local) = self.config.mapping.map(req.line_addr, line_bytes, banks);
                 (req.tile * self.config.banks_per_tile + local_bank, local)
             }
         }
@@ -360,16 +359,14 @@ impl Hierarchy {
         if state.is_prefetch {
             // Prefetches are best-effort: drop if the line is resident,
             // already being fetched, or no MSHR is free.
-            let resident =
-                self.banks[state.bank].probe_quiet(state.req.line_addr, state.local_idx);
+            let resident = self.banks[state.bank].probe_quiet(state.req.line_addr, state.local_idx);
             let in_flight = self.bank_pending[state.bank].contains_key(&state.req.line_addr);
             if resident || in_flight || !self.banks[state.bank].mshr_available() {
                 self.states.remove(&id);
                 return;
             }
             self.banks[state.bank].mshr_acquire();
-            self.bank_pending[state.bank]
-                .insert(state.req.line_addr, Vec::new());
+            self.bank_pending[state.bank].insert(state.req.line_addr, Vec::new());
             self.events
                 .schedule(now + self.config.l2.miss_latency, Ev::McSend(id));
             return;
@@ -399,20 +396,16 @@ impl Hierarchy {
                     }
                     if self.banks[state.bank].mshr_available() {
                         self.banks[state.bank].mshr_acquire();
-                        self.bank_pending[state.bank]
-                            .insert(state.req.line_addr, vec![id]);
-                        self.events.schedule(
-                            lookup_done + self.config.l2.miss_latency,
-                            Ev::McSend(id),
-                        );
+                        self.bank_pending[state.bank].insert(state.req.line_addr, vec![id]);
+                        self.events
+                            .schedule(lookup_done + self.config.l2.miss_latency, Ev::McSend(id));
                     } else {
                         self.banks[state.bank].enqueue_waiting(id);
                     }
                     self.issue_prefetches(now, &state);
                 } else {
                     // Writeback missing in L2: forward to memory.
-                    self.events
-                        .schedule(lookup_done, Ev::McSend(id));
+                    self.events.schedule(lookup_done, Ev::McSend(id));
                 }
             }
         }

@@ -210,7 +210,13 @@ impl L2Bank {
     /// Installs `line_addr` after a fill returns from memory; returns
     /// the dirty victim's address if one must be written back.
     /// `prefetched` marks speculative installs for usefulness tracking.
-    pub fn fill(&mut self, line_addr: u64, local_idx: u64, dirty: bool, prefetched: bool) -> Option<u64> {
+    pub fn fill(
+        &mut self,
+        line_addr: u64,
+        local_idx: u64,
+        dirty: bool,
+        prefetched: bool,
+    ) -> Option<u64> {
         self.counter += 1;
         if prefetched {
             self.stats.prefetch_fills += 1;
@@ -341,7 +347,7 @@ mod tests {
         b.fill(0x0001_0000, 0, true, false);
         b.fill(0x0002_0000, 1, false, false); // different set, no conflict
         b.fill(0x0003_0000, 64, false, false); // set 0: second way
-        // Third line in set 0 evicts the dirty first line.
+                                               // Third line in set 0 evicts the dirty first line.
         let wb = b.fill(0x0004_0000, 128, false, false); // set 0 again
         assert_eq!(wb, Some(0x0001_0000));
         assert_eq!(b.stats().writebacks, 1);

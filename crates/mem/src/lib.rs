@@ -53,9 +53,7 @@ pub mod mc;
 pub mod noc;
 
 pub use event::EventQueue;
-pub use hierarchy::{
-    Completion, Hierarchy, HierarchyConfig, HierarchyStats, L2Sharing, Request,
-};
+pub use hierarchy::{Completion, Hierarchy, HierarchyConfig, HierarchyStats, L2Sharing, Request};
 pub use l2::{BankStats, L2Bank, L2Config};
 pub use mapping::MappingPolicy;
 pub use mc::{McConfig, McStats, MemoryController};

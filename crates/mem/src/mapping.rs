@@ -45,8 +45,7 @@ impl MappingPolicy {
                 let lines_per_page = page_bytes / line_bytes;
                 let page = line_addr / page_bytes;
                 let bank = page % banks;
-                let local =
-                    (page / banks) * lines_per_page + (line_addr % page_bytes) / line_bytes;
+                let local = (page / banks) * lines_per_page + (line_addr % page_bytes) / line_bytes;
                 (bank as usize, local)
             }
             MappingPolicy::SetInterleave => {
@@ -85,7 +84,11 @@ mod tests {
         let p = MappingPolicy::page_to_bank();
         let (bank0, _) = p.map(0, 64, 4);
         for line in (0..4096).step_by(64) {
-            assert_eq!(p.map(line, 64, 4).0, bank0, "line {line} left its page's bank");
+            assert_eq!(
+                p.map(line, 64, 4).0,
+                bank0,
+                "line {line} left its page's bank"
+            );
         }
         // Next page moves to the next bank.
         assert_eq!(p.map(4096, 64, 4).0, (bank0 + 1) % 4);

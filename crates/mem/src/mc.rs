@@ -85,7 +85,10 @@ impl McConfig {
             return Err("cycles_per_line must be at least 1".to_owned());
         }
         if self.row_bytes != 0 && !self.row_bytes.is_power_of_two() {
-            return Err(format!("row size {} must be a power of two", self.row_bytes));
+            return Err(format!(
+                "row size {} must be a power of two",
+                self.row_bytes
+            ));
         }
         if self.interleave_bytes != 0 && !self.interleave_bytes.is_power_of_two() {
             return Err(format!(
@@ -269,9 +272,8 @@ mod tests {
 
     #[test]
     fn mc_interleaving_covers_all_controllers() {
-        let hits: std::collections::BTreeSet<usize> = (0..16u64)
-            .map(|i| mc_for_line(i * 64, 64, 4))
-            .collect();
+        let hits: std::collections::BTreeSet<usize> =
+            (0..16u64).map(|i| mc_for_line(i * 64, 64, 4)).collect();
         assert_eq!(hits.len(), 4);
     }
 

@@ -19,9 +19,9 @@ struct Workload {
 
 fn config_strategy() -> impl Strategy<Value = HierarchyConfig> {
     (
-        1usize..4,                       // tiles
-        1usize..4,                       // banks per tile
-        prop_oneof![Just(1u64), Just(2), Just(4)], // ways
+        1usize..4,                                    // tiles
+        1usize..4,                                    // banks per tile
+        prop_oneof![Just(1u64), Just(2), Just(4)],    // ways
         prop_oneof![Just(4usize), Just(1), Just(64)], // mshrs
         prop_oneof![
             Just(MappingPolicy::SetInterleave),
@@ -44,28 +44,30 @@ fn config_strategy() -> impl Strategy<Value = HierarchyConfig> {
         0usize..4, // prefetch degree
     )
         .prop_map(
-            |(tiles, banks_per_tile, ways, mshrs, mapping, sharing, noc, mcs, prefetch)| HierarchyConfig {
-                tiles,
-                banks_per_tile,
-                l2: L2Config {
-                    bank_size_bytes: 16 * 1024 * ways / ways * ways, // keep divisible
-                    ways,
-                    line_bytes: 64,
-                    mshrs,
-                    hit_latency: 10,
-                    miss_latency: 4,
-                },
-                sharing,
-                mapping,
-                noc,
-                mc: McConfig {
-                    count: mcs,
-                    channels_per_mc: 2,
-                    access_latency: 50,
-                    cycles_per_line: 4,
-                    ..McConfig::default()
-                },
-                prefetch_degree: prefetch,
+            |(tiles, banks_per_tile, ways, mshrs, mapping, sharing, noc, mcs, prefetch)| {
+                HierarchyConfig {
+                    tiles,
+                    banks_per_tile,
+                    l2: L2Config {
+                        bank_size_bytes: 16 * 1024 * ways / ways * ways, // keep divisible
+                        ways,
+                        line_bytes: 64,
+                        mshrs,
+                        hit_latency: 10,
+                        miss_latency: 4,
+                    },
+                    sharing,
+                    mapping,
+                    noc,
+                    mc: McConfig {
+                        count: mcs,
+                        channels_per_mc: 2,
+                        access_latency: 50,
+                        cycles_per_line: 4,
+                        ..McConfig::default()
+                    },
+                    prefetch_degree: prefetch,
+                }
             },
         )
         .prop_filter("valid config", |c| c.validate().is_ok())
@@ -74,10 +76,7 @@ fn config_strategy() -> impl Strategy<Value = HierarchyConfig> {
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     (
         config_strategy(),
-        prop::collection::vec(
-            (0u64..3, 0u64..512, 0usize..4, prop::bool::ANY),
-            1..200,
-        ),
+        prop::collection::vec((0u64..3, 0u64..512, 0usize..4, prop::bool::ANY), 1..200),
     )
         .prop_map(|(config, requests)| Workload { config, requests })
 }

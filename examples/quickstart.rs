@@ -56,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Gather the per-hart partial sums.
     let partial = program.symbol("partial").expect("partial symbol");
-    let total: u64 = (0..8)
-        .map(|h| sim.memory().read_u64(partial + h * 8))
-        .sum();
+    let total: u64 = (0..8).map(|h| sim.memory().read_u64(partial + h * 8)).sum();
     println!("sum(1..=256) computed on 8 simulated cores = {total}");
     assert_eq!(total, 256 * 257 / 2);
     Ok(())

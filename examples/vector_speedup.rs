@@ -10,7 +10,10 @@ use coyote::SimConfig;
 use coyote_kernels::workload::{run_workload, Workload};
 use coyote_kernels::{MatmulScalar, MatmulVector, SpmvScalar, SpmvVectorCsr};
 
-fn measure(workload: &dyn Workload, cores: usize) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+fn measure(
+    workload: &dyn Workload,
+    cores: usize,
+) -> Result<(u64, u64), Box<dyn std::error::Error>> {
     let config = SimConfig::builder().cores(cores).build()?;
     let (report, _) = run_workload(workload, config)?;
     Ok((report.total_retired(), report.cycles))
@@ -37,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let (si, sc) = measure(scalar, cores)?;
         let (vi, vc) = measure(vector, cores)?;
-        println!(
-            "{name:<14} {si:>14} {sc:>14} {:>10} {:>10}",
-            "", ""
-        );
+        println!("{name:<14} {si:>14} {sc:>14} {:>10} {:>10}", "", "");
         println!(
             "{:<14} {vi:>14} {vc:>14} {:>9.1}x {:>9.2}x",
             "  (vector)",

@@ -52,9 +52,9 @@ fn check_invariants(report: &Report) {
 #[test]
 fn every_kernel_verifies_on_every_topology() {
     let topologies = [
-        (1usize, 8usize),  // single core
-        (4, 2),            // 2 tiles of 2
-        (8, 8),            // one full VAS-like tile
+        (1usize, 8usize), // single core
+        (4, 2),           // 2 tiles of 2
+        (8, 8),           // one full VAS-like tile
     ];
     for kernel in all_kernels() {
         for &(cores, per_tile) in &topologies {
@@ -235,8 +235,7 @@ fn raw_simulation_api_reads_results() {
     .unwrap();
     let config = SimConfig::builder().cores(1).build().unwrap();
     let mut sim = Simulation::new(config, &program).unwrap();
-    sim.memory_mut()
-        .write_u64(program.symbol("x").unwrap(), 21);
+    sim.memory_mut().write_u64(program.symbol("x").unwrap(), 21);
     let report = sim.run().unwrap();
     assert_eq!(report.exit_codes(), Some(vec![0]));
     assert_eq!(sim.memory().read_u64(program.symbol("y").unwrap()), 42);

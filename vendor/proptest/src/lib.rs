@@ -1,0 +1,391 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! This workspace builds in containers with no crates.io access, so the
+//! property-testing surface the test suites actually use is
+//! reimplemented here: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`prop_filter`/`boxed`, integer-range and
+//! tuple strategies, [`Just`], `any::<T>()`, `prop::collection::vec`,
+//! `prop::bool::ANY`, a printable-string strategy for `&str` patterns,
+//! and the `proptest!`/`prop_oneof!`/`prop_compose!`/`prop_assert*!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** On failure the full generated input is printed
+//!   with its seed; the seed is appended to the sibling
+//!   `*.proptest-regressions` file so the exact case replays first on
+//!   every subsequent run.
+//! * **Deterministic scheduling.** Case seeds are derived from the test
+//!   name and case index, so runs are reproducible without an
+//!   environment variable. Seeds stored in a regression file (including
+//!   files written by upstream proptest) are folded into a 64-bit seed
+//!   and replayed before the fresh cases.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical fuzzing strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws an unconstrained value of `Self`.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy yielding unconstrained values of `T` (edge-biased for
+    /// integers: boundary values appear more often than uniform draws
+    /// would give them).
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    // 1-in-8 draws yield a boundary value.
+                    if rng.below(8) == 0 {
+                        const EDGES: [i128; 5] = [0, 1, -1, 2, 7];
+                        match rng.below(EDGES.len() as u64 + 2) {
+                            0 => <$t>::MIN,
+                            1 => <$t>::MAX,
+                            n => EDGES[(n - 2) as usize] as $t,
+                        }
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_with(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> f64 {
+            if rng.below(8) == 0 {
+                [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                ][rng.below(7) as usize]
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted element-count specifications for [`vec`]: an exact
+    /// count, a half-open range, or an inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniform boolean strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `prop::` namespace re-exported by the prelude.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, prop_oneof, proptest};
+}
+
+/// Boxes each arm and picks one uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+/// Supports the `fn name(args)(binding in strategy, ...) -> T { .. }`
+/// form used by this workspace.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)
+     ($($binding:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            use $crate::strategy::Strategy as _;
+            ($($strat,)+).prop_map(move |($($binding,)+)| $body)
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                "assumption failed".into(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` body
+/// runs once per case with freshly generated inputs; bodies may
+/// `return Ok(())` early and use `prop_assert*!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            let strat = ($($strat,)+);
+            $crate::test_runner::run_proptest(
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+                &config,
+                &strat,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::<(), $crate::test_runner::TestCaseError>::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat =
+            (0u8..32, -16i8..=15, any::<bool>()).prop_map(|(a, b, c)| (a as i32 + b as i32, c));
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            let (v, _) = strat.generate(&mut rng);
+            assert!((-16..47).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), 2u8..4];
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn vec_respects_size_spec() {
+        let exact = prop::collection::vec(0u64..10, 7usize);
+        let ranged = prop::collection::vec(prop::bool::ANY, 1..5);
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            assert_eq!(exact.generate(&mut rng).len(), 7);
+            let len = ranged.generate(&mut rng).len();
+            assert!((1..5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_intermediate_value() {
+        let strat = (1usize..5)
+            .prop_flat_map(|n| prop::collection::vec(0u32..100, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_pattern_honours_count_suffix() {
+        let strat: &'static str = "\\PC{0,40}";
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    prop_compose! {
+        fn doubled()(raw in -100i32..=100) -> i32 { raw * 2 }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn the_macro_machinery_works(
+            v in prop::collection::vec(doubled(), 0..8),
+            flag in any::<bool>(),
+        ) {
+            if flag && v.is_empty() {
+                return Ok(());
+            }
+            for x in &v {
+                prop_assert_eq!(x % 2, 0, "doubled values are even, got {}", x);
+            }
+        }
+    }
+}

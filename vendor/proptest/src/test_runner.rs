@@ -1,0 +1,275 @@
+//! Deterministic case scheduling, failure persistence, and the RNG.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::io::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Runner knobs; only `cases` is meaningful in this vendored subset.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of fresh cases generated per property (stored regression
+    /// seeds replay in addition to these).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` fresh cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Non-panic outcomes a property body can signal.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The input should not count as a case (e.g. `prop_assume!`).
+    Reject(String),
+    /// The property failed for this input.
+    Fail(String),
+}
+
+/// xoshiro256** seeded via SplitMix64; deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)` (Lemire multiply-shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Where failing seeds for one source file are stored: a sibling of the
+/// test source with the `.proptest-regressions` extension (the same
+/// layout upstream proptest's source-sibling persistence uses, so
+/// files recorded by upstream replay here).
+struct RegressionFile {
+    path: PathBuf,
+}
+
+impl RegressionFile {
+    /// `file` is the `file!()` of the test, which rustc records
+    /// relative to the directory cargo invoked it from (the workspace
+    /// root), while the test binary's working directory is the
+    /// *package* root. Try the path as given and with leading
+    /// components stripped, in the cwd and its ancestors.
+    fn locate(file: &str) -> RegressionFile {
+        let given = Path::new(file);
+        let mut sources = vec![given.to_path_buf()];
+        let mut stripped = given;
+        while let Ok(rest) = stripped.strip_prefix(
+            stripped
+                .components()
+                .next()
+                .map_or_else(PathBuf::new, |c| PathBuf::from(c.as_os_str())),
+        ) {
+            if rest.as_os_str().is_empty() {
+                break;
+            }
+            sources.push(rest.to_path_buf());
+            stripped = rest;
+        }
+        for up in 0..4 {
+            for source in &sources {
+                let mut candidate = PathBuf::new();
+                for _ in 0..up {
+                    candidate.push("..");
+                }
+                candidate.push(source);
+                if candidate.is_file() {
+                    return RegressionFile {
+                        path: candidate.with_extension("proptest-regressions"),
+                    };
+                }
+            }
+        }
+        RegressionFile {
+            path: given.with_extension("proptest-regressions"),
+        }
+    }
+
+    /// Seeds recorded by earlier failing runs. Each `cc <hex>` line's
+    /// leading 16 hex digits fold into the replay seed; upstream's
+    /// 256-bit blobs thus still map to one deterministic case.
+    fn stored_seeds(&self) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let hex = line.trim().strip_prefix("cc ")?;
+                let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+                if digits.len() < 16 {
+                    return None;
+                }
+                u64::from_str_radix(&digits[..16], 16).ok()
+            })
+            .collect()
+    }
+
+    /// Best-effort append of a failing seed with its input for humans.
+    fn persist(&self, seed: u64, repr: &str) {
+        let mut tail = seed;
+        let mut line = format!("cc {seed:016x}");
+        for _ in 0..3 {
+            line.push_str(&format!("{:016x}", splitmix64(&mut tail)));
+        }
+        // Upstream writes the shrunk input after '#'; we record the
+        // full generated input (no shrinking here).
+        let one_line = repr.replace('\n', " ");
+        line.push_str(&format!(" # shrinks to {one_line}\n"));
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+}
+
+/// Drives one property: replays stored regression seeds, then runs
+/// `config.cases` fresh deterministic cases. Called by the `proptest!`
+/// macro expansion; not part of the public upstream API.
+pub fn run_proptest<S, F>(name: &str, file: &str, config: &ProptestConfig, strat: &S, run: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let regression = RegressionFile::locate(file);
+    let mut schedule: Vec<(bool, u64)> = regression
+        .stored_seeds()
+        .into_iter()
+        .map(|seed| (true, seed))
+        .collect();
+    let mut base = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        base = (base ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    schedule.extend((0..config.cases).map(|case| {
+        let mut sm = base ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (false, splitmix64(&mut sm))
+    }));
+
+    for (stored, seed) in schedule {
+        let mut rng = TestRng::from_seed(seed);
+        let value = strat.generate(&mut rng);
+        let repr = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(value)));
+        let provenance = if stored {
+            "stored regression seed"
+        } else {
+            "fresh case"
+        };
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(message))) => {
+                if !stored {
+                    regression.persist(seed, &repr);
+                }
+                panic!(
+                    "proptest {name}: case failed ({provenance}, seed {seed:#018x}): \
+                     {message}\ninput: {repr}"
+                );
+            }
+            Err(panic) => {
+                if !stored {
+                    regression.persist(seed, &repr);
+                }
+                eprintln!(
+                    "proptest {name}: case panicked ({provenance}, seed {seed:#018x})\n\
+                     input: {repr}"
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_suffix_seed_roundtrip() {
+        // The checked-in regression format folds to a stable seed.
+        let dir = std::env::temp_dir().join("proptest-stub-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc cf3970eb7a4069de83990854312fa9d18302d0a8b563e801a026b0f63c2f58ce # shrinks to x\n",
+        )
+        .unwrap();
+        let file = RegressionFile { path: path.clone() };
+        assert_eq!(file.stored_seeds(), vec![0xcf3970eb7a4069de]);
+        file.persist(0x1234, "Input { a: 1 }");
+        let seeds = file.stored_seeds();
+        assert_eq!(seeds, vec![0xcf3970eb7a4069de, 0x1234]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.below(17), b.below(17));
+        }
+    }
+}
