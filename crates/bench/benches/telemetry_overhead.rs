@@ -1,0 +1,56 @@
+//! Telemetry overhead A/B bench: the same kernel simulated with the
+//! telemetry layer disabled (the default) and enabled (histograms +
+//! epoch time series). Disabled must sit in the noise of the baseline;
+//! enabled is documented to cost under 15% (DESIGN.md, "Telemetry").
+//! Chrome slice capture is benched separately since it retains
+//! per-request data.
+
+use coyote::SimConfig;
+use coyote_kernels::workload::run_workload;
+use coyote_kernels::MatmulScalar;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    let workload = MatmulScalar::new(24, 2016);
+
+    let disabled = SimConfig::builder()
+        .cores(8)
+        .cores_per_tile(8)
+        .build()
+        .expect("valid config");
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_workload(&workload, disabled).expect("runs"));
+    });
+
+    let enabled = SimConfig::builder()
+        .cores(8)
+        .cores_per_tile(8)
+        .telemetry(true)
+        .metrics_interval(1000)
+        .build()
+        .expect("valid config");
+    group.bench_function("enabled", |b| {
+        b.iter(|| run_workload(&workload, enabled).expect("runs"));
+    });
+
+    let chrome = SimConfig::builder()
+        .cores(8)
+        .cores_per_tile(8)
+        .telemetry(true)
+        .metrics_interval(1000)
+        .chrome_trace(true)
+        .build()
+        .expect("valid config");
+    group.bench_function("enabled_with_chrome_slices", |b| {
+        b.iter(|| run_workload(&workload, chrome).expect("runs"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `fig3`, `interleave`, `l2share`, `mapping`, `l2sweep`,
-//! `noc`, `kernels`, `oracle`, `vector`, `trace`.
+//! `noc`, `kernels`, `oracle`, `vector`, `trace`, `telemetry`.
 
 use std::process::ExitCode;
 
@@ -37,6 +37,15 @@ fn print_experiment(name: &str, scale: Scale) -> bool {
             println!("trace written to target/stencil_trace.prv (+ .pcf)");
             t
         }
+        "telemetry" => {
+            let path = std::path::Path::new("target/stencil_metrics");
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let t = experiments::telemetry_demo(scale, Some(path));
+            println!("metrics written to target/stencil_metrics.json (+ .csv, .trace.json)");
+            t
+        }
         other => {
             eprintln!("unknown experiment `{other}`");
             return false;
@@ -46,7 +55,7 @@ fn print_experiment(name: &str, scale: Scale) -> bool {
     true
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig3",
     "fig3weak",
     "interleave",
@@ -60,6 +69,7 @@ const ALL: [&str; 13] = [
     "prefetch",
     "rowbuffer",
     "trace",
+    "telemetry",
 ];
 
 fn main() -> ExitCode {

@@ -550,6 +550,53 @@ pub fn trace_demo(scale: Scale, path: Option<&std::path::Path>) -> Table {
     t
 }
 
+/// Telemetry demo: the stencil kernel with the telemetry layer on,
+/// exporting the `schema_version`ed metrics JSON, the per-epoch CSV,
+/// and a Perfetto-loadable Chrome trace next to `path` (when given).
+/// The table shows the request-lifecycle latency percentiles the
+/// histograms were built for.
+#[must_use]
+pub fn telemetry_demo(scale: Scale, path: Option<&std::path::Path>) -> Table {
+    let g = match scale {
+        Scale::Quick => 18,
+        Scale::Paper => 66,
+    };
+    let workload = StencilVector::new(g, g, 2, 2015);
+    let config = base_builder(8)
+        .telemetry(true)
+        .metrics_interval(1000)
+        .chrome_trace(true)
+        .build()
+        .expect("valid config");
+    let (report, sim) = run(&workload, config);
+
+    if let Some(base) = path {
+        let doc = coyote::metrics_json(&sim, &report);
+        std::fs::write(base.with_extension("json"), doc.to_string_pretty())
+            .expect("write metrics .json");
+        std::fs::write(base.with_extension("csv"), coyote::metrics_csv(&sim))
+            .expect("write metrics .csv");
+        let trace = coyote::chrome_trace_json(&sim);
+        std::fs::write(base.with_extension("trace.json"), trace.to_string_pretty())
+            .expect("write chrome trace");
+    }
+
+    let telemetry = sim.mem_telemetry().expect("telemetry enabled");
+    let mut t = Table::new(["stage", "requests", "mean [cyc]", "p50", "p95", "p99"]);
+    for stage in coyote::Stage::ALL {
+        let h = telemetry.stage(stage);
+        t.push([
+            stage.name().to_owned(),
+            h.count().to_string(),
+            format!("{:.1}", h.mean()),
+            h.quantile(0.50).to_string(),
+            h.quantile(0.95).to_string(),
+            h.quantile(0.99).to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,5 +668,11 @@ mod tests {
     fn trace_demo_emits_events() {
         let t = trace_demo(Scale::Quick, None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_demo_reports_every_stage() {
+        let t = telemetry_demo(Scale::Quick, None);
+        assert_eq!(t.len(), coyote::Stage::ALL.len());
     }
 }

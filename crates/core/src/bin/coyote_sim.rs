@@ -14,6 +14,9 @@
 //!   --interleave N       instructions per core per cycle (default 1)
 //!   --max-cycles N       cycle budget (default 2e9)
 //!   --trace FILE         write a Paraver trace to FILE(.prv/.pcf)
+//!   --metrics-out FILE   write telemetry metrics to FILE(.json/.csv)
+//!   --metrics-interval N time-series epoch length in cycles (default 10000)
+//!   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
 //!   --oracle             co-simulate a functional reference machine and
 //!                        abort on the first architectural divergence
 //! ```
@@ -29,6 +32,8 @@ struct Options {
     source: String,
     config: SimConfig,
     trace_path: Option<String>,
+    metrics_path: Option<String>,
+    chrome_trace_path: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +41,8 @@ fn parse_args() -> Result<Options, String> {
     let mut source = None;
     let mut builder = SimConfig::builder().cores(1);
     let mut trace_path = None;
+    let mut metrics_path = None;
+    let mut chrome_trace_path = None;
     let mut mesh: Option<(usize, usize)> = None;
     let mut noc_latency: Option<u64> = None;
 
@@ -117,6 +124,21 @@ fn parse_args() -> Result<Options, String> {
                 trace_path = Some(value(&mut args, "--trace")?);
                 builder = builder.trace(true);
             }
+            "--metrics-out" => {
+                metrics_path = Some(value(&mut args, "--metrics-out")?);
+                builder = builder.telemetry(true);
+            }
+            "--metrics-interval" => {
+                builder = builder.metrics_interval(
+                    value(&mut args, "--metrics-interval")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-interval: {e}"))?,
+                );
+            }
+            "--chrome-trace" => {
+                chrome_trace_path = Some(value(&mut args, "--chrome-trace")?);
+                builder = builder.chrome_trace(true);
+            }
             "--oracle" => builder = builder.oracle(true),
             "--help" | "-h" => {
                 println!("usage: coyote-sim <program.s> [options]");
@@ -131,6 +153,11 @@ fn parse_args() -> Result<Options, String> {
                 println!("  --interleave N       instructions per core per cycle (default 1)");
                 println!("  --max-cycles N       cycle budget");
                 println!("  --trace FILE         write a Paraver trace to FILE(.prv/.pcf)");
+                println!("  --metrics-out FILE   write telemetry metrics to FILE(.json/.csv)");
+                println!(
+                    "  --metrics-interval N time-series epoch length in cycles (default 10000)"
+                );
+                println!("  --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto)");
                 println!("  --oracle             check against a functional reference machine");
                 std::process::exit(0);
             }
@@ -159,6 +186,8 @@ fn parse_args() -> Result<Options, String> {
         source: source.ok_or("no input file given (try --help)")?,
         config: builder.build().map_err(|e| e.to_string())?,
         trace_path,
+        metrics_path,
+        chrome_trace_path,
     })
 }
 
@@ -190,6 +219,26 @@ fn run(options: &Options) -> Result<i64, String> {
             .write_pcf(std::fs::File::create(&pcf).map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
         eprintln!("trace: {} (+ {})", prv.display(), pcf.display());
+    }
+
+    if let Some(path) = &options.metrics_path {
+        let base = std::path::Path::new(path);
+        let json = base.with_extension("json");
+        let csv = base.with_extension("csv");
+        std::fs::write(
+            &json,
+            coyote::metrics_json(&sim, &report).to_string_pretty(),
+        )
+        .map_err(|e| format!("{}: {e}", json.display()))?;
+        std::fs::write(&csv, coyote::metrics_csv(&sim))
+            .map_err(|e| format!("{}: {e}", csv.display()))?;
+        eprintln!("metrics: {} (+ {})", json.display(), csv.display());
+    }
+
+    if let Some(path) = &options.chrome_trace_path {
+        std::fs::write(path, coyote::chrome_trace_json(&sim).to_string_pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("chrome trace: {path}");
     }
 
     Ok(report

@@ -2,7 +2,7 @@
 //! without the Paraver GUI.
 //!
 //! ```text
-//! coyote-trace-stats trace.prv [--top N]
+//! coyote-trace-stats trace.prv [--top N] [--json]
 //! ```
 //!
 //! Prints per-core state breakdowns (running / dependency-stall /
@@ -10,19 +10,34 @@
 //! lines and the busiest 10%-of-runtime window — the first-order
 //! analyses the paper describes doing in Paraver ("identifying access
 //! patterns or analyzing how and when the L2 banks, NoC, or memory are
-//! stressed").
+//! stressed"). With `--json` the same summary is emitted as a JSON
+//! document (same writer as `coyote-sim --metrics-out`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use coyote::trace::{STATE_DEP_STALL, STATE_FETCH_STALL, STATE_RUNNING};
-use coyote::Trace;
+use coyote::{JsonValue, Trace, SCHEMA_VERSION};
 use coyote_iss::MissKind;
 
-fn run(path: &str, top: usize) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let trace = Trace::parse_prv(&text).map_err(|e| format!("{path}: {e}"))?;
+/// Per-core running / dep-stall / fetch-stall cycle totals.
+struct CoreBreakdown {
+    running: u64,
+    dep: u64,
+    fetch: u64,
+}
 
+struct Summary {
+    events: usize,
+    horizon: u64,
+    cores: Vec<CoreBreakdown>,
+    miss_mix: Vec<(&'static str, usize)>,
+    hottest: Vec<(u64, usize)>,
+    /// (start, end, miss count) of the busiest 10%-of-horizon window.
+    busiest: Option<(u64, u64, usize)>,
+}
+
+fn summarize(trace: &Trace, top: usize) -> Summary {
     let horizon = trace
         .events()
         .iter()
@@ -32,69 +47,64 @@ fn run(path: &str, top: usize) -> Result<(), String> {
         .unwrap_or(0)
         .max(1);
 
-    println!("trace: {} events over {} cycles", trace.len(), horizon);
-
-    // ---- per-core state breakdown ----
-    let cores = trace
+    // The header core count is authoritative: cores that never missed
+    // or stalled must still show up (as all-zero rows) rather than
+    // silently vanishing from the report. Record-derived indices are
+    // kept as a lower bound for traces from older writers.
+    let derived = trace
         .states()
         .iter()
         .map(|s| s.core)
         .chain(trace.events().iter().map(|e| e.core))
         .max()
         .map_or(0, |c| c + 1);
-    if !trace.states().is_empty() {
-        println!("\nper-core time breakdown:");
-        println!("  core  running%  dep-stall%  fetch-stall%");
-        for core in 0..cores {
-            let mut running = 0u64;
-            let mut dep = 0u64;
-            let mut fetch = 0u64;
+    let core_count = trace.cores().max(derived);
+
+    let cores = (0..core_count)
+        .map(|core| {
+            let mut breakdown = CoreBreakdown {
+                running: 0,
+                dep: 0,
+                fetch: 0,
+            };
             for interval in trace.states().iter().filter(|s| s.core == core) {
                 let span = interval.end - interval.start;
                 match interval.state {
-                    s if s == STATE_RUNNING => running += span,
-                    s if s == STATE_DEP_STALL => dep += span,
-                    s if s == STATE_FETCH_STALL => fetch += span,
+                    s if s == STATE_RUNNING => breakdown.running += span,
+                    s if s == STATE_DEP_STALL => breakdown.dep += span,
+                    s if s == STATE_FETCH_STALL => breakdown.fetch += span,
                     _ => {}
                 }
             }
-            let total = (running + dep + fetch).max(1) as f64;
-            println!(
-                "  {core:>4}  {:>7.1}%  {:>9.1}%  {:>11.1}%",
-                100.0 * running as f64 / total,
-                100.0 * dep as f64 / total,
-                100.0 * fetch as f64 / total,
-            );
-        }
-    }
+            breakdown
+        })
+        .collect();
 
-    // ---- miss mix ----
-    println!("\nmiss mix:");
-    for (kind, label) in [
-        (MissKind::Ifetch, "instruction fetch"),
-        (MissKind::Load, "data load"),
-        (MissKind::Store, "data store"),
+    let miss_mix = [
+        (MissKind::Ifetch, "instruction_fetch"),
+        (MissKind::Load, "data_load"),
+        (MissKind::Store, "data_store"),
         (MissKind::Writeback, "writeback"),
-    ] {
-        let count = trace.events().iter().filter(|e| e.kind == kind).count();
-        println!("  {label:<18} {count}");
-    }
+    ]
+    .into_iter()
+    .map(|(kind, label)| {
+        (
+            label,
+            trace.events().iter().filter(|e| e.kind == kind).count(),
+        )
+    })
+    .collect();
 
-    // ---- hottest lines ----
     let mut per_line: HashMap<u64, usize> = HashMap::new();
     for event in trace.events() {
         *per_line.entry(event.line_addr).or_default() += 1;
     }
     let mut hot: Vec<(u64, usize)> = per_line.into_iter().collect();
     hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    println!("\nhottest lines:");
-    for (addr, count) in hot.iter().take(top) {
-        println!("  {addr:#012x}  {count} misses");
-    }
+    hot.truncate(top);
 
-    // ---- busiest window (10% of the horizon) ----
     let window = (horizon / 10).max(1);
-    let mut best_start = 0u64;
+    let mut busiest = None;
     let mut best_count = 0usize;
     let mut cycles: Vec<u64> = trace.events().iter().map(|e| e.cycle).collect();
     cycles.sort_unstable();
@@ -105,17 +115,122 @@ fn run(path: &str, top: usize) -> Result<(), String> {
         }
         if hi - lo + 1 > best_count {
             best_count = hi - lo + 1;
-            best_start = cycles[lo];
+            busiest = Some((cycles[lo], cycles[lo] + window, hi - lo + 1));
         }
     }
-    if best_count > 0 {
+
+    Summary {
+        events: trace.len(),
+        horizon,
+        cores,
+        miss_mix,
+        hottest: hot,
+        busiest,
+    }
+}
+
+fn print_text(summary: &Summary) {
+    println!(
+        "trace: {} events over {} cycles",
+        summary.events, summary.horizon
+    );
+
+    if !summary.cores.is_empty() {
+        println!("\nper-core time breakdown:");
+        println!("  core  running%  dep-stall%  fetch-stall%");
+        for (core, b) in summary.cores.iter().enumerate() {
+            let total = (b.running + b.dep + b.fetch).max(1) as f64;
+            println!(
+                "  {core:>4}  {:>7.1}%  {:>9.1}%  {:>11.1}%",
+                100.0 * b.running as f64 / total,
+                100.0 * b.dep as f64 / total,
+                100.0 * b.fetch as f64 / total,
+            );
+        }
+    }
+
+    println!("\nmiss mix:");
+    for (label, count) in &summary.miss_mix {
+        println!("  {:<18} {count}", label.replace('_', " "));
+    }
+
+    println!("\nhottest lines:");
+    for (addr, count) in &summary.hottest {
+        println!("  {addr:#012x}  {count} misses");
+    }
+
+    if let Some((start, end, count)) = summary.busiest {
         println!(
             "\nbusiest window: {} misses in cycles {}..{} ({:.1}% of all misses in 10% of time)",
-            best_count,
-            best_start,
-            best_start + window,
-            100.0 * best_count as f64 / trace.len().max(1) as f64
+            count,
+            start,
+            end,
+            100.0 * count as f64 / summary.events.max(1) as f64
         );
+    }
+}
+
+fn to_json(summary: &Summary) -> JsonValue {
+    let per_core = summary
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(core, b)| {
+            let total = (b.running + b.dep + b.fetch).max(1) as f64;
+            JsonValue::object()
+                .with("core", core)
+                .with("running_cycles", b.running)
+                .with("dep_stall_cycles", b.dep)
+                .with("fetch_stall_cycles", b.fetch)
+                .with("running_frac", b.running as f64 / total)
+                .with("dep_stall_frac", b.dep as f64 / total)
+                .with("fetch_stall_frac", b.fetch as f64 / total)
+        })
+        .collect::<Vec<_>>();
+
+    let mut miss_mix = JsonValue::object();
+    for (label, count) in &summary.miss_mix {
+        miss_mix = miss_mix.with(label, *count);
+    }
+
+    let hottest = summary
+        .hottest
+        .iter()
+        .map(|(addr, count)| {
+            JsonValue::object()
+                .with("line_addr", format!("{addr:#x}"))
+                .with("misses", *count)
+        })
+        .collect::<Vec<_>>();
+
+    let busiest = summary
+        .busiest
+        .map_or(JsonValue::Null, |(start, end, count)| {
+            JsonValue::object()
+                .with("start", start)
+                .with("end", end)
+                .with("misses", count)
+        });
+
+    JsonValue::object()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("events", summary.events)
+        .with("horizon_cycles", summary.horizon)
+        .with("cores", summary.cores.len())
+        .with("per_core", per_core)
+        .with("miss_mix", miss_mix)
+        .with("hottest_lines", hottest)
+        .with("busiest_window", busiest)
+}
+
+fn run(path: &str, top: usize, json: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::parse_prv(&text).map_err(|e| format!("{path}: {e}"))?;
+    let summary = summarize(&trace, top);
+    if json {
+        println!("{}", to_json(&summary).to_string_pretty());
+    } else {
+        print_text(&summary);
     }
     Ok(())
 }
@@ -124,6 +239,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut top = 8usize;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--top" => match args.next().and_then(|v| v.parse().ok()) {
@@ -133,8 +249,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: coyote-trace-stats <trace.prv> [--top N]");
+                println!("usage: coyote-trace-stats <trace.prv> [--top N] [--json]");
                 return ExitCode::SUCCESS;
             }
             other if path.is_none() => path = Some(other.to_owned()),
@@ -145,10 +262,10 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: coyote-trace-stats <trace.prv> [--top N]");
+        eprintln!("usage: coyote-trace-stats <trace.prv> [--top N] [--json]");
         return ExitCode::FAILURE;
     };
-    match run(&path, top) {
+    match run(&path, top, json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("coyote-trace-stats: {message}");

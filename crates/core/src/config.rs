@@ -54,6 +54,19 @@ pub struct SimConfig {
     /// run aborts with [`crate::sim::RunError::OracleDivergence`] on
     /// the first architectural mismatch.
     pub oracle: bool,
+    /// Whether to collect telemetry: request-lifecycle latency
+    /// histograms in the hierarchy plus the epoch-sampled time series
+    /// (see [`crate::metrics`]). Off by default — the disabled path
+    /// costs one branch per hierarchy event.
+    pub telemetry: bool,
+    /// Telemetry sampling epoch in cycles (must be at least 1). Each
+    /// epoch contributes one row to the exported time-series CSV.
+    pub metrics_interval: u64,
+    /// Whether to additionally retain per-request lifecycles and
+    /// core-state intervals for Chrome trace-event export (implies
+    /// `telemetry`; bounded memory, see
+    /// [`coyote_mem::telemetry::SLICE_CAP`]).
+    pub chrome_trace: bool,
 }
 
 impl Default for SimConfig {
@@ -73,6 +86,9 @@ impl Default for SimConfig {
             max_cycles: 2_000_000_000,
             trace: false,
             oracle: false,
+            telemetry: false,
+            metrics_interval: 10_000,
+            chrome_trace: false,
         }
     }
 }
@@ -127,6 +143,9 @@ impl SimConfig {
         }
         if self.interleave == 0 {
             return Err(ConfigError::new("interleave must be at least 1"));
+        }
+        if self.metrics_interval == 0 {
+            return Err(ConfigError::new("metrics_interval must be at least 1"));
         }
         self.core
             .l1i
@@ -303,6 +322,32 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn oracle(mut self, oracle: bool) -> Self {
         self.config.oracle = oracle;
+        self
+    }
+
+    /// Enables or disables telemetry (lifecycle histograms + epoch
+    /// time series).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the telemetry sampling epoch in cycles.
+    #[must_use]
+    pub fn metrics_interval(mut self, interval: u64) -> Self {
+        self.config.metrics_interval = interval;
+        self
+    }
+
+    /// Enables or disables Chrome-trace lifecycle capture (implies
+    /// telemetry).
+    #[must_use]
+    pub fn chrome_trace(mut self, chrome_trace: bool) -> Self {
+        self.config.chrome_trace = chrome_trace;
+        if chrome_trace {
+            self.config.telemetry = true;
+        }
         self
     }
 

@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod metrics;
 pub mod report;
 pub mod sim;
 pub mod trace;
 
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
+pub use metrics::{chrome_trace_json, metrics_csv, metrics_json, SCHEMA_VERSION};
 pub use report::{CoreReport, Report};
 pub use sim::{RunError, Simulation};
 pub use trace::{Trace, TraceEvent};
@@ -58,3 +60,4 @@ pub use coyote_mem::mapping::MappingPolicy;
 pub use coyote_mem::mc::McConfig;
 pub use coyote_mem::noc::NocModel;
 pub use coyote_oracle::{Delta, Divergence, LockstepChecker};
+pub use coyote_telemetry::{Histogram, JsonValue, Stage, TelemetrySink, TimeSeries};

@@ -1,0 +1,440 @@
+//! Machine-readable metrics exporters.
+//!
+//! Three formats, all derived from a finished [`Simulation`]:
+//!
+//! * [`metrics_json`] — the versioned metrics document (configuration,
+//!   report counters, hierarchy counters, lifecycle histograms, and a
+//!   time-series summary). The schema is pinned by
+//!   [`SCHEMA_VERSION`] and a golden-file test; scripts may rely on the
+//!   top-level key set.
+//! * [`metrics_csv`] — the epoch time series as CSV, one row per epoch
+//!   (see [`coyote_telemetry::TimeSeries::to_csv`] for the column set).
+//! * [`chrome_trace_json`] — request lifecycles and core-state
+//!   intervals as Chrome trace-event JSON, loadable in chrome://tracing
+//!   or <https://ui.perfetto.dev>. One trace `ts` microsecond equals
+//!   one simulated cycle.
+
+use coyote_mem::hierarchy::HierarchyStats;
+use coyote_telemetry::{ChromeEvent, ChromeTrace, Histogram, JsonValue, Stage};
+
+use crate::config::SimConfig;
+use crate::report::Report;
+use crate::sim::Simulation;
+use crate::trace;
+
+pub use coyote_telemetry::SCHEMA_VERSION;
+
+/// Builds the full metrics JSON document.
+///
+/// Top-level keys (pinned by the schema test): `schema_version`,
+/// `config`, `report`, `hierarchy`, `histograms`, `time_series`. The
+/// last two are `null` when the run had telemetry disabled.
+#[must_use]
+pub fn metrics_json(sim: &Simulation, report: &Report) -> JsonValue {
+    JsonValue::object()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("config", config_json(sim.config()))
+        .with("report", report_json(report))
+        .with("hierarchy", hierarchy_json(&report.hierarchy))
+        .with("histograms", histograms_json(sim))
+        .with("time_series", time_series_json(sim))
+}
+
+/// The epoch time series as CSV (header only when telemetry was off).
+#[must_use]
+pub fn metrics_csv(sim: &Simulation) -> String {
+    match sim.telemetry() {
+        Some(sink) => sink.series().to_csv(),
+        None => coyote_telemetry::TimeSeries::default().to_csv(),
+    }
+}
+
+fn config_json(config: &SimConfig) -> JsonValue {
+    JsonValue::object()
+        .with("cores", config.cores)
+        .with("cores_per_tile", config.cores_per_tile)
+        .with("tiles", config.tiles())
+        .with("banks_per_tile", config.banks_per_tile)
+        .with("l2_line_bytes", config.l2.line_bytes)
+        .with("l2_bank_size_bytes", config.l2.bank_size_bytes)
+        .with("l2_mshrs", config.l2.mshrs)
+        .with("mc_count", config.mc.count)
+        .with("mc_channels_per_mc", config.mc.channels_per_mc)
+        .with("prefetch_degree", config.prefetch_degree)
+        .with("interleave", config.interleave)
+        .with("telemetry", config.telemetry)
+        .with("metrics_interval", config.metrics_interval)
+        .with("chrome_trace", config.chrome_trace)
+}
+
+fn report_json(report: &Report) -> JsonValue {
+    let cores: Vec<JsonValue> = report
+        .cores
+        .iter()
+        .map(|core| {
+            JsonValue::object()
+                .with("retired", core.stats.retired)
+                .with("dep_stalls", core.stats.dep_stalls)
+                .with("dep_stall_cycles", core.stats.dep_stall_cycles)
+                .with("fetch_stall_cycles", core.stats.fetch_stall_cycles)
+                .with("branches", core.stats.branches)
+                .with("vector_retired", core.stats.vector_retired)
+                .with("l1i_hits", core.l1i.hits)
+                .with("l1i_misses", core.l1i.misses)
+                .with("l1d_hits", core.l1d.hits)
+                .with("l1d_misses", core.l1d.misses)
+                .with("l1d_writebacks", core.l1d.writebacks)
+                .with(
+                    "exit_code",
+                    core.exit_code.map_or(JsonValue::Null, JsonValue::from),
+                )
+        })
+        .collect();
+    JsonValue::object()
+        .with("cycles", report.cycles)
+        .with("total_retired", report.total_retired())
+        .with("ipc", report.ipc())
+        .with("host_mips", report.host_mips())
+        .with("l1d_miss_rate", report.l1d_miss_rate())
+        .with("total_dep_stall_cycles", report.total_dep_stall_cycles())
+        .with("wall_time_seconds", report.wall_time.as_secs_f64())
+        .with("cores", JsonValue::Array(cores))
+}
+
+fn hierarchy_json(stats: &HierarchyStats) -> JsonValue {
+    let banks: Vec<JsonValue> = stats
+        .banks
+        .iter()
+        .map(|bank| {
+            JsonValue::object()
+                .with("hits", bank.hits)
+                .with("misses", bank.misses)
+                .with("writebacks", bank.writebacks)
+                .with("mshr_stalls", bank.mshr_stalls)
+                .with("max_queue_depth", bank.max_queue_depth)
+                .with("prefetch_fills", bank.prefetch_fills)
+                .with("prefetch_useful", bank.prefetch_useful)
+        })
+        .collect();
+    let mcs: Vec<JsonValue> = stats
+        .mcs
+        .iter()
+        .map(|mc| {
+            JsonValue::object()
+                .with("reads", mc.reads)
+                .with("writes", mc.writes)
+                .with("queue_cycles", mc.queue_cycles)
+                .with("busy_cycles", mc.busy_cycles)
+                .with("row_hits", mc.row_hits)
+                .with("row_misses", mc.row_misses)
+        })
+        .collect();
+    JsonValue::object()
+        .with("submitted", stats.submitted)
+        .with("completed", stats.completed)
+        .with("merged", stats.merged)
+        .with("l2_hits", stats.l2_hits())
+        .with("l2_misses", stats.l2_misses())
+        .with("l2_miss_rate", stats.l2_miss_rate())
+        .with("noc_traversals", stats.noc.traversals)
+        .with("noc_mean_latency", stats.noc.mean_latency())
+        .with("banks", JsonValue::Array(banks))
+        .with("mcs", JsonValue::Array(mcs))
+}
+
+fn histograms_json(sim: &Simulation) -> JsonValue {
+    let Some(mem) = sim.mem_telemetry() else {
+        return JsonValue::Null;
+    };
+    let mut stages = JsonValue::object();
+    for stage in Stage::ALL {
+        stages = stages.with(stage.name(), histogram_json(mem.stage(stage)));
+    }
+    let per_bank: Vec<JsonValue> = mem.per_bank().iter().map(histogram_json).collect();
+    let per_mc: Vec<JsonValue> = mem.per_mc().iter().map(histogram_json).collect();
+    JsonValue::object()
+        .with("stages", stages)
+        .with("per_bank", JsonValue::Array(per_bank))
+        .with("per_mc", JsonValue::Array(per_mc))
+        .with("dropped_slices", mem.dropped_slices())
+}
+
+/// One histogram as JSON: exact aggregates, bucket-bound percentiles,
+/// and the sparse `[upper_bound, count]` bucket list.
+fn histogram_json(hist: &Histogram) -> JsonValue {
+    let buckets: Vec<JsonValue> = hist
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(bound, count)| JsonValue::Array(vec![bound.into(), count.into()]))
+        .collect();
+    JsonValue::object()
+        .with("count", hist.count())
+        .with("sum", hist.sum())
+        .with("min", hist.min())
+        .with("max", hist.max())
+        .with("mean", hist.mean())
+        .with("p50", hist.quantile(0.50))
+        .with("p95", hist.quantile(0.95))
+        .with("p99", hist.quantile(0.99))
+        .with("buckets", JsonValue::Array(buckets))
+}
+
+fn time_series_json(sim: &Simulation) -> JsonValue {
+    let Some(sink) = sim.telemetry() else {
+        return JsonValue::Null;
+    };
+    let series = sink.series();
+    let retired: u64 = series.samples().iter().map(|s| s.retired).sum();
+    JsonValue::object()
+        .with("interval", sink.interval())
+        .with("epochs", series.len())
+        .with("compactions", u64::from(series.compactions()))
+        .with("total_retired", retired)
+}
+
+/// Human name for a Paraver state code (Chrome slice labels).
+fn state_name(code: u64) -> &'static str {
+    match code {
+        trace::STATE_RUNNING => "running",
+        trace::STATE_DEP_STALL => "dep stall",
+        trace::STATE_FETCH_STALL => "fetch stall",
+        trace::STATE_HALTED => "halted",
+        _ => "unknown",
+    }
+}
+
+/// Miss-kind name recovered from a request tag (see the orchestrator's
+/// tag encoding).
+fn request_name(tag: u64) -> &'static str {
+    match crate::sim::decode_tag(tag).1 {
+        coyote_iss::MissKind::Ifetch => "ifetch",
+        coyote_iss::MissKind::Load => "load",
+        coyote_iss::MissKind::Store => "store",
+        coyote_iss::MissKind::Writeback => "writeback",
+    }
+}
+
+/// Row groups in the exported Chrome trace.
+const PID_CORES: u32 = 1;
+const PID_BANKS: u32 = 2;
+const PID_MCS: u32 = 3;
+const PID_REQUESTS: u32 = 4;
+
+/// Builds the Chrome trace-event document from the run's core-state
+/// intervals and captured request lifecycles. Requires
+/// [`SimConfig::chrome_trace`] to have been set for the run; otherwise
+/// the document is valid but empty.
+#[must_use]
+pub fn chrome_trace_json(sim: &Simulation) -> JsonValue {
+    let mut out = ChromeTrace::new();
+    out.name_process(PID_CORES, "cores");
+    out.name_process(PID_BANKS, "L2 banks (bank stage)");
+    out.name_process(PID_MCS, "memory controllers");
+    out.name_process(PID_REQUESTS, "requests end-to-end (by core)");
+
+    for core in 0..sim.config().cores {
+        out.name_thread(PID_CORES, core as u32, &format!("core {core}"));
+    }
+    for interval in sim.chrome_states() {
+        // Trailing halted intervals add nothing but timeline width.
+        if interval.state == trace::STATE_HALTED {
+            continue;
+        }
+        out.push(ChromeEvent {
+            name: state_name(interval.state).to_owned(),
+            cat: "core-state",
+            ts: interval.start,
+            dur: interval.end - interval.start,
+            pid: PID_CORES,
+            tid: interval.core as u32,
+            args: Vec::new(),
+        });
+    }
+
+    if let Some(mem) = sim.mem_telemetry() {
+        for slice in mem.slices() {
+            let name = request_name(slice.tag);
+            let (core, _) = crate::sim::decode_tag(slice.tag);
+            let args = vec![
+                (
+                    "line_addr".to_owned(),
+                    JsonValue::Str(format!("{:#x}", slice.line_addr)),
+                ),
+                ("core".to_owned(), JsonValue::UInt(core as u64)),
+                ("bank".to_owned(), JsonValue::UInt(slice.bank as u64)),
+            ];
+            out.push(ChromeEvent {
+                name: name.to_owned(),
+                cat: "request",
+                ts: slice.submit,
+                dur: slice.complete - slice.submit,
+                pid: PID_REQUESTS,
+                tid: core as u32,
+                args: args.clone(),
+            });
+            if let (Some(arrive), Some(done)) = (slice.bank_arrive, slice.mc_send.or(slice.respond))
+            {
+                out.push(ChromeEvent {
+                    name: name.to_owned(),
+                    cat: "bank",
+                    ts: arrive,
+                    dur: done.saturating_sub(arrive),
+                    pid: PID_BANKS,
+                    tid: slice.bank as u32,
+                    args: args.clone(),
+                });
+            }
+            if let (Some(mc), Some(send), Some(respond)) =
+                (slice.mc, slice.mc_send, slice.mc_respond)
+            {
+                out.push(ChromeEvent {
+                    name: name.to_owned(),
+                    cat: "mc",
+                    ts: send,
+                    dur: respond - send,
+                    pid: PID_MCS,
+                    tid: mc as u32,
+                    args,
+                });
+            }
+        }
+    }
+    out.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn run_telemetry_sim() -> (Simulation, Report) {
+        let src = "
+            .data
+            buf: .zero 8192
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, buf
+                li t2, 32
+            loop:
+                slli t3, t0, 3
+                add t3, t1, t3
+                ld t4, 0(t3)
+                addi t4, t4, 1
+                sd t4, 0(t3)
+                addi t0, t0, 2
+                addi t2, t2, -1
+                bnez t2, loop
+                li a0, 0
+                li a7, 93
+                ecall";
+        let program = coyote_asm::assemble(src).unwrap();
+        let config = SimConfig::builder()
+            .cores(2)
+            .telemetry(true)
+            .metrics_interval(100)
+            .chrome_trace(true)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        let report = sim.run().unwrap();
+        (sim, report)
+    }
+
+    #[test]
+    fn json_document_has_pinned_top_level_keys() {
+        let (sim, report) = run_telemetry_sim();
+        let doc = metrics_json(&sim, &report);
+        assert_eq!(
+            doc.keys(),
+            Some(vec![
+                "schema_version",
+                "config",
+                "report",
+                "hierarchy",
+                "histograms",
+                "time_series",
+            ])
+        );
+        assert_eq!(
+            doc.get("schema_version").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        // Round-trips through the parser.
+        let text = doc.to_string_pretty();
+        assert_eq!(coyote_telemetry::parse_json(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn e2e_histogram_count_matches_completed_requests() {
+        let (sim, report) = run_telemetry_sim();
+        let doc = metrics_json(&sim, &report);
+        let e2e_count = doc
+            .get("histograms")
+            .and_then(|h| h.get("stages"))
+            .and_then(|s| s.get("end_to_end"))
+            .and_then(|h| h.get("count"))
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        assert_eq!(e2e_count, report.hierarchy.completed);
+        assert!(e2e_count > 0);
+    }
+
+    #[test]
+    fn csv_retired_deltas_sum_to_total_retired() {
+        let (sim, report) = run_telemetry_sim();
+        let csv = metrics_csv(&sim);
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let retired_col = header.iter().position(|&h| h == "retired").unwrap();
+        let total: u64 = lines
+            .map(|row| {
+                row.split(',')
+                    .nth(retired_col)
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, report.total_retired());
+    }
+
+    #[test]
+    fn chrome_trace_has_core_and_request_slices() {
+        let (sim, _report) = run_telemetry_sim();
+        let doc = chrome_trace_json(&sim);
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let slices: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert!(slices
+            .iter()
+            .any(|e| e.get("cat").and_then(JsonValue::as_str) == Some("core-state")));
+        assert!(slices
+            .iter()
+            .any(|e| e.get("cat").and_then(JsonValue::as_str) == Some("request")));
+        // Every slice is well-formed: ts and dur present.
+        for slice in &slices {
+            assert!(slice.get("ts").and_then(JsonValue::as_u64).is_some());
+            assert!(slice.get("dur").and_then(JsonValue::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_exports_nulls_and_empty_csv() {
+        let program = coyote_asm::assemble("_start:\n li a0, 0\n li a7, 93\n ecall").unwrap();
+        let config = SimConfig::builder().cores(1).build().unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        let report = sim.run().unwrap();
+        let doc = metrics_json(&sim, &report);
+        assert_eq!(doc.get("histograms"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("time_series"), Some(&JsonValue::Null));
+        assert_eq!(metrics_csv(&sim).lines().count(), 1);
+        let chrome = chrome_trace_json(&sim);
+        assert!(chrome.get("traceEvents").is_some());
+    }
+}

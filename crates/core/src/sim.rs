@@ -16,7 +16,9 @@ use coyote_isa::XReg;
 use coyote_iss::core::{Core, CoreSnapshot, CoreState, DecodedText, StepEvent};
 use coyote_iss::{MissKind, SimError, SparseMemory};
 use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
+use coyote_mem::telemetry::MemTelemetry;
 use coyote_oracle::{Divergence, LockstepChecker};
+use coyote_telemetry::{EpochSnapshot, TelemetrySink};
 
 use crate::config::{ConfigError, SimConfig};
 use crate::report::{CoreReport, Report};
@@ -111,7 +113,7 @@ fn encode_tag(core: usize, kind: MissKind) -> u64 {
 }
 
 /// Decodes a hierarchy completion tag back to (core, kind).
-fn decode_tag(tag: u64) -> (usize, MissKind) {
+pub(crate) fn decode_tag(tag: u64) -> (usize, MissKind) {
     let kind = match tag & 0b11 {
         0 => MissKind::Ifetch,
         1 => MissKind::Load,
@@ -156,6 +158,11 @@ pub struct Simulation {
     completion_buf: Vec<Completion>,
     /// Lockstep functional reference, present when the oracle is on.
     oracle: Option<LockstepChecker>,
+    /// Epoch sampler, present when telemetry is on.
+    telemetry: Option<TelemetrySink>,
+    /// Core-state intervals retained for Chrome-trace export (empty
+    /// unless `chrome_trace` is on).
+    chrome_states: Vec<StateInterval>,
 }
 
 impl fmt::Debug for Simulation {
@@ -184,8 +191,11 @@ impl Simulation {
         let cores = (0..config.cores)
             .map(|i| Core::new(i, program.entry(), &config.core))
             .collect();
-        let hierarchy = Hierarchy::new(config.hierarchy())
+        let mut hierarchy = Hierarchy::new(config.hierarchy())
             .map_err(|m| RunError::Config(ConfigError::new(m)))?;
+        if config.telemetry {
+            hierarchy.enable_telemetry(config.chrome_trace);
+        }
         Ok(Simulation {
             cores,
             mem,
@@ -199,6 +209,10 @@ impl Simulation {
             oracle: config
                 .oracle
                 .then(|| LockstepChecker::new(program, config.cores, config.core.vlen_bits)),
+            telemetry: config
+                .telemetry
+                .then(|| TelemetrySink::new(config.metrics_interval)),
+            chrome_states: Vec::new(),
             config,
         })
     }
@@ -261,6 +275,25 @@ impl Simulation {
     #[must_use]
     pub fn into_trace(self) -> Option<Trace> {
         self.trace
+    }
+
+    /// The epoch-sampling telemetry sink, if telemetry was enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.telemetry.as_ref()
+    }
+
+    /// The hierarchy's request-lifecycle telemetry, if enabled.
+    #[must_use]
+    pub fn mem_telemetry(&self) -> Option<&MemTelemetry> {
+        self.hierarchy.telemetry()
+    }
+
+    /// Core-state intervals collected for Chrome-trace export (empty
+    /// unless [`SimConfig::chrome_trace`] was set).
+    #[must_use]
+    pub fn chrome_states(&self) -> &[StateInterval] {
+        &self.chrome_states
     }
 
     /// Runs until every core exits, producing the report.
@@ -358,12 +391,27 @@ impl Simulation {
             self.cores[core].complete_fill(completion.line_addr, kind, cycle);
         }
 
-        // 4. Trace core-state intervals on transitions.
-        if self.trace.is_some() {
+        // 4. Trace core-state intervals on transitions (Paraver and/or
+        //    Chrome trace).
+        if self.trace.is_some() || self.config.chrome_trace {
             self.record_state_transitions(cycle);
         }
 
-        // 5. Progress bookkeeping.
+        // 5. Epoch telemetry sampling. The cycle counter can jump past
+        //    epoch boundaries when fast-forwarding (below), so the
+        //    sample covers whatever span actually elapsed.
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|sink| cycle >= sink.next_due())
+        {
+            let snapshot = self.epoch_snapshot(cycle);
+            if let Some(sink) = &mut self.telemetry {
+                sink.sample(snapshot);
+            }
+        }
+
+        // 6. Progress bookkeeping.
         let mut all_halted = true;
         let mut any_active = false;
         for core in &self.cores {
@@ -377,8 +425,16 @@ impl Simulation {
             }
         }
         if all_halted {
-            if self.trace.is_some() {
+            if self.trace.is_some() || self.config.chrome_trace {
                 self.flush_state_intervals(cycle);
+            }
+            // Flush the final partial epoch (the sink drops it if no
+            // cycles elapsed since the last sample).
+            if self.telemetry.is_some() {
+                let snapshot = self.epoch_snapshot(cycle);
+                if let Some(sink) = &mut self.telemetry {
+                    sink.sample(snapshot);
+                }
             }
             return Ok(true);
         }
@@ -399,31 +455,78 @@ impl Simulation {
     }
 
     fn record_state_transitions(&mut self, cycle: u64) {
-        let trace = self.trace.as_mut().expect("tracing enabled");
+        let chrome = self.config.chrome_trace;
         for (core, track) in self.cores.iter().zip(&mut self.state_track) {
             let current = core.state();
             if current != track.0 {
-                trace.record_state(StateInterval {
+                let interval = StateInterval {
                     core: core.index(),
                     start: track.1,
                     end: cycle,
                     state: state_code(track.0),
-                });
+                };
+                if let Some(trace) = &mut self.trace {
+                    trace.record_state(interval);
+                }
+                if chrome && interval.end > interval.start {
+                    self.chrome_states.push(interval);
+                }
                 *track = (current, cycle);
             }
         }
     }
 
     fn flush_state_intervals(&mut self, cycle: u64) {
-        let trace = self.trace.as_mut().expect("tracing enabled");
+        let chrome = self.config.chrome_trace;
         for (core, track) in self.cores.iter().zip(&mut self.state_track) {
-            trace.record_state(StateInterval {
+            let interval = StateInterval {
                 core: core.index(),
                 start: track.1,
                 end: cycle,
                 state: state_code(track.0),
-            });
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.record_state(interval);
+            }
+            if chrome && interval.end > interval.start {
+                self.chrome_states.push(interval);
+            }
             *track = (core.state(), cycle);
+        }
+    }
+
+    /// Builds the cumulative-counter snapshot the telemetry sink
+    /// differences into one epoch sample.
+    fn epoch_snapshot(&self, cycle: u64) -> EpochSnapshot {
+        let per_core = self
+            .cores
+            .iter()
+            .map(|core| {
+                let stats = core.stats_through(cycle);
+                [
+                    stats.retired,
+                    stats.dep_stall_cycles,
+                    stats.fetch_stall_cycles,
+                ]
+            })
+            .collect();
+        let stats = self.hierarchy.stats();
+        let mshr = self.hierarchy.mshr_occupancy();
+        let per_bank = stats
+            .banks
+            .iter()
+            .zip(&mshr)
+            .map(|(bank, &occupancy)| [bank.hits, bank.misses, occupancy as u64])
+            .collect();
+        EpochSnapshot {
+            cycle,
+            per_core,
+            per_bank,
+            noc_traversals: stats.noc.traversals,
+            completed: stats.completed,
+            queued_requests: self.hierarchy.queued_requests() as u64,
+            in_flight: self.hierarchy.in_flight_requests() as u64,
+            mc_busy_channels: self.hierarchy.mc_busy_channels(cycle) as u64,
         }
     }
 

@@ -97,6 +97,14 @@ impl Trace {
         }
     }
 
+    /// Number of cores in the traced system (from the constructor, or
+    /// the `.prv` header when parsed). Cores that never missed or
+    /// stalled still count.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
     /// Recorded state intervals.
     #[must_use]
     pub fn states(&self) -> &[StateInterval] {

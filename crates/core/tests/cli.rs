@@ -116,6 +116,208 @@ fn assembly_errors_point_at_the_line() {
 }
 
 #[test]
+fn every_documented_flag_parses() {
+    let path = write_temp_program(
+        "flags.s",
+        "_start:
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let trace = std::env::temp_dir().join("coyote-sim-tests/flags-trace");
+    let metrics = std::env::temp_dir().join("coyote-sim-tests/flags-metrics");
+    let chrome = std::env::temp_dir().join("coyote-sim-tests/flags-chrome.json");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args([
+            "--cores",
+            "4",
+            "--cores-per-tile",
+            "2",
+            "--banks-per-tile",
+            "2",
+        ])
+        .args(["--l2-private", "--mapping", "set", "--noc-latency", "2"])
+        .args(["--mesh", "2x2", "--prefetch", "1", "--interleave", "2"])
+        .args(["--max-cycles", "100000", "--metrics-interval", "500"])
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--chrome-trace")
+        .arg(&chrome)
+        .arg("--oracle")
+        .output()
+        .expect("spawn coyote-sim");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+}
+
+#[test]
+fn metrics_out_writes_well_formed_json_and_csv() {
+    let path = write_temp_program(
+        "metrics.s",
+        ".data
+         buf: .zero 1024
+         .text
+         _start:
+            la t0, buf
+            li t1, 16
+         loop:
+            ld t2, 0(t0)
+            sd t2, 8(t0)
+            addi t0, t0, 64
+            addi t1, t1, -1
+            bnez t1, loop
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let metrics = std::env::temp_dir().join("coyote-sim-tests/metrics-out");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "2", "--metrics-interval", "1000"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(0));
+
+    let text = std::fs::read_to_string(metrics.with_extension("json")).expect("metrics json");
+    let doc = coyote_telemetry::parse_json(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(coyote::SCHEMA_VERSION)
+    );
+    assert!(doc
+        .get("histograms")
+        .is_some_and(|h| h.get("stages").is_some()));
+
+    let csv = std::fs::read_to_string(metrics.with_extension("csv")).expect("metrics csv");
+    let header = csv.lines().next().expect("csv header");
+    assert!(
+        header.starts_with("epoch,start,end,retired,ipc"),
+        "{header}"
+    );
+    assert!(csv.lines().count() > 1, "csv has at least one epoch row");
+}
+
+#[test]
+fn chrome_trace_flag_writes_trace_event_json() {
+    let path = write_temp_program(
+        "chrome.s",
+        ".data
+         v: .dword 3
+         .text
+         _start:
+            la t0, v
+            ld t1, 0(t0)
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let chrome = std::env::temp_dir().join("coyote-sim-tests/chrome-out.json");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .arg("--chrome-trace")
+        .arg(&chrome)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(0));
+
+    let text = std::fs::read_to_string(&chrome).expect("chrome trace");
+    let doc = coyote_telemetry::parse_json(&text).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for event in events {
+        let ph = event.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+    }
+}
+
+#[test]
+fn unknown_flags_fail_with_usage_hint() {
+    let output = Command::new(sim_binary())
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--frobnicate"), "stderr: {stderr}");
+
+    let stats_bin = env!("CARGO_BIN_EXE_coyote-trace-stats");
+    let output = Command::new(stats_bin)
+        .args(["trace.prv", "--frobnicate"])
+        .output()
+        .expect("spawn coyote-trace-stats");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--frobnicate"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_stats_shows_idle_cores_and_emits_json() {
+    // Core 0 does memory work; cores 1..3 exit immediately. The
+    // breakdown must still print one row per header core.
+    let path = write_temp_program(
+        "idle.s",
+        ".data
+         x: .dword 7
+         .text
+         _start:
+            csrr t0, mhartid
+            bnez t0, done
+            la t1, x
+            ld t2, 0(t1)
+         done:
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let trace = std::env::temp_dir().join("coyote-sim-tests/idle-trace");
+    let status = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "4"])
+        .arg("--trace")
+        .arg(&trace)
+        .status()
+        .expect("spawn coyote-sim");
+    assert!(status.success());
+
+    let stats_bin = env!("CARGO_BIN_EXE_coyote-trace-stats");
+    let output = Command::new(stats_bin)
+        .arg(trace.with_extension("prv"))
+        .output()
+        .expect("spawn coyote-trace-stats");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for core in 0..4 {
+        assert!(
+            stdout.contains(&format!("\n  {core:>4}  ")),
+            "missing row for core {core}: {stdout}"
+        );
+    }
+
+    let output = Command::new(stats_bin)
+        .arg(trace.with_extension("prv"))
+        .arg("--json")
+        .output()
+        .expect("spawn coyote-trace-stats --json");
+    assert_eq!(output.status.code(), Some(0));
+    let doc = coyote_telemetry::parse_json(&String::from_utf8_lossy(&output.stdout))
+        .expect("valid JSON from --json");
+    assert_eq!(doc.get("cores").and_then(|v| v.as_u64()), Some(4));
+    let per_core = doc
+        .get("per_core")
+        .and_then(|v| v.as_array())
+        .expect("per_core array");
+    assert_eq!(per_core.len(), 4);
+}
+
+#[test]
 fn trace_stats_summarizes_a_trace() {
     let path = write_temp_program(
         "traced.s",

@@ -1,0 +1,103 @@
+//! Golden-file test pinning the metrics document schema.
+//!
+//! `tests/golden/metrics_schema.txt` lists the schema version and the
+//! key paths downstream tooling may rely on. If this test fails you
+//! changed the externally visible metrics schema: either restore the
+//! old shape, or bump [`coyote::SCHEMA_VERSION`] and regenerate the
+//! golden file to match (and mention the break in DESIGN.md).
+
+use coyote::{metrics_json, JsonValue, SimConfig, Simulation};
+
+fn metrics_document() -> JsonValue {
+    let program = coyote_asm::assemble(
+        ".data
+         buf: .zero 2048
+         .text
+         _start:
+            csrr t0, mhartid
+            slli t0, t0, 7
+            la t1, buf
+            add t1, t1, t0
+            li t2, 8
+         loop:
+            ld t3, 0(t1)
+            sd t3, 8(t1)
+            addi t1, t1, 64
+            addi t2, t2, -1
+            bnez t2, loop
+            li a0, 0
+            li a7, 93
+            ecall",
+    )
+    .expect("assemble");
+    let config = SimConfig::builder()
+        .cores(2)
+        .telemetry(true)
+        .metrics_interval(200)
+        .chrome_trace(true)
+        .build()
+        .expect("config");
+    let mut sim = Simulation::new(config, &program).expect("create sim");
+    let report = sim.run().expect("run");
+    metrics_json(&sim, &report)
+}
+
+/// Every `parent.child` key path present in `doc`, one level deep per
+/// golden-file line (dotted paths address nested objects).
+fn key_paths(doc: &JsonValue) -> Vec<String> {
+    let mut paths = Vec::new();
+    if let Some(keys) = doc.keys() {
+        for key in keys {
+            paths.push(key.to_owned());
+        }
+    }
+    paths
+}
+
+fn lookup<'a>(doc: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    let mut value = doc;
+    for part in path.split('.') {
+        value = value.get(part)?;
+    }
+    Some(value)
+}
+
+#[test]
+fn metrics_schema_matches_golden_file() {
+    let golden = include_str!("golden/metrics_schema.txt");
+    let doc = metrics_document();
+
+    let mut lines = golden.lines().filter(|l| !l.trim().is_empty());
+    let version_line = lines.next().expect("golden file has a version line");
+    let version: u64 = version_line
+        .strip_prefix("schema_version=")
+        .expect("first golden line is schema_version=N")
+        .parse()
+        .expect("numeric schema version");
+    assert_eq!(
+        coyote::SCHEMA_VERSION,
+        version,
+        "SCHEMA_VERSION changed; regenerate tests/golden/metrics_schema.txt"
+    );
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(version)
+    );
+
+    // Every golden key path must exist in the document...
+    for path in lines.clone() {
+        assert!(
+            lookup(&doc, path).is_some(),
+            "metrics document lost pinned key `{path}` — \
+             bump SCHEMA_VERSION and update the golden file"
+        );
+    }
+
+    // ...and no new top-level keys may appear unpinned.
+    let pinned_top: Vec<&str> = lines.filter(|l| !l.contains('.')).collect();
+    assert_eq!(
+        key_paths(&doc),
+        pinned_top,
+        "top-level key set changed — bump SCHEMA_VERSION and update the golden file"
+    );
+}

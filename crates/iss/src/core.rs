@@ -297,6 +297,21 @@ impl Core {
         self.stats
     }
 
+    /// Counters as of `cycle`, folding an in-progress stall's elapsed
+    /// cycles in. [`Core::stats`] accumulates stall time only when the
+    /// core wakes, which would under-report a mid-stall epoch sample.
+    #[must_use]
+    pub fn stats_through(&self, cycle: u64) -> CoreStats {
+        let mut stats = self.stats;
+        let elapsed = cycle.saturating_sub(self.stall_started);
+        match self.state {
+            CoreState::StalledDep => stats.dep_stall_cycles += elapsed,
+            CoreState::StalledFetch => stats.fetch_stall_cycles += elapsed,
+            CoreState::Active | CoreState::Halted(_) => {}
+        }
+        stats
+    }
+
     /// L1I counters.
     #[must_use]
     pub fn icache_stats(&self) -> CacheStats {

@@ -14,38 +14,13 @@
 //!                      └→ [NoC] → MC (queue+latency) → [NoC] → fill → [NoC] → completion
 //! ```
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
 use crate::event::EventQueue;
+use crate::fastmap::FastMap;
 use crate::l2::{BankStats, L2Bank, L2Config, Lookup};
 use crate::mapping::MappingPolicy;
 use crate::mc::{McConfig, McStats, MemoryController};
 use crate::noc::{Noc, NocModel, NocNode, NocStats};
-
-/// Multiplicative hasher for line addresses and request ids (the
-/// hierarchy's maps sit on the simulation hot path).
-#[derive(Debug, Default, Clone, Copy)]
-struct FastHasher(u64);
-
-impl Hasher for FastHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    fn write_u64(&mut self, value: u64) {
-        self.0 = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-    fn write_usize(&mut self, value: usize) {
-        self.write_u64(value as u64);
-    }
-}
-
-type FastMap<V> = HashMap<u64, V, BuildHasherDefault<FastHasher>>;
+use crate::telemetry::MemTelemetry;
 
 /// Whether the L2 is shared across tiles or private per tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +199,9 @@ pub struct Hierarchy {
     submitted: u64,
     completed: u64,
     merged: u64,
+    /// Lifecycle stamping, boxed so the disabled path costs one
+    /// null-check per event and no per-request allocation.
+    telemetry: Option<Box<MemTelemetry>>,
 }
 
 impl Hierarchy {
@@ -251,6 +229,7 @@ impl Hierarchy {
             submitted: 0,
             completed: 0,
             merged: 0,
+            telemetry: None,
         })
     }
 
@@ -258,6 +237,49 @@ impl Hierarchy {
     #[must_use]
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// Turns on request-lifecycle stamping. With `collect_slices`,
+    /// completed lifecycles are additionally retained (bounded) for
+    /// Chrome-trace export.
+    pub fn enable_telemetry(&mut self, collect_slices: bool) {
+        self.telemetry = Some(Box::new(MemTelemetry::new(
+            self.config.total_banks(),
+            self.config.mc.count,
+            collect_slices,
+        )));
+    }
+
+    /// The lifecycle telemetry, if enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&MemTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Outstanding MSHR entries per bank (instantaneous gauge).
+    #[must_use]
+    pub fn mshr_occupancy(&self) -> Vec<usize> {
+        self.banks.iter().map(L2Bank::in_flight).collect()
+    }
+
+    /// Requests parked waiting for an MSHR, summed over banks.
+    #[must_use]
+    pub fn queued_requests(&self) -> usize {
+        self.banks.iter().map(L2Bank::waiting_len).sum()
+    }
+
+    /// Requests in flight anywhere in the hierarchy (including
+    /// prefetches and writebacks).
+    #[must_use]
+    pub fn in_flight_requests(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Memory-controller channels busy at `now`, summed over
+    /// controllers.
+    #[must_use]
+    pub fn mc_busy_channels(&self, now: u64) -> usize {
+        self.mcs.iter().map(|m| m.busy_channels(now)).sum()
     }
 
     /// Which tile hosts a global bank index.
@@ -298,6 +320,11 @@ impl Hierarchy {
                 is_prefetch: false,
             },
         );
+        if req.needs_response {
+            if let Some(t) = &mut self.telemetry {
+                t.on_submit(id, now, req.line_addr, req.tile, bank, req.tag);
+            }
+        }
         let latency = self
             .noc
             .traverse_request(NocNode::Tile(req.tile), NocNode::Tile(self.bank_tile(bank)));
@@ -350,11 +377,14 @@ impl Hierarchy {
             Ev::McSend(id) => self.on_mc_send(now, id),
             Ev::McRespond(id) => self.on_mc_respond(now, id),
             Ev::BankFill(id) => self.on_bank_fill(now, id),
-            Ev::Complete(id) => self.on_complete(id),
+            Ev::Complete(id) => self.on_complete(now, id),
         }
     }
 
     fn on_bank_arrive(&mut self, now: u64, id: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.on_bank_arrive(id, now);
+        }
         let state = self.states.get(&id).expect("state").clone();
         if state.is_prefetch {
             // Prefetches are best-effort: drop if the line is resident,
@@ -449,6 +479,9 @@ impl Hierarchy {
             .config
             .mc
             .mc_for(state.req.line_addr, self.config.l2.line_bytes);
+        if let Some(t) = &mut self.telemetry {
+            t.on_mc_send(id, now, mc_index);
+        }
         let bank_tile = self.bank_tile(state.bank);
         let latency = self
             .noc
@@ -469,6 +502,9 @@ impl Hierarchy {
     }
 
     fn on_mc_respond(&mut self, now: u64, id: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.on_mc_respond(id, now);
+        }
         let state = self.states.get(&id).expect("state").clone();
         let mc_index = self
             .config
@@ -482,6 +518,9 @@ impl Hierarchy {
     }
 
     fn on_bank_fill(&mut self, now: u64, id: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.on_bank_fill(id, now);
+        }
         let state = self.states.get(&id).expect("state").clone();
         // Install the line; a dirty victim becomes a synthesized
         // writeback to memory.
@@ -547,6 +586,9 @@ impl Hierarchy {
     }
 
     fn schedule_response(&mut self, now: u64, id: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.on_respond(id, now);
+        }
         let state = self.states.get(&id).expect("state");
         let bank_tile = self.bank_tile(state.bank);
         let latency = self
@@ -555,9 +597,12 @@ impl Hierarchy {
         self.events.schedule(now + latency, Ev::Complete(id));
     }
 
-    fn on_complete(&mut self, id: u64) {
+    fn on_complete(&mut self, now: u64, id: u64) {
         let state = self.states.remove(&id).expect("state");
         debug_assert!(!state.is_l2_writeback);
+        if let Some(t) = &mut self.telemetry {
+            t.on_complete(id, now);
+        }
         self.completed += 1;
         self.completions_out.push(Completion {
             tag: state.req.tag,
@@ -826,6 +871,127 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn telemetry_stage_latencies_partition_end_to_end() {
+        use coyote_telemetry::Stage;
+        let mut h = Hierarchy::new(config()).unwrap();
+        h.enable_telemetry(true);
+        let mut now = 0;
+        let mut out = Vec::new();
+        // Mixed traffic: cold misses, same-line merges, re-reads that
+        // hit, and fire-and-forget writebacks.
+        for i in 0..48u64 {
+            h.submit(
+                now,
+                Request {
+                    line_addr: (i % 12) * 64,
+                    tile: (i % 2) as usize,
+                    needs_response: i % 7 != 0,
+                    tag: i,
+                },
+            );
+            for _ in 0..8 {
+                now += 1;
+                h.advance(now, &mut out);
+            }
+        }
+        while !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        let stats = h.stats();
+        let t = h.telemetry().unwrap();
+        // Every completed request is measured end to end; nothing else is.
+        assert_eq!(t.stage(Stage::EndToEnd).count(), stats.completed);
+        assert_eq!(t.tracked_in_flight(), 0);
+        // The stages partition each request's lifetime exactly, so the
+        // per-stage sums add up to the end-to-end sum.
+        let partition: u64 = [
+            Stage::NocRequest,
+            Stage::Bank,
+            Stage::Mc,
+            Stage::NocFill,
+            Stage::Deliver,
+        ]
+        .iter()
+        .map(|&s| t.stage(s).sum())
+        .sum();
+        assert_eq!(partition, t.stage(Stage::EndToEnd).sum());
+        // Per-MC histograms decompose the aggregate MC stage.
+        let mc_total: u64 = t.per_mc().iter().map(Histogram::count).sum();
+        assert_eq!(mc_total, t.stage(Stage::Mc).count());
+        // Only MC round trips (one per miss owner) visit the MC stage.
+        let owners = t.slices().iter().filter(|s| s.mc_send.is_some()).count() as u64;
+        assert_eq!(t.stage(Stage::Mc).count(), owners);
+        assert_eq!(t.stage(Stage::NocFill).count(), owners);
+        assert!(owners < stats.completed, "merges and hits skip the MC");
+        // Slices were retained for every completed request.
+        assert_eq!(t.slices().len() as u64, stats.completed);
+        assert_eq!(t.dropped_slices(), 0);
+        for s in t.slices() {
+            assert!(s.submit <= s.complete);
+            if let (Some(send), Some(resp)) = (s.mc_send, s.mc_respond) {
+                assert!(send <= resp);
+            }
+        }
+    }
+
+    use coyote_telemetry::Histogram;
+
+    #[test]
+    fn disabled_telemetry_reports_none() {
+        let mut h = Hierarchy::new(config()).unwrap();
+        assert!(h.telemetry().is_none());
+        h.submit(
+            0,
+            Request {
+                line_addr: 0,
+                tile: 0,
+                needs_response: true,
+                tag: 0,
+            },
+        );
+        let (_, out) = drain(&mut h, 0);
+        assert_eq!(out.len(), 1);
+        assert!(h.telemetry().is_none());
+    }
+
+    #[test]
+    fn occupancy_gauges_track_outstanding_work() {
+        let mut cfg = config();
+        cfg.l2.mshrs = 2;
+        cfg.tiles = 1;
+        cfg.banks_per_tile = 1;
+        let mut h = Hierarchy::new(cfg).unwrap();
+        for i in 0..6u64 {
+            h.submit(
+                0,
+                Request {
+                    line_addr: i * 64,
+                    tile: 0,
+                    needs_response: true,
+                    tag: i,
+                },
+            );
+        }
+        let mut out = Vec::new();
+        // Step past the bank lookup so misses allocate MSHRs.
+        let mut now = 0;
+        while h.mshr_occupancy().iter().sum::<usize>() == 0 && !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        assert_eq!(h.mshr_occupancy(), vec![2]);
+        assert_eq!(h.queued_requests(), 4);
+        assert_eq!(h.in_flight_requests(), 6);
+        let (_, rest) = drain(&mut h, now);
+        assert_eq!(out.len() + rest.len(), 6);
+        assert_eq!(h.mshr_occupancy(), vec![0]);
+        assert_eq!(h.queued_requests(), 0);
+        assert_eq!(h.in_flight_requests(), 0);
+        assert_eq!(h.mc_busy_channels(now + 100_000), 0);
     }
 
     #[test]

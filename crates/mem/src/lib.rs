@@ -46,15 +46,19 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fastmap;
 pub mod hierarchy;
 pub mod l2;
 pub mod mapping;
 pub mod mc;
 pub mod noc;
+pub mod telemetry;
 
 pub use event::EventQueue;
+pub use fastmap::{FastHasher, FastMap};
 pub use hierarchy::{Completion, Hierarchy, HierarchyConfig, HierarchyStats, L2Sharing, Request};
 pub use l2::{BankStats, L2Bank, L2Config};
 pub use mapping::MappingPolicy;
 pub use mc::{McConfig, McStats, MemoryController};
 pub use noc::{Noc, NocModel, NocNode, NocStats};
+pub use telemetry::{MemTelemetry, RequestSlice, SLICE_CAP};

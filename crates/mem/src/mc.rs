@@ -208,6 +208,12 @@ impl MemoryController {
     pub fn earliest_free(&self) -> u64 {
         self.channel_free.iter().copied().min().unwrap_or(0)
     }
+
+    /// How many channels are still occupied at `now` (telemetry gauge).
+    #[must_use]
+    pub fn busy_channels(&self, now: u64) -> usize {
+        self.channel_free.iter().filter(|&&free| free > now).count()
+    }
 }
 
 /// Selects the memory controller owning a line with the default

@@ -1,0 +1,246 @@
+//! Request-lifecycle telemetry for the hierarchy.
+//!
+//! When enabled (see [`crate::hierarchy::Hierarchy::enable_telemetry`]),
+//! the event pipeline stamps each response-bearing request at every
+//! stage boundary. On completion the stamps collapse into per-stage
+//! latencies folded into log2 histograms — aggregate per
+//! [`Stage`], per bank (the `Bank` stage, which includes queueing and
+//! MSHR wait), and per memory controller (the `Mc` stage) — and,
+//! optionally, into bounded [`RequestSlice`] records for Chrome-trace
+//! export.
+//!
+//! Only requests with `needs_response` are tracked: prefetches and
+//! writebacks never complete, so the end-to-end histogram count equals
+//! the hierarchy's `completed` counter by construction.
+
+use coyote_telemetry::{Histogram, Stage};
+
+use crate::fastmap::FastMap;
+
+/// Per-request stage timestamps (cycles). `None` fields belong to
+/// stages the request skipped (hits and MSHR-merged requests never
+/// visit the memory controller).
+#[derive(Debug, Clone, Copy, Default)]
+struct Stamps {
+    submit: u64,
+    bank_arrive: Option<u64>,
+    mc_send: Option<u64>,
+    mc_respond: Option<u64>,
+    bank_fill: Option<u64>,
+    respond: Option<u64>,
+    bank: usize,
+    mc: Option<usize>,
+    tile: usize,
+    line_addr: u64,
+    tag: u64,
+}
+
+/// One completed request's lifecycle, retained for Chrome-trace export.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSlice {
+    /// Line-aligned address.
+    pub line_addr: u64,
+    /// Caller tag from the originating request.
+    pub tag: u64,
+    /// Issuing tile.
+    pub tile: usize,
+    /// Serving bank (global index).
+    pub bank: usize,
+    /// Serving memory controller, for miss owners.
+    pub mc: Option<usize>,
+    /// Submission cycle.
+    pub submit: u64,
+    /// Arrival at the bank.
+    pub bank_arrive: Option<u64>,
+    /// Departure toward the memory controller (miss owners).
+    pub mc_send: Option<u64>,
+    /// Memory-controller response (miss owners).
+    pub mc_respond: Option<u64>,
+    /// Line installed at the bank (miss owners).
+    pub bank_fill: Option<u64>,
+    /// Response departure toward the requesting tile.
+    pub respond: Option<u64>,
+    /// Completion cycle.
+    pub complete: u64,
+}
+
+/// Lifecycle stamping state and the histograms it feeds.
+#[derive(Debug, Clone)]
+pub struct MemTelemetry {
+    stamps: FastMap<Stamps>,
+    stages: [Histogram; Stage::ALL.len()],
+    per_bank: Vec<Histogram>,
+    per_mc: Vec<Histogram>,
+    slices: Vec<RequestSlice>,
+    collect_slices: bool,
+    dropped_slices: u64,
+}
+
+/// Cap on retained [`RequestSlice`]s: enough for a detailed Perfetto
+/// view without unbounded memory on long runs. Overflow increments
+/// [`MemTelemetry::dropped_slices`] instead of allocating.
+pub const SLICE_CAP: usize = 100_000;
+
+impl MemTelemetry {
+    /// Telemetry for a hierarchy with the given bank/controller counts.
+    /// `collect_slices` additionally retains up to [`SLICE_CAP`]
+    /// completed lifecycles for Chrome-trace export.
+    #[must_use]
+    pub fn new(banks: usize, mcs: usize, collect_slices: bool) -> MemTelemetry {
+        MemTelemetry {
+            stamps: FastMap::default(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            per_bank: vec![Histogram::new(); banks],
+            per_mc: vec![Histogram::new(); mcs],
+            slices: Vec::new(),
+            collect_slices,
+            dropped_slices: 0,
+        }
+    }
+
+    pub(crate) fn on_submit(
+        &mut self,
+        id: u64,
+        now: u64,
+        line_addr: u64,
+        tile: usize,
+        bank: usize,
+        tag: u64,
+    ) {
+        self.stamps.insert(
+            id,
+            Stamps {
+                submit: now,
+                line_addr,
+                tile,
+                bank,
+                tag,
+                ..Stamps::default()
+            },
+        );
+    }
+
+    pub(crate) fn on_bank_arrive(&mut self, id: u64, now: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.bank_arrive = Some(now);
+        }
+    }
+
+    pub(crate) fn on_mc_send(&mut self, id: u64, now: u64, mc: usize) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.mc_send = Some(now);
+            s.mc = Some(mc);
+        }
+    }
+
+    pub(crate) fn on_mc_respond(&mut self, id: u64, now: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.mc_respond = Some(now);
+        }
+    }
+
+    pub(crate) fn on_bank_fill(&mut self, id: u64, now: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.bank_fill = Some(now);
+        }
+    }
+
+    pub(crate) fn on_respond(&mut self, id: u64, now: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.respond = Some(now);
+        }
+    }
+
+    pub(crate) fn on_complete(&mut self, id: u64, now: u64) {
+        let Some(s) = self.stamps.remove(&id) else {
+            return;
+        };
+        let record = |hist: &mut [Histogram], stage: Stage, value: u64| {
+            hist[stage as usize].record(value);
+        };
+        record(&mut self.stages, Stage::EndToEnd, now - s.submit);
+        if let Some(arrive) = s.bank_arrive {
+            record(&mut self.stages, Stage::NocRequest, arrive - s.submit);
+            // The bank stage ends when the request leaves toward the MC
+            // (miss owners) or toward the response path (hits and
+            // merged requests, whose MSHR wait is bank time).
+            if let Some(bank_done) = s.mc_send.or(s.respond) {
+                let bank_latency = bank_done.saturating_sub(arrive);
+                record(&mut self.stages, Stage::Bank, bank_latency);
+                if let Some(h) = self.per_bank.get_mut(s.bank) {
+                    h.record(bank_latency);
+                }
+            }
+        }
+        if let (Some(send), Some(resp)) = (s.mc_send, s.mc_respond) {
+            record(&mut self.stages, Stage::Mc, resp - send);
+            if let Some(h) = s.mc.and_then(|m| self.per_mc.get_mut(m)) {
+                h.record(resp - send);
+            }
+        }
+        if let (Some(resp), Some(fill)) = (s.mc_respond, s.bank_fill) {
+            record(&mut self.stages, Stage::NocFill, fill - resp);
+        }
+        if let Some(respond) = s.respond {
+            record(&mut self.stages, Stage::Deliver, now - respond);
+        }
+        if self.collect_slices {
+            if self.slices.len() < SLICE_CAP {
+                self.slices.push(RequestSlice {
+                    line_addr: s.line_addr,
+                    tag: s.tag,
+                    tile: s.tile,
+                    bank: s.bank,
+                    mc: s.mc,
+                    submit: s.submit,
+                    bank_arrive: s.bank_arrive,
+                    mc_send: s.mc_send,
+                    mc_respond: s.mc_respond,
+                    bank_fill: s.bank_fill,
+                    respond: s.respond,
+                    complete: now,
+                });
+            } else {
+                self.dropped_slices += 1;
+            }
+        }
+    }
+
+    /// Aggregate histogram for a lifecycle stage.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Per-bank histograms of the `Bank` stage (queueing + lookup +
+    /// MSHR wait), indexed by global bank.
+    #[must_use]
+    pub fn per_bank(&self) -> &[Histogram] {
+        &self.per_bank
+    }
+
+    /// Per-controller histograms of the `Mc` stage.
+    #[must_use]
+    pub fn per_mc(&self) -> &[Histogram] {
+        &self.per_mc
+    }
+
+    /// Completed lifecycles retained for trace export (empty unless
+    /// slice collection was enabled).
+    #[must_use]
+    pub fn slices(&self) -> &[RequestSlice] {
+        &self.slices
+    }
+
+    /// Lifecycles discarded after [`SLICE_CAP`] was reached.
+    #[must_use]
+    pub fn dropped_slices(&self) -> u64 {
+        self.dropped_slices
+    }
+
+    /// Requests currently holding stamps (in flight).
+    #[must_use]
+    pub fn tracked_in_flight(&self) -> usize {
+        self.stamps.len()
+    }
+}

@@ -1,0 +1,188 @@
+//! Chrome trace-event JSON builder.
+//!
+//! Emits the subset of the trace-event format that chrome://tracing and
+//! Perfetto load without configuration: complete events (`"ph": "X"`)
+//! with microsecond-denominated `ts`/`dur` fields. We map one simulated
+//! cycle to one microsecond, so the Perfetto timeline reads directly in
+//! cycles. `pid` groups a subsystem (cores vs. memory hierarchy) and
+//! `tid` selects the row within it.
+
+use crate::json::JsonValue;
+
+/// One complete ("X") trace event.
+#[derive(Debug, Clone)]
+pub struct ChromeEvent {
+    /// Slice label shown on the timeline.
+    pub name: String,
+    /// Comma-separated categories (filterable in the UI).
+    pub cat: &'static str,
+    /// Start, in cycles.
+    pub ts: u64,
+    /// Duration, in cycles.
+    pub dur: u64,
+    /// Process row group.
+    pub pid: u32,
+    /// Thread row within the group.
+    pub tid: u32,
+    /// Extra `args` fields shown when the slice is selected.
+    pub args: Vec<(String, JsonValue)>,
+}
+
+/// Builder that accumulates events and serializes the final document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+    names: Vec<((u32, u32), String)>,
+    process_names: Vec<(u32, String)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Labels a `pid` row group (emitted as a `process_name` metadata
+    /// event).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.process_names.push((pid, name.to_owned()));
+    }
+
+    /// Labels a `(pid, tid)` row (emitted as a `thread_name` metadata
+    /// event).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.names.push(((pid, tid), name.to_owned()));
+    }
+
+    /// Appends a complete event.
+    pub fn push(&mut self, event: ChromeEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of slice events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no slice events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes to the trace-event JSON object format
+    /// (`{"traceEvents": [...], "displayTimeUnit": "ns"}`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut events =
+            Vec::with_capacity(self.events.len() + self.names.len() + self.process_names.len());
+        for (pid, name) in &self.process_names {
+            events.push(metadata_event("process_name", *pid, 0, name));
+        }
+        for ((pid, tid), name) in &self.names {
+            events.push(metadata_event("thread_name", *pid, *tid, name));
+        }
+        for e in &self.events {
+            let mut obj = JsonValue::object()
+                .with("name", e.name.as_str())
+                .with("cat", e.cat)
+                .with("ph", "X")
+                .with("ts", e.ts)
+                .with("dur", e.dur)
+                .with("pid", e.pid)
+                .with("tid", e.tid);
+            if !e.args.is_empty() {
+                obj = obj.with("args", JsonValue::Object(e.args.clone()));
+            }
+            events.push(obj);
+        }
+        JsonValue::object()
+            .with("traceEvents", JsonValue::Array(events))
+            .with("displayTimeUnit", "ns")
+    }
+
+    /// Serializes the document to a JSON string.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+fn metadata_event(kind: &str, pid: u32, tid: u32, name: &str) -> JsonValue {
+    JsonValue::object()
+        .with("name", kind)
+        .with("ph", "M")
+        .with("pid", pid)
+        .with("tid", tid)
+        .with("args", JsonValue::object().with("name", name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn document_shape_is_trace_event_format() {
+        let mut trace = ChromeTrace::new();
+        trace.name_process(1, "cores");
+        trace.name_thread(1, 0, "core 0");
+        trace.push(ChromeEvent {
+            name: "load miss".to_owned(),
+            cat: "mem",
+            ts: 100,
+            dur: 40,
+            pid: 1,
+            tid: 0,
+            args: vec![("line".to_owned(), JsonValue::UInt(0xabc))],
+        });
+        let doc = trace.to_json();
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        // Metadata events come first.
+        assert_eq!(events[0].get("ph").and_then(JsonValue::as_str), Some("M"));
+        let slice = &events[2];
+        assert_eq!(slice.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(slice.get("ts").and_then(JsonValue::as_u64), Some(100));
+        assert_eq!(slice.get("dur").and_then(JsonValue::as_u64), Some(40));
+        assert_eq!(
+            slice
+                .get("args")
+                .and_then(|a| a.get("line"))
+                .and_then(JsonValue::as_u64),
+            Some(0xabc)
+        );
+    }
+
+    #[test]
+    fn serialized_document_parses_back() {
+        let mut trace = ChromeTrace::new();
+        trace.push(ChromeEvent {
+            name: "e2e".to_owned(),
+            cat: "request",
+            ts: 0,
+            dur: 1,
+            pid: 2,
+            tid: 3,
+            args: Vec::new(),
+        });
+        let text = trace.to_string_pretty();
+        let parsed = json::parse(&text).unwrap();
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = ChromeTrace::new().to_json();
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

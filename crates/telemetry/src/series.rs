@@ -1,0 +1,354 @@
+//! Epoch-sampled time series with bounded memory.
+//!
+//! The simulator pushes one [`Sample`] per metrics epoch. To keep the
+//! ring in-memory for arbitrarily long runs, the series compacts by
+//! merging adjacent sample pairs once it reaches its capacity: summed
+//! counters add, occupancy gauges keep their end-of-epoch value, and
+//! the effective epoch length doubles. Compaction preserves every
+//! column's total, so invariants like "per-epoch retired deltas sum to
+//! total retired" survive any number of compactions.
+
+/// Delta counters and end-of-epoch gauges for one metrics epoch.
+///
+/// `retired`/`hits`-style fields are deltas over `[start, end)`;
+/// `*_occupancy`/`*_depth` fields are gauges sampled at `end`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sample {
+    /// First cycle covered by this epoch (inclusive).
+    pub start: u64,
+    /// Last cycle covered by this epoch (exclusive).
+    pub end: u64,
+    /// Instructions retired across all cores during the epoch.
+    pub retired: u64,
+    /// Cycles cores spent stalled on RAW dependencies during the epoch.
+    pub dep_stall_cycles: u64,
+    /// Cycles cores spent stalled on instruction fetch during the epoch.
+    pub fetch_stall_cycles: u64,
+    /// L2 hits across all banks during the epoch.
+    pub l2_hits: u64,
+    /// L2 misses across all banks during the epoch.
+    pub l2_misses: u64,
+    /// NoC traversals during the epoch.
+    pub noc_traversals: u64,
+    /// Requests completed by the hierarchy during the epoch.
+    pub completed: u64,
+    /// Outstanding MSHR entries summed over banks, at epoch end.
+    pub mshr_occupancy: u64,
+    /// Requests parked waiting for an MSHR, summed over banks, at epoch end.
+    pub queued_requests: u64,
+    /// Requests in flight anywhere in the hierarchy at epoch end.
+    pub in_flight: u64,
+    /// Memory-controller channels busy at epoch end.
+    pub mc_busy_channels: u64,
+    /// Per-core `[retired, dep_stall_cycles, fetch_stall_cycles]` deltas.
+    pub per_core: Vec<[u64; 3]>,
+    /// Per-bank `[hits, misses, mshr_occupancy]`; the first two are
+    /// deltas, the third is an end-of-epoch gauge.
+    pub per_bank: Vec<[u64; 3]>,
+}
+
+impl Sample {
+    /// Cycles covered by this epoch.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Aggregate IPC over the epoch (0.0 for empty epochs).
+    #[must_use]
+    pub fn ipc(&self, cores: usize) -> f64 {
+        let core_cycles = self.cycles().saturating_mul(cores as u64);
+        if core_cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / core_cycles as f64
+        }
+    }
+
+    fn absorb(&mut self, next: &Sample) {
+        debug_assert!(self.end <= next.start, "samples out of order");
+        self.end = next.end;
+        self.retired += next.retired;
+        self.dep_stall_cycles += next.dep_stall_cycles;
+        self.fetch_stall_cycles += next.fetch_stall_cycles;
+        self.l2_hits += next.l2_hits;
+        self.l2_misses += next.l2_misses;
+        self.noc_traversals += next.noc_traversals;
+        self.completed += next.completed;
+        // Gauges: the merged epoch ends where `next` ended.
+        self.mshr_occupancy = next.mshr_occupancy;
+        self.queued_requests = next.queued_requests;
+        self.in_flight = next.in_flight;
+        self.mc_busy_channels = next.mc_busy_channels;
+        merge_triples(&mut self.per_core, &next.per_core, [true, true, true]);
+        merge_triples(&mut self.per_bank, &next.per_bank, [true, true, false]);
+    }
+}
+
+/// Element-wise merge of `[u64; 3]` rows: `add[i]` sums the column,
+/// otherwise the later (gauge) value wins.
+fn merge_triples(into: &mut Vec<[u64; 3]>, from: &[[u64; 3]], add: [bool; 3]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), [0; 3]);
+    }
+    for (mine, theirs) in into.iter_mut().zip(from) {
+        for i in 0..3 {
+            if add[i] {
+                mine[i] += theirs[i];
+            } else {
+                mine[i] = theirs[i];
+            }
+        }
+    }
+}
+
+/// A bounded, compacting sequence of epoch samples.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+    capacity: usize,
+    compactions: u32,
+}
+
+impl TimeSeries {
+    /// Default capacity before pair-merge compaction kicks in.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A series that compacts once it holds `capacity` samples
+    /// (minimum 2).
+    #[must_use]
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            samples: Vec::new(),
+            capacity: capacity.max(2),
+            compactions: 0,
+        }
+    }
+
+    /// Appends one epoch sample, compacting first if at capacity.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() >= self.capacity {
+            self.compact();
+        }
+        self.samples.push(sample);
+    }
+
+    /// Merges adjacent pairs in place, halving the length (an odd
+    /// trailing sample is kept as-is).
+    fn compact(&mut self) {
+        let mut merged = Vec::with_capacity(self.samples.len() / 2 + 1);
+        let mut iter = self.samples.drain(..);
+        while let Some(mut first) = iter.next() {
+            if let Some(second) = iter.next() {
+                first.absorb(&second);
+            }
+            merged.push(first);
+        }
+        drop(iter);
+        self.samples = merged;
+        self.compactions += 1;
+    }
+
+    /// The samples currently held, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// How many pair-merge compactions have run.
+    #[must_use]
+    pub fn compactions(&self) -> u32 {
+        self.compactions
+    }
+
+    /// Number of samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serializes the series as CSV: a header row, then one row per
+    /// epoch. Per-core and per-bank columns are sized by the widest
+    /// sample, and rows missing those entries report 0.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let cores = self
+            .samples
+            .iter()
+            .map(|s| s.per_core.len())
+            .max()
+            .unwrap_or(0);
+        let banks = self
+            .samples
+            .iter()
+            .map(|s| s.per_bank.len())
+            .max()
+            .unwrap_or(0);
+
+        let mut out = String::new();
+        out.push_str(
+            "epoch,start,end,retired,ipc,dep_stall_frac,fetch_stall_frac,\
+             l2_hits,l2_misses,noc_traversals,completed,\
+             mshr_occupancy,queued_requests,in_flight,mc_busy_channels",
+        );
+        for c in 0..cores {
+            let _ = write!(
+                out,
+                ",core{c}_retired,core{c}_dep_stall,core{c}_fetch_stall"
+            );
+        }
+        for b in 0..banks {
+            let _ = write!(out, ",bank{b}_hits,bank{b}_misses,bank{b}_mshr");
+        }
+        out.push('\n');
+
+        for (epoch, s) in self.samples.iter().enumerate() {
+            let cycles = s.cycles();
+            let core_cycles = cycles.saturating_mul(cores.max(1) as u64);
+            let frac = |v: u64| {
+                if core_cycles == 0 {
+                    0.0
+                } else {
+                    v as f64 / core_cycles as f64
+                }
+            };
+            let _ = write!(
+                out,
+                "{epoch},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+                s.start,
+                s.end,
+                s.retired,
+                s.ipc(cores.max(1)),
+                frac(s.dep_stall_cycles),
+                frac(s.fetch_stall_cycles),
+                s.l2_hits,
+                s.l2_misses,
+                s.noc_traversals,
+                s.completed,
+                s.mshr_occupancy,
+                s.queued_requests,
+                s.in_flight,
+                s.mc_busy_channels,
+            );
+            for c in 0..cores {
+                let row = s.per_core.get(c).copied().unwrap_or([0; 3]);
+                let _ = write!(out, ",{},{},{}", row[0], row[1], row[2]);
+            }
+            for b in 0..banks {
+                let row = s.per_bank.get(b).copied().unwrap_or([0; 3]);
+                let _ = write!(out, ",{},{},{}", row[0], row[1], row[2]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(start: u64, end: u64, retired: u64) -> Sample {
+        Sample {
+            start,
+            end,
+            retired,
+            per_core: vec![[retired, 1, 0], [0, 2, 1]],
+            per_bank: vec![[3, 1, 2]],
+            mshr_occupancy: retired % 5,
+            ..Sample::default()
+        }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_all_samples() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..5 {
+            ts.push(sample(i * 100, (i + 1) * 100, 10));
+        }
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.compactions(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_counter_totals() {
+        let mut ts = TimeSeries::new(4);
+        let mut pushed_retired = 0u64;
+        for i in 0..33 {
+            let s = sample(i * 100, (i + 1) * 100, i + 1);
+            pushed_retired += s.retired;
+            ts.push(s);
+        }
+        assert!(ts.compactions() > 0);
+        assert!(ts.len() <= 4 + 1);
+        let total: u64 = ts.samples().iter().map(|s| s.retired).sum();
+        assert_eq!(total, pushed_retired);
+        // Per-core retired column keeps the same total too.
+        let core0: u64 = ts.samples().iter().map(|s| s.per_core[0][0]).sum();
+        assert_eq!(core0, pushed_retired);
+        // Time coverage stays contiguous.
+        assert_eq!(ts.samples().first().unwrap().start, 0);
+        assert_eq!(ts.samples().last().unwrap().end, 3300);
+        for pair in ts.samples().windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn gauges_take_end_of_epoch_value() {
+        let mut a = sample(0, 100, 4); // mshr gauge 4
+        let b = sample(100, 200, 7); // mshr gauge 2
+        a.absorb(&b);
+        assert_eq!(a.mshr_occupancy, 2);
+        // Bank column 2 is a gauge: takes b's value, not the sum.
+        assert_eq!(a.per_bank[0][2], 2);
+        // Bank columns 0/1 are counters: summed.
+        assert_eq!(a.per_bank[0][0], 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_per_entity_columns() {
+        let mut ts = TimeSeries::new(8);
+        ts.push(sample(0, 1000, 500));
+        let csv = ts.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("epoch,start,end,retired,ipc"));
+        assert!(header.contains("core1_dep_stall"));
+        assert!(header.contains("bank0_mshr"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), header.split(',').count());
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn empty_series_yields_header_only() {
+        let ts = TimeSeries::default();
+        let csv = ts.to_csv();
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn ipc_handles_zero_length_epochs() {
+        let s = Sample {
+            start: 5,
+            end: 5,
+            retired: 10,
+            ..Sample::default()
+        };
+        assert_eq!(s.ipc(4), 0.0);
+    }
+}

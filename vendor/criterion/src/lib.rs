@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -22,14 +23,20 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_millis(1500),
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
-    /// Parses CLI arguments. This subset accepts and ignores them
-    /// (cargo passes `--bench`).
-    pub fn configure_from_args(self) -> Criterion {
+    /// Parses CLI arguments. This subset recognizes `--test` (run each
+    /// benchmark once with a tiny time budget, as a smoke test — what
+    /// `cargo bench -- --test` means in real criterion) and accepts
+    /// and ignores everything else (cargo passes `--bench`).
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -39,14 +46,26 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
 
     /// Runs a single benchmark outside any group.
     pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
-        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        let (sample_size, measurement_time) =
+            effective(self.sample_size, self.measurement_time, self.test_mode);
         run_one(&name.into(), sample_size, measurement_time, f);
+    }
+}
+
+/// Sampling settings after applying `--test` mode (one sample, tiny
+/// time budget) over the configured values.
+fn effective(sample_size: usize, measurement_time: Duration, test_mode: bool) -> (usize, Duration) {
+    if test_mode {
+        (1, Duration::from_millis(1))
+    } else {
+        (sample_size, measurement_time)
     }
 }
 
@@ -55,6 +74,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -91,9 +111,9 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label);
-        run_one(&label, self.sample_size, self.measurement_time, |b| {
-            f(b, input)
-        });
+        let (sample_size, measurement_time) =
+            effective(self.sample_size, self.measurement_time, self.test_mode);
+        run_one(&label, sample_size, measurement_time, |b| f(b, input));
         self
     }
 
@@ -104,7 +124,9 @@ impl BenchmarkGroup<'_> {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, name.into());
-        run_one(&label, self.sample_size, self.measurement_time, f);
+        let (sample_size, measurement_time) =
+            effective(self.sample_size, self.measurement_time, self.test_mode);
+        run_one(&label, sample_size, measurement_time, f);
         self
     }
 
