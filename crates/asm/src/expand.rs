@@ -770,6 +770,7 @@ fn branch(op: BranchOp, rs1: XReg, rs2: XReg, offset: i64) -> R<Vec<Inst>> {
     }])
 }
 
+#[derive(Clone, Copy)]
 enum PcrelKind {
     Address,
     Call,

@@ -139,7 +139,7 @@ pub fn mapping_policy(scale: Scale) -> Table {
                 .hierarchy
                 .banks
                 .iter()
-                .map(|b| b.accesses())
+                .map(coyote_mem::l2::BankStats::accesses)
                 .collect();
             let max = accesses.iter().copied().max().unwrap_or(0) as f64;
             let mean = accesses.iter().sum::<u64>() as f64 / accesses.len().max(1) as f64;

@@ -6,6 +6,7 @@
 //! paper's figure and [`experiments`] for the remaining evaluation
 //! axes. Experiment ids match the DESIGN.md per-experiment index.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

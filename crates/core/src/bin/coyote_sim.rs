@@ -36,6 +36,10 @@ struct Options {
     chrome_trace_path: Option<String>,
 }
 
+fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut source = None;
@@ -45,10 +49,6 @@ fn parse_args() -> Result<Options, String> {
     let mut chrome_trace_path = None;
     let mut mesh: Option<(usize, usize)> = None;
     let mut noc_latency: Option<u64> = None;
-
-    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
-        args.next().ok_or_else(|| format!("{flag} needs a value"))
-    }
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -243,8 +243,7 @@ fn run(options: &Options) -> Result<i64, String> {
 
     Ok(report
         .exit_codes()
-        .map(|codes| codes.into_iter().max().unwrap_or(0))
-        .unwrap_or(-1))
+        .map_or(-1, |codes| codes.into_iter().max().unwrap_or(0)))
 }
 
 fn main() -> ExitCode {

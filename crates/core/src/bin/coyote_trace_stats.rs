@@ -13,7 +13,7 @@
 //! stressed"). With `--json` the same summary is emitted as a JSON
 //! document (same writer as `coyote-sim --metrics-out`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use coyote::trace::{STATE_DEP_STALL, STATE_FETCH_STALL, STATE_RUNNING};
@@ -95,7 +95,9 @@ fn summarize(trace: &Trace, top: usize) -> Summary {
     })
     .collect();
 
-    let mut per_line: HashMap<u64, usize> = HashMap::new();
+    // Keyed by address so ties in the hotness sort (and therefore the
+    // emitted JSON) are byte-stable across runs.
+    let mut per_line: BTreeMap<u64, usize> = BTreeMap::new();
     for event in trace.events() {
         *per_line.entry(event.line_addr).or_default() += 1;
     }

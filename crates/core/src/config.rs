@@ -67,6 +67,13 @@ pub struct SimConfig {
     /// `telemetry`; bounded memory, see
     /// [`coyote_mem::telemetry::SLICE_CAP`]).
     pub chrome_trace: bool,
+    /// Schedule-perturbation seed for the `coyote-audit --race`
+    /// detector. 0 (the default) is the canonical schedule; any other
+    /// value permutes the pop order of same-cycle events from
+    /// *different* arbitration domains in the hierarchy event queue — a
+    /// legal reordering that must not change any architectural result
+    /// or statistic.
+    pub perturb_seed: u64,
 }
 
 impl Default for SimConfig {
@@ -89,6 +96,7 @@ impl Default for SimConfig {
             telemetry: false,
             metrics_interval: 10_000,
             chrome_trace: false,
+            perturb_seed: 0,
         }
     }
 }
@@ -126,6 +134,7 @@ impl SimConfig {
             noc: self.noc,
             mc: self.mc,
             prefetch_degree: self.prefetch_degree,
+            perturb_seed: self.perturb_seed,
         }
     }
 
@@ -348,6 +357,14 @@ impl SimConfigBuilder {
         if chrome_trace {
             self.config.telemetry = true;
         }
+        self
+    }
+
+    /// Sets the schedule-perturbation seed (0 = canonical order; used
+    /// by `coyote-audit --race`).
+    #[must_use]
+    pub fn perturb_seed(mut self, seed: u64) -> Self {
+        self.config.perturb_seed = seed;
         self
     }
 

@@ -38,6 +38,7 @@
 //! SpMV, stencil) and the `coyote-bench` crate for the harness that
 //! regenerates the paper's evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -157,6 +157,7 @@ fn histograms_json(sim: &Simulation) -> JsonValue {
         .with("per_bank", JsonValue::Array(per_bank))
         .with("per_mc", JsonValue::Array(per_mc))
         .with("dropped_slices", mem.dropped_slices())
+        .with("stamp_errors", mem.stamp_errors())
 }
 
 /// One histogram as JSON: exact aggregates, bucket-bound percentiles,
@@ -252,7 +253,12 @@ pub fn chrome_trace_json(sim: &Simulation) -> JsonValue {
     }
 
     if let Some(mem) = sim.mem_telemetry() {
-        for slice in mem.slices() {
+        // Slices accumulate in completion pop order, which same-cycle
+        // completions leave unspecified; sort canonically so the
+        // exported trace is byte-stable across legal schedules.
+        let mut slices: Vec<_> = mem.slices().to_vec();
+        slices.sort_by_key(|s| (s.submit, s.complete, s.line_addr, s.tag));
+        for slice in &slices {
             let name = request_name(slice.tag);
             let (core, _) = crate::sim::decode_tag(slice.tag);
             let args = vec![

@@ -296,6 +296,67 @@ impl Simulation {
         &self.chrome_states
     }
 
+    /// Enables hierarchy event logging (one record per handled event)
+    /// for `coyote-audit --race` divergence localization.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.hierarchy.set_event_log(enabled);
+    }
+
+    /// Takes the accumulated hierarchy event log, leaving it empty.
+    #[must_use]
+    pub fn take_event_log(&mut self) -> Vec<coyote_mem::hierarchy::EventRecord> {
+        self.hierarchy.take_event_log()
+    }
+
+    /// Arms the deliberate `HashMap`-ordered event drain in the
+    /// hierarchy. Test hook proving `coyote-audit --race` fires on a
+    /// genuine schedule race; never use outside the detector's
+    /// self-test.
+    #[doc(hidden)]
+    pub fn debug_inject_unordered_drain(&mut self) {
+        self.hierarchy.debug_inject_unordered_drain();
+    }
+
+    /// Order-insensitive digest of the architecturally visible outcome:
+    /// final cycle count, every core's exit code, statistics, cache
+    /// counters and console bytes, the hierarchy statistics, and the
+    /// full functional-memory image.
+    ///
+    /// Two runs of the same program and config must produce equal
+    /// digests even when their same-cycle cross-domain event pop order
+    /// differs ([`SimConfig::perturb_seed`]); a mismatch is a
+    /// schedule race.
+    #[must_use]
+    pub fn determinism_digest(&self) -> u64 {
+        fn fnv(acc: u64, bytes: &[u8]) -> u64 {
+            let mut h = acc;
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv(h, &self.cycle.to_le_bytes());
+        for core in &self.cores {
+            let exit = match core.state() {
+                CoreState::Halted(code) => format!("halt:{code}"),
+                other => format!("{other:?}"),
+            };
+            let line = format!(
+                "core {} {exit} {:?} {:?} {:?}",
+                core.index(),
+                core.stats(),
+                core.icache_stats(),
+                core.dcache_stats(),
+            );
+            h = fnv(h, line.as_bytes());
+            h = fnv(h, core.console());
+        }
+        h = fnv(h, format!("{:?}", self.hierarchy.stats()).as_bytes());
+        h = fnv(h, &self.mem.digest().to_le_bytes());
+        h
+    }
+
     /// Runs until every core exits, producing the report.
     ///
     /// # Errors
@@ -303,6 +364,9 @@ impl Simulation {
     /// Returns [`RunError`] on core faults, deadlock, or when
     /// `max_cycles` is exceeded.
     pub fn run(&mut self) -> Result<Report, RunError> {
+        // audit:allow(wall-clock): wall time feeds only the report's
+        // host-MIPS diagnostics, never the model; exports that must be
+        // byte-stable zero it (see `coyote_lint::race::run_once`).
         let started = Instant::now();
         loop {
             if self.step_cycle()? {

@@ -186,7 +186,8 @@ fn metrics_out_writes_well_formed_json_and_csv() {
     let text = std::fs::read_to_string(metrics.with_extension("json")).expect("metrics json");
     let doc = coyote_telemetry::parse_json(&text).expect("valid JSON");
     assert_eq!(
-        doc.get("schema_version").and_then(|v| v.as_u64()),
+        doc.get("schema_version")
+            .and_then(coyote_telemetry::JsonValue::as_u64),
         Some(coyote::SCHEMA_VERSION)
     );
     assert!(doc
@@ -309,7 +310,11 @@ fn trace_stats_shows_idle_cores_and_emits_json() {
     assert_eq!(output.status.code(), Some(0));
     let doc = coyote_telemetry::parse_json(&String::from_utf8_lossy(&output.stdout))
         .expect("valid JSON from --json");
-    assert_eq!(doc.get("cores").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(
+        doc.get("cores")
+            .and_then(coyote_telemetry::JsonValue::as_u64),
+        Some(4)
+    );
     let per_core = doc
         .get("per_core")
         .and_then(|v| v.as_array())

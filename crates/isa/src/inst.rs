@@ -5,7 +5,7 @@
 //! subset of A, the `Zicsr` instructions, the D floating-point extension
 //! and a substantial slice of the V vector extension (unit-stride,
 //! strided and indexed memory operations plus the integer/floating-point
-//! arithmetic used by matmul, SpMV and stencil kernels).
+//! arithmetic used by matmul, `SpMV` and stencil kernels).
 //!
 //! The representation is *semantic*: immediates are stored fully
 //! sign-extended and shifted, so the execution engine never re-derives

@@ -1302,6 +1302,7 @@ fn vector_elem_addr(hart: &Hart, base: u64, mode: VAddrMode, eew: Sew, i: u64) -
     }
 }
 
+#[derive(Clone, Copy)]
 enum VIntSrc {
     Vector(VReg),
     Scalar(u64),

@@ -172,6 +172,36 @@ impl SparseMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Order-insensitive digest of the full memory image.
+    ///
+    /// Two memories with identical contents produce identical digests
+    /// regardless of page-map iteration order: each page contributes a
+    /// per-page hash (seeded by its page number) and the contributions
+    /// are combined with a commutative wrapping sum. Used by
+    /// `coyote-audit --race` to compare final architectural state
+    /// between schedule-perturbed runs.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fn mix(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        let mut acc = 0u64;
+        // audit:allow(hashmap-iter): the wrapping sum is commutative,
+        // so iteration order cannot leak into the digest.
+        for (page_no, page) in &self.pages {
+            let mut h = mix(*page_no ^ 0x636f_796f_7465_6d65);
+            for chunk in page.chunks_exact(8) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                h = mix(h ^ u64::from_le_bytes(b));
+            }
+            acc = acc.wrapping_add(mix(h));
+        }
+        acc
+    }
 }
 
 #[cfg(test)]

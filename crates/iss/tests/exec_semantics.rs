@@ -452,7 +452,7 @@ fn vector_lmul2_group_operations() {
     // LMUL=2: 32 e64 elements spanning two architectural registers.
     let mut data = String::from(".data\nsrc:\n");
     for i in 0..32 {
-        data.push_str(&format!(".dword {}\n", i));
+        data.push_str(&format!(".dword {i}\n"));
     }
     data.push_str("dst: .zero 256\n");
     let src = format!(

@@ -1,0 +1,25 @@
+//! `coyote-lint`: the determinism auditor behind the `coyote-audit`
+//! binary.
+//!
+//! Two analysis layers, both wired into CI as hard gates:
+//!
+//! * [`lint`] — a hand-rolled static source lint (no `syn`, in keeping
+//!   with the vendored-stub, no-external-deps policy) that walks
+//!   `crates/*/src` and flags project-specific determinism hazards:
+//!   iteration over default-hasher `HashMap`/`HashSet` in model crates,
+//!   wall-clock reads, lossy casts on cycle/latency counters, bare
+//!   `unwrap()` in library code, and missing `#![forbid(unsafe_code)]`
+//!   crate-root attributes. Findings can be suppressed in-source with
+//!   `// audit:allow(<rule>)` or via the checked-in `audit.baseline`.
+//! * [`race`] — a dynamic schedule-race detector that runs a simulation
+//!   twice, the second time with a seeded perturbation of same-cycle
+//!   cross-domain event pop order (a legal reordering by the event
+//!   queue's arbitration-domain contract), and diffs final
+//!   architectural state, hierarchy counters, and the metrics JSON
+//!   byte-for-byte. Any difference is a latent event-ordering race and
+//!   is reported with the first divergent cycle and event pair.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod race;

@@ -1,0 +1,5 @@
+//! A crate root with the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

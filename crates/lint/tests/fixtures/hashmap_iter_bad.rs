@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+pub fn export(counts: &HashMap<u64, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut per_line: HashMap<u64, usize> = HashMap::new();
+    per_line.insert(1, 2);
+    for (addr, count) in per_line.into_iter() {
+        rows.push(format!("{addr},{count}"));
+    }
+    for (addr, count) in counts.iter() {
+        rows.push(format!("{addr},{count}"));
+    }
+    rows
+}

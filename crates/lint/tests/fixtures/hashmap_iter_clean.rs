@@ -1,0 +1,14 @@
+use std::collections::BTreeMap;
+
+pub fn export(counts: &BTreeMap<u64, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut per_line: BTreeMap<u64, usize> = BTreeMap::new();
+    per_line.insert(1, 2);
+    for (addr, count) in per_line {
+        rows.push(format!("{addr},{count}"));
+    }
+    for (addr, count) in counts.iter() {
+        rows.push(format!("{addr},{count}"));
+    }
+    rows
+}

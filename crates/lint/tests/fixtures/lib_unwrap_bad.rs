@@ -1,0 +1,3 @@
+pub fn parse(input: &str) -> u64 {
+    input.parse().unwrap()
+}

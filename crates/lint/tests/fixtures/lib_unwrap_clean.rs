@@ -1,0 +1,17 @@
+pub fn parse(input: &str) -> Result<u64, std::num::ParseIntError> {
+    input.parse()
+}
+
+pub fn invariant(values: &[u64]) -> u64 {
+    *values
+        .first()
+        .expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,5 @@
+pub fn bucket(cycle: u64, latency: u64) -> (u32, u16) {
+    let short_cycle = cycle as u32;
+    let short_latency = latency as u16;
+    (short_cycle, short_latency)
+}

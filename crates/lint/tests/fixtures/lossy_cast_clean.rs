@@ -1,0 +1,5 @@
+pub fn bucket(cycle: u64, latency: u64, word: u64) -> (u64, u64, u32) {
+    // Counters stay wide; only non-temporal bit manipulation narrows.
+    let imm = word as u32;
+    (cycle, latency, imm)
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}

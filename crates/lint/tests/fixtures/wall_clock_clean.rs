@@ -1,0 +1,4 @@
+pub fn stamp(cycle: u64) -> u64 {
+    // Simulated time is the only clock the model may read.
+    cycle
+}

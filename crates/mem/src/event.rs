@@ -1,17 +1,95 @@
-//! Deterministic discrete-event kernel.
+//! Deterministic discrete-event kernel with auditable tie arbitration.
 //!
 //! The Sparta framework's essential service to Coyote is a cycle-ordered
 //! event queue driving modular components. [`EventQueue`] reproduces
-//! that: events fire in (time, insertion-sequence) order, so identical
-//! inputs always produce identical simulations — a property the
-//! simulator's tests assert end-to-end.
+//! that, with one addition motivated by the determinism audit
+//! (`coyote-audit --race`): same-cycle ties are not broken by incidental
+//! insertion order but by an explicit arbitration contract.
+//!
+//! Every event scheduled through [`EventQueue::schedule_arb`] carries
+//!
+//! * a [`Domain`] — the component whose state the handler will touch
+//!   (an L2 bank, a memory controller, a tile's response port), and
+//! * a `rank` — a canonical value derived from the *content* of the
+//!   request (miss kind, line address, tag), independent of the order
+//!   in which the scheduling handlers happened to run.
+//!
+//! Events due on the same cycle fire ordered by `(domain group, rank)`.
+//! Within a domain this makes arbitration (MSHR grants, LRU stamping,
+//! channel assignment) a deterministic function of the colliding
+//! requests themselves. Across *different* domains the order is
+//! irrelevant by design — handlers of distinct domains must touch
+//! disjoint state — and the schedule-race detector enforces exactly
+//! that: under a nonzero perturbation seed the cross-domain group order
+//! is permuted (a legal reordering), and any observable difference
+//! versus the unperturbed run is a latent event-ordering race.
+//!
+//! [`EventQueue::schedule`] (no domain) keeps the historical contract:
+//! same-time events fire in insertion order, unaffected by perturbation.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// The component state an event handler is allowed to mutate.
+///
+/// Two same-cycle events in the same domain are ordered by their
+/// canonical rank (arbitration is content-deterministic). Two
+/// same-cycle events in different domains may fire in either order —
+/// the perturbation seed exercises both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// An L2 bank (tag array, MSHR file, waiting queue, merge table).
+    Bank(usize),
+    /// A memory controller (channels, open rows, queue accounting).
+    Mc(usize),
+    /// A tile's completion/response port.
+    Tile(usize),
+    /// Touches no arbitrated component state (e.g. a pure NoC hop whose
+    /// only side effects are commutative counters).
+    Free,
+}
+
+impl Domain {
+    /// Stable encoding used for ordering and seed mixing.
+    #[must_use]
+    fn code(self) -> u64 {
+        match self {
+            Domain::Free => 0,
+            Domain::Bank(i) => (1 << 32) | i as u64,
+            Domain::Mc(i) => (2 << 32) | i as u64,
+            Domain::Tile(i) => (3 << 32) | i as u64,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used to
+/// derive canonical ranks and to permute domain groups under a seed.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Canonical event rank from request content. The inputs must be
+/// derivable from the request itself (never from scheduling order or
+/// internal ids, which differ between perturbed runs).
+#[must_use]
+pub fn content_rank(kind: u64, line_addr: u64, tag: u64) -> u64 {
+    mix64(kind ^ mix64(line_addr) ^ mix64(tag.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     time: u64,
+    /// Domain group order within a cycle: the domain code, or its
+    /// seed-mixed permutation under perturbation.
+    group: u64,
+    /// Canonical content rank within the domain group.
+    rank: u64,
+    /// Insertion sequence, the final tiebreak (and the whole tiebreak
+    /// for plain `schedule`).
     seq: u64,
 }
 
@@ -58,6 +136,8 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
+    /// 0 = canonical order; nonzero permutes cross-domain group order.
+    perturb_seed: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -67,20 +147,64 @@ impl<T> Default for EventQueue<T> {
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with canonical (unperturbed) ordering.
     #[must_use]
     pub fn new() -> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            perturb_seed: 0,
         }
     }
 
+    /// Creates an empty queue whose same-cycle cross-domain order is
+    /// permuted by `seed` (0 means canonical order). Used by the
+    /// schedule-race detector; all permutations are legal orderings
+    /// under the [`Domain`] contract.
+    #[must_use]
+    pub fn with_perturbation(seed: u64) -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            perturb_seed: seed,
+        }
+    }
+
+    /// The perturbation seed (0 when running canonically).
+    #[must_use]
+    pub fn perturb_seed(&self) -> u64 {
+        self.perturb_seed
+    }
+
     /// Schedules `payload` to fire at absolute `time`. Events scheduled
-    /// for the same time fire in scheduling order.
+    /// for the same time fire in scheduling order, regardless of any
+    /// perturbation seed.
     pub fn schedule(&mut self, time: u64, payload: T) {
         let key = Key {
             time,
+            group: 0,
+            rank: 0,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { key, payload }));
+    }
+
+    /// Schedules `payload` at `time` under the arbitration contract:
+    /// same-cycle ties fire ordered by domain group, then by the
+    /// canonical `rank` (see [`content_rank`]). The handler must touch
+    /// only the state of `domain` (plus commutative counters).
+    pub fn schedule_arb(&mut self, time: u64, domain: Domain, rank: u64, payload: T) {
+        let code = domain.code();
+        let group = if self.perturb_seed == 0 {
+            code
+        } else {
+            mix64(self.perturb_seed ^ code)
+        };
+        let key = Key {
+            time,
+            group,
+            rank,
             seq: self.seq,
         };
         self.seq += 1;
@@ -90,7 +214,7 @@ impl<T> EventQueue<T> {
     /// Pops the next event whose time is `<= now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<T> {
         if self.heap.peek().is_some_and(|e| e.0.key.time <= now) {
-            Some(self.heap.pop().expect("peeked").0.payload)
+            self.heap.pop().map(|e| e.0.payload)
         } else {
             None
         }
@@ -166,5 +290,69 @@ mod tests {
         assert_eq!(q.next_time(), Some(100));
         assert_eq!(q.pop_next(), Some((100, "far")));
         assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn arb_ties_order_by_rank_not_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule_arb(3, Domain::Bank(0), 9, "high-rank");
+        q.schedule_arb(3, Domain::Bank(0), 1, "low-rank");
+        assert_eq!(q.pop_due(3), Some("low-rank"));
+        assert_eq!(q.pop_due(3), Some("high-rank"));
+    }
+
+    #[test]
+    fn same_domain_order_survives_perturbation() {
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let mut q = EventQueue::with_perturbation(seed);
+            q.schedule_arb(2, Domain::Mc(1), 40, 'b');
+            q.schedule_arb(2, Domain::Mc(1), 30, 'a');
+            q.schedule_arb(2, Domain::Mc(1), 50, 'c');
+            assert_eq!(q.pop_due(2), Some('a'), "seed {seed}");
+            assert_eq!(q.pop_due(2), Some('b'), "seed {seed}");
+            assert_eq!(q.pop_due(2), Some('c'), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn perturbation_permutes_cross_domain_group_order() {
+        let drain = |seed: u64| {
+            let mut q = EventQueue::with_perturbation(seed);
+            for bank in 0..8usize {
+                q.schedule_arb(1, Domain::Bank(bank), 0, bank);
+            }
+            let mut order = Vec::new();
+            while let Some(b) = q.pop_due(1) {
+                order.push(b);
+            }
+            order
+        };
+        let canonical = drain(0);
+        assert_eq!(canonical, (0..8).collect::<Vec<_>>());
+        // At least one seed must produce a different cross-domain order
+        // (with 8 groups, all 16 seeds agreeing is impossible in
+        // practice and would mean the perturbation is inert).
+        assert!(
+            (1..=16u64).any(|seed| drain(seed) != canonical),
+            "perturbation never changed cross-domain order"
+        );
+    }
+
+    #[test]
+    fn perturbation_never_reorders_across_time() {
+        let mut q = EventQueue::with_perturbation(42);
+        q.schedule_arb(5, Domain::Bank(0), 0, "later");
+        q.schedule_arb(2, Domain::Mc(3), u64::MAX, "sooner");
+        assert_eq!(q.pop_next(), Some((2, "sooner")));
+        assert_eq!(q.pop_next(), Some((5, "later")));
+    }
+
+    #[test]
+    fn content_rank_is_stable_and_spread() {
+        let a = content_rank(1, 0x4000, 7);
+        assert_eq!(a, content_rank(1, 0x4000, 7));
+        assert_ne!(a, content_rank(2, 0x4000, 7));
+        assert_ne!(a, content_rank(1, 0x4040, 7));
+        assert_ne!(a, content_rank(1, 0x4000, 8));
     }
 }

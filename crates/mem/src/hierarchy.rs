@@ -14,7 +14,9 @@
 //!                      └→ [NoC] → MC (queue+latency) → [NoC] → fill → [NoC] → completion
 //! ```
 
-use crate::event::EventQueue;
+use std::fmt;
+
+use crate::event::{content_rank, mix64, Domain, EventQueue};
 use crate::fastmap::FastMap;
 use crate::l2::{BankStats, L2Bank, L2Config, Lookup};
 use crate::mapping::MappingPolicy;
@@ -53,6 +55,13 @@ pub struct HierarchyConfig {
     /// speculatively fetch this many sequential lines (0 = off, the
     /// paper's baseline; prefetching is the paper's named future work).
     pub prefetch_degree: usize,
+    /// Schedule-perturbation seed for the determinism audit (0 = the
+    /// canonical order). A nonzero seed permutes the firing order of
+    /// same-cycle events in *different* arbitration domains — a legal
+    /// reordering under the event contract (see [`crate::event`]) that
+    /// must not change any simulation observable. `coyote-audit --race`
+    /// runs a workload under several seeds and diffs the results.
+    pub perturb_seed: u64,
 }
 
 impl Default for HierarchyConfig {
@@ -66,6 +75,7 @@ impl Default for HierarchyConfig {
             noc: NocModel::default(),
             mc: McConfig::default(),
             prefetch_degree: 0,
+            perturb_seed: 0,
         }
     }
 }
@@ -128,6 +138,69 @@ enum Ev {
     BankFill(u64),
     /// Request `id`'s response reaches the requesting tile.
     Complete(u64),
+}
+
+impl Ev {
+    fn name(self) -> &'static str {
+        match self {
+            Ev::BankArrive(_) => "bank-arrive",
+            Ev::McSend(_) => "mc-send",
+            Ev::McRespond(_) => "mc-respond",
+            Ev::BankFill(_) => "bank-fill",
+            Ev::Complete(_) => "complete",
+        }
+    }
+
+    fn id(self) -> u64 {
+        match self {
+            Ev::BankArrive(id)
+            | Ev::McSend(id)
+            | Ev::McRespond(id)
+            | Ev::BankFill(id)
+            | Ev::Complete(id) => id,
+        }
+    }
+}
+
+/// One fired event, captured when the event log is enabled (the
+/// schedule-race detector uses the log to name the first divergent
+/// event pair between two runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Cycle the event fired at.
+    pub cycle: u64,
+    /// Event kind (`bank-arrive`, `mc-send`, `mc-respond`, `bank-fill`,
+    /// `complete`).
+    pub kind: &'static str,
+    /// The request's line address.
+    pub line_addr: u64,
+    /// The request's caller tag (0 for prefetches and writebacks).
+    pub tag: u64,
+    /// Serving bank (global index).
+    pub bank: usize,
+    /// Issuing tile.
+    pub tile: usize,
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {} {} line {:#x} tag {} bank {} tile {}",
+            self.cycle, self.kind, self.line_addr, self.tag, self.bank, self.tile
+        )
+    }
+}
+
+/// Canonical same-cycle rank for an event: a fixed kind priority in the
+/// top bits (within a bank, fills drain before fresh arrivals) and a
+/// content hash below, so arbitration between colliding events depends
+/// only on the requests themselves — never on the incidental order the
+/// scheduling handlers ran in.
+fn ev_rank(kind_priority: u64, kind_code: u64, state: &ReqState) -> u64 {
+    let flags =
+        u64::from(state.is_prefetch) | (u64::from(state.is_l2_writeback) << 1) | (kind_code << 2);
+    (kind_priority << 61) | (content_rank(flags, state.req.line_addr, state.req.tag) >> 3)
 }
 
 #[derive(Debug, Clone)]
@@ -202,6 +275,13 @@ pub struct Hierarchy {
     /// Lifecycle stamping, boxed so the disabled path costs one
     /// null-check per event and no per-request allocation.
     telemetry: Option<Box<MemTelemetry>>,
+    /// Fired-event capture for the schedule-race detector (off by
+    /// default; see [`Hierarchy::set_event_log`]).
+    event_log: Option<Vec<EventRecord>>,
+    /// Deliberately drain same-cycle events in hash-map order — an
+    /// injected schedule race used to prove the race detector fires
+    /// (see [`Hierarchy::debug_inject_unordered_drain`]).
+    inject_unordered_drain: bool,
 }
 
 impl Hierarchy {
@@ -222,7 +302,7 @@ impl Hierarchy {
             mcs: (0..config.mc.count)
                 .map(|_| MemoryController::new(config.mc))
                 .collect(),
-            events: EventQueue::new(),
+            events: EventQueue::with_perturbation(config.perturb_seed),
             states: FastMap::default(),
             next_id: 0,
             completions_out: Vec::new(),
@@ -230,6 +310,8 @@ impl Hierarchy {
             completed: 0,
             merged: 0,
             telemetry: None,
+            event_log: None,
+            inject_unordered_drain: false,
         })
     }
 
@@ -328,7 +410,60 @@ impl Hierarchy {
         let latency = self
             .noc
             .traverse_request(NocNode::Tile(req.tile), NocNode::Tile(self.bank_tile(bank)));
-        self.events.schedule(now + latency, Ev::BankArrive(id));
+        self.schedule_ev(now + latency, Ev::BankArrive(id));
+    }
+
+    /// Schedules a pipeline event under the arbitration contract: the
+    /// domain names the component the handler mutates, and the rank is
+    /// derived from the request content (see [`ev_rank`]).
+    fn schedule_ev(&mut self, time: u64, ev: Ev) {
+        let state = &self.states[&ev.id()];
+        let (domain, rank) = match ev {
+            // Within a bank, fills (priority 0) drain before arrivals
+            // (priority 1): a same-cycle fill+arrival to one line is a
+            // hit, canonically.
+            Ev::BankArrive(_) => (Domain::Bank(state.bank), ev_rank(1, 0, state)),
+            Ev::BankFill(_) => (Domain::Bank(state.bank), ev_rank(0, 3, state)),
+            Ev::McSend(_) => {
+                let mc = self
+                    .config
+                    .mc
+                    .mc_for(state.req.line_addr, self.config.l2.line_bytes);
+                (Domain::Mc(mc), ev_rank(0, 1, state))
+            }
+            // The MC-response hop mutates no arbitrated component (its
+            // side effects are commutative NoC counters), so it is free
+            // to reorder against everything.
+            Ev::McRespond(_) => (Domain::Free, ev_rank(0, 2, state)),
+            Ev::Complete(_) => (Domain::Tile(state.req.tile), ev_rank(0, 4, state)),
+        };
+        self.events.schedule_arb(time, domain, rank, ev);
+    }
+
+    /// Enables or disables fired-event capture. The log is consumed
+    /// with [`Hierarchy::take_event_log`]; the race detector uses it to
+    /// report the first divergent event pair between two runs.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.event_log = enabled.then(Vec::new);
+    }
+
+    /// Takes the captured event log (empty when logging is off).
+    pub fn take_event_log(&mut self) -> Vec<EventRecord> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Test hook: deliberately drains same-cycle events in hash-map
+    /// iteration order instead of the arbitration order — the classic
+    /// schedule race this audit exists to catch (std's `HashMap` would
+    /// produce a different drain order per process; here the order
+    /// depends on the perturbation seed so the detector's self-test is
+    /// deterministic). Never enable outside tests.
+    #[doc(hidden)]
+    pub fn debug_inject_unordered_drain(&mut self) {
+        self.inject_unordered_drain = true;
     }
 
     /// Advances the model to `now`, processing every event due at or
@@ -339,10 +474,59 @@ impl Hierarchy {
     /// are measured from `now`, so skipping past several distinct event
     /// times in one call would stretch modelled latencies.
     pub fn advance(&mut self, now: u64, completions: &mut Vec<Completion>) {
-        while let Some(ev) = self.events.pop_due(now) {
-            self.handle(now, ev);
+        if self.inject_unordered_drain {
+            self.advance_unordered(now);
+        } else {
+            while let Some(ev) = self.events.pop_due(now) {
+                self.log_event(now, ev);
+                self.handle(now, ev);
+            }
         }
         completions.append(&mut self.completions_out);
+    }
+
+    /// The injected schedule race (see
+    /// [`Hierarchy::debug_inject_unordered_drain`]): due events are
+    /// parked in a hash map and processed in its iteration order,
+    /// discarding the arbitration contract exactly the way an
+    /// accidental `HashMap`-keyed event buffer would.
+    fn advance_unordered(&mut self, now: u64) {
+        loop {
+            // audit:allow(hashmap-iter): this *is* the deliberate race.
+            let mut parked: FastMap<Ev> = FastMap::default();
+            let mut i = 0u64;
+            while let Some(ev) = self.events.pop_due(now) {
+                // Mixing the perturbation seed into the key models the
+                // per-process hasher randomization of std's HashMap
+                // while keeping the self-test deterministic.
+                parked.insert(mix64(self.events.perturb_seed() ^ i), ev);
+                i += 1;
+            }
+            if parked.is_empty() {
+                return;
+            }
+            for (_, ev) in parked {
+                self.log_event(now, ev);
+                self.handle(now, ev);
+            }
+        }
+    }
+
+    fn log_event(&mut self, now: u64, ev: Ev) {
+        if self.event_log.is_none() {
+            return;
+        }
+        let record = self.states.get(&ev.id()).map(|state| EventRecord {
+            cycle: now,
+            kind: ev.name(),
+            line_addr: state.req.line_addr,
+            tag: state.req.tag,
+            bank: state.bank,
+            tile: state.req.tile,
+        });
+        if let (Some(log), Some(record)) = (&mut self.event_log, record) {
+            log.push(record);
+        }
     }
 
     /// The cycle of the earliest pending event (for fast-forwarding an
@@ -362,9 +546,13 @@ impl Hierarchy {
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
-            banks: self.banks.iter().map(|b| b.stats()).collect(),
+            banks: self.banks.iter().map(super::l2::L2Bank::stats).collect(),
             noc: self.noc.stats(),
-            mcs: self.mcs.iter().map(|m| m.stats()).collect(),
+            mcs: self
+                .mcs
+                .iter()
+                .map(super::mc::MemoryController::stats)
+                .collect(),
             submitted: self.submitted,
             completed: self.completed,
             merged: self.merged,
@@ -397,8 +585,7 @@ impl Hierarchy {
             }
             self.banks[state.bank].mshr_acquire();
             self.bank_pending[state.bank].insert(state.req.line_addr, Vec::new());
-            self.events
-                .schedule(now + self.config.l2.miss_latency, Ev::McSend(id));
+            self.schedule_ev(now + self.config.l2.miss_latency, Ev::McSend(id));
             return;
         }
         let bank = &mut self.banks[state.bank];
@@ -427,15 +614,14 @@ impl Hierarchy {
                     if self.banks[state.bank].mshr_available() {
                         self.banks[state.bank].mshr_acquire();
                         self.bank_pending[state.bank].insert(state.req.line_addr, vec![id]);
-                        self.events
-                            .schedule(lookup_done + self.config.l2.miss_latency, Ev::McSend(id));
+                        self.schedule_ev(lookup_done + self.config.l2.miss_latency, Ev::McSend(id));
                     } else {
                         self.banks[state.bank].enqueue_waiting(id);
                     }
                     self.issue_prefetches(now, &state);
                 } else {
                     // Writeback missing in L2: forward to memory.
-                    self.events.schedule(lookup_done, Ev::McSend(id));
+                    self.schedule_ev(lookup_done, Ev::McSend(id));
                 }
             }
         }
@@ -469,7 +655,7 @@ impl Hierarchy {
                     is_prefetch: true,
                 },
             );
-            self.events.schedule(now + 1, Ev::BankArrive(id));
+            self.schedule_ev(now + 1, Ev::BankArrive(id));
         }
     }
 
@@ -497,7 +683,7 @@ impl Hierarchy {
             // Writebacks (L1-originated or L2 victims) are absorbed.
             self.states.remove(&id);
         } else {
-            self.events.schedule(done, Ev::McRespond(id));
+            self.schedule_ev(done, Ev::McRespond(id));
         }
     }
 
@@ -514,7 +700,7 @@ impl Hierarchy {
         let latency = self
             .noc
             .traverse_response(NocNode::Mc(mc_index), NocNode::Tile(bank_tile));
-        self.events.schedule(now + latency, Ev::BankFill(id));
+        self.schedule_ev(now + latency, Ev::BankFill(id));
     }
 
     fn on_bank_fill(&mut self, now: u64, id: u64) {
@@ -547,7 +733,7 @@ impl Hierarchy {
                     is_prefetch: false,
                 },
             );
-            self.events.schedule(now, Ev::McSend(wb_id));
+            self.schedule_ev(now, Ev::McSend(wb_id));
         }
         self.banks[state.bank].mshr_release();
         // Respond to every request merged onto this line (before waking
@@ -579,8 +765,7 @@ impl Hierarchy {
                 self.bank_pending[wbank].insert(line, vec![waiting_id]);
                 // Lookup was already paid on arrival; only the miss path
                 // remains.
-                self.events
-                    .schedule(now + self.config.l2.miss_latency, Ev::McSend(waiting_id));
+                self.schedule_ev(now + self.config.l2.miss_latency, Ev::McSend(waiting_id));
             }
         }
     }
@@ -594,7 +779,7 @@ impl Hierarchy {
         let latency = self
             .noc
             .traverse_response(NocNode::Tile(bank_tile), NocNode::Tile(state.req.tile));
-        self.events.schedule(now + latency, Ev::Complete(id));
+        self.schedule_ev(now + latency, Ev::Complete(id));
     }
 
     fn on_complete(&mut self, now: u64, id: u64) {
@@ -642,6 +827,7 @@ mod tests {
                 ..McConfig::default()
             },
             prefetch_degree: 0,
+            perturb_seed: 0,
         }
     }
 

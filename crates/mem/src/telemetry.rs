@@ -74,6 +74,7 @@ pub struct MemTelemetry {
     slices: Vec<RequestSlice>,
     collect_slices: bool,
     dropped_slices: u64,
+    stamp_errors: u64,
 }
 
 /// Cap on retained [`RequestSlice`]s: enough for a detailed Perfetto
@@ -95,6 +96,7 @@ impl MemTelemetry {
             slices: Vec::new(),
             collect_slices,
             dropped_slices: 0,
+            stamp_errors: 0,
         }
     }
 
@@ -151,38 +153,60 @@ impl MemTelemetry {
         }
     }
 
+    /// A stage delta from an ordered stamp pair. A pair stamped out of
+    /// order is an event-pipeline bug: rather than underflowing (and
+    /// poisoning a histogram with a near-`u64::MAX` sample), it
+    /// increments [`MemTelemetry::stamp_errors`] and records nothing.
+    fn stage_delta(&mut self, later: u64, earlier: u64) -> Option<u64> {
+        match later.checked_sub(earlier) {
+            Some(delta) => Some(delta),
+            None => {
+                self.stamp_errors += 1;
+                None
+            }
+        }
+    }
+
     pub(crate) fn on_complete(&mut self, id: u64, now: u64) {
         let Some(s) = self.stamps.remove(&id) else {
             return;
         };
-        let record = |hist: &mut [Histogram], stage: Stage, value: u64| {
-            hist[stage as usize].record(value);
-        };
-        record(&mut self.stages, Stage::EndToEnd, now - s.submit);
+        if let Some(e2e) = self.stage_delta(now, s.submit) {
+            self.stages[Stage::EndToEnd as usize].record(e2e);
+        }
         if let Some(arrive) = s.bank_arrive {
-            record(&mut self.stages, Stage::NocRequest, arrive - s.submit);
+            if let Some(noc) = self.stage_delta(arrive, s.submit) {
+                self.stages[Stage::NocRequest as usize].record(noc);
+            }
             // The bank stage ends when the request leaves toward the MC
             // (miss owners) or toward the response path (hits and
             // merged requests, whose MSHR wait is bank time).
             if let Some(bank_done) = s.mc_send.or(s.respond) {
-                let bank_latency = bank_done.saturating_sub(arrive);
-                record(&mut self.stages, Stage::Bank, bank_latency);
-                if let Some(h) = self.per_bank.get_mut(s.bank) {
-                    h.record(bank_latency);
+                if let Some(bank_latency) = self.stage_delta(bank_done, arrive) {
+                    self.stages[Stage::Bank as usize].record(bank_latency);
+                    if let Some(h) = self.per_bank.get_mut(s.bank) {
+                        h.record(bank_latency);
+                    }
                 }
             }
         }
         if let (Some(send), Some(resp)) = (s.mc_send, s.mc_respond) {
-            record(&mut self.stages, Stage::Mc, resp - send);
-            if let Some(h) = s.mc.and_then(|m| self.per_mc.get_mut(m)) {
-                h.record(resp - send);
+            if let Some(mc_latency) = self.stage_delta(resp, send) {
+                self.stages[Stage::Mc as usize].record(mc_latency);
+                if let Some(h) = s.mc.and_then(|m| self.per_mc.get_mut(m)) {
+                    h.record(mc_latency);
+                }
             }
         }
         if let (Some(resp), Some(fill)) = (s.mc_respond, s.bank_fill) {
-            record(&mut self.stages, Stage::NocFill, fill - resp);
+            if let Some(fill_latency) = self.stage_delta(fill, resp) {
+                self.stages[Stage::NocFill as usize].record(fill_latency);
+            }
         }
         if let Some(respond) = s.respond {
-            record(&mut self.stages, Stage::Deliver, now - respond);
+            if let Some(deliver) = self.stage_delta(now, respond) {
+                self.stages[Stage::Deliver as usize].record(deliver);
+            }
         }
         if self.collect_slices {
             if self.slices.len() < SLICE_CAP {
@@ -238,9 +262,56 @@ impl MemTelemetry {
         self.dropped_slices
     }
 
+    /// Stamp pairs observed out of order on completion (always 0 on a
+    /// healthy event pipeline; a nonzero value means a lifecycle event
+    /// fired before one of its predecessors).
+    #[must_use]
+    pub fn stamp_errors(&self) -> u64 {
+        self.stamp_errors
+    }
+
     /// Requests currently holding stamps (in flight).
     #[must_use]
     pub fn tracked_in_flight(&self) -> usize {
         self.stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_stamps_record_without_errors() {
+        let mut t = MemTelemetry::new(1, 1, false);
+        t.on_submit(7, 100, 0x40, 0, 0, 4);
+        t.on_bank_arrive(7, 110);
+        t.on_respond(7, 130);
+        t.on_complete(7, 140);
+        assert_eq!(t.stamp_errors(), 0);
+        assert_eq!(t.stage(Stage::EndToEnd).count(), 1);
+        assert_eq!(t.stage(Stage::EndToEnd).sum(), 40);
+        assert_eq!(t.stage(Stage::Bank).sum(), 20);
+    }
+
+    #[test]
+    fn misordered_stamp_pair_reports_error_instead_of_underflowing() {
+        let mut t = MemTelemetry::new(1, 1, false);
+        // Completion stamped *before* submission: an event-pipeline bug
+        // that must surface as a counted error, not a ~u64::MAX sample.
+        t.on_submit(9, 200, 0x80, 0, 0, 4);
+        t.on_complete(9, 150);
+        assert_eq!(t.stamp_errors(), 1);
+        assert_eq!(t.stage(Stage::EndToEnd).count(), 0);
+
+        // A misordered interior pair only skips its own stage.
+        let mut t = MemTelemetry::new(1, 1, false);
+        t.on_submit(10, 100, 0xc0, 0, 0, 4);
+        t.on_bank_arrive(10, 110);
+        t.on_respond(10, 105); // before bank_arrive: bank stage invalid
+        t.on_complete(10, 140);
+        assert_eq!(t.stamp_errors(), 1);
+        assert_eq!(t.stage(Stage::EndToEnd).count(), 1);
+        assert_eq!(t.stage(Stage::Bank).count(), 0);
     }
 }

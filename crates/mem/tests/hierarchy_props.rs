@@ -67,6 +67,7 @@ fn config_strategy() -> impl Strategy<Value = HierarchyConfig> {
                         ..McConfig::default()
                     },
                     prefetch_degree: prefetch,
+                    perturb_seed: 0,
                 }
             },
         )

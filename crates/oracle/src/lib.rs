@@ -24,6 +24,7 @@
 //! cycle counts themselves, and whether a *different* legal
 //! interleaving would have produced other values.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

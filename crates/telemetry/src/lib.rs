@@ -21,6 +21,7 @@
 //! with random seeds, so identical simulations produce byte-identical
 //! exports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;

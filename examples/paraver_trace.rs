@@ -11,6 +11,7 @@
 use std::fs::File;
 
 use coyote::SimConfig;
+use coyote_iss::MissKind;
 use coyote_kernels::workload::run_workload;
 use coyote_kernels::StencilVector;
 
@@ -32,7 +33,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A taste of the analysis Paraver would do: miss counts per kind.
-    use coyote_iss::MissKind;
     for (kind, label) in [
         (MissKind::Ifetch, "instruction fetch"),
         (MissKind::Load, "data load"),

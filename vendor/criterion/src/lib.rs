@@ -33,6 +33,7 @@ impl Criterion {
     /// benchmark once with a tiny time budget, as a smoke test — what
     /// `cargo bench -- --test` means in real criterion) and accepts
     /// and ignores everything else (cargo passes `--bench`).
+    #[must_use]
     pub fn configure_from_args(mut self) -> Criterion {
         if std::env::args().any(|a| a == "--test") {
             self.test_mode = true;
@@ -104,6 +105,8 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs `f` as the benchmark identified by `id`.
+    // By-value `id` mirrors the real criterion signature.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized>(
         &mut self,
         id: BenchmarkId,

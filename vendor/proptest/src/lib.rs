@@ -43,6 +43,7 @@ pub mod arbitrary {
     pub struct Any<T>(PhantomData<T>);
 
     /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    #[must_use]
     pub fn any<T: Arbitrary>() -> Any<T> {
         Any(PhantomData)
     }
@@ -365,7 +366,7 @@ mod tests {
         for _ in 0..100 {
             let s = strat.generate(&mut rng);
             assert!(s.chars().count() <= 40);
-            assert!(!s.chars().any(|c| c.is_control()));
+            assert!(!s.chars().any(char::is_control));
         }
     }
 

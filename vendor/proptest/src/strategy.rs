@@ -165,6 +165,7 @@ impl<T: Debug> Union<T> {
     /// # Panics
     ///
     /// Panics if `arms` is empty.
+    #[must_use]
     pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         Union { arms }

@@ -16,6 +16,7 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     /// A config running `cases` fresh cases.
+    #[must_use]
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
@@ -52,6 +53,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl TestRng {
     /// Builds a generator fully determined by `seed`.
+    #[must_use]
     pub fn from_seed(seed: u64) -> TestRng {
         let mut sm = seed;
         TestRng {
