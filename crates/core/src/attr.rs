@@ -1,0 +1,321 @@
+//! Causal stall attribution: per-core CPI stacks and critical-request
+//! tracing.
+//!
+//! The orchestrator deactivates a core when it blocks on a register
+//! dependency against an in-flight miss (or on an instruction-line
+//! fill) and wakes it when the hierarchy delivers the fill.  This
+//! module turns those deactivations into *stall intervals*: one opens
+//! when a core leaves [`CoreState::Active`], and closes when it
+//! returns, attributing every cycle of the interval to exactly one
+//! bucket of the core's CPI stack:
+//!
+//! * `active` — the core executed (or attempted) an instruction;
+//! * `dep_stall[blame]` — blocked on a RAW dependency, split by the
+//!   memory-hierarchy stage that dominated the critical fill
+//!   ([`Blame`] categories plus a catch-all `other` column);
+//! * `fetch_stall` — blocked on an instruction-line fill;
+//! * `drained` — halted while other cores kept running.
+//!
+//! The four buckets partition simulated time exactly: for every core,
+//! `active + Σ dep_stall + fetch_stall + drained == cycles` on any run
+//! that ends by halting (the invariant is property-tested).
+//!
+//! # Schedule insensitivity
+//!
+//! Attribution must not depend on event pop order inside a cycle (the
+//! race detector byte-compares metrics JSON across perturbed
+//! schedules).  A core woken this cycle may have received several
+//! fills in the same cycle, and their drain order is not part of the
+//! simulation contract.  We therefore never attribute to "the
+//! completion that flipped the core awake".  Instead every completion
+//! delivered to a still-stalled core this cycle becomes a *candidate*,
+//! and the interval is attributed to the canonical winner: maximum
+//! end-to-end latency, ties broken by smallest PC, then smallest line
+//! address, then smallest tag — all schedule-invariant quantities.
+
+use coyote_iss::core::CoreState;
+use coyote_iss::Core;
+use coyote_mem::hierarchy::Completion;
+use coyote_telemetry::{Blame, RequestCause, TopK, BLAME_COLS};
+
+/// Index of the catch-all `other` column in a dep-stall blame row
+/// (used when memory telemetry is disabled and no [`RequestCause`]
+/// accompanies the waking fill).
+pub const BLAME_OTHER: usize = BLAME_COLS - 1;
+
+/// Upper bound on retained [`StallLink`] records, so Chrome flow-event
+/// generation stays bounded on long runs.  Overflow is counted in
+/// [`StallAttribution::dropped_links`].
+pub const LINK_CAP: usize = 100_000;
+
+/// One closed stall interval tied to the memory request that ended it.
+///
+/// Links are only recorded when Chrome tracing is enabled; they become
+/// flow events binding the core's stall slice to the causing request
+/// slice in the trace viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallLink {
+    /// Core that stalled.
+    pub core: usize,
+    /// Cycle the stall interval opened.
+    pub start: u64,
+    /// Cycle the stall interval closed (wakeup).
+    pub end: u64,
+    /// Program counter of the instruction that issued the critical
+    /// request.
+    pub pc: u64,
+    /// Line address of the critical request.
+    pub line_addr: u64,
+    /// Hierarchy tag of the critical request.
+    pub tag: u64,
+    /// Cycle the critical request entered the hierarchy.
+    pub submit: u64,
+    /// Stage that dominated the critical request's latency.
+    pub blame: Blame,
+}
+
+/// A completion delivered to a still-stalled core this cycle; one of
+/// these per woken core is elected the interval's cause.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    core: usize,
+    fetch: bool,
+    line_addr: u64,
+    tag: u64,
+    cause: Option<RequestCause>,
+}
+
+/// Per-core CPI-stack accumulator plus the bounded critical-PC table.
+///
+/// Driven by [`crate::Simulation`] once per cycle: a transition scan
+/// after the execute phase (opens stall intervals), candidate
+/// collection plus a second scan after the completion drain (closes
+/// them), and a final flush when the run ends.
+#[derive(Debug)]
+pub struct StallAttribution {
+    /// Per-core `(state, cycle the state was entered)`.
+    state: Vec<(CoreState, u64)>,
+    /// Blocked-register mask captured when a dep-stall opened
+    /// (`[x | f << 32, v]`).
+    stall_regs: Vec<[u64; 2]>,
+    active: Vec<u64>,
+    dep: Vec<[u64; BLAME_COLS]>,
+    fetch: Vec<u64>,
+    drained: Vec<u64>,
+    top: TopK,
+    links: Vec<StallLink>,
+    collect_links: bool,
+    dropped_links: u64,
+    candidates: Vec<Candidate>,
+}
+
+impl StallAttribution {
+    /// A fresh accumulator for `cores` cores and a critical-PC table
+    /// bounded at `top_k` entries.  `collect_links` enables
+    /// [`StallLink`] recording (Chrome flow events).
+    #[must_use]
+    pub fn new(cores: usize, top_k: usize, collect_links: bool) -> StallAttribution {
+        StallAttribution {
+            state: vec![(CoreState::Active, 0); cores],
+            stall_regs: vec![[0, 0]; cores],
+            active: vec![0; cores],
+            dep: vec![[0; BLAME_COLS]; cores],
+            fetch: vec![0; cores],
+            drained: vec![0; cores],
+            top: TopK::new(top_k),
+            links: Vec::new(),
+            collect_links,
+            dropped_links: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Close intervals for cores that left `Active` during the execute
+    /// phase (stalled or halted) and open the successor interval.
+    pub fn scan_after_step(&mut self, cores: &[Core], cycle: u64) {
+        for (idx, core) in cores.iter().enumerate() {
+            let current = core.state();
+            let (prev, since) = self.state[idx];
+            if current == prev {
+                continue;
+            }
+            // Only Active -> {StalledDep, StalledFetch, Halted} can
+            // happen while cores execute; wakes happen in the drain.
+            self.active[idx] += cycle.saturating_sub(since);
+            if current == CoreState::StalledDep {
+                let regs = core.blocked_regs();
+                self.stall_regs[idx] = [
+                    u64::from(regs.x) | u64::from(regs.f) << 32,
+                    u64::from(regs.v),
+                ];
+            }
+            self.state[idx] = (current, cycle);
+        }
+    }
+
+    /// Record a fill delivered to `core` as a wake candidate if that
+    /// core entered this cycle's drain still stalled on the matching
+    /// kind of request.
+    pub fn note_completion(&mut self, core: usize, fetch: bool, completion: &Completion) {
+        let eligible = match self.state[core].0 {
+            CoreState::StalledDep => !fetch,
+            CoreState::StalledFetch => fetch,
+            CoreState::Active | CoreState::Halted(_) => false,
+        };
+        if eligible {
+            self.candidates.push(Candidate {
+                core,
+                fetch,
+                line_addr: completion.line_addr,
+                tag: completion.tag,
+                cause: completion.cause,
+            });
+        }
+    }
+
+    /// Close intervals for cores woken by this cycle's completion
+    /// drain, electing the canonical cause among the candidates.
+    pub fn scan_after_drain(&mut self, cores: &[Core], cycle: u64) {
+        for (idx, core) in cores.iter().enumerate() {
+            let current = core.state();
+            let (prev, since) = self.state[idx];
+            if current == prev {
+                continue;
+            }
+            let span = cycle.saturating_sub(since);
+            let winner = self.elect(idx, prev == CoreState::StalledFetch);
+            match prev {
+                CoreState::StalledDep => {
+                    let blame = winner.and_then(|c| c.cause).map(|c| c.dominant());
+                    let col = blame.map_or(BLAME_OTHER, |b| b as usize);
+                    self.dep[idx][col] += span;
+                    self.credit(winner, idx, since, cycle, span, self.stall_regs[idx]);
+                    self.stall_regs[idx] = [0, 0];
+                }
+                CoreState::StalledFetch => {
+                    self.fetch[idx] += span;
+                    self.credit(winner, idx, since, cycle, span, [0, 0]);
+                }
+                // A stalled core cannot halt, and Active -> * is
+                // handled by `scan_after_step`; be permissive anyway.
+                CoreState::Active | CoreState::Halted(_) => self.active[idx] += span,
+            }
+            self.state[idx] = (current, cycle);
+        }
+        self.candidates.clear();
+    }
+
+    /// Flush the tail interval of every core at end of run (`cycle` =
+    /// final simulated cycle).  Halted cores accrue `drained`.
+    pub fn finish(&mut self, cores: &[Core], cycle: u64) {
+        for (idx, core) in cores.iter().enumerate() {
+            let (prev, since) = self.state[idx];
+            let span = cycle.saturating_sub(since);
+            match prev {
+                CoreState::Active => self.active[idx] += span,
+                CoreState::StalledDep => self.dep[idx][BLAME_OTHER] += span,
+                CoreState::StalledFetch => self.fetch[idx] += span,
+                CoreState::Halted(_) => self.drained[idx] += span,
+            }
+            self.state[idx] = (core.state(), cycle);
+        }
+    }
+
+    /// Elect the canonical wake cause for `core`: maximum end-to-end
+    /// latency, ties to smallest PC, then line address, then tag.
+    fn elect(&self, core: usize, fetch: bool) -> Option<Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.core == core && c.fetch == fetch)
+            .max_by(|a, b| {
+                let ka = Self::rank(a);
+                let kb = Self::rank(b);
+                ka.0.cmp(&kb.0)
+                    .then(kb.1.cmp(&ka.1))
+                    .then(kb.2.cmp(&ka.2))
+                    .then(kb.3.cmp(&ka.3))
+            })
+            .copied()
+    }
+
+    /// Ordering key: latency (maximized), then pc/line/tag (minimized).
+    fn rank(c: &Candidate) -> (u64, u64, u64, u64) {
+        let (total, pc) = c.cause.map_or((0, 0), |cause| (cause.total(), cause.pc));
+        (total, pc, c.line_addr, c.tag)
+    }
+
+    /// Feed the critical-PC table and (optionally) the link log from a
+    /// closed interval with an elected cause.
+    fn credit(
+        &mut self,
+        winner: Option<Candidate>,
+        core: usize,
+        start: u64,
+        end: u64,
+        span: u64,
+        regs: [u64; 2],
+    ) {
+        let Some(candidate) = winner else { return };
+        let Some(cause) = candidate.cause else { return };
+        self.top.add(cause.pc, span, cause.dominant(), regs);
+        if self.collect_links {
+            if self.links.len() < LINK_CAP {
+                self.links.push(StallLink {
+                    core,
+                    start,
+                    end,
+                    pc: cause.pc,
+                    line_addr: candidate.line_addr,
+                    tag: candidate.tag,
+                    submit: cause.submit,
+                    blame: cause.dominant(),
+                });
+            } else {
+                self.dropped_links += 1;
+            }
+        }
+    }
+
+    /// Cycles each core spent executing.
+    #[must_use]
+    pub fn active(&self) -> &[u64] {
+        &self.active
+    }
+
+    /// Dep-stall cycles per core, split by blame category
+    /// ([`Blame::ALL`] order, then the `other` column).
+    #[must_use]
+    pub fn dep(&self) -> &[[u64; BLAME_COLS]] {
+        &self.dep
+    }
+
+    /// Fetch-stall cycles per core.
+    #[must_use]
+    pub fn fetch(&self) -> &[u64] {
+        &self.fetch
+    }
+
+    /// Cycles each core sat halted while the simulation kept running.
+    #[must_use]
+    pub fn drained(&self) -> &[u64] {
+        &self.drained
+    }
+
+    /// The bounded critical-PC table.
+    #[must_use]
+    pub fn top(&self) -> &TopK {
+        &self.top
+    }
+
+    /// Closed stall intervals retained for Chrome flow events.
+    #[must_use]
+    pub fn links(&self) -> &[StallLink] {
+        &self.links
+    }
+
+    /// Links discarded after [`LINK_CAP`] was reached.
+    #[must_use]
+    pub fn dropped_links(&self) -> u64 {
+        self.dropped_links
+    }
+}

@@ -1,0 +1,237 @@
+//! `coyote-explain`: explain where the cycles went.
+//!
+//! Reads a metrics JSON document written by `coyote-sim --metrics-out`
+//! (schema version 2 or later) and prints the causal stall attribution:
+//! one CPI-stack row per core, then the top-K critical-PC table with
+//! per-stage blame.
+//!
+//! ```text
+//! coyote-explain metrics.json [options]
+//!
+//!   --top N   show at most N critical PCs (default: all exported)
+//!   --check   verify the invariants instead of pretty-printing alone:
+//!             every core's CPI stack must partition the run's cycles
+//!             and the critical-PC table must be non-empty; exit 1 on
+//!             violation (used as the CI smoke gate)
+//! ```
+
+use std::process::ExitCode;
+
+use coyote::JsonValue;
+
+struct Options {
+    path: String,
+    top: Option<usize>,
+    check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut top = None;
+    let mut check = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                top = Some(v.parse().map_err(|e| format!("--top: {e}"))?);
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: coyote-explain <metrics.json> [options]");
+                println!("  --top N   show at most N critical PCs");
+                println!(
+                    "  --check   verify CPI-stack partition + non-empty top-K; exit 1 on failure"
+                );
+                std::process::exit(0);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("no metrics file given (try --help)")?,
+        top,
+        check,
+    })
+}
+
+/// Walks `path` into the document, with a readable error on absence.
+fn get<'a>(doc: &'a JsonValue, path: &[&str]) -> Result<&'a JsonValue, String> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("metrics document missing `{}`", path.join(".")))?;
+    }
+    Ok(cur)
+}
+
+fn as_u64(value: &JsonValue, what: &str) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("`{what}` is not an unsigned integer"))
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(&options.path).map_err(|e| format!("{}: {e}", options.path))?;
+    let doc = coyote::parse_json(&text).map_err(|e| format!("{}: {e}", options.path))?;
+
+    let schema = as_u64(get(&doc, &["schema_version"])?, "schema_version")?;
+    if schema < 2 {
+        return Err(format!(
+            "schema_version {schema} predates stall attribution (need >= 2); \
+             regenerate the metrics with a current coyote-sim"
+        ));
+    }
+    let cycles = as_u64(get(&doc, &["report", "cycles"])?, "report.cycles")?;
+    let report_cores = get(&doc, &["report", "cores"])?
+        .as_array()
+        .ok_or("`report.cores` is not an array")?;
+    let attribution = get(&doc, &["attribution"])?;
+    let per_core = get(attribution, &["per_core"])?
+        .as_array()
+        .ok_or("`attribution.per_core` is not an array")?;
+    let top_pcs = get(attribution, &["top_pcs"])?
+        .as_array()
+        .ok_or("`attribution.top_pcs` is not an array")?;
+
+    println!(
+        "{}: {} cores, {} cycles",
+        options.path,
+        per_core.len(),
+        cycles
+    );
+    println!();
+
+    // Blame columns come from the document itself so the binary keeps
+    // working if categories are added in a later schema revision.
+    let blame_keys: Vec<String> = per_core
+        .first()
+        .and_then(|row| row.get("dep_stall"))
+        .and_then(coyote::JsonValue::keys)
+        .map(|keys| keys.iter().map(|&k| k.to_owned()).collect())
+        .unwrap_or_default();
+
+    println!("Per-core CPI stack (% of {cycles} cycles)");
+    let mut header = format!("{:>4} {:>8} {:>7}", "core", "cpi", "active");
+    for key in &blame_keys {
+        header.push_str(&format!(" {:>8}", format!("d:{key}")));
+    }
+    header.push_str(&format!(" {:>7} {:>7}", "fetch", "drained"));
+    println!("{header}");
+    let mut partition_ok = true;
+    for (idx, row) in per_core.iter().enumerate() {
+        let field = |k: &str| -> Result<u64, String> {
+            as_u64(get(row, &[k])?, &format!("attribution.per_core[{idx}].{k}"))
+        };
+        let core = field("core")?;
+        let active = field("active")?;
+        let fetch = field("fetch_stall")?;
+        let drained = field("drained")?;
+        let dep = get(row, &["dep_stall"])?;
+        let mut dep_cols = Vec::new();
+        let mut dep_total = 0;
+        for key in &blame_keys {
+            let v = as_u64(get(dep, &[key])?, &format!("dep_stall.{key}"))?;
+            dep_total += v;
+            dep_cols.push(v);
+        }
+        let retired = report_cores
+            .get(idx)
+            .and_then(|c| c.get("retired"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let busy = cycles - drained.min(cycles);
+        let cpi = if retired == 0 {
+            f64::NAN
+        } else {
+            busy as f64 / retired as f64
+        };
+        let mut line = format!("{core:>4} {cpi:>8.3} {:>6.1}%", percent(active, cycles));
+        for v in &dep_cols {
+            line.push_str(&format!(" {:>7.1}%", percent(*v, cycles)));
+        }
+        line.push_str(&format!(
+            " {:>6.1}% {:>6.1}%",
+            percent(fetch, cycles),
+            percent(drained, cycles)
+        ));
+        println!("{line}");
+        let total = active + dep_total + fetch + drained;
+        if total != cycles {
+            partition_ok = false;
+            eprintln!("coyote-explain: core {core}: CPI stack sums to {total}, expected {cycles}");
+        }
+    }
+
+    println!();
+    let shown = options.top.unwrap_or(top_pcs.len()).min(top_pcs.len());
+    println!(
+        "Top critical PCs ({} shown of {} exported; cycles = attributed stall time)",
+        shown,
+        top_pcs.len()
+    );
+    println!(
+        "{:>4} {:>14} {:>10} {:>7} {:>9} {:>6}  blocked regs",
+        "rank", "pc", "cycles", "count", "dominant", "error"
+    );
+    for (rank, entry) in top_pcs.iter().take(shown).enumerate() {
+        let pc = get(entry, &["pc"])?.as_str().unwrap_or("?");
+        let ecycles = as_u64(get(entry, &["cycles"])?, "top_pcs.cycles")?;
+        let count = as_u64(get(entry, &["count"])?, "top_pcs.count")?;
+        let error = as_u64(get(entry, &["error"])?, "top_pcs.error")?;
+        let dominant = get(entry, &["dominant"])?.as_str().unwrap_or("?");
+        let regs = get(entry, &["regs"])?.as_str().unwrap_or("");
+        println!(
+            "{:>4} {pc:>14} {ecycles:>10} {count:>7} {dominant:>9} {error:>6}  {regs}",
+            rank + 1
+        );
+    }
+
+    if options.check {
+        if !partition_ok {
+            return Err("CPI-stack partition check failed".to_owned());
+        }
+        if top_pcs.is_empty() {
+            return Err(
+                "critical-PC table is empty (was the run telemetry-enabled and stalling?)"
+                    .to_owned(),
+            );
+        }
+        println!();
+        println!(
+            "check: OK ({} cores partition {} cycles; {} critical PCs)",
+            per_core.len(),
+            cycles,
+            top_pcs.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("coyote-explain: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("coyote-explain: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

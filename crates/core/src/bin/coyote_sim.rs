@@ -16,6 +16,7 @@
 //!   --trace FILE         write a Paraver trace to FILE(.prv/.pcf)
 //!   --metrics-out FILE   write telemetry metrics to FILE(.json/.csv)
 //!   --metrics-interval N time-series epoch length in cycles (default 10000)
+//!   --top-k N            critical-PC attribution table size (default 32)
 //!   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
 //!   --oracle             co-simulate a functional reference machine and
 //!                        abort on the first architectural divergence
@@ -135,6 +136,13 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--metrics-interval: {e}"))?,
                 );
             }
+            "--top-k" => {
+                builder = builder.attribution_top_k(
+                    value(&mut args, "--top-k")?
+                        .parse()
+                        .map_err(|e| format!("--top-k: {e}"))?,
+                );
+            }
             "--chrome-trace" => {
                 chrome_trace_path = Some(value(&mut args, "--chrome-trace")?);
                 builder = builder.chrome_trace(true);
@@ -157,6 +165,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "  --metrics-interval N time-series epoch length in cycles (default 10000)"
                 );
+                println!("  --top-k N            critical-PC attribution table size (default 32)");
                 println!("  --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto)");
                 println!("  --oracle             check against a functional reference machine");
                 std::process::exit(0);

@@ -33,6 +33,9 @@ struct Summary {
     cores: Vec<CoreBreakdown>,
     miss_mix: Vec<(&'static str, usize)>,
     hottest: Vec<(u64, usize)>,
+    /// Critical PCs: miss count per instruction address (top-N; PC 0 —
+    /// synthetic traffic and pre-PC traces — is excluded).
+    hottest_pcs: Vec<(u64, usize)>,
     /// (start, end, miss count) of the busiest 10%-of-horizon window.
     busiest: Option<(u64, u64, usize)>,
 }
@@ -105,6 +108,16 @@ fn summarize(trace: &Trace, top: usize) -> Summary {
     hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     hot.truncate(top);
 
+    // Same recipe keyed by the missing instruction's PC (the causal
+    // anchor carried by 12-field traces; 0 in older 10-field traces).
+    let mut per_pc: BTreeMap<u64, usize> = BTreeMap::new();
+    for event in trace.events().iter().filter(|e| e.pc != 0) {
+        *per_pc.entry(event.pc).or_default() += 1;
+    }
+    let mut hot_pcs: Vec<(u64, usize)> = per_pc.into_iter().collect();
+    hot_pcs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hot_pcs.truncate(top);
+
     let window = (horizon / 10).max(1);
     let mut busiest = None;
     let mut best_count = 0usize;
@@ -127,6 +140,7 @@ fn summarize(trace: &Trace, top: usize) -> Summary {
         cores,
         miss_mix,
         hottest: hot,
+        hottest_pcs: hot_pcs,
         busiest,
     }
 }
@@ -159,6 +173,13 @@ fn print_text(summary: &Summary) {
     println!("\nhottest lines:");
     for (addr, count) in &summary.hottest {
         println!("  {addr:#012x}  {count} misses");
+    }
+
+    if !summary.hottest_pcs.is_empty() {
+        println!("\ncritical PCs (most misses issued):");
+        for (pc, count) in &summary.hottest_pcs {
+            println!("  {pc:#012x}  {count} misses");
+        }
     }
 
     if let Some((start, end, count)) = summary.busiest {
@@ -205,6 +226,16 @@ fn to_json(summary: &Summary) -> JsonValue {
         })
         .collect::<Vec<_>>();
 
+    let hottest_pcs = summary
+        .hottest_pcs
+        .iter()
+        .map(|(pc, count)| {
+            JsonValue::object()
+                .with("pc", format!("{pc:#x}"))
+                .with("misses", *count)
+        })
+        .collect::<Vec<_>>();
+
     let busiest = summary
         .busiest
         .map_or(JsonValue::Null, |(start, end, count)| {
@@ -222,6 +253,7 @@ fn to_json(summary: &Summary) -> JsonValue {
         .with("per_core", per_core)
         .with("miss_mix", miss_mix)
         .with("hottest_lines", hottest)
+        .with("hottest_pcs", hottest_pcs)
         .with("busiest_window", busiest)
 }
 

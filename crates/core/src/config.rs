@@ -74,6 +74,11 @@ pub struct SimConfig {
     /// legal reordering that must not change any architectural result
     /// or statistic.
     pub perturb_seed: u64,
+    /// How many critical PCs the stall-attribution top-K table keeps
+    /// (must be at least 1). Attribution itself is always on — it costs
+    /// a few counters per core — and the table is O(K) regardless of
+    /// run length.
+    pub attribution_top_k: usize,
 }
 
 impl Default for SimConfig {
@@ -97,6 +102,7 @@ impl Default for SimConfig {
             metrics_interval: 10_000,
             chrome_trace: false,
             perturb_seed: 0,
+            attribution_top_k: 32,
         }
     }
 }
@@ -155,6 +161,9 @@ impl SimConfig {
         }
         if self.metrics_interval == 0 {
             return Err(ConfigError::new("metrics_interval must be at least 1"));
+        }
+        if self.attribution_top_k == 0 {
+            return Err(ConfigError::new("attribution_top_k must be at least 1"));
         }
         self.core
             .l1i
@@ -368,6 +377,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the critical-PC top-K table size for stall attribution.
+    #[must_use]
+    pub fn attribution_top_k(mut self, k: usize) -> Self {
+        self.config.attribution_top_k = k;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -419,6 +435,24 @@ mod tests {
     #[test]
     fn zero_interleave_rejected() {
         assert!(SimConfig::builder().interleave(0).build().is_err());
+    }
+
+    #[test]
+    fn zero_metrics_interval_rejected() {
+        let err = SimConfig::builder()
+            .metrics_interval(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("metrics_interval"));
+    }
+
+    #[test]
+    fn zero_attribution_top_k_rejected() {
+        let err = SimConfig::builder()
+            .attribution_top_k(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("attribution_top_k"));
     }
 
     #[test]

@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod config;
 pub mod metrics;
 pub mod report;
 pub mod sim;
 pub mod trace;
 
+pub use attr::{StallAttribution, StallLink};
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use metrics::{chrome_trace_json, metrics_csv, metrics_json, SCHEMA_VERSION};
 pub use report::{CoreReport, Report};
@@ -61,4 +63,4 @@ pub use coyote_mem::mapping::MappingPolicy;
 pub use coyote_mem::mc::McConfig;
 pub use coyote_mem::noc::NocModel;
 pub use coyote_oracle::{Delta, Divergence, LockstepChecker};
-pub use coyote_telemetry::{Histogram, JsonValue, Stage, TelemetrySink, TimeSeries};
+pub use coyote_telemetry::{parse_json, Histogram, JsonValue, Stage, TelemetrySink, TimeSeries};

@@ -15,8 +15,9 @@
 //!   one simulated cycle.
 
 use coyote_mem::hierarchy::HierarchyStats;
-use coyote_telemetry::{ChromeEvent, ChromeTrace, Histogram, JsonValue, Stage};
+use coyote_telemetry::{Blame, ChromeEvent, ChromeTrace, FlowEvent, Histogram, JsonValue, Stage};
 
+use crate::attr::BLAME_OTHER;
 use crate::config::SimConfig;
 use crate::report::Report;
 use crate::sim::Simulation;
@@ -27,8 +28,10 @@ pub use coyote_telemetry::SCHEMA_VERSION;
 /// Builds the full metrics JSON document.
 ///
 /// Top-level keys (pinned by the schema test): `schema_version`,
-/// `config`, `report`, `hierarchy`, `histograms`, `time_series`. The
-/// last two are `null` when the run had telemetry disabled.
+/// `config`, `report`, `hierarchy`, `histograms`, `time_series`,
+/// `attribution`. Histograms and the time series are `null` when the
+/// run had telemetry disabled; attribution is always present (stall
+/// blame degrades to the `other` column without memory telemetry).
 #[must_use]
 pub fn metrics_json(sim: &Simulation, report: &Report) -> JsonValue {
     JsonValue::object()
@@ -38,6 +41,7 @@ pub fn metrics_json(sim: &Simulation, report: &Report) -> JsonValue {
         .with("hierarchy", hierarchy_json(&report.hierarchy))
         .with("histograms", histograms_json(sim))
         .with("time_series", time_series_json(sim))
+        .with("attribution", attribution_json(sim))
 }
 
 /// The epoch time series as CSV (header only when telemetry was off).
@@ -65,6 +69,7 @@ fn config_json(config: &SimConfig) -> JsonValue {
         .with("telemetry", config.telemetry)
         .with("metrics_interval", config.metrics_interval)
         .with("chrome_trace", config.chrome_trace)
+        .with("attribution_top_k", config.attribution_top_k)
 }
 
 fn report_json(report: &Report) -> JsonValue {
@@ -178,6 +183,87 @@ fn histogram_json(hist: &Histogram) -> JsonValue {
         .with("p95", hist.quantile(0.95))
         .with("p99", hist.quantile(0.99))
         .with("buckets", JsonValue::Array(buckets))
+}
+
+/// Renders a blame row (`Blame::ALL` columns plus `other`) as an
+/// object keyed by category name.
+fn blame_json(row: &[u64]) -> JsonValue {
+    let mut out = JsonValue::object();
+    for blame in Blame::ALL {
+        out = out.with(blame.name(), row[blame as usize]);
+    }
+    if let Some(&other) = row.get(BLAME_OTHER) {
+        out = out.with("other", other);
+    }
+    out
+}
+
+/// Formats a packed blocked-register mask (`[x | f << 32, v]`) as
+/// space-separated architectural register names.
+fn reg_names(mask: [u64; 2]) -> String {
+    let mut names = Vec::new();
+    for i in 0..32 {
+        if mask[0] >> i & 1 == 1 {
+            names.push(format!("x{i}"));
+        }
+    }
+    for i in 0..32 {
+        if mask[0] >> (32 + i) & 1 == 1 {
+            names.push(format!("f{i}"));
+        }
+    }
+    for i in 0..32 {
+        if mask[1] >> i & 1 == 1 {
+            names.push(format!("v{i}"));
+        }
+    }
+    names.join(" ")
+}
+
+/// The causal stall-attribution section: per-core CPI stacks and the
+/// bounded top-K critical-PC table.
+fn attribution_json(sim: &Simulation) -> JsonValue {
+    let attr = sim.attribution();
+    let per_core: Vec<JsonValue> = (0..sim.config().cores)
+        .map(|core| {
+            let dep = &attr.dep()[core];
+            let dep_total: u64 = dep.iter().sum();
+            let total = attr.active()[core] + dep_total + attr.fetch()[core] + attr.drained()[core];
+            JsonValue::object()
+                .with("core", core)
+                .with("active", attr.active()[core])
+                .with("dep_stall", blame_json(dep))
+                .with("fetch_stall", attr.fetch()[core])
+                .with("drained", attr.drained()[core])
+                .with("total_cycles", total)
+        })
+        .collect();
+    let top_pcs: Vec<JsonValue> = attr
+        .top()
+        .ranked()
+        .into_iter()
+        .map(|(pc, entry)| {
+            let mut dominant = Blame::ALL[0];
+            for blame in Blame::ALL {
+                if entry.blame[blame as usize] > entry.blame[dominant as usize] {
+                    dominant = blame;
+                }
+            }
+            JsonValue::object()
+                .with("pc", format!("{pc:#x}"))
+                .with("cycles", entry.cycles)
+                .with("count", entry.count)
+                .with("error", entry.error)
+                .with("dominant", dominant.name())
+                .with("blame", blame_json(&entry.blame))
+                .with("regs", reg_names(entry.reg_mask))
+        })
+        .collect();
+    JsonValue::object()
+        .with("top_k", sim.config().attribution_top_k)
+        .with("dropped_links", attr.dropped_links())
+        .with("per_core", JsonValue::Array(per_core))
+        .with("top_pcs", JsonValue::Array(top_pcs))
 }
 
 fn time_series_json(sim: &Simulation) -> JsonValue {
@@ -305,6 +391,35 @@ pub fn chrome_trace_json(sim: &Simulation) -> JsonValue {
             }
         }
     }
+
+    // Flow events bind each closed stall interval to the request that
+    // ended it: the flow starts on the causing request's slice and
+    // finishes on the core's stall slice. Links accumulate in wakeup
+    // order, which is already canonical per core, but sort anyway so
+    // the export never depends on collection order.
+    let mut links: Vec<_> = sim.attribution().links().to_vec();
+    links.sort_by_key(|l| (l.core, l.start, l.line_addr, l.tag));
+    for (idx, link) in links.iter().enumerate() {
+        let id = idx as u64 + 1;
+        out.push_flow(FlowEvent {
+            name: format!("stall pc {:#x}", link.pc),
+            cat: "stall-cause",
+            id,
+            ts: link.submit,
+            pid: PID_REQUESTS,
+            tid: link.core as u32,
+            start: true,
+        });
+        out.push_flow(FlowEvent {
+            name: format!("stall pc {:#x}", link.pc),
+            cat: "stall-cause",
+            id,
+            ts: link.start,
+            pid: PID_CORES,
+            tid: link.core as u32,
+            start: false,
+        });
+    }
     out.to_json()
 }
 
@@ -360,6 +475,7 @@ mod tests {
                 "hierarchy",
                 "histograms",
                 "time_series",
+                "attribution",
             ])
         );
         assert_eq!(
@@ -439,8 +555,115 @@ mod tests {
         let doc = metrics_json(&sim, &report);
         assert_eq!(doc.get("histograms"), Some(&JsonValue::Null));
         assert_eq!(doc.get("time_series"), Some(&JsonValue::Null));
+        // Attribution stays present: CPI stacks need no memory
+        // telemetry (blame just lands in `other`).
+        assert!(doc
+            .get("attribution")
+            .and_then(|a| a.get("per_core"))
+            .is_some());
         assert_eq!(metrics_csv(&sim).lines().count(), 1);
         let chrome = chrome_trace_json(&sim);
         assert!(chrome.get("traceEvents").is_some());
+    }
+
+    /// Reads one CPI-stack row back out of the document.
+    fn stack_row(doc: &JsonValue, core: usize) -> JsonValue {
+        doc.get("attribution")
+            .and_then(|a| a.get("per_core"))
+            .and_then(JsonValue::as_array)
+            .unwrap()[core]
+            .clone()
+    }
+
+    #[test]
+    fn cpi_stack_partitions_total_cycles() {
+        let (sim, report) = run_telemetry_sim();
+        let doc = metrics_json(&sim, &report);
+        for core in 0..sim.config().cores {
+            let row = stack_row(&doc, core);
+            let field = |k: &str| row.get(k).and_then(JsonValue::as_u64).unwrap();
+            let dep = row.get("dep_stall").unwrap();
+            let dep_total: u64 = dep
+                .keys()
+                .unwrap()
+                .iter()
+                .map(|k| dep.get(k).and_then(JsonValue::as_u64).unwrap())
+                .sum();
+            assert_eq!(
+                field("active") + dep_total + field("fetch_stall") + field("drained"),
+                report.cycles,
+                "core {core} CPI stack must partition total cycles"
+            );
+            assert_eq!(field("total_cycles"), report.cycles);
+            // The dep bucket agrees with the core's own stall counter.
+            assert_eq!(dep_total, report.cores[core].stats.dep_stall_cycles);
+        }
+        let top_pcs = doc
+            .get("attribution")
+            .and_then(|a| a.get("top_pcs"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(!top_pcs.is_empty(), "loop kernel must produce critical PCs");
+    }
+
+    #[test]
+    fn flow_events_agree_with_critical_pc_table() {
+        let (sim, report) = run_telemetry_sim();
+        let links = sim.attribution().links();
+        assert!(!links.is_empty(), "chrome run must record stall links");
+        // No eviction in this small run: per-PC sums over the links
+        // must equal the exported top_pcs cycles exactly.
+        let mut by_pc = std::collections::BTreeMap::new();
+        for link in links {
+            *by_pc.entry(format!("{:#x}", link.pc)).or_insert(0u64) += link.end - link.start;
+        }
+        let doc = metrics_json(&sim, &report);
+        let top_pcs = doc
+            .get("attribution")
+            .and_then(|a| a.get("top_pcs"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(by_pc.len() <= sim.config().attribution_top_k);
+        for entry in top_pcs {
+            let pc = entry.get("pc").and_then(JsonValue::as_str).unwrap();
+            let cycles = entry.get("cycles").and_then(JsonValue::as_u64).unwrap();
+            assert_eq!(by_pc.get(pc), Some(&cycles), "pc {pc}");
+            assert_eq!(entry.get("error").and_then(JsonValue::as_u64), Some(0));
+        }
+        // Each link becomes one start/finish flow pair in the trace.
+        let chrome = chrome_trace_json(&sim);
+        let events = chrome
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let ph_count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(ph_count("s"), links.len());
+        assert_eq!(ph_count("f"), links.len());
+    }
+
+    #[test]
+    fn critical_pcs_name_blocked_registers() {
+        let (sim, report) = run_telemetry_sim();
+        let doc = metrics_json(&sim, &report);
+        let top_pcs = doc
+            .get("attribution")
+            .and_then(|a| a.get("top_pcs"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        // The kernel stalls on `t4` (x29) right behind its load.
+        assert!(
+            top_pcs.iter().any(|e| {
+                e.get("regs")
+                    .and_then(JsonValue::as_str)
+                    .is_some_and(|regs| regs.split(' ').any(|r| r == "x29"))
+            }),
+            "expected a critical PC blocked on x29: {}",
+            doc.get("attribution").unwrap().to_string_pretty()
+        );
     }
 }

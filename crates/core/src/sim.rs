@@ -20,6 +20,7 @@ use coyote_mem::telemetry::MemTelemetry;
 use coyote_oracle::{Divergence, LockstepChecker};
 use coyote_telemetry::{EpochSnapshot, TelemetrySink};
 
+use crate::attr::StallAttribution;
 use crate::config::{ConfigError, SimConfig};
 use crate::report::{CoreReport, Report};
 use crate::trace::{StateInterval, Trace, TraceEvent};
@@ -160,6 +161,8 @@ pub struct Simulation {
     oracle: Option<LockstepChecker>,
     /// Epoch sampler, present when telemetry is on.
     telemetry: Option<TelemetrySink>,
+    /// Per-core CPI stacks and the critical-PC table; always on.
+    attr: StallAttribution,
     /// Core-state intervals retained for Chrome-trace export (empty
     /// unless `chrome_trace` is on).
     chrome_states: Vec<StateInterval>,
@@ -212,6 +215,11 @@ impl Simulation {
             telemetry: config
                 .telemetry
                 .then(|| TelemetrySink::new(config.metrics_interval)),
+            attr: StallAttribution::new(
+                config.cores,
+                config.attribution_top_k,
+                config.chrome_trace,
+            ),
             chrome_states: Vec::new(),
             config,
         })
@@ -287,6 +295,14 @@ impl Simulation {
     #[must_use]
     pub fn mem_telemetry(&self) -> Option<&MemTelemetry> {
         self.hierarchy.telemetry()
+    }
+
+    /// Per-core CPI stacks and the critical-PC table (always
+    /// collected; blame splits degrade to `other` when
+    /// [`SimConfig::telemetry`] is off).
+    #[must_use]
+    pub fn attribution(&self) -> &StallAttribution {
+        &self.attr
     }
 
     /// Core-state intervals collected for Chrome-trace export (empty
@@ -426,6 +442,10 @@ impl Simulation {
             }
         }
 
+        // Close `active` intervals for cores the execute phase just
+        // deactivated (stall attribution runs unconditionally).
+        self.attr.scan_after_step(&self.cores, cycle);
+
         // 2. Enqueue this cycle's L1 misses into the event model.
         for miss in self.miss_buf.drain(..) {
             if let Some(trace) = &mut self.trace {
@@ -434,6 +454,7 @@ impl Simulation {
                     core: miss.core,
                     kind: miss.kind,
                     line_addr: miss.line_addr,
+                    pc: miss.pc,
                 });
             }
             self.hierarchy.submit(
@@ -443,17 +464,28 @@ impl Simulation {
                     tile: self.config.tile_of_core(miss.core),
                     needs_response: miss.kind != MissKind::Writeback,
                     tag: encode_tag(miss.core, miss.kind),
+                    pc: miss.pc,
                 },
             );
         }
 
         // 3. Advance the event model to the current cycle and service
-        //    completed misses (waking stalled cores).
+        //    completed misses (waking stalled cores). Every fill that
+        //    reaches a still-stalled core is a wake-cause candidate.
         self.hierarchy.advance(cycle, &mut self.completion_buf);
         for completion in self.completion_buf.drain(..) {
             let (core, kind) = decode_tag(completion.tag);
+            match kind {
+                MissKind::Load | MissKind::Store => {
+                    self.attr.note_completion(core, false, &completion);
+                }
+                MissKind::Ifetch => self.attr.note_completion(core, true, &completion),
+                MissKind::Writeback => {}
+            }
             self.cores[core].complete_fill(completion.line_addr, kind, cycle);
         }
+        // Close stall intervals for cores the drain woke.
+        self.attr.scan_after_drain(&self.cores, cycle);
 
         // 4. Trace core-state intervals on transitions (Paraver and/or
         //    Chrome trace).
@@ -489,6 +521,7 @@ impl Simulation {
             }
         }
         if all_halted {
+            self.attr.finish(&self.cores, cycle);
             if self.trace.is_some() || self.config.chrome_trace {
                 self.flush_state_intervals(cycle);
             }
@@ -585,6 +618,7 @@ impl Simulation {
         EpochSnapshot {
             cycle,
             per_core,
+            per_core_blame: self.attr.dep().to_vec(),
             per_bank,
             noc_traversals: stats.noc.traversals,
             completed: stats.completed,
@@ -783,6 +817,46 @@ mod tests {
             assert!(interval.start >= cursor, "overlap at {interval:?}");
             cursor = interval.end;
         }
+    }
+
+    #[test]
+    fn cpi_stack_partition_and_drain_accounting() {
+        // Core 0 exits immediately and drains; core 1 spins for a while.
+        let src = "
+            _start:
+                csrr t0, mhartid
+                bnez t0, spin
+                li a0, 0
+                li a7, 93
+                ecall
+            spin:
+                li t1, 200
+            loop:
+                addi t1, t1, -1
+                bnez t1, loop
+                li a0, 1
+                li a7, 93
+                ecall";
+        let config = SimConfig::builder().cores(2).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        let report = sim.run().unwrap();
+        let attr = sim.attribution();
+        for core in 0..2 {
+            let dep: u64 = attr.dep()[core].iter().sum();
+            assert_eq!(
+                attr.active()[core] + dep + attr.fetch()[core] + attr.drained()[core],
+                report.cycles,
+                "core {core} CPI stack must partition the run"
+            );
+            assert_eq!(dep, report.cores[core].stats.dep_stall_cycles);
+            assert_eq!(
+                attr.fetch()[core],
+                report.cores[core].stats.fetch_stall_cycles
+            );
+        }
+        assert!(attr.drained()[0] > 0, "early-exit core must drain");
+        assert_eq!(attr.drained()[1], 0, "last core to halt never drains");
     }
 
     #[test]

@@ -14,6 +14,9 @@ use coyote_iss::MissKind;
 pub const EVENT_MISS_KIND: u64 = 42_000_001;
 /// Paraver event type carrying the missing line address.
 pub const EVENT_LINE_ADDR: u64 = 42_000_002;
+/// Paraver event type carrying the PC of the missing instruction (the
+/// causal anchor used by stall attribution; 0 for synthetic traffic).
+pub const EVENT_PC: u64 = 42_000_003;
 
 /// Paraver state value: the core is executing.
 pub const STATE_RUNNING: u64 = 1;
@@ -46,6 +49,9 @@ pub struct TraceEvent {
     pub kind: MissKind,
     /// Line-aligned address.
     pub line_addr: u64,
+    /// PC of the missing instruction (0 for synthetic traffic such as
+    /// L2-victim writebacks).
+    pub pc: u64,
 }
 
 /// One recorded core-state interval (Paraver record type 1).
@@ -173,7 +179,7 @@ impl Trace {
             // Record type 2 (event): 2:cpu:appl:task:thread:time:type:value[:type:value]
             writeln!(
                 out,
-                "2:{cpu}:1:{task}:1:{time}:{kt}:{kv}:{at}:{av}",
+                "2:{cpu}:1:{task}:1:{time}:{kt}:{kv}:{at}:{av}:{pt}:{pv}",
                 cpu = ev.core + 1,
                 task = ev.core + 1,
                 time = ev.cycle,
@@ -181,6 +187,8 @@ impl Trace {
                 kv = kind_code(ev.kind),
                 at = EVENT_LINE_ADDR,
                 av = ev.line_addr,
+                pt = EVENT_PC,
+                pv = ev.pc,
             )?;
         }
         Ok(())
@@ -208,6 +216,9 @@ impl Trace {
         writeln!(out)?;
         writeln!(out, "EVENT_TYPE")?;
         writeln!(out, "0\t{EVENT_LINE_ADDR}\tL1 miss line address")?;
+        writeln!(out)?;
+        writeln!(out, "EVENT_TYPE")?;
+        writeln!(out, "0\t{EVENT_PC}\tL1 miss instruction PC")?;
         Ok(())
     }
 }
@@ -284,8 +295,10 @@ impl Trace {
                     });
                 }
                 Some(&"2") => {
-                    if fields.len() != 10 {
-                        return Err(err("event record needs 10 fields".to_owned()));
+                    // 10 fields: the pre-PC format (kind + line address);
+                    // 12 fields: with the trailing EVENT_PC pair.
+                    if fields.len() != 10 && fields.len() != 12 {
+                        return Err(err("event record needs 10 or 12 fields".to_owned()));
                     }
                     let parse = |s: &str| s.parse::<u64>().map_err(|e| err(format!("{e}: `{s}`")));
                     let kind = match parse(fields[6])? {
@@ -298,11 +311,20 @@ impl Trace {
                         },
                         other => return Err(err(format!("unknown event type {other}"))),
                     };
+                    let pc = if fields.len() == 12 {
+                        if parse(fields[10])? != EVENT_PC {
+                            return Err(err(format!("unknown event type {}", fields[10])));
+                        }
+                        parse(fields[11])?
+                    } else {
+                        0
+                    };
                     trace.record(TraceEvent {
                         cycle: parse(fields[5])?,
                         core: parse(fields[3])? as usize - 1,
                         kind,
                         line_addr: parse(fields[9])?,
+                        pc,
                     });
                 }
                 Some(other) => {
@@ -326,12 +348,14 @@ mod tests {
             core: 0,
             kind: MissKind::Load,
             line_addr: 0x1000,
+            pc: 0x8000_0010,
         });
         t.record(TraceEvent {
             cycle: 12,
             core: 1,
             kind: MissKind::Ifetch,
             line_addr: 0x2000,
+            pc: 0x8000_0024,
         });
         t
     }
@@ -357,11 +381,11 @@ mod tests {
         assert!(header.contains(":13:1(2):1:2(1:1,1:1)"), "header: {header}");
         assert_eq!(
             lines.next().unwrap(),
-            "2:1:1:1:1:10:42000001:2:42000002:4096"
+            "2:1:1:1:1:10:42000001:2:42000002:4096:42000003:2147483664"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "2:2:1:2:1:12:42000001:1:42000002:8192"
+            "2:2:1:2:1:12:42000001:1:42000002:8192:42000003:2147483684"
         );
     }
 
@@ -442,6 +466,17 @@ mod tests {
         let parsed = Trace::parse_prv(&String::from_utf8(buf).unwrap()).unwrap();
         assert_eq!(parsed.events(), t.events());
         assert_eq!(parsed.states(), t.states());
+    }
+
+    #[test]
+    fn parse_accepts_pre_pc_ten_field_records() {
+        let old = "#Paraver (x):20:1(1):1:1(1:1)
+2:1:1:1:1:10:42000001:2:42000002:4096
+";
+        let parsed = Trace::parse_prv(old).unwrap();
+        assert_eq!(parsed.events().len(), 1);
+        assert_eq!(parsed.events()[0].line_addr, 4096);
+        assert_eq!(parsed.events()[0].pc, 0, "missing PC defaults to 0");
     }
 
     #[test]

@@ -140,6 +140,7 @@ fn every_documented_flag_parses() {
         .args(["--l2-private", "--mapping", "set", "--noc-latency", "2"])
         .args(["--mesh", "2x2", "--prefetch", "1", "--interleave", "2"])
         .args(["--max-cycles", "100000", "--metrics-interval", "500"])
+        .args(["--top-k", "16"])
         .arg("--trace")
         .arg(&trace)
         .arg("--metrics-out")
@@ -235,8 +236,102 @@ fn chrome_trace_flag_writes_trace_event_json() {
     assert!(!events.is_empty());
     for event in events {
         let ph = event.get("ph").and_then(|v| v.as_str()).expect("ph field");
-        assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+        // X = slice, M = metadata, s/f = stall-attribution flow pair.
+        assert!(
+            ph == "X" || ph == "M" || ph == "s" || ph == "f",
+            "unexpected phase {ph}"
+        );
     }
+}
+
+#[test]
+fn zero_metrics_interval_is_rejected() {
+    let path = write_temp_program(
+        "zero-interval.s",
+        "_start:
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let metrics = std::env::temp_dir().join("coyote-sim-tests/zero-interval-metrics");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--metrics-interval", "0"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("metrics_interval"), "stderr: {stderr}");
+
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--top-k", "0"])
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("attribution_top_k"), "stderr: {stderr}");
+}
+
+#[test]
+fn explain_checks_a_metrics_document() {
+    let path = write_temp_program(
+        "explain.s",
+        ".data
+         buf: .zero 2048
+         .text
+         _start:
+            la t0, buf
+            li t1, 24
+         loop:
+            ld t2, 0(t0)
+            addi t3, t2, 1    # RAW behind the load: dep stalls
+            sd t3, 8(t0)
+            addi t0, t0, 64
+            addi t1, t1, -1
+            bnez t1, loop
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let metrics = std::env::temp_dir().join("coyote-sim-tests/explain-metrics");
+    let status = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "2", "--metrics-interval", "200"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .status()
+        .expect("spawn coyote-sim");
+    assert!(status.success());
+
+    let explain_bin = env!("CARGO_BIN_EXE_coyote-explain");
+    let output = Command::new(explain_bin)
+        .arg(metrics.with_extension("json"))
+        .args(["--check", "--top", "5"])
+        .output()
+        .expect("spawn coyote-explain");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("Per-core CPI stack"), "{stdout}");
+    assert!(stdout.contains("Top critical PCs"), "{stdout}");
+    assert!(stdout.contains("check: OK"), "{stdout}");
+
+    // Unreadable input fails cleanly.
+    let output = Command::new(explain_bin)
+        .arg("/nonexistent/metrics.json")
+        .output()
+        .expect("spawn coyote-explain");
+    assert_eq!(output.status.code(), Some(1));
+
+    let output = Command::new(explain_bin)
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn coyote-explain");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--frobnicate"));
 }
 
 #[test]

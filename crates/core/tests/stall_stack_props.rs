@@ -1,0 +1,121 @@
+//! Property tests over the stall-attribution subsystem: for arbitrary
+//! (valid) machine shapes and kernel sizes, every core's CPI-stack
+//! components exactly partition the run's cycle count, and the dep and
+//! fetch buckets agree with the core's own stall counters.
+
+use coyote::{L2Config, L2Sharing, SimConfig, Simulation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Machine {
+    cores: usize,
+    interleave: usize,
+    mshrs: usize,
+    sharing: L2Sharing,
+    telemetry: bool,
+    iterations: u64,
+    stride: u64,
+}
+
+fn machine_strategy() -> impl Strategy<Value = Machine> {
+    (
+        1usize..5,                                    // cores
+        prop_oneof![Just(1usize), Just(2), Just(4)],  // interleave
+        prop_oneof![Just(1usize), Just(2), Just(16)], // mshrs
+        prop_oneof![Just(L2Sharing::Shared), Just(L2Sharing::Private)],
+        any::<bool>(),                               // telemetry
+        4u64..40,                                    // loop iterations
+        prop_oneof![Just(8u64), Just(64), Just(72)], // access stride
+    )
+        .prop_map(
+            |(cores, interleave, mshrs, sharing, telemetry, iterations, stride)| Machine {
+                cores,
+                interleave,
+                mshrs,
+                sharing,
+                telemetry,
+                iterations,
+                stride,
+            },
+        )
+}
+
+/// A pointer-chasing kernel with a RAW dependency right behind every
+/// load, sized so each hart touches its own slice.
+fn kernel(machine: &Machine) -> String {
+    format!(
+        "
+        .data
+        buf: .zero 16384
+        .text
+        _start:
+            csrr t0, mhartid
+            la t1, buf
+            slli t2, t0, 9
+            add t1, t1, t2
+            li t3, {iters}
+        loop:
+            ld t4, 0(t1)
+            addi t4, t4, 1     # RAW: dep stall on a miss
+            sd t4, 0(t1)
+            addi t1, t1, {stride}
+            addi t3, t3, -1
+            bnez t3, loop
+            mv a0, t0
+            li a7, 93
+            ecall",
+        iters = machine.iterations,
+        stride = machine.stride,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cpi_stack_partitions_cycles_for_any_machine(machine in machine_strategy()) {
+        let program = coyote_asm::assemble(&kernel(&machine)).expect("assemble");
+        let mut builder = SimConfig::builder()
+            .cores(machine.cores)
+            .interleave(machine.interleave)
+            .l2(L2Config {
+                mshrs: machine.mshrs,
+                ..L2Config::default()
+            })
+            .sharing(machine.sharing);
+        if machine.telemetry {
+            builder = builder.telemetry(true).metrics_interval(128);
+        }
+        let config = builder.build().expect("valid config");
+        let mut sim = Simulation::new(config, &program).expect("create sim");
+        let report = sim.run().expect("run");
+        let attr = sim.attribution();
+        for core in 0..machine.cores {
+            let dep: u64 = attr.dep()[core].iter().sum();
+            let total = attr.active()[core] + dep + attr.fetch()[core] + attr.drained()[core];
+            prop_assert_eq!(
+                total,
+                report.cycles,
+                "core {} stack {{active: {}, dep: {}, fetch: {}, drained: {}}} vs {} cycles",
+                core,
+                attr.active()[core],
+                dep,
+                attr.fetch()[core],
+                attr.drained()[core],
+                report.cycles
+            );
+            prop_assert_eq!(dep, report.cores[core].stats.dep_stall_cycles);
+            prop_assert_eq!(attr.fetch()[core], report.cores[core].stats.fetch_stall_cycles);
+        }
+        // The critical-PC table never exceeds its bound, and without
+        // memory telemetry all dep blame degrades to `other`.
+        prop_assert!(attr.top().len() <= sim.config().attribution_top_k);
+        if !machine.telemetry {
+            for row in attr.dep() {
+                for &cycles in &row[..row.len() - 1] {
+                    prop_assert_eq!(cycles, 0);
+                }
+            }
+        }
+    }
+}

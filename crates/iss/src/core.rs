@@ -66,6 +66,9 @@ pub struct MissRequest {
     pub line_addr: u64,
     /// Request kind.
     pub kind: MissKind,
+    /// Program counter of the instruction that caused the miss (the
+    /// causal anchor for stall attribution).
+    pub pc: u64,
 }
 
 /// Result of attempting one instruction on a core.
@@ -297,6 +300,16 @@ impl Core {
         self.stats
     }
 
+    /// Registers the current dependency stall is blocked on (union of
+    /// the blocked instruction's use and def sets). Meaningful only
+    /// while the core is in [`CoreState::StalledDep`]; the orchestrator
+    /// snapshots it when opening a stall interval so attribution can
+    /// report *which* architectural registers the code was waiting for.
+    #[must_use]
+    pub fn blocked_regs(&self) -> &RegSet {
+        &self.blocked_regs
+    }
+
     /// Counters as of `cycle`, folding an in-progress stall's elapsed
     /// cycles in. [`Core::stats`] accumulates stall time only when the
     /// core wakes, which would under-report a mid-stall epoch sample.
@@ -398,6 +411,7 @@ impl Core {
                 core: self.index,
                 line_addr: iline,
                 kind: MissKind::Ifetch,
+                pc,
             });
             self.pending_fetch = Some(iline);
             self.state = CoreState::StalledFetch;
@@ -447,6 +461,7 @@ impl Core {
                     core: self.index,
                     line_addr: victim,
                     kind: MissKind::Writeback,
+                    pc,
                 });
             }
             // A destination register must wait for the fill when the
@@ -479,6 +494,7 @@ impl Core {
                         } else {
                             MissKind::Load
                         },
+                        pc,
                     });
                 }
             } else if waiting {

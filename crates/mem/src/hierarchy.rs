@@ -113,6 +113,10 @@ pub struct Request {
     pub needs_response: bool,
     /// Opaque caller tag, returned in the [`Completion`].
     pub tag: u64,
+    /// Program counter of the issuing instruction (0 for synthetic
+    /// requests: prefetches and L2 victim writebacks). Carried on the
+    /// causal record so stall cycles can be charged back to code.
+    pub pc: u64,
 }
 
 /// A serviced miss leaving the hierarchy.
@@ -124,6 +128,9 @@ pub struct Completion {
     pub line_addr: u64,
     /// The tile that issued the request.
     pub tile: usize,
+    /// Causal record — issuing PC plus per-stage blame split — when
+    /// telemetry is enabled; `None` otherwise.
+    pub cause: Option<coyote_telemetry::RequestCause>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -404,7 +411,7 @@ impl Hierarchy {
         );
         if req.needs_response {
             if let Some(t) = &mut self.telemetry {
-                t.on_submit(id, now, req.line_addr, req.tile, bank, req.tag);
+                t.on_submit(id, now, req.line_addr, req.tile, bank, req.tag, req.pc);
             }
         }
         let latency = self
@@ -609,6 +616,9 @@ impl Hierarchy {
                     {
                         waiters.push(id);
                         self.merged += 1;
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_merge(id);
+                        }
                         return;
                     }
                     if self.banks[state.bank].mshr_available() {
@@ -641,6 +651,7 @@ impl Hierarchy {
                 tile: demand.req.tile,
                 needs_response: false,
                 tag: 0,
+                pc: 0,
             };
             let (bank, local_idx) = self.route(&req);
             let id = self.next_id;
@@ -726,6 +737,7 @@ impl Hierarchy {
                         tile: state.req.tile,
                         needs_response: false,
                         tag: 0,
+                        pc: 0,
                     },
                     bank: state.bank,
                     local_idx: 0,
@@ -760,9 +772,16 @@ impl Hierarchy {
             if let Some(same_line) = self.bank_pending[wbank].get_mut(&line) {
                 same_line.push(waiting_id);
                 self.merged += 1;
+                if let Some(t) = &mut self.telemetry {
+                    t.on_mshr_grant(waiting_id, now);
+                    t.on_merge(waiting_id);
+                }
             } else {
                 self.banks[wbank].mshr_acquire();
                 self.bank_pending[wbank].insert(line, vec![waiting_id]);
+                if let Some(t) = &mut self.telemetry {
+                    t.on_mshr_grant(waiting_id, now);
+                }
                 // Lookup was already paid on arrival; only the miss path
                 // remains.
                 self.schedule_ev(now + self.config.l2.miss_latency, Ev::McSend(waiting_id));
@@ -785,14 +804,13 @@ impl Hierarchy {
     fn on_complete(&mut self, now: u64, id: u64) {
         let state = self.states.remove(&id).expect("state");
         debug_assert!(!state.is_l2_writeback);
-        if let Some(t) = &mut self.telemetry {
-            t.on_complete(id, now);
-        }
+        let cause = self.telemetry.as_mut().and_then(|t| t.on_complete(id, now));
         self.completed += 1;
         self.completions_out.push(Completion {
             tag: state.req.tag,
             line_addr: state.req.line_addr,
             tile: state.req.tile,
+            cause,
         });
     }
 }
@@ -852,6 +870,7 @@ mod tests {
                 tile: 0,
                 needs_response: true,
                 tag: 1,
+                pc: 0,
             },
         );
         let (done, out) = drain(&mut h, 0);
@@ -875,6 +894,7 @@ mod tests {
             tile: 0,
             needs_response: true,
             tag: 1,
+            pc: 0,
         };
         h.submit(0, req);
         let (t1, _) = drain(&mut h, 0);
@@ -897,6 +917,7 @@ mod tests {
                     tile: 0,
                     needs_response: true,
                     tag,
+                    pc: 0,
                 },
             );
         }
@@ -923,6 +944,7 @@ mod tests {
                     tile: 0,
                     needs_response: true,
                     tag: i,
+                    pc: 0,
                 },
             );
         }
@@ -945,6 +967,7 @@ mod tests {
                 tile: 1,
                 needs_response: true,
                 tag: 7,
+                pc: 0,
             },
         );
         let (_, out) = drain(&mut h, 0);
@@ -970,6 +993,7 @@ mod tests {
                 tile: 0,
                 needs_response: false,
                 tag: 0,
+                pc: 0,
             },
         );
         let (_, out) = drain(&mut h, 0);
@@ -1000,6 +1024,7 @@ mod tests {
                         tile: 0,
                         needs_response: true,
                         tag: i,
+                        pc: 0,
                     },
                 );
                 // Space the requests out so prefetches can land.
@@ -1041,6 +1066,7 @@ mod tests {
                         tile: (i % 2) as usize,
                         needs_response: i % 5 != 0,
                         tag: i,
+                        pc: 0,
                     },
                 );
             }
@@ -1076,6 +1102,7 @@ mod tests {
                     tile: (i % 2) as usize,
                     needs_response: i % 7 != 0,
                     tag: i,
+                    pc: 0,
                 },
             );
             for _ in 0..8 {
@@ -1124,6 +1151,68 @@ mod tests {
         }
     }
 
+    #[test]
+    fn completion_causes_partition_end_to_end_under_mshr_pressure() {
+        use coyote_telemetry::{Blame, Stage};
+        let mut cfg = config();
+        cfg.tiles = 1;
+        cfg.banks_per_tile = 1;
+        cfg.l2.mshrs = 2;
+        let mut h = Hierarchy::new(cfg).unwrap();
+        h.enable_telemetry(true);
+        // Distinct lines so six misses fight over two MSHRs, plus a
+        // same-line reread that merges.
+        let mut out: Vec<Completion> = Vec::new();
+        for i in 0..6u64 {
+            h.submit(
+                0,
+                Request {
+                    line_addr: i * 64,
+                    tile: 0,
+                    needs_response: true,
+                    tag: i,
+                    pc: 0x1000 + i * 4,
+                },
+            );
+        }
+        h.submit(
+            1,
+            Request {
+                line_addr: 0,
+                tile: 0,
+                needs_response: true,
+                tag: 100,
+                pc: 0x2000,
+            },
+        );
+        let mut now = 1;
+        while !h.is_idle() {
+            now += 1;
+            h.advance(now, &mut out);
+        }
+        assert_eq!(out.len(), 7);
+        let t = h.telemetry().unwrap();
+        assert_eq!(t.stamp_errors(), 0);
+        // Every completion carries a cause whose blame split matches the
+        // slice's end-to-end span exactly.
+        let mut cause_total = 0u64;
+        let mut mshr_blame = 0u64;
+        for c in &out {
+            let cause = c.cause.expect("telemetry enabled");
+            let slice = t
+                .slices()
+                .iter()
+                .find(|s| s.tag == c.tag)
+                .expect("slice retained");
+            assert_eq!(cause.pc, slice.pc);
+            assert_eq!(cause.total(), slice.complete - slice.submit);
+            cause_total += cause.total();
+            mshr_blame += cause.blame[Blame::Mshr as usize];
+        }
+        assert_eq!(cause_total, t.stage(Stage::EndToEnd).sum());
+        assert!(mshr_blame > 0, "queued requests must blame MSHR pressure");
+    }
+
     use coyote_telemetry::Histogram;
 
     #[test]
@@ -1137,6 +1226,7 @@ mod tests {
                 tile: 0,
                 needs_response: true,
                 tag: 0,
+                pc: 0,
             },
         );
         let (_, out) = drain(&mut h, 0);
@@ -1159,6 +1249,7 @@ mod tests {
                     tile: 0,
                     needs_response: true,
                     tag: i,
+                    pc: 0,
                 },
             );
         }
@@ -1203,6 +1294,7 @@ mod tests {
                     tile: 0,
                     needs_response: true,
                     tag: i,
+                    pc: 0,
                 },
             );
         }
@@ -1218,6 +1310,7 @@ mod tests {
                     tile: 0,
                     needs_response: false,
                     tag: 0,
+                    pc: 0,
                 },
             );
         }
@@ -1234,6 +1327,7 @@ mod tests {
                     tile: 0,
                     needs_response: true,
                     tag: 100 + i,
+                    pc: 0,
                 },
             );
         }

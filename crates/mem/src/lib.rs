@@ -30,6 +30,7 @@
 //!     tile: 0,
 //!     needs_response: true,
 //!     tag: 42,
+//!     pc: 0,
 //! });
 //! let mut completions = Vec::new();
 //! let mut cycle = 0;

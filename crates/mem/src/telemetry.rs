@@ -13,7 +13,7 @@
 //! writebacks never complete, so the end-to-end histogram count equals
 //! the hierarchy's `completed` counter by construction.
 
-use coyote_telemetry::{Histogram, Stage};
+use coyote_telemetry::{Blame, Histogram, RequestCause, Stage};
 
 use crate::fastmap::FastMap;
 
@@ -28,11 +28,14 @@ struct Stamps {
     mc_respond: Option<u64>,
     bank_fill: Option<u64>,
     respond: Option<u64>,
+    mshr_grant: Option<u64>,
+    merged: bool,
     bank: usize,
     mc: Option<usize>,
     tile: usize,
     line_addr: u64,
     tag: u64,
+    pc: u64,
 }
 
 /// One completed request's lifecycle, retained for Chrome-trace export.
@@ -42,6 +45,9 @@ pub struct RequestSlice {
     pub line_addr: u64,
     /// Caller tag from the originating request.
     pub tag: u64,
+    /// Program counter of the issuing instruction (0 for synthetic
+    /// requests such as prefetches and L2 victim writebacks).
+    pub pc: u64,
     /// Issuing tile.
     pub tile: usize,
     /// Serving bank (global index).
@@ -100,6 +106,7 @@ impl MemTelemetry {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_submit(
         &mut self,
         id: u64,
@@ -108,6 +115,7 @@ impl MemTelemetry {
         tile: usize,
         bank: usize,
         tag: u64,
+        pc: u64,
     ) {
         self.stamps.insert(
             id,
@@ -117,6 +125,7 @@ impl MemTelemetry {
                 tile,
                 bank,
                 tag,
+                pc,
                 ..Stamps::default()
             },
         );
@@ -153,6 +162,25 @@ impl MemTelemetry {
         }
     }
 
+    /// Marks the request as MSHR-merged into another in-flight miss to
+    /// the same line: it never owns an MC round-trip, and its residency
+    /// at the bank counts as miss wait, not hit service.
+    pub(crate) fn on_merge(&mut self, id: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.merged = true;
+        }
+    }
+
+    /// Marks the cycle an MSHR was finally acquired for (or a merge
+    /// slot granted to) a request that had been parked in the bank's
+    /// waiting queue; `bank_arrive → mshr_grant` is MSHR-full
+    /// back-pressure.
+    pub(crate) fn on_mshr_grant(&mut self, id: u64, now: u64) {
+        if let Some(s) = self.stamps.get_mut(&id) {
+            s.mshr_grant = Some(now);
+        }
+    }
+
     /// A stage delta from an ordered stamp pair. A pair stamped out of
     /// order is an event-pipeline bug: rather than underflowing (and
     /// poisoning a histogram with a near-`u64::MAX` sample), it
@@ -167,9 +195,72 @@ impl MemTelemetry {
         }
     }
 
-    pub(crate) fn on_complete(&mut self, id: u64, now: u64) {
-        let Some(s) = self.stamps.remove(&id) else {
-            return;
+    /// Folds the request's stamps into the stage histograms and returns
+    /// its causal record: the issuing PC plus the request's end-to-end
+    /// latency split across [`Blame`] categories. The split partitions
+    /// `complete - submit` exactly (misordered stamp pairs drop their
+    /// stage and are counted in [`MemTelemetry::stamp_errors`]):
+    ///
+    /// - `Noc`: request hop, fill hop (miss owners), and response hop;
+    /// - `Mshr`: `bank_arrive → mshr_grant` back-pressure wait;
+    /// - `L2Hit`: bank residency of a plain hit;
+    /// - `L2Miss`: bank residency of a miss owner up to the MC send, or
+    ///   of a merged waiter up to its response;
+    /// - `Mc`: the owner's DRAM round-trip.
+    pub(crate) fn on_complete(&mut self, id: u64, now: u64) -> Option<RequestCause> {
+        let s = self.stamps.remove(&id)?;
+        let mut blame = [0u64; Blame::ALL.len()];
+        if let Some(arrive) = s.bank_arrive {
+            if let Some(hop) = self.stage_delta(arrive, s.submit) {
+                blame[Blame::Noc as usize] += hop;
+            }
+            let bank_start = s.mshr_grant.unwrap_or(arrive);
+            if let Some(grant) = s.mshr_grant {
+                if let Some(wait) = self.stage_delta(grant, arrive) {
+                    blame[Blame::Mshr as usize] += wait;
+                }
+            }
+            if let Some(send) = s.mc_send {
+                // Miss owner: bank residency ends at the MC send.
+                if let Some(lookup) = self.stage_delta(send, bank_start) {
+                    blame[Blame::L2Miss as usize] += lookup;
+                }
+            } else if let Some(respond) = s.respond {
+                let residency = self.stage_delta(respond, bank_start);
+                if let Some(residency) = residency {
+                    // Merged waiters spent their residency waiting on
+                    // someone else's miss; plain hits on bank service.
+                    let kind = if s.merged {
+                        Blame::L2Miss
+                    } else {
+                        Blame::L2Hit
+                    };
+                    blame[kind as usize] += residency;
+                }
+            }
+        }
+        if let (Some(send), Some(resp)) = (s.mc_send, s.mc_respond) {
+            if let Some(dram) = self.stage_delta(resp, send) {
+                blame[Blame::Mc as usize] += dram;
+            }
+        }
+        if let (Some(resp), Some(fill)) = (s.mc_respond, s.bank_fill) {
+            if let Some(hop) = self.stage_delta(fill, resp) {
+                blame[Blame::Noc as usize] += hop;
+            }
+        }
+        if let Some(respond) = s.respond {
+            // Miss owners are responded the cycle they fill, so the
+            // fill → respond gap is zero and this hop completes the
+            // partition for every request shape.
+            if let Some(hop) = self.stage_delta(now, respond) {
+                blame[Blame::Noc as usize] += hop;
+            }
+        }
+        let cause = RequestCause {
+            pc: s.pc,
+            submit: s.submit,
+            blame,
         };
         if let Some(e2e) = self.stage_delta(now, s.submit) {
             self.stages[Stage::EndToEnd as usize].record(e2e);
@@ -213,6 +304,7 @@ impl MemTelemetry {
                 self.slices.push(RequestSlice {
                     line_addr: s.line_addr,
                     tag: s.tag,
+                    pc: s.pc,
                     tile: s.tile,
                     bank: s.bank,
                     mc: s.mc,
@@ -228,6 +320,7 @@ impl MemTelemetry {
                 self.dropped_slices += 1;
             }
         }
+        Some(cause)
     }
 
     /// Aggregate histogram for a lifecycle stage.
@@ -284,14 +377,56 @@ mod tests {
     #[test]
     fn ordered_stamps_record_without_errors() {
         let mut t = MemTelemetry::new(1, 1, false);
-        t.on_submit(7, 100, 0x40, 0, 0, 4);
+        t.on_submit(7, 100, 0x40, 0, 0, 4, 0x8000);
         t.on_bank_arrive(7, 110);
         t.on_respond(7, 130);
-        t.on_complete(7, 140);
+        let cause = t.on_complete(7, 140).expect("tracked request");
         assert_eq!(t.stamp_errors(), 0);
         assert_eq!(t.stage(Stage::EndToEnd).count(), 1);
         assert_eq!(t.stage(Stage::EndToEnd).sum(), 40);
         assert_eq!(t.stage(Stage::Bank).sum(), 20);
+        // Hit shape: 10 request hop + 20 bank + 10 response hop.
+        assert_eq!(cause.pc, 0x8000);
+        assert_eq!(cause.blame[Blame::Noc as usize], 20);
+        assert_eq!(cause.blame[Blame::L2Hit as usize], 20);
+        assert_eq!(cause.total(), 40);
+        assert_eq!(cause.dominant(), Blame::Noc);
+    }
+
+    #[test]
+    fn miss_owner_blame_partitions_end_to_end() {
+        let mut t = MemTelemetry::new(1, 1, false);
+        t.on_submit(3, 100, 0x40, 0, 0, 4, 0x9000);
+        t.on_bank_arrive(3, 110);
+        t.on_mc_send(3, 114, 0);
+        t.on_mc_respond(3, 164);
+        t.on_bank_fill(3, 174);
+        t.on_respond(3, 174);
+        let cause = t.on_complete(3, 184).expect("tracked request");
+        assert_eq!(t.stamp_errors(), 0);
+        assert_eq!(cause.blame[Blame::Noc as usize], 30); // 10 + 10 + 10
+        assert_eq!(cause.blame[Blame::L2Miss as usize], 4);
+        assert_eq!(cause.blame[Blame::Mc as usize], 50);
+        assert_eq!(cause.blame[Blame::Mshr as usize], 0);
+        assert_eq!(cause.total(), 84);
+        assert_eq!(cause.dominant(), Blame::Mc);
+    }
+
+    #[test]
+    fn queued_then_merged_waiter_blames_mshr_and_miss_wait() {
+        let mut t = MemTelemetry::new(1, 1, false);
+        t.on_submit(5, 100, 0x40, 0, 0, 4, 0xa000);
+        t.on_bank_arrive(5, 110);
+        t.on_mshr_grant(5, 150); // parked 40 cycles behind full MSHRs
+        t.on_merge(5); // then merged into an in-flight miss
+        t.on_respond(5, 180);
+        let cause = t.on_complete(5, 190).expect("tracked request");
+        assert_eq!(t.stamp_errors(), 0);
+        assert_eq!(cause.blame[Blame::Mshr as usize], 40);
+        assert_eq!(cause.blame[Blame::L2Miss as usize], 30);
+        assert_eq!(cause.blame[Blame::L2Hit as usize], 0);
+        assert_eq!(cause.blame[Blame::Noc as usize], 20);
+        assert_eq!(cause.total(), 90);
     }
 
     #[test]
@@ -299,18 +434,19 @@ mod tests {
         let mut t = MemTelemetry::new(1, 1, false);
         // Completion stamped *before* submission: an event-pipeline bug
         // that must surface as a counted error, not a ~u64::MAX sample.
-        t.on_submit(9, 200, 0x80, 0, 0, 4);
+        t.on_submit(9, 200, 0x80, 0, 0, 4, 0);
         t.on_complete(9, 150);
         assert_eq!(t.stamp_errors(), 1);
         assert_eq!(t.stage(Stage::EndToEnd).count(), 0);
 
-        // A misordered interior pair only skips its own stage.
+        // A misordered interior pair only skips its own stage — once in
+        // the blame split and once in the histogram fold.
         let mut t = MemTelemetry::new(1, 1, false);
-        t.on_submit(10, 100, 0xc0, 0, 0, 4);
+        t.on_submit(10, 100, 0xc0, 0, 0, 4, 0);
         t.on_bank_arrive(10, 110);
         t.on_respond(10, 105); // before bank_arrive: bank stage invalid
         t.on_complete(10, 140);
-        assert_eq!(t.stamp_errors(), 1);
+        assert_eq!(t.stamp_errors(), 2);
         assert_eq!(t.stage(Stage::EndToEnd).count(), 1);
         assert_eq!(t.stage(Stage::Bank).count(), 0);
     }

@@ -99,6 +99,7 @@ fn run(workload: &Workload) -> (u64, Vec<(u64, u64)>, String) {
                 tile,
                 needs_response,
                 tag: line,
+                pc: 0,
             },
         );
         expected_responses += u64::from(needs_response);

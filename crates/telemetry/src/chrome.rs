@@ -28,10 +28,35 @@ pub struct ChromeEvent {
     pub args: Vec<(String, JsonValue)>,
 }
 
+/// One endpoint of a flow arrow: a flow-start ("s") or flow-finish
+/// ("f") event. Perfetto draws an arrow from each start to the finish
+/// sharing its `id`, binding each endpoint to the slice enclosing its
+/// `(pid, tid, ts)` point — which is how stall intervals are visually
+/// linked to the memory request that caused them.
+#[derive(Debug, Clone)]
+pub struct FlowEvent {
+    /// Flow label (shared by both endpoints).
+    pub name: String,
+    /// Comma-separated categories.
+    pub cat: &'static str,
+    /// Identifier pairing a start with its finish.
+    pub id: u64,
+    /// Timestamp, in cycles; must fall inside the slice to bind to.
+    pub ts: u64,
+    /// Process row group of the bound slice.
+    pub pid: u32,
+    /// Thread row of the bound slice.
+    pub tid: u32,
+    /// `true` emits phase "s" (start), `false` phase "f" (finish,
+    /// binding to the enclosing slice via `bp: "e"`).
+    pub start: bool,
+}
+
 /// Builder that accumulates events and serializes the final document.
 #[derive(Debug, Default)]
 pub struct ChromeTrace {
     events: Vec<ChromeEvent>,
+    flows: Vec<FlowEvent>,
     names: Vec<((u32, u32), String)>,
     process_names: Vec<(u32, String)>,
 }
@@ -60,6 +85,17 @@ impl ChromeTrace {
         self.events.push(event);
     }
 
+    /// Appends a flow endpoint (arrow start or finish).
+    pub fn push_flow(&mut self, flow: FlowEvent) {
+        self.flows.push(flow);
+    }
+
+    /// Number of flow endpoints recorded so far.
+    #[must_use]
+    pub fn flow_len(&self) -> usize {
+        self.flows.len()
+    }
+
     /// Number of slice events recorded so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -76,8 +112,9 @@ impl ChromeTrace {
     /// (`{"traceEvents": [...], "displayTimeUnit": "ns"}`).
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        let mut events =
-            Vec::with_capacity(self.events.len() + self.names.len() + self.process_names.len());
+        let mut events = Vec::with_capacity(
+            self.events.len() + self.flows.len() + self.names.len() + self.process_names.len(),
+        );
         for (pid, name) in &self.process_names {
             events.push(metadata_event("process_name", *pid, 0, name));
         }
@@ -95,6 +132,21 @@ impl ChromeTrace {
                 .with("tid", e.tid);
             if !e.args.is_empty() {
                 obj = obj.with("args", JsonValue::Object(e.args.clone()));
+            }
+            events.push(obj);
+        }
+        for f in &self.flows {
+            let mut obj = JsonValue::object()
+                .with("name", f.name.as_str())
+                .with("cat", f.cat)
+                .with("ph", if f.start { "s" } else { "f" })
+                .with("id", f.id)
+                .with("ts", f.ts)
+                .with("pid", f.pid)
+                .with("tid", f.tid);
+            if !f.start {
+                // Bind the finish to the enclosing slice, not the next one.
+                obj = obj.with("bp", "e");
             }
             events.push(obj);
         }
@@ -157,6 +209,43 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(0xabc)
         );
+    }
+
+    #[test]
+    fn flow_endpoints_serialize_as_s_and_f_phases() {
+        let mut trace = ChromeTrace::new();
+        trace.push_flow(FlowEvent {
+            name: "stall".to_owned(),
+            cat: "attribution",
+            id: 7,
+            ts: 120,
+            pid: 4,
+            tid: 0,
+            start: true,
+        });
+        trace.push_flow(FlowEvent {
+            name: "stall".to_owned(),
+            cat: "attribution",
+            id: 7,
+            ts: 150,
+            pid: 1,
+            tid: 0,
+            start: false,
+        });
+        assert_eq!(trace.flow_len(), 2);
+        let doc = trace.to_json();
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let start = &events[0];
+        assert_eq!(start.get("ph").and_then(JsonValue::as_str), Some("s"));
+        assert_eq!(start.get("id").and_then(JsonValue::as_u64), Some(7));
+        assert!(start.get("bp").is_none());
+        let finish = &events[1];
+        assert_eq!(finish.get("ph").and_then(JsonValue::as_str), Some("f"));
+        assert_eq!(finish.get("bp").and_then(JsonValue::as_str), Some("e"));
+        assert_eq!(finish.get("id").and_then(JsonValue::as_u64), Some(7));
     }
 
     #[test]

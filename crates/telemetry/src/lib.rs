@@ -28,16 +28,18 @@ pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod series;
+pub mod topk;
 
-pub use chrome::{ChromeEvent, ChromeTrace};
+pub use chrome::{ChromeEvent, ChromeTrace, FlowEvent};
 pub use hist::{Histogram, BUCKETS};
 pub use json::{parse as parse_json, JsonParseError, JsonValue};
 pub use series::{Sample, TimeSeries};
+pub use topk::{PcEntry, TopK};
 
 /// Version of the exported metrics JSON schema. Bump on any breaking
 /// change to key names or value semantics; the golden-file test in
 /// `crates/core` pins it.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A stage of the request lifecycle through the memory hierarchy.
 ///
@@ -92,6 +94,101 @@ impl Stage {
     }
 }
 
+/// The hierarchy stage held responsible for a closed dependency-stall
+/// interval.
+///
+/// A request's service time is split across stages
+/// ([`Stage`]/`MemTelemetry` in `crates/mem` record the exact
+/// per-stage latencies); `Blame` is the attribution-side view: which
+/// single stage *dominated* the request that kept a core asleep, plus
+/// the per-stage cycle split carried on [`RequestCause`]. The sixth
+/// attribution column, `other`, lives only on the simulator side — it
+/// absorbs stalls with no causal record (telemetry disabled, or a wake
+/// with no completing request) and is deliberately not a `Blame`
+/// variant so causal records always carry real hierarchy blame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blame {
+    /// Network-on-chip hops: request, fill, and response traversals.
+    Noc,
+    /// L2 bank service for a hit (tag lookup + bank queueing).
+    L2Hit,
+    /// L2 miss handling at the bank: lookup plus miss-path residency
+    /// while waiting for the fill (merged waiters included).
+    L2Miss,
+    /// MSHR-full back-pressure: parked in the bank's waiting queue
+    /// before an MSHR could be acquired.
+    Mshr,
+    /// Memory-controller (DRAM) service.
+    Mc,
+}
+
+impl Blame {
+    /// All blame categories, in precedence order (first max wins when
+    /// [`RequestCause::dominant`] ties).
+    pub const ALL: [Blame; 5] = [
+        Blame::Noc,
+        Blame::L2Hit,
+        Blame::L2Miss,
+        Blame::Mshr,
+        Blame::Mc,
+    ];
+
+    /// Stable snake_case name used as the JSON key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Blame::Noc => "noc",
+            Blame::L2Hit => "l2_hit",
+            Blame::L2Miss => "l2_miss",
+            Blame::Mshr => "mshr",
+            Blame::Mc => "mc",
+        }
+    }
+}
+
+/// Number of attribution columns in per-core blame rows: the five
+/// [`Blame`] categories plus a trailing `other` column for
+/// unattributed stall cycles.
+pub const BLAME_COLS: usize = Blame::ALL.len() + 1;
+
+/// Causal record attached to a completed memory request: who issued
+/// it, from which instruction, and how its service time splits across
+/// hierarchy stages. The orchestrator uses this to attribute the stall
+/// interval the completion closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestCause {
+    /// Program counter of the instruction that issued the access.
+    pub pc: u64,
+    /// Cycle the request was submitted to the hierarchy.
+    pub submit: u64,
+    /// Service cycles by [`Blame`] category, indexed by `Blame as
+    /// usize`; sums to the request's end-to-end latency.
+    pub blame: [u64; Blame::ALL.len()],
+}
+
+impl RequestCause {
+    /// Total service cycles across all blame categories (the request's
+    /// end-to-end latency).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.blame.iter().sum()
+    }
+
+    /// The category with the most service cycles; ties resolve to the
+    /// earliest entry in [`Blame::ALL`], keeping attribution
+    /// deterministic.
+    #[must_use]
+    pub fn dominant(&self) -> Blame {
+        let mut best = Blame::ALL[0];
+        for blame in Blame::ALL {
+            if self.blame[blame as usize] > self.blame[best as usize] {
+                best = blame;
+            }
+        }
+        best
+    }
+}
+
 /// Cumulative counters and instantaneous gauges captured at one cycle,
 /// fed to [`TelemetrySink::sample`]. The sink differences consecutive
 /// snapshots to produce per-epoch [`Sample`]s, so callers only ever
@@ -104,6 +201,12 @@ pub struct EpochSnapshot {
     /// Per-core cumulative `[retired, dep_stall_cycles,
     /// fetch_stall_cycles]`.
     pub per_core: Vec<[u64; 3]>,
+    /// Per-core cumulative dependency-stall cycles by attribution
+    /// category (`Blame::ALL` order, then `other`). Covers *closed*
+    /// stall intervals only — an in-progress stall is attributed when
+    /// its closing completion arrives, which keeps every column
+    /// monotone across snapshots.
+    pub per_core_blame: Vec<[u64; BLAME_COLS]>,
     /// Per-bank `[hits, misses, mshr_occupancy]` — first two
     /// cumulative, third an instantaneous gauge.
     pub per_bank: Vec<[u64; 3]>,
@@ -173,6 +276,11 @@ impl TelemetrySink {
         }
 
         let per_core: Vec<[u64; 3]> = diff_rows(&snapshot.per_core, &self.last.per_core, [true; 3]);
+        let per_core_blame: Vec<[u64; BLAME_COLS]> = diff_rows(
+            &snapshot.per_core_blame,
+            &self.last.per_core_blame,
+            [true; BLAME_COLS],
+        );
         let per_bank: Vec<[u64; 3]> =
             diff_rows(&snapshot.per_bank, &self.last.per_bank, [true, true, false]);
 
@@ -192,6 +300,7 @@ impl TelemetrySink {
             in_flight: snapshot.in_flight,
             mc_busy_channels: snapshot.mc_busy_channels,
             per_core,
+            per_core_blame,
             per_bank,
         };
         self.series.push(sample);
@@ -214,14 +323,18 @@ impl TelemetrySink {
 /// Per-row difference of cumulative snapshots; `diff[i]` subtracts the
 /// column, otherwise the newer gauge value is kept. Rows absent from
 /// the older snapshot diff against zero.
-fn diff_rows(newer: &[[u64; 3]], older: &[[u64; 3]], diff: [bool; 3]) -> Vec<[u64; 3]> {
+fn diff_rows<const N: usize>(
+    newer: &[[u64; N]],
+    older: &[[u64; N]],
+    diff: [bool; N],
+) -> Vec<[u64; N]> {
     newer
         .iter()
         .enumerate()
         .map(|(i, row)| {
-            let prev = older.get(i).copied().unwrap_or([0; 3]);
-            let mut out = [0u64; 3];
-            for c in 0..3 {
+            let prev = older.get(i).copied().unwrap_or([0; N]);
+            let mut out = [0u64; N];
+            for c in 0..N {
                 out[c] = if diff[c] {
                     row[c].saturating_sub(prev[c])
                 } else {
@@ -291,6 +404,48 @@ mod tests {
         let sink = TelemetrySink::new(0);
         assert_eq!(sink.interval(), 1);
         assert_eq!(sink.next_due(), 1);
+    }
+
+    #[test]
+    fn blame_rows_difference_like_other_counters() {
+        let mut sink = TelemetrySink::new(100);
+        let mut first = snapshot(100, 10, 1);
+        first.per_core_blame = vec![[5, 0, 10, 0, 20, 3]];
+        sink.sample(first);
+        let mut second = snapshot(200, 20, 2);
+        second.per_core_blame = vec![[7, 0, 25, 4, 20, 3]];
+        sink.sample(second);
+        let samples = sink.series().samples();
+        assert_eq!(samples[0].per_core_blame, vec![[5, 0, 10, 0, 20, 3]]);
+        assert_eq!(samples[1].per_core_blame, vec![[2, 0, 15, 4, 0, 0]]);
+    }
+
+    #[test]
+    fn dominant_blame_ties_resolve_in_all_order() {
+        let cause = RequestCause {
+            pc: 0x80,
+            submit: 10,
+            blame: [4, 0, 4, 0, 4],
+        };
+        assert_eq!(cause.dominant(), Blame::Noc);
+        assert_eq!(cause.total(), 12);
+        let mc_heavy = RequestCause {
+            pc: 0x80,
+            submit: 10,
+            blame: [4, 0, 4, 0, 5],
+        };
+        assert_eq!(mc_heavy.dominant(), Blame::Mc);
+    }
+
+    #[test]
+    fn blame_names_are_unique_and_stable() {
+        let names: Vec<&str> = Blame::ALL.iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(Blame::L2Miss.name(), "l2_miss");
+        assert_eq!(BLAME_COLS, 6);
     }
 
     #[test]

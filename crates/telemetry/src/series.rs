@@ -8,6 +8,8 @@
 //! column's total, so invariants like "per-epoch retired deltas sum to
 //! total retired" survive any number of compactions.
 
+use crate::{Blame, BLAME_COLS};
+
 /// Delta counters and end-of-epoch gauges for one metrics epoch.
 ///
 /// `retired`/`hits`-style fields are deltas over `[start, end)`;
@@ -42,6 +44,11 @@ pub struct Sample {
     pub mc_busy_channels: u64,
     /// Per-core `[retired, dep_stall_cycles, fetch_stall_cycles]` deltas.
     pub per_core: Vec<[u64; 3]>,
+    /// Per-core dependency-stall cycle deltas by attribution category
+    /// ([`Blame::ALL`] order, then `other`). Counts closed stall
+    /// intervals only, so an epoch's columns can lag
+    /// `dep_stall_cycles` by at most one in-progress stall per core.
+    pub per_core_blame: Vec<[u64; BLAME_COLS]>,
     /// Per-bank `[hits, misses, mshr_occupancy]`; the first two are
     /// deltas, the third is an end-of-epoch gauge.
     pub per_bank: Vec<[u64; 3]>,
@@ -81,18 +88,23 @@ impl Sample {
         self.in_flight = next.in_flight;
         self.mc_busy_channels = next.mc_busy_channels;
         merge_triples(&mut self.per_core, &next.per_core, [true, true, true]);
+        merge_triples(
+            &mut self.per_core_blame,
+            &next.per_core_blame,
+            [true; BLAME_COLS],
+        );
         merge_triples(&mut self.per_bank, &next.per_bank, [true, true, false]);
     }
 }
 
-/// Element-wise merge of `[u64; 3]` rows: `add[i]` sums the column,
+/// Element-wise merge of `[u64; N]` rows: `add[i]` sums the column,
 /// otherwise the later (gauge) value wins.
-fn merge_triples(into: &mut Vec<[u64; 3]>, from: &[[u64; 3]], add: [bool; 3]) {
+fn merge_triples<const N: usize>(into: &mut Vec<[u64; N]>, from: &[[u64; N]], add: [bool; N]) {
     if into.len() < from.len() {
-        into.resize(from.len(), [0; 3]);
+        into.resize(from.len(), [0; N]);
     }
     for (mine, theirs) in into.iter_mut().zip(from) {
-        for i in 0..3 {
+        for i in 0..N {
             if add[i] {
                 mine[i] += theirs[i];
             } else {
@@ -198,11 +210,23 @@ impl TimeSeries {
              l2_hits,l2_misses,noc_traversals,completed,\
              mshr_occupancy,queued_requests,in_flight,mc_busy_channels",
         );
+        let blame_cores = self
+            .samples
+            .iter()
+            .map(|s| s.per_core_blame.len())
+            .max()
+            .unwrap_or(0);
         for c in 0..cores {
             let _ = write!(
                 out,
                 ",core{c}_retired,core{c}_dep_stall,core{c}_fetch_stall"
             );
+        }
+        for c in 0..blame_cores {
+            for blame in Blame::ALL {
+                let _ = write!(out, ",core{c}_dep_{}", blame.name());
+            }
+            let _ = write!(out, ",core{c}_dep_other");
         }
         for b in 0..banks {
             let _ = write!(out, ",bank{b}_hits,bank{b}_misses,bank{b}_mshr");
@@ -240,6 +264,12 @@ impl TimeSeries {
             for c in 0..cores {
                 let row = s.per_core.get(c).copied().unwrap_or([0; 3]);
                 let _ = write!(out, ",{},{},{}", row[0], row[1], row[2]);
+            }
+            for c in 0..blame_cores {
+                let row = s.per_core_blame.get(c).copied().unwrap_or([0; BLAME_COLS]);
+                for value in row {
+                    let _ = write!(out, ",{value}");
+                }
             }
             for b in 0..banks {
                 let row = s.per_bank.get(b).copied().unwrap_or([0; 3]);
@@ -332,6 +362,29 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(row.split(',').count(), header.split(',').count());
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn blame_columns_absorb_and_serialize() {
+        let mut a = sample(0, 100, 4);
+        a.per_core_blame = vec![[1, 2, 3, 4, 5, 6]];
+        let mut b = sample(100, 200, 7);
+        b.per_core_blame = vec![[10, 0, 0, 0, 0, 1], [2, 0, 0, 0, 0, 0]];
+        a.absorb(&b);
+        assert_eq!(
+            a.per_core_blame,
+            vec![[11, 2, 3, 4, 5, 7], [2, 0, 0, 0, 0, 0]]
+        );
+
+        let mut ts = TimeSeries::new(8);
+        ts.push(a);
+        let csv = ts.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("core0_dep_noc"));
+        assert!(header.contains("core1_dep_mc"));
+        assert!(header.contains("core0_dep_other"));
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row.split(',').count(), header.split(',').count());
     }
 
     #[test]

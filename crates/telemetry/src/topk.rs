@@ -1,0 +1,186 @@
+//! Bounded top-K accumulator for causal stall attribution.
+//!
+//! The orchestrator attributes every closed stall interval to the
+//! program counter of the memory request that ended it. Over a
+//! billion-cycle run the set of distinct PCs is unbounded in principle,
+//! so the accumulator keeps memory O(K) with the *space-saving* sketch:
+//! a full table up to `capacity` entries, then eviction of the smallest
+//! entry, whose cycle total the newcomer inherits as a recorded
+//! overestimation bound ([`PcEntry::error`]).
+//!
+//! Determinism: entries live in a `BTreeMap` keyed by PC, eviction
+//! picks the victim by `(cycles, pc)` with a fixed tie-break, and the
+//! caller applies additions in canonical per-cycle order — so two legal
+//! schedules of the same simulation produce byte-identical rankings.
+
+use std::collections::BTreeMap;
+
+use crate::Blame;
+
+/// Accumulated attribution for one program counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcEntry {
+    /// Total stall cycles attributed to this PC (including any
+    /// inherited [`PcEntry::error`]).
+    pub cycles: u64,
+    /// Stall intervals attributed to this PC since (re)insertion.
+    pub count: u64,
+    /// Attributed cycles by [`Blame`] category (exact part only:
+    /// `blame` sums to `cycles - error`).
+    pub blame: [u64; Blame::ALL.len()],
+    /// Space-saving overestimation bound: cycles inherited from the
+    /// entry this one evicted (0 while the table has never been full).
+    pub error: u64,
+    /// Union of the caller's opaque blocked-register masks across all
+    /// intervals attributed here (unioning is order-insensitive, so
+    /// this stays schedule-deterministic).
+    pub reg_mask: [u64; 2],
+}
+
+/// Bounded top-K table of PCs ranked by attributed stall cycles.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    capacity: usize,
+    entries: BTreeMap<u64, PcEntry>,
+}
+
+impl TopK {
+    /// A table holding at most `capacity` PCs (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> TopK {
+        TopK {
+            capacity: capacity.max(1),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of PCs currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been attributed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Attributes `cycles` of stall time to `pc` under `blame`.
+    /// `reg_mask` is an opaque caller bitmask (the blocked registers)
+    /// unioned into the entry.
+    pub fn add(&mut self, pc: u64, cycles: u64, blame: Blame, reg_mask: [u64; 2]) {
+        if let Some(entry) = self.entries.get_mut(&pc) {
+            entry.cycles += cycles;
+            entry.count += 1;
+            entry.blame[blame as usize] += cycles;
+            entry.reg_mask[0] |= reg_mask[0];
+            entry.reg_mask[1] |= reg_mask[1];
+            return;
+        }
+        let mut entry = PcEntry::default();
+        if self.entries.len() >= self.capacity {
+            // Evict the smallest entry; deterministic tie-break on the
+            // larger PC so low PCs survive equal-weight collisions.
+            let victim = self
+                .entries
+                .iter()
+                .map(|(&vpc, e)| (e.cycles, std::cmp::Reverse(vpc)))
+                .min()
+                .map(|(_, std::cmp::Reverse(vpc))| vpc)
+                .expect("table is non-empty at capacity");
+            let evicted = self
+                .entries
+                .remove(&victim)
+                .expect("victim key just observed");
+            entry.error = evicted.cycles;
+            entry.cycles = evicted.cycles;
+        }
+        entry.cycles += cycles;
+        entry.count = 1;
+        entry.blame[blame as usize] = cycles;
+        entry.reg_mask = reg_mask;
+        self.entries.insert(pc, entry);
+    }
+
+    /// The tracked entries ranked by attributed cycles (descending),
+    /// ties broken by ascending PC.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(u64, PcEntry)> {
+        let mut out: Vec<(u64, PcEntry)> = self.entries.iter().map(|(&pc, &e)| (pc, e)).collect();
+        out.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Total cycles attributed across all tracked PCs (including
+    /// inherited error mass).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.entries.values().map(|e| e.cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additions_accumulate_per_pc() {
+        let mut t = TopK::new(8);
+        t.add(0x100, 30, Blame::Mc, [1, 0]);
+        t.add(0x100, 20, Blame::Noc, [2, 0]);
+        t.add(0x200, 5, Blame::L2Hit, [0, 4]);
+        let ranked = t.ranked();
+        assert_eq!(ranked[0].0, 0x100);
+        assert_eq!(ranked[0].1.cycles, 50);
+        assert_eq!(ranked[0].1.count, 2);
+        assert_eq!(ranked[0].1.blame[Blame::Mc as usize], 30);
+        assert_eq!(ranked[0].1.reg_mask, [3, 0]);
+        assert_eq!(ranked[1].0, 0x200);
+    }
+
+    #[test]
+    fn eviction_keeps_table_bounded_and_inherits_error() {
+        let mut t = TopK::new(2);
+        t.add(0x100, 100, Blame::Mc, [0; 2]);
+        t.add(0x200, 10, Blame::Mc, [0; 2]);
+        // Third PC evicts the smallest (0x200) and inherits its mass.
+        t.add(0x300, 1, Blame::Noc, [0; 2]);
+        assert_eq!(t.len(), 2);
+        let ranked = t.ranked();
+        assert_eq!(ranked[0].0, 0x100);
+        assert_eq!(ranked[1].0, 0x300);
+        assert_eq!(ranked[1].1.cycles, 11);
+        assert_eq!(ranked[1].1.error, 10);
+        // Exact blame mass excludes the inherited error.
+        let exact: u64 = ranked[1].1.blame.iter().sum();
+        assert_eq!(exact, ranked[1].1.cycles - ranked[1].1.error);
+    }
+
+    #[test]
+    fn eviction_tie_breaks_on_larger_pc() {
+        let mut t = TopK::new(2);
+        t.add(0x100, 10, Blame::Mc, [0; 2]);
+        t.add(0x200, 10, Blame::Mc, [0; 2]);
+        t.add(0x300, 1, Blame::Mc, [0; 2]);
+        // 0x200 (larger PC among the tied minima) was evicted.
+        assert!(t.ranked().iter().any(|(pc, _)| *pc == 0x100));
+        assert!(t.ranked().iter().all(|(pc, _)| *pc != 0x200));
+    }
+
+    #[test]
+    fn ranking_is_cycles_desc_then_pc_asc() {
+        let mut t = TopK::new(8);
+        t.add(0x300, 10, Blame::Mc, [0; 2]);
+        t.add(0x100, 10, Blame::Mc, [0; 2]);
+        t.add(0x200, 99, Blame::Mc, [0; 2]);
+        let pcs: Vec<u64> = t.ranked().iter().map(|(pc, _)| *pc).collect();
+        assert_eq!(pcs, vec![0x200, 0x100, 0x300]);
+    }
+}
