@@ -1,0 +1,308 @@
+//! `coyote-bench`: machine-readable benchmark runner for the paper's
+//! throughput figure.
+//!
+//! ```text
+//! coyote-bench fig3 [options]
+//!
+//!   --quick              quick-scale problem sizes and core counts
+//!   --weak               weak-scaling sweep (problem grows with cores)
+//!   --cores A,B,C        restrict the sweep to these core counts
+//!   --kernel matmul|spmv run only one kernel (default both)
+//!   --jobs N             host worker threads stepping the cores
+//!   --json FILE          write the sweep as JSON rows + a host block
+//!   --baseline FILE      compare MIPS against a committed JSON baseline
+//!   --max-regress PCT    allowed MIPS regression vs baseline (default 20)
+//!   --strict             exit non-zero on regression (default warn-only)
+//! ```
+//!
+//! The JSON schema is `{schema, experiment, scale, jobs, host, rows}`
+//! with one row per measured point:
+//! `{cores, kernel, instructions, cycles, wall_ns, mips}`. The `host`
+//! block records the machine the numbers came from so a baseline diff
+//! across runners is interpreted, not blindly trusted — hence the
+//! warn-only default.
+
+use std::process::ExitCode;
+
+use coyote::{parse_json, JsonValue};
+use coyote_bench::fig3::{self, Fig3Row};
+use coyote_bench::Scale;
+use coyote_kernels::workload::Workload;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KernelChoice {
+    Matmul,
+    Spmv,
+    Both,
+}
+
+struct Options {
+    scale: Scale,
+    weak: bool,
+    cores: Option<Vec<usize>>,
+    kernel: KernelChoice,
+    jobs: usize,
+    json_path: Option<String>,
+    baseline_path: Option<String>,
+    max_regress_pct: f64,
+    strict: bool,
+}
+
+fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("fig3") => {}
+        Some("--help" | "-h") | None => {
+            print_help();
+            std::process::exit(0);
+        }
+        Some(other) => return Err(format!("unknown experiment `{other}` (try fig3)")),
+    }
+
+    let mut options = Options {
+        scale: Scale::Paper,
+        weak: false,
+        cores: None,
+        kernel: KernelChoice::Both,
+        jobs: 1,
+        json_path: None,
+        baseline_path: None,
+        max_regress_pct: 20.0,
+        strict: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.scale = Scale::Quick,
+            "--weak" => options.weak = true,
+            "--cores" => {
+                let list = value(&mut args, "--cores")?;
+                let cores: Result<Vec<usize>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                options.cores = Some(cores.map_err(|e| format!("--cores: {e}"))?);
+            }
+            "--kernel" => {
+                options.kernel = match value(&mut args, "--kernel")?.as_str() {
+                    "matmul" => KernelChoice::Matmul,
+                    "spmv" => KernelChoice::Spmv,
+                    "both" => KernelChoice::Both,
+                    other => return Err(format!("unknown kernel `{other}` (matmul|spmv|both)")),
+                };
+            }
+            "--jobs" => {
+                options.jobs = value(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+            }
+            "--json" => options.json_path = Some(value(&mut args, "--json")?),
+            "--baseline" => options.baseline_path = Some(value(&mut args, "--baseline")?),
+            "--max-regress" => {
+                options.max_regress_pct = value(&mut args, "--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?;
+            }
+            "--strict" => options.strict = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn print_help() {
+    println!("usage: coyote-bench fig3 [options]");
+    println!("  --quick              quick-scale problem sizes and core counts");
+    println!("  --weak               weak-scaling sweep (problem grows with cores)");
+    println!("  --cores A,B,C        restrict the sweep to these core counts");
+    println!("  --kernel matmul|spmv run only one kernel (default both)");
+    println!("  --jobs N             host worker threads stepping the cores");
+    println!("  --json FILE          write the sweep as JSON rows + a host block");
+    println!("  --baseline FILE      compare MIPS against a committed JSON baseline");
+    println!("  --max-regress PCT    allowed MIPS regression vs baseline (default 20)");
+    println!("  --strict             exit non-zero on regression (default warn-only)");
+}
+
+fn sweep(options: &Options) -> Vec<Fig3Row> {
+    let counts: Vec<usize> = match &options.cores {
+        Some(list) => list.clone(),
+        None => fig3::core_counts(options.scale),
+    };
+    let mut rows = Vec::new();
+    for &cores in &counts {
+        let (matmul, spmv);
+        let mut kernels: Vec<&dyn Workload> = Vec::new();
+        if options.weak {
+            let (rows_per_core, n, spmv_rows_per_core, spmv_cols) = match options.scale {
+                Scale::Quick => (2usize, 24usize, 16usize, 128usize),
+                Scale::Paper => (2, 96, 32, 1024),
+            };
+            matmul = coyote_kernels::MatmulScalar::with_rows(rows_per_core * cores, n, 1003);
+            spmv =
+                coyote_kernels::SpmvScalar::new(spmv_rows_per_core * cores, spmv_cols, 0.04, 1004);
+        } else {
+            matmul = fig3::matmul_for(options.scale);
+            spmv = fig3::spmv_for(options.scale);
+        }
+        if options.kernel != KernelChoice::Spmv {
+            kernels.push(&matmul);
+        }
+        if options.kernel != KernelChoice::Matmul {
+            kernels.push(&spmv);
+        }
+        for kernel in kernels {
+            let row = fig3::measure(kernel, cores, options.jobs);
+            eprintln!(
+                "fig3: cores={:3} kernel={:6} instructions={:>12} cycles={:>12} wall={:8.1}ms mips={:.3}",
+                row.cores,
+                row.kernel,
+                row.instructions,
+                row.cycles,
+                row.wall.as_secs_f64() * 1e3,
+                row.mips
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn scale_name(options: &Options) -> &'static str {
+    match (options.scale, options.weak) {
+        (Scale::Quick, false) => "quick",
+        (Scale::Quick, true) => "quick-weak",
+        (Scale::Paper, false) => "paper",
+        (Scale::Paper, true) => "paper-weak",
+    }
+}
+
+fn host_block() -> JsonValue {
+    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    JsonValue::object()
+        .with("threads", threads)
+        .with("os", std::env::consts::OS)
+        .with("arch", std::env::consts::ARCH)
+        .with(
+            "opt",
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )
+}
+
+fn rows_json(options: &Options, rows: &[Fig3Row]) -> JsonValue {
+    let row_values: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            JsonValue::object()
+                .with("cores", row.cores)
+                .with("kernel", row.kernel)
+                .with("instructions", row.instructions)
+                .with("cycles", row.cycles)
+                .with(
+                    "wall_ns",
+                    u64::try_from(row.wall.as_nanos()).unwrap_or(u64::MAX),
+                )
+                .with("mips", row.mips)
+        })
+        .collect();
+    JsonValue::object()
+        .with("schema", 1u64)
+        .with("experiment", "fig3")
+        .with("scale", scale_name(options))
+        .with("jobs", options.jobs)
+        .with("host", host_block())
+        .with("rows", row_values)
+}
+
+/// Compares measured MIPS against a committed baseline; returns the
+/// points that regressed more than the allowed percentage.
+fn regressions(baseline: &JsonValue, rows: &[Fig3Row], max_regress_pct: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(base_rows) = baseline.get("rows").and_then(JsonValue::as_array) else {
+        return vec!["baseline has no `rows` array".to_owned()];
+    };
+    for row in rows {
+        let base = base_rows.iter().find(|b| {
+            b.get("cores").and_then(JsonValue::as_u64) == Some(row.cores as u64)
+                && b.get("kernel").and_then(JsonValue::as_str) == Some(row.kernel)
+        });
+        let Some(base_mips) = base.and_then(|b| b.get("mips")).and_then(JsonValue::as_f64) else {
+            continue; // point not in baseline: nothing to diff
+        };
+        if base_mips <= 0.0 {
+            continue;
+        }
+        let regress_pct = (base_mips - row.mips) / base_mips * 100.0;
+        if regress_pct > max_regress_pct {
+            out.push(format!(
+                "cores={} kernel={}: {:.3} MIPS vs baseline {:.3} ({:.1}% regression > {:.0}% allowed)",
+                row.cores, row.kernel, row.mips, base_mips, regress_pct, max_regress_pct
+            ));
+        }
+    }
+    out
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let rows = sweep(options);
+    println!("{}", fig3::table(&rows));
+
+    if let Some(path) = &options.json_path {
+        let json = rows_json(options, &rows);
+        std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("fig3: wrote {path}");
+    }
+
+    if let Some(path) = &options.baseline_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let bad = regressions(&baseline, &rows, options.max_regress_pct);
+        if bad.is_empty() {
+            eprintln!(
+                "fig3: no point regressed more than {:.0}% vs {path}",
+                options.max_regress_pct
+            );
+        } else {
+            for line in &bad {
+                eprintln!("fig3: WARNING: {line}");
+            }
+            if options.strict {
+                return Err(format!(
+                    "{} point(s) regressed more than {:.0}% vs {path}",
+                    bad.len(),
+                    options.max_regress_pct
+                ));
+            }
+            eprintln!("fig3: regression is warn-only without --strict (shared-runner noise)");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(options) => match run(&options) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("coyote-bench: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("coyote-bench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -42,24 +42,32 @@ pub fn core_counts(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn matmul_for(scale: Scale) -> MatmulScalar {
+/// The scalar matmul kernel at the scale's problem size.
+#[must_use]
+pub fn matmul_for(scale: Scale) -> MatmulScalar {
     match scale {
         Scale::Quick => MatmulScalar::new(24, 1001),
         Scale::Paper => MatmulScalar::new(96, 1001),
     }
 }
 
-fn spmv_for(scale: Scale) -> SpmvScalar {
+/// The scalar SpMV kernel at the scale's problem size.
+#[must_use]
+pub fn spmv_for(scale: Scale) -> SpmvScalar {
     match scale {
         Scale::Quick => SpmvScalar::new(128, 128, 0.06, 1002),
         Scale::Paper => SpmvScalar::new(2048, 2048, 0.02, 1002),
     }
 }
 
-fn measure(workload: &dyn Workload, cores: usize) -> Fig3Row {
+/// Measures one point of the sweep: `workload` on `cores` simulated
+/// cores with `jobs` host worker threads stepping the cores.
+#[must_use]
+pub fn measure(workload: &dyn Workload, cores: usize, jobs: usize) -> Fig3Row {
     let config = SimConfig::builder()
         .cores(cores)
         .cores_per_tile(8)
+        .jobs(jobs)
         .build()
         .expect("valid config");
     let (report, _) = run_workload(workload, config).expect("workload runs and verifies");
@@ -85,8 +93,8 @@ pub fn run(scale: Scale) -> Vec<Fig3Row> {
     let spmv = spmv_for(scale);
     let mut rows = Vec::new();
     for &cores in &core_counts(scale) {
-        rows.push(measure(&matmul, cores));
-        rows.push(measure(&spmv, cores));
+        rows.push(measure(&matmul, cores, 1));
+        rows.push(measure(&spmv, cores, 1));
     }
     rows
 }
@@ -104,8 +112,8 @@ pub fn run_weak(scale: Scale) -> Vec<Fig3Row> {
     for &cores in &core_counts(scale) {
         let matmul = coyote_kernels::MatmulScalar::with_rows(rows_per_core * cores, n, 1003);
         let spmv = SpmvScalar::new(spmv_rows_per_core * cores, spmv_cols, 0.04, 1004);
-        rows.push(measure(&matmul, cores));
-        rows.push(measure(&spmv, cores));
+        rows.push(measure(&matmul, cores, 1));
+        rows.push(measure(&spmv, cores, 1));
     }
     rows
 }

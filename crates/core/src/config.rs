@@ -79,6 +79,14 @@ pub struct SimConfig {
     /// a few counters per core — and the table is O(K) regardless of
     /// run length.
     pub attribution_top_k: usize,
+    /// Host worker threads stepping the cores each cycle (must be at
+    /// least 1). `jobs = 1` is the sequential orchestrator; larger
+    /// values shard the per-cycle core loop across a fixed worker pool
+    /// while store-buffer commit, miss-buffer merge, and conflict
+    /// fallback keep every observable result bit-identical to
+    /// `jobs = 1`. A host-execution knob only: it never appears in
+    /// exported metrics or the determinism digest.
+    pub jobs: usize,
 }
 
 impl Default for SimConfig {
@@ -103,6 +111,7 @@ impl Default for SimConfig {
             chrome_trace: false,
             perturb_seed: 0,
             attribution_top_k: 32,
+            jobs: 1,
         }
     }
 }
@@ -164,6 +173,9 @@ impl SimConfig {
         }
         if self.attribution_top_k == 0 {
             return Err(ConfigError::new("attribution_top_k must be at least 1"));
+        }
+        if self.jobs == 0 {
+            return Err(ConfigError::new("jobs must be at least 1"));
         }
         self.core
             .l1i
@@ -384,6 +396,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the host worker-thread count for the per-cycle core loop
+    /// (1 = sequential stepping, today's behavior).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -444,6 +464,12 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("metrics_interval"));
+    }
+
+    #[test]
+    fn zero_jobs_rejected() {
+        let err = SimConfig::builder().jobs(0).build().unwrap_err();
+        assert!(err.to_string().contains("jobs"));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod attr;
 pub mod config;
 pub mod metrics;
+mod par;
 pub mod report;
 pub mod sim;
 pub mod trace;

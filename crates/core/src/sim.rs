@@ -9,6 +9,7 @@
 //! serviced.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use coyote_asm::Program;
@@ -22,6 +23,7 @@ use coyote_telemetry::{EpochSnapshot, TelemetrySink};
 
 use crate::attr::StallAttribution;
 use crate::config::{ConfigError, SimConfig};
+use crate::par::{self, WorkerPool};
 use crate::report::{CoreReport, Report};
 use crate::trace::{StateInterval, Trace, TraceEvent};
 
@@ -148,8 +150,19 @@ pub(crate) fn decode_tag(tag: u64) -> (usize, MissKind) {
 pub struct Simulation {
     config: SimConfig,
     cores: Vec<Core>,
-    mem: SparseMemory,
-    text: DecodedText,
+    /// Functional memory. Shared (`Arc`) so the parallel execute phase
+    /// can hand read-only snapshot handles to worker threads; outside
+    /// that phase the orchestrator holds the only reference and
+    /// reclaims `&mut` access via [`Arc::get_mut`].
+    mem: Arc<SparseMemory>,
+    /// Predecoded text segment, shared with workers the same way.
+    text: Arc<DecodedText>,
+    /// Worker pool for the parallel execute phase; `None` when
+    /// [`SimConfig::jobs`] is 1 (the default sequential schedule).
+    pool: Option<WorkerPool>,
+    /// Cycles the parallel phase discarded and re-ran sequentially
+    /// after detecting a same-cycle cross-core access overlap.
+    conflict_fallbacks: u64,
     hierarchy: Hierarchy,
     cycle: u64,
     trace: Option<Trace>,
@@ -201,8 +214,10 @@ impl Simulation {
         }
         Ok(Simulation {
             cores,
-            mem,
-            text,
+            mem: Arc::new(mem),
+            text: Arc::new(text),
+            pool: (config.jobs > 1).then(|| WorkerPool::new(config.jobs)),
+            conflict_fallbacks: 0,
             hierarchy,
             cycle: 0,
             trace: config.trace.then(|| Trace::new(config.cores)),
@@ -264,7 +279,19 @@ impl Simulation {
     /// [`Simulation::run`].
     #[must_use]
     pub fn memory_mut(&mut self) -> &mut SparseMemory {
-        &mut self.mem
+        Arc::get_mut(&mut self.mem)
+            .expect("no snapshot handles outstanding outside the execute phase")
+    }
+
+    /// Number of cycles the parallel execute phase (when
+    /// [`SimConfig::jobs`] exceeds 1) detected a same-cycle cross-core
+    /// access overlap (or a shard fault) and re-executed sequentially.
+    /// Diagnostic only: deliberately excluded from exported metrics and
+    /// the [`Simulation::determinism_digest`], which must not vary with
+    /// `jobs`.
+    #[must_use]
+    pub fn conflict_fallbacks(&self) -> u64 {
+        self.conflict_fallbacks
     }
 
     /// The simulated cores.
@@ -420,31 +447,34 @@ impl Simulation {
         //    factor reproduces Spike's back-to-back batching; Coyote
         //    proper uses 1). The oracle replays each retirement in this
         //    same global order, so its reference memory reproduces the
-        //    timed machine's exact interleaving.
-        for idx in 0..self.cores.len() {
-            for _ in 0..self.config.interleave {
-                if self.cores[idx].state() != CoreState::Active {
-                    break;
-                }
-                let event = self.cores[idx]
-                    .step(&mut self.mem, &self.text, cycle, &mut self.miss_buf)
-                    .map_err(|source| RunError::Core { core: idx, source })?;
-                if let Some(oracle) = &mut self.oracle {
-                    if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
-                        if let Err(mut divergence) =
-                            oracle.check_retirement(idx, cycle, self.cores[idx].hart(), &self.mem)
-                        {
-                            divergence.context = self.cores.iter().map(Core::snapshot).collect();
-                            return Err(RunError::OracleDivergence(divergence));
-                        }
-                    }
-                }
-            }
-        }
+        //    timed machine's exact interleaving. With `jobs > 1` the
+        //    active cores step in parallel against a pre-cycle memory
+        //    snapshot; the commit protocol (see [`crate::par`]) keeps
+        //    the observable interleaving bit-identical to `jobs = 1`.
+        //    The oracle's per-retirement memory diff assumes one
+        //    retirement per core per cycle, so oracle runs only go
+        //    parallel at interleave 1.
+        let use_parallel = self.pool.is_some()
+            && (self.config.interleave == 1 || self.oracle.is_none())
+            && self
+                .cores
+                .iter()
+                .filter(|core| core.state() == CoreState::Active)
+                .count()
+                >= 2;
+        let any_deactivated = if use_parallel {
+            self.step_cores_parallel(cycle)?
+        } else {
+            self.step_cores_sequential(cycle)?
+        };
 
         // Close `active` intervals for cores the execute phase just
-        // deactivated (stall attribution runs unconditionally).
-        self.attr.scan_after_step(&self.cores, cycle);
+        // deactivated (stall attribution runs unconditionally, but a
+        // cycle in which every stepped core retired cleanly cannot have
+        // opened an interval, so the per-core scan is skipped).
+        if any_deactivated {
+            self.attr.scan_after_step(&self.cores, cycle);
+        }
 
         // 2. Enqueue this cycle's L1 misses into the event model.
         for miss in self.miss_buf.drain(..) {
@@ -473,6 +503,7 @@ impl Simulation {
         //    completed misses (waking stalled cores). Every fill that
         //    reaches a still-stalled core is a wake-cause candidate.
         self.hierarchy.advance(cycle, &mut self.completion_buf);
+        let drained_any = !self.completion_buf.is_empty();
         for completion in self.completion_buf.drain(..) {
             let (core, kind) = decode_tag(completion.tag);
             match kind {
@@ -484,8 +515,12 @@ impl Simulation {
             }
             self.cores[core].complete_fill(completion.line_addr, kind, cycle);
         }
-        // Close stall intervals for cores the drain woke.
-        self.attr.scan_after_drain(&self.cores, cycle);
+        // Close stall intervals for cores the drain woke. Only fills
+        // wake cores and only `note_completion` queues candidates, so a
+        // drain that serviced nothing has nothing to scan or clear.
+        if drained_any {
+            self.attr.scan_after_drain(&self.cores, cycle);
+        }
 
         // 4. Trace core-state intervals on transitions (Paraver and/or
         //    Chrome trace).
@@ -501,10 +536,7 @@ impl Simulation {
             .as_ref()
             .is_some_and(|sink| cycle >= sink.next_due())
         {
-            let snapshot = self.epoch_snapshot(cycle);
-            if let Some(sink) = &mut self.telemetry {
-                sink.sample(snapshot);
-            }
+            self.flush_epoch_sample(cycle);
         }
 
         // 6. Progress bookkeeping.
@@ -527,19 +559,23 @@ impl Simulation {
             }
             // Flush the final partial epoch (the sink drops it if no
             // cycles elapsed since the last sample).
-            if self.telemetry.is_some() {
-                let snapshot = self.epoch_snapshot(cycle);
-                if let Some(sink) = &mut self.telemetry {
-                    sink.sample(snapshot);
-                }
-            }
+            self.flush_epoch_sample(cycle);
             return Ok(true);
         }
         if !any_active {
             // Every live core is stalled; fast-forward to the next
             // hierarchy event (or report a deadlock if there is none).
+            // Clamp at the configured cycle limit: a hierarchy event
+            // scheduled past `max_cycles` must still report the limit
+            // as the cycle it was exceeded at, not the far-future event
+            // time the simulation never actually reached.
             match self.hierarchy.next_event_time() {
-                Some(t) => self.cycle = self.cycle.max(t.saturating_sub(1)),
+                Some(t) => {
+                    self.cycle = self
+                        .cycle
+                        .max(t.saturating_sub(1))
+                        .min(self.config.max_cycles);
+                }
                 None => {
                     return Err(RunError::Deadlock {
                         cycle,
@@ -549,6 +585,181 @@ impl Simulation {
             }
         }
         Ok(false)
+    }
+
+    /// The sequential execute phase: steps each active core in index
+    /// order directly against shared memory. Returns whether any
+    /// stepped core failed to retire (for the stall-attribution scan).
+    fn step_cores_sequential(&mut self, cycle: u64) -> Result<bool, RunError> {
+        let mut any_deactivated = false;
+        let mut diverged = None;
+        {
+            let Simulation {
+                cores,
+                mem,
+                text,
+                miss_buf,
+                oracle,
+                config,
+                ..
+            } = self;
+            let mem = Arc::get_mut(mem)
+                .expect("no snapshot handles outstanding outside the execute phase");
+            let text: &DecodedText = text;
+            'cores: for (idx, core) in cores.iter_mut().enumerate() {
+                for _ in 0..config.interleave {
+                    if core.state() != CoreState::Active {
+                        break;
+                    }
+                    let event = core
+                        .step(mem, text, cycle, miss_buf)
+                        .map_err(|source| RunError::Core { core: idx, source })?;
+                    any_deactivated |= !matches!(event, StepEvent::Retired { .. });
+                    if let Some(oracle) = oracle {
+                        if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
+                            if let Err(divergence) =
+                                oracle.check_retirement(idx, cycle, core.hart(), mem)
+                            {
+                                diverged = Some(divergence);
+                                break 'cores;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(mut divergence) = diverged {
+            divergence.context = self.cores.iter().map(Core::snapshot).collect();
+            return Err(RunError::OracleDivergence(divergence));
+        }
+        Ok(any_deactivated)
+    }
+
+    /// The parallel execute phase: clones the active cores into
+    /// contiguous shards, steps shards 1.. on the worker pool and
+    /// shard 0 inline — every clone against the same read-only
+    /// pre-cycle memory snapshot — then, if no same-cycle cross-core
+    /// byte ranges overlap, commits stores, cores, oracle checks and
+    /// misses in core-index order, reproducing the sequential schedule
+    /// exactly. Any overlap (or a shard fault) discards the clones —
+    /// the real cores and memory are an untouched pre-cycle snapshot —
+    /// and re-executes the cycle sequentially.
+    fn step_cores_parallel(&mut self, cycle: u64) -> Result<bool, RunError> {
+        let active: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, core)| core.state() == CoreState::Active)
+            .map(|(idx, _)| idx)
+            .collect();
+        let pool = self.pool.as_ref().expect("parallel phase requires a pool");
+        let shards = (pool.workers() + 1).min(active.len());
+        // Contiguous near-equal shards: reassembling shard by shard
+        // restores core-index order without a sort.
+        let base = active.len() / shards;
+        let extra = active.len() % shards;
+        let mut chunks: Vec<&[usize]> = Vec::with_capacity(shards);
+        let mut start = 0;
+        for shard in 0..shards {
+            let len = base + usize::from(shard < extra);
+            chunks.push(&active[start..start + len]);
+            start += len;
+        }
+        let interleave = self.config.interleave;
+        for (shard, chunk) in chunks.iter().enumerate().skip(1) {
+            pool.dispatch(
+                shard - 1,
+                par::Job {
+                    mem: Arc::clone(&self.mem),
+                    text: Arc::clone(&self.text),
+                    cycle,
+                    interleave,
+                    cores: chunk
+                        .iter()
+                        .map(|&idx| (idx, self.cores[idx].clone()))
+                        .collect(),
+                    shard,
+                },
+            );
+        }
+        let shard0 = par::step_shard(
+            &self.mem,
+            &self.text,
+            cycle,
+            interleave,
+            chunks[0]
+                .iter()
+                .map(|&idx| (idx, self.cores[idx].clone()))
+                .collect(),
+        );
+        let mut results: Vec<Option<Vec<par::SteppedCore>>> = (0..shards).map(|_| None).collect();
+        results[0] = Some(shard0);
+        for _ in 1..shards {
+            let result = pool.recv();
+            results[result.shard] = Some(result.cores);
+        }
+        let stepped: Vec<par::SteppedCore> = results
+            .into_iter()
+            .flat_map(|r| r.expect("every shard reports exactly once"))
+            .collect();
+
+        if stepped.iter().any(|s| s.error.is_some()) || par::conflicting(&stepped) {
+            // Fall back: a fault must surface at its sequential
+            // position, and overlapping accesses mean the snapshot
+            // semantics differ from the sequential interleaving.
+            drop(stepped);
+            self.conflict_fallbacks += 1;
+            return self.step_cores_sequential(cycle);
+        }
+
+        let mut any_deactivated = false;
+        let mut diverged = None;
+        {
+            let Simulation {
+                cores,
+                mem,
+                miss_buf,
+                oracle,
+                ..
+            } = self;
+            let mem = Arc::get_mut(mem).expect("workers released their snapshot handles");
+            'commit: for s in stepped {
+                s.buf.commit(mem);
+                let idx = s.idx;
+                cores[idx] = s.core;
+                for event in &s.events {
+                    any_deactivated |= !matches!(event, StepEvent::Retired { .. });
+                    if let Some(oracle) = oracle {
+                        if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
+                            if let Err(divergence) =
+                                oracle.check_retirement(idx, cycle, cores[idx].hart(), mem)
+                            {
+                                diverged = Some(divergence);
+                                break 'commit;
+                            }
+                        }
+                    }
+                }
+                miss_buf.extend(s.misses);
+            }
+        }
+        if let Some(mut divergence) = diverged {
+            divergence.context = self.cores.iter().map(Core::snapshot).collect();
+            return Err(RunError::OracleDivergence(divergence));
+        }
+        Ok(any_deactivated)
+    }
+
+    /// Takes one epoch-telemetry sample at `cycle`, if telemetry is on.
+    /// Shared by the periodic sampler and the end-of-run final flush
+    /// (the sink itself drops empty spans).
+    fn flush_epoch_sample(&mut self, cycle: u64) {
+        if self.telemetry.is_some() {
+            let snapshot = self.epoch_snapshot(cycle);
+            if let Some(sink) = &mut self.telemetry {
+                sink.sample(snapshot);
+            }
+        }
     }
 
     fn record_state_transitions(&mut self, cycle: u64) {
@@ -736,6 +947,113 @@ mod tests {
             Err(RunError::CycleLimit { .. }) => {}
             other => panic!("expected cycle limit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stall_fast_forward_clamps_at_cycle_limit() {
+        // The first instruction misses in the L1I, so the only core
+        // stalls immediately and the orchestrator fast-forwards toward
+        // the fill's completion time — which lies far past the tiny
+        // cycle limit. The fast-forward must clamp at the limit instead
+        // of leaving the cycle counter at the (never-simulated) event
+        // time.
+        let src = "_start:\n li a0, 0\n li a7, 93\n ecall";
+        let config = SimConfig::builder().cores(1).max_cycles(2).build().unwrap();
+        let program = assemble(src).unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        match sim.run() {
+            Err(RunError::CycleLimit { cycles }) => assert_eq!(cycles, 2),
+            other => panic!("expected cycle limit, got {other:?}"),
+        }
+        assert_eq!(
+            sim.cycle(),
+            2,
+            "fast-forward left the cycle counter past the configured limit"
+        );
+    }
+
+    #[test]
+    fn parallel_execute_matches_sequential() {
+        // The hart-partitioning kernel (8 cores, disjoint dwords of one
+        // line) exercises the byte-granular conflict detector: line
+        // granularity would force a fallback every writing cycle.
+        let src = "
+            .data
+            out: .zero 64
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, out
+                slli t2, t0, 3
+                add t1, t1, t2
+                addi t3, t0, 100
+                sd t3, 0(t1)
+                mv a0, t0
+                li a7, 93
+                ecall";
+        let program = assemble(src).unwrap();
+        let mut digests = Vec::new();
+        for jobs in [1, 2, 4] {
+            let config = SimConfig::builder()
+                .cores(8)
+                .oracle(true)
+                .jobs(jobs)
+                .build()
+                .unwrap();
+            let mut sim = Simulation::new(config, &program).unwrap();
+            let report = sim.run().unwrap();
+            assert_eq!(report.exit_codes(), Some((0..8).collect()));
+            digests.push((report.cycles, sim.determinism_digest()));
+        }
+        assert_eq!(digests[0], digests[1], "jobs=2 diverged from jobs=1");
+        assert_eq!(digests[0], digests[2], "jobs=4 diverged from jobs=1");
+    }
+
+    #[test]
+    fn parallel_conflict_falls_back_sequentially() {
+        // Every core hammers the SAME dword, so same-cycle cross-core
+        // write/write overlaps are guaranteed; the cycle must re-run
+        // sequentially (counted) and still match the jobs=1 result.
+        let src = "
+            .data
+            hot: .dword 0
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, hot
+                li t2, 32
+            loop:
+                ld t3, 0(t1)
+                add t3, t3, t0
+                sd t3, 0(t1)
+                addi t2, t2, -1
+                bnez t2, loop
+                li a0, 0
+                li a7, 93
+                ecall";
+        let program = assemble(src).unwrap();
+        let run = |jobs: usize| {
+            let config = SimConfig::builder()
+                .cores(4)
+                .oracle(true)
+                .jobs(jobs)
+                .build()
+                .unwrap();
+            let mut sim = Simulation::new(config, &program).unwrap();
+            sim.run().unwrap();
+            (sim.determinism_digest(), sim.conflict_fallbacks())
+        };
+        let (seq_digest, seq_fallbacks) = run(1);
+        assert_eq!(seq_fallbacks, 0, "jobs=1 never enters the parallel phase");
+        let (par_digest, par_fallbacks) = run(4);
+        assert_eq!(
+            par_digest, seq_digest,
+            "fallback changed observable results"
+        );
+        assert!(
+            par_fallbacks > 0,
+            "same-dword contention must trip the conflict detector"
+        );
     }
 
     #[test]

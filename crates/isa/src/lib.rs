@@ -30,6 +30,7 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod inst;
+pub mod predecode;
 pub mod reg;
 pub mod vtype;
 
@@ -37,5 +38,6 @@ pub use csr::Csr;
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};
 pub use inst::Inst;
+pub use predecode::{predecode, DecodedInst, RegSet};
 pub use reg::{FReg, VReg, XReg};
 pub use vtype::{Lmul, Sew, VType};

@@ -1,0 +1,449 @@
+//! Predecoded micro-op form of an instruction stream.
+//!
+//! Decoding and recomputing register use/def sets on every retirement
+//! dominates the simulator's hot loop. [`DecodedInst`] is the micro-op
+//! the timing layer dispatches on instead: the decoded [`Inst`] (whose
+//! enum discriminant selects the exec function and whose fields carry
+//! the pre-resolved register indices and immediates) together with the
+//! instruction's cached use/def [`RegSet`]s. [`predecode`] builds the
+//! dense table for a text segment once at program load.
+//!
+//! Vector instructions are the one wrinkle: their register *groups*
+//! depend on the hart's live `LMUL`, so their sets cannot be cached at
+//! load time. Such entries are marked [`DecodedInst::lmul_sensitive`]
+//! and the stepper recomputes their sets with [`uses_with_group`] /
+//! [`defs_with_group`] under the current group length.
+
+use crate::inst::{CsrSrc, FpCvtOp, Inst, VAddrMode, VFScalar, VFpOp, VMulOp, VScalar};
+use crate::reg::{FReg, VReg, XReg};
+
+/// A set of registers, used for hazard detection (bit per register).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegSet {
+    /// Integer registers (bit 0 = `x0`, always clear).
+    pub x: u32,
+    /// FP registers.
+    pub f: u32,
+    /// Vector registers.
+    pub v: u32,
+}
+
+impl RegSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    /// Adds an integer register (`x0` is ignored: it can never be
+    /// pending).
+    pub fn add_x(&mut self, reg: XReg) {
+        if reg != XReg::ZERO {
+            self.x |= 1 << reg.index();
+        }
+    }
+
+    /// Adds an FP register.
+    pub fn add_f(&mut self, reg: FReg) {
+        self.f |= 1 << reg.index();
+    }
+
+    /// Adds a vector register group of `len` registers starting at
+    /// `reg` (wrapping masked off at `v31`).
+    pub fn add_v_group(&mut self, reg: VReg, len: u8) {
+        for i in 0..u32::from(len) {
+            let idx = reg.index() as u32 + i;
+            if idx < 32 {
+                self.v |= 1 << idx;
+            }
+        }
+    }
+
+    /// Whether the two sets intersect.
+    #[must_use]
+    pub fn intersects(&self, other: &RegSet) -> bool {
+        (self.x & other.x) | (self.f & other.f) | (self.v & other.v) != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x == 0 && self.f == 0 && self.v == 0
+    }
+
+    /// Removes every register in `other` from `self`.
+    pub fn remove(&mut self, other: &RegSet) {
+        self.x &= !other.x;
+        self.f &= !other.f;
+        self.v &= !other.v;
+    }
+
+    /// Unions `other` into `self`.
+    pub fn insert_all(&mut self, other: &RegSet) {
+        self.x |= other.x;
+        self.f |= other.f;
+        self.v |= other.v;
+    }
+}
+
+/// Registers read by `inst` under vector register-group length `g`
+/// (for RAW-hazard detection). `g` only matters for vector operands;
+/// scalar instructions produce the same set for every `g`.
+#[must_use]
+pub fn uses_with_group(inst: &Inst, g: u8) -> RegSet {
+    let mut set = RegSet::new();
+    match *inst {
+        Inst::Lui { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak | Inst::Auipc { .. } => {}
+        Inst::Jal { .. } => {}
+        Inst::Jalr { rs1, .. } => set.add_x(rs1),
+        Inst::Branch { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Load { rs1, .. } => set.add_x(rs1),
+        Inst::Store { rs2, rs1, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::OpImm { rs1, .. } | Inst::OpImm32 { rs1, .. } => set.add_x(rs1),
+        Inst::Op { rs1, rs2, .. } | Inst::Op32 { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Csr { src, .. } => {
+            if let CsrSrc::Reg(rs1) = src {
+                set.add_x(rs1);
+            }
+        }
+        Inst::Amo { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::Fld { rs1, .. } => set.add_x(rs1),
+        Inst::Fsd { rs2, rs1, .. } => {
+            set.add_x(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpOp { rs1, rs2, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpFma { rs1, rs2, rs3, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+            set.add_f(rs3);
+        }
+        Inst::FpCmp { rs1, rs2, .. } => {
+            set.add_f(rs1);
+            set.add_f(rs2);
+        }
+        Inst::FpCvt { op, rs1, .. } => match op {
+            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
+                set.add_x(XReg::new(rs1).unwrap_or(XReg::ZERO));
+            }
+            _ => set.add_f(FReg::new(rs1).unwrap_or_default()),
+        },
+        Inst::FmvXD { rs1, .. } => set.add_f(rs1),
+        Inst::FmvDX { rs1, .. } => set.add_x(rs1),
+        Inst::Vsetvli { rs1, .. } => set.add_x(rs1),
+        Inst::Vsetivli { .. } => {}
+        Inst::Vsetvl { rs1, rs2, .. } => {
+            set.add_x(rs1);
+            set.add_x(rs2);
+        }
+        Inst::VLoad { rs1, mode, vm, .. } => {
+            set.add_x(rs1);
+            add_mode_uses(&mut set, mode, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VStore {
+            vs3, rs1, mode, vm, ..
+        } => {
+            set.add_x(rs1);
+            set.add_v_group(vs3, g);
+            add_mode_uses(&mut set, mode, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VIntOp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VIntOpImm { vs2, vm, .. } => {
+            set.add_v_group(vs2, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMulOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+            ..
+        } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if op == VMulOp::Macc {
+                set.add_v_group(vd, g); // accumulator is also a source
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VFpOp {
+            op,
+            vd,
+            vs2,
+            src,
+            vm,
+            ..
+        } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VFScalar::Vector(v1) => set.add_v_group(v1, g),
+                VFScalar::Freg(r1) => set.add_f(r1),
+            }
+            if op == VFpOp::Macc {
+                set.add_v_group(vd, g);
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VRedSum { vs2, vs1, vm, .. } | Inst::VFRedSum { vs2, vs1, vm, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_v_group(vs1, 1);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMvVV { vs1, .. } => set.add_v_group(vs1, g),
+        Inst::VMvVX { rs1, .. } | Inst::VMvSX { rs1, .. } => set.add_x(rs1),
+        Inst::VMvVI { .. } => {}
+        Inst::VFMvVF { rs1, .. } | Inst::VFMvSF { rs1, .. } => set.add_f(rs1),
+        Inst::VMvXS { vs2, .. } | Inst::VFMvFS { vs2, .. } => set.add_v_group(vs2, 1),
+        Inst::Vid { vm, .. } => {
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskCmp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskCmpImm { vs2, vm, .. } => {
+            set.add_v_group(vs2, g);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VFMaskCmp { vs2, src, vm, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VFScalar::Vector(v1) => set.add_v_group(v1, g),
+                VFScalar::Freg(r1) => set.add_f(r1),
+            }
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+        Inst::VMaskLogical { vs2, vs1, .. } => {
+            set.add_v_group(vs2, 1);
+            set.add_v_group(vs1, 1);
+        }
+        Inst::VMerge { vs2, src, .. } => {
+            set.add_v_group(vs2, g);
+            match src {
+                VScalar::Vector(v1) => set.add_v_group(v1, g),
+                VScalar::Xreg(r1) => set.add_x(r1),
+            }
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::VMergeImm { vs2, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::VFMerge { vs2, rs1, .. } => {
+            set.add_v_group(vs2, g);
+            set.add_f(rs1);
+            set.add_v_group(VReg::V0, 1);
+        }
+        Inst::Vcpop { vs2, vm, .. } | Inst::Vfirst { vs2, vm, .. } => {
+            set.add_v_group(vs2, 1);
+            if !vm {
+                set.add_v_group(VReg::V0, 1);
+            }
+        }
+    }
+    set
+}
+
+fn add_mode_uses(set: &mut RegSet, mode: VAddrMode, g: u8) {
+    match mode {
+        VAddrMode::Unit => {}
+        VAddrMode::Strided(rs2) => set.add_x(rs2),
+        VAddrMode::Indexed(vs2) => set.add_v_group(vs2, g),
+    }
+}
+
+/// Registers written by `inst` under vector register-group length `g`
+/// (for WAW-hazard detection against pending fills).
+#[must_use]
+pub fn defs_with_group(inst: &Inst, g: u8) -> RegSet {
+    let mut set = RegSet::new();
+    match *inst {
+        Inst::Lui { rd, .. }
+        | Inst::Auipc { rd, .. }
+        | Inst::Jal { rd, .. }
+        | Inst::Jalr { rd, .. }
+        | Inst::Load { rd, .. }
+        | Inst::OpImm { rd, .. }
+        | Inst::Op { rd, .. }
+        | Inst::OpImm32 { rd, .. }
+        | Inst::Op32 { rd, .. }
+        | Inst::Csr { rd, .. }
+        | Inst::Amo { rd, .. }
+        | Inst::FpCmp { rd, .. }
+        | Inst::FmvXD { rd, .. }
+        | Inst::Vsetvli { rd, .. }
+        | Inst::Vsetivli { rd, .. }
+        | Inst::Vsetvl { rd, .. }
+        | Inst::VMvXS { rd, .. } => set.add_x(rd),
+        Inst::Fld { rd, .. } | Inst::FmvDX { rd, .. } | Inst::VFMvFS { rd, .. } => set.add_f(rd),
+        Inst::FpOp { rd, .. } | Inst::FpFma { rd, .. } => set.add_f(rd),
+        Inst::FpCvt { op, rd, .. } => match op {
+            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
+                set.add_f(FReg::new(rd).unwrap_or_default());
+            }
+            _ => set.add_x(XReg::new(rd).unwrap_or(XReg::ZERO)),
+        },
+        Inst::VLoad { vd, .. } => set.add_v_group(vd, g),
+        Inst::VIntOp { vd, .. }
+        | Inst::VIntOpImm { vd, .. }
+        | Inst::VMulOp { vd, .. }
+        | Inst::VFpOp { vd, .. }
+        | Inst::VMvVV { vd, .. }
+        | Inst::VMvVX { vd, .. }
+        | Inst::VMvVI { vd, .. }
+        | Inst::VFMvVF { vd, .. } => set.add_v_group(vd, g),
+        Inst::VRedSum { vd, .. }
+        | Inst::VFRedSum { vd, .. }
+        | Inst::VMvSX { vd, .. }
+        | Inst::VFMvSF { vd, .. } => set.add_v_group(vd, 1),
+        Inst::Vid { vd, .. } => set.add_v_group(vd, g),
+        Inst::VMaskCmp { vd, .. }
+        | Inst::VMaskCmpImm { vd, .. }
+        | Inst::VFMaskCmp { vd, .. }
+        | Inst::VMaskLogical { vd, .. } => set.add_v_group(vd, 1),
+        Inst::VMerge { vd, .. } | Inst::VMergeImm { vd, .. } | Inst::VFMerge { vd, .. } => {
+            set.add_v_group(vd, g);
+        }
+        Inst::Vcpop { rd, .. } | Inst::Vfirst { rd, .. } => set.add_x(rd),
+        Inst::Branch { .. }
+        | Inst::Store { .. }
+        | Inst::Fsd { .. }
+        | Inst::VStore { .. }
+        | Inst::Fence
+        | Inst::Ecall
+        | Inst::Ebreak => {}
+    }
+    set
+}
+
+/// One predecoded micro-op: the decoded instruction plus everything the
+/// per-cycle stepper would otherwise recompute on every retirement.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// The decoded instruction. Its enum discriminant is the exec-fn
+    /// selector and its fields carry the pre-resolved register indices
+    /// and immediate.
+    pub inst: Inst,
+    /// Cached use set, valid whenever `lmul_sensitive` is false.
+    pub uses: RegSet,
+    /// Cached def set, valid whenever `lmul_sensitive` is false.
+    pub defs: RegSet,
+    /// Whether the use/def sets depend on the hart's live `LMUL` (the
+    /// vector register-group length). When set, the stepper must
+    /// recompute them with [`uses_with_group`]/[`defs_with_group`].
+    pub lmul_sensitive: bool,
+    /// Whether the instruction counts toward the vector-retired stat.
+    pub vector: bool,
+}
+
+impl DecodedInst {
+    /// Builds the micro-op for a decoded instruction.
+    #[must_use]
+    pub fn from_inst(inst: Inst) -> DecodedInst {
+        let vector = inst.is_vector();
+        DecodedInst {
+            uses: uses_with_group(&inst, 1),
+            defs: defs_with_group(&inst, 1),
+            // Group lengths only vary for vector operands, so every
+            // non-vector instruction's sets are LMUL-independent.
+            lmul_sensitive: vector,
+            vector,
+            inst,
+        }
+    }
+
+    /// Decodes one word into a micro-op (the slow path for PCs outside
+    /// the predecoded text segment).
+    #[must_use]
+    pub fn from_word(word: u32) -> Option<DecodedInst> {
+        crate::decode::decode(word).ok().map(DecodedInst::from_inst)
+    }
+}
+
+/// Predecodes a text segment into the dense micro-op table the stepper
+/// indexes by `(pc - text_base) / 4`. Words that do not decode leave a
+/// `None` hole (reaching one at run time is an illegal-instruction
+/// fault).
+#[must_use]
+pub fn predecode(words: &[u32]) -> Vec<Option<DecodedInst>> {
+    words.iter().map(|&w| DecodedInst::from_word(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sets_are_group_independent() {
+        let inst = crate::decode::decode(0x0010_0093).unwrap(); // addi ra, zero, 1
+        for g in 1..=8 {
+            assert_eq!(uses_with_group(&inst, g), uses_with_group(&inst, 1));
+            assert_eq!(defs_with_group(&inst, g), defs_with_group(&inst, 1));
+        }
+        let d = DecodedInst::from_inst(inst);
+        assert!(!d.lmul_sensitive);
+        assert!(!d.vector);
+        assert_eq!(d.defs.x, 1 << 1); // ra
+    }
+
+    #[test]
+    fn undecodable_word_leaves_hole() {
+        let table = predecode(&[0x0010_0093, 0xffff_ffff]);
+        assert!(table[0].is_some());
+        assert!(table[1].is_none());
+    }
+}

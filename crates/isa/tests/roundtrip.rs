@@ -677,4 +677,20 @@ proptest! {
             prop_assert_eq!(again, inst);
         }
     }
+
+    /// Predecode covers the full decodable space: every encoding
+    /// `decode` accepts yields a [`coyote_isa::DecodedInst`] micro-op
+    /// holding the same instruction, so the fast path never falls back
+    /// for an in-text instruction the slow path could execute.
+    #[test]
+    fn predecode_covers_every_decodable_encoding(inst in inst()) {
+        let word = encode(&inst).expect("strategy only yields encodable forms");
+        let entry = coyote_isa::DecodedInst::from_word(word)
+            .expect("predecode must accept every word decode accepts");
+        prop_assert_eq!(&entry.inst, &inst);
+        // And on arbitrary words the two agree on decodability.
+        let holes = coyote_isa::predecode(&[word, 0xffff_ffff]);
+        prop_assert!(holes[0].is_some());
+        prop_assert!(holes[1].is_none());
+    }
 }

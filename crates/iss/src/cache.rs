@@ -140,6 +140,13 @@ pub struct Cache {
     line_shift: u32,
     counter: u64,
     stats: CacheStats,
+    /// Memo of the most recently touched line `(tag, index into
+    /// `lines`)`: sequential code re-probes the same line many times in
+    /// a row, and the memo answers those hits without the associative
+    /// scan. Every access (hit or install) refreshes it, so it always
+    /// names a valid resident line and stays exactly equivalent to the
+    /// full probe (same stats, same LRU update).
+    last: Option<(u64, u32)>,
 }
 
 impl Cache {
@@ -160,6 +167,7 @@ impl Cache {
             line_shift: config.line_bytes.trailing_zeros(),
             counter: 0,
             stats: CacheStats::default(),
+            last: None,
         }
     }
 
@@ -187,14 +195,32 @@ impl Cache {
     pub fn access(&mut self, addr: u64, write: bool) -> Probe {
         self.counter += 1;
         let tag = addr >> self.line_shift;
+
+        // Same-line repeat: answer from the memo without scanning the
+        // set (identical stats and LRU effect to the full probe).
+        if let Some((last_tag, last_idx)) = self.last {
+            if last_tag == tag {
+                let line = &mut self.lines[last_idx as usize];
+                line.lru = self.counter;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return Probe {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+
         let set = (tag & self.set_mask) as usize;
         let ways = self.config.ways as usize;
         let set_lines = &mut self.lines[set * ways..(set + 1) * ways];
 
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(way) = set_lines.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set_lines[way];
             line.lru = self.counter;
             line.dirty |= write;
             self.stats.hits += 1;
+            self.last = Some((tag, (set * ways + way) as u32));
             return Probe {
                 hit: true,
                 writeback: None,
@@ -203,9 +229,10 @@ impl Cache {
 
         self.stats.misses += 1;
         // Choose victim: an invalid way, else the least recently used.
-        let victim = set_lines
+        let (way, victim) = set_lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
             .expect("at least one way");
         let writeback = (victim.valid && victim.dirty).then(|| victim.tag << self.line_shift);
         if writeback.is_some() {
@@ -217,6 +244,7 @@ impl Cache {
             dirty: write,
             lru: self.counter,
         };
+        self.last = Some((tag, (set * ways + way) as u32));
         Probe {
             hit: false,
             writeback,
@@ -240,6 +268,7 @@ impl Cache {
         for line in &mut self.lines {
             *line = Line::default();
         }
+        self.last = None;
     }
 }
 

@@ -14,13 +14,12 @@
 use std::fmt;
 
 use coyote_asm::Program;
-use coyote_isa::decode::decode;
-use coyote_isa::{Inst, XReg};
+use coyote_isa::{DecodedInst, Inst, XReg};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::exec::{defs, execute, uses, Ecall, ExecError, MemAccess, RegSet};
 use crate::hart::{Hart, DEFAULT_VLEN_BITS};
-use crate::mem::{AddrMap, SparseMemory};
+use crate::mem::{AddrMap, MemoryIo};
 use crate::scoreboard::{dest_set, Scoreboard};
 
 /// Configuration of one core.
@@ -158,12 +157,14 @@ impl std::error::Error for SimError {
 
 /// Pre-decoded text segment, shared by all cores of a simulation.
 ///
-/// Decoding on every fetch would dominate simulation time; Coyote's
-/// kernels never modify their text, so decode once.
+/// Decoding (and recomputing use/def sets) on every fetch would
+/// dominate simulation time; Coyote's kernels never modify their text,
+/// so the loader predecodes the whole segment once into a dense
+/// micro-op table ([`DecodedInst`]) that [`Core::step`] indexes by PC.
 #[derive(Debug, Clone)]
 pub struct DecodedText {
     base: u64,
-    insts: Vec<Option<Inst>>,
+    insts: Vec<Option<DecodedInst>>,
 }
 
 impl DecodedText {
@@ -172,7 +173,7 @@ impl DecodedText {
     pub fn from_program(program: &Program) -> DecodedText {
         DecodedText {
             base: program.text_base(),
-            insts: program.text().iter().map(|&w| decode(w).ok()).collect(),
+            insts: coyote_isa::predecode(program.text()),
         }
     }
 
@@ -180,6 +181,13 @@ impl DecodedText {
     /// and decodes.
     #[must_use]
     pub fn get(&self, pc: u64) -> Option<&Inst> {
+        self.entry(pc).map(|entry| &entry.inst)
+    }
+
+    /// The predecoded micro-op at `pc`, if it lies in the text section
+    /// and decodes. The hot-path lookup: one bounds check + one index.
+    #[must_use]
+    pub fn entry(&self, pc: u64) -> Option<&DecodedInst> {
         if pc < self.base || !pc.is_multiple_of(4) {
             return None;
         }
@@ -388,9 +396,9 @@ impl Core {
     ///
     /// Panics if called while the core is not [`CoreState::Active`]
     /// (orchestrator bug).
-    pub fn step(
+    pub fn step<M: MemoryIo>(
         &mut self,
-        mem: &mut SparseMemory,
+        mem: &mut M,
         text: &DecodedText,
         cycle: u64,
         misses: &mut Vec<MissRequest>,
@@ -419,17 +427,27 @@ impl Core {
             return Ok(StepEvent::FetchStall);
         }
 
-        let inst = match text.get(pc) {
-            Some(inst) => *inst,
+        // Fast path: predecoded micro-op. Slow path (PC outside the
+        // predecoded text segment, e.g. trampolines materialized in
+        // data memory): decode the fetched word on the spot.
+        let slow;
+        let entry = match text.entry(pc) {
+            Some(entry) => entry,
             None => {
                 let word = mem.read_u32(pc);
-                decode(word).map_err(|_| SimError::Decode { pc, word })?
+                slow = DecodedInst::from_word(word).ok_or(SimError::Decode { pc, word })?;
+                &slow
             }
         };
 
         // ---- hazard check ----
-        let use_set = uses(&inst, &self.hart);
-        let def_set = defs(&inst, &self.hart);
+        // Scalar use/def sets were cached at predecode time; vector
+        // sets depend on the hart's live LMUL and must be recomputed.
+        let (use_set, def_set) = if entry.lmul_sensitive {
+            (uses(&entry.inst, &self.hart), defs(&entry.inst, &self.hart))
+        } else {
+            (entry.uses, entry.defs)
+        };
         if self.scoreboard.blocks(&use_set, &def_set) {
             self.state = CoreState::StalledDep;
             self.stall_started = cycle;
@@ -444,7 +462,7 @@ impl Core {
         let fx = execute(
             &mut self.hart,
             mem,
-            &inst,
+            &entry.inst,
             cycle,
             self.stats.retired,
             &mut accesses,
@@ -497,9 +515,11 @@ impl Core {
                         pc,
                     });
                 }
-            } else if waiting {
+            } else if waiting && !self.pending_data.is_empty() {
                 // Hit on a line that is still in flight: the data has
                 // not arrived yet, so the destination must wait for it.
+                // (The empty-map check skips the hash probe on the
+                // common nothing-in-flight path.)
                 if let Some(regs) = self.pending_data.get_mut(&line) {
                     let mut delta = dest_regs;
                     delta.remove(regs);
@@ -513,7 +533,7 @@ impl Core {
 
         // ---- retire ----
         self.stats.retired += 1;
-        if inst.is_vector() {
+        if entry.vector {
             self.stats.vector_retired += 1;
         }
         if fx.branched {
@@ -580,6 +600,7 @@ impl Core {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::SparseMemory;
     use coyote_asm::assemble;
 
     fn setup(src: &str) -> (Core, SparseMemory, DecodedText) {

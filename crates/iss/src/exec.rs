@@ -1,7 +1,8 @@
 //! Functional execution semantics.
 //!
-//! [`execute`] applies one decoded instruction to a [`Hart`] and the
-//! shared [`SparseMemory`], reporting the data-memory accesses performed
+//! [`execute`] applies one decoded instruction to a [`Hart`] and a
+//! [`MemoryIo`] memory (the shared [`SparseMemory`](crate::mem::SparseMemory)
+//! or a buffered per-core view), reporting the data-memory accesses performed
 //! and the destination register written, which the timing layer (L1
 //! caches + RAW scoreboard + event-driven hierarchy) uses to drive the
 //! Coyote cycle loop.
@@ -22,7 +23,7 @@ use coyote_isa::inst::{
 use coyote_isa::{FReg, Sew, VReg, XReg};
 
 use crate::hart::Hart;
-use crate::mem::SparseMemory;
+use crate::mem::MemoryIo;
 
 /// One data-memory access performed by an instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,74 +104,7 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// A set of registers, used for hazard detection (bit per register).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RegSet {
-    /// Integer registers (bit 0 = `x0`, always clear).
-    pub x: u32,
-    /// FP registers.
-    pub f: u32,
-    /// Vector registers.
-    pub v: u32,
-}
-
-impl RegSet {
-    /// The empty set.
-    #[must_use]
-    pub fn new() -> RegSet {
-        RegSet::default()
-    }
-
-    /// Adds an integer register (`x0` is ignored: it can never be
-    /// pending).
-    pub fn add_x(&mut self, reg: XReg) {
-        if reg != XReg::ZERO {
-            self.x |= 1 << reg.index();
-        }
-    }
-
-    /// Adds an FP register.
-    pub fn add_f(&mut self, reg: FReg) {
-        self.f |= 1 << reg.index();
-    }
-
-    /// Adds a vector register group of `len` registers starting at
-    /// `reg` (wrapping masked off at `v31`).
-    pub fn add_v_group(&mut self, reg: VReg, len: u8) {
-        for i in 0..u32::from(len) {
-            let idx = reg.index() as u32 + i;
-            if idx < 32 {
-                self.v |= 1 << idx;
-            }
-        }
-    }
-
-    /// Whether the two sets intersect.
-    #[must_use]
-    pub fn intersects(&self, other: &RegSet) -> bool {
-        (self.x & other.x) | (self.f & other.f) | (self.v & other.v) != 0
-    }
-
-    /// Whether the set is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.x == 0 && self.f == 0 && self.v == 0
-    }
-
-    /// Removes every register in `other` from `self`.
-    pub fn remove(&mut self, other: &RegSet) {
-        self.x &= !other.x;
-        self.f &= !other.f;
-        self.v &= !other.v;
-    }
-
-    /// Unions `other` into `self`.
-    pub fn insert_all(&mut self, other: &RegSet) {
-        self.x |= other.x;
-        self.f |= other.f;
-        self.v |= other.v;
-    }
-}
+pub use coyote_isa::RegSet;
 
 /// Vector register group length implied by the hart's current LMUL.
 fn group_len(hart: &Hart) -> u8 {
@@ -180,285 +114,14 @@ fn group_len(hart: &Hart) -> u8 {
 /// Registers read by `inst` (for RAW-hazard detection).
 #[must_use]
 pub fn uses(inst: &Inst, hart: &Hart) -> RegSet {
-    let mut set = RegSet::new();
-    let g = group_len(hart);
-    match *inst {
-        Inst::Lui { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak | Inst::Auipc { .. } => {}
-        Inst::Jal { .. } => {}
-        Inst::Jalr { rs1, .. } => set.add_x(rs1),
-        Inst::Branch { rs1, rs2, .. } => {
-            set.add_x(rs1);
-            set.add_x(rs2);
-        }
-        Inst::Load { rs1, .. } => set.add_x(rs1),
-        Inst::Store { rs2, rs1, .. } => {
-            set.add_x(rs1);
-            set.add_x(rs2);
-        }
-        Inst::OpImm { rs1, .. } | Inst::OpImm32 { rs1, .. } => set.add_x(rs1),
-        Inst::Op { rs1, rs2, .. } | Inst::Op32 { rs1, rs2, .. } => {
-            set.add_x(rs1);
-            set.add_x(rs2);
-        }
-        Inst::Csr { src, .. } => {
-            if let CsrSrc::Reg(rs1) = src {
-                set.add_x(rs1);
-            }
-        }
-        Inst::Amo { rs1, rs2, .. } => {
-            set.add_x(rs1);
-            set.add_x(rs2);
-        }
-        Inst::Fld { rs1, .. } => set.add_x(rs1),
-        Inst::Fsd { rs2, rs1, .. } => {
-            set.add_x(rs1);
-            set.add_f(rs2);
-        }
-        Inst::FpOp { rs1, rs2, .. } => {
-            set.add_f(rs1);
-            set.add_f(rs2);
-        }
-        Inst::FpFma { rs1, rs2, rs3, .. } => {
-            set.add_f(rs1);
-            set.add_f(rs2);
-            set.add_f(rs3);
-        }
-        Inst::FpCmp { rs1, rs2, .. } => {
-            set.add_f(rs1);
-            set.add_f(rs2);
-        }
-        Inst::FpCvt { op, rs1, .. } => match op {
-            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
-                set.add_x(XReg::new(rs1).unwrap_or(XReg::ZERO));
-            }
-            _ => set.add_f(FReg::new(rs1).unwrap_or_default()),
-        },
-        Inst::FmvXD { rs1, .. } => set.add_f(rs1),
-        Inst::FmvDX { rs1, .. } => set.add_x(rs1),
-        Inst::Vsetvli { rs1, .. } => set.add_x(rs1),
-        Inst::Vsetivli { .. } => {}
-        Inst::Vsetvl { rs1, rs2, .. } => {
-            set.add_x(rs1);
-            set.add_x(rs2);
-        }
-        Inst::VLoad { rs1, mode, vm, .. } => {
-            set.add_x(rs1);
-            add_mode_uses(&mut set, mode, g);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VStore {
-            vs3, rs1, mode, vm, ..
-        } => {
-            set.add_x(rs1);
-            set.add_v_group(vs3, g);
-            add_mode_uses(&mut set, mode, g);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VIntOp { vs2, src, vm, .. } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VScalar::Vector(v1) => set.add_v_group(v1, g),
-                VScalar::Xreg(r1) => set.add_x(r1),
-            }
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VIntOpImm { vs2, vm, .. } => {
-            set.add_v_group(vs2, g);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VMulOp {
-            op,
-            vd,
-            vs2,
-            src,
-            vm,
-            ..
-        } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VScalar::Vector(v1) => set.add_v_group(v1, g),
-                VScalar::Xreg(r1) => set.add_x(r1),
-            }
-            if op == VMulOp::Macc {
-                set.add_v_group(vd, g); // accumulator is also a source
-            }
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VFpOp {
-            op,
-            vd,
-            vs2,
-            src,
-            vm,
-            ..
-        } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VFScalar::Vector(v1) => set.add_v_group(v1, g),
-                VFScalar::Freg(r1) => set.add_f(r1),
-            }
-            if op == VFpOp::Macc {
-                set.add_v_group(vd, g);
-            }
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VRedSum { vs2, vs1, vm, .. } | Inst::VFRedSum { vs2, vs1, vm, .. } => {
-            set.add_v_group(vs2, g);
-            set.add_v_group(vs1, 1);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VMvVV { vs1, .. } => set.add_v_group(vs1, g),
-        Inst::VMvVX { rs1, .. } | Inst::VMvSX { rs1, .. } => set.add_x(rs1),
-        Inst::VMvVI { .. } => {}
-        Inst::VFMvVF { rs1, .. } | Inst::VFMvSF { rs1, .. } => set.add_f(rs1),
-        Inst::VMvXS { vs2, .. } | Inst::VFMvFS { vs2, .. } => set.add_v_group(vs2, 1),
-        Inst::Vid { vm, .. } => {
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VMaskCmp { vs2, src, vm, .. } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VScalar::Vector(v1) => set.add_v_group(v1, g),
-                VScalar::Xreg(r1) => set.add_x(r1),
-            }
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VMaskCmpImm { vs2, vm, .. } => {
-            set.add_v_group(vs2, g);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VFMaskCmp { vs2, src, vm, .. } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VFScalar::Vector(v1) => set.add_v_group(v1, g),
-                VFScalar::Freg(r1) => set.add_f(r1),
-            }
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-        Inst::VMaskLogical { vs2, vs1, .. } => {
-            set.add_v_group(vs2, 1);
-            set.add_v_group(vs1, 1);
-        }
-        Inst::VMerge { vs2, src, .. } => {
-            set.add_v_group(vs2, g);
-            match src {
-                VScalar::Vector(v1) => set.add_v_group(v1, g),
-                VScalar::Xreg(r1) => set.add_x(r1),
-            }
-            set.add_v_group(VReg::V0, 1);
-        }
-        Inst::VMergeImm { vs2, .. } => {
-            set.add_v_group(vs2, g);
-            set.add_v_group(VReg::V0, 1);
-        }
-        Inst::VFMerge { vs2, rs1, .. } => {
-            set.add_v_group(vs2, g);
-            set.add_f(rs1);
-            set.add_v_group(VReg::V0, 1);
-        }
-        Inst::Vcpop { vs2, vm, .. } | Inst::Vfirst { vs2, vm, .. } => {
-            set.add_v_group(vs2, 1);
-            if !vm {
-                set.add_v_group(VReg::V0, 1);
-            }
-        }
-    }
-    set
-}
-
-fn add_mode_uses(set: &mut RegSet, mode: VAddrMode, g: u8) {
-    match mode {
-        VAddrMode::Unit => {}
-        VAddrMode::Strided(rs2) => set.add_x(rs2),
-        VAddrMode::Indexed(vs2) => set.add_v_group(vs2, g),
-    }
+    coyote_isa::predecode::uses_with_group(inst, group_len(hart))
 }
 
 /// Registers written by `inst` (for WAW-hazard detection against pending
 /// fills).
 #[must_use]
 pub fn defs(inst: &Inst, hart: &Hart) -> RegSet {
-    let mut set = RegSet::new();
-    let g = group_len(hart);
-    match *inst {
-        Inst::Lui { rd, .. }
-        | Inst::Auipc { rd, .. }
-        | Inst::Jal { rd, .. }
-        | Inst::Jalr { rd, .. }
-        | Inst::Load { rd, .. }
-        | Inst::OpImm { rd, .. }
-        | Inst::Op { rd, .. }
-        | Inst::OpImm32 { rd, .. }
-        | Inst::Op32 { rd, .. }
-        | Inst::Csr { rd, .. }
-        | Inst::Amo { rd, .. }
-        | Inst::FpCmp { rd, .. }
-        | Inst::FmvXD { rd, .. }
-        | Inst::Vsetvli { rd, .. }
-        | Inst::Vsetivli { rd, .. }
-        | Inst::Vsetvl { rd, .. }
-        | Inst::VMvXS { rd, .. } => set.add_x(rd),
-        Inst::Fld { rd, .. } | Inst::FmvDX { rd, .. } | Inst::VFMvFS { rd, .. } => set.add_f(rd),
-        Inst::FpOp { rd, .. } | Inst::FpFma { rd, .. } => set.add_f(rd),
-        Inst::FpCvt { op, rd, .. } => match op {
-            FpCvtOp::DFromL | FpCvtOp::DFromLu | FpCvtOp::DFromW => {
-                set.add_f(FReg::new(rd).unwrap_or_default());
-            }
-            _ => set.add_x(XReg::new(rd).unwrap_or(XReg::ZERO)),
-        },
-        Inst::VLoad { vd, .. } => set.add_v_group(vd, g),
-        Inst::VIntOp { vd, .. }
-        | Inst::VIntOpImm { vd, .. }
-        | Inst::VMulOp { vd, .. }
-        | Inst::VFpOp { vd, .. }
-        | Inst::VMvVV { vd, .. }
-        | Inst::VMvVX { vd, .. }
-        | Inst::VMvVI { vd, .. }
-        | Inst::VFMvVF { vd, .. } => set.add_v_group(vd, g),
-        Inst::VRedSum { vd, .. }
-        | Inst::VFRedSum { vd, .. }
-        | Inst::VMvSX { vd, .. }
-        | Inst::VFMvSF { vd, .. } => set.add_v_group(vd, 1),
-        Inst::Vid { vd, .. } => set.add_v_group(vd, g),
-        Inst::VMaskCmp { vd, .. }
-        | Inst::VMaskCmpImm { vd, .. }
-        | Inst::VFMaskCmp { vd, .. }
-        | Inst::VMaskLogical { vd, .. } => set.add_v_group(vd, 1),
-        Inst::VMerge { vd, .. } | Inst::VMergeImm { vd, .. } | Inst::VFMerge { vd, .. } => {
-            set.add_v_group(vd, g);
-        }
-        Inst::Vcpop { rd, .. } | Inst::Vfirst { rd, .. } => set.add_x(rd),
-        Inst::Branch { .. }
-        | Inst::Store { .. }
-        | Inst::Fsd { .. }
-        | Inst::VStore { .. }
-        | Inst::Fence
-        | Inst::Ecall
-        | Inst::Ebreak => {}
-    }
-    set
+    coyote_isa::predecode::defs_with_group(inst, group_len(hart))
 }
 
 fn alu(op: AluOp, a: u64, b: u64) -> u64 {
@@ -554,7 +217,7 @@ fn alu_w(op: AluWOp, a: u64, b: u64) -> u64 {
     result as i64 as u64
 }
 
-fn load_value(mem: &SparseMemory, addr: u64, width: MemWidth, signed: bool) -> u64 {
+fn load_value<M: MemoryIo>(mem: &mut M, addr: u64, width: MemWidth, signed: bool) -> u64 {
     match (width, signed) {
         (MemWidth::B, true) => mem.read_u8(addr) as i8 as i64 as u64,
         (MemWidth::B, false) => u64::from(mem.read_u8(addr)),
@@ -566,7 +229,7 @@ fn load_value(mem: &SparseMemory, addr: u64, width: MemWidth, signed: bool) -> u
     }
 }
 
-fn store_value(mem: &mut SparseMemory, addr: u64, width: MemWidth, value: u64) {
+fn store_value<M: MemoryIo>(mem: &mut M, addr: u64, width: MemWidth, value: u64) {
     match width {
         MemWidth::B => mem.write_u8(addr, value as u8),
         MemWidth::H => mem.write_u16(addr, value as u16),
@@ -585,9 +248,9 @@ fn store_value(mem: &mut SparseMemory, addr: u64, width: MemWidth, value: u64) {
 ///
 /// Returns [`ExecError`] for vector operations at unsupported element
 /// widths. The instruction is not retired in that case.
-pub fn execute(
+pub fn execute<M: MemoryIo>(
     hart: &mut Hart,
-    mem: &mut SparseMemory,
+    mem: &mut M,
     inst: &Inst,
     cycle: u64,
     instret: u64,

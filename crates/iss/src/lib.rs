@@ -61,6 +61,7 @@ pub mod exec;
 pub mod hart;
 pub mod mem;
 pub mod scoreboard;
+pub mod view;
 
 pub use crate::core::{
     Core, CoreConfig, CoreSnapshot, CoreState, CoreStats, DecodedText, MissKind, MissRequest,
@@ -69,5 +70,6 @@ pub use crate::core::{
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use exec::{Dest, Ecall, Effects, ExecError, MemAccess, RegSet};
 pub use hart::{Hart, DEFAULT_VLEN_BITS};
-pub use mem::SparseMemory;
+pub use mem::{MemoryIo, SparseMemory};
 pub use scoreboard::Scoreboard;
+pub use view::{BufferedMemory, StoreBuffer};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
-//! coyote-audit --race --config NAME [--perturb-seed N] [--json]
+//! coyote-audit --race --config NAME [--perturb-seed N] [--jobs N] [--json]
 //! coyote-audit --race --all [--json]
 //! ```
 //!
@@ -10,7 +10,10 @@
 //! (see `coyote_lint::lint`); exit code 1 means new violations.
 //! `--race` runs the named repro configuration twice — canonical and
 //! schedule-perturbed — and diffs the results (see
-//! `coyote_lint::race`); exit code 1 means a schedule race.
+//! `coyote_lint::race`); exit code 1 means a schedule race. With
+//! `--jobs N` the perturbed run also executes its cores on N host
+//! threads, so the same diff proves the parallel execute phase is
+//! bit-identical to the sequential schedule.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +23,7 @@ use coyote_lint::lint::{apply_baseline, load_baseline, scan_repo};
 use coyote_lint::race::{self, CONFIG_NAMES};
 
 const USAGE: &str = "usage: coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
-       coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--json]";
+       coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--jobs N] [--json]";
 
 struct Args {
     lint: bool,
@@ -29,6 +32,7 @@ struct Args {
     baseline: Option<PathBuf>,
     configs: Vec<String>,
     perturb_seed: u64,
+    jobs: usize,
     json: bool,
 }
 
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         configs: Vec::new(),
         perturb_seed: 0,
+        jobs: 1,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +66,14 @@ fn parse_args() -> Result<Args, String> {
                     None => raw.parse(),
                 };
                 args.perturb_seed = parsed.map_err(|e| format!("--perturb-seed: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = take(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -126,7 +139,7 @@ fn run_race(args: &Args) -> Result<bool, String> {
     let mut clean = true;
     let mut reports = Vec::new();
     for name in &args.configs {
-        let outcome = race::check(name, args.perturb_seed, false)?;
+        let outcome = race::check(name, args.perturb_seed, args.jobs, false)?;
         if args.json {
             reports.push(outcome.to_json());
         } else if let Some(divergence) = &outcome.divergence {
@@ -149,8 +162,8 @@ fn run_race(args: &Args) -> Result<bool, String> {
             }
         } else {
             println!(
-                "coyote-audit --race: config `{}` deterministic over {} cycles (seed {:#x})",
-                outcome.config, outcome.cycles, outcome.perturb_seed
+                "coyote-audit --race: config `{}` deterministic over {} cycles (seed {:#x}, jobs {})",
+                outcome.config, outcome.cycles, outcome.perturb_seed, outcome.jobs
             );
         }
         if outcome.divergence.is_some() {

@@ -12,6 +12,7 @@
 //! | `lossy-cast`    | a narrowing `as` cast applied to a cycle/latency-named counter: silently truncates long runs |
 //! | `lib-unwrap`    | bare `.unwrap()` in library (non-`bin`, non-test) code: panics instead of a typed error (`.expect("why")` documents the invariant and is permitted) |
 //! | `forbid-unsafe` | crate root missing `#![forbid(unsafe_code)]`              |
+//! | `predecode-bypass` | a `coyote_isa::decode` call in the core step path (`crates/iss/src/core.rs`): per-retirement decode silently reintroduces the hot-loop cost the predecoded micro-op table ([`coyote_isa::predecode`]) exists to eliminate; out-of-text PCs must go through `DecodedInst::from_word` |
 //!
 //! Suppression: a `// audit:allow(<rule>)` comment on the offending
 //! line, or heading the comment block directly above it (the directive
@@ -34,7 +35,12 @@ pub const RULES: &[&str] = &[
     "lossy-cast",
     "lib-unwrap",
     "forbid-unsafe",
+    "predecode-bypass",
 ];
+
+/// Files whose hot step path must dispatch on the predecoded micro-op
+/// table instead of calling the decoder per retirement.
+pub const PREDECODED_FILES: &[&str] = &["crates/iss/src/core.rs"];
 
 /// Crates whose iteration order feeds statistics or exported JSON.
 pub const MODEL_CRATES: &[&str] = &["mem", "iss", "core", "telemetry"];
@@ -482,6 +488,30 @@ fn iterates_hazard(code: &str, ident: &str) -> bool {
     false
 }
 
+/// Whether `code` invokes the instruction decoder: a
+/// `coyote_isa::decode` path (call or import) or a bare `decode(` call
+/// at a token boundary. Suffixed identifiers such as `predecode(` and
+/// the sanctioned slow path `DecodedInst::from_word(` do not match.
+fn decoder_call_hit(code: &str) -> bool {
+    if code.contains("coyote_isa::decode") || code.contains("decode::decode") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("decode(") {
+        let abs = from + pos;
+        let boundary = abs == 0 || {
+            let c = bytes[abs - 1] as char;
+            !(c.is_ascii_alphanumeric() || c == '_')
+        };
+        if boundary {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
 /// Scans one file. `repo_rel` is the `/`-separated repo-relative path
 /// (used for crate classification and finding locations); `source` is
 /// the file contents. Pure — fixture tests call this directly.
@@ -493,6 +523,7 @@ pub fn scan_file(repo_rel: &str, source: &str) -> Vec<Finding> {
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("");
     let is_model = MODEL_CRATES.contains(&crate_name);
+    let is_predecoded = PREDECODED_FILES.contains(&repo_rel);
     let is_bin = repo_rel.contains("/bin/") || repo_rel.ends_with("/main.rs");
     let is_crate_root = repo_rel.ends_with("src/lib.rs");
 
@@ -599,6 +630,9 @@ pub fn scan_file(repo_rel: &str, source: &str) -> Vec<Finding> {
         }
         if is_model && hazards.iter().any(|h| iterates_hazard(code, h)) {
             push("hashmap-iter");
+        }
+        if is_predecoded && decoder_call_hit(code) {
+            push("predecode-bypass");
         }
     }
 

@@ -94,6 +94,9 @@ pub struct RaceOutcome {
     pub config: String,
     /// The perturbation seed of the second run.
     pub perturb_seed: u64,
+    /// Host threads of the perturbed run's execute phase (the baseline
+    /// is always sequential).
+    pub jobs: usize,
     /// Simulated cycles of the canonical run.
     pub cycles: u64,
     /// Hierarchy events compared during localization (0 when the runs
@@ -135,6 +138,7 @@ impl RaceOutcome {
         JsonValue::object()
             .with("config", self.config.clone())
             .with("perturb_seed", self.perturb_seed)
+            .with("jobs", self.jobs)
             .with("cycles", self.cycles)
             .with("events_compared", self.events_compared)
             .with("divergence", divergence)
@@ -154,10 +158,12 @@ fn run_once(
     mut config: SimConfig,
     workload: &dyn Workload,
     perturb_seed: u64,
+    jobs: usize,
     log_events: bool,
     inject_unordered_drain: bool,
 ) -> Result<RunArtifacts, String> {
     config.perturb_seed = perturb_seed;
+    config.jobs = jobs;
     let program = workload
         .program(config.cores)
         .map_err(|e| format!("workload failed to assemble: {e}"))?;
@@ -233,6 +239,12 @@ fn localize(
 /// injection the check must report a divergence, without it the check
 /// must report none.
 ///
+/// `jobs` sets the host-thread count of the *perturbed* run only; the
+/// baseline always runs the sequential `jobs = 1` schedule. Any value
+/// above 1 therefore makes one diff prove two independences at once:
+/// the results must not depend on the free same-cycle event pop order
+/// *or* on the parallel execute phase's sharding and commit protocol.
+///
 /// # Errors
 ///
 /// Returns a message for unknown configuration names and for
@@ -240,6 +252,7 @@ fn localize(
 pub fn check(
     name: &str,
     perturb_seed: u64,
+    jobs: usize,
     inject_unordered_drain: bool,
 ) -> Result<RaceOutcome, String> {
     let (config, workload) = named_config(name)
@@ -250,8 +263,8 @@ pub fn check(
         perturb_seed
     };
 
-    let baseline = run_once(config, &workload, 0, false, inject_unordered_drain)?;
-    let perturbed = run_once(config, &workload, seed, false, inject_unordered_drain)?;
+    let baseline = run_once(config, &workload, 0, 1, false, inject_unordered_drain)?;
+    let perturbed = run_once(config, &workload, seed, jobs, false, inject_unordered_drain)?;
 
     let mut observables = Vec::new();
     if baseline.exit_codes != perturbed.exit_codes {
@@ -282,6 +295,7 @@ pub fn check(
         return Ok(RaceOutcome {
             config: name.to_owned(),
             perturb_seed: seed,
+            jobs,
             cycles: baseline.cycles,
             events_compared: 0,
             divergence: None,
@@ -291,8 +305,8 @@ pub fn check(
     // Divergence: rerun both schedules with event logging (runs are
     // individually deterministic, so the rerun reproduces them) and
     // localize the first divergent cycle and event pair.
-    let baseline_logged = run_once(config, &workload, 0, true, inject_unordered_drain)?;
-    let perturbed_logged = run_once(config, &workload, seed, true, inject_unordered_drain)?;
+    let baseline_logged = run_once(config, &workload, 0, 1, true, inject_unordered_drain)?;
+    let perturbed_logged = run_once(config, &workload, seed, jobs, true, inject_unordered_drain)?;
     let events_compared = baseline_logged
         .events
         .len()
@@ -303,6 +317,7 @@ pub fn check(
     Ok(RaceOutcome {
         config: name.to_owned(),
         perturb_seed: seed,
+        jobs,
         cycles: baseline.cycles,
         events_compared,
         divergence: Some(RaceDivergence {

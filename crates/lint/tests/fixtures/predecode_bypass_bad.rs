@@ -1,0 +1,11 @@
+//! Fixture: the core step path calls the instruction decoder per
+//! retirement instead of dispatching on the predecoded micro-op table.
+
+use coyote_isa::decode::decode;
+
+pub fn step(word: u32) -> u64 {
+    let inst = decode(word).expect("decodes");
+    let again = coyote_isa::decode(word);
+    drop(again);
+    inst.len()
+}

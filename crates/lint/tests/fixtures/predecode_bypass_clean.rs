@@ -1,0 +1,14 @@
+//! Fixture twin: the step path hits the predecoded table; out-of-text
+//! PCs go through the sanctioned `DecodedInst::from_word` slow path,
+//! and `predecode(` itself must not trip the token-boundary check.
+
+pub fn step(text: &DecodedText, pc: u64, word: u32) -> Option<DecodedInst> {
+    if let Some(entry) = text.entry(pc) {
+        return Some(entry.clone());
+    }
+    DecodedInst::from_word(word)
+}
+
+pub fn load(words: &[u32]) -> Vec<Option<DecodedInst>> {
+    coyote_isa::predecode(words)
+}

@@ -77,6 +77,35 @@ fn lib_unwrap_not_applied_to_bins() {
 }
 
 #[test]
+fn predecode_bypass_flagged_in_the_core_step_file_only() {
+    let bad = scan_file(
+        "crates/iss/src/core.rs",
+        include_str!("fixtures/predecode_bypass_bad.rs"),
+    );
+    assert!(
+        bad.iter().filter(|f| f.rule == "predecode-bypass").count() >= 2,
+        "expected the decode import and both call forms flagged: {bad:?}"
+    );
+    // The sanctioned slow path (`DecodedInst::from_word`) and the
+    // `predecode(` loader must not trip the token-boundary check.
+    let clean = scan_file(
+        "crates/iss/src/core.rs",
+        include_str!("fixtures/predecode_bypass_clean.rs"),
+    );
+    assert!(
+        !rules(&clean).contains(&"predecode-bypass"),
+        "clean twin flagged: {clean:?}"
+    );
+    // Decoding is fine everywhere else — the rule pins only the hot
+    // step path.
+    let elsewhere = scan_file(
+        "crates/iss/src/exec.rs",
+        include_str!("fixtures/predecode_bypass_bad.rs"),
+    );
+    assert!(!rules(&elsewhere).contains(&"predecode-bypass"));
+}
+
+#[test]
 fn forbid_unsafe_flagged_on_crate_roots_only() {
     let bad = scan_file(
         "crates/mem/src/lib.rs",

@@ -8,7 +8,7 @@ use coyote_lint::race::{check, named_config, DEFAULT_PERTURB_SEED};
 
 #[test]
 fn perturbed_schedule_is_clean_on_the_real_hierarchy() {
-    let outcome = check("tiny", 0, false).expect("tiny config runs");
+    let outcome = check("tiny", 0, 1, false).expect("tiny config runs");
     assert_eq!(outcome.perturb_seed, DEFAULT_PERTURB_SEED);
     assert!(outcome.cycles > 0);
     assert!(
@@ -20,7 +20,7 @@ fn perturbed_schedule_is_clean_on_the_real_hierarchy() {
 
 #[test]
 fn injected_hashmap_drain_is_caught() {
-    let outcome = check("tiny", 0, true).expect("tiny config runs");
+    let outcome = check("tiny", 0, 1, true).expect("tiny config runs");
     let divergence = outcome
         .divergence
         .expect("the injected HashMap-ordered drain must be detected as a race");
@@ -39,8 +39,23 @@ fn injected_hashmap_drain_is_caught() {
 }
 
 #[test]
+fn parallel_execute_phase_is_clean_under_perturbation() {
+    // jobs = 4 puts the perturbed run through the parallel execute
+    // phase: the diff against the sequential canonical run must still
+    // be empty — one check covering both schedule-perturbation and
+    // jobs-independence.
+    let outcome = check("tiny", 0, 4, false).expect("tiny config runs");
+    assert_eq!(outcome.jobs, 4);
+    assert!(
+        outcome.divergence.is_none(),
+        "parallel execute phase diverged from the sequential schedule: {:?}",
+        outcome.divergence
+    );
+}
+
+#[test]
 fn unknown_config_is_an_error_not_a_pass() {
-    let err = check("no-such-config", 0, false).unwrap_err();
+    let err = check("no-such-config", 0, 1, false).unwrap_err();
     assert!(err.contains("no-such-config"));
 }
 
