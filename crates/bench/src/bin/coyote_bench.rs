@@ -17,7 +17,8 @@
 //!
 //! The JSON schema is `{schema, experiment, scale, jobs, host, rows}`
 //! with one row per measured point:
-//! `{cores, kernel, instructions, cycles, wall_ns, mips}`. The `host`
+//! `{cores, kernel, instructions, cycles, wall_ns, mips,
+//! block_hit_rate}`. The `host`
 //! block records the machine the numbers came from so a baseline diff
 //! across runners is interpreted, not blindly trusted — hence the
 //! warn-only default.
@@ -161,13 +162,14 @@ fn sweep(options: &Options) -> Vec<Fig3Row> {
         for kernel in kernels {
             let row = fig3::measure(kernel, cores, options.jobs);
             eprintln!(
-                "fig3: cores={:3} kernel={:6} instructions={:>12} cycles={:>12} wall={:8.1}ms mips={:.3}",
+                "fig3: cores={:3} kernel={:6} instructions={:>12} cycles={:>12} wall={:8.1}ms mips={:.3} block_hit={:.3}",
                 row.cores,
                 row.kernel,
                 row.instructions,
                 row.cycles,
                 row.wall.as_secs_f64() * 1e3,
-                row.mips
+                row.mips,
+                row.block_hit_rate
             );
             rows.push(row);
         }
@@ -214,6 +216,7 @@ fn rows_json(options: &Options, rows: &[Fig3Row]) -> JsonValue {
                     u64::try_from(row.wall.as_nanos()).unwrap_or(u64::MAX),
                 )
                 .with("mips", row.mips)
+                .with("block_hit_rate", row.block_hit_rate)
         })
         .collect();
     JsonValue::object()

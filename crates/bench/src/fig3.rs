@@ -31,6 +31,8 @@ pub struct Fig3Row {
     pub wall: Duration,
     /// Aggregate simulation throughput in MIPS.
     pub mips: f64,
+    /// Fraction of retirements that took the superblock fused path.
+    pub block_hit_rate: f64,
 }
 
 /// The core counts the paper sweeps (quick mode trims the tail).
@@ -82,6 +84,7 @@ pub fn measure(workload: &dyn Workload, cores: usize, jobs: usize) -> Fig3Row {
         cycles: report.cycles,
         wall: report.wall_time,
         mips: report.host_mips(),
+        block_hit_rate: report.block_hit_rate(),
     }
 }
 
@@ -129,6 +132,7 @@ pub fn table(rows: &[Fig3Row]) -> Table {
         "sim cycles",
         "wall [ms]",
         "MIPS",
+        "block hit",
     ]);
     for row in rows {
         t.push([
@@ -138,6 +142,7 @@ pub fn table(rows: &[Fig3Row]) -> Table {
             row.cycles.to_string(),
             format!("{:.1}", row.wall.as_secs_f64() * 1e3),
             format!("{:.3}", row.mips),
+            format!("{:.3}", row.block_hit_rate),
         ]);
     }
     t

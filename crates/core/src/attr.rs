@@ -132,8 +132,11 @@ impl StallAttribution {
 
     /// Close intervals for cores that left `Active` during the execute
     /// phase (stalled or halted) and open the successor interval.
-    pub fn scan_after_step(&mut self, cores: &[Core], cycle: u64) {
-        for (idx, core) in cores.iter().enumerate() {
+    /// `deactivated` is the exact transition list the orchestrator
+    /// tracked, so the scan touches only cores that actually moved.
+    pub fn scan_after_step(&mut self, cores: &[Core], deactivated: &[usize], cycle: u64) {
+        for &idx in deactivated {
+            let core = &cores[idx];
             let current = core.state();
             let (prev, since) = self.state[idx];
             if current == prev {
@@ -174,9 +177,13 @@ impl StallAttribution {
     }
 
     /// Close intervals for cores woken by this cycle's completion
-    /// drain, electing the canonical cause among the candidates.
-    pub fn scan_after_drain(&mut self, cores: &[Core], cycle: u64) {
-        for (idx, core) in cores.iter().enumerate() {
+    /// drain (the orchestrator's exact wake list), electing the
+    /// canonical cause among the candidates. Must run after every
+    /// drain that delivered a fill — even one that woke nobody — so
+    /// the per-cycle candidate list is cleared.
+    pub fn scan_after_drain(&mut self, cores: &[Core], woken: &[usize], cycle: u64) {
+        for &idx in woken {
+            let core = &cores[idx];
             let current = core.state();
             let (prev, since) = self.state[idx];
             if current == prev {

@@ -79,6 +79,14 @@ pub struct SimConfig {
     /// a few counters per core — and the table is O(K) regardless of
     /// run length.
     pub attribution_top_k: usize,
+    /// Whether the superblock fusion fast path may retire validated
+    /// straight-line runs through [`coyote_iss::Core`]'s fused
+    /// dispatch and the orchestrator's multi-cycle windows. A
+    /// host-execution knob like `jobs`: every cycle count, digest and
+    /// exported metric is bit-identical either way (property-tested),
+    /// only wall time changes. On by default; `false` forces the
+    /// per-instruction path everywhere (the A/B reference).
+    pub fusion: bool,
     /// Host worker threads stepping the cores each cycle (must be at
     /// least 1). `jobs = 1` is the sequential orchestrator; larger
     /// values shard the per-cycle core loop across a fixed worker pool
@@ -111,6 +119,7 @@ impl Default for SimConfig {
             chrome_trace: false,
             perturb_seed: 0,
             attribution_top_k: 32,
+            fusion: true,
             jobs: 1,
         }
     }
@@ -393,6 +402,14 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn attribution_top_k(mut self, k: usize) -> Self {
         self.config.attribution_top_k = k;
+        self
+    }
+
+    /// Enables or disables the superblock fusion fast path (on by
+    /// default; disabling forces the per-instruction reference path).
+    #[must_use]
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.config.fusion = fusion;
         self
     }
 

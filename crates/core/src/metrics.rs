@@ -66,6 +66,7 @@ fn config_json(config: &SimConfig) -> JsonValue {
         .with("mc_channels_per_mc", config.mc.channels_per_mc)
         .with("prefetch_degree", config.prefetch_degree)
         .with("interleave", config.interleave)
+        .with("fusion", config.fusion)
         .with("telemetry", config.telemetry)
         .with("metrics_interval", config.metrics_interval)
         .with("chrome_trace", config.chrome_trace)
@@ -84,6 +85,7 @@ fn report_json(report: &Report) -> JsonValue {
                 .with("fetch_stall_cycles", core.stats.fetch_stall_cycles)
                 .with("branches", core.stats.branches)
                 .with("vector_retired", core.stats.vector_retired)
+                .with("fused_retired", core.fused_retired)
                 .with("l1i_hits", core.l1i.hits)
                 .with("l1i_misses", core.l1i.misses)
                 .with("l1d_hits", core.l1d.hits)
@@ -101,6 +103,7 @@ fn report_json(report: &Report) -> JsonValue {
         .with("ipc", report.ipc())
         .with("host_mips", report.host_mips())
         .with("l1d_miss_rate", report.l1d_miss_rate())
+        .with("block_hit_rate", report.block_hit_rate())
         .with("total_dep_stall_cycles", report.total_dep_stall_cycles())
         .with("wall_time_seconds", report.wall_time.as_secs_f64())
         .with("cores", JsonValue::Array(cores))

@@ -23,6 +23,10 @@ pub struct CoreReport {
     pub exit_code: Option<i64>,
     /// Console bytes the core printed.
     pub console: Vec<u8>,
+    /// Instructions retired through the superblock fused path — a
+    /// host-diagnostic counter (deliberately outside [`CoreStats`] so
+    /// the determinism digest cannot depend on the fusion knob).
+    pub fused_retired: u64,
 }
 
 /// Complete result of a simulation run.
@@ -83,6 +87,25 @@ impl Report {
     #[must_use]
     pub fn total_dep_stall_cycles(&self) -> u64 {
         self.cores.iter().map(|c| c.stats.dep_stall_cycles).sum()
+    }
+
+    /// Instructions retired through the superblock fused path, across
+    /// cores.
+    #[must_use]
+    pub fn total_fused_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.fused_retired).sum()
+    }
+
+    /// Fraction of all retirements that took the fused path (0 when
+    /// fusion is disabled or nothing retired).
+    #[must_use]
+    pub fn block_hit_rate(&self) -> f64 {
+        let retired = self.total_retired();
+        if retired == 0 {
+            0.0
+        } else {
+            self.total_fused_retired() as f64 / retired as f64
+        }
     }
 
     /// All cores' exit codes, if all halted.
@@ -154,6 +177,7 @@ mod tests {
             },
             exit_code: Some(0),
             console: b"ok".to_vec(),
+            fused_retired: 250,
         };
         Report {
             cycles: 1000,
@@ -170,6 +194,8 @@ mod tests {
         assert_eq!(r.ipc(), 1.0);
         assert_eq!(r.l1d_miss_rate(), 0.1);
         assert_eq!(r.total_dep_stall_cycles(), 200);
+        assert_eq!(r.total_fused_retired(), 500);
+        assert!((r.block_hit_rate() - 0.5).abs() < 1e-12);
         // 1000 instructions / 0.01 s = 100k inst/s = 0.1 MIPS.
         assert!((r.host_mips() - 0.1).abs() < 1e-9);
         assert_eq!(r.exit_codes(), Some(vec![0, 0]));
@@ -202,5 +228,6 @@ mod tests {
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.host_mips(), 0.0);
         assert_eq!(r.l1d_miss_rate(), 0.0);
+        assert_eq!(r.block_hit_rate(), 0.0);
     }
 }

@@ -179,6 +179,27 @@ pub struct Simulation {
     /// Core-state intervals retained for Chrome-trace export (empty
     /// unless `chrome_trace` is on).
     chrome_states: Vec<StateInterval>,
+    /// Indices of cores currently in [`CoreState::Active`], ascending —
+    /// the execute phase's work list. Maintained incrementally (compacted
+    /// after each step phase, re-inserted on wake) so per-cycle cost
+    /// scales with *running* cores, not configured cores.
+    active_list: Vec<usize>,
+    /// Cores halted so far. Monotone — a halted core never runs again —
+    /// so the end-of-run check is a counter compare, not a scan.
+    halted: usize,
+    /// Reused buffer: snapshot of the active list that the execute
+    /// phase iterates (the live list is compacted afterwards).
+    step_order: Vec<usize>,
+    /// Reused buffer: cores the execute phase deactivated this cycle
+    /// (the exact list the attribution scan needs).
+    deactivated_buf: Vec<usize>,
+    /// Reused buffer: cores this cycle's completion drain woke.
+    woken_buf: Vec<usize>,
+    /// Reused buffer: `(start, end, core, write)` byte intervals for
+    /// the fused window's cross-core disjointness sweep.
+    window_intervals: Vec<(u64, u64, usize, bool)>,
+    /// Reused buffer: the disjointness sweep's open-interval set.
+    window_open: Vec<(u64, usize, bool)>,
 }
 
 impl fmt::Debug for Simulation {
@@ -204,8 +225,12 @@ impl Simulation {
         let mut mem = SparseMemory::new();
         mem.load_program(program);
         let text = DecodedText::from_program(program);
+        // `SimConfig::fusion` is authoritative for the per-core fused
+        // dispatch; mirror it into the core configuration.
+        let mut core_config = config.core;
+        core_config.fusion = config.fusion;
         let cores = (0..config.cores)
-            .map(|i| Core::new(i, program.entry(), &config.core))
+            .map(|i| Core::new(i, program.entry(), &core_config))
             .collect();
         let mut hierarchy = Hierarchy::new(config.hierarchy())
             .map_err(|m| RunError::Config(ConfigError::new(m)))?;
@@ -236,6 +261,13 @@ impl Simulation {
                 config.chrome_trace,
             ),
             chrome_states: Vec::new(),
+            active_list: (0..config.cores).collect(),
+            halted: 0,
+            step_order: Vec::new(),
+            deactivated_buf: Vec::new(),
+            woken_buf: Vec::new(),
+            window_intervals: Vec::new(),
+            window_open: Vec::new(),
             config,
         })
     }
@@ -432,7 +464,7 @@ impl Simulation {
     /// Returns [`RunError`] on core faults or deadlock.
     pub fn step_cycle(&mut self) -> Result<bool, RunError> {
         self.cycle += 1;
-        let cycle = self.cycle;
+        let mut cycle = self.cycle;
 
         // Workload data is populated through `memory_mut` between
         // construction and the first cycle; give the oracle's reference
@@ -454,27 +486,46 @@ impl Simulation {
         //    The oracle's per-retirement memory diff assumes one
         //    retirement per core per cycle, so oracle runs only go
         //    parallel at interleave 1.
-        let use_parallel = self.pool.is_some()
-            && (self.config.interleave == 1 || self.oracle.is_none())
-            && self
-                .cores
-                .iter()
-                .filter(|core| core.state() == CoreState::Active)
-                .count()
-                >= 2;
-        let any_deactivated = if use_parallel {
-            self.step_cores_parallel(cycle)?
+        //
+        //    Before the per-cycle step, the fusion fast path may retire
+        //    a whole multi-cycle window of validated superblock runs at
+        //    once; the window is bounded so every observable event
+        //    (hierarchy completion, telemetry sample, cycle limit)
+        //    still lands on exactly the cycle it would have per-cycle.
+        if let Some(window) = self.try_fused_window(cycle)? {
+            // `window` cycles retired one instruction per active core
+            // per cycle with no stalls, misses or state transitions;
+            // the rest of this function runs once at the window's last
+            // cycle, which per-cycle stepping would reach identically.
+            self.cycle = cycle + u64::from(window) - 1;
+            cycle = self.cycle;
+            self.deactivated_buf.clear();
         } else {
-            self.step_cores_sequential(cycle)?
-        };
+            let use_parallel = self.pool.is_some()
+                && (self.config.interleave == 1 || self.oracle.is_none())
+                && self.active_list.len() >= 2;
+            if use_parallel {
+                self.step_cores_parallel(cycle)?;
+            } else {
+                self.step_cores_sequential(cycle)?;
+            }
+            self.refresh_active_list();
+        }
 
         // Close `active` intervals for cores the execute phase just
         // deactivated (stall attribution runs unconditionally, but a
         // cycle in which every stepped core retired cleanly cannot have
-        // opened an interval, so the per-core scan is skipped).
-        if any_deactivated {
-            self.attr.scan_after_step(&self.cores, cycle);
+        // opened an interval, so the scan is skipped).
+        if !self.deactivated_buf.is_empty() {
+            self.attr
+                .scan_after_step(&self.cores, &self.deactivated_buf, cycle);
         }
+
+        // Self-modifying code: stores into the text segment recorded
+        // during the step phase invalidate the patched predecoded
+        // entries now — the same point in the cycle for every `jobs`
+        // count and for the fallback path, keeping runs bit-identical.
+        self.drain_text_writes();
 
         // 2. Enqueue this cycle's L1 misses into the event model.
         for miss in self.miss_buf.drain(..) {
@@ -504,6 +555,7 @@ impl Simulation {
         //    reaches a still-stalled core is a wake-cause candidate.
         self.hierarchy.advance(cycle, &mut self.completion_buf);
         let drained_any = !self.completion_buf.is_empty();
+        self.woken_buf.clear();
         for completion in self.completion_buf.drain(..) {
             let (core, kind) = decode_tag(completion.tag);
             match kind {
@@ -513,13 +565,28 @@ impl Simulation {
                 MissKind::Ifetch => self.attr.note_completion(core, true, &completion),
                 MissKind::Writeback => {}
             }
-            self.cores[core].complete_fill(completion.line_addr, kind, cycle);
+            if self.cores[core].complete_fill(completion.line_addr, kind, cycle) {
+                self.woken_buf.push(core);
+            }
+        }
+        // Woken cores rejoin the active list at their index position
+        // (ascending order is the deterministic step order).
+        for i in 0..self.woken_buf.len() {
+            let core = self.woken_buf[i];
+            let pos = self
+                .active_list
+                .binary_search(&core)
+                .expect_err("woken core was already on the active list");
+            self.active_list.insert(pos, core);
         }
         // Close stall intervals for cores the drain woke. Only fills
         // wake cores and only `note_completion` queues candidates, so a
-        // drain that serviced nothing has nothing to scan or clear.
+        // drain that serviced nothing has nothing to scan or clear —
+        // but a drain that serviced *anything* must still run the scan
+        // to retire this cycle's wake-cause candidates.
         if drained_any {
-            self.attr.scan_after_drain(&self.cores, cycle);
+            self.attr
+                .scan_after_drain(&self.cores, &self.woken_buf, cycle);
         }
 
         // 4. Trace core-state intervals on transitions (Paraver and/or
@@ -539,19 +606,11 @@ impl Simulation {
             self.flush_epoch_sample(cycle);
         }
 
-        // 6. Progress bookkeeping.
-        let mut all_halted = true;
-        let mut any_active = false;
-        for core in &self.cores {
-            match core.state() {
-                CoreState::Halted(_) => {}
-                CoreState::Active => {
-                    all_halted = false;
-                    any_active = true;
-                }
-                _ => all_halted = false,
-            }
-        }
+        // 6. Progress bookkeeping — counter compares, not core scans:
+        //    `halted` is maintained by `refresh_active_list` (halting
+        //    is monotone) and the active list tracks `Active` exactly.
+        let all_halted = self.halted == self.cores.len();
+        let any_active = !self.active_list.is_empty();
         if all_halted {
             self.attr.finish(&self.cores, cycle);
             if self.trace.is_some() || self.config.chrome_trace {
@@ -587,12 +646,41 @@ impl Simulation {
         Ok(false)
     }
 
+    /// Compacts the active list after an execute phase: cores that
+    /// left `Active` move to `deactivated_buf` (the exact list the
+    /// attribution scan needs) and halting cores bump the monotone
+    /// halted count. O(cores stepped this cycle).
+    fn refresh_active_list(&mut self) {
+        self.deactivated_buf.clear();
+        let mut write = 0;
+        for read in 0..self.active_list.len() {
+            let idx = self.active_list[read];
+            match self.cores[idx].state() {
+                CoreState::Active => {
+                    self.active_list[write] = idx;
+                    write += 1;
+                }
+                CoreState::Halted(_) => {
+                    self.halted += 1;
+                    self.deactivated_buf.push(idx);
+                }
+                CoreState::StalledDep | CoreState::StalledFetch => {
+                    self.deactivated_buf.push(idx);
+                }
+            }
+        }
+        self.active_list.truncate(write);
+    }
+
     /// The sequential execute phase: steps each active core in index
-    /// order directly against shared memory. Returns whether any
-    /// stepped core failed to retire (for the stall-attribution scan).
-    fn step_cores_sequential(&mut self, cycle: u64) -> Result<bool, RunError> {
-        let mut any_deactivated = false;
+    /// order directly against shared memory. The caller refreshes the
+    /// active list afterwards.
+    fn step_cores_sequential(&mut self, cycle: u64) -> Result<(), RunError> {
+        let mut order = std::mem::take(&mut self.step_order);
+        order.clear();
+        order.extend_from_slice(&self.active_list);
         let mut diverged = None;
+        let mut fault = None;
         {
             let Simulation {
                 cores,
@@ -606,15 +694,19 @@ impl Simulation {
             let mem = Arc::get_mut(mem)
                 .expect("no snapshot handles outstanding outside the execute phase");
             let text: &DecodedText = text;
-            'cores: for (idx, core) in cores.iter_mut().enumerate() {
+            'cores: for &idx in &order {
+                let core = &mut cores[idx];
                 for _ in 0..config.interleave {
                     if core.state() != CoreState::Active {
                         break;
                     }
-                    let event = core
-                        .step(mem, text, cycle, miss_buf)
-                        .map_err(|source| RunError::Core { core: idx, source })?;
-                    any_deactivated |= !matches!(event, StepEvent::Retired { .. });
+                    let event = match core.step(mem, text, cycle, miss_buf) {
+                        Ok(event) => event,
+                        Err(source) => {
+                            fault = Some((idx, source));
+                            break 'cores;
+                        }
+                    };
                     if let Some(oracle) = oracle {
                         if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
                             if let Err(divergence) =
@@ -628,11 +720,15 @@ impl Simulation {
                 }
             }
         }
+        self.step_order = order;
+        if let Some((core, source)) = fault {
+            return Err(RunError::Core { core, source });
+        }
         if let Some(mut divergence) = diverged {
             divergence.context = self.cores.iter().map(Core::snapshot).collect();
             return Err(RunError::OracleDivergence(divergence));
         }
-        Ok(any_deactivated)
+        Ok(())
     }
 
     /// The parallel execute phase: clones the active cores into
@@ -644,14 +740,8 @@ impl Simulation {
     /// exactly. Any overlap (or a shard fault) discards the clones —
     /// the real cores and memory are an untouched pre-cycle snapshot —
     /// and re-executes the cycle sequentially.
-    fn step_cores_parallel(&mut self, cycle: u64) -> Result<bool, RunError> {
-        let active: Vec<usize> = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, core)| core.state() == CoreState::Active)
-            .map(|(idx, _)| idx)
-            .collect();
+    fn step_cores_parallel(&mut self, cycle: u64) -> Result<(), RunError> {
+        let active: &[usize] = &self.active_list;
         let pool = self.pool.as_ref().expect("parallel phase requires a pool");
         let shards = (pool.workers() + 1).min(active.len());
         // Contiguous near-equal shards: reassembling shard by shard
@@ -707,12 +797,18 @@ impl Simulation {
             // Fall back: a fault must surface at its sequential
             // position, and overlapping accesses mean the snapshot
             // semantics differ from the sequential interleaving.
+            // Everything the discarded attempt produced lives inside
+            // `stepped` — core clones, buffered stores, events, raised
+            // misses. Nothing reaches shared memory, `miss_buf`, the
+            // hierarchy's request-lifecycle stamps, or the telemetry
+            // sink except through the commit path below, so dropping
+            // here leaves zero residue for the sequential re-run to
+            // double-count.
             drop(stepped);
             self.conflict_fallbacks += 1;
             return self.step_cores_sequential(cycle);
         }
 
-        let mut any_deactivated = false;
         let mut diverged = None;
         {
             let Simulation {
@@ -728,7 +824,6 @@ impl Simulation {
                 let idx = s.idx;
                 cores[idx] = s.core;
                 for event in &s.events {
-                    any_deactivated |= !matches!(event, StepEvent::Retired { .. });
                     if let Some(oracle) = oracle {
                         if matches!(event, StepEvent::Retired { .. } | StepEvent::Halted(_)) {
                             if let Err(divergence) =
@@ -747,7 +842,220 @@ impl Simulation {
             divergence.context = self.cores.iter().map(Core::snapshot).collect();
             return Err(RunError::OracleDivergence(divergence));
         }
-        Ok(any_deactivated)
+        Ok(())
+    }
+
+    /// Attempts to retire a multi-cycle window through the superblock
+    /// fused path. Returns the number of cycles retired (each active
+    /// core retired exactly one instruction per cycle), or `None` when
+    /// the window is not applicable and the per-cycle step must run.
+    ///
+    /// Window soundness: every fused step is a validated guaranteed-hit
+    /// retirement — no misses, no stalls, no state transitions, no
+    /// console output, no new hierarchy events. The window is bounded
+    /// to end at or before the next hierarchy event, the next telemetry
+    /// boundary and the cycle limit, so the once-per-window bookkeeping
+    /// at the window's last cycle observes exactly the state per-cycle
+    /// stepping would have produced there. Windows are disabled under
+    /// the oracle (which checks the canonical per-cycle retirement
+    /// interleaving), tracing and interleave > 1; the per-instruction
+    /// lockstep fused dispatch inside [`Core::step`] still covers those
+    /// modes.
+    fn try_fused_window(&mut self, cycle: u64) -> Result<Option<u32>, RunError> {
+        if !self.config.fusion
+            || self.config.interleave != 1
+            || self.oracle.is_some()
+            || self.trace.is_some()
+            || self.config.chrome_trace
+            || self.active_list.is_empty()
+        {
+            return Ok(None);
+        }
+        let mut bound = self
+            .config
+            .max_cycles
+            .saturating_sub(cycle)
+            .saturating_add(1);
+        if let Some(t) = self.hierarchy.next_event_time() {
+            // Events pending at the start of this cycle are due at
+            // `cycle` or later (earlier ones were popped last cycle),
+            // so the bound is always at least 1.
+            bound = bound.min(t.saturating_sub(cycle) + 1);
+        }
+        if let Some(sink) = &self.telemetry {
+            bound = bound.min(sink.next_due().saturating_sub(cycle) + 1);
+        }
+        let bound = u32::try_from(bound.min(u64::from(u32::MAX))).expect("clamped to u32");
+        if bound == 0 || (bound < 2 && self.active_list.len() > 1) {
+            // A multi-core window shorter than two cycles cannot skip
+            // any bookkeeping: bail before paying the planning cost.
+            return Ok(None);
+        }
+
+        let actives = std::mem::take(&mut self.active_list);
+        let result = self.fused_window_of(cycle, bound, &actives);
+        self.active_list = actives;
+        result
+    }
+
+    /// The window body: single-active-core runs chain across branch
+    /// targets; multi-core windows require every active core to hold a
+    /// validated run and their window-prefix accesses to be disjoint.
+    fn fused_window_of(
+        &mut self,
+        cycle: u64,
+        bound: u32,
+        actives: &[usize],
+    ) -> Result<Option<u32>, RunError> {
+        if actives.is_empty() {
+            return Ok(None);
+        }
+        if let [idx] = *actives {
+            // With every other core halted or stalled, machine state
+            // evolves through this core alone until the next hierarchy
+            // event, so the chain may revalidate across run boundaries.
+            let Simulation {
+                cores, mem, text, ..
+            } = self;
+            let mem = Arc::get_mut(mem)
+                .expect("no snapshot handles outstanding outside the execute phase");
+            let consumed = cores[idx]
+                .step_block_chain(mem, text, cycle, bound)
+                .map_err(|source| RunError::Core { core: idx, source })?;
+            return Ok((consumed > 0).then_some(consumed));
+        }
+        // Chunk-wise lockstep: every active core must hold a validated
+        // run; the chunk is the longest span every core can retire from
+        // its current run. At chunk boundaries exhausted cores re-arm
+        // (validation reads only the core's own registers, private
+        // caches, private fill table and the frozen text — none of
+        // which another core's fused retirement can touch — so mid-
+        // window revalidation sees exactly what per-cycle stepping
+        // would), and the window extends while every core stays armed,
+        // the chunks stay conflict-free and the event bound holds.
+        let mut consumed = 0u32;
+        'window: while consumed < bound {
+            let mut chunk = bound - consumed;
+            for &idx in actives {
+                let left = self.cores[idx].ensure_fused_run(&self.text);
+                if left == 0 {
+                    break 'window;
+                }
+                chunk = chunk.min(left);
+            }
+            if self.window_conflicts(actives, chunk) {
+                break;
+            }
+            let Simulation {
+                cores, mem, text, ..
+            } = self;
+            let mem = Arc::get_mut(mem)
+                .expect("no snapshot handles outstanding outside the execute phase");
+            for &idx in actives {
+                // Core-index order — though any order would do: the
+                // chunk's accesses are pairwise disjoint across cores,
+                // so the per-cycle interleaving and this per-core order
+                // commute.
+                cores[idx]
+                    .step_block(mem, text, cycle + u64::from(consumed), chunk)
+                    .map_err(|source| RunError::Core { core: idx, source })?;
+            }
+            consumed += chunk;
+        }
+        Ok((consumed > 0).then_some(consumed))
+    }
+
+    /// Whether any two cores' validated accesses within the next
+    /// `window` fused positions overlap at byte granularity with at
+    /// least one side writing — the condition under which a multi-core
+    /// window could observably differ from per-cycle interleaving.
+    /// Same sweep as [`par::conflicting`], over pre-validated addresses.
+    fn window_conflicts(&mut self, actives: &[usize], window: u32) -> bool {
+        let intervals = &mut self.window_intervals;
+        intervals.clear();
+        for &idx in actives {
+            let core = &self.cores[idx];
+            let pos = core.fused_pos();
+            for access in core.fused_accesses() {
+                if access.pos >= pos && access.pos < pos + window {
+                    intervals.push((
+                        access.addr,
+                        access.addr + u64::from(access.size),
+                        idx,
+                        access.write,
+                    ));
+                }
+            }
+        }
+        intervals.sort_unstable();
+        let mut open = std::mem::take(&mut self.window_open);
+        open.clear();
+        let mut conflict = false;
+        for &(start, end, core, write) in intervals.iter() {
+            open.retain(|&(o_end, _, _)| o_end > start);
+            if open
+                .iter()
+                .any(|&(_, o_core, o_write)| o_core != core && (o_write || write))
+            {
+                conflict = true;
+                break;
+            }
+            open.push((end, core, write));
+        }
+        self.window_open = open;
+        // The sweep must agree with the pairwise reference checker.
+        debug_assert_eq!(conflict, {
+            let mut pairwise = false;
+            'outer: for (i, &a) in actives.iter().enumerate() {
+                for &b in &actives[i + 1..] {
+                    if coyote_iss::accesses_conflict(
+                        self.cores[a].fused_accesses(),
+                        self.cores[a].fused_pos(),
+                        window,
+                        self.cores[b].fused_accesses(),
+                        self.cores[b].fused_pos(),
+                        window,
+                    ) {
+                        pairwise = true;
+                        break 'outer;
+                    }
+                }
+            }
+            pairwise
+        });
+        conflict
+    }
+
+    /// Drains text-segment stores recorded by the step phase:
+    /// invalidates the patched predecoded entries (in the simulation's
+    /// shared table and the oracle's), and aborts every validated run —
+    /// a patched word may sit inside one.
+    fn drain_text_writes(&mut self) {
+        // Only cores the execute phase stepped can have recorded a
+        // write: the still-active list plus this cycle's deactivations
+        // cover exactly that set (fused windows never store to text).
+        let stepped_wrote = self
+            .active_list
+            .iter()
+            .chain(&self.deactivated_buf)
+            .any(|&idx| self.cores[idx].has_text_writes());
+        if !stepped_wrote {
+            return;
+        }
+        let mut writes: Vec<(u64, u8)> = Vec::new();
+        for core in &mut self.cores {
+            writes.append(&mut core.take_text_writes());
+        }
+        let text = Arc::make_mut(&mut self.text);
+        for &(addr, size) in &writes {
+            text.invalidate(addr, u64::from(size));
+            if let Some(oracle) = &mut self.oracle {
+                oracle.invalidate_text(addr, u64::from(size));
+            }
+        }
+        for core in &mut self.cores {
+            core.abort_fused_run();
+        }
     }
 
     /// Takes one epoch-telemetry sample at `cycle`, if telemetry is on.
@@ -854,6 +1162,7 @@ impl Simulation {
                         _ => None,
                     },
                     console: core.console().to_vec(),
+                    fused_retired: core.fused_retired(),
                 })
                 .collect(),
             hierarchy: self.hierarchy.stats(),

@@ -109,6 +109,84 @@ fn run(src: &str, machine: &Machine, jobs: usize) -> (u64, String, u64) {
     (sim.determinism_digest(), json, sim.conflict_fallbacks())
 }
 
+/// Runs `src` with superblock fusion on or off (no oracle: fused
+/// *windows* are gated off under the oracle, and the point here is
+/// comparing window execution against plain per-instruction stepping),
+/// returning the digest and metrics JSON bytes.
+fn run_fusion(
+    src: &str,
+    machine: &Machine,
+    jobs: usize,
+    fusion: bool,
+    perturb: u64,
+) -> (u64, String) {
+    let program = coyote_asm::assemble(src).expect("assemble");
+    let config = SimConfig::builder()
+        .cores(machine.cores)
+        .sharing(machine.sharing)
+        .fusion(fusion)
+        .perturb_seed(perturb)
+        .telemetry(true)
+        .metrics_interval(64)
+        .jobs(jobs)
+        .build()
+        .expect("valid config");
+    let mut sim = Simulation::new(config, &program).expect("create sim");
+    let mut report = sim.run().expect("run completes");
+    report.wall_time = Duration::ZERO;
+    let json = coyote::metrics_json(&sim, &report).to_string_pretty();
+    (sim.determinism_digest(), json)
+}
+
+/// Drops the translation-coverage counters (`fused_retired`,
+/// `block_hit_rate`) and the `fusion` config echo from pretty-printed
+/// metrics JSON: they report how much work took the fused path (and
+/// whether it was enabled), so they legitimately differ between fusion
+/// on and off while every model-output field must not.
+fn strip_coverage_counters(json: &str) -> String {
+    let stripped: Vec<&str> = json
+        .lines()
+        .filter(|l| {
+            !l.contains("fused_retired")
+                && !l.contains("block_hit_rate")
+                && !l.contains("\"fusion\"")
+        })
+        .collect();
+    assert!(
+        stripped.len() < json.lines().count(),
+        "coverage counters missing from metrics JSON — schema drifted"
+    );
+    stripped.join("\n")
+}
+
+/// Deterministic regression twin of the contended proptest below: a
+/// fixed machine whose harts all hammer one dword must take the
+/// conflict-fallback path and still emit byte-identical metrics JSON
+/// for `jobs = 1` vs `jobs = 4` — any request-lifecycle stamp or
+/// histogram record surviving from a discarded shard attempt would
+/// surface here as a JSON diff. Fusion stays on (the default), so
+/// discarded shards, superblock windows, and the telemetry sink all
+/// compose in one run.
+#[test]
+fn conflict_fallbacks_leave_no_telemetry_residue() {
+    let machine = Machine {
+        cores: 4,
+        sharing: L2Sharing::Shared,
+        iterations: 24,
+        stride: 8,
+    };
+    let src = contended_kernel(24);
+    let (seq_digest, seq_json, seq_fallbacks) = run(&src, &machine, 1);
+    assert_eq!(seq_fallbacks, 0, "jobs=1 never runs the parallel phase");
+    let (par_digest, par_json, fallbacks) = run(&src, &machine, 4);
+    assert!(
+        fallbacks > 0,
+        "every hart hammers one dword; the conflict detector must fire"
+    );
+    assert_eq!(par_digest, seq_digest, "fallback changed the digest");
+    assert_eq!(par_json, seq_json, "fallback left telemetry residue");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -120,6 +198,43 @@ proptest! {
         let (par_digest, par_json, _) = run(&src, &machine, 4);
         prop_assert_eq!(par_digest, seq_digest, "determinism digest diverged");
         prop_assert_eq!(par_json, seq_json, "metrics JSON diverged");
+    }
+
+    #[test]
+    fn fused_blocks_match_per_instruction_stepping(
+        machine in machine_strategy(),
+        contended in any::<bool>(),
+        perturb in prop_oneof![Just(0u64), 1u64..u64::MAX],
+    ) {
+        // Reference: fusion off, sequential, canonical schedule — the
+        // plain per-instruction interleaving everything must equal.
+        let src = if contended {
+            contended_kernel(machine.iterations)
+        } else {
+            partitioned_kernel(&machine)
+        };
+        let (ref_digest, ref_json) = run_fusion(&src, &machine, 1, false, 0);
+        let ref_scrubbed = strip_coverage_counters(&ref_json);
+        let mut fused_jsons = Vec::new();
+        for jobs in [1usize, 4] {
+            let (digest, json) = run_fusion(&src, &machine, jobs, true, perturb);
+            prop_assert_eq!(
+                digest, ref_digest,
+                "fused run diverged from per-instruction stepping (jobs={})", jobs
+            );
+            prop_assert_eq!(
+                strip_coverage_counters(&json), ref_scrubbed.clone(),
+                "fused metrics JSON diverged (jobs={})", jobs
+            );
+            fused_jsons.push(json);
+        }
+        // Within the fused configuration the JSON must be identical to
+        // the last byte — including the coverage counters: translation
+        // coverage is deterministic, not schedule-dependent.
+        prop_assert_eq!(
+            &fused_jsons[0], &fused_jsons[1],
+            "fused coverage depends on the job count"
+        );
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Regression: stores into the text segment must invalidate the
+//! predecoded `DecodedText` entries (and abort any fused superblock
+//! run containing them). The table is built once at load; before the
+//! invalidation hook a self-patching kernel silently kept executing
+//! the stale micro-op. The kernel below runs a hot loop (fusable:
+//! straight-line, cache-resident), patches the loop body's `addi`
+//! in place, and re-runs it — the exit code proves which semantics
+//! executed.
+
+use coyote::{SimConfig, Simulation};
+
+/// Ten iterations of `addi a0, a0, 1`, then the word is patched to
+/// `addi a0, a0, 2` (0x0025_0513) and the loop runs ten more times:
+/// a0 = 10 * 1 + 10 * 2 = 30 iff the patch takes effect.
+const SELF_PATCHING: &str = "
+    .text
+    _start:
+        li s1, 2            # phases remaining
+        li a0, 0
+    restart:
+        li s0, 10           # iterations per phase
+    patchme:
+        addi a0, a0, 1      # patched to `addi a0, a0, 2` for phase 2
+        addi s0, s0, -1
+        bnez s0, patchme
+        addi s1, s1, -1
+        beqz s1, done
+        la t0, patchme
+        li t1, 0x00250513   # addi a0, a0, 2
+        sw t1, 0(t0)
+        j restart
+    done:
+        li a7, 93
+        ecall";
+
+fn run(oracle: bool, fusion: bool) -> (Vec<i64>, u64, f64) {
+    let program = coyote_asm::assemble(SELF_PATCHING).expect("assemble");
+    let config = SimConfig::builder()
+        .cores(1)
+        .oracle(oracle)
+        .fusion(fusion)
+        .build()
+        .expect("valid config");
+    let mut sim = Simulation::new(config, &program).expect("create sim");
+    let report = sim.run().expect("run completes");
+    (
+        report.exit_codes().expect("all harts exited"),
+        sim.determinism_digest(),
+        report.block_hit_rate(),
+    )
+}
+
+#[test]
+fn patched_instruction_reexecutes_with_new_semantics_under_oracle() {
+    // The oracle steps a functional twin in lockstep; a stale decode
+    // on either side diverges and fails the run outright.
+    let (exits, _, _) = run(true, true);
+    assert_eq!(exits, vec![30], "patched addi must add 2 in phase 2");
+}
+
+#[test]
+fn fused_runs_see_the_patch_and_match_per_instruction_stepping() {
+    // Fusion on: the hot loop retires through validated superblock
+    // runs, so the store must bump the text generation, abort the
+    // armed run, and force re-validation over the patched slot.
+    let (fused_exits, fused_digest, hit) = run(false, true);
+    assert_eq!(fused_exits, vec![30]);
+    assert!(
+        hit > 0.0,
+        "the hot loop must actually exercise the fused path"
+    );
+    // Fusion off: the reference per-instruction schedule.
+    let (plain_exits, plain_digest, plain_hit) = run(false, false);
+    assert_eq!(plain_exits, vec![30]);
+    assert_eq!(plain_hit, 0.0, "fusion off must not fuse");
+    assert_eq!(
+        fused_digest, plain_digest,
+        "fused execution diverged from per-instruction stepping"
+    );
+}

@@ -32,6 +32,7 @@ pub mod encode;
 pub mod inst;
 pub mod predecode;
 pub mod reg;
+pub mod superblock;
 pub mod vtype;
 
 pub use csr::Csr;
@@ -40,4 +41,5 @@ pub use encode::{encode, EncodeError};
 pub use inst::Inst;
 pub use predecode::{predecode, DecodedInst, RegSet};
 pub use reg::{FReg, VReg, XReg};
+pub use superblock::{build_plans, BlockSummary, FuseClass, FusePlan, MemPlan};
 pub use vtype::{Lmul, Sew, VType};

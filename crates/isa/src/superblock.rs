@@ -1,0 +1,344 @@
+//! Superblock fuse plans: static classification of predecoded text
+//! for fused multi-instruction retirement.
+//!
+//! The per-cycle stepper ([`crate::predecode`]) pays a fixed dispatch
+//! cost per instruction: hazard check, access probing, miss-path
+//! branches, oracle hooks. For straight-line scalar code whose lines
+//! are resident and whose registers are clear, none of those branches
+//! can fire — so the timing layer can *validate once* and then retire
+//! the whole run through a stripped-down fast path that is exact by
+//! construction.
+//!
+//! This module is the static half of that engine. [`build_plans`]
+//! walks a predecoded text segment backwards and computes, per
+//! instruction slot:
+//!
+//! * a [`FuseClass`]: is the instruction eligible inside a fused run,
+//!   only as a run *terminator* (control flow ends the straight-line
+//!   block), or excluded entirely (traps, fences, CSRs, AMOs, vector
+//!   ops whose register groups depend on live `LMUL`, predecode
+//!   holes)?
+//! * a [`MemPlan`] for scalar memory ops: the base register and
+//!   offset needed to recompute the access address at validation time
+//!   without executing the instruction;
+//! * `run_len`: the length of the longest fusable run starting here
+//!   (ending at, and including, a terminator).
+//!
+//! The dynamic half lives in the timing layer
+//! (`crates/iss/src/superblock.rs`): it walks a plan at run time,
+//! checks cache residency / scoreboard state / in-flight lines, and
+//! only then arms the fused path. [`BlockSummary`] aggregates a run's
+//! register footprint for diagnostics and tests.
+
+use crate::inst::Inst;
+use crate::predecode::{DecodedInst, RegSet};
+use crate::reg::XReg;
+
+/// Static plan for one scalar memory access inside a fusable run.
+///
+/// The fused path must know each access's address *before* executing
+/// the run (to prove L1 residency and the absence of text-segment
+/// stores). Scalar RISC-V memory ops compute `x[base] + offset`, so
+/// the plan carries exactly those two ingredients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPlan {
+    /// Base address register.
+    pub base: XReg,
+    /// Sign-extended byte offset.
+    pub offset: i32,
+    /// Access size in bytes.
+    pub size: u8,
+    /// `true` for stores.
+    pub write: bool,
+}
+
+/// How an instruction may participate in a fused run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseClass {
+    /// Plain scalar compute: fusable anywhere in a run.
+    Plain,
+    /// Scalar memory op: fusable when its [`MemPlan`] address is a
+    /// guaranteed L1 hit on a line with no fill in flight.
+    Mem(MemPlan),
+    /// Control flow (branch/jal/jalr): fusable only as the final
+    /// instruction of a run — the run ends at the redirect.
+    Terminator,
+    /// Never fused: traps, fences, CSR ops, AMOs, vector instructions
+    /// (their register groups depend on live `LMUL`), and predecode
+    /// holes. Always handled by the per-instruction path.
+    Excluded,
+}
+
+/// The per-slot fuse plan for one predecoded instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct FusePlan {
+    /// Eligibility class.
+    pub class: FuseClass,
+    /// Length of the longest fusable run starting at this slot
+    /// (including a trailing [`FuseClass::Terminator`]); 0 when the
+    /// slot itself is [`FuseClass::Excluded`].
+    pub run_len: u32,
+}
+
+impl FusePlan {
+    /// The plan for an excluded (or invalidated) slot.
+    #[must_use]
+    pub fn excluded() -> FusePlan {
+        FusePlan {
+            class: FuseClass::Excluded,
+            run_len: 0,
+        }
+    }
+}
+
+/// Classifies one micro-op for fusion. `None` entries (predecode
+/// holes) are excluded.
+#[must_use]
+pub fn classify(slot: Option<&DecodedInst>) -> FuseClass {
+    let Some(entry) = slot else {
+        return FuseClass::Excluded;
+    };
+    if entry.lmul_sensitive || entry.vector {
+        return FuseClass::Excluded;
+    }
+    match entry.inst {
+        Inst::Lui { .. }
+        | Inst::Auipc { .. }
+        | Inst::OpImm { .. }
+        | Inst::Op { .. }
+        | Inst::OpImm32 { .. }
+        | Inst::Op32 { .. }
+        | Inst::FpOp { .. }
+        | Inst::FpFma { .. }
+        | Inst::FpCmp { .. }
+        | Inst::FpCvt { .. }
+        | Inst::FmvXD { .. }
+        | Inst::FmvDX { .. } => FuseClass::Plain,
+        Inst::Load {
+            width, rs1, offset, ..
+        } => FuseClass::Mem(MemPlan {
+            base: rs1,
+            offset,
+            size: width.bytes() as u8,
+            write: false,
+        }),
+        Inst::Store {
+            width, rs1, offset, ..
+        } => FuseClass::Mem(MemPlan {
+            base: rs1,
+            offset,
+            size: width.bytes() as u8,
+            write: true,
+        }),
+        Inst::Fld { rs1, offset, .. } => FuseClass::Mem(MemPlan {
+            base: rs1,
+            offset,
+            size: 8,
+            write: false,
+        }),
+        Inst::Fsd { rs1, offset, .. } => FuseClass::Mem(MemPlan {
+            base: rs1,
+            offset,
+            size: 8,
+            write: true,
+        }),
+        Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => FuseClass::Terminator,
+        // Ecall/Ebreak (traps), Fence, Csr (side effects / counters),
+        // Amo (read-modify-write ordering), and everything vector.
+        _ => FuseClass::Excluded,
+    }
+}
+
+/// Builds the per-slot fuse-plan table for a predecoded text segment.
+///
+/// One backwards pass: a plain/mem slot's run extends its successor's
+/// run; a terminator contributes a run of exactly itself; an excluded
+/// slot resets the chain.
+#[must_use]
+pub fn build_plans(insts: &[Option<DecodedInst>]) -> Vec<FusePlan> {
+    let mut plans = vec![FusePlan::excluded(); insts.len()];
+    for idx in (0..insts.len()).rev() {
+        let class = classify(insts[idx].as_ref());
+        let run_len = match class {
+            FuseClass::Excluded => 0,
+            FuseClass::Terminator => 1,
+            FuseClass::Plain | FuseClass::Mem(_) => {
+                1 + plans.get(idx + 1).map_or(0, |next| next.run_len)
+            }
+        };
+        plans[idx] = FusePlan { class, run_len };
+    }
+    plans
+}
+
+/// Recomputes `run_len` for the slots whose chains flow through
+/// `[first, last]` after those slots' classes changed (text-segment
+/// invalidation). Walks backwards from `last` until a slot's run
+/// length stops changing — chains upstream of that point are
+/// unaffected.
+pub fn rebuild_runs(plans: &mut [FusePlan], first: usize, last: usize) {
+    let last = last.min(plans.len().saturating_sub(1));
+    if plans.is_empty() || first >= plans.len() {
+        return;
+    }
+    let mut idx = last;
+    loop {
+        let run_len = match plans[idx].class {
+            FuseClass::Excluded => 0,
+            FuseClass::Terminator => 1,
+            FuseClass::Plain | FuseClass::Mem(_) => {
+                1 + plans.get(idx + 1).map_or(0, |next| next.run_len)
+            }
+        };
+        let changed = plans[idx].run_len != run_len;
+        plans[idx].run_len = run_len;
+        if idx == 0 || (!changed && idx < first) {
+            break;
+        }
+        idx -= 1;
+    }
+}
+
+/// Aggregate register/memory footprint of one fusable run — the
+/// "superblock summary" used by diagnostics and the property tests
+/// (the dynamic validator works per instruction and does not need the
+/// union sets).
+#[derive(Debug, Clone, Default)]
+pub struct BlockSummary {
+    /// Union of registers read anywhere in the run.
+    pub reads: RegSet,
+    /// Union of registers written anywhere in the run.
+    pub writes: RegSet,
+    /// Static memory-access descriptors, in program order.
+    pub mem: Vec<MemPlan>,
+    /// Number of instructions in the run.
+    pub len: u32,
+    /// Minimum cycles to retire the run (one per instruction on this
+    /// single-issue model).
+    pub min_cycles: u32,
+    /// Whether the run ends in a control-flow terminator (a proper
+    /// basic block) rather than at an uncertain boundary.
+    pub terminated: bool,
+}
+
+/// Summarizes the fusable run starting at `start` (bounded by that
+/// slot's `run_len`). Returns an empty summary when the slot is
+/// excluded.
+#[must_use]
+pub fn summarize(insts: &[Option<DecodedInst>], plans: &[FusePlan], start: usize) -> BlockSummary {
+    let mut summary = BlockSummary::default();
+    let Some(plan) = plans.get(start) else {
+        return summary;
+    };
+    let len = plan.run_len as usize;
+    for idx in start..(start + len).min(insts.len()) {
+        let Some(entry) = insts[idx].as_ref() else {
+            break;
+        };
+        summary.reads.insert_all(&entry.uses);
+        summary.writes.insert_all(&entry.defs);
+        match plans[idx].class {
+            FuseClass::Mem(mem_plan) => summary.mem.push(mem_plan),
+            FuseClass::Terminator => summary.terminated = true,
+            FuseClass::Plain | FuseClass::Excluded => {}
+        }
+        summary.len += 1;
+    }
+    summary.min_cycles = summary.len;
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(words: &[u32]) -> Vec<Option<DecodedInst>> {
+        crate::predecode::predecode(words)
+    }
+
+    const ADDI_RA_1: u32 = 0x0010_0093; // addi ra, zero, 1
+    const LD_T1_T0: u32 = 0x0002_b303; // ld t1, 0(t0)
+    const SD_T1_T0: u32 = 0x0062_b023; // sd t1, 0(t0)
+    const BEQ_BACK: u32 = 0xfe00_0ee3; // beq zero, zero, -4
+    const ECALL: u32 = 0x0000_0073;
+    const HOLE: u32 = 0xffff_ffff;
+
+    #[test]
+    fn classify_covers_the_eligibility_classes() {
+        let t = table(&[ADDI_RA_1, LD_T1_T0, SD_T1_T0, BEQ_BACK, ECALL, HOLE]);
+        assert_eq!(classify(t[0].as_ref()), FuseClass::Plain);
+        match classify(t[1].as_ref()) {
+            FuseClass::Mem(plan) => {
+                assert!(!plan.write);
+                assert_eq!(plan.size, 8);
+                assert_eq!(plan.offset, 0);
+            }
+            other => panic!("ld classified {other:?}"),
+        }
+        match classify(t[2].as_ref()) {
+            FuseClass::Mem(plan) => assert!(plan.write),
+            other => panic!("sd classified {other:?}"),
+        }
+        assert_eq!(classify(t[3].as_ref()), FuseClass::Terminator);
+        assert_eq!(classify(t[4].as_ref()), FuseClass::Excluded);
+        assert_eq!(classify(t[5].as_ref()), FuseClass::Excluded);
+    }
+
+    #[test]
+    fn run_lengths_chain_up_to_terminators_and_break_at_excluded() {
+        let t = table(&[ADDI_RA_1, LD_T1_T0, BEQ_BACK, ADDI_RA_1, ECALL, ADDI_RA_1]);
+        let plans = build_plans(&t);
+        assert_eq!(
+            plans.iter().map(|p| p.run_len).collect::<Vec<_>>(),
+            vec![3, 2, 1, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn vector_and_csr_instructions_are_excluded() {
+        let vsetvli = DecodedInst::from_inst(Inst::Vsetvli {
+            rd: XReg::new(10).expect("a0"),
+            rs1: XReg::new(11).expect("a1"),
+            vtype: crate::vtype::VType::default(),
+        });
+        assert_eq!(classify(Some(&vsetvli)), FuseClass::Excluded);
+        let csrr = DecodedInst::from_inst(Inst::Csr {
+            op: crate::inst::CsrOp::Rw,
+            rd: XReg::new(10).expect("a0"),
+            csr: crate::csr::Csr::MHARTID,
+            src: crate::inst::CsrSrc::Imm(0),
+        });
+        assert_eq!(classify(Some(&csrr)), FuseClass::Excluded);
+    }
+
+    #[test]
+    fn rebuild_after_invalidation_shortens_upstream_runs() {
+        let mut t = table(&[ADDI_RA_1, ADDI_RA_1, ADDI_RA_1, BEQ_BACK]);
+        let mut plans = build_plans(&t);
+        assert_eq!(plans[0].run_len, 4);
+        // Patch slot 2 into a hole (self-modifying store landed there).
+        t[2] = None;
+        plans[2] = FusePlan::excluded();
+        rebuild_runs(&mut plans, 2, 2);
+        assert_eq!(
+            plans.iter().map(|p| p.run_len).collect::<Vec<_>>(),
+            vec![2, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn summary_collects_footprint_and_termination() {
+        let t = table(&[LD_T1_T0, ADDI_RA_1, BEQ_BACK]);
+        let plans = build_plans(&t);
+        let summary = summarize(&t, &plans, 0);
+        assert_eq!(summary.len, 3);
+        assert_eq!(summary.min_cycles, 3);
+        assert!(summary.terminated);
+        assert_eq!(summary.mem.len(), 1);
+        assert!(summary.reads.x & (1 << 5) != 0, "reads t0");
+        assert!(summary.writes.x & (1 << 6) != 0, "writes t1");
+        // Excluded start yields an empty summary.
+        let empty = summarize(&t, &plans, 99);
+        assert_eq!(empty.len, 0);
+    }
+}

@@ -140,6 +140,12 @@ pub struct Cache {
     line_shift: u32,
     counter: u64,
     stats: CacheStats,
+    /// Residency generation: bumped whenever the resident-line set
+    /// changes (miss installs, flushes). Hits never bump it, so
+    /// `generation()` staying equal proves every previously-resident
+    /// line is still resident — the superblock engine uses this to
+    /// reuse residency facts across run re-validations.
+    gen: u64,
     /// Memo of the most recently touched line `(tag, index into
     /// `lines`)`: sequential code re-probes the same line many times in
     /// a row, and the memo answers those hits without the associative
@@ -167,6 +173,7 @@ impl Cache {
             line_shift: config.line_bytes.trailing_zeros(),
             counter: 0,
             stats: CacheStats::default(),
+            gen: 0,
             last: None,
         }
     }
@@ -228,6 +235,7 @@ impl Cache {
         }
 
         self.stats.misses += 1;
+        self.gen += 1;
         // Choose victim: an invalid way, else the least recently used.
         let (way, victim) = set_lines
             .iter_mut()
@@ -251,11 +259,84 @@ impl Cache {
         }
     }
 
+    /// The residency generation (see the field doc). Equal generations
+    /// bracket a span in which no line was installed or evicted.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Flat index of `addr`'s resident line, if resident (no LRU
+    /// update, no stats) — the superblock validation probe. The index
+    /// stays valid while the line stays resident: hits never relocate
+    /// lines, and a resident line is only displaced by an eviction
+    /// (which [`Cache::generation`] / the pre-validated run contract
+    /// exclude).
+    #[must_use]
+    pub fn probe_way(&self, addr: u64) -> Option<u32> {
+        let tag = addr >> self.line_shift;
+        if let Some((last_tag, last_idx)) = self.last {
+            if last_tag == tag {
+                return Some(last_idx);
+            }
+        }
+        let set = (tag & self.set_mask) as usize;
+        let ways = self.config.ways as usize;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|way| (set * ways + way) as u32)
+    }
+
+    /// Replays a guaranteed hit on the resident line at flat index
+    /// `idx` (obtained from [`Cache::probe_way`]): counter, LRU, stats
+    /// and dirty evolution identical to [`Cache::access`] hitting that
+    /// line, without the associative scan.
+    pub fn touch(&mut self, idx: u32, write: bool) {
+        self.counter += 1;
+        let line = &mut self.lines[idx as usize];
+        line.lru = self.counter;
+        line.dirty |= write;
+        self.stats.hits += 1;
+        self.last = Some((line.tag, idx));
+    }
+
+    /// Replays `count` straight-line guaranteed-hit fetches at
+    /// `start, start + 4, …`, batched per line: identical counter, LRU,
+    /// stats and memo evolution to `count` individual hitting
+    /// [`Cache::access`]`(pc, false)` calls (only the final LRU stamp
+    /// per line is observable), without the per-access probe. Every
+    /// touched line must be resident — the superblock validation
+    /// contract.
+    pub fn touch_run(&mut self, start: u64, count: u32) {
+        let line_bytes = 1u64 << self.line_shift;
+        let mut pc = start;
+        let mut left = u64::from(count);
+        while left > 0 {
+            let line = self.line_addr(pc);
+            let in_line = ((line + line_bytes - pc) / 4).min(left);
+            let idx = self.probe_way(pc).expect("validated run line resident");
+            self.counter += in_line;
+            let l = &mut self.lines[idx as usize];
+            l.lru = self.counter;
+            self.stats.hits += in_line;
+            self.last = Some((l.tag, idx));
+            pc += in_line * 4;
+            left -= in_line;
+        }
+    }
+
     /// Whether `addr`'s line is currently resident (no LRU update, no
-    /// stats) — used by tests and invariant checks.
+    /// stats) — the superblock validation probe.
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
         let tag = addr >> self.line_shift;
+        // The memo always names a resident line (see `last`).
+        if let Some((last_tag, _)) = self.last {
+            if last_tag == tag {
+                return true;
+            }
+        }
         let set = (tag & self.set_mask) as usize;
         let ways = self.config.ways as usize;
         self.lines[set * ways..(set + 1) * ways]
@@ -268,6 +349,7 @@ impl Cache {
         for line in &mut self.lines {
             *line = Line::default();
         }
+        self.gen += 1;
         self.last = None;
     }
 }

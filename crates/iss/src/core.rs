@@ -14,6 +14,7 @@
 use std::fmt;
 
 use coyote_asm::Program;
+use coyote_isa::superblock::{build_plans, rebuild_runs, FuseClass, FusePlan, MemPlan};
 use coyote_isa::{DecodedInst, Inst, XReg};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
@@ -21,6 +22,7 @@ use crate::exec::{defs, execute, uses, Ecall, ExecError, MemAccess, RegSet};
 use crate::hart::{Hart, DEFAULT_VLEN_BITS};
 use crate::mem::{AddrMap, MemoryIo};
 use crate::scoreboard::{dest_set, Scoreboard};
+use crate::superblock::{validate_run, FusedAccess, ValidateCtx, MAX_RUN};
 
 /// Configuration of one core.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +33,10 @@ pub struct CoreConfig {
     pub l1d: CacheConfig,
     /// Vector register length in bits.
     pub vlen_bits: u64,
+    /// Whether [`Core::step`] may retire validated superblock runs
+    /// through the fused dispatch. A host-speed knob: observable
+    /// behaviour is bit-identical either way.
+    pub fusion: bool,
 }
 
 impl Default for CoreConfig {
@@ -39,6 +45,7 @@ impl Default for CoreConfig {
             l1i: CacheConfig::default_l1i(),
             l1d: CacheConfig::default_l1d(),
             vlen_bits: DEFAULT_VLEN_BITS,
+            fusion: true,
         }
     }
 }
@@ -165,16 +172,35 @@ impl std::error::Error for SimError {
 pub struct DecodedText {
     base: u64,
     insts: Vec<Option<DecodedInst>>,
+    /// Per-slot superblock fuse plans (same indexing as `insts`).
+    plans: Vec<FusePlan>,
+    /// Invalidation generation: bumped exactly when `invalidate`
+    /// patches slots, so facts derived from the static tables (per-core
+    /// run templates) self-expire when the text changes.
+    gen: u64,
 }
 
 impl DecodedText {
-    /// Pre-decodes a program's text section.
+    /// Pre-decodes a program's text section and builds its superblock
+    /// fuse plans.
     #[must_use]
     pub fn from_program(program: &Program) -> DecodedText {
+        let insts = coyote_isa::predecode(program.text());
+        let plans = build_plans(&insts);
         DecodedText {
             base: program.text_base(),
-            insts: coyote_isa::predecode(program.text()),
+            insts,
+            plans,
+            gen: 0,
         }
+    }
+
+    /// The invalidation generation: changes exactly when predecoded
+    /// slots are patched, so anything derived from the static tables is
+    /// reusable while the generation holds still.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// The decoded instruction at `pc`, if it lies in the text section
@@ -188,11 +214,64 @@ impl DecodedText {
     /// and decodes. The hot-path lookup: one bounds check + one index.
     #[must_use]
     pub fn entry(&self, pc: u64) -> Option<&DecodedInst> {
+        self.index_of(pc).and_then(|idx| self.insts[idx].as_ref())
+    }
+
+    /// The table index of `pc`, if it lies in the text section.
+    #[must_use]
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
         if pc < self.base || !pc.is_multiple_of(4) {
             return None;
         }
         let idx = ((pc - self.base) / 4) as usize;
-        self.insts.get(idx).and_then(|slot| slot.as_ref())
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// The micro-op at table index `idx` (bounds-checked).
+    #[must_use]
+    pub fn slot(&self, idx: usize) -> Option<&DecodedInst> {
+        self.insts.get(idx).and_then(Option::as_ref)
+    }
+
+    /// The fuse plan at table index `idx`; out-of-range indices read
+    /// as excluded.
+    #[must_use]
+    pub fn plan(&self, idx: usize) -> FusePlan {
+        self.plans
+            .get(idx)
+            .copied()
+            .unwrap_or_else(FusePlan::excluded)
+    }
+
+    /// Whether the byte range `[addr, addr + len)` intersects the text
+    /// segment. Stores matching this must invalidate the predecoded
+    /// entries they patch (see [`DecodedText::invalidate`]).
+    #[must_use]
+    pub fn overlaps(&self, addr: u64, len: u64) -> bool {
+        let end = self.base + self.insts.len() as u64 * 4;
+        addr < end && addr.saturating_add(len) > self.base
+    }
+
+    /// Invalidates every predecoded entry the byte range
+    /// `[addr, addr + len)` touches: the slots become holes (so the
+    /// stepper falls back to fetching and decoding the patched words
+    /// from memory) and upstream superblock runs are shortened to stop
+    /// before them.
+    pub fn invalidate(&mut self, addr: u64, len: u64) {
+        if !self.overlaps(addr, len) || len == 0 {
+            return;
+        }
+        self.gen += 1;
+        let end = self.base + self.insts.len() as u64 * 4;
+        let lo = addr.max(self.base);
+        let hi = addr.saturating_add(len).min(end);
+        let first = ((lo - self.base) / 4) as usize;
+        let last = ((hi - 1 - self.base) / 4) as usize;
+        for idx in first..=last {
+            self.insts[idx] = None;
+            self.plans[idx] = FusePlan::excluded();
+        }
+        rebuild_runs(&mut self.plans, first, last);
     }
 }
 
@@ -231,6 +310,57 @@ impl fmt::Display for CoreSnapshot {
     }
 }
 
+/// Cached static structure of a superblock run, keyed by `(pc, text
+/// generation)`.
+///
+/// The hot runs are short loop bodies (the matmul inner loop validates
+/// a ~5-instruction run on every iteration), so the full
+/// [`validate_run`] walk — slot loads, plan loads, register-set
+/// algebra — re-runs every few retirements and dominates fused-path
+/// cost. The template caches everything about the run that cannot
+/// change while the text generation holds still (decoded-slot
+/// coverage, `run_len`/[`MAX_RUN`] clamping, base-written-earlier
+/// truncation, the memory-op list), leaving only the dynamic facts —
+/// I/D-line residency, in-flight lines, access addresses — to recheck
+/// at arm time. Arming from a template reproduces the full
+/// validation's result bit-for-bit whenever its guards pass (same
+/// text generation, idle scoreboard); in every other case the full
+/// walk runs exactly as before, so observable behaviour is identical.
+#[derive(Debug, Clone)]
+struct RunTemplate {
+    /// Run start PC (`u64::MAX` = nothing cached).
+    pc: u64,
+    /// Text generation the static walk ran against.
+    text_gen: u64,
+    /// Static run length: `run_len` clamped by [`MAX_RUN`], slot holes
+    /// and base-written-earlier truncation.
+    len: u32,
+    /// Memory ops at positions `< len`, ascending by position.
+    ops: Vec<(u32, MemPlan)>,
+    /// Whether `icache_len` is current for `icache_gen`.
+    icache_valid: bool,
+    /// I-cache residency generation `icache_len` was computed at
+    /// (equal generations prove an identical resident-line set).
+    icache_gen: u64,
+    /// Length of the prefix whose I-lines were resident at
+    /// `icache_gen`.
+    icache_len: u32,
+}
+
+impl RunTemplate {
+    fn empty() -> RunTemplate {
+        RunTemplate {
+            pc: u64::MAX,
+            text_gen: 0,
+            len: 0,
+            ops: Vec::new(),
+            icache_valid: false,
+            icache_gen: 0,
+            icache_len: 0,
+        }
+    }
+}
+
 /// One simulated core.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -255,6 +385,34 @@ pub struct Core {
     /// serviced data fill "delivers" into the wrong register,
     /// corrupting this register's architectural value.
     corrupt_fill: Option<XReg>,
+    /// Whether the fused dispatch is enabled ([`CoreConfig::fusion`]).
+    fusion: bool,
+    /// Length of the currently validated superblock run (0 = none).
+    fused_len: u32,
+    /// Instructions remaining in the validated run; while non-zero,
+    /// [`Core::step`] dispatches through the fused fast path.
+    fused_left: u32,
+    /// Pre-computed memory accesses of the validated run.
+    fused_accesses: Vec<FusedAccess>,
+    /// Index into `fused_accesses` of the next access to retire (the
+    /// run's accesses retire strictly in order).
+    fused_cursor: usize,
+    /// Cached static structure of the most recent hot run (see
+    /// [`RunTemplate`]).
+    template: RunTemplate,
+    /// PC of the last successful full validation; a template is only
+    /// built when the same PC validates twice in a row, so one-shot
+    /// cold blocks never pay template construction.
+    last_validated_pc: u64,
+    /// Instructions retired through the fused path. A host-diagnostic
+    /// counter like `conflict_fallbacks`: deliberately outside
+    /// [`CoreStats`] so the determinism digest cannot vary with the
+    /// fusion knob, while metrics still export it (`block_hit_rate`).
+    fused_retired: u64,
+    /// Stores this core made into the text segment this cycle; the
+    /// orchestrator drains them into [`DecodedText::invalidate`] at
+    /// end of cycle.
+    text_writes: Vec<(u64, u8)>,
 }
 
 impl Core {
@@ -281,6 +439,15 @@ impl Core {
             console: Vec::new(),
             access_buf: Vec::new(),
             corrupt_fill: None,
+            fusion: config.fusion,
+            fused_len: 0,
+            fused_left: 0,
+            fused_accesses: Vec::new(),
+            fused_cursor: 0,
+            template: RunTemplate::empty(),
+            last_validated_pc: u64::MAX,
+            fused_retired: 0,
+            text_writes: Vec::new(),
         }
     }
 
@@ -378,6 +545,380 @@ impl Core {
     /// be shown to catch exactly this class of timing-model bug.
     pub fn inject_fill_corruption(&mut self, reg: XReg) {
         self.corrupt_fill = Some(reg);
+        // A corrupted register would invalidate the pre-computed
+        // access addresses of a validated run.
+        self.fused_left = 0;
+    }
+
+    /// Instructions retired through the fused superblock path.
+    #[must_use]
+    pub fn fused_retired(&self) -> u64 {
+        self.fused_retired
+    }
+
+    /// Instructions remaining in the currently validated run.
+    #[must_use]
+    pub fn fused_left(&self) -> u32 {
+        self.fused_left
+    }
+
+    /// Position of the next instruction within the validated run.
+    #[must_use]
+    pub fn fused_pos(&self) -> u32 {
+        self.fused_len - self.fused_left
+    }
+
+    /// Pre-computed memory accesses of the validated run (positions
+    /// are run-relative; compare against [`Core::fused_pos`]).
+    #[must_use]
+    pub fn fused_accesses(&self) -> &[FusedAccess] {
+        &self.fused_accesses
+    }
+
+    /// Abandons the validated run; the next step revalidates from
+    /// scratch. Called on text-segment invalidation, which may have
+    /// patched instructions inside the run.
+    pub fn abort_fused_run(&mut self) {
+        self.fused_left = 0;
+    }
+
+    /// Stores into the text segment recorded this cycle (drained by
+    /// the orchestrator into [`DecodedText::invalidate`]).
+    #[must_use]
+    pub fn has_text_writes(&self) -> bool {
+        !self.text_writes.is_empty()
+    }
+
+    /// Drains the recorded text-segment stores.
+    pub fn take_text_writes(&mut self) -> Vec<(u64, u8)> {
+        std::mem::take(&mut self.text_writes)
+    }
+
+    /// Ensures a validated run is armed at the current PC, attempting
+    /// validation when none is. Returns the instructions left in the
+    /// run (0 = this core cannot fuse from here). The orchestrator
+    /// calls this while planning a multi-core fused window.
+    pub fn ensure_fused_run(&mut self, text: &DecodedText) -> u32 {
+        if self.fused_left == 0 {
+            self.try_begin_fused_run(text);
+        }
+        self.fused_left
+    }
+
+    /// Attempts to validate a superblock run starting at the current
+    /// PC; on success arms the fused dispatch. Returns the validated
+    /// length (0 = per-instruction path).
+    fn try_begin_fused_run(&mut self, text: &DecodedText) -> u32 {
+        if !self.fusion || self.corrupt_fill.is_some() {
+            return 0;
+        }
+        let pc = self.hart.pc;
+        // Hot path: the core keeps re-entering the same run (a loop
+        // body). The template already holds the static walk; with the
+        // text unchanged and the scoreboard idle, arming from it
+        // reproduces the full validation bit-for-bit.
+        if self.template.pc == pc
+            && self.template.text_gen == text.generation()
+            && self.scoreboard.is_clear()
+        {
+            return self.arm_from_template(text);
+        }
+        let ctx = ValidateCtx {
+            hart: &self.hart,
+            icache: &self.icache,
+            dcache: &self.dcache,
+            scoreboard: &self.scoreboard,
+            pending_data: &self.pending_data,
+        };
+        let len = validate_run(text, pc, &ctx, &mut self.fused_accesses);
+        self.fused_len = len;
+        self.fused_left = len;
+        self.fused_cursor = 0;
+        if len >= 2
+            && self.last_validated_pc == pc
+            && (self.template.pc != pc || self.template.text_gen != text.generation())
+        {
+            self.build_template(text, pc);
+        }
+        self.last_validated_pc = pc;
+        len
+    }
+
+    /// Records the static structure of the run at `pc` into the
+    /// template: the walk [`validate_run`] just performed, minus every
+    /// dynamic check. Called only after a successful full validation,
+    /// so the static length is at least the validated length.
+    fn build_template(&mut self, text: &DecodedText, pc: u64) {
+        let Some(start) = text.index_of(pc) else {
+            return;
+        };
+        let full = text.plan(start).run_len.min(MAX_RUN);
+        let mut ops = std::mem::take(&mut self.template.ops);
+        ops.clear();
+        let mut written = RegSet::new();
+        let mut len = 0u32;
+        for i in 0..full {
+            let idx = start + i as usize;
+            let Some(entry) = text.slot(idx) else { break };
+            if let FuseClass::Mem(plan) = text.plan(idx).class {
+                let mut base = RegSet::new();
+                base.add_x(plan.base);
+                if written.intersects(&base) {
+                    break;
+                }
+                ops.push((i, plan));
+            }
+            written.insert_all(&entry.defs);
+            len = i + 1;
+        }
+        ops.retain(|&(pos, _)| pos < len);
+        self.template = RunTemplate {
+            pc,
+            text_gen: text.generation(),
+            len,
+            ops,
+            icache_valid: false,
+            icache_gen: 0,
+            icache_len: 0,
+        };
+    }
+
+    /// Arms the fused dispatch from the cached template, rechecking
+    /// only the dynamic facts: I-line residency (cached per I-cache
+    /// residency generation — equal generations prove an identical
+    /// resident-line set), and per memory op the address, D-line
+    /// residency, in-flight table and text overlap. Truncates at the
+    /// first failure exactly like the full walk; returns the armed
+    /// length (0 = per-instruction path).
+    fn arm_from_template(&mut self, text: &DecodedText) -> u32 {
+        let tpl = &mut self.template;
+        if !tpl.icache_valid || tpl.icache_gen != self.icache.generation() {
+            let mut checked_iline = u64::MAX;
+            let mut resident = tpl.len;
+            for i in 0..tpl.len {
+                let slot_pc = tpl.pc + u64::from(i) * 4;
+                let iline = self.icache.line_addr(slot_pc);
+                if iline != checked_iline {
+                    if !self.icache.contains(slot_pc) {
+                        resident = i;
+                        break;
+                    }
+                    checked_iline = iline;
+                }
+            }
+            tpl.icache_len = resident;
+            tpl.icache_gen = self.icache.generation();
+            tpl.icache_valid = true;
+        }
+        let mut len = tpl.len.min(tpl.icache_len);
+        let pending_empty = self.pending_data.is_empty();
+        self.fused_accesses.clear();
+        for &(pos, plan) in &tpl.ops {
+            if pos >= len {
+                break;
+            }
+            let addr = self
+                .hart
+                .x(plan.base)
+                .wrapping_add(plan.offset as i64 as u64);
+            let way = self.dcache.probe_way(addr);
+            let blocked = match way {
+                None => true,
+                Some(_) => {
+                    (!pending_empty && self.pending_data.contains_key(&self.dcache.line_addr(addr)))
+                        || (plan.write && text.overlaps(addr, u64::from(plan.size)))
+                }
+            };
+            if blocked {
+                len = pos;
+                break;
+            }
+            self.fused_accesses.push(FusedAccess {
+                pos,
+                addr,
+                size: plan.size,
+                write: plan.write,
+                way: way.expect("blocked covers the non-resident case"),
+            });
+        }
+        if len < 2 {
+            self.fused_accesses.clear();
+            len = 0;
+        }
+        self.fused_len = len;
+        self.fused_left = len;
+        self.fused_cursor = 0;
+        len
+    }
+
+    /// Retires one pre-validated instruction through the fused path.
+    ///
+    /// Validation proved: I-line and every accessed D-line resident
+    /// (probing resident lines never evicts, so residency holds for
+    /// the whole run), no scoreboard hazard, accessed lines not in
+    /// flight, no trap/fence/CSR/AMO/vector op, no text-segment store.
+    /// The skipped checks are therefore exactly the ones that cannot
+    /// fire; every counter the skipped branches would have touched is
+    /// still updated identically (cache probes, retired, branches).
+    fn step_fused_one<M: MemoryIo>(
+        &mut self,
+        mem: &mut M,
+        text: &DecodedText,
+        cycle: u64,
+    ) -> Result<StepEvent, SimError> {
+        let pc = self.hart.pc;
+        let iprobe = self.icache.access(pc, false);
+        debug_assert!(iprobe.hit, "fused fetch missed at {pc:#x}");
+        let entry = text
+            .entry(pc)
+            .expect("validated run left the predecoded text");
+
+        let mut accesses = std::mem::take(&mut self.access_buf);
+        let fx = execute(
+            &mut self.hart,
+            mem,
+            &entry.inst,
+            cycle,
+            self.stats.retired,
+            &mut accesses,
+        )
+        .map_err(|source| SimError::Exec { pc, source })?;
+        for access in &accesses {
+            // Pre-validated: replay the guaranteed hit via the way
+            // resolved at validation time (identical counter/LRU/stats
+            // evolution, no associative scan).
+            let fa = self.fused_accesses[self.fused_cursor];
+            debug_assert_eq!(
+                (fa.addr, fa.size, fa.write),
+                (access.addr, access.size, access.write),
+                "fused access diverged from validation at {pc:#x}"
+            );
+            self.dcache.touch(fa.way, access.write);
+            self.fused_cursor += 1;
+        }
+        accesses.clear();
+        self.access_buf = accesses;
+
+        self.stats.retired += 1;
+        if fx.branched {
+            self.stats.branches += 1;
+        }
+        self.fused_retired += 1;
+        self.fused_left -= 1;
+        Ok(StepEvent::Retired {
+            branched: fx.branched,
+        })
+    }
+
+    /// Retires exactly `n` pre-validated instructions over the cycles
+    /// `[cycle, cycle + n)` — the multi-core fused window body. The
+    /// caller must have proved `n <= self.fused_left()`.
+    ///
+    /// Equivalent to `n` [`Core::step_fused_one`] calls with the
+    /// per-instruction bookkeeping hoisted to run granularity: the
+    /// I-cache evolution for the straight-line fetch sequence is
+    /// applied as one batch per line, the D-cache evolution replays the
+    /// pre-validated access list directly, predecoded entries are read
+    /// by consecutive slot index instead of per-PC lookup, and the
+    /// retirement counters are bumped once. Only per-cache *final*
+    /// state is observable at the window boundary, and each cache's
+    /// own access sequence is preserved exactly, so the evolution is
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from execution (unreachable for
+    /// validated runs; kept for defense in depth).
+    pub fn step_block<M: MemoryIo>(
+        &mut self,
+        mem: &mut M,
+        text: &DecodedText,
+        cycle: u64,
+        n: u32,
+    ) -> Result<(), SimError> {
+        debug_assert!(n <= self.fused_left, "window exceeds validated run");
+        if n == 0 {
+            return Ok(());
+        }
+        let start_pc = self.hart.pc;
+        self.icache.touch_run(start_pc, n);
+        // Replay the pre-validated data accesses of the next `n`
+        // positions (validation proved them guaranteed hits; the
+        // per-instruction path debug-asserts executed accesses match).
+        let pos0 = self.fused_len - self.fused_left;
+        while let Some(fa) = self.fused_accesses.get(self.fused_cursor) {
+            if fa.pos >= pos0 + n {
+                break;
+            }
+            self.dcache.touch(fa.way, fa.write);
+            self.fused_cursor += 1;
+        }
+        let start_idx = text
+            .index_of(start_pc)
+            .expect("validated run left the predecoded text");
+        let mut branches = 0u64;
+        for i in 0..n {
+            debug_assert_eq!(
+                self.hart.pc,
+                start_pc + u64::from(i) * 4,
+                "fused run left the straight line"
+            );
+            let entry = text
+                .slot(start_idx + i as usize)
+                .expect("validated run slot decoded");
+            let fx = execute(
+                &mut self.hart,
+                mem,
+                &entry.inst,
+                cycle + u64::from(i),
+                self.stats.retired,
+                &mut self.access_buf,
+            )
+            .map_err(|source| SimError::Exec {
+                pc: start_pc + u64::from(i) * 4,
+                source,
+            })?;
+            self.stats.retired += 1;
+            branches += u64::from(fx.branched);
+        }
+        self.access_buf.clear();
+        self.stats.branches += branches;
+        self.fused_retired += u64::from(n);
+        self.fused_left -= n;
+        Ok(())
+    }
+
+    /// Retires up to `budget` instructions through the fused path,
+    /// revalidating across run boundaries (branch targets) — the
+    /// single-active-core fused chain. Returns the number of cycles
+    /// (= instructions) consumed; `0` means nothing could be fused and
+    /// the caller must take the per-instruction path.
+    ///
+    /// Sound only while no other core runs and no hierarchy event or
+    /// telemetry boundary falls inside the chained cycles: the machine
+    /// state then evolves through this core alone, so mid-chain
+    /// revalidation sees exactly what per-cycle stepping would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from execution.
+    pub fn step_block_chain<M: MemoryIo>(
+        &mut self,
+        mem: &mut M,
+        text: &DecodedText,
+        cycle: u64,
+        budget: u32,
+    ) -> Result<u32, SimError> {
+        let mut n = 0u32;
+        while n < budget {
+            if self.fused_left == 0 && self.try_begin_fused_run(text) == 0 {
+                break;
+            }
+            let k = self.fused_left.min(budget - n);
+            self.step_block(mem, text, cycle + u64::from(n), k)?;
+            n += k;
+        }
+        Ok(n)
     }
 
     /// Attempts to execute one instruction at the current cycle.
@@ -409,6 +950,16 @@ impl Core {
             self.index,
             self.state
         );
+
+        // ---- fused dispatch ----
+        // Mid-run: the remaining instructions were validated against
+        // machine state that can only have relaxed since (fills
+        // completing release registers; nothing evicts a probed line).
+        // At a run boundary, try to validate a fresh run; on success
+        // this very step takes the fast path too.
+        if self.fused_left > 0 || self.try_begin_fused_run(text) > 0 {
+            return self.step_fused_one(mem, text, cycle);
+        }
 
         // ---- fetch ----
         let pc = self.hart.pc;
@@ -472,6 +1023,14 @@ impl Core {
         // ---- probe the D-cache for every access ----
         let dest_regs = fx.dest.map(dest_set).unwrap_or_default();
         for access in &accesses {
+            // Self-modifying code: a store landing in the text segment
+            // stales the predecoded table. Record it; the orchestrator
+            // invalidates the patched entries at end of cycle (the
+            // same point for every jobs count, keeping runs
+            // bit-identical).
+            if access.write && text.overlaps(access.addr, u64::from(access.size)) {
+                self.text_writes.push((access.addr, access.size));
+            }
             let line = self.dcache.line_addr(access.addr);
             let probe = self.dcache.access(access.addr, access.write);
             if let Some(victim) = probe.writeback {
@@ -575,9 +1134,12 @@ impl Core {
                     self.scoreboard.release(&regs);
                     if let Some(reg) = self.corrupt_fill.take() {
                         // Armed fault: deliver the fill into the wrong
-                        // register (see `inject_fill_corruption`).
+                        // register (see `inject_fill_corruption`). The
+                        // mutation invalidates any pre-computed fused
+                        // access addresses, so abandon the run.
                         let bad = self.hart.x(reg) ^ 0xDEAD_BEEF;
                         self.hart.set_x(reg, bad);
+                        self.fused_left = 0;
                     }
                 }
                 // Wake only when the blocked instruction's registers are

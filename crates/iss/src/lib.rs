@@ -61,6 +61,7 @@ pub mod exec;
 pub mod hart;
 pub mod mem;
 pub mod scoreboard;
+pub mod superblock;
 pub mod view;
 
 pub use crate::core::{
@@ -72,4 +73,5 @@ pub use exec::{Dest, Ecall, Effects, ExecError, MemAccess, RegSet};
 pub use hart::{Hart, DEFAULT_VLEN_BITS};
 pub use mem::{MemoryIo, SparseMemory};
 pub use scoreboard::Scoreboard;
+pub use superblock::{accesses_conflict, FusedAccess};
 pub use view::{BufferedMemory, StoreBuffer};

@@ -41,13 +41,35 @@ impl Hasher for AddrHasher {
 /// `HashMap` keyed by addresses/pages using [`AddrHasher`].
 pub type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
+/// Cap on the dense page-table window span (pages). 1 << 16 pages is a
+/// 256 MiB address span at 8 bytes of slot overhead per page — far more
+/// than any paper kernel's footprint, small enough that the slot vector
+/// stays cheap. Pages outside the window fall back to the hash map.
+const MAX_DENSE_PAGES: u64 = 1 << 16;
+
 /// Sparse byte-addressable memory with 4 KiB page granularity.
 ///
 /// All harts of a simulated system share one `SparseMemory` (the paper's
 /// tiles are not coherence-modelled, but they are functionally shared).
+///
+/// Internally a hybrid page table: writes establish a *dense window* —
+/// a contiguous slot vector starting at the lowest written page — so
+/// the hot path (kernel text + data live within a few MiB of each
+/// other) resolves a page with one subtraction and one bounds check
+/// instead of a hash lookup. Pages further than [`MAX_DENSE_PAGES`]
+/// from the window spill into a hash-map fallback, preserving the
+/// 4 GiB-style sparse address space.
 #[derive(Debug, Default, Clone)]
 pub struct SparseMemory {
-    pages: AddrMap<Box<[u8; PAGE_SIZE]>>,
+    /// First page number of the dense window (meaningless while
+    /// `slots` is empty).
+    base_page: u64,
+    /// Dense slots covering pages `[base_page, base_page + len)`.
+    slots: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
+    /// Populated slots in `slots` (for `resident_pages`).
+    dense_resident: usize,
+    /// Pages outside the dense window.
+    far: AddrMap<Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMemory {
@@ -55,6 +77,83 @@ impl SparseMemory {
     #[must_use]
     pub fn new() -> SparseMemory {
         SparseMemory::default()
+    }
+
+    /// Resolves a page for reading: dense window first, hash fallback
+    /// second, `None` for never-written pages.
+    #[inline]
+    fn page(&self, page_no: u64) -> Option<&[u8; PAGE_SIZE]> {
+        let idx = page_no.wrapping_sub(self.base_page);
+        if (idx as usize) < self.slots.len() {
+            return self.slots[idx as usize].as_deref();
+        }
+        self.far.get(&page_no).map(Box::as_ref)
+    }
+
+    /// Resolves a page for writing, allocating (and growing the dense
+    /// window when the page is within [`MAX_DENSE_PAGES`] of it) on
+    /// first touch.
+    fn page_mut(&mut self, page_no: u64) -> &mut [u8; PAGE_SIZE] {
+        let idx = page_no.wrapping_sub(self.base_page) as usize;
+        if idx < self.slots.len() {
+            let slot = &mut self.slots[idx];
+            if slot.is_none() {
+                *slot = Some(Box::new([0; PAGE_SIZE]));
+                self.dense_resident += 1;
+            }
+            return slot.as_deref_mut().expect("just populated");
+        }
+        self.adopt(page_no)
+    }
+
+    /// Cold path of [`Self::page_mut`]: the page is outside the dense
+    /// window. Establish or grow the window to cover it when the
+    /// resulting span stays within [`MAX_DENSE_PAGES`] (migrating any
+    /// far pages the grown window swallows, so they are not shadowed
+    /// by fresh zero slots); otherwise fall back to the hash map.
+    #[cold]
+    fn adopt(&mut self, page_no: u64) -> &mut [u8; PAGE_SIZE] {
+        let (new_base, new_end) = if self.slots.is_empty() {
+            (page_no, page_no + 1)
+        } else {
+            (
+                self.base_page.min(page_no),
+                (self.base_page + self.slots.len() as u64).max(page_no + 1),
+            )
+        };
+        if new_end - new_base <= MAX_DENSE_PAGES {
+            if new_base < self.base_page && !self.slots.is_empty() {
+                let grow = (self.base_page - new_base) as usize;
+                self.slots
+                    .splice(0..0, std::iter::repeat_with(|| None).take(grow));
+            }
+            self.base_page = new_base;
+            self.slots
+                .resize_with((new_end - new_base) as usize, || None);
+            // Migrate far pages the window now covers.
+            if !self.far.is_empty() {
+                let swallowed: Vec<u64> = self
+                    .far
+                    .keys()
+                    .filter(|p| (new_base..new_end).contains(p))
+                    .copied()
+                    .collect();
+                for p in swallowed {
+                    let page = self.far.remove(&p).expect("key just listed");
+                    self.slots[(p - new_base) as usize] = Some(page);
+                    self.dense_resident += 1;
+                }
+            }
+            let slot = &mut self.slots[(page_no - new_base) as usize];
+            if slot.is_none() {
+                *slot = Some(Box::new([0; PAGE_SIZE]));
+                self.dense_resident += 1;
+            }
+            return slot.as_deref_mut().expect("just populated");
+        }
+        self.far
+            .entry(page_no)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Loads a program image (text + data sections).
@@ -70,7 +169,7 @@ impl SparseMemory {
     /// Reads one byte.
     #[must_use]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr >> PAGE_SHIFT) {
             Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
@@ -78,10 +177,7 @@ impl SparseMemory {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self.page_mut(addr >> PAGE_SHIFT);
         page[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
@@ -90,7 +186,7 @@ impl SparseMemory {
         // Fast path: the whole range is inside one page.
         let offset = (addr as usize) & (PAGE_SIZE - 1);
         if offset + buf.len() <= PAGE_SIZE {
-            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            match self.page(addr >> PAGE_SHIFT) {
                 Some(page) => buf.copy_from_slice(&page[offset..offset + buf.len()]),
                 None => buf.fill(0),
             }
@@ -105,10 +201,7 @@ impl SparseMemory {
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
         let offset = (addr as usize) & (PAGE_SIZE - 1);
         if offset + bytes.len() <= PAGE_SIZE {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            let page = self.page_mut(addr >> PAGE_SHIFT);
             page[offset..offset + bytes.len()].copy_from_slice(bytes);
             return;
         }
@@ -168,9 +261,11 @@ impl SparseMemory {
     }
 
     /// Number of populated pages (for memory-footprint diagnostics).
+    /// Empty dense-window slots do not count: only pages that were
+    /// actually written.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.dense_resident + self.far.len()
     }
 
     /// Order-insensitive digest of the full memory image.
@@ -188,17 +283,25 @@ impl SparseMemory {
             x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             x ^ (x >> 31)
         }
-        let mut acc = 0u64;
-        // audit:allow(hashmap-iter): the wrapping sum is commutative,
-        // so iteration order cannot leak into the digest.
-        for (page_no, page) in &self.pages {
-            let mut h = mix(*page_no ^ 0x636f_796f_7465_6d65);
+        fn page_hash(page_no: u64, page: &[u8; PAGE_SIZE]) -> u64 {
+            let mut h = mix(page_no ^ 0x636f_796f_7465_6d65);
             for chunk in page.chunks_exact(8) {
                 let mut b = [0u8; 8];
                 b.copy_from_slice(chunk);
                 h = mix(h ^ u64::from_le_bytes(b));
             }
-            acc = acc.wrapping_add(mix(h));
+            mix(h)
+        }
+        let mut acc = 0u64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(page) = slot {
+                acc = acc.wrapping_add(page_hash(self.base_page + i as u64, page));
+            }
+        }
+        // audit:allow(hashmap-iter): the wrapping sum is commutative,
+        // so iteration order cannot leak into the digest.
+        for (page_no, page) in &self.far {
+            acc = acc.wrapping_add(page_hash(*page_no, page));
         }
         acc
     }
@@ -319,6 +422,42 @@ mod tests {
         let mut buf = [0u8; 16];
         mem.read_bytes(0x1ff8, &mut buf);
         assert_eq!(&buf[4..12], &0x1122_3344_5566_7788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn far_pages_fall_back_to_the_hash_map() {
+        let mut mem = SparseMemory::new();
+        // Establish the dense window low, then write far beyond its
+        // maximum span: the far page must stay readable and must not
+        // be shadowed when the window later grows.
+        mem.write_u64(0x1000, 1);
+        let far = 0x1000 + (MAX_DENSE_PAGES + 7) * PAGE_SIZE as u64;
+        mem.write_u64(far, 2);
+        assert_eq!(mem.read_u64(0x1000), 1);
+        assert_eq!(mem.read_u64(far), 2);
+        assert_eq!(mem.resident_pages(), 2);
+        // Growing the dense window (both directions) keeps everything.
+        mem.write_u64(0x0, 3);
+        mem.write_u64(0x9000, 4);
+        assert_eq!(mem.read_u64(0x1000), 1);
+        assert_eq!(mem.read_u64(far), 2);
+        assert_eq!(mem.read_u64(0x0), 3);
+        assert_eq!(mem.read_u64(0x9000), 4);
+        assert_eq!(mem.resident_pages(), 4);
+    }
+
+    #[test]
+    fn digest_is_layout_independent() {
+        // Same contents written in different orders (dense window
+        // established at different base pages) digest identically.
+        let mut a = SparseMemory::new();
+        a.write_u64(0x1000, 7);
+        a.write_u64(0x8000_0000, 9);
+        let mut b = SparseMemory::new();
+        b.write_u64(0x8000_0000, 9);
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), SparseMemory::new().digest());
     }
 
     #[test]

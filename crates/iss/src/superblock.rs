@@ -1,0 +1,256 @@
+//! Dynamic half of the superblock translation engine: run validation
+//! and the fused dispatch state machine.
+//!
+//! The static half (`coyote_isa::superblock`) classifies every text
+//! slot and precomputes `run_len`, the longest straight-line fusable
+//! run starting there. This module decides, against the *live* machine
+//! state, whether the next `run_len` instructions can retire through
+//! the stripped-down fused path with bit-identical observable
+//! behaviour:
+//!
+//! * every instruction line of the run is resident in the L1I (probing
+//!   a resident line never evicts, so residency is stable for the
+//!   whole run);
+//! * no instruction's use/def set is blocked by the scoreboard — exact
+//!   because fused runs never *acquire* scoreboard references, so the
+//!   pending mask can only shrink mid-run (fills completing), never
+//!   grow: an instruction that is unblocked at validation time stays
+//!   unblocked when its turn comes;
+//! * every memory access is a guaranteed L1D hit whose address is
+//!   computable now: base register not written earlier in the run,
+//!   line resident, and — crucially — *not* in the pending-fill table
+//!   (a hit on an in-flight line must wait for the data);
+//! * no store lands in the text segment (self-modifying code takes
+//!   the per-instruction path, which detects and invalidates);
+//! * no fill-corruption fault is armed (the oracle's mutation hook
+//!   rewrites a register mid-flight, which would invalidate the
+//!   addresses computed here).
+//!
+//! A run that fails any check is simply truncated at the first
+//! uncertain instruction; prefixes of a valid run are valid runs. The
+//! fused path itself lives in [`crate::core::Core`]; this file is
+//! pinned by the `predecode-bypass` lint so the dispatch/fallback
+//! boundary cannot be silently bypassed.
+
+use coyote_isa::superblock::FuseClass;
+
+use crate::cache::Cache;
+use crate::core::DecodedText;
+use crate::exec::RegSet;
+use crate::hart::Hart;
+use crate::mem::AddrMap;
+use crate::scoreboard::Scoreboard;
+
+/// Cap on validated run length: bounds validation cost per attempt and
+/// the staleness window of the residency facts it relies on.
+pub const MAX_RUN: u32 = 64;
+
+/// One pre-validated memory access of a fused run.
+///
+/// `pos` is the instruction's position within the validated run (0 =
+/// first). The orchestrator uses these to prove that a multi-cycle
+/// window's cross-core accesses are disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedAccess {
+    /// Position within the validated run.
+    pub pos: u32,
+    /// Byte address (computed from pre-run register values, exact
+    /// because the base register is not written earlier in the run).
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// `true` for stores.
+    pub write: bool,
+    /// Flat index of the accessed line in the L1D (from
+    /// [`crate::cache::Cache::probe_way`] at validation time; stays
+    /// valid for the whole run because nothing evicts mid-run). Lets
+    /// the fused retirement replay the guaranteed hit without the
+    /// associative scan.
+    pub way: u32,
+}
+
+/// Live machine state a validation walk reads. Borrowed piecewise so
+/// [`crate::core::Core`] can lend its fields without a self-borrow
+/// conflict.
+pub struct ValidateCtx<'a> {
+    /// The hart's architectural registers (for access addresses).
+    pub hart: &'a Hart,
+    /// L1 instruction cache (residency only).
+    pub icache: &'a Cache,
+    /// L1 data cache (residency only).
+    pub dcache: &'a Cache,
+    /// RAW/WAW scoreboard.
+    pub scoreboard: &'a Scoreboard,
+    /// Data lines with fills in flight.
+    pub pending_data: &'a AddrMap<RegSet>,
+}
+
+/// Validates the longest fusable run starting at `pc`, recording its
+/// pre-computed memory accesses into `accesses` (cleared first).
+///
+/// Returns the number of instructions that may retire through the
+/// fused path — `0` when fusion is not worthwhile (runs shorter than
+/// two instructions gain nothing over the per-instruction path).
+#[must_use]
+pub fn validate_run(
+    text: &DecodedText,
+    pc: u64,
+    ctx: &ValidateCtx<'_>,
+    accesses: &mut Vec<FusedAccess>,
+) -> u32 {
+    accesses.clear();
+    let Some(start) = text.index_of(pc) else {
+        return 0;
+    };
+    let full = text.plan(start).run_len.min(MAX_RUN);
+    if full < 2 {
+        return 0;
+    }
+
+    // Hoisted loop invariants: the walk is pure, so an idle scoreboard
+    // stays idle (`blocks` is identically false) and an empty
+    // pending-fill table stays empty for the whole validation.
+    let scoreboard_idle = ctx.scoreboard.is_clear();
+    let no_pending_data = ctx.pending_data.is_empty();
+    // I-line residency is line-granular: one probe vouches for every
+    // slot sharing the line. `u64::MAX` is unaligned, so it can never
+    // collide with a real line address.
+    let mut checked_iline = u64::MAX;
+
+    let mut written = RegSet::new();
+    let mut len = 0u32;
+    for i in 0..full {
+        let idx = start + i as usize;
+        let slot_pc = pc + u64::from(i) * 4;
+        // Run slots are non-excluded by construction, hence decoded.
+        let Some(entry) = text.slot(idx) else { break };
+        let iline = ctx.icache.line_addr(slot_pc);
+        if iline != checked_iline {
+            if !ctx.icache.contains(slot_pc) {
+                break;
+            }
+            checked_iline = iline;
+        }
+        // Per-instruction hazard check against the *current* mask.
+        // Exact: fused runs never acquire, so the mask only shrinks
+        // while the run retires.
+        if !scoreboard_idle && ctx.scoreboard.blocks(&entry.uses, &entry.defs) {
+            break;
+        }
+        if let FuseClass::Mem(plan) = text.plan(idx).class {
+            // The address is only knowable now if nothing earlier in
+            // the run redefines the base register.
+            let mut base = RegSet::new();
+            base.add_x(plan.base);
+            if written.intersects(&base) {
+                break;
+            }
+            let addr = ctx
+                .hart
+                .x(plan.base)
+                .wrapping_add(plan.offset as i64 as u64);
+            let Some(way) = ctx.dcache.probe_way(addr) else {
+                break;
+            };
+            // A hit on an in-flight line must wait for the data.
+            if !no_pending_data && ctx.pending_data.contains_key(&ctx.dcache.line_addr(addr)) {
+                break;
+            }
+            // Self-modifying stores go through the per-instruction
+            // path so invalidation fires.
+            if plan.write && text.overlaps(addr, u64::from(plan.size)) {
+                break;
+            }
+            accesses.push(FusedAccess {
+                pos: i,
+                addr,
+                size: plan.size,
+                write: plan.write,
+                way,
+            });
+        }
+        written.insert_all(&entry.defs);
+        len = i + 1;
+    }
+
+    if len < 2 {
+        accesses.clear();
+        return 0;
+    }
+    // Drop accesses of instructions beyond the validated prefix.
+    accesses.retain(|access| access.pos < len);
+    len
+}
+
+/// Whether any access in `a`'s first `a_limit` positions overlaps any
+/// access in `b`'s first `b_limit` positions at byte granularity with
+/// at least one side writing. Used by the orchestrator to prove that a
+/// multi-cycle window's cores touch disjoint memory.
+#[must_use]
+pub fn accesses_conflict(
+    a: &[FusedAccess],
+    a_skip: u32,
+    a_limit: u32,
+    b: &[FusedAccess],
+    b_skip: u32,
+    b_limit: u32,
+) -> bool {
+    for x in a {
+        if x.pos < a_skip || x.pos >= a_skip + a_limit {
+            continue;
+        }
+        for y in b {
+            if y.pos < b_skip || y.pos >= b_skip + b_limit {
+                continue;
+            }
+            if !x.write && !y.write {
+                continue;
+            }
+            let (xs, xe) = (x.addr, x.addr + u64::from(x.size));
+            let (ys, ye) = (y.addr, y.addr + u64::from(y.size));
+            if xs < ye && ys < xe {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(pos: u32, addr: u64, size: u8, write: bool) -> FusedAccess {
+        FusedAccess {
+            pos,
+            addr,
+            size,
+            write,
+            way: 0,
+        }
+    }
+
+    #[test]
+    fn conflict_requires_overlap_and_a_write() {
+        let a = [access(0, 0x100, 8, true)];
+        let b = [access(0, 0x104, 8, false)];
+        assert!(accesses_conflict(&a, 0, 4, &b, 0, 4));
+        // Disjoint bytes of the same line: no conflict.
+        let c = [access(0, 0x108, 8, false)];
+        assert!(!accesses_conflict(&a, 0, 4, &c, 0, 4));
+        // Read-read overlap: no conflict.
+        let d = [access(0, 0x100, 8, false)];
+        assert!(!accesses_conflict(&d, 0, 4, &b, 0, 4));
+    }
+
+    #[test]
+    fn conflict_window_respects_skip_and_limit() {
+        let a = [access(5, 0x100, 8, true)];
+        let b = [access(1, 0x100, 8, false)];
+        // a's access is outside the first 4 positions.
+        assert!(!accesses_conflict(&a, 0, 4, &b, 0, 4));
+        assert!(accesses_conflict(&a, 4, 4, &b, 0, 4));
+        // b's access is before its skip point.
+        assert!(!accesses_conflict(&a, 4, 4, &b, 2, 4));
+    }
+}

@@ -12,7 +12,7 @@
 //! | `lossy-cast`    | a narrowing `as` cast applied to a cycle/latency-named counter: silently truncates long runs |
 //! | `lib-unwrap`    | bare `.unwrap()` in library (non-`bin`, non-test) code: panics instead of a typed error (`.expect("why")` documents the invariant and is permitted) |
 //! | `forbid-unsafe` | crate root missing `#![forbid(unsafe_code)]`              |
-//! | `predecode-bypass` | a `coyote_isa::decode` call in the core step path (`crates/iss/src/core.rs`): per-retirement decode silently reintroduces the hot-loop cost the predecoded micro-op table ([`coyote_isa::predecode`]) exists to eliminate; out-of-text PCs must go through `DecodedInst::from_word` |
+//! | `predecode-bypass` | a `coyote_isa::decode` call in the core step path (`crates/iss/src/core.rs`) or the superblock dispatch path (`crates/iss/src/superblock.rs`): per-retirement decode silently reintroduces the hot-loop cost the predecoded micro-op table ([`coyote_isa::predecode`]) exists to eliminate, and in the superblock path it would dodge the fusion boundary checks; out-of-text PCs must go through `DecodedInst::from_word` |
 //!
 //! Suppression: a `// audit:allow(<rule>)` comment on the offending
 //! line, or heading the comment block directly above it (the directive
@@ -39,8 +39,13 @@ pub const RULES: &[&str] = &[
 ];
 
 /// Files whose hot step path must dispatch on the predecoded micro-op
-/// table instead of calling the decoder per retirement.
-pub const PREDECODED_FILES: &[&str] = &["crates/iss/src/core.rs"];
+/// table instead of calling the decoder per retirement. The superblock
+/// dispatch file is pinned alongside the core step path: run
+/// validation and fused retirement must consume `DecodedText`
+/// slots/plans, never re-decode words — a decoder call there would
+/// silently bypass both the predecode table and the fusion boundary
+/// checks built on top of it.
+pub const PREDECODED_FILES: &[&str] = &["crates/iss/src/core.rs", "crates/iss/src/superblock.rs"];
 
 /// Crates whose iteration order feeds statistics or exported JSON.
 pub const MODEL_CRATES: &[&str] = &["mem", "iss", "core", "telemetry"];

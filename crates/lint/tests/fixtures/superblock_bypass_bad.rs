@@ -1,0 +1,19 @@
+//! Fixture: the superblock dispatch path re-decodes instruction words
+//! during run validation instead of consuming the predecoded slots —
+//! bypassing both the micro-op table and the fusion boundary checks.
+
+use coyote_isa::decode::decode;
+
+pub fn validate_run(words: &[u32], pc: u64) -> u32 {
+    let mut len = 0;
+    for (i, &word) in words.iter().enumerate() {
+        let inst = decode(word).expect("decodes");
+        if coyote_isa::decode(word).is_none() {
+            break;
+        }
+        drop(inst);
+        len = i as u32 + 1;
+        let _ = pc;
+    }
+    len
+}

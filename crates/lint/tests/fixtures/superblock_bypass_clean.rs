@@ -1,0 +1,18 @@
+//! Fixture twin: the superblock dispatch path consumes predecoded
+//! slots and fuse plans; holes end the run instead of being decoded
+//! in place, so no decoder call appears.
+
+pub fn validate_run(text: &DecodedText, pc: u64) -> u32 {
+    let Some(start) = text.index_of(pc) else {
+        return 0;
+    };
+    let mut len = 0;
+    while let Some(entry) = text.slot(start + len as usize) {
+        if text.plan(start + len as usize).is_none() {
+            break;
+        }
+        drop(entry);
+        len += 1;
+    }
+    len
+}

@@ -106,6 +106,37 @@ fn predecode_bypass_flagged_in_the_core_step_file_only() {
 }
 
 #[test]
+fn predecode_bypass_pins_the_superblock_dispatch_file() {
+    // Run validation that re-decodes words bypasses the predecoded
+    // table *and* the fusion boundary checks — pinned like core.rs.
+    let bad = scan_file(
+        "crates/iss/src/superblock.rs",
+        include_str!("fixtures/superblock_bypass_bad.rs"),
+    );
+    assert!(
+        bad.iter().filter(|f| f.rule == "predecode-bypass").count() >= 2,
+        "expected the decode import and both call forms flagged: {bad:?}"
+    );
+    // The sanctioned shape — walking `DecodedText` slots and fuse
+    // plans, ending the run at a hole — must stay clean.
+    let clean = scan_file(
+        "crates/iss/src/superblock.rs",
+        include_str!("fixtures/superblock_bypass_clean.rs"),
+    );
+    assert!(
+        !rules(&clean).contains(&"predecode-bypass"),
+        "clean twin flagged: {clean:?}"
+    );
+    // The static planner (crates/isa) legitimately inspects decoded
+    // micro-ops it is handed; only the dispatch file is pinned.
+    let planner = scan_file(
+        "crates/isa/src/superblock.rs",
+        include_str!("fixtures/superblock_bypass_bad.rs"),
+    );
+    assert!(!rules(&planner).contains(&"predecode-bypass"));
+}
+
+#[test]
 fn forbid_unsafe_flagged_on_crate_roots_only() {
     let bad = scan_file(
         "crates/mem/src/lib.rs",

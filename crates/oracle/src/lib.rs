@@ -176,6 +176,14 @@ impl LockstepChecker {
         self.cores[core].instret
     }
 
+    /// Invalidates predecoded text entries patched by a self-modifying
+    /// store, mirroring the timed machine's invalidation point so both
+    /// machines re-decode the patched words from their memories at the
+    /// same retirement boundary.
+    pub fn invalidate_text(&mut self, addr: u64, len: u64) {
+        self.text.invalidate(addr, len);
+    }
+
     /// Replays one retirement of `core` at `cycle` on the reference
     /// machine and diffs the result against the simulation's
     /// architectural state.

@@ -39,7 +39,7 @@ pub use topk::{PcEntry, TopK};
 /// Version of the exported metrics JSON schema. Bump on any breaking
 /// change to key names or value semantics; the golden-file test in
 /// `crates/core` pins it.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A stage of the request lifecycle through the memory hierarchy.
 ///
