@@ -15,13 +15,16 @@
 //!   --strict             exit non-zero on regression (default warn-only)
 //! ```
 //!
-//! The JSON schema is `{schema, experiment, scale, jobs, host, rows}`
-//! with one row per measured point:
+//! The JSON schema is `{schema, experiment, scale, jobs, host, rows,
+//! host_profile}` with one row per measured point:
 //! `{cores, kernel, instructions, cycles, wall_ns, mips,
 //! block_hit_rate}`. The `host`
 //! block records the machine the numbers came from so a baseline diff
 //! across runners is interpreted, not blindly trusted — hence the
-//! warn-only default.
+//! warn-only default. `host_profile` is one *extra* wall-profiled run
+//! at the sweep's largest core count — per-phase share of host time,
+//! fused-chunk p50/p99, abort-reason counts — kept out of the measured
+//! rows so profiling overhead never touches the MIPS numbers.
 
 use std::process::ExitCode;
 
@@ -202,7 +205,24 @@ fn host_block() -> JsonValue {
         )
 }
 
-fn rows_json(options: &Options, rows: &[Fig3Row]) -> JsonValue {
+/// The host-profile summary attached to the JSON export: one extra
+/// wall-profiled run of the sweep's first selected kernel at its
+/// largest core count. Separate from `sweep()` so the measured MIPS
+/// rows never carry profiling overhead.
+fn profile_block(options: &Options, rows: &[Fig3Row]) -> JsonValue {
+    let Some(cores) = rows.iter().map(|r| r.cores).max() else {
+        return JsonValue::Null;
+    };
+    if options.kernel == KernelChoice::Spmv {
+        let spmv = fig3::spmv_for(options.scale);
+        fig3::profile_summary(&spmv, cores)
+    } else {
+        let matmul = fig3::matmul_for(options.scale);
+        fig3::profile_summary(&matmul, cores)
+    }
+}
+
+fn rows_json(options: &Options, rows: &[Fig3Row], host_profile: JsonValue) -> JsonValue {
     let row_values: Vec<JsonValue> = rows
         .iter()
         .map(|row| {
@@ -220,12 +240,13 @@ fn rows_json(options: &Options, rows: &[Fig3Row]) -> JsonValue {
         })
         .collect();
     JsonValue::object()
-        .with("schema", 1u64)
+        .with("schema", 2u64)
         .with("experiment", "fig3")
         .with("scale", scale_name(options))
         .with("jobs", options.jobs)
         .with("host", host_block())
         .with("rows", row_values)
+        .with("host_profile", host_profile)
 }
 
 /// Compares measured MIPS against a committed baseline; returns the
@@ -262,7 +283,8 @@ fn run(options: &Options) -> Result<ExitCode, String> {
     println!("{}", fig3::table(&rows));
 
     if let Some(path) = &options.json_path {
-        let json = rows_json(options, &rows);
+        eprintln!("fig3: profiling one extra run for the host_profile block");
+        let json = rows_json(options, &rows, profile_block(options, &rows));
         std::fs::write(path, format!("{}\n", json.to_string_pretty()))
             .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("fig3: wrote {path}");

@@ -20,6 +20,11 @@
 //!   --metrics-interval N time-series epoch length in cycles (default 10000)
 //!   --top-k N            critical-PC attribution table size (default 32)
 //!   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
+//!   --prof-out FILE      profile the host side of the run and write
+//!                        FILE.json (host_profile document) and
+//!                        FILE.folded (flamegraph folded stacks)
+//!   --prof-counters      with --prof-out: deterministic counter clock
+//!                        instead of wall time
 //!   --oracle             co-simulate a functional reference machine and
 //!                        abort on the first architectural divergence
 //! ```
@@ -29,7 +34,7 @@
 
 use std::process::ExitCode;
 
-use coyote::{L2Sharing, MappingPolicy, NocModel, SimConfig, Simulation};
+use coyote::{L2Sharing, MappingPolicy, NocModel, ProfMode, SimConfig, Simulation};
 
 struct Options {
     source: String,
@@ -37,6 +42,7 @@ struct Options {
     trace_path: Option<String>,
     metrics_path: Option<String>,
     chrome_trace_path: Option<String>,
+    prof_path: Option<String>,
 }
 
 fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -50,6 +56,8 @@ fn parse_args() -> Result<Options, String> {
     let mut trace_path = None;
     let mut metrics_path = None;
     let mut chrome_trace_path = None;
+    let mut prof_path = None;
+    let mut prof_counters = false;
     let mut mesh: Option<(usize, usize)> = None;
     let mut noc_latency: Option<u64> = None;
 
@@ -156,6 +164,14 @@ fn parse_args() -> Result<Options, String> {
                 chrome_trace_path = Some(value(&mut args, "--chrome-trace")?);
                 builder = builder.chrome_trace(true);
             }
+            "--prof-out" => {
+                let path = value(&mut args, "--prof-out")?;
+                if path.trim().is_empty() {
+                    return Err("--prof-out needs a non-empty path".to_owned());
+                }
+                prof_path = Some(path);
+            }
+            "--prof-counters" => prof_counters = true,
             "--oracle" => builder = builder.oracle(true),
             "--help" | "-h" => {
                 println!("usage: coyote-sim <program.s> [options]");
@@ -177,6 +193,8 @@ fn parse_args() -> Result<Options, String> {
                 );
                 println!("  --top-k N            critical-PC attribution table size (default 32)");
                 println!("  --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto)");
+                println!("  --prof-out FILE      write host profile FILE.json + FILE.folded");
+                println!("  --prof-counters      profile with the deterministic counter clock");
                 println!("  --oracle             check against a functional reference machine");
                 std::process::exit(0);
             }
@@ -185,6 +203,16 @@ fn parse_args() -> Result<Options, String> {
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+
+    if prof_path.is_some() {
+        builder = builder.profiling(if prof_counters {
+            ProfMode::Counter
+        } else {
+            ProfMode::Wall
+        });
+    } else if prof_counters {
+        return Err("--prof-counters requires --prof-out".to_owned());
     }
 
     if let Some((w, h)) = mesh {
@@ -207,6 +235,7 @@ fn parse_args() -> Result<Options, String> {
         trace_path,
         metrics_path,
         chrome_trace_path,
+        prof_path,
     })
 }
 
@@ -252,6 +281,20 @@ fn run(options: &Options) -> Result<i64, String> {
         std::fs::write(&csv, coyote::metrics_csv(&sim))
             .map_err(|e| format!("{}: {e}", csv.display()))?;
         eprintln!("metrics: {} (+ {})", json.display(), csv.display());
+    }
+
+    if let Some(path) = &options.prof_path {
+        let prof = sim.host_prof().expect("profiling was enabled");
+        let base = std::path::Path::new(path);
+        let json = base.with_extension("json");
+        let folded = base.with_extension("folded");
+        let doc = coyote::JsonValue::object()
+            .with("schema_version", coyote::SCHEMA_VERSION)
+            .with("host_profile", coyote::host_profile_json(&sim));
+        std::fs::write(&json, doc.to_string_pretty())
+            .map_err(|e| format!("{}: {e}", json.display()))?;
+        std::fs::write(&folded, prof.folded()).map_err(|e| format!("{}: {e}", folded.display()))?;
+        eprintln!("host profile: {} (+ {})", json.display(), folded.display());
     }
 
     if let Some(path) = &options.chrome_trace_path {

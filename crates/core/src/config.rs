@@ -95,6 +95,35 @@ pub struct SimConfig {
     /// `jobs = 1`. A host-execution knob only: it never appears in
     /// exported metrics or the determinism digest.
     pub jobs: usize,
+    /// Host-side self-profiling mode (see `coyote-prof`). A
+    /// host-execution knob like `jobs`: it never appears in the
+    /// determinism digest or in `config_json`, and turning it on must
+    /// not change any simulated result — the only observable addition
+    /// is the `host_profile` metrics section (property-tested).
+    pub profiling: ProfMode,
+}
+
+/// How the host-side self-profiler observes the orchestrator.
+///
+/// A host-execution knob like [`SimConfig::jobs`]: excluded from the
+/// determinism digest and from `config_json`, and forbidden from
+/// feeding back into simulated state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfMode {
+    /// No profiling (the default): the hot path pays one predictable
+    /// branch per phase site and records nothing.
+    #[default]
+    Off,
+    /// Wall-clock phase timing plus deterministic counters. Timings
+    /// come from the workspace's single pinned wall-clock site
+    /// (`coyote_telemetry::hostprof`); everything else in the profile
+    /// is a pure function of the simulated schedule.
+    Wall,
+    /// Wall-clock-free mode: phase *entry counts* instead of
+    /// durations. The whole profile is then byte-stable across hosts
+    /// and legal schedule perturbations, which is what
+    /// `coyote-audit --race --profile` checks.
+    Counter,
 }
 
 impl Default for SimConfig {
@@ -121,6 +150,7 @@ impl Default for SimConfig {
             attribution_top_k: 32,
             fusion: true,
             jobs: 1,
+            profiling: ProfMode::Off,
         }
     }
 }
@@ -418,6 +448,13 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.config.jobs = jobs;
+        self
+    }
+
+    /// Sets the host-side self-profiling mode (off by default).
+    #[must_use]
+    pub fn profiling(mut self, mode: ProfMode) -> Self {
+        self.config.profiling = mode;
         self
     }
 

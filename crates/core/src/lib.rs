@@ -50,8 +50,10 @@ pub mod sim;
 pub mod trace;
 
 pub use attr::{StallAttribution, StallLink};
-pub use config::{ConfigError, SimConfig, SimConfigBuilder};
-pub use metrics::{chrome_trace_json, metrics_csv, metrics_json, SCHEMA_VERSION};
+pub use config::{ConfigError, ProfMode, SimConfig, SimConfigBuilder};
+pub use metrics::{
+    chrome_trace_json, host_profile_json, metrics_csv, metrics_json, SCHEMA_VERSION,
+};
 pub use report::{CoreReport, Report};
 pub use sim::{RunError, Simulation};
 pub use trace::{Trace, TraceEvent};
@@ -64,4 +66,6 @@ pub use coyote_mem::mapping::MappingPolicy;
 pub use coyote_mem::mc::McConfig;
 pub use coyote_mem::noc::NocModel;
 pub use coyote_oracle::{Delta, Divergence, LockstepChecker};
-pub use coyote_telemetry::{parse_json, Histogram, JsonValue, Stage, TelemetrySink, TimeSeries};
+pub use coyote_telemetry::{
+    parse_json, Histogram, HostProf, JsonValue, Stage, TelemetrySink, TimeSeries,
+};

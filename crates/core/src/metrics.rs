@@ -14,7 +14,9 @@
 //!   or <https://ui.perfetto.dev>. One trace `ts` microsecond equals
 //!   one simulated cycle.
 
+use coyote_iss::{FuseDiag, FuseStop};
 use coyote_mem::hierarchy::HierarchyStats;
+use coyote_telemetry::hostprof::HostProf;
 use coyote_telemetry::{Blame, ChromeEvent, ChromeTrace, FlowEvent, Histogram, JsonValue, Stage};
 
 use crate::attr::BLAME_OTHER;
@@ -29,9 +31,11 @@ pub use coyote_telemetry::SCHEMA_VERSION;
 ///
 /// Top-level keys (pinned by the schema test): `schema_version`,
 /// `config`, `report`, `hierarchy`, `histograms`, `time_series`,
-/// `attribution`. Histograms and the time series are `null` when the
-/// run had telemetry disabled; attribution is always present (stall
-/// blame degrades to the `other` column without memory telemetry).
+/// `attribution`, `host_profile`. Histograms and the time series are
+/// `null` when the run had telemetry disabled; attribution is always
+/// present (stall blame degrades to the `other` column without memory
+/// telemetry); `host_profile` is `null` unless the run was profiled
+/// ([`crate::config::SimConfig::profiling`]).
 #[must_use]
 pub fn metrics_json(sim: &Simulation, report: &Report) -> JsonValue {
     JsonValue::object()
@@ -42,6 +46,7 @@ pub fn metrics_json(sim: &Simulation, report: &Report) -> JsonValue {
         .with("histograms", histograms_json(sim))
         .with("time_series", time_series_json(sim))
         .with("attribution", attribution_json(sim))
+        .with("host_profile", host_profile_json(sim))
 }
 
 /// The epoch time series as CSV (header only when telemetry was off).
@@ -282,6 +287,121 @@ fn time_series_json(sim: &Simulation) -> JsonValue {
         .with("total_retired", retired)
 }
 
+/// The `host_profile` section: the orchestrator phase tree, named
+/// counters, event-queue drain volume, and fused-pipeline introspection
+/// (per-core arm/validate outcomes, the window-abort reason taxonomy,
+/// chunk- and run-length distributions). `Null` unless the run was
+/// profiled ([`crate::config::SimConfig::profiling`]).
+///
+/// Host observation never feeds back into the model: stripping this
+/// section from a profiled run's document must leave it byte-identical
+/// to an unprofiled run (property-tested in `prof_invariance`). In
+/// counter mode every field is additionally a pure function of the
+/// simulated schedule, so the whole section is byte-stable across
+/// hosts.
+#[must_use]
+pub fn host_profile_json(sim: &Simulation) -> JsonValue {
+    let Some(prof) = sim.host_prof() else {
+        return JsonValue::Null;
+    };
+    let phases: Vec<JsonValue> = prof
+        .roots()
+        .iter()
+        .map(|&id| phase_json(prof, id))
+        .collect();
+    let mut counters = JsonValue::object();
+    for (name, value) in prof.counters() {
+        counters = counters.with(name, value);
+    }
+    let mut merged_runs = Histogram::new();
+    let per_core: Vec<JsonValue> = sim
+        .cores()
+        .iter()
+        .map(|core| {
+            let diag = core.fuse_diag();
+            let mut stops = JsonValue::object();
+            for stop in FuseStop::ALL {
+                stops = stops.with(stop.name(), diag.stops[stop as usize]);
+            }
+            let runs = run_length_hist(diag);
+            merged_runs.merge(&runs);
+            let chunks = prof
+                .core_hists("chunk_len")
+                .and_then(|hists| hists.get(core.index()))
+                .cloned()
+                .unwrap_or_default();
+            JsonValue::object()
+                .with("core", core.index())
+                .with("template_arms", diag.template_arms)
+                .with("full_validations", diag.full_validations)
+                .with("armed_runs", diag.armed_runs)
+                .with("stops", stops)
+                .with("run_lengths", histogram_json(&runs))
+                .with("chunk_lengths", histogram_json(&chunks))
+        })
+        .collect();
+    // The window-abort taxonomy: per-core validation stop reasons
+    // summed across cores, plus the two orchestrator-level aborts that
+    // no single core owns.
+    let mut abort = JsonValue::object();
+    for stop in FuseStop::ALL {
+        let total: u64 = sim
+            .cores()
+            .iter()
+            .map(|core| core.fuse_diag().stops[stop as usize])
+            .sum();
+        abort = abort.with(stop.name(), total);
+    }
+    abort = abort
+        .with(
+            "cross_core_conflict",
+            prof.counter("window/cross_core_conflict"),
+        )
+        .with(
+            "text_invalidation",
+            prof.counter("window/text_invalidation"),
+        );
+    JsonValue::object()
+        .with("mode", prof.clock().name())
+        .with("phases", JsonValue::Array(phases))
+        .with("counters", counters)
+        .with("event_pops", sim.event_pops())
+        .with("abort_reasons", abort)
+        .with(
+            "chunk_lengths",
+            histogram_json(&prof.merged_core_hist("chunk_len")),
+        )
+        .with("run_lengths", histogram_json(&merged_runs))
+        .with("per_core", JsonValue::Array(per_core))
+}
+
+/// One phase-tree node: timing aggregates plus recursive children.
+fn phase_json(prof: &HostProf, id: usize) -> JsonValue {
+    let phase = prof.phase(id);
+    let children: Vec<JsonValue> = phase
+        .children
+        .iter()
+        .map(|&child| phase_json(prof, child))
+        .collect();
+    JsonValue::object()
+        .with("name", phase.name)
+        .with("count", phase.count)
+        .with("total_ns", phase.total_ns)
+        .with("exclusive_ns", prof.exclusive_ns(id))
+        .with("latency", histogram_json(phase.hist))
+        .with("children", JsonValue::Array(children))
+}
+
+/// Converts a core's exact armed-run-length count table into a log2
+/// histogram (bulk inserts — no per-sample replay).
+fn run_length_hist(diag: &FuseDiag) -> Histogram {
+    let mut hist = Histogram::new();
+    for (len, &count) in diag.run_len_counts.iter().enumerate() {
+        hist.record_n(len as u64, count);
+    }
+    hist
+}
+
 /// Human name for a Paraver state code (Chrome slice labels).
 fn state_name(code: u64) -> &'static str {
     match code {
@@ -479,6 +599,7 @@ mod tests {
                 "histograms",
                 "time_series",
                 "attribution",
+                "host_profile",
             ])
         );
         assert_eq!(
@@ -488,6 +609,77 @@ mod tests {
         // Round-trips through the parser.
         let text = doc.to_string_pretty();
         assert_eq!(coyote_telemetry::parse_json(&text).unwrap(), doc);
+        // Unprofiled runs carry the key with a null section.
+        assert_eq!(doc.get("host_profile"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn host_profile_section_exports_taxonomy_and_distributions() {
+        let src = "
+            _start:
+                li t0, 64
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                li a0, 0
+                li a7, 93
+                ecall";
+        let program = coyote_asm::assemble(src).unwrap();
+        let config = SimConfig::builder()
+            .cores(2)
+            .profiling(crate::config::ProfMode::Counter)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(config, &program).unwrap();
+        let report = sim.run().unwrap();
+        let doc = metrics_json(&sim, &report);
+        let profile = doc.get("host_profile").expect("profiled run");
+        assert_eq!(
+            profile.get("mode").and_then(JsonValue::as_str),
+            Some("counter")
+        );
+        let phases = profile.get("phases").and_then(JsonValue::as_array).unwrap();
+        assert!(
+            phases
+                .iter()
+                .any(|p| p.get("name").and_then(JsonValue::as_str) == Some("execute")),
+            "phase tree must contain the execute phase"
+        );
+        // The abort taxonomy carries every FuseStop reason plus the two
+        // orchestrator-level aborts.
+        let abort = profile.get("abort_reasons").unwrap();
+        for stop in FuseStop::ALL {
+            assert!(abort.get(stop.name()).is_some(), "missing {}", stop.name());
+        }
+        assert!(abort.get("cross_core_conflict").is_some());
+        assert!(abort.get("text_invalidation").is_some());
+        // Counter mode: all phase timings are zero, counts are not.
+        assert!(phases
+            .iter()
+            .all(|p| { p.get("total_ns").and_then(JsonValue::as_u64) == Some(0) }));
+        assert!(
+            profile
+                .get("event_pops")
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            profile
+                .get("per_core")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+        // Predecode counters made it across from the decoded text.
+        let counters = profile.get("counters").unwrap();
+        assert!(
+            counters
+                .get("predecode/words")
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! byte); any overlap discards the shard results and re-executes the
 //! cycle sequentially, so the observable interleaving is always
 //! bit-identical to `jobs = 1`.
+//!
+//! When host profiling is on ([`crate::config::SimConfig::profiling`]),
+//! the orchestrator brackets these three stages as the profiler phases
+//! `parallel/shard_step` (dispatch + step + join), `parallel/
+//! conflict_check` (the access-set sweep below) and `parallel/commit`;
+//! a discarded cycle additionally bumps the `parallel/
+//! conflict_fallback` counter and re-runs under the `sequential` phase.
+//! Per-shard state carries no profiling hooks on purpose: worker
+//! threads must never observe the host clock, so all timing happens on
+//! the orchestrator thread at the phase boundaries.
 
 use std::sync::mpsc;
 use std::sync::Arc;

@@ -10,19 +10,19 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use coyote_asm::Program;
 use coyote_isa::XReg;
 use coyote_iss::core::{Core, CoreSnapshot, CoreState, DecodedText, StepEvent};
-use coyote_iss::{MissKind, SimError, SparseMemory};
+use coyote_iss::{FuseStop, MissKind, SimError, SparseMemory};
 use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
 use coyote_mem::telemetry::MemTelemetry;
 use coyote_oracle::{Divergence, LockstepChecker};
+use coyote_telemetry::hostprof::{HostProf, ProfClock, SpanToken, WallClock};
 use coyote_telemetry::{EpochSnapshot, TelemetrySink};
 
 use crate::attr::StallAttribution;
-use crate::config::{ConfigError, SimConfig};
+use crate::config::{ConfigError, ProfMode, SimConfig};
 use crate::par::{self, WorkerPool};
 use crate::report::{CoreReport, Report};
 use crate::trace::{StateInterval, Trace, TraceEvent};
@@ -200,6 +200,25 @@ pub struct Simulation {
     window_intervals: Vec<(u64, u64, usize, bool)>,
     /// Reused buffer: the disjointness sweep's open-interval set.
     window_open: Vec<(u64, usize, bool)>,
+    /// Host-side self-profiler, present when [`SimConfig::profiling`]
+    /// is not [`ProfMode::Off`]. Strictly observational: it reads the
+    /// orchestrator, never the other way around — profiled and
+    /// unprofiled runs are bit-identical (property-tested).
+    prof: Option<HostProf>,
+}
+
+/// The profile counter charged when a multi-core fused window stops
+/// because a core failed to re-arm, keyed by that core's stop reason.
+fn rearm_fail_counter(stop: FuseStop) -> &'static str {
+    match stop {
+        FuseStop::RunEnd => "window/rearm_fail/run_end",
+        FuseStop::TooShort => "window/rearm_fail/too_short",
+        FuseStop::ScoreboardBusy => "window/rearm_fail/scoreboard_busy",
+        FuseStop::PendingFill => "window/rearm_fail/pending_fill",
+        FuseStop::LineNotResident => "window/rearm_fail/line_not_resident",
+        FuseStop::BaseWritten => "window/rearm_fail/base_written",
+        FuseStop::TextStore => "window/rearm_fail/text_store",
+    }
 }
 
 impl fmt::Debug for Simulation {
@@ -222,9 +241,24 @@ impl Simulation {
     /// Returns [`RunError::Config`] for invalid configurations.
     pub fn new(config: SimConfig, program: &Program) -> Result<Simulation, RunError> {
         config.validate()?;
+        let mut prof = match config.profiling {
+            ProfMode::Off => None,
+            ProfMode::Wall => Some(HostProf::new(ProfClock::Wall, config.cores)),
+            ProfMode::Counter => Some(HostProf::new(ProfClock::Counter, config.cores)),
+        };
         let mut mem = SparseMemory::new();
         mem.load_program(program);
+        let predecode_span = prof.as_mut().map(|p| p.enter("predecode"));
         let text = DecodedText::from_program(program);
+        if let Some(p) = &mut prof {
+            if let Some(span) = predecode_span {
+                p.exit(span);
+            }
+            let stats = text.predecode_stats();
+            p.bump("predecode/words", stats.words);
+            p.bump("predecode/decoded", stats.decoded);
+            p.bump("predecode/holes", stats.holes);
+        }
         // `SimConfig::fusion` is authoritative for the per-core fused
         // dispatch; mirror it into the core configuration.
         let mut core_config = config.core;
@@ -268,6 +302,7 @@ impl Simulation {
             woken_buf: Vec::new(),
             window_intervals: Vec::new(),
             window_open: Vec::new(),
+            prof,
             config,
         })
     }
@@ -330,6 +365,43 @@ impl Simulation {
     #[must_use]
     pub fn cores(&self) -> &[Core] {
         &self.cores
+    }
+
+    /// The host-side self-profiler, when [`SimConfig::profiling`] was
+    /// enabled for this run.
+    #[must_use]
+    pub fn host_prof(&self) -> Option<&HostProf> {
+        self.prof.as_ref()
+    }
+
+    /// Total events popped from the hierarchy event queue so far — the
+    /// event-queue drain volume the host profile exports.
+    #[must_use]
+    pub fn event_pops(&self) -> u64 {
+        self.hierarchy.event_pops()
+    }
+
+    /// Opens a profiling span, if profiling is on. The token must be
+    /// handed back to [`Simulation::prof_exit`] on every path that
+    /// continues the run (error paths may drop it: the run is over).
+    fn prof_enter(&mut self, name: &'static str) -> Option<SpanToken> {
+        self.prof.as_mut().map(|p| p.enter(name))
+    }
+
+    /// Closes a span opened by [`Simulation::prof_enter`].
+    fn prof_exit(&mut self, span: Option<SpanToken>) {
+        if let Some(prof) = &mut self.prof {
+            if let Some(span) = span {
+                prof.exit(span);
+            }
+        }
+    }
+
+    /// Adds `n` to a named profile counter, if profiling is on.
+    fn prof_bump(&mut self, name: &'static str, n: u64) {
+        if let Some(prof) = &mut self.prof {
+            prof.bump(name, n);
+        }
     }
 
     /// The collected trace, if tracing was enabled.
@@ -439,10 +511,12 @@ impl Simulation {
     /// Returns [`RunError`] on core faults, deadlock, or when
     /// `max_cycles` is exceeded.
     pub fn run(&mut self) -> Result<Report, RunError> {
-        // audit:allow(wall-clock): wall time feeds only the report's
-        // host-MIPS diagnostics, never the model; exports that must be
-        // byte-stable zero it (see `coyote_lint::race::run_once`).
-        let started = Instant::now();
+        // Wall time feeds only the report's host-MIPS diagnostics,
+        // never the model; exports that must be byte-stable zero it
+        // (see `coyote_lint::race::run_once`). The clock itself lives
+        // behind `coyote_telemetry::hostprof` — the workspace's one
+        // path-pinned wall-clock exception.
+        let started = WallClock::start();
         loop {
             if self.step_cycle()? {
                 return Ok(self.build_report(started.elapsed()));
@@ -492,6 +566,7 @@ impl Simulation {
         //    once; the window is bounded so every observable event
         //    (hierarchy completion, telemetry sample, cycle limit)
         //    still lands on exactly the cycle it would have per-cycle.
+        let execute_span = self.prof_enter("execute");
         if let Some(window) = self.try_fused_window(cycle)? {
             // `window` cycles retired one instruction per active core
             // per cycle with no stalls, misses or state transitions;
@@ -511,6 +586,7 @@ impl Simulation {
             }
             self.refresh_active_list();
         }
+        self.prof_exit(execute_span);
 
         // Close `active` intervals for cores the execute phase just
         // deactivated (stall attribution runs unconditionally, but a
@@ -528,6 +604,11 @@ impl Simulation {
         self.drain_text_writes();
 
         // 2. Enqueue this cycle's L1 misses into the event model.
+        let miss_span = if self.miss_buf.is_empty() {
+            None
+        } else {
+            self.prof_enter("miss_submit")
+        };
         for miss in self.miss_buf.drain(..) {
             if let Some(trace) = &mut self.trace {
                 trace.record(TraceEvent {
@@ -549,10 +630,12 @@ impl Simulation {
                 },
             );
         }
+        self.prof_exit(miss_span);
 
         // 3. Advance the event model to the current cycle and service
         //    completed misses (waking stalled cores). Every fill that
         //    reaches a still-stalled core is a wake-cause candidate.
+        let advance_span = self.prof_enter("hier_advance");
         self.hierarchy.advance(cycle, &mut self.completion_buf);
         let drained_any = !self.completion_buf.is_empty();
         self.woken_buf.clear();
@@ -588,6 +671,7 @@ impl Simulation {
             self.attr
                 .scan_after_drain(&self.cores, &self.woken_buf, cycle);
         }
+        self.prof_exit(advance_span);
 
         // 4. Trace core-state intervals on transitions (Paraver and/or
         //    Chrome trace).
@@ -676,6 +760,7 @@ impl Simulation {
     /// order directly against shared memory. The caller refreshes the
     /// active list afterwards.
     fn step_cores_sequential(&mut self, cycle: u64) -> Result<(), RunError> {
+        let span = self.prof_enter("sequential");
         let mut order = std::mem::take(&mut self.step_order);
         order.clear();
         order.extend_from_slice(&self.active_list);
@@ -721,6 +806,7 @@ impl Simulation {
             }
         }
         self.step_order = order;
+        self.prof_exit(span);
         if let Some((core, source)) = fault {
             return Err(RunError::Core { core, source });
         }
@@ -741,6 +827,8 @@ impl Simulation {
     /// the real cores and memory are an untouched pre-cycle snapshot —
     /// and re-executes the cycle sequentially.
     fn step_cores_parallel(&mut self, cycle: u64) -> Result<(), RunError> {
+        let par_span = self.prof_enter("parallel");
+        let step_span = self.prof_enter("shard_step");
         let active: &[usize] = &self.active_list;
         let pool = self.pool.as_ref().expect("parallel phase requires a pool");
         let shards = (pool.workers() + 1).min(active.len());
@@ -792,8 +880,12 @@ impl Simulation {
             .into_iter()
             .flat_map(|r| r.expect("every shard reports exactly once"))
             .collect();
+        self.prof_exit(step_span);
 
-        if stepped.iter().any(|s| s.error.is_some()) || par::conflicting(&stepped) {
+        let check_span = self.prof_enter("conflict_check");
+        let conflict = stepped.iter().any(|s| s.error.is_some()) || par::conflicting(&stepped);
+        self.prof_exit(check_span);
+        if conflict {
             // Fall back: a fault must surface at its sequential
             // position, and overlapping accesses mean the snapshot
             // semantics differ from the sequential interleaving.
@@ -806,9 +898,15 @@ impl Simulation {
             // double-count.
             drop(stepped);
             self.conflict_fallbacks += 1;
+            self.prof_bump("parallel/conflict_fallback", 1);
+            // The sequential re-run opens its own span; close the
+            // parallel one first so the phase tree nests it as a
+            // sibling retry, not a child of the discarded attempt.
+            self.prof_exit(par_span);
             return self.step_cores_sequential(cycle);
         }
 
+        let commit_span = self.prof_enter("commit");
         let mut diverged = None;
         {
             let Simulation {
@@ -838,6 +936,8 @@ impl Simulation {
                 miss_buf.extend(s.misses);
             }
         }
+        self.prof_exit(commit_span);
+        self.prof_exit(par_span);
         if let Some(mut divergence) = diverged {
             divergence.context = self.cores.iter().map(Core::snapshot).collect();
             return Err(RunError::OracleDivergence(divergence));
@@ -892,9 +992,11 @@ impl Simulation {
             return Ok(None);
         }
 
+        let span = self.prof_enter("fused_window");
         let actives = std::mem::take(&mut self.active_list);
         let result = self.fused_window_of(cycle, bound, &actives);
         self.active_list = actives;
+        self.prof_exit(span);
         result
     }
 
@@ -922,6 +1024,11 @@ impl Simulation {
             let consumed = cores[idx]
                 .step_block_chain(mem, text, cycle, bound)
                 .map_err(|source| RunError::Core { core: idx, source })?;
+            if consumed > 0 {
+                if let Some(prof) = &mut self.prof {
+                    prof.record_core("chunk_len", idx, u64::from(consumed));
+                }
+            }
             return Ok((consumed > 0).then_some(consumed));
         }
         // Chunk-wise lockstep: every active core must hold a validated
@@ -939,11 +1046,19 @@ impl Simulation {
             for &idx in actives {
                 let left = self.cores[idx].ensure_fused_run(&self.text);
                 if left == 0 {
+                    // The lockstep window ends the moment one core
+                    // cannot re-arm; charge the abort to that core's
+                    // validation stop reason.
+                    if self.prof.is_some() {
+                        let stop = self.cores[idx].fuse_diag().last_stop;
+                        self.prof_bump(rearm_fail_counter(stop), 1);
+                    }
                     break 'window;
                 }
                 chunk = chunk.min(left);
             }
             if self.window_conflicts(actives, chunk) {
+                self.prof_bump("window/cross_core_conflict", 1);
                 break;
             }
             let Simulation {
@@ -961,6 +1076,11 @@ impl Simulation {
                     .map_err(|source| RunError::Core { core: idx, source })?;
             }
             consumed += chunk;
+            if let Some(prof) = &mut self.prof {
+                for &idx in actives {
+                    prof.record_core("chunk_len", idx, u64::from(chunk));
+                }
+            }
         }
         Ok((consumed > 0).then_some(consumed))
     }
@@ -1042,6 +1162,8 @@ impl Simulation {
         if !stepped_wrote {
             return;
         }
+        let span = self.prof_enter("text_invalidate");
+        self.prof_bump("window/text_invalidation", 1);
         let mut writes: Vec<(u64, u8)> = Vec::new();
         for core in &mut self.cores {
             writes.append(&mut core.take_text_writes());
@@ -1056,6 +1178,7 @@ impl Simulation {
         for core in &mut self.cores {
             core.abort_fused_run();
         }
+        self.prof_exit(span);
     }
 
     /// Takes one epoch-telemetry sample at `cycle`, if telemetry is on.
@@ -1063,10 +1186,12 @@ impl Simulation {
     /// (the sink itself drops empty spans).
     fn flush_epoch_sample(&mut self, cycle: u64) {
         if self.telemetry.is_some() {
+            let span = self.prof_enter("epoch_sample");
             let snapshot = self.epoch_snapshot(cycle);
             if let Some(sink) = &mut self.telemetry {
                 sink.sample(snapshot);
             }
+            self.prof_exit(span);
         }
     }
 

@@ -6,7 +6,7 @@
 //! old shape, or bump [`coyote::SCHEMA_VERSION`] and regenerate the
 //! golden file to match (and mention the break in DESIGN.md).
 
-use coyote::{metrics_json, JsonValue, SimConfig, Simulation};
+use coyote::{metrics_json, JsonValue, ProfMode, SimConfig, Simulation};
 
 fn metrics_document() -> JsonValue {
     let program = coyote_asm::assemble(
@@ -30,11 +30,14 @@ fn metrics_document() -> JsonValue {
             ecall",
     )
     .expect("assemble");
+    // Counter-mode profiling keeps the document fully deterministic
+    // while pinning the `host_profile` section's key paths too.
     let config = SimConfig::builder()
         .cores(2)
         .telemetry(true)
         .metrics_interval(200)
         .chrome_trace(true)
+        .profiling(ProfMode::Counter)
         .build()
         .expect("config");
     let mut sim = Simulation::new(config, &program).expect("create sim");

@@ -1,0 +1,245 @@
+//! The host-profiler's non-negotiable invariant: profiling is pure
+//! observation. For arbitrary machine shapes, kernels, job counts, and
+//! perturbation seeds, a profiled run (wall or counter clock) must
+//! yield a bit-identical determinism digest and byte-identical metrics
+//! JSON — once the `host_profile` section itself is stripped — to the
+//! same run with profiling off. Host clock reads must never leak into
+//! simulated state.
+
+use std::time::Duration;
+
+use coyote::{JsonValue, L2Sharing, ProfMode, SimConfig, Simulation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Machine {
+    cores: usize,
+    sharing: L2Sharing,
+    iterations: u64,
+}
+
+fn machine_strategy() -> impl Strategy<Value = Machine> {
+    (
+        2usize..9,
+        prop_oneof![Just(L2Sharing::Shared), Just(L2Sharing::Private)],
+        4u64..32,
+    )
+        .prop_map(|(cores, sharing, iterations)| Machine {
+            cores,
+            sharing,
+            iterations,
+        })
+}
+
+/// Hart-partitioned load/store kernel (no conflicts) or a contended
+/// one-dword kernel (conflict fallbacks every parallel cycle).
+fn kernel(machine: &Machine, contended: bool) -> String {
+    if contended {
+        format!(
+            "
+            .data
+            hot: .dword 0
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, hot
+                li t2, {iters}
+            loop:
+                ld t3, 0(t1)
+                add t3, t3, t0
+                sd t3, 0(t1)
+                addi t2, t2, -1
+                bnez t2, loop
+                li a0, 0
+                li a7, 93
+                ecall",
+            iters = machine.iterations,
+        )
+    } else {
+        format!(
+            "
+            .data
+            buf: .zero 16384
+            .text
+            _start:
+                csrr t0, mhartid
+                la t1, buf
+                slli t2, t0, 9
+                add t1, t1, t2
+                li t3, {iters}
+            loop:
+                ld t4, 0(t1)
+                addi t4, t4, 1
+                sd t4, 0(t1)
+                addi t1, t1, 64
+                addi t3, t3, -1
+                bnez t3, loop
+                mv a0, t0
+                li a7, 93
+                ecall",
+            iters = machine.iterations,
+        )
+    }
+}
+
+/// Rebuilds the document without its `host_profile` member. Both the
+/// unprofiled document (`"host_profile": null`) and profiled ones
+/// carry the key, so stripping from *both* sides keeps the comparison
+/// honest — a missing key would fail the schema test, not this one.
+fn strip_host_profile(doc: JsonValue) -> JsonValue {
+    match doc {
+        JsonValue::Object(pairs) => JsonValue::Object(
+            pairs
+                .into_iter()
+                .filter(|(key, _)| key != "host_profile")
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Runs `src` with the given profiling mode, returning the determinism
+/// digest, the metrics JSON bytes with `host_profile` stripped and
+/// wall time zeroed (both are host observation, not model output),
+/// and the full metrics document for section-level checks.
+fn run(
+    src: &str,
+    machine: &Machine,
+    jobs: usize,
+    profiling: ProfMode,
+    perturb: u64,
+) -> (u64, String, JsonValue) {
+    let program = coyote_asm::assemble(src).expect("assemble");
+    let config = SimConfig::builder()
+        .cores(machine.cores)
+        .sharing(machine.sharing)
+        .perturb_seed(perturb)
+        .telemetry(true)
+        .metrics_interval(64)
+        .jobs(jobs)
+        .profiling(profiling)
+        .build()
+        .expect("valid config");
+    let mut sim = Simulation::new(config, &program).expect("create sim");
+    let mut report = sim.run().expect("run completes");
+    report.wall_time = Duration::ZERO;
+    let doc = coyote::metrics_json(&sim, &report);
+    let json = strip_host_profile(doc.clone()).to_string_pretty();
+    (sim.determinism_digest(), json, doc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant: Off vs Wall vs Counter, sequential and
+    /// parallel, partitioned and contended, perturbed and canonical —
+    /// same digest, same metrics bytes.
+    #[test]
+    fn profiling_never_perturbs_the_simulation(
+        machine in machine_strategy(),
+        contended in any::<bool>(),
+        perturb in prop_oneof![Just(0u64), 1u64..u64::MAX],
+    ) {
+        let src = kernel(&machine, contended);
+        for jobs in [1usize, 4] {
+            let (off_digest, off_json, off_doc) =
+                run(&src, &machine, jobs, ProfMode::Off, perturb);
+            prop_assert_eq!(
+                off_doc.get("host_profile"),
+                Some(&JsonValue::Null),
+                "unprofiled run must export a null host_profile"
+            );
+            for mode in [ProfMode::Wall, ProfMode::Counter] {
+                let (digest, json, doc) = run(&src, &machine, jobs, mode, perturb);
+                prop_assert_eq!(
+                    digest, off_digest,
+                    "profiling leaked into the digest (mode={:?}, jobs={})",
+                    mode, jobs
+                );
+                prop_assert_eq!(
+                    &json, &off_json,
+                    "profiling leaked into the metrics JSON (mode={:?}, jobs={})",
+                    mode, jobs
+                );
+                prop_assert!(
+                    doc.get("host_profile") != Some(&JsonValue::Null),
+                    "profiled run exported no host_profile section"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic regression twin of the proptest: the exact fixed
+/// shape the CI smoke uses, checked without proptest's shrinking in
+/// the way.
+#[test]
+fn profiled_contended_run_matches_unprofiled() {
+    let machine = Machine {
+        cores: 4,
+        sharing: L2Sharing::Shared,
+        iterations: 24,
+    };
+    let src = kernel(&machine, true);
+    let (off_digest, off_json, _) = run(&src, &machine, 4, ProfMode::Off, 0);
+    for mode in [ProfMode::Wall, ProfMode::Counter] {
+        let (digest, json, _) = run(&src, &machine, 4, mode, 0);
+        assert_eq!(digest, off_digest, "digest diverged ({mode:?})");
+        assert_eq!(json, off_json, "metrics JSON diverged ({mode:?})");
+    }
+}
+
+/// Counter-mode profiles are a pure function of the simulated
+/// schedule, so every simulation-derived section must be byte-stable
+/// across job counts: the per-core fused-pipeline diagnostics, the
+/// abort-reason taxonomy, the chunk-/run-length distributions, and
+/// the event-pop total. Only the phase *tree* may differ (jobs = 4
+/// takes the parallel phases; jobs = 1 never enters them).
+#[test]
+fn counter_profiles_aggregate_by_core_order_across_jobs() {
+    let machine = Machine {
+        cores: 4,
+        sharing: L2Sharing::Shared,
+        iterations: 24,
+    };
+    for contended in [false, true] {
+        let src = kernel(&machine, contended);
+        let (seq_digest, _, seq_doc) = run(&src, &machine, 1, ProfMode::Counter, 0);
+        let (par_digest, _, par_doc) = run(&src, &machine, 4, ProfMode::Counter, 0);
+        assert_eq!(
+            seq_digest, par_digest,
+            "digest diverged (contended={contended})"
+        );
+        let seq = seq_doc.get("host_profile").expect("profiled");
+        let par = par_doc.get("host_profile").expect("profiled");
+        for section in [
+            "per_core",
+            "abort_reasons",
+            "chunk_lengths",
+            "run_lengths",
+            "event_pops",
+        ] {
+            let a = seq.get(section).expect("section present");
+            let b = par.get(section).expect("section present");
+            assert_eq!(
+                a.to_string_pretty(),
+                b.to_string_pretty(),
+                "host_profile.{section} depends on the job count (contended={contended})"
+            );
+        }
+        // And the phase trees do legitimately differ in shape: the
+        // parallel run enters phases the sequential one never has.
+        let seq_phases = seq.get("phases").expect("phases").to_string_pretty();
+        let par_phases = par.get("phases").expect("phases").to_string_pretty();
+        if contended {
+            assert!(
+                par_phases.contains("conflict_check"),
+                "jobs=4 must enter the parallel conflict-check phase"
+            );
+        }
+        assert!(
+            !seq_phases.contains("shard_step"),
+            "jobs=1 must never enter the parallel shard phase"
+        );
+    }
+}

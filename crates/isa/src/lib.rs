@@ -39,7 +39,7 @@ pub use csr::Csr;
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};
 pub use inst::Inst;
-pub use predecode::{predecode, DecodedInst, RegSet};
+pub use predecode::{predecode, predecode_with_stats, DecodedInst, PredecodeStats, RegSet};
 pub use reg::{FReg, VReg, XReg};
 pub use superblock::{build_plans, BlockSummary, FuseClass, FusePlan, MemPlan};
 pub use vtype::{Lmul, Sew, VType};

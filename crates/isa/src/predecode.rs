@@ -414,13 +414,40 @@ impl DecodedInst {
     }
 }
 
+/// Predecode volume counters, for the host profiler's predecode phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredecodeStats {
+    /// Text-segment words examined.
+    pub words: u64,
+    /// Words that decoded into a micro-op table entry.
+    pub decoded: u64,
+    /// Words left as `None` holes (illegal-instruction faults if ever
+    /// reached).
+    pub holes: u64,
+}
+
 /// Predecodes a text segment into the dense micro-op table the stepper
 /// indexes by `(pc - text_base) / 4`. Words that do not decode leave a
 /// `None` hole (reaching one at run time is an illegal-instruction
 /// fault).
 #[must_use]
 pub fn predecode(words: &[u32]) -> Vec<Option<DecodedInst>> {
-    words.iter().map(|&w| DecodedInst::from_word(w)).collect()
+    predecode_with_stats(words).0
+}
+
+/// [`predecode`] plus volume counters: how many words were examined
+/// and how many decoded. The table is computed identically.
+#[must_use]
+pub fn predecode_with_stats(words: &[u32]) -> (Vec<Option<DecodedInst>>, PredecodeStats) {
+    let table: Vec<Option<DecodedInst>> =
+        words.iter().map(|&w| DecodedInst::from_word(w)).collect();
+    let decoded = table.iter().filter(|e| e.is_some()).count() as u64;
+    let stats = PredecodeStats {
+        words: words.len() as u64,
+        decoded,
+        holes: words.len() as u64 - decoded,
+    };
+    (table, stats)
 }
 
 #[cfg(test)]

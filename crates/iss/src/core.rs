@@ -15,14 +15,14 @@ use std::fmt;
 
 use coyote_asm::Program;
 use coyote_isa::superblock::{build_plans, rebuild_runs, FuseClass, FusePlan, MemPlan};
-use coyote_isa::{DecodedInst, Inst, XReg};
+use coyote_isa::{DecodedInst, Inst, PredecodeStats, XReg};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::exec::{defs, execute, uses, Ecall, ExecError, MemAccess, RegSet};
 use crate::hart::{Hart, DEFAULT_VLEN_BITS};
 use crate::mem::{AddrMap, MemoryIo};
 use crate::scoreboard::{dest_set, Scoreboard};
-use crate::superblock::{validate_run, FusedAccess, ValidateCtx, MAX_RUN};
+use crate::superblock::{validate_run_stop, FuseDiag, FuseStop, FusedAccess, ValidateCtx, MAX_RUN};
 
 /// Configuration of one core.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +178,8 @@ pub struct DecodedText {
     /// patches slots, so facts derived from the static tables (per-core
     /// run templates) self-expire when the text changes.
     gen: u64,
+    /// Volume counters from the initial predecode pass.
+    predecode_stats: PredecodeStats,
 }
 
 impl DecodedText {
@@ -185,14 +187,22 @@ impl DecodedText {
     /// fuse plans.
     #[must_use]
     pub fn from_program(program: &Program) -> DecodedText {
-        let insts = coyote_isa::predecode(program.text());
+        let (insts, predecode_stats) = coyote_isa::predecode_with_stats(program.text());
         let plans = build_plans(&insts);
         DecodedText {
             base: program.text_base(),
             insts,
             plans,
             gen: 0,
+            predecode_stats,
         }
+    }
+
+    /// Volume counters from the initial predecode pass (the host
+    /// profiler's predecode phase).
+    #[must_use]
+    pub fn predecode_stats(&self) -> PredecodeStats {
+        self.predecode_stats
     }
 
     /// The invalidation generation: changes exactly when predecoded
@@ -409,6 +419,9 @@ pub struct Core {
     /// [`CoreStats`] so the determinism digest cannot vary with the
     /// fusion knob, while metrics still export it (`block_hit_rate`).
     fused_retired: u64,
+    /// Arm/validate outcome counters for the host profiler (same
+    /// digest-exclusion contract as `fused_retired`).
+    fuse_diag: FuseDiag,
     /// Stores this core made into the text segment this cycle; the
     /// orchestrator drains them into [`DecodedText::invalidate`] at
     /// end of cycle.
@@ -447,6 +460,7 @@ impl Core {
             template: RunTemplate::empty(),
             last_validated_pc: u64::MAX,
             fused_retired: 0,
+            fuse_diag: FuseDiag::default(),
             text_writes: Vec::new(),
         }
     }
@@ -556,6 +570,14 @@ impl Core {
         self.fused_retired
     }
 
+    /// Host-diagnostic arm/validate outcome counters (see
+    /// [`FuseDiag`]): how often this core armed runs, from which path,
+    /// and why validation walks stopped.
+    #[must_use]
+    pub fn fuse_diag(&self) -> &FuseDiag {
+        &self.fuse_diag
+    }
+
     /// Instructions remaining in the currently validated run.
     #[must_use]
     pub fn fused_left(&self) -> u32 {
@@ -630,7 +652,9 @@ impl Core {
             scoreboard: &self.scoreboard,
             pending_data: &self.pending_data,
         };
-        let len = validate_run(text, pc, &ctx, &mut self.fused_accesses);
+        let (len, stop) = validate_run_stop(text, pc, &ctx, &mut self.fused_accesses);
+        self.fuse_diag.full_validations += 1;
+        self.fuse_diag.record_arm(len, stop);
         self.fused_len = len;
         self.fused_left = len;
         self.fused_cursor = 0;
@@ -711,6 +735,13 @@ impl Core {
             tpl.icache_valid = true;
         }
         let mut len = tpl.len.min(tpl.icache_len);
+        // Observation only: why the arm stops where it does (the
+        // re-arm half of the abort-reason taxonomy).
+        let mut stop = if tpl.icache_len < tpl.len {
+            FuseStop::LineNotResident
+        } else {
+            FuseStop::RunEnd
+        };
         let pending_empty = self.pending_data.is_empty();
         self.fused_accesses.clear();
         for &(pos, plan) in &tpl.ops {
@@ -723,14 +754,21 @@ impl Core {
                 .wrapping_add(plan.offset as i64 as u64);
             let way = self.dcache.probe_way(addr);
             let blocked = match way {
-                None => true,
-                Some(_) => {
-                    (!pending_empty && self.pending_data.contains_key(&self.dcache.line_addr(addr)))
-                        || (plan.write && text.overlaps(addr, u64::from(plan.size)))
+                None => Some(FuseStop::LineNotResident),
+                Some(_)
+                    if !pending_empty
+                        && self.pending_data.contains_key(&self.dcache.line_addr(addr)) =>
+                {
+                    Some(FuseStop::PendingFill)
                 }
+                Some(_) if plan.write && text.overlaps(addr, u64::from(plan.size)) => {
+                    Some(FuseStop::TextStore)
+                }
+                Some(_) => None,
             };
-            if blocked {
+            if let Some(reason) = blocked {
                 len = pos;
+                stop = reason;
                 break;
             }
             self.fused_accesses.push(FusedAccess {
@@ -745,6 +783,8 @@ impl Core {
             self.fused_accesses.clear();
             len = 0;
         }
+        self.fuse_diag.template_arms += 1;
+        self.fuse_diag.record_arm(len, stop);
         self.fused_len = len;
         self.fused_left = len;
         self.fused_cursor = 0;

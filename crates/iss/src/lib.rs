@@ -73,5 +73,5 @@ pub use exec::{Dest, Ecall, Effects, ExecError, MemAccess, RegSet};
 pub use hart::{Hart, DEFAULT_VLEN_BITS};
 pub use mem::{MemoryIo, SparseMemory};
 pub use scoreboard::Scoreboard;
-pub use superblock::{accesses_conflict, FusedAccess};
+pub use superblock::{accesses_conflict, FuseDiag, FuseStop, FusedAccess};
 pub use view::{BufferedMemory, StoreBuffer};

@@ -45,6 +45,118 @@ use crate::scoreboard::Scoreboard;
 /// the staleness window of the residency facts it relies on.
 pub const MAX_RUN: u32 = 64;
 
+/// Why a validation or template-arm walk stopped where it did — the
+/// window-abort and re-arm reason taxonomy the host profiler reports.
+///
+/// Purely host-diagnostic: recording a stop never changes what the
+/// walk validates, and the counters live outside `CoreStats` so the
+/// determinism digest cannot see them. Two further abort reasons exist
+/// only at the orchestrator (they involve more than one core):
+/// cross-core access conflicts and text-segment invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseStop {
+    /// The walk reached the end of the static run: nothing dynamic
+    /// truncated it.
+    RunEnd,
+    /// No fusable run starts here (static run shorter than two
+    /// instructions, or the PC is outside the predecoded text).
+    TooShort,
+    /// An instruction's use/def set was blocked by the scoreboard.
+    ScoreboardBusy,
+    /// An accessed data line has a fill in flight.
+    PendingFill,
+    /// An instruction or data line is not resident in its L1.
+    LineNotResident,
+    /// A memory op's base register is written earlier in the run, so
+    /// its address is not knowable at validation time.
+    BaseWritten,
+    /// A store lands in the text segment (self-modifying code takes
+    /// the per-instruction path so invalidation fires).
+    TextStore,
+}
+
+impl FuseStop {
+    /// All stop reasons, in a fixed export order.
+    pub const ALL: [FuseStop; 7] = [
+        FuseStop::RunEnd,
+        FuseStop::TooShort,
+        FuseStop::ScoreboardBusy,
+        FuseStop::PendingFill,
+        FuseStop::LineNotResident,
+        FuseStop::BaseWritten,
+        FuseStop::TextStore,
+    ];
+
+    /// Number of stop reasons (sizes per-reason counter arrays).
+    pub const COUNT: usize = FuseStop::ALL.len();
+
+    /// Stable snake_case name used as the JSON key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FuseStop::RunEnd => "run_end",
+            FuseStop::TooShort => "too_short",
+            FuseStop::ScoreboardBusy => "scoreboard_busy",
+            FuseStop::PendingFill => "pending_fill",
+            FuseStop::LineNotResident => "line_not_resident",
+            FuseStop::BaseWritten => "base_written",
+            FuseStop::TextStore => "text_store",
+        }
+    }
+}
+
+/// Host-diagnostic counters for one core's fused dispatch: how often
+/// runs were armed, from which path, and why walks stopped. Like
+/// `fused_retired`, deliberately outside `CoreStats` so the
+/// determinism digest cannot vary with profiling; the orchestrator
+/// aggregates these in core-index order when exporting a profile.
+#[derive(Debug, Clone)]
+pub struct FuseDiag {
+    /// Arm attempts that ran the cached-template fast path.
+    pub template_arms: u64,
+    /// Arm attempts that ran the full validation walk.
+    pub full_validations: u64,
+    /// Attempts that armed a run of length >= 2.
+    pub armed_runs: u64,
+    /// Walk-stop counts indexed by `FuseStop as usize`
+    /// ([`FuseStop::ALL`] order).
+    pub stops: [u64; FuseStop::COUNT],
+    /// Reason the most recent walk stopped (what the orchestrator
+    /// reports when a multi-core window dies on a failed re-arm).
+    pub last_stop: FuseStop,
+    /// Exact armed-run-length distribution: `run_len_counts[n]` counts
+    /// runs armed at length `n` (lengths are `2..=MAX_RUN`).
+    pub run_len_counts: [u64; MAX_RUN as usize + 1],
+}
+
+impl Default for FuseDiag {
+    fn default() -> FuseDiag {
+        FuseDiag {
+            template_arms: 0,
+            full_validations: 0,
+            armed_runs: 0,
+            stops: [0; FuseStop::COUNT],
+            last_stop: FuseStop::RunEnd,
+            run_len_counts: [0; MAX_RUN as usize + 1],
+        }
+    }
+}
+
+impl FuseDiag {
+    /// Records the outcome of one arm attempt: the length it armed
+    /// (0 = per-instruction path) and why the walk stopped there.
+    pub fn record_arm(&mut self, len: u32, stop: FuseStop) {
+        self.stops[stop as usize] += 1;
+        self.last_stop = stop;
+        if len > 0 {
+            self.armed_runs += 1;
+            if let Some(slot) = self.run_len_counts.get_mut(len as usize) {
+                *slot += 1;
+            }
+        }
+    }
+}
+
 /// One pre-validated memory access of a fused run.
 ///
 /// `pos` is the instruction's position within the validated run (0 =
@@ -98,13 +210,26 @@ pub fn validate_run(
     ctx: &ValidateCtx<'_>,
     accesses: &mut Vec<FusedAccess>,
 ) -> u32 {
+    validate_run_stop(text, pc, ctx, accesses).0
+}
+
+/// [`validate_run`] plus the [`FuseStop`] reason the walk stopped
+/// where it did. The length is computed identically; the reason is
+/// observation only.
+#[must_use]
+pub fn validate_run_stop(
+    text: &DecodedText,
+    pc: u64,
+    ctx: &ValidateCtx<'_>,
+    accesses: &mut Vec<FusedAccess>,
+) -> (u32, FuseStop) {
     accesses.clear();
     let Some(start) = text.index_of(pc) else {
-        return 0;
+        return (0, FuseStop::TooShort);
     };
     let full = text.plan(start).run_len.min(MAX_RUN);
     if full < 2 {
-        return 0;
+        return (0, FuseStop::TooShort);
     }
 
     // Hoisted loop invariants: the walk is pure, so an idle scoreboard
@@ -119,6 +244,7 @@ pub fn validate_run(
 
     let mut written = RegSet::new();
     let mut len = 0u32;
+    let mut stop = FuseStop::RunEnd;
     for i in 0..full {
         let idx = start + i as usize;
         let slot_pc = pc + u64::from(i) * 4;
@@ -127,6 +253,7 @@ pub fn validate_run(
         let iline = ctx.icache.line_addr(slot_pc);
         if iline != checked_iline {
             if !ctx.icache.contains(slot_pc) {
+                stop = FuseStop::LineNotResident;
                 break;
             }
             checked_iline = iline;
@@ -135,6 +262,7 @@ pub fn validate_run(
         // Exact: fused runs never acquire, so the mask only shrinks
         // while the run retires.
         if !scoreboard_idle && ctx.scoreboard.blocks(&entry.uses, &entry.defs) {
+            stop = FuseStop::ScoreboardBusy;
             break;
         }
         if let FuseClass::Mem(plan) = text.plan(idx).class {
@@ -143,6 +271,7 @@ pub fn validate_run(
             let mut base = RegSet::new();
             base.add_x(plan.base);
             if written.intersects(&base) {
+                stop = FuseStop::BaseWritten;
                 break;
             }
             let addr = ctx
@@ -150,15 +279,18 @@ pub fn validate_run(
                 .x(plan.base)
                 .wrapping_add(plan.offset as i64 as u64);
             let Some(way) = ctx.dcache.probe_way(addr) else {
+                stop = FuseStop::LineNotResident;
                 break;
             };
             // A hit on an in-flight line must wait for the data.
             if !no_pending_data && ctx.pending_data.contains_key(&ctx.dcache.line_addr(addr)) {
+                stop = FuseStop::PendingFill;
                 break;
             }
             // Self-modifying stores go through the per-instruction
             // path so invalidation fires.
             if plan.write && text.overlaps(addr, u64::from(plan.size)) {
+                stop = FuseStop::TextStore;
                 break;
             }
             accesses.push(FusedAccess {
@@ -175,11 +307,11 @@ pub fn validate_run(
 
     if len < 2 {
         accesses.clear();
-        return 0;
+        return (0, stop);
     }
     // Drop accesses of instructions beyond the validated prefix.
     accesses.retain(|access| access.pos < len);
-    len
+    (len, stop)
 }
 
 /// Whether any access in `a`'s first `a_limit` positions overlaps any

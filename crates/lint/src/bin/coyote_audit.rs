@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
-//! coyote-audit --race --config NAME [--perturb-seed N] [--jobs N] [--json]
+//! coyote-audit --race --config NAME [--perturb-seed N] [--jobs N] [--profile] [--json]
 //! coyote-audit --race --all [--json]
 //! ```
 //!
@@ -13,7 +13,11 @@
 //! `coyote_lint::race`); exit code 1 means a schedule race. With
 //! `--jobs N` the perturbed run also executes its cores on N host
 //! threads, so the same diff proves the parallel execute phase is
-//! bit-identical to the sequential schedule.
+//! bit-identical to the sequential schedule. With `--profile` both
+//! runs carry counter-mode host profiling, extending the byte-for-byte
+//! metrics diff over the `host_profile` section (requires jobs = 1:
+//! the phase shape legitimately differs under a parallel execute
+//! phase).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,7 +27,8 @@ use coyote_lint::lint::{apply_baseline, load_baseline, scan_repo};
 use coyote_lint::race::{self, CONFIG_NAMES};
 
 const USAGE: &str = "usage: coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
-       coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--jobs N] [--json]";
+       coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--jobs N] [--profile] \
+[--json]";
 
 struct Args {
     lint: bool,
@@ -33,6 +38,7 @@ struct Args {
     configs: Vec<String>,
     perturb_seed: u64,
     jobs: usize,
+    profile: bool,
     json: bool,
 }
 
@@ -45,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         configs: Vec::new(),
         perturb_seed: 0,
         jobs: 1,
+        profile: false,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--lint" => args.lint = true,
             "--race" => args.race = true,
+            "--profile" => args.profile = true,
             "--json" => args.json = true,
             "--root" => args.root = PathBuf::from(take(&mut it, "--root")?),
             "--baseline" => args.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
@@ -139,7 +147,7 @@ fn run_race(args: &Args) -> Result<bool, String> {
     let mut clean = true;
     let mut reports = Vec::new();
     for name in &args.configs {
-        let outcome = race::check(name, args.perturb_seed, args.jobs, false)?;
+        let outcome = race::check(name, args.perturb_seed, args.jobs, args.profile, false)?;
         if args.json {
             reports.push(outcome.to_json());
         } else if let Some(divergence) = &outcome.divergence {

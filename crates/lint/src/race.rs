@@ -92,6 +92,10 @@ pub struct RaceDivergence {
 pub struct RaceOutcome {
     /// The named configuration checked.
     pub config: String,
+    /// Whether both runs carried counter-mode host profiling, extending
+    /// the byte-for-byte metrics comparison over the `host_profile`
+    /// section.
+    pub profiled: bool,
     /// The perturbation seed of the second run.
     pub perturb_seed: u64,
     /// Host threads of the perturbed run's execute phase (the baseline
@@ -137,6 +141,7 @@ impl RaceOutcome {
         });
         JsonValue::object()
             .with("config", self.config.clone())
+            .with("profiled", self.profiled)
             .with("perturb_seed", self.perturb_seed)
             .with("jobs", self.jobs)
             .with("cycles", self.cycles)
@@ -159,11 +164,19 @@ fn run_once(
     workload: &dyn Workload,
     perturb_seed: u64,
     jobs: usize,
+    profile: bool,
     log_events: bool,
     inject_unordered_drain: bool,
 ) -> Result<RunArtifacts, String> {
     config.perturb_seed = perturb_seed;
     config.jobs = jobs;
+    if profile {
+        // Counter-mode profiling is a pure function of the simulated
+        // schedule, so the metrics diff below extends race detection
+        // over the whole `host_profile` section for free. (Wall mode
+        // would diff raw nanoseconds — never byte-stable.)
+        config.profiling = coyote::ProfMode::Counter;
+    }
     let program = workload
         .program(config.cores)
         .map_err(|e| format!("workload failed to assemble: {e}"))?;
@@ -253,18 +266,41 @@ pub fn check(
     name: &str,
     perturb_seed: u64,
     jobs: usize,
+    profile: bool,
     inject_unordered_drain: bool,
 ) -> Result<RaceOutcome, String> {
     let (config, workload) = named_config(name)
         .ok_or_else(|| format!("unknown race config `{name}` (have: {CONFIG_NAMES:?})"))?;
+    if profile && jobs > 1 {
+        // The phase tree legitimately differs between sequential and
+        // parallel execute phases, and the baseline is always jobs=1 —
+        // profiled comparisons are only meaningful at matching shapes.
+        return Err("--profile requires jobs = 1 (the baseline is sequential)".to_owned());
+    }
     let seed = if perturb_seed == 0 {
         DEFAULT_PERTURB_SEED
     } else {
         perturb_seed
     };
 
-    let baseline = run_once(config, &workload, 0, 1, false, inject_unordered_drain)?;
-    let perturbed = run_once(config, &workload, seed, jobs, false, inject_unordered_drain)?;
+    let baseline = run_once(
+        config,
+        &workload,
+        0,
+        1,
+        profile,
+        false,
+        inject_unordered_drain,
+    )?;
+    let perturbed = run_once(
+        config,
+        &workload,
+        seed,
+        jobs,
+        profile,
+        false,
+        inject_unordered_drain,
+    )?;
 
     let mut observables = Vec::new();
     if baseline.exit_codes != perturbed.exit_codes {
@@ -294,6 +330,7 @@ pub fn check(
     if observables.is_empty() {
         return Ok(RaceOutcome {
             config: name.to_owned(),
+            profiled: profile,
             perturb_seed: seed,
             jobs,
             cycles: baseline.cycles,
@@ -305,8 +342,24 @@ pub fn check(
     // Divergence: rerun both schedules with event logging (runs are
     // individually deterministic, so the rerun reproduces them) and
     // localize the first divergent cycle and event pair.
-    let baseline_logged = run_once(config, &workload, 0, 1, true, inject_unordered_drain)?;
-    let perturbed_logged = run_once(config, &workload, seed, jobs, true, inject_unordered_drain)?;
+    let baseline_logged = run_once(
+        config,
+        &workload,
+        0,
+        1,
+        profile,
+        true,
+        inject_unordered_drain,
+    )?;
+    let perturbed_logged = run_once(
+        config,
+        &workload,
+        seed,
+        jobs,
+        profile,
+        true,
+        inject_unordered_drain,
+    )?;
     let events_compared = baseline_logged
         .events
         .len()
@@ -316,6 +369,7 @@ pub fn check(
 
     Ok(RaceOutcome {
         config: name.to_owned(),
+        profiled: profile,
         perturb_seed: seed,
         jobs,
         cycles: baseline.cycles,

@@ -46,6 +46,33 @@ fn wall_clock_flagged_and_clean_twin_passes() {
 }
 
 #[test]
+fn wall_clock_exception_is_path_pinned_to_the_hostprof_module() {
+    // The one allowlisted path may read the clock with no
+    // `audit:allow` comment at all...
+    let pinned = scan_file(
+        "crates/telemetry/src/hostprof.rs",
+        include_str!("fixtures/wall_clock_bad.rs"),
+    );
+    assert!(
+        !rules(&pinned).contains(&"wall-clock"),
+        "hostprof.rs must be exempt: {pinned:?}"
+    );
+    // ...while the identical code anywhere else — even elsewhere in
+    // the telemetry crate, or in the orchestrator — still fires.
+    for path in [
+        "crates/telemetry/src/hist.rs",
+        "crates/core/src/sim.rs",
+        "crates/mem/src/hierarchy.rs",
+    ] {
+        let elsewhere = scan_file(path, include_str!("fixtures/wall_clock_bad.rs"));
+        assert!(
+            rules(&elsewhere).contains(&"wall-clock"),
+            "{path} must not inherit the hostprof exception: {elsewhere:?}"
+        );
+    }
+}
+
+#[test]
 fn lossy_cast_flagged_and_clean_twin_passes() {
     let bad = scan_fixture(include_str!("fixtures/lossy_cast_bad.rs"));
     assert_eq!(

@@ -138,6 +138,10 @@ pub struct EventQueue<T> {
     seq: u64,
     /// 0 = canonical order; nonzero permutes cross-domain group order.
     perturb_seed: u64,
+    /// Events ever popped (drained). A deterministic function of the
+    /// simulated schedule; the host profiler exports it as the
+    /// event-queue drain volume.
+    pops: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -154,6 +158,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             perturb_seed: 0,
+            pops: 0,
         }
     }
 
@@ -167,6 +172,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             perturb_seed: seed,
+            pops: 0,
         }
     }
 
@@ -214,6 +220,7 @@ impl<T> EventQueue<T> {
     /// Pops the next event whose time is `<= now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<T> {
         if self.heap.peek().is_some_and(|e| e.0.key.time <= now) {
+            self.pops += 1;
             self.heap.pop().map(|e| e.0.payload)
         } else {
             None
@@ -223,7 +230,15 @@ impl<T> EventQueue<T> {
     /// Pops the next event together with its scheduled time, regardless
     /// of the current cycle (used for fast-forwarding an idle system).
     pub fn pop_next(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|e| (e.0.key.time, e.0.payload))
+        let popped = self.heap.pop().map(|e| (e.0.key.time, e.0.payload));
+        self.pops += u64::from(popped.is_some());
+        popped
+    }
+
+    /// Total events ever popped from this queue.
+    #[must_use]
+    pub fn pop_count(&self) -> u64 {
+        self.pops
     }
 
     /// The time of the earliest scheduled event.

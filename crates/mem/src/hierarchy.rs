@@ -543,6 +543,14 @@ impl Hierarchy {
         self.events.next_time()
     }
 
+    /// Total events ever drained from the queue — the host profiler's
+    /// event-queue drain volume. Deterministic: a function of the
+    /// simulated schedule, not of host timing.
+    #[must_use]
+    pub fn event_pops(&self) -> u64 {
+        self.events.pop_count()
+    }
+
     /// Whether any request is still in flight.
     #[must_use]
     pub fn is_idle(&self) -> bool {

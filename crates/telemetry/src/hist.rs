@@ -72,6 +72,20 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` identical samples in O(1) — for converting external
+    /// per-value count tables (e.g. superblock run-length counters)
+    /// into a histogram without replaying every sample.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
     /// Samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -189,6 +203,22 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 1000);
         assert!((h.mean() - 212.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(12, 90);
+        bulk.record_n(900, 10);
+        bulk.record_n(7, 0); // no-op: must not disturb min/count
+        let mut single = Histogram::new();
+        for _ in 0..90 {
+            single.record(12);
+        }
+        for _ in 0..10 {
+            single.record(900);
+        }
+        assert_eq!(bulk, single);
     }
 
     #[test]

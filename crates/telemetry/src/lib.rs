@@ -15,23 +15,29 @@
 //!   request lifecycles and core-state intervals;
 //! - [`TelemetrySink`] — the epoch bookkeeping the simulation loop
 //!   drives, deliberately typed on plain numbers so this crate stays a
-//!   leaf dependency.
+//!   leaf dependency;
+//! - [`HostProf`] — the host-side self-profiler: phase timers and
+//!   counters for the simulator's *own* hot path.
 //!
-//! Everything here is deterministic: no wall-clock reads, no hashing
-//! with random seeds, so identical simulations produce byte-identical
-//! exports.
+//! Everything that describes the simulated machine is deterministic:
+//! no hashing with random seeds, so identical simulations produce
+//! byte-identical exports. Wall-clock reads exist in exactly one
+//! place — [`hostprof`], path-pinned by the `wall-clock` lint — and
+//! measure the host without ever feeding time back into the model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod hist;
+pub mod hostprof;
 pub mod json;
 pub mod series;
 pub mod topk;
 
 pub use chrome::{ChromeEvent, ChromeTrace, FlowEvent};
 pub use hist::{Histogram, BUCKETS};
+pub use hostprof::{HostProf, ProfClock, SpanToken, WallClock};
 pub use json::{parse as parse_json, JsonParseError, JsonValue};
 pub use series::{Sample, TimeSeries};
 pub use topk::{PcEntry, TopK};
@@ -39,7 +45,10 @@ pub use topk::{PcEntry, TopK};
 /// Version of the exported metrics JSON schema. Bump on any breaking
 /// change to key names or value semantics; the golden-file test in
 /// `crates/core` pins it.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the `host_profile` top-level section (null unless the run
+/// was profiled).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A stage of the request lifecycle through the memory hierarchy.
 ///

@@ -338,6 +338,50 @@ mod tests {
     }
 
     #[test]
+    fn odd_sample_count_compacts_pairwise_and_keeps_the_trailer() {
+        // Five samples at capacity: pairs (0,1) and (2,3) merge, the
+        // odd trailing sample rides along untouched.
+        let mut ts = TimeSeries::new(5);
+        for i in 0..5u64 {
+            ts.push(sample(i * 100, (i + 1) * 100, i + 1));
+        }
+        assert_eq!(ts.len(), 5);
+        ts.push(sample(500, 600, 6));
+        assert_eq!(ts.compactions(), 1);
+        assert_eq!(ts.len(), 4);
+        let retired: Vec<u64> = ts.samples().iter().map(|s| s.retired).collect();
+        assert_eq!(retired, vec![3, 7, 5, 6]);
+        // The odd trailer kept its exact bounds and the merged pairs
+        // doubled their epoch length.
+        assert_eq!(ts.samples()[0].cycles(), 200);
+        assert_eq!(ts.samples()[2].start, 400);
+        assert_eq!(ts.samples()[2].end, 500);
+        // Coverage stays contiguous across the odd boundary.
+        for pair in ts.samples().windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn repeated_odd_compactions_preserve_totals() {
+        // Minimum capacity (2) forces a compaction on nearly every
+        // push; with an odd length at each step the trailer path runs
+        // constantly. No counter mass may be created or destroyed.
+        let mut ts = TimeSeries::new(2);
+        let mut pushed = 0u64;
+        for i in 0..17u64 {
+            let s = sample(i * 10, (i + 1) * 10, i + 1);
+            pushed += s.retired;
+            ts.push(s);
+        }
+        assert!(ts.compactions() >= 4);
+        let total: u64 = ts.samples().iter().map(|s| s.retired).sum();
+        assert_eq!(total, pushed);
+        assert_eq!(ts.samples().first().unwrap().start, 0);
+        assert_eq!(ts.samples().last().unwrap().end, 170);
+    }
+
+    #[test]
     fn gauges_take_end_of_epoch_value() {
         let mut a = sample(0, 100, 4); // mshr gauge 4
         let b = sample(100, 200, 7); // mshr gauge 2

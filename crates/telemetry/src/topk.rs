@@ -175,6 +175,54 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_tracks_a_single_rolling_entry() {
+        // Zero capacity clamps to one; the table then holds exactly the
+        // most recent insertion, inheriting all prior mass as error.
+        let mut t = TopK::new(0);
+        assert_eq!(t.capacity(), 1);
+        assert!(t.is_empty());
+        t.add(0x100, 7, Blame::Mc, [0; 2]);
+        t.add(0x200, 3, Blame::Noc, [0; 2]);
+        t.add(0x300, 2, Blame::Mc, [0; 2]);
+        assert_eq!(t.len(), 1);
+        let ranked = t.ranked();
+        assert_eq!(ranked[0].0, 0x300);
+        // Space-saving invariant: total mass is never lost, and the
+        // error bound is exactly the evicted predecessor's total.
+        assert_eq!(ranked[0].1.cycles, 12);
+        assert_eq!(ranked[0].1.error, 10);
+        assert_eq!(t.total_cycles(), 12);
+        // Re-adding the resident key accumulates without eviction.
+        t.add(0x300, 5, Blame::Mc, [0; 2]);
+        assert_eq!(t.ranked()[0].1.cycles, 17);
+        assert_eq!(t.ranked()[0].1.count, 2);
+    }
+
+    #[test]
+    fn all_equal_weights_churn_deterministically() {
+        // Every insertion carries the same weight, so each newcomer
+        // evicts by the (cycles, larger-pc) rule alone. The outcome
+        // must be a pure function of insertion order.
+        let run = || {
+            let mut t = TopK::new(3);
+            for pc in [0x500u64, 0x400, 0x300, 0x200, 0x100] {
+                t.add(pc, 10, Blame::Mc, [0; 2]);
+            }
+            t
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.ranked(), b.ranked());
+        assert_eq!(a.len(), 3);
+        // Total mass: 5 insertions x 10 cycles, none lost to eviction.
+        assert_eq!(a.total_cycles(), 50);
+        // Everything still tracked carries an inherited error bound
+        // except the untouched survivor of the first fill.
+        let errors: Vec<u64> = a.ranked().iter().map(|(_, e)| e.error).collect();
+        assert!(errors.iter().any(|&e| e > 0));
+    }
+
+    #[test]
     fn ranking_is_cycles_desc_then_pc_asc() {
         let mut t = TopK::new(8);
         t.add(0x300, 10, Blame::Mc, [0; 2]);
