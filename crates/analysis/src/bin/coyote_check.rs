@@ -1,0 +1,144 @@
+//! `coyote-check`: the workload gate.
+//!
+//! ```text
+//! coyote-check PROGRAM.s [--cores N] [--check] [--json] [--baseline FILE]
+//! ```
+//!
+//! Assembles `PROGRAM.s`, runs the static analysis for `N` harts and
+//! prints the diagnostics. With `--check` the exit code becomes a CI
+//! gate: 1 when any error is present, or when a warning appears that
+//! the baseline file does not already acknowledge; 2 on usage or I/O
+//! problems. A baseline is a plain text file of `rule pc` keys (one
+//! per line, `#` comments allowed) — commit it to acknowledge known
+//! warnings without letting new ones in.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coyote_analysis::check::{check, Severity};
+use coyote_asm::Assembler;
+
+const USAGE: &str =
+    "usage: coyote-check PROGRAM.s [--cores N] [--check] [--json] [--baseline FILE]";
+
+struct Args {
+    program: PathBuf,
+    cores: usize,
+    gate: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut program = None;
+    let mut cores = 4usize;
+    let mut gate = false;
+    let mut json = false;
+    let mut baseline = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cores" => {
+                cores = take(&mut it, "--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?;
+                if cores == 0 {
+                    return Err("--cores must be at least 1".to_owned());
+                }
+            }
+            "--check" => gate = true,
+            "--json" => json = true,
+            "--baseline" => baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with("--") && program.is_none() => {
+                program = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        program: program.ok_or_else(|| format!("missing PROGRAM.s\n{USAGE}"))?,
+        cores,
+        gate,
+        json,
+        baseline,
+    })
+}
+
+fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn load_baseline(path: &PathBuf) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect())
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let source = std::fs::read_to_string(&args.program)
+        .map_err(|e| format!("reading {}: {e}", args.program.display()))?;
+    let program = Assembler::new()
+        .assemble(&source)
+        .map_err(|e| format!("{}:{}: {}", args.program.display(), e.line, e.message))?;
+    let baseline = match &args.baseline {
+        Some(path) => load_baseline(path)?,
+        None => Vec::new(),
+    };
+
+    let report = check(&program, args.cores);
+    let errors = report.count(Severity::Error);
+    let new_warnings = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning && !baseline.contains(&d.baseline_key()))
+        .count();
+    let suppressed = report.count(Severity::Warning) - new_warnings;
+
+    if args.json {
+        let doc = report
+            .to_json()
+            .with("program", args.program.display().to_string())
+            .with("new_warnings", new_warnings)
+            .with("baseline_suppressed", suppressed);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        for d in &report.diagnostics {
+            let acknowledged =
+                d.severity == Severity::Warning && baseline.contains(&d.baseline_key());
+            println!("{}{}", d, if acknowledged { " (baselined)" } else { "" });
+        }
+        println!(
+            "coyote-check: {} error(s), {} new warning(s), {} baseline-suppressed \
+             over {} core(s)",
+            errors, new_warnings, suppressed, args.cores
+        );
+    }
+    Ok(!args.gate || (errors == 0 && new_warnings == 0))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("coyote-check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("coyote-check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

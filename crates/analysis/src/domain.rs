@@ -1,0 +1,458 @@
+//! The abstract value domain: multi-dimensional strided sets.
+//!
+//! A [`StridedSet`] represents `{ base + Σ kᵢ·stepᵢ : 0 ≤ kᵢ < countᵢ }`
+//! — exactly the address shapes HPC kernels build out of nested
+//! counted loops (row pointer = base + i·row_bytes + j·elem_bytes).
+//! A count of [`UNBOUNDED`] marks a dimension whose trip count the
+//! analysis could not bound; the set is then infinite upward but still
+//! carries its stride structure, which is what the modular tier of the
+//! disjointness check consumes.
+//!
+//! [`AbsVal`] lifts the set with a `Top` element (unknown value); the
+//! lattice join lives in [`StridedSet::join`] and falls back to `Top`
+//! when two sets have incompatible shapes.
+//!
+//! Soundness caveat (documented in `DESIGN.md` §15): arithmetic is
+//! modelled without 64-bit wraparound. Counters that overflow `u64`
+//! mid-loop (≥ 2⁶³ iterations) are outside the model; at simulator
+//! scale such runs are unreachable, and the dynamic digest cross-check
+//! in the certification property tests guards the integration anyway.
+
+/// Sentinel count for a dimension with no static bound.
+pub const UNBOUNDED: u64 = u64::MAX;
+
+/// Maximum number of stride dimensions tracked per value; deeper
+/// nesting collapses to `Top`.
+pub const MAX_DIMS: usize = 4;
+
+/// Saturating count addition for merging two runs of the same stride:
+/// `{0..a}·s ⊕ {0..b}·s = {0..a+b-1}·s`.
+fn merge_counts(a: u64, b: u64) -> u64 {
+    if a == UNBOUNDED || b == UNBOUNDED {
+        UNBOUNDED
+    } else {
+        a.saturating_add(b - 1)
+    }
+}
+
+/// `{ base + Σ kᵢ·stepᵢ : 0 ≤ kᵢ < countᵢ }` in canonical form:
+/// steps strictly descending, every count ≥ 2, no zero steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StridedSet {
+    /// Smallest element (under the no-wrap assumption).
+    pub base: u64,
+    /// `(step, count)` pairs, steps strictly descending.
+    pub dims: Vec<(u64, u64)>,
+}
+
+impl StridedSet {
+    /// The singleton set `{v}`.
+    #[must_use]
+    pub fn constant(v: u64) -> StridedSet {
+        StridedSet {
+            base: v,
+            dims: Vec::new(),
+        }
+    }
+
+    /// Builds a set from raw dims, canonicalizing.
+    #[must_use]
+    pub fn with_dims(base: u64, dims: Vec<(u64, u64)>) -> StridedSet {
+        let mut set = StridedSet { base, dims };
+        set.canonicalize();
+        set
+    }
+
+    fn canonicalize(&mut self) {
+        self.dims.retain(|&(s, c)| s != 0 && c >= 2);
+        self.dims
+            .sort_unstable_by_key(|&(s, _)| std::cmp::Reverse(s));
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.dims.len());
+        for &(s, c) in &self.dims {
+            match merged.last_mut() {
+                Some(last) if last.0 == s => last.1 = merge_counts(last.1, c),
+                _ => merged.push((s, c)),
+            }
+        }
+        self.dims = merged;
+    }
+
+    /// `Some(v)` when the set is the singleton `{v}`.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u64> {
+        self.dims.is_empty().then_some(self.base)
+    }
+
+    /// Whether every dimension has a finite count.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.dims.iter().all(|&(_, c)| c != UNBOUNDED)
+    }
+
+    /// `Σ (countᵢ-1)·stepᵢ`: distance from `base` to the largest
+    /// element. `None` when unbounded or the arithmetic overflows.
+    #[must_use]
+    pub fn extent(&self) -> Option<u64> {
+        let mut total: u64 = 0;
+        for &(s, c) in &self.dims {
+            if c == UNBOUNDED {
+                return None;
+            }
+            total = total.checked_add((c - 1).checked_mul(s)?)?;
+        }
+        Some(total)
+    }
+
+    /// Largest element, when bounded and non-wrapping.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.base.checked_add(self.extent()?)
+    }
+
+    /// Number of `(kᵢ)` index tuples (an upper bound on the number of
+    /// distinct elements). `None` when unbounded or huge.
+    #[must_use]
+    pub fn tuple_count(&self) -> Option<u64> {
+        let mut total: u64 = 1;
+        for &(_, c) in &self.dims {
+            if c == UNBOUNDED {
+                return None;
+            }
+            total = total.checked_mul(c)?;
+        }
+        Some(total)
+    }
+
+    /// Pointwise `+ d` (wrapping).
+    #[must_use]
+    pub fn add_const(&self, d: u64) -> StridedSet {
+        StridedSet {
+            base: self.base.wrapping_add(d),
+            dims: self.dims.clone(),
+        }
+    }
+
+    /// Pointwise sum of the two sets. `None` when the result needs
+    /// more than [`MAX_DIMS`] dimensions.
+    #[must_use]
+    pub fn add(&self, other: &StridedSet) -> Option<StridedSet> {
+        let mut dims = self.dims.clone();
+        dims.extend_from_slice(&other.dims);
+        let set = StridedSet::with_dims(self.base.wrapping_add(other.base), dims);
+        (set.dims.len() <= MAX_DIMS).then_some(set)
+    }
+
+    /// The pointwise negation `{ -x }`. Requires a bounded set: the
+    /// negated set is `{ -max + Σ kᵢ·stepᵢ }`.
+    #[must_use]
+    pub fn negated(&self) -> Option<StridedSet> {
+        let max = self.max()?;
+        Some(StridedSet {
+            base: 0u64.wrapping_sub(max),
+            dims: self.dims.clone(),
+        })
+    }
+
+    /// Pointwise difference `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &StridedSet) -> Option<StridedSet> {
+        if let Some(c) = other.as_const() {
+            return Some(self.add_const(0u64.wrapping_sub(c)));
+        }
+        self.add(&other.negated()?)
+    }
+
+    /// Pointwise multiplication by a constant. `None` on stride
+    /// overflow (the structure is no longer representable).
+    #[must_use]
+    pub fn mul_const(&self, m: u64) -> Option<StridedSet> {
+        if m == 0 {
+            return Some(StridedSet::constant(0));
+        }
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for &(s, c) in &self.dims {
+            dims.push((s.checked_mul(m)?, c));
+        }
+        Some(StridedSet::with_dims(self.base.wrapping_mul(m), dims))
+    }
+
+    /// Pointwise left shift.
+    #[must_use]
+    pub fn shl_const(&self, sh: u32) -> Option<StridedSet> {
+        if sh >= 64 {
+            return Some(StridedSet::constant(0));
+        }
+        self.mul_const(1u64 << sh)
+    }
+
+    /// Least-upper-bound join. `None` means the shapes are
+    /// incompatible and the caller must go to `Top`.
+    #[must_use]
+    pub fn join(&self, other: &StridedSet) -> Option<StridedSet> {
+        if self == other {
+            return Some(self.clone());
+        }
+        self.cover(other).or_else(|| other.cover(self))
+    }
+
+    /// A superset of `self ∪ other` anchored at `self.base`, when
+    /// `other` sits a representable offset above `self`.
+    fn cover(&self, other: &StridedSet) -> Option<StridedSet> {
+        let d = other.base.wrapping_sub(self.base);
+        if d == 0 || d >= 1 << 63 {
+            // Equal bases with different dims are handled below only
+            // via the dims comparison; `other` below `self` is the
+            // mirrored call.
+            if d != 0 {
+                return None;
+            }
+        }
+        if self.dims == other.dims {
+            if d == 0 {
+                return Some(self.clone());
+            }
+            // Same shape, shifted: extend the count of a dividing
+            // stride, or add a fresh dimension for the shift.
+            for (i, &(s, _)) in self.dims.iter().enumerate() {
+                if d.is_multiple_of(s) {
+                    let mut out = self.clone();
+                    let hops = d / s;
+                    out.dims[i].1 = if out.dims[i].1 == UNBOUNDED {
+                        UNBOUNDED
+                    } else {
+                        out.dims[i].1.saturating_add(hops)
+                    };
+                    out.canonicalize();
+                    return Some(out);
+                }
+            }
+            if self.dims.len() < MAX_DIMS {
+                let mut dims = self.dims.clone();
+                dims.push((d, 2));
+                return Some(StridedSet::with_dims(self.base, dims));
+            }
+            return None;
+        }
+        if self.dims.is_empty() {
+            // Constant below a strided set: re-anchor the strided set
+            // at the constant.
+            for (i, &(s, _)) in other.dims.iter().enumerate() {
+                if d.is_multiple_of(s) {
+                    let mut out = other.clone();
+                    out.base = self.base;
+                    let hops = d / s;
+                    out.dims[i].1 = if out.dims[i].1 == UNBOUNDED {
+                        UNBOUNDED
+                    } else {
+                        out.dims[i].1.saturating_add(hops)
+                    };
+                    out.canonicalize();
+                    return Some(out);
+                }
+            }
+            if other.dims.len() < MAX_DIMS {
+                let mut dims = other.dims.clone();
+                dims.push((d, 2));
+                return Some(StridedSet::with_dims(self.base, dims));
+            }
+            return None;
+        }
+        if other.dims.is_empty() {
+            // Strided set with a constant above it: grow a dividing
+            // stride far enough to reach the constant.
+            for (i, &(s, c)) in self.dims.iter().enumerate() {
+                if d.is_multiple_of(s) {
+                    let hops = d / s;
+                    let mut out = self.clone();
+                    out.dims[i].1 = if c == UNBOUNDED {
+                        UNBOUNDED
+                    } else {
+                        c.max(hops.saturating_add(1))
+                    };
+                    out.canonicalize();
+                    return Some(out);
+                }
+            }
+            if self.dims.len() < MAX_DIMS {
+                let mut dims = self.dims.clone();
+                dims.push((d, 2));
+                return Some(StridedSet::with_dims(self.base, dims));
+            }
+        }
+        None
+    }
+
+    /// Refines the set under the constraint `value < bound`
+    /// (interpreting elements as unsigned, no-wrap).
+    #[must_use]
+    pub fn clamp_below(&self, bound: u64) -> Clamp {
+        if self.base >= bound {
+            return Clamp::Empty;
+        }
+        if self.dims.is_empty() {
+            return Clamp::Unchanged;
+        }
+        let (s0, c0) = self.dims[0];
+        let avail = bound - 1 - self.base;
+        let new_c0 = (avail / s0).saturating_add(1);
+        if c0 != UNBOUNDED && new_c0 >= c0 {
+            return Clamp::Unchanged;
+        }
+        let mut out = self.clone();
+        out.dims[0].1 = new_c0;
+        out.canonicalize();
+        Clamp::Refined(out)
+    }
+}
+
+/// Result of [`StridedSet::clamp_below`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Clamp {
+    /// The constraint removes nothing representable.
+    Unchanged,
+    /// A strictly smaller set satisfying the constraint.
+    Refined(StridedSet),
+    /// No element can satisfy the constraint: the edge is infeasible.
+    Empty,
+}
+
+/// An abstract register value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown.
+    Top,
+    /// Some element of the set.
+    Set(StridedSet),
+}
+
+impl AbsVal {
+    /// The singleton `{v}`.
+    #[must_use]
+    pub fn constant(v: u64) -> AbsVal {
+        AbsVal::Set(StridedSet::constant(v))
+    }
+
+    /// `Some(v)` when the value is the known constant `v`.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            AbsVal::Set(s) => s.as_const(),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// The underlying set, if any.
+    #[must_use]
+    pub fn as_set(&self) -> Option<&StridedSet> {
+        match self {
+            AbsVal::Set(s) => Some(s),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// Lattice join (`Top` absorbs).
+    #[must_use]
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Set(a), AbsVal::Set(b)) => a.join(b).map_or(AbsVal::Top, AbsVal::Set),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Maps a binary set operation over two values, `Top`-absorbing.
+    #[must_use]
+    pub fn lift2(
+        &self,
+        other: &AbsVal,
+        f: impl FnOnce(&StridedSet, &StridedSet) -> Option<StridedSet>,
+    ) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Set(a), AbsVal::Set(b)) => f(a, b).map_or(AbsVal::Top, AbsVal::Set),
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// Greatest common divisor (0 is the identity: `gcd(0, x) = x`).
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_merges_and_sorts() {
+        let s = StridedSet::with_dims(100, vec![(8, 4), (64, 2), (8, 3), (0, 9), (16, 1)]);
+        assert_eq!(s.dims, vec![(64, 2), (8, 6)]);
+        assert_eq!(s.max(), Some(100 + 64 + 40));
+        assert_eq!(s.tuple_count(), Some(12));
+    }
+
+    #[test]
+    fn arithmetic_preserves_structure() {
+        let s = StridedSet::with_dims(16, vec![(8, 4)]);
+        assert_eq!(s.add_const(8).base, 24);
+        let scaled = s.mul_const(3).expect("scales");
+        assert_eq!(scaled.base, 48);
+        assert_eq!(scaled.dims, vec![(24, 4)]);
+        let shifted = s.shl_const(1).expect("shifts");
+        assert_eq!(shifted.dims, vec![(16, 4)]);
+        let neg = s.negated().expect("bounded");
+        assert_eq!(neg.base, 0u64.wrapping_sub(40));
+        let diff = StridedSet::constant(100).sub(&s).expect("bounded rhs");
+        assert_eq!(diff.base, 60);
+        assert_eq!(diff.dims, vec![(8, 4)]);
+    }
+
+    #[test]
+    fn join_extends_counts_and_adds_dims() {
+        // Same shape shifted by one stride hop: count grows.
+        let a = StridedSet::with_dims(0, vec![(8, 4)]);
+        let b = StridedSet::with_dims(16, vec![(8, 4)]);
+        let j = a.join(&b).expect("covers");
+        assert_eq!(j, StridedSet::with_dims(0, vec![(8, 6)]));
+
+        // Constant joined with its own successor: a new dimension.
+        let c = StridedSet::constant(0)
+            .join(&StridedSet::constant(8))
+            .expect("covers");
+        assert_eq!(c, StridedSet::with_dims(0, vec![(8, 2)]));
+
+        // That set joined with the next step widens the count again.
+        let c2 = c.join(&StridedSet::constant(16)).expect("covers");
+        assert_eq!(c2, StridedSet::with_dims(0, vec![(8, 3)]));
+
+        // Incompatible base offset with full dims: gives up.
+        let full = StridedSet::with_dims(0, vec![(64, 2), (16, 2), (4, 2), (2, 2)]);
+        let off = full.add_const(1);
+        assert!(full.join(&off).is_none());
+    }
+
+    #[test]
+    fn clamp_below_trims_the_major_dimension() {
+        let s = StridedSet::with_dims(0, vec![(8, UNBOUNDED)]);
+        match s.clamp_below(64) {
+            Clamp::Refined(r) => assert_eq!(r, StridedSet::with_dims(0, vec![(8, 8)])),
+            other => panic!("expected refinement, got {other:?}"),
+        }
+        assert_eq!(StridedSet::constant(100).clamp_below(50), Clamp::Empty);
+        assert_eq!(StridedSet::constant(10).clamp_below(50), Clamp::Unchanged);
+        let small = StridedSet::with_dims(0, vec![(8, 4)]);
+        assert_eq!(small.clamp_below(1000), Clamp::Unchanged);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 8), 8);
+        assert_eq!(gcd(24, 36), 12);
+        assert_eq!(gcd(7, 5), 1);
+    }
+}

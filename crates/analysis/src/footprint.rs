@@ -1,0 +1,306 @@
+//! Per-core static memory footprints and disjointness proofs.
+//!
+//! A footprint is a set of [`AccessPattern`]s — strided address sets
+//! tagged with an access width and direction. Two patterns are proven
+//! disjoint through a cascade of increasingly expensive tiers:
+//!
+//! 1. **Dense ranges**: both patterns collapse to contiguous byte
+//!    ranges that do not overlap.
+//! 2. **Modular**: both patterns live on a common stride lattice
+//!    (`gcd` of all steps) and their footprints occupy disjoint
+//!    residue intervals modulo that stride. This is the tier that
+//!    certifies round-robin work splits (`core i` touches row
+//!    `i, i+H, i+2H, …`) even when trip counts are unbounded.
+//! 3. **Exhaustive**: small bounded patterns are materialized into a
+//!    [`ByteIntervalSet`] and intersected exactly.
+//! 4. Otherwise: conservatively *maybe overlapping*.
+//!
+//! Tier 2 requires the modulus to be a power of two unless both
+//! patterns are bounded: address arithmetic is modulo 2⁶⁴, and
+//! wraparound only preserves residues mod `g` when `g` divides 2⁶⁴.
+
+use crate::domain::{gcd, StridedSet, UNBOUNDED};
+use coyote_isa::ByteIntervalSet;
+
+/// Tuple-count budget for the exhaustive tier (per pattern pair).
+const EXHAUSTIVE_BUDGET: u64 = 4096;
+
+/// One access pattern of a core's static footprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// Abstract start addresses.
+    pub addr: StridedSet,
+    /// Bytes covered from each start address.
+    pub width: u64,
+    /// `true` for stores.
+    pub write: bool,
+    /// PC of the originating instruction (diagnostics).
+    pub pc: u64,
+}
+
+impl AccessPattern {
+    /// Collapses trailing dimensions whose step is ≤ the access width
+    /// into a wider contiguous access (`count` 8-byte stores at
+    /// stride 8 are one 8·count-byte range). Bounded dims only.
+    #[must_use]
+    pub fn densified(&self) -> AccessPattern {
+        let mut addr = self.addr.clone();
+        let mut width = self.width;
+        while let Some(&(s, c)) = addr.dims.last() {
+            if c == UNBOUNDED || s > width {
+                break;
+            }
+            let Some(span) = (c - 1).checked_mul(s).and_then(|e| e.checked_add(width)) else {
+                break;
+            };
+            width = span;
+            addr.dims.pop();
+        }
+        addr = StridedSet::with_dims(addr.base, addr.dims);
+        AccessPattern {
+            addr,
+            width,
+            write: self.write,
+            pc: self.pc,
+        }
+    }
+
+    /// The contiguous `[start, end)` range covered, when the whole
+    /// pattern is one dense block (no sparse dims survive
+    /// densification).
+    #[must_use]
+    pub fn dense_range(&self) -> Option<(u64, u64)> {
+        let d = self.densified();
+        if !d.addr.dims.is_empty() {
+            return None;
+        }
+        Some((d.addr.base, d.addr.base.checked_add(d.width)?))
+    }
+
+    /// Conservative "may this pattern touch `[start, end)`" test.
+    /// Unbounded patterns extend upward from their base.
+    #[must_use]
+    pub fn overlaps_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let base = self.addr.base;
+        match self.addr.extent() {
+            Some(extent) => {
+                let Some(top) = base
+                    .checked_add(extent)
+                    .and_then(|m| m.checked_add(self.width))
+                else {
+                    return true; // wraps: give up precision
+                };
+                base < end && top > start
+            }
+            // Unbounded upward: misses the range only when it starts
+            // entirely above it.
+            None => base < end,
+        }
+    }
+
+    /// Materializes every covered byte range. `None` when the pattern
+    /// is unbounded or larger than `budget` index tuples.
+    fn enumerate(&self, budget: u64) -> Option<Vec<(u64, u64)>> {
+        let d = self.densified();
+        let tuples = d.addr.tuple_count()?;
+        if tuples > budget {
+            return None;
+        }
+        let mut starts = vec![d.addr.base];
+        for &(s, c) in &d.addr.dims {
+            let mut next = Vec::with_capacity(starts.len() * c as usize);
+            for &b in &starts {
+                for k in 0..c {
+                    next.push(b.wrapping_add(s.wrapping_mul(k)));
+                }
+            }
+            starts = next;
+        }
+        Some(
+            starts
+                .into_iter()
+                .map(|b| (b, b.wrapping_add(d.width)))
+                .collect(),
+        )
+    }
+}
+
+/// Residue interval `[lo, lo+len)` modulo `m` (may wrap around `m`).
+fn residue_interval(p: &AccessPattern, m: u64) -> Option<(u64, u64)> {
+    // Every element of the pattern is base + k·(multiple of m), so all
+    // start addresses share the residue `base mod m`; the bytes then
+    // span `width` residues (must not cover the full ring).
+    if p.width >= m {
+        return None;
+    }
+    let d = p.densified();
+    // After densification each remaining step must be a multiple of m
+    // for the single-residue argument to hold.
+    if d.addr.dims.iter().any(|&(s, _)| s % m != 0) {
+        return None;
+    }
+    if d.width >= m {
+        return None;
+    }
+    Some((d.addr.base % m, d.width))
+}
+
+/// Whether two (possibly wrapping) residue intervals mod `m` are
+/// disjoint.
+fn residues_disjoint(a: (u64, u64), b: (u64, u64), m: u64) -> bool {
+    // Distance from a.0 to b.0 going up the ring.
+    let fwd = b.0.wrapping_sub(a.0) % m;
+    let bwd = a.0.wrapping_sub(b.0) % m;
+    fwd >= a.1 && bwd >= b.1
+}
+
+/// Result of a pairwise disjointness query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disjoint {
+    /// Statically proven non-overlapping.
+    Proven,
+    /// Could not be proven (not necessarily a real overlap).
+    Unknown,
+}
+
+/// Tries to prove that `a` and `b` can never touch the same byte.
+#[must_use]
+pub fn disjoint(a: &AccessPattern, b: &AccessPattern) -> Disjoint {
+    // Tier 1: dense, contiguous ranges.
+    if let (Some((s1, e1)), Some((s2, e2))) = (a.dense_range(), b.dense_range()) {
+        return if e1 <= s2 || e2 <= s1 {
+            Disjoint::Proven
+        } else {
+            Disjoint::Unknown
+        };
+    }
+    // Tier 2: common stride lattice with disjoint residues.
+    let mut g = 0u64;
+    for p in [a, b] {
+        for &(s, _) in &p.densified().addr.dims {
+            g = gcd(g, s);
+        }
+    }
+    if g > 1 && (g.is_power_of_two() || (a.addr.is_bounded() && b.addr.is_bounded())) {
+        if let (Some(ra), Some(rb)) = (residue_interval(a, g), residue_interval(b, g)) {
+            if residues_disjoint(ra, rb, g) {
+                return Disjoint::Proven;
+            }
+        }
+    }
+    // Tier 3: exhaustive enumeration of small bounded patterns.
+    if let (Some(ra), Some(rb)) = (
+        a.enumerate(EXHAUSTIVE_BUDGET),
+        b.enumerate(EXHAUSTIVE_BUDGET),
+    ) {
+        let mut set = ByteIntervalSet::new();
+        for (s, e) in ra {
+            if e > s {
+                set.insert(s, e);
+            }
+        }
+        let hit = rb.iter().any(|&(s, e)| e > s && set.overlaps_range(s, e));
+        return if hit {
+            Disjoint::Unknown
+        } else {
+            Disjoint::Proven
+        };
+    }
+    Disjoint::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(addr: StridedSet, width: u64, write: bool) -> AccessPattern {
+        AccessPattern {
+            addr,
+            width,
+            write,
+            pc: 0,
+        }
+    }
+
+    #[test]
+    fn densify_collapses_unit_stride() {
+        let p = pat(StridedSet::with_dims(0x1000, vec![(8, 16)]), 8, true);
+        let d = p.densified();
+        assert_eq!(d.addr.as_const(), Some(0x1000));
+        assert_eq!(d.width, 128);
+        assert_eq!(p.dense_range(), Some((0x1000, 0x1080)));
+    }
+
+    #[test]
+    fn dense_ranges_prove_block_splits() {
+        let a = pat(StridedSet::with_dims(0x1000, vec![(8, 16)]), 8, true);
+        let b = pat(StridedSet::with_dims(0x1080, vec![(8, 16)]), 8, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Proven);
+        let c = pat(StridedSet::with_dims(0x1078, vec![(8, 16)]), 8, true);
+        assert_eq!(disjoint(&a, &c), Disjoint::Unknown);
+    }
+
+    #[test]
+    fn modular_tier_proves_round_robin_even_unbounded() {
+        // Core 0 touches bytes ≡ 0 (mod 32), core 1 bytes ≡ 8 (mod 32),
+        // with no static trip bound.
+        let a = pat(
+            StridedSet::with_dims(0x1000, vec![(32, UNBOUNDED)]),
+            8,
+            true,
+        );
+        let b = pat(
+            StridedSet::with_dims(0x1008, vec![(32, UNBOUNDED)]),
+            8,
+            true,
+        );
+        assert_eq!(disjoint(&a, &b), Disjoint::Proven);
+        // Same residue: cannot be proven apart.
+        let c = pat(
+            StridedSet::with_dims(0x1020, vec![(32, UNBOUNDED)]),
+            8,
+            true,
+        );
+        assert_eq!(disjoint(&a, &c), Disjoint::Unknown);
+    }
+
+    #[test]
+    fn modular_tier_requires_power_of_two_when_unbounded() {
+        // Stride 24 lattice: sound for bounded patterns, refused when
+        // either side is unbounded (wraparound breaks residues).
+        let a = pat(StridedSet::with_dims(0, vec![(24, UNBOUNDED)]), 8, true);
+        let b = pat(StridedSet::with_dims(8, vec![(24, UNBOUNDED)]), 8, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Unknown);
+        let ab = pat(StridedSet::with_dims(0, vec![(24, 1000)]), 8, true);
+        let bb = pat(StridedSet::with_dims(8, vec![(24, 1000)]), 8, true);
+        assert_eq!(disjoint(&ab, &bb), Disjoint::Proven);
+    }
+
+    #[test]
+    fn exhaustive_tier_handles_irregular_interleavings() {
+        // {0, 24} with width 8 vs {8, 40}: no common lattice proof, but
+        // enumeration shows no byte is shared.
+        let a = pat(StridedSet::with_dims(0, vec![(24, 2)]), 8, true);
+        let b = pat(StridedSet::with_dims(8, vec![(40, 2), (3, 2)]), 1, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Proven);
+        let c = pat(StridedSet::with_dims(7, vec![(41, 2)]), 2, true);
+        assert_eq!(disjoint(&a, &c), Disjoint::Unknown);
+    }
+
+    #[test]
+    fn overlaps_range_is_conservative_for_unbounded() {
+        let p = pat(
+            StridedSet::with_dims(0x2000, vec![(64, UNBOUNDED)]),
+            8,
+            true,
+        );
+        assert!(p.overlaps_range(0x3000, 0x3008));
+        assert!(!p.overlaps_range(0x1000, 0x2000));
+        let q = pat(StridedSet::constant(0x100), 4, false);
+        assert!(q.overlaps_range(0x102, 0x110));
+        assert!(!q.overlaps_range(0x104, 0x110));
+    }
+}

@@ -1,0 +1,100 @@
+//! Block-level register liveness over a recovered CFG.
+//!
+//! The abstract interpreter masks registers that are dead on entry to
+//! a block to `Top` before joining states: dead registers cannot
+//! influence any address computation downstream, and collapsing them
+//! removes spurious join failures (two paths that differ only in a
+//! scratch register still meet in a representable state).
+
+use coyote_isa::cfg::Cfg;
+use coyote_isa::predecode::{DecodedInst, RegSet};
+
+/// Per-block liveness summary.
+#[derive(Clone, Debug, Default)]
+pub struct BlockLiveness {
+    /// Registers read somewhere in the block before being written
+    /// there (upward-exposed uses).
+    pub uses: RegSet,
+    /// Registers written anywhere in the block.
+    pub defs: RegSet,
+    /// Registers live on entry to the block.
+    pub live_in: RegSet,
+    /// Registers live on exit from the block.
+    pub live_out: RegSet,
+}
+
+/// Computes live-in/live-out register sets for every block of `cfg`
+/// by backward fixpoint over the block graph.
+#[must_use]
+pub fn block_liveness(insts: &[Option<DecodedInst>], cfg: &Cfg) -> Vec<BlockLiveness> {
+    let mut info: Vec<BlockLiveness> = cfg
+        .blocks
+        .iter()
+        .map(|block| {
+            let mut uses = RegSet::new();
+            let mut defs = RegSet::new();
+            for inst in &insts[block.start..block.start + block.len] {
+                let Some(d) = inst.as_ref() else { break };
+                let mut fresh = d.uses;
+                fresh.remove(&defs);
+                uses.insert_all(&fresh);
+                defs.insert_all(&d.defs);
+            }
+            BlockLiveness {
+                uses,
+                defs,
+                ..BlockLiveness::default()
+            }
+        })
+        .collect();
+
+    // Backward dataflow: postorder (reverse of RPO) converges fastest.
+    let mut order = cfg.reverse_postorder();
+    order.reverse();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut out = RegSet::new();
+            for &s in &cfg.blocks[b].succs {
+                out.insert_all(&info[s].live_in);
+            }
+            let mut live_in = out;
+            live_in.remove(&info[b].defs);
+            live_in.insert_all(&info[b].uses);
+            if live_in != info[b].live_in || out != info[b].live_out {
+                info[b].live_out = out;
+                info[b].live_in = live_in;
+                changed = true;
+            }
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_isa::predecode::predecode;
+
+    #[test]
+    fn loop_carried_register_is_live_at_head() {
+        // 0: addi ra, ra, 1 ; 1: beq zero, zero, -4 (loop) ; 2: ecall
+        let table = predecode(&[0x0010_8093, 0xfe00_0ee3, 0x0000_0073]);
+        let cfg = Cfg::build(&table, 0, 0);
+        let live = block_liveness(&table, &cfg);
+        // ra feeds its own increment around the back edge.
+        assert_ne!(live[0].live_in.x & (1 << 1), 0);
+        assert_ne!(live[0].uses.x & (1 << 1), 0);
+        assert_ne!(live[0].defs.x & (1 << 1), 0);
+    }
+
+    #[test]
+    fn dead_scratch_is_not_live_in() {
+        // 0: addi ra, zero, 1 (ra never read) ; 1: ecall
+        let table = predecode(&[0x0010_0093, 0x0000_0073]);
+        let cfg = Cfg::build(&table, 0, 0);
+        let live = block_liveness(&table, &cfg);
+        assert_eq!(live[0].live_in.x, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the strided-set domain and the disjointness
+//! cascade: every abstract operation must over-approximate its
+//! concrete counterpart (membership is preserved), and a `Proven`
+//! disjointness verdict must never contradict exhaustive enumeration.
+
+use proptest::prelude::*;
+
+use coyote_analysis::domain::{Clamp, StridedSet};
+use coyote_analysis::footprint::{disjoint, AccessPattern, Disjoint};
+
+/// Small bounded sets we can enumerate exactly.
+fn set_strategy() -> impl Strategy<Value = StridedSet> {
+    (
+        0_u64..512,
+        proptest::collection::vec((1_u64..48, 2_u64..5), 0..3),
+    )
+        .prop_map(|(base, dims)| StridedSet::with_dims(base, dims))
+}
+
+/// All concrete elements of a small bounded set.
+fn elements(s: &StridedSet) -> Vec<u64> {
+    let mut vals = vec![s.base];
+    for &(step, count) in &s.dims {
+        let mut next = Vec::with_capacity(vals.len() * count as usize);
+        for &v in &vals {
+            for k in 0..count {
+                next.push(v.wrapping_add(step.wrapping_mul(k)));
+            }
+        }
+        vals = next;
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_const_is_pointwise(s in set_strategy(), d in 0_u64..1000) {
+        let shifted = s.add_const(d);
+        let mut expected: Vec<u64> = elements(&s).iter().map(|v| v.wrapping_add(d)).collect();
+        let mut got = elements(&shifted);
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn add_over_approximates_sums(a in set_strategy(), b in set_strategy()) {
+        if let Some(sum) = a.add(&b) {
+            let members = elements(&sum);
+            for x in elements(&a) {
+                for y in elements(&b) {
+                    prop_assert!(
+                        members.contains(&x.wrapping_add(y)),
+                        "{:?}+{:?} missing {}", a, b, x.wrapping_add(y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_covers_both_operands(a in set_strategy(), b in set_strategy()) {
+        if let Some(j) = a.join(&b) {
+            let members = elements(&j);
+            for v in elements(&a).into_iter().chain(elements(&b)) {
+                prop_assert!(members.contains(&v), "join {:?} lost {}", j, v);
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_below_keeps_every_satisfying_element(s in set_strategy(), bound in 1_u64..1500) {
+        let sat: Vec<u64> = elements(&s).into_iter().filter(|&v| v < bound).collect();
+        match s.clamp_below(bound) {
+            Clamp::Empty => prop_assert!(sat.is_empty()),
+            Clamp::Unchanged => {}
+            Clamp::Refined(r) => {
+                let members = elements(&r);
+                for v in sat {
+                    prop_assert!(members.contains(&v), "clamp {:?} lost {}", r, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_const_is_pointwise(s in set_strategy(), m in 1_u64..9) {
+        if let Some(scaled) = s.mul_const(m) {
+            let members = elements(&scaled);
+            for v in elements(&s) {
+                prop_assert!(members.contains(&v.wrapping_mul(m)));
+            }
+        }
+    }
+
+    #[test]
+    fn proven_disjoint_never_contradicts_enumeration(
+        a in set_strategy(),
+        b in set_strategy(),
+        wa in 1_u64..9,
+        wb in 1_u64..9,
+    ) {
+        let pa = AccessPattern { addr: a.clone(), width: wa, write: true, pc: 0 };
+        let pb = AccessPattern { addr: b.clone(), width: wb, write: true, pc: 4 };
+        if disjoint(&pa, &pb) == Disjoint::Proven {
+            for x in elements(&a) {
+                for y in elements(&b) {
+                    let hit = x < y.wrapping_add(wb) && y < x.wrapping_add(wa);
+                    prop_assert!(!hit, "proven disjoint but bytes [{} +{}) and [{} +{}) overlap", x, wa, y, wb);
+                }
+            }
+        }
+    }
+}

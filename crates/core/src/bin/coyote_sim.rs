@@ -25,6 +25,9 @@
 //!                        FILE.folded (flamegraph folded stacks)
 //!   --prof-counters      with --prof-out: deterministic counter clock
 //!                        instead of wall time
+//!   --certify            run the load-time disjointness analysis and skip
+//!                        the runtime conflict sweeps when it proves them
+//!                        redundant (results are bit-identical either way)
 //!   --oracle             co-simulate a functional reference machine and
 //!                        abort on the first architectural divergence
 //! ```
@@ -143,7 +146,11 @@ fn parse_args() -> Result<Options, String> {
                 builder = builder.trace(true);
             }
             "--metrics-out" => {
-                metrics_path = Some(value(&mut args, "--metrics-out")?);
+                let path = value(&mut args, "--metrics-out")?;
+                if path.trim().is_empty() {
+                    return Err("--metrics-out needs a non-empty path".to_owned());
+                }
+                metrics_path = Some(path);
                 builder = builder.telemetry(true);
             }
             "--metrics-interval" => {
@@ -161,7 +168,11 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--chrome-trace" => {
-                chrome_trace_path = Some(value(&mut args, "--chrome-trace")?);
+                let path = value(&mut args, "--chrome-trace")?;
+                if path.trim().is_empty() {
+                    return Err("--chrome-trace needs a non-empty path".to_owned());
+                }
+                chrome_trace_path = Some(path);
                 builder = builder.chrome_trace(true);
             }
             "--prof-out" => {
@@ -172,6 +183,7 @@ fn parse_args() -> Result<Options, String> {
                 prof_path = Some(path);
             }
             "--prof-counters" => prof_counters = true,
+            "--certify" => builder = builder.certify(true),
             "--oracle" => builder = builder.oracle(true),
             "--help" | "-h" => {
                 println!("usage: coyote-sim <program.s> [options]");
@@ -195,6 +207,8 @@ fn parse_args() -> Result<Options, String> {
                 println!("  --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto)");
                 println!("  --prof-out FILE      write host profile FILE.json + FILE.folded");
                 println!("  --prof-counters      profile with the deterministic counter clock");
+                println!("  --certify            prove cross-core disjointness statically and");
+                println!("                       skip the runtime conflict sweeps when granted");
                 println!("  --oracle             check against a functional reference machine");
                 std::process::exit(0);
             }
@@ -254,6 +268,16 @@ fn run(options: &Options) -> Result<i64, String> {
         }
     }
     eprintln!("{report}");
+    if options.config.certify {
+        eprintln!(
+            "certificate: {}",
+            if sim.certificate_active() {
+                "active (runtime conflict sweeps skipped)"
+            } else {
+                "not granted or revoked (runtime conflict sweeps ran)"
+            }
+        );
+    }
 
     if let Some(path) = &options.trace_path {
         let trace = sim.trace().expect("tracing was enabled");

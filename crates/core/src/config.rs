@@ -101,6 +101,17 @@ pub struct SimConfig {
     /// not change any simulated result — the only observable addition
     /// is the `host_profile` metrics section (property-tested).
     pub profiling: ProfMode,
+    /// Whether to run the static disjointness analysis at load time
+    /// and, when it proves all cross-core write/any access pairs
+    /// disjoint, skip the runtime conflict sweeps (the parallel
+    /// execute phase's byte sweep and the fused window's cross-core
+    /// check). A host-execution knob like `jobs`: the certificate is
+    /// only ever granted when the sweeps provably cannot fire, so
+    /// every simulated result is bit-identical either way
+    /// (property-tested); it never appears in the determinism digest
+    /// or `config_json`. Off by default — the analysis costs load
+    /// time on workloads that may not earn a certificate.
+    pub certify: bool,
 }
 
 /// How the host-side self-profiler observes the orchestrator.
@@ -151,6 +162,7 @@ impl Default for SimConfig {
             fusion: true,
             jobs: 1,
             profiling: ProfMode::Off,
+            certify: false,
         }
     }
 }
@@ -455,6 +467,15 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn profiling(mut self, mode: ProfMode) -> Self {
         self.config.profiling = mode;
+        self
+    }
+
+    /// Enables or disables load-time disjointness certification (off
+    /// by default; a granted certificate skips the runtime conflict
+    /// sweeps without changing any simulated result).
+    #[must_use]
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.config.certify = certify;
         self
     }
 

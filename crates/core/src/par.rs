@@ -26,6 +26,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use coyote_isa::{sweep_conflicts, AccessInterval};
 use coyote_iss::core::{Core, CoreState, DecodedText, StepEvent};
 use coyote_iss::{BufferedMemory, MissRequest, SimError, SparseMemory, StoreBuffer};
 
@@ -139,28 +140,17 @@ fn run(job: Job) -> Vec<SteppedCore> {
 /// intervals, keep the open set, and flag any overlap between
 /// different cores where either side writes.
 pub(crate) fn conflicting(stepped: &[SteppedCore]) -> bool {
-    let mut intervals: Vec<(u64, u64, usize, bool)> = Vec::new();
+    let mut intervals: Vec<AccessInterval> = Vec::new();
     for s in stepped {
         for &(addr, len) in s.buf.reads() {
-            intervals.push((addr, addr + u64::from(len), s.idx, false));
+            intervals.push(AccessInterval::new(addr, u64::from(len), s.idx, false));
         }
         for (addr, len) in s.buf.writes() {
-            intervals.push((addr, addr + u64::from(len), s.idx, true));
+            intervals.push(AccessInterval::new(addr, u64::from(len), s.idx, true));
         }
     }
-    intervals.sort_unstable();
-    let mut open: Vec<(u64, usize, bool)> = Vec::new();
-    for &(start, end, core, write) in &intervals {
-        open.retain(|&(o_end, _, _)| o_end > start);
-        if open
-            .iter()
-            .any(|&(_, o_core, o_write)| o_core != core && (o_write || write))
-        {
-            return true;
-        }
-        open.push((end, core, write));
-    }
-    false
+    let mut open = Vec::new();
+    sweep_conflicts(&mut intervals, &mut open)
 }
 
 /// Fixed pool of `jobs - 1` worker threads (shard 0 always runs inline

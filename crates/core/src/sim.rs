@@ -12,7 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use coyote_asm::Program;
-use coyote_isa::XReg;
+use coyote_isa::{sweep_conflicts, AccessInterval, XReg};
 use coyote_iss::core::{Core, CoreSnapshot, CoreState, DecodedText, StepEvent};
 use coyote_iss::{FuseStop, MissKind, SimError, SparseMemory};
 use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
@@ -197,7 +197,7 @@ pub struct Simulation {
     woken_buf: Vec<usize>,
     /// Reused buffer: `(start, end, core, write)` byte intervals for
     /// the fused window's cross-core disjointness sweep.
-    window_intervals: Vec<(u64, u64, usize, bool)>,
+    window_intervals: Vec<AccessInterval>,
     /// Reused buffer: the disjointness sweep's open-interval set.
     window_open: Vec<(u64, usize, bool)>,
     /// Host-side self-profiler, present when [`SimConfig::profiling`]
@@ -205,6 +205,22 @@ pub struct Simulation {
     /// orchestrator, never the other way around — profiled and
     /// unprofiled runs are bit-identical (property-tested).
     prof: Option<HostProf>,
+    /// Load-time disjointness certificate, present when
+    /// [`SimConfig::certify`] is on and the static analysis proved all
+    /// cross-core write/any access pairs disjoint. While valid (the
+    /// predecode generation still matches), the runtime conflict
+    /// sweeps are skipped; any text-segment store revokes it for the
+    /// rest of the run.
+    cert: Option<Certificate>,
+}
+
+/// A granted disjointness certificate, pinned to the predecode
+/// generation it was proven against.
+#[derive(Debug, Clone, Copy)]
+struct Certificate {
+    /// [`DecodedText::generation`] at proof time; a mismatch means the
+    /// text was patched after the proof and the certificate is void.
+    text_gen: u64,
 }
 
 /// The profile counter charged when a multi-core fused window stops
@@ -266,6 +282,28 @@ impl Simulation {
         let cores = (0..config.cores)
             .map(|i| Core::new(i, program.entry(), &core_config))
             .collect();
+        let cert = if config.certify {
+            let analysis_span = prof.as_mut().map(|p| p.enter("analysis"));
+            let outcome = coyote_analysis::certify(program, config.cores);
+            if let Some(p) = &mut prof {
+                if let Some(span) = analysis_span {
+                    p.exit(span);
+                }
+                p.bump(
+                    if outcome.granted {
+                        "certificate/granted"
+                    } else {
+                        "certificate/denied"
+                    },
+                    1,
+                );
+            }
+            outcome.granted.then(|| Certificate {
+                text_gen: text.generation(),
+            })
+        } else {
+            None
+        };
         let mut hierarchy = Hierarchy::new(config.hierarchy())
             .map_err(|m| RunError::Config(ConfigError::new(m)))?;
         if config.telemetry {
@@ -303,6 +341,7 @@ impl Simulation {
             window_intervals: Vec::new(),
             window_open: Vec::new(),
             prof,
+            cert,
             config,
         })
     }
@@ -359,6 +398,16 @@ impl Simulation {
     #[must_use]
     pub fn conflict_fallbacks(&self) -> u64 {
         self.conflict_fallbacks
+    }
+
+    /// Whether a load-time disjointness certificate is currently in
+    /// force: granted at construction (see [`SimConfig::certify`]) and
+    /// not yet revoked by a text-segment store. While active, the
+    /// runtime conflict sweeps are skipped.
+    #[must_use]
+    pub fn certificate_active(&self) -> bool {
+        self.cert
+            .is_some_and(|c| c.text_gen == self.text.generation())
     }
 
     /// The simulated cores.
@@ -883,7 +932,11 @@ impl Simulation {
         self.prof_exit(step_span);
 
         let check_span = self.prof_enter("conflict_check");
-        let conflict = stepped.iter().any(|s| s.error.is_some()) || par::conflicting(&stepped);
+        // A valid disjointness certificate proved the sweep can never
+        // fire, so skip it; faults still force the sequential re-run
+        // regardless (they must surface at their sequential position).
+        let conflict = stepped.iter().any(|s| s.error.is_some())
+            || (!self.certificate_active() && par::conflicting(&stepped));
         self.prof_exit(check_span);
         if conflict {
             // Fall back: a fault must surface at its sequential
@@ -1091,6 +1144,11 @@ impl Simulation {
     /// window could observably differ from per-cycle interleaving.
     /// Same sweep as [`par::conflicting`], over pre-validated addresses.
     fn window_conflicts(&mut self, actives: &[usize], window: u32) -> bool {
+        // Certified workloads proved cross-core disjointness statically
+        // — the sweep below cannot fire, so don't pay for it.
+        if self.certificate_active() {
+            return false;
+        }
         let intervals = &mut self.window_intervals;
         intervals.clear();
         for &idx in actives {
@@ -1098,30 +1156,17 @@ impl Simulation {
             let pos = core.fused_pos();
             for access in core.fused_accesses() {
                 if access.pos >= pos && access.pos < pos + window {
-                    intervals.push((
+                    intervals.push(AccessInterval::new(
                         access.addr,
-                        access.addr + u64::from(access.size),
+                        u64::from(access.size),
                         idx,
                         access.write,
                     ));
                 }
             }
         }
-        intervals.sort_unstable();
         let mut open = std::mem::take(&mut self.window_open);
-        open.clear();
-        let mut conflict = false;
-        for &(start, end, core, write) in intervals.iter() {
-            open.retain(|&(o_end, _, _)| o_end > start);
-            if open
-                .iter()
-                .any(|&(_, o_core, o_write)| o_core != core && (o_write || write))
-            {
-                conflict = true;
-                break;
-            }
-            open.push((end, core, write));
-        }
+        let conflict = sweep_conflicts(intervals, &mut open);
         self.window_open = open;
         // The sweep must agree with the pairwise reference checker.
         debug_assert_eq!(conflict, {
@@ -1177,6 +1222,13 @@ impl Simulation {
         }
         for core in &mut self.cores {
             core.abort_fused_run();
+        }
+        // The static proof was over the pre-patch text: revoke the
+        // certificate for the rest of the run (the generation check in
+        // `certificate_active` would catch this too; dropping the
+        // certificate makes the revocation explicit and permanent).
+        if self.cert.take().is_some() {
+            self.prof_bump("certificate/revoked", 1);
         }
         self.prof_exit(span);
     }

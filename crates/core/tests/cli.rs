@@ -276,6 +276,36 @@ fn zero_metrics_interval_is_rejected() {
 }
 
 #[test]
+fn empty_output_paths_are_rejected() {
+    let path = write_temp_program(
+        "empty-path.s",
+        "_start:
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    for flag in ["--metrics-out", "--chrome-trace", "--prof-out"] {
+        for bad in ["", "   "] {
+            let output = Command::new(sim_binary())
+                .arg(&path)
+                .args([flag, bad])
+                .output()
+                .expect("spawn coyote-sim");
+            assert_eq!(
+                output.status.code(),
+                Some(1),
+                "{flag} {bad:?} should be rejected"
+            );
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            assert!(
+                stderr.contains(&format!("{flag} needs a non-empty path")),
+                "stderr for {flag} {bad:?}: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
 fn explain_checks_a_metrics_document() {
     let path = write_temp_program(
         "explain.s",

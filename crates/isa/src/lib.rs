@@ -25,20 +25,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod csr;
 pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod inst;
+pub mod interval;
 pub mod predecode;
 pub mod reg;
 pub mod superblock;
 pub mod vtype;
 
+pub use cfg::{BasicBlock, BlockExit, Cfg, NaturalLoop};
 pub use csr::Csr;
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};
 pub use inst::Inst;
+pub use interval::{sweep_conflicts, AccessInterval, ByteIntervalSet};
 pub use predecode::{predecode, predecode_with_stats, DecodedInst, PredecodeStats, RegSet};
 pub use reg::{FReg, VReg, XReg};
 pub use superblock::{build_plans, BlockSummary, FuseClass, FusePlan, MemPlan};

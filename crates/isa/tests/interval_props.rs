@@ -1,0 +1,78 @@
+//! Property tests for the shared byte-interval module: the sweep must
+//! agree with a naive O(n²) pairwise overlap oracle, and the interval
+//! set must answer queries exactly like a byte-level reference.
+
+use proptest::prelude::*;
+
+use coyote_isa::{sweep_conflicts, AccessInterval, ByteIntervalSet};
+
+fn naive_conflicts(intervals: &[AccessInterval]) -> bool {
+    for (i, a) in intervals.iter().enumerate() {
+        for b in &intervals[i + 1..] {
+            if a.owner == b.owner || (!a.write && !b.write) {
+                continue;
+            }
+            if a.start < b.end && b.start < a.end {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn interval_strategy() -> impl Strategy<Value = AccessInterval> {
+    // Small address space and sizes force plenty of overlaps.
+    (0_u64..96, 1_u64..12, 0_usize..4, any::<bool>())
+        .prop_map(|(addr, size, owner, write)| AccessInterval::new(addr, size, owner, write))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sweep_agrees_with_naive_oracle(intervals in proptest::collection::vec(interval_strategy(), 0..24)) {
+        let expected = naive_conflicts(&intervals);
+        let mut sorted = intervals.clone();
+        let mut open = Vec::new();
+        prop_assert_eq!(sweep_conflicts(&mut sorted, &mut open), expected);
+    }
+
+    #[test]
+    fn interval_set_matches_byte_level_reference(
+        ranges in proptest::collection::vec((0_u64..64, 0_u64..16), 0..12),
+        probe in 0_u64..80,
+        other_ranges in proptest::collection::vec((0_u64..64, 0_u64..16), 0..12),
+    ) {
+        let mut set = ByteIntervalSet::new();
+        let mut bytes = [false; 96];
+        for &(start, len) in &ranges {
+            set.insert(start, start + len);
+            for b in start..start + len {
+                bytes[b as usize] = true;
+            }
+        }
+        // Canonical form: sorted, coalesced, non-empty, non-adjacent.
+        for pair in set.ranges().windows(2) {
+            prop_assert!(pair[0].1 < pair[1].0);
+        }
+        for &(s, e) in set.ranges() {
+            prop_assert!(s < e);
+        }
+        prop_assert_eq!(set.byte_count(), bytes.iter().filter(|&&b| b).count() as u64);
+        prop_assert_eq!(set.contains(probe), bytes.get(probe as usize).copied().unwrap_or(false));
+
+        let mut other = ByteIntervalSet::new();
+        let mut other_bytes = vec![false; 96];
+        for &(start, len) in &other_ranges {
+            other.insert(start, start + len);
+            for b in start..start + len {
+                other_bytes[b as usize] = true;
+            }
+        }
+        let expected_intersect = bytes.iter().zip(&other_bytes).any(|(&a, &b)| a && b);
+        prop_assert_eq!(set.intersects(&other), expected_intersect);
+        let expected_overlap = (0..bytes.len() as u64)
+            .any(|b| b >= probe && b < probe + 8 && bytes[b as usize]);
+        prop_assert_eq!(set.overlaps_range(probe, probe + 8), expected_overlap);
+    }
+}

@@ -33,6 +33,7 @@
 //! boundary cannot be silently bypassed.
 
 use coyote_isa::superblock::FuseClass;
+use coyote_isa::{sweep_conflicts, AccessInterval};
 
 use crate::cache::Cache;
 use crate::core::DecodedText;
@@ -327,25 +328,18 @@ pub fn accesses_conflict(
     b_skip: u32,
     b_limit: u32,
 ) -> bool {
-    for x in a {
-        if x.pos < a_skip || x.pos >= a_skip + a_limit {
-            continue;
-        }
-        for y in b {
-            if y.pos < b_skip || y.pos >= b_skip + b_limit {
-                continue;
-            }
-            if !x.write && !y.write {
-                continue;
-            }
-            let (xs, xe) = (x.addr, x.addr + u64::from(x.size));
-            let (ys, ye) = (y.addr, y.addr + u64::from(y.size));
-            if xs < ye && ys < xe {
-                return true;
-            }
-        }
-    }
-    false
+    let mut intervals: Vec<AccessInterval> = Vec::new();
+    let windowed = |accesses: &[FusedAccess], skip: u32, limit: u32, owner: usize| {
+        accesses
+            .iter()
+            .filter(move |x| x.pos >= skip && x.pos < skip + limit)
+            .map(move |x| AccessInterval::new(x.addr, u64::from(x.size), owner, x.write))
+            .collect::<Vec<_>>()
+    };
+    intervals.extend(windowed(a, a_skip, a_limit, 0));
+    intervals.extend(windowed(b, b_skip, b_limit, 1));
+    let mut open = Vec::new();
+    sweep_conflicts(&mut intervals, &mut open)
 }
 
 #[cfg(test)]

@@ -1,13 +1,16 @@
 //! `coyote-audit`: the determinism gate.
 //!
 //! ```text
-//! coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
-//! coyote-audit --race --config NAME [--perturb-seed N] [--jobs N] [--profile] [--json]
+//! coyote-audit --lint [--root DIR] [--baseline FILE] [--json | --format json]
+//! coyote-audit --race --config NAME [--perturb-seed N] [--jobs N] [--profile] [--certify] [--json]
 //! coyote-audit --race --all [--json]
 //! ```
 //!
 //! `--lint` walks `crates/*/src` applying the static determinism rules
 //! (see `coyote_lint::lint`); exit code 1 means new violations.
+//! `--format json` emits machine-readable findings keyed
+//! `rule`/`file`/`line`/`snippet` (the legacy `--json` shape keeps its
+//! `text` key for existing consumers).
 //! `--race` runs the named repro configuration twice — canonical and
 //! schedule-perturbed — and diffs the results (see
 //! `coyote_lint::race`); exit code 1 means a schedule race. With
@@ -17,7 +20,10 @@
 //! runs carry counter-mode host profiling, extending the byte-for-byte
 //! metrics diff over the `host_profile` section (requires jobs = 1:
 //! the phase shape legitimately differs under a parallel execute
-//! phase).
+//! phase). With `--certify` the perturbed run carries a static
+//! disjointness certificate while the baseline keeps the dynamic
+//! conflict sweeps, so the same diff proves the certified fast path is
+//! observationally identical down to digest and metrics bytes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,9 +32,10 @@ use coyote::JsonValue;
 use coyote_lint::lint::{apply_baseline, load_baseline, scan_repo};
 use coyote_lint::race::{self, CONFIG_NAMES};
 
-const USAGE: &str = "usage: coyote-audit --lint [--root DIR] [--baseline FILE] [--json]
+const USAGE: &str =
+    "usage: coyote-audit --lint [--root DIR] [--baseline FILE] [--json | --format json]
        coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--jobs N] [--profile] \
-[--json]";
+[--certify] [--json]";
 
 struct Args {
     lint: bool,
@@ -39,7 +46,9 @@ struct Args {
     perturb_seed: u64,
     jobs: usize,
     profile: bool,
+    certify: bool,
     json: bool,
+    format_json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,7 +61,9 @@ fn parse_args() -> Result<Args, String> {
         perturb_seed: 0,
         jobs: 1,
         profile: false,
+        certify: false,
         json: false,
+        format_json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,7 +71,16 @@ fn parse_args() -> Result<Args, String> {
             "--lint" => args.lint = true,
             "--race" => args.race = true,
             "--profile" => args.profile = true,
+            "--certify" => args.certify = true,
             "--json" => args.json = true,
+            "--format" => {
+                let format = take(&mut it, "--format")?;
+                match format.as_str() {
+                    "json" => args.format_json = true,
+                    "text" => args.format_json = false,
+                    other => return Err(format!("--format: unknown format `{other}`\n{USAGE}")),
+                }
+            }
             "--root" => args.root = PathBuf::from(take(&mut it, "--root")?),
             "--baseline" => args.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
             "--config" => args.configs.push(take(&mut it, "--config")?),
@@ -96,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
     if args.race && args.configs.is_empty() {
         return Err(format!("--race needs --config NAME or --all\n{USAGE}"));
     }
+    if args.certify && !args.race {
+        return Err(format!("--certify requires --race\n{USAGE}"));
+    }
+    if args.format_json && !args.lint {
+        return Err(format!("--format json applies to --lint only\n{USAGE}"));
+    }
     Ok(args)
 }
 
@@ -114,7 +140,12 @@ fn run_lint(args: &Args) -> Result<bool, String> {
     let total = findings.len();
     let (findings, suppressed) = apply_baseline(findings, &baseline);
 
-    if args.json {
+    if args.json || args.format_json {
+        // `--format json` is the documented machine interface: each
+        // finding carries the offending source line under `snippet`.
+        // The legacy `--json` shape keeps its `text` key so existing
+        // consumers do not break.
+        let snippet_key = if args.format_json { "snippet" } else { "text" };
         let items: Vec<JsonValue> = findings
             .iter()
             .map(|f| {
@@ -122,7 +153,7 @@ fn run_lint(args: &Args) -> Result<bool, String> {
                     .with("rule", f.rule)
                     .with("file", f.file.clone())
                     .with("line", f.line)
-                    .with("text", f.text.clone())
+                    .with(snippet_key, f.text.clone())
             })
             .collect();
         let doc = JsonValue::object()
@@ -147,7 +178,14 @@ fn run_race(args: &Args) -> Result<bool, String> {
     let mut clean = true;
     let mut reports = Vec::new();
     for name in &args.configs {
-        let outcome = race::check(name, args.perturb_seed, args.jobs, args.profile, false)?;
+        let outcome = race::check(
+            name,
+            args.perturb_seed,
+            args.jobs,
+            args.profile,
+            args.certify,
+            false,
+        )?;
         if args.json {
             reports.push(outcome.to_json());
         } else if let Some(divergence) = &outcome.divergence {
@@ -170,8 +208,13 @@ fn run_race(args: &Args) -> Result<bool, String> {
             }
         } else {
             println!(
-                "coyote-audit --race: config `{}` deterministic over {} cycles (seed {:#x}, jobs {})",
-                outcome.config, outcome.cycles, outcome.perturb_seed, outcome.jobs
+                "coyote-audit --race: config `{}` deterministic over {} cycles \
+                 (seed {:#x}, jobs {}{})",
+                outcome.config,
+                outcome.cycles,
+                outcome.perturb_seed,
+                outcome.jobs,
+                if outcome.certified { ", certified" } else { "" }
             );
         }
         if outcome.divergence.is_some() {

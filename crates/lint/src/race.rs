@@ -101,6 +101,12 @@ pub struct RaceOutcome {
     /// Host threads of the perturbed run's execute phase (the baseline
     /// is always sequential).
     pub jobs: usize,
+    /// Whether the perturbed run actually held a static disjointness
+    /// certificate at the end of the run (the baseline always runs the
+    /// dynamic conflict sweeps). `false` under `--certify` means the
+    /// analysis declined or revoked the certificate, so the diff was
+    /// vacuous for the fast path.
+    pub certified: bool,
     /// Simulated cycles of the canonical run.
     pub cycles: u64,
     /// Hierarchy events compared during localization (0 when the runs
@@ -144,6 +150,7 @@ impl RaceOutcome {
             .with("profiled", self.profiled)
             .with("perturb_seed", self.perturb_seed)
             .with("jobs", self.jobs)
+            .with("certified", self.certified)
             .with("cycles", self.cycles)
             .with("events_compared", self.events_compared)
             .with("divergence", divergence)
@@ -156,21 +163,31 @@ struct RunArtifacts {
     digest: u64,
     metrics: String,
     cycles: u64,
+    certified: bool,
     events: Vec<EventRecord>,
+}
+
+/// Per-run knobs the detector varies between the baseline and the
+/// perturbed schedule.
+#[derive(Clone, Copy)]
+struct RunKnobs {
+    perturb_seed: u64,
+    jobs: usize,
+    profile: bool,
+    certify: bool,
+    log_events: bool,
+    inject_unordered_drain: bool,
 }
 
 fn run_once(
     mut config: SimConfig,
     workload: &dyn Workload,
-    perturb_seed: u64,
-    jobs: usize,
-    profile: bool,
-    log_events: bool,
-    inject_unordered_drain: bool,
+    knobs: RunKnobs,
 ) -> Result<RunArtifacts, String> {
-    config.perturb_seed = perturb_seed;
-    config.jobs = jobs;
-    if profile {
+    config.perturb_seed = knobs.perturb_seed;
+    config.jobs = knobs.jobs;
+    config.certify = knobs.certify;
+    if knobs.profile {
         // Counter-mode profiling is a pure function of the simulated
         // schedule, so the metrics diff below extends race detection
         // over the whole `host_profile` section for free. (Wall mode
@@ -182,8 +199,8 @@ fn run_once(
         .map_err(|e| format!("workload failed to assemble: {e}"))?;
     let mut sim = Simulation::new(config, &program).map_err(|e| e.to_string())?;
     workload.populate(&program, sim.memory_mut());
-    sim.set_event_log(log_events);
-    if inject_unordered_drain {
+    sim.set_event_log(knobs.log_events);
+    if knobs.inject_unordered_drain {
         sim.debug_inject_unordered_drain();
     }
     let mut report: Report = sim.run().map_err(|e: RunError| e.to_string())?;
@@ -197,6 +214,7 @@ fn run_once(
         digest: sim.determinism_digest(),
         metrics,
         cycles: report.cycles,
+        certified: sim.certificate_active(),
         events: sim.take_event_log(),
     })
 }
@@ -258,6 +276,12 @@ fn localize(
 /// the results must not depend on the free same-cycle event pop order
 /// *or* on the parallel execute phase's sharding and commit protocol.
 ///
+/// `certify` arms static footprint certification on the *perturbed*
+/// run only; the baseline always runs the dynamic conflict sweeps. A
+/// clean diff then proves the certificate-gated fast path — which
+/// skips those sweeps entirely — is observationally identical to the
+/// swept schedule, down to digest and metrics bytes.
+///
 /// # Errors
 ///
 /// Returns a message for unknown configuration names and for
@@ -267,6 +291,7 @@ pub fn check(
     perturb_seed: u64,
     jobs: usize,
     profile: bool,
+    certify: bool,
     inject_unordered_drain: bool,
 ) -> Result<RaceOutcome, String> {
     let (config, workload) = named_config(name)
@@ -277,30 +302,39 @@ pub fn check(
         // profiled comparisons are only meaningful at matching shapes.
         return Err("--profile requires jobs = 1 (the baseline is sequential)".to_owned());
     }
+    if profile && certify {
+        // A certified run adds its own profiling spans and counters
+        // (the analysis phase, certificate grants), so a profiled diff
+        // against the uncertified baseline would flag those legitimate
+        // shape differences as a phantom race.
+        return Err(
+            "--certify cannot be combined with --profile (the certified run \
+                    has a legitimately different profile shape)"
+                .to_owned(),
+        );
+    }
     let seed = if perturb_seed == 0 {
         DEFAULT_PERTURB_SEED
     } else {
         perturb_seed
     };
 
-    let baseline = run_once(
-        config,
-        &workload,
-        0,
-        1,
+    let baseline_knobs = RunKnobs {
+        perturb_seed: 0,
+        jobs: 1,
         profile,
-        false,
+        certify: false,
+        log_events: false,
         inject_unordered_drain,
-    )?;
-    let perturbed = run_once(
-        config,
-        &workload,
-        seed,
+    };
+    let perturbed_knobs = RunKnobs {
+        perturb_seed: seed,
         jobs,
-        profile,
-        false,
-        inject_unordered_drain,
-    )?;
+        certify,
+        ..baseline_knobs
+    };
+    let baseline = run_once(config, &workload, baseline_knobs)?;
+    let perturbed = run_once(config, &workload, perturbed_knobs)?;
 
     let mut observables = Vec::new();
     if baseline.exit_codes != perturbed.exit_codes {
@@ -333,6 +367,7 @@ pub fn check(
             profiled: profile,
             perturb_seed: seed,
             jobs,
+            certified: perturbed.certified,
             cycles: baseline.cycles,
             events_compared: 0,
             divergence: None,
@@ -345,20 +380,18 @@ pub fn check(
     let baseline_logged = run_once(
         config,
         &workload,
-        0,
-        1,
-        profile,
-        true,
-        inject_unordered_drain,
+        RunKnobs {
+            log_events: true,
+            ..baseline_knobs
+        },
     )?;
     let perturbed_logged = run_once(
         config,
         &workload,
-        seed,
-        jobs,
-        profile,
-        true,
-        inject_unordered_drain,
+        RunKnobs {
+            log_events: true,
+            ..perturbed_knobs
+        },
     )?;
     let events_compared = baseline_logged
         .events
@@ -372,6 +405,7 @@ pub fn check(
         profiled: profile,
         perturb_seed: seed,
         jobs,
+        certified: perturbed.certified,
         cycles: baseline.cycles,
         events_compared,
         divergence: Some(RaceDivergence {
