@@ -16,8 +16,10 @@
 //! 4. Otherwise: conservatively *maybe overlapping*.
 //!
 //! Tier 2 requires the modulus to be a power of two unless both
-//! patterns are bounded: address arithmetic is modulo 2⁶⁴, and
-//! wraparound only preserves residues mod `g` when `g` divides 2⁶⁴.
+//! patterns are bounded *and non-wrapping*: address arithmetic is
+//! modulo 2⁶⁴, and wraparound only preserves residues mod `g` when
+//! `g` divides 2⁶⁴, so for other moduli every touched byte must be
+//! reachable without overflowing `u64`.
 
 use crate::domain::{gcd, StridedSet, UNBOUNDED};
 use coyote_isa::ByteIntervalSet;
@@ -149,12 +151,25 @@ fn residue_interval(p: &AccessPattern, m: u64) -> Option<(u64, u64)> {
 }
 
 /// Whether two (possibly wrapping) residue intervals mod `m` are
-/// disjoint.
+/// disjoint. Both `a.0` and `b.0` must already be reduced mod `m`.
 fn residues_disjoint(a: (u64, u64), b: (u64, u64), m: u64) -> bool {
-    // Distance from a.0 to b.0 going up the ring.
-    let fwd = b.0.wrapping_sub(a.0) % m;
-    let bwd = a.0.wrapping_sub(b.0) % m;
+    // Ring distances from a.0 up to b.0 and back. `wrapping_sub % m`
+    // would be wrong here: 2⁶⁴ mod m ≠ 0 for non-power-of-two m.
+    let fwd = if b.0 >= a.0 { b.0 - a.0 } else { m - (a.0 - b.0) };
+    let bwd = if a.0 >= b.0 { a.0 - b.0 } else { m - (b.0 - a.0) };
     fwd >= a.1 && bwd >= b.1
+}
+
+/// Whether every byte the pattern touches is reachable without
+/// mod-2⁶⁴ wraparound (bounded, and the largest start address plus
+/// the access width stays within `u64`). Required for the modular
+/// tier when the modulus does not divide 2⁶⁴. Densification keeps
+/// `max + width` invariant, so checking the raw pattern suffices.
+fn non_wrapping(p: &AccessPattern) -> bool {
+    p.addr
+        .max()
+        .and_then(|mx| mx.checked_add(p.width))
+        .is_some()
 }
 
 /// Result of a pairwise disjointness query.
@@ -184,7 +199,7 @@ pub fn disjoint(a: &AccessPattern, b: &AccessPattern) -> Disjoint {
             g = gcd(g, s);
         }
     }
-    if g > 1 && (g.is_power_of_two() || (a.addr.is_bounded() && b.addr.is_bounded())) {
+    if g > 1 && (g.is_power_of_two() || (non_wrapping(a) && non_wrapping(b))) {
         if let (Some(ra), Some(rb)) = (residue_interval(a, g), residue_interval(b, g)) {
             if residues_disjoint(ra, rb, g) {
                 return Disjoint::Proven;
@@ -196,6 +211,13 @@ pub fn disjoint(a: &AccessPattern, b: &AccessPattern) -> Disjoint {
         a.enumerate(EXHAUSTIVE_BUDGET),
         b.enumerate(EXHAUSTIVE_BUDGET),
     ) {
+        // A range with `e < s` wrapped past `u64::MAX`; dropping it
+        // would treat its bytes as absent and could mis-certify the
+        // pair, so give up instead. (`e == s` is a genuinely empty
+        // zero-width range and is safe to skip.)
+        if ra.iter().chain(rb.iter()).any(|&(s, e)| e < s) {
+            return Disjoint::Unknown;
+        }
         let mut set = ByteIntervalSet::new();
         for (s, e) in ra {
             if e > s {
@@ -277,6 +299,47 @@ mod tests {
         let ab = pat(StridedSet::with_dims(0, vec![(24, 1000)]), 8, true);
         let bb = pat(StridedSet::with_dims(8, vec![(24, 1000)]), 8, true);
         assert_eq!(disjoint(&ab, &bb), Disjoint::Proven);
+    }
+
+    #[test]
+    fn modular_tier_handles_wrapping_residues_mod_non_pow2() {
+        // Stride-24 lattice, residue intervals (20, 6) and (1, 1):
+        // the first wraps the ring (residues 20..24 ∪ {0, 1}) and
+        // shares residue 1 with the second — byte 49 is touched by
+        // both. Counts exceed the exhaustive budget so tier 2 decides.
+        let a = pat(StridedSet::with_dims(44, vec![(24, 5000)]), 6, true);
+        let b = pat(StridedSet::with_dims(49, vec![(24, 5000)]), 1, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Unknown);
+        // Shrinking the first interval to (20, 4) clears residue 1:
+        // now genuinely disjoint, and the wrap-aware ring distance
+        // (5, not the bogus wrapping_sub value 21) still proves it.
+        let a4 = pat(StridedSet::with_dims(44, vec![(24, 5000)]), 4, true);
+        assert_eq!(disjoint(&a4, &b), Disjoint::Proven);
+    }
+
+    #[test]
+    fn modular_tier_refuses_wrapping_patterns_mod_non_pow2() {
+        // Bounded but wrapping mod 2⁶⁴: the second element of `a` is
+        // (u64::MAX - 3) + 24 = 20, whose true residue mod 24 is 20,
+        // not base % 24 = 12 — the residue argument is invalid, and
+        // the patterns really do collide on bytes 20..24.
+        let a = pat(
+            StridedSet::with_dims(u64::MAX - 3, vec![(24, 2)]),
+            4,
+            true,
+        );
+        let b = pat(StridedSet::with_dims(20, vec![(24, 2)]), 4, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Unknown);
+    }
+
+    #[test]
+    fn exhaustive_tier_is_conservative_on_wrapped_ranges() {
+        // `a` covers [u64::MAX-3, u64::MAX] ∪ [0, 4) via wraparound;
+        // dropping the wrapped range would "prove" it disjoint from
+        // [0, 4).
+        let a = pat(StridedSet::constant(u64::MAX - 3), 8, true);
+        let b = pat(StridedSet::constant(0), 4, true);
+        assert_eq!(disjoint(&a, &b), Disjoint::Unknown);
     }
 
     #[test]

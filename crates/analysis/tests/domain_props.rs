@@ -17,6 +17,17 @@ fn set_strategy() -> impl Strategy<Value = StridedSet> {
         .prop_map(|(base, dims)| StridedSet::with_dims(base, dims))
 }
 
+/// Like [`set_strategy`] but also produces bases near `u64::MAX` so
+/// patterns wrap mod 2⁶⁴. Only used for the disjointness property —
+/// the other properties exercise operations documented as no-wrap.
+fn wrapping_set_strategy() -> impl Strategy<Value = StridedSet> {
+    (
+        prop_oneof![0_u64..512, u64::MAX - 512..=u64::MAX],
+        proptest::collection::vec((1_u64..48, 2_u64..5), 0..3),
+    )
+        .prop_map(|(base, dims)| StridedSet::with_dims(base, dims))
+}
+
 /// All concrete elements of a small bounded set.
 fn elements(s: &StridedSet) -> Vec<u64> {
     let mut vals = vec![s.base];
@@ -97,20 +108,28 @@ proptest! {
 
     #[test]
     fn proven_disjoint_never_contradicts_enumeration(
-        a in set_strategy(),
-        b in set_strategy(),
+        a in wrapping_set_strategy(),
+        b in wrapping_set_strategy(),
         wa in 1_u64..9,
         wb in 1_u64..9,
     ) {
         let pa = AccessPattern { addr: a.clone(), width: wa, write: true, pc: 0 };
         let pb = AccessPattern { addr: b.clone(), width: wb, write: true, pc: 4 };
         if disjoint(&pa, &pb) == Disjoint::Proven {
-            for x in elements(&a) {
-                for y in elements(&b) {
-                    let hit = x < y.wrapping_add(wb) && y < x.wrapping_add(wa);
-                    prop_assert!(!hit, "proven disjoint but bytes [{} +{}) and [{} +{}) overlap", x, wa, y, wb);
-                }
-            }
+            // Exact wrap-aware oracle: materialize every touched byte
+            // (addresses wrap mod 2⁶⁴, so interval comparisons on the
+            // start addresses would miss overlaps across the boundary).
+            let bytes = |s: &StridedSet, w: u64| -> std::collections::HashSet<u64> {
+                elements(s)
+                    .into_iter()
+                    .flat_map(|x| (0..w).map(move |k| x.wrapping_add(k)))
+                    .collect()
+            };
+            let ba = bytes(&a, wa);
+            prop_assert!(
+                bytes(&b, wb).is_disjoint(&ba),
+                "proven disjoint but {a:?} (+{wa}) and {b:?} (+{wb}) share a byte"
+            );
         }
     }
 }
