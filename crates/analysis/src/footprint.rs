@@ -155,8 +155,16 @@ fn residue_interval(p: &AccessPattern, m: u64) -> Option<(u64, u64)> {
 fn residues_disjoint(a: (u64, u64), b: (u64, u64), m: u64) -> bool {
     // Ring distances from a.0 up to b.0 and back. `wrapping_sub % m`
     // would be wrong here: 2⁶⁴ mod m ≠ 0 for non-power-of-two m.
-    let fwd = if b.0 >= a.0 { b.0 - a.0 } else { m - (a.0 - b.0) };
-    let bwd = if a.0 >= b.0 { a.0 - b.0 } else { m - (b.0 - a.0) };
+    let fwd = if b.0 >= a.0 {
+        b.0 - a.0
+    } else {
+        m - (a.0 - b.0)
+    };
+    let bwd = if a.0 >= b.0 {
+        a.0 - b.0
+    } else {
+        m - (b.0 - a.0)
+    };
     fwd >= a.1 && bwd >= b.1
 }
 
@@ -323,11 +331,7 @@ mod tests {
         // (u64::MAX - 3) + 24 = 20, whose true residue mod 24 is 20,
         // not base % 24 = 12 — the residue argument is invalid, and
         // the patterns really do collide on bytes 20..24.
-        let a = pat(
-            StridedSet::with_dims(u64::MAX - 3, vec![(24, 2)]),
-            4,
-            true,
-        );
+        let a = pat(StridedSet::with_dims(u64::MAX - 3, vec![(24, 2)]), 4, true);
         let b = pat(StridedSet::with_dims(20, vec![(24, 2)]), 4, true);
         assert_eq!(disjoint(&a, &b), Disjoint::Unknown);
     }

@@ -30,14 +30,34 @@
 //!                        redundant (results are bit-identical either way)
 //!   --oracle             co-simulate a functional reference machine and
 //!                        abort on the first architectural divergence
+//!   --status-out FILE    stream live status snapshots (JSON lines) to FILE;
+//!                        watch with `coyote-top FILE`
+//!   --status-interval N  milliseconds between snapshots (default 500)
+//!   --crash-out FILE     write a crash dump (flight-recorder tail, stalls,
+//!                        MSHR occupancy) on deadlock, divergence, panic or
+//!                        stop (default <status-out>.crash.json)
+//!   --stop-file FILE     stop gracefully when FILE appears: finish the
+//!                        current cycle, write partial metrics marked
+//!                        truncated, exit 130. The crate forbids unsafe
+//!                        code, so there is no signal handler; wrap runs
+//!                        with `trap 'touch stop' INT` to map Ctrl-C here.
 //! ```
 //!
 //! The program's console output (ecall 64) is printed; the process exit
 //! code is the maximum hart exit code.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use coyote::{L2Sharing, MappingPolicy, NocModel, ProfMode, SimConfig, Simulation};
+use coyote::{
+    L2Sharing, MappingPolicy, NocModel, ProfMode, Report, RunError, SimConfig, Simulation,
+    StatusEmitter,
+};
+
+/// Exit code of a graceful stop — distinct from hart exit codes (0..=127
+/// by convention) and from the generic failure code.
+const STOP_EXIT: i64 = 130;
 
 struct Options {
     source: String,
@@ -46,6 +66,10 @@ struct Options {
     metrics_path: Option<String>,
     chrome_trace_path: Option<String>,
     prof_path: Option<String>,
+    status_path: Option<String>,
+    status_interval_ms: u64,
+    crash_path: Option<String>,
+    stop_file: Option<String>,
 }
 
 fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -63,6 +87,10 @@ fn parse_args() -> Result<Options, String> {
     let mut prof_counters = false;
     let mut mesh: Option<(usize, usize)> = None;
     let mut noc_latency: Option<u64> = None;
+    let mut status_path: Option<String> = None;
+    let mut status_interval_ms = 500u64;
+    let mut crash_path: Option<String> = None;
+    let mut stop_file: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -185,6 +213,36 @@ fn parse_args() -> Result<Options, String> {
             "--prof-counters" => prof_counters = true,
             "--certify" => builder = builder.certify(true),
             "--oracle" => builder = builder.oracle(true),
+            "--status-out" => {
+                let path = value(&mut args, "--status-out")?;
+                if path.trim().is_empty() {
+                    return Err("--status-out needs a non-empty path".to_owned());
+                }
+                status_path = Some(path);
+            }
+            "--status-interval" => {
+                let ms: u64 = value(&mut args, "--status-interval")?
+                    .parse()
+                    .map_err(|e| format!("--status-interval: {e}"))?;
+                if ms == 0 {
+                    return Err("--status-interval must be at least 1 millisecond".to_owned());
+                }
+                status_interval_ms = ms;
+            }
+            "--crash-out" => {
+                let path = value(&mut args, "--crash-out")?;
+                if path.trim().is_empty() {
+                    return Err("--crash-out needs a non-empty path".to_owned());
+                }
+                crash_path = Some(path);
+            }
+            "--stop-file" => {
+                let path = value(&mut args, "--stop-file")?;
+                if path.trim().is_empty() {
+                    return Err("--stop-file needs a non-empty path".to_owned());
+                }
+                stop_file = Some(path);
+            }
             "--help" | "-h" => {
                 println!("usage: coyote-sim <program.s> [options]");
                 println!("  --cores N            simulated cores (default 1)");
@@ -210,6 +268,10 @@ fn parse_args() -> Result<Options, String> {
                 println!("  --certify            prove cross-core disjointness statically and");
                 println!("                       skip the runtime conflict sweeps when granted");
                 println!("  --oracle             check against a functional reference machine");
+                println!("  --status-out FILE    stream live status snapshots (watch: coyote-top)");
+                println!("  --status-interval N  milliseconds between snapshots (default 500)");
+                println!("  --crash-out FILE     crash dump on deadlock/divergence/panic/stop");
+                println!("  --stop-file FILE     stop gracefully when FILE appears (exit 130)");
                 std::process::exit(0);
             }
             other if source.is_none() && !other.starts_with('-') => {
@@ -243,6 +305,12 @@ fn parse_args() -> Result<Options, String> {
         });
     }
 
+    // A status stream gets a crash-dump sibling by default, so abnormal
+    // exits of a watched run always leave a post-mortem behind.
+    if crash_path.is_none() {
+        crash_path = status_path.as_ref().map(|p| format!("{p}.crash.json"));
+    }
+
     Ok(Options {
         source: source.ok_or("no input file given (try --help)")?,
         config: builder.build().map_err(|e| e.to_string())?,
@@ -250,7 +318,38 @@ fn parse_args() -> Result<Options, String> {
         metrics_path,
         chrome_trace_path,
         prof_path,
+        status_path,
+        status_interval_ms,
+        crash_path,
+        stop_file,
     })
+}
+
+/// Writes `crash.json` if a crash path is configured; dump errors are
+/// reported but never mask the original failure.
+fn write_crash_dump(options: &Options, sim: &Simulation, reason: &str) {
+    let Some(path) = &options.crash_path else {
+        return;
+    };
+    let doc = sim.crash_json(reason);
+    match std::fs::write(path, doc.to_string_pretty()) {
+        Ok(()) => eprintln!("crash dump: {path}"),
+        Err(e) => eprintln!("coyote-sim: crash dump {path}: {e}"),
+    }
+}
+
+fn write_metrics(options: &Options, sim: &Simulation, report: &Report) -> Result<(), String> {
+    if let Some(path) = &options.metrics_path {
+        let base = std::path::Path::new(path);
+        let json = base.with_extension("json");
+        let csv = base.with_extension("csv");
+        std::fs::write(&json, coyote::metrics_json(sim, report).to_string_pretty())
+            .map_err(|e| format!("{}: {e}", json.display()))?;
+        std::fs::write(&csv, coyote::metrics_csv(sim))
+            .map_err(|e| format!("{}: {e}", csv.display()))?;
+        eprintln!("metrics: {} (+ {})", json.display(), csv.display());
+    }
+    Ok(())
 }
 
 fn run(options: &Options) -> Result<i64, String> {
@@ -258,7 +357,58 @@ fn run(options: &Options) -> Result<i64, String> {
         std::fs::read_to_string(&options.source).map_err(|e| format!("{}: {e}", options.source))?;
     let program = coyote_asm::assemble(&text).map_err(|e| format!("{}: {e}", options.source))?;
     let mut sim = Simulation::new(options.config, &program).map_err(|e| e.to_string())?;
-    let report = sim.run().map_err(|e| e.to_string())?;
+
+    if let Some(path) = &options.status_path {
+        let emitter = StatusEmitter::create(path, options.status_interval_ms)
+            .map_err(|e| format!("--status-out: {e}"))?;
+        sim.set_status(emitter);
+    }
+    if let Some(stop_path) = &options.stop_file {
+        let flag = Arc::new(AtomicBool::new(false));
+        sim.set_stop_handle(Arc::clone(&flag));
+        let path = stop_path.clone();
+        // Watchdog: polls for the stop file and flips the stop token the
+        // simulation checks each cycle. The thread is detached — it dies
+        // with the process if the file never appears.
+        std::thread::spawn(move || loop {
+            if std::fs::metadata(&path).is_ok() {
+                flag.store(true, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(panic) => {
+            write_crash_dump(options, &sim, "panic");
+            std::panic::resume_unwind(panic);
+        }
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(RunError::Stopped { cycle }) => {
+            eprintln!(
+                "coyote-sim: stop requested; finished cycle {cycle} and wrote partial results"
+            );
+            let report = sim.partial_report();
+            eprintln!("{report}");
+            write_metrics(options, &sim, &report)?;
+            write_crash_dump(options, &sim, "stopped");
+            return Ok(STOP_EXIT);
+        }
+        Err(err) => {
+            let reason = match &err {
+                RunError::Deadlock { .. } => "deadlock",
+                RunError::OracleDivergence(_) => "oracle_divergence",
+                _ => "error",
+            };
+            write_crash_dump(options, &sim, reason);
+            return Err(err.to_string());
+        }
+    };
 
     let console = report.console_string();
     if !console.is_empty() {
@@ -293,19 +443,7 @@ fn run(options: &Options) -> Result<i64, String> {
         eprintln!("trace: {} (+ {})", prv.display(), pcf.display());
     }
 
-    if let Some(path) = &options.metrics_path {
-        let base = std::path::Path::new(path);
-        let json = base.with_extension("json");
-        let csv = base.with_extension("csv");
-        std::fs::write(
-            &json,
-            coyote::metrics_json(&sim, &report).to_string_pretty(),
-        )
-        .map_err(|e| format!("{}: {e}", json.display()))?;
-        std::fs::write(&csv, coyote::metrics_csv(&sim))
-            .map_err(|e| format!("{}: {e}", csv.display()))?;
-        eprintln!("metrics: {} (+ {})", json.display(), csv.display());
-    }
+    write_metrics(options, &sim, &report)?;
 
     if let Some(path) = &options.prof_path {
         let prof = sim.host_prof().expect("profiling was enabled");

@@ -43,6 +43,7 @@
 
 pub mod attr;
 pub mod config;
+pub mod flight;
 pub mod metrics;
 mod par;
 pub mod report;
@@ -51,11 +52,12 @@ pub mod trace;
 
 pub use attr::{StallAttribution, StallLink};
 pub use config::{ConfigError, ProfMode, SimConfig, SimConfigBuilder};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{
     chrome_trace_json, host_profile_json, metrics_csv, metrics_json, SCHEMA_VERSION,
 };
 pub use report::{CoreReport, Report};
-pub use sim::{RunError, Simulation};
+pub use sim::{RunError, Simulation, StallInfo};
 pub use trace::{Trace, TraceEvent};
 
 // Re-export the building blocks so downstream users need one import.
@@ -67,5 +69,6 @@ pub use coyote_mem::mc::McConfig;
 pub use coyote_mem::noc::NocModel;
 pub use coyote_oracle::{Delta, Divergence, LockstepChecker};
 pub use coyote_telemetry::{
-    parse_json, Histogram, HostProf, JsonValue, Stage, TelemetrySink, TimeSeries,
+    parse_json, Histogram, HostProf, JsonValue, Stage, StatusEmitter, StatusSnapshot,
+    TelemetrySink, TimeSeries,
 };

@@ -111,6 +111,7 @@ fn report_json(report: &Report) -> JsonValue {
         .with("block_hit_rate", report.block_hit_rate())
         .with("total_dep_stall_cycles", report.total_dep_stall_cycles())
         .with("wall_time_seconds", report.wall_time.as_secs_f64())
+        .with("truncated", report.truncated)
         .with("cores", JsonValue::Array(cores))
 }
 

@@ -40,6 +40,10 @@ pub struct Report {
     pub hierarchy: HierarchyStats,
     /// Host wall-clock time of the run.
     pub wall_time: Duration,
+    /// Whether a graceful stop cut the run short: the counters above
+    /// cover only the cycles that actually ran. Always `false` for a
+    /// run that reached halt on its own.
+    pub truncated: bool,
 }
 
 impl Report {
@@ -184,6 +188,7 @@ mod tests {
             cores: vec![core.clone(), core],
             hierarchy: HierarchyStats::default(),
             wall_time: Duration::from_millis(10),
+            truncated: false,
         }
     }
 
@@ -224,6 +229,7 @@ mod tests {
             cores: Vec::new(),
             hierarchy: HierarchyStats::default(),
             wall_time: Duration::ZERO,
+            truncated: false,
         };
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.host_mips(), 0.0);

@@ -9,6 +9,7 @@
 //! serviced.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use coyote_asm::Program;
@@ -17,12 +18,14 @@ use coyote_iss::core::{Core, CoreSnapshot, CoreState, DecodedText, StepEvent};
 use coyote_iss::{FuseStop, MissKind, SimError, SparseMemory};
 use coyote_mem::hierarchy::{Completion, Hierarchy, Request};
 use coyote_mem::telemetry::MemTelemetry;
-use coyote_oracle::{Divergence, LockstepChecker};
+use coyote_oracle::{Divergence, LockstepChecker, TRAIL_EVENTS};
 use coyote_telemetry::hostprof::{HostProf, ProfClock, SpanToken, WallClock};
-use coyote_telemetry::{EpochSnapshot, TelemetrySink};
+use coyote_telemetry::live::{CoreStatus, StatusEmitter, StatusSnapshot};
+use coyote_telemetry::{EpochSnapshot, JsonValue, TelemetrySink, SCHEMA_VERSION};
 
 use crate::attr::StallAttribution;
 use crate::config::{ConfigError, ProfMode, SimConfig};
+use crate::flight::{state_name, FlightKind, FlightRecorder};
 use crate::par::{self, WorkerPool};
 use crate::report::{CoreReport, Report};
 use crate::trace::{StateInterval, Trace, TraceEvent};
@@ -47,6 +50,10 @@ pub enum RunError {
         /// Snapshot of every core at detection time: state, stalled PC
         /// and outstanding-miss counts.
         cores: Vec<CoreSnapshot>,
+        /// Per stalled core: the line it waits on and where that line
+        /// sits in the hierarchy, so the error display and the crash
+        /// dump agree on what blocked whom.
+        stalls: Vec<StallInfo>,
     },
     /// The co-simulation oracle caught the timed machine producing a
     /// different architectural result than the functional reference
@@ -57,6 +64,54 @@ pub enum RunError {
         /// The budget that was exceeded.
         cycles: u64,
     },
+    /// A graceful stop was requested (see
+    /// [`Simulation::set_stop_handle`]): the current cycle finished,
+    /// the simulation state is intact, and a partial report is
+    /// available via [`Simulation::partial_report`].
+    Stopped {
+        /// Cycle the run stopped after.
+        cycle: u64,
+    },
+}
+
+/// Why one core in a [`RunError::Deadlock`] report cannot make
+/// progress: the cache line it waits on, and — when the hierarchy
+/// still tracks an in-flight request for it — the bank MSHR holding
+/// that fill plus the PC that issued it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallInfo {
+    /// The stalled core.
+    pub core: usize,
+    /// PC of the blocked instruction.
+    pub pc: u64,
+    /// Line the core waits on (first outstanding data line, or the
+    /// blocked fetch line). `None` if the core records no pending line
+    /// — a scoreboard-level simulator bug.
+    pub line: Option<u64>,
+    /// Global bank index whose MSHR holds the in-flight fill.
+    pub bank: Option<usize>,
+    /// Issuing PC the hierarchy recorded for that in-flight request.
+    pub issue_pc: Option<u64>,
+}
+
+impl fmt::Display for StallInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core {} blocked at pc {:#x}", self.core, self.pc)?;
+        match self.line {
+            Some(line) => write!(f, " on line {line:#x}")?,
+            None => write!(f, " with no pending line")?,
+        }
+        if let Some(bank) = self.bank {
+            write!(f, " (bank {bank} MSHR")?;
+            if let Some(pc) = self.issue_pc {
+                write!(f, ", issued at pc {pc:#x}")?;
+            }
+            write!(f, ")")?;
+        } else if self.line.is_some() {
+            write!(f, " (not in flight in the hierarchy)")?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for RunError {
@@ -64,15 +119,28 @@ impl fmt::Display for RunError {
         match self {
             RunError::Config(e) => write!(f, "{e}"),
             RunError::Core { core, source } => write!(f, "core {core}: {source}"),
-            RunError::Deadlock { cycle, cores } => {
+            RunError::Deadlock {
+                cycle,
+                cores,
+                stalls,
+            } => {
                 write!(f, "deadlock at cycle {cycle}")?;
                 for snap in cores {
                     write!(f, "\n  {snap}")?;
+                }
+                if !stalls.is_empty() {
+                    write!(f, "\nblocked on:")?;
+                    for stall in stalls {
+                        write!(f, "\n  {stall}")?;
+                    }
                 }
                 Ok(())
             }
             RunError::OracleDivergence(divergence) => write!(f, "{divergence}"),
             RunError::CycleLimit { cycles } => write!(f, "cycle limit {cycles} exceeded"),
+            RunError::Stopped { cycle } => {
+                write!(f, "run stopped by request after cycle {cycle}")
+            }
         }
     }
 }
@@ -212,6 +280,23 @@ pub struct Simulation {
     /// sweeps are skipped; any text-segment store revokes it for the
     /// rest of the run.
     cert: Option<Certificate>,
+    /// Live status stream, attached via [`Simulation::set_status`]. A
+    /// host knob like `jobs`/`profiling`: deliberately outside
+    /// [`SimConfig`] (and therefore outside `config_json` and the
+    /// determinism digest) — emission reads simulated state, never
+    /// writes it.
+    status: Option<StatusEmitter>,
+    /// Always-on flight recorder: bounded ring of recent notable
+    /// events, dumped into crash reports. Pure observation of the
+    /// simulated schedule.
+    flight: FlightRecorder,
+    /// Graceful-stop token, polled once per cycle when set (see
+    /// [`Simulation::set_stop_handle`]).
+    stop: Option<Arc<AtomicBool>>,
+    /// Test hook: swallow the next data-load completion before
+    /// delivery, stranding its waiter forever — the only way to produce
+    /// a genuine [`RunError::Deadlock`] in a correct hierarchy.
+    debug_drop_next_load_fill: bool,
 }
 
 /// A granted disjointness certificate, pinned to the predecode
@@ -342,6 +427,10 @@ impl Simulation {
             window_open: Vec::new(),
             prof,
             cert,
+            status: None,
+            flight: FlightRecorder::new(),
+            stop: None,
+            debug_drop_next_load_fill: false,
             config,
         })
     }
@@ -430,6 +519,34 @@ impl Simulation {
         self.hierarchy.event_pops()
     }
 
+    /// Attaches a live status stream: [`Simulation::run`] emits a
+    /// snapshot on the emitter's host-time cadence plus one final
+    /// snapshot at exit. A host knob like [`SimConfig::jobs`] — the
+    /// `status_invariance` proptests pin that digests and metrics
+    /// bytes are bit-identical with and without it.
+    pub fn set_status(&mut self, emitter: StatusEmitter) {
+        self.status = Some(emitter);
+    }
+
+    /// Arms a graceful-stop token: once `handle` reads `true`,
+    /// [`Simulation::run`] finishes the cycle in progress and returns
+    /// [`RunError::Stopped`] with all state intact — a partial report
+    /// marked `truncated` stays available via
+    /// [`Simulation::partial_report`]. The token is how a CLI maps
+    /// SIGINT/SIGTERM onto the run without any signal-handler
+    /// machinery inside the model (`#![forbid(unsafe_code)]` rules out
+    /// raw `sigaction`); `coyote-sim --stop-file` watches a file from
+    /// a plain thread and flips this flag.
+    pub fn set_stop_handle(&mut self, handle: Arc<AtomicBool>) {
+        self.stop = Some(handle);
+    }
+
+    /// The flight recorder: the bounded ring of recent notable events.
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Opens a profiling span, if profiling is on. The token must be
     /// handed back to [`Simulation::prof_exit`] on every path that
     /// continues the run (error paths may drop it: the run is over).
@@ -513,6 +630,16 @@ impl Simulation {
         self.hierarchy.debug_inject_unordered_drain();
     }
 
+    /// Arms a deliberate lost-fill fault: the next data-load completion
+    /// is swallowed before delivery, so its waiter stalls forever and
+    /// the run ends in [`RunError::Deadlock`]. Test hook for the
+    /// deadlock report and the crash-dump path; never use outside
+    /// tests.
+    #[doc(hidden)]
+    pub fn debug_inject_lost_fill(&mut self) {
+        self.debug_drop_next_load_fill = true;
+    }
+
     /// Order-insensitive digest of the architecturally visible outcome:
     /// final cycle count, every core's exit code, statistics, cache
     /// counters and console bytes, the hierarchy statistics, and the
@@ -568,14 +695,201 @@ impl Simulation {
         let started = WallClock::start();
         loop {
             if self.step_cycle()? {
+                // Final snapshot regardless of cadence, so short runs
+                // still leave a parseable status file behind.
+                self.emit_status_now();
                 return Ok(self.build_report(started.elapsed()));
+            }
+            if let Some(stop) = &self.stop {
+                // The cycle in progress finished above; stopping here
+                // leaves the machine at a clean cycle boundary.
+                if stop.load(Ordering::Relaxed) {
+                    self.emit_status_now();
+                    return Err(RunError::Stopped { cycle: self.cycle });
+                }
             }
             if self.cycle >= self.config.max_cycles {
                 return Err(RunError::CycleLimit {
                     cycles: self.config.max_cycles,
                 });
             }
+            // Live status plane: a host-cadence poll whose result gates
+            // an observation-only emit — simulated state never depends
+            // on it.
+            if self.status.as_mut().is_some_and(StatusEmitter::due) {
+                self.emit_status_now();
+            }
         }
+    }
+
+    /// Emits one status snapshot now, if a stream is attached. Mid-run
+    /// write failures are dropped deliberately — the live plane is
+    /// best-effort; an unusable path already failed at
+    /// [`StatusEmitter::create`] time.
+    fn emit_status_now(&mut self) {
+        if self.status.is_none() {
+            return;
+        }
+        let snap = self.status_snapshot();
+        if let Some(emitter) = &mut self.status {
+            let _ = emitter.emit(&snap);
+        }
+    }
+
+    /// Assembles the purely simulated half of one status line.
+    fn status_snapshot(&self) -> StatusSnapshot {
+        let dep = self.attr.dep();
+        let cores: Vec<CoreStatus> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let snap = core.snapshot();
+                let dep_total: u64 = dep.get(i).map_or(0, |row| row.iter().sum());
+                CoreStatus {
+                    core: i,
+                    state: state_name(snap.state),
+                    pc: snap.pc,
+                    retired: snap.retired,
+                    cpi: [
+                        self.attr.active().get(i).copied().unwrap_or(0),
+                        dep_total,
+                        self.attr.fetch().get(i).copied().unwrap_or(0),
+                        self.attr.drained().get(i).copied().unwrap_or(0),
+                    ],
+                }
+            })
+            .collect();
+        let retired: u64 = cores.iter().map(|c| c.retired).sum();
+        let fused: u64 = self.cores.iter().map(Core::fused_retired).sum();
+        StatusSnapshot {
+            cycle: self.cycle,
+            max_cycles: self.config.max_cycles,
+            retired,
+            block_hit_rate: if retired == 0 {
+                0.0
+            } else {
+                fused as f64 / retired as f64
+            },
+            conflict_fallbacks: self.conflict_fallbacks,
+            certificate_active: self.certificate_active(),
+            event_pops: self.hierarchy.event_pops(),
+            halted: self.halted as u64,
+            cores,
+        }
+    }
+
+    /// Why each currently stalled core cannot make progress: its
+    /// waiting line resolved against the hierarchy's in-flight state.
+    fn stall_infos(&self) -> Vec<StallInfo> {
+        self.cores
+            .iter()
+            .filter(|core| {
+                matches!(
+                    core.state(),
+                    CoreState::StalledDep | CoreState::StalledFetch
+                )
+            })
+            .map(|core| {
+                let snap = core.snapshot();
+                let line = core
+                    .waiting_lines()
+                    .first()
+                    .copied()
+                    .or_else(|| core.pending_fetch_line());
+                let (bank, issue_pc) = line
+                    .and_then(|l| self.hierarchy.in_flight_line_info(l))
+                    .map_or((None, None), |(b, p)| (Some(b), Some(p)));
+                StallInfo {
+                    core: snap.core,
+                    pc: snap.pc,
+                    line,
+                    bank,
+                    issue_pc,
+                }
+            })
+            .collect()
+    }
+
+    /// The machine's last known state as a structured crash dump:
+    /// per-core snapshots with waiting lines, MSHR occupancy, the open
+    /// hostprof phase stack, introspection counters, and the flight
+    /// recorder tail. `reason` names the abnormal exit
+    /// (`deadlock`, `oracle_divergence`, `panic`, `stopped`, …).
+    #[must_use]
+    pub fn crash_json(&self, reason: &str) -> JsonValue {
+        let cores: Vec<JsonValue> = self
+            .cores
+            .iter()
+            .map(|core| {
+                let snap = core.snapshot();
+                let waiting: Vec<JsonValue> = core
+                    .waiting_lines()
+                    .into_iter()
+                    .map(JsonValue::from)
+                    .collect();
+                JsonValue::object()
+                    .with("core", snap.core)
+                    .with("state", state_name(snap.state))
+                    .with("pc", snap.pc)
+                    .with("retired", snap.retired)
+                    .with("in_flight_lines", snap.in_flight_lines)
+                    .with("waiting_lines", JsonValue::Array(waiting))
+                    .with(
+                        "pending_fetch",
+                        snap.pending_fetch.map_or(JsonValue::Null, JsonValue::from),
+                    )
+            })
+            .collect();
+        let mshr: Vec<JsonValue> = self
+            .hierarchy
+            .mshr_occupancy()
+            .into_iter()
+            .map(JsonValue::from)
+            .collect();
+        let phases: Vec<JsonValue> = self
+            .prof
+            .as_ref()
+            .map(|p| p.open_phases().into_iter().map(JsonValue::from).collect())
+            .unwrap_or_default();
+        let stalls: Vec<JsonValue> = self
+            .stall_infos()
+            .into_iter()
+            .map(|s| {
+                JsonValue::object()
+                    .with("core", s.core)
+                    .with("pc", s.pc)
+                    .with("line", s.line.map_or(JsonValue::Null, JsonValue::from))
+                    .with("bank", s.bank.map_or(JsonValue::Null, JsonValue::from))
+                    .with(
+                        "issue_pc",
+                        s.issue_pc.map_or(JsonValue::Null, JsonValue::from),
+                    )
+            })
+            .collect();
+        JsonValue::object()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("reason", reason)
+            .with("cycle", self.cycle)
+            .with("cores", JsonValue::Array(cores))
+            .with("stalls", JsonValue::Array(stalls))
+            .with("mshr_occupancy", JsonValue::Array(mshr))
+            .with("hostprof_phases", JsonValue::Array(phases))
+            .with("conflict_fallbacks", self.conflict_fallbacks)
+            .with("certificate_active", self.certificate_active())
+            .with("event_pops", self.hierarchy.event_pops())
+            .with("flight_recorder", self.flight.to_json())
+    }
+
+    /// A report over the cycles that actually ran, marked `truncated`.
+    /// Valid after [`RunError::Stopped`] (the machine stopped at a
+    /// clean cycle boundary); `wall_time` is zero because a partial
+    /// run's host throughput is not comparable to a finished one.
+    #[must_use]
+    pub fn partial_report(&self) -> Report {
+        let mut report = self.build_report(std::time::Duration::ZERO);
+        report.truncated = true;
+        report
     }
 
     /// Advances the system by one orchestrator cycle.
@@ -690,6 +1004,12 @@ impl Simulation {
         self.woken_buf.clear();
         for completion in self.completion_buf.drain(..) {
             let (core, kind) = decode_tag(completion.tag);
+            if self.debug_drop_next_load_fill && kind == MissKind::Load {
+                // Armed test fault: strand the waiter (see
+                // `debug_inject_lost_fill`).
+                self.debug_drop_next_load_fill = false;
+                continue;
+            }
             match kind {
                 MissKind::Load | MissKind::Store => {
                     self.attr.note_completion(core, false, &completion);
@@ -697,8 +1017,17 @@ impl Simulation {
                 MissKind::Ifetch => self.attr.note_completion(core, true, &completion),
                 MissKind::Writeback => {}
             }
+            self.flight.record(
+                cycle,
+                FlightKind::Completion {
+                    core,
+                    kind,
+                    line: completion.line_addr,
+                },
+            );
             if self.cores[core].complete_fill(completion.line_addr, kind, cycle) {
                 self.woken_buf.push(core);
+                self.flight.record(cycle, FlightKind::Wake { core });
             }
         }
         // Woken cores rejoin the active list at their index position
@@ -772,6 +1101,7 @@ impl Simulation {
                     return Err(RunError::Deadlock {
                         cycle,
                         cores: self.cores.iter().map(Core::snapshot).collect(),
+                        stalls: self.stall_infos(),
                     })
                 }
             }
@@ -788,17 +1118,28 @@ impl Simulation {
         let mut write = 0;
         for read in 0..self.active_list.len() {
             let idx = self.active_list[read];
-            match self.cores[idx].state() {
+            let state = self.cores[idx].state();
+            match state {
                 CoreState::Active => {
                     self.active_list[write] = idx;
                     write += 1;
                 }
-                CoreState::Halted(_) => {
+                CoreState::Halted(code) => {
                     self.halted += 1;
                     self.deactivated_buf.push(idx);
+                    self.flight
+                        .record(self.cycle, FlightKind::Halt { core: idx, code });
                 }
                 CoreState::StalledDep | CoreState::StalledFetch => {
                     self.deactivated_buf.push(idx);
+                    self.flight.record(
+                        self.cycle,
+                        FlightKind::Stall {
+                            core: idx,
+                            state,
+                            pc: self.cores[idx].snapshot().pc,
+                        },
+                    );
                 }
             }
         }
@@ -861,6 +1202,7 @@ impl Simulation {
         }
         if let Some(mut divergence) = diverged {
             divergence.context = self.cores.iter().map(Core::snapshot).collect();
+            divergence.trail = self.flight.tail_lines(TRAIL_EVENTS);
             return Err(RunError::OracleDivergence(divergence));
         }
         Ok(())
@@ -951,6 +1293,7 @@ impl Simulation {
             // double-count.
             drop(stepped);
             self.conflict_fallbacks += 1;
+            self.flight.record(cycle, FlightKind::ConflictFallback);
             self.prof_bump("parallel/conflict_fallback", 1);
             // The sequential re-run opens its own span; close the
             // parallel one first so the phase tree nests it as a
@@ -993,6 +1336,7 @@ impl Simulation {
         self.prof_exit(par_span);
         if let Some(mut divergence) = diverged {
             divergence.context = self.cores.iter().map(Core::snapshot).collect();
+            divergence.trail = self.flight.tail_lines(TRAIL_EVENTS);
             return Err(RunError::OracleDivergence(divergence));
         }
         Ok(())
@@ -1102,15 +1446,19 @@ impl Simulation {
                     // The lockstep window ends the moment one core
                     // cannot re-arm; charge the abort to that core's
                     // validation stop reason.
-                    if self.prof.is_some() {
-                        let stop = self.cores[idx].fuse_diag().last_stop;
-                        self.prof_bump(rearm_fail_counter(stop), 1);
-                    }
+                    let stop = self.cores[idx].fuse_diag().last_stop;
+                    self.flight.record(
+                        cycle + u64::from(consumed),
+                        FlightKind::WindowAbort { core: idx, stop },
+                    );
+                    self.prof_bump(rearm_fail_counter(stop), 1);
                     break 'window;
                 }
                 chunk = chunk.min(left);
             }
             if self.window_conflicts(actives, chunk) {
+                self.flight
+                    .record(cycle + u64::from(consumed), FlightKind::WindowConflict);
                 self.prof_bump("window/cross_core_conflict", 1);
                 break;
             }
@@ -1213,6 +1561,10 @@ impl Simulation {
         for core in &mut self.cores {
             writes.append(&mut core.take_text_writes());
         }
+        if let Some(&(addr, _)) = writes.first() {
+            self.flight
+                .record(self.cycle, FlightKind::TextInvalidate { addr });
+        }
         let text = Arc::make_mut(&mut self.text);
         for &(addr, size) in &writes {
             text.invalidate(addr, u64::from(size));
@@ -1228,6 +1580,8 @@ impl Simulation {
         // `certificate_active` would catch this too; dropping the
         // certificate makes the revocation explicit and permanent).
         if self.cert.take().is_some() {
+            self.flight
+                .record(self.cycle, FlightKind::CertificateRevoked);
             self.prof_bump("certificate/revoked", 1);
         }
         self.prof_exit(span);
@@ -1344,6 +1698,7 @@ impl Simulation {
                 .collect(),
             hierarchy: self.hierarchy.stats(),
             wall_time,
+            truncated: false,
         }
     }
 }

@@ -284,7 +284,14 @@ fn empty_output_paths_are_rejected() {
             li a7, 93
             ecall",
     );
-    for flag in ["--metrics-out", "--chrome-trace", "--prof-out"] {
+    for flag in [
+        "--metrics-out",
+        "--chrome-trace",
+        "--prof-out",
+        "--status-out",
+        "--crash-out",
+        "--stop-file",
+    ] {
         for bad in ["", "   "] {
             let output = Command::new(sim_binary())
                 .arg(&path)
@@ -303,6 +310,152 @@ fn empty_output_paths_are_rejected() {
             );
         }
     }
+}
+
+#[test]
+fn zero_status_interval_is_rejected() {
+    let path = write_temp_program(
+        "zero-status.s",
+        "_start:
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let status_file = std::env::temp_dir().join("coyote-sim-tests/zero-status.jsonl");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .arg("--status-out")
+        .arg(&status_file)
+        .args(["--status-interval", "0"])
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--status-interval must be at least 1"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn status_stream_feeds_coyote_top() {
+    let path = write_temp_program(
+        "status.s",
+        ".data
+         buf: .zero 2048
+         .text
+         _start:
+            csrr t0, mhartid
+            slli t0, t0, 7
+            la t1, buf
+            add t1, t1, t0
+            li t2, 8
+         loop:
+            ld t3, 0(t1)
+            sd t3, 8(t1)
+            addi t1, t1, 64
+            addi t2, t2, -1
+            bnez t2, loop
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let status_file = std::env::temp_dir().join("coyote-sim-tests/status.jsonl");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .args(["--cores", "2"])
+        .arg("--status-out")
+        .arg(&status_file)
+        .args(["--status-interval", "1"])
+        .output()
+        .expect("spawn coyote-sim");
+    assert_eq!(output.status.code(), Some(0));
+
+    // The stream is non-empty, parseable, and passes the watcher's CI
+    // gate.
+    let text = std::fs::read_to_string(&status_file).expect("status file");
+    assert!(text.lines().any(|l| !l.trim().is_empty()));
+    let top_bin = env!("CARGO_BIN_EXE_coyote-top");
+    let output = Command::new(top_bin)
+        .arg(&status_file)
+        .args(["--once", "--check"])
+        .output()
+        .expect("spawn coyote-top");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("coyote-top"), "{stdout}");
+    assert!(stdout.contains("core   0"), "{stdout}");
+    assert!(stdout.contains("core   1"), "{stdout}");
+
+    // The watcher rejects a malformed stream.
+    let broken = std::env::temp_dir().join("coyote-sim-tests/broken-status.jsonl");
+    std::fs::write(&broken, "{\"seq\": 1}\n").expect("write broken stream");
+    let output = Command::new(top_bin)
+        .arg(&broken)
+        .args(["--once", "--check"])
+        .output()
+        .expect("spawn coyote-top");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("missing pinned key"), "stderr: {stderr}");
+}
+
+#[test]
+fn stop_file_truncates_the_run_with_a_crash_dump() {
+    // A long-running kernel; the stop file exists before launch, so
+    // the watchdog fires on its first poll and the run stops after a
+    // cycle boundary.
+    let path = write_temp_program(
+        "stoppable.s",
+        "_start:
+            li t0, 50000000
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            li a0, 0
+            li a7, 93
+            ecall",
+    );
+    let dir = std::env::temp_dir().join("coyote-sim-tests");
+    let stop = dir.join("stop-now");
+    std::fs::write(&stop, b"").expect("create stop file");
+    let metrics = dir.join("stopped-metrics");
+    let crash = dir.join("stopped-crash.json");
+    let output = Command::new(sim_binary())
+        .arg(&path)
+        .arg("--stop-file")
+        .arg(&stop)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--crash-out")
+        .arg(&crash)
+        .output()
+        .expect("spawn coyote-sim");
+    let _ = std::fs::remove_file(&stop);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(130), "stderr: {stderr}");
+    assert!(stderr.contains("stop requested"), "stderr: {stderr}");
+
+    // Partial metrics are marked truncated.
+    let text = std::fs::read_to_string(metrics.with_extension("json")).expect("metrics json");
+    let doc = coyote_telemetry::parse_json(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("report")
+            .and_then(|r| r.get("truncated"))
+            .map(coyote_telemetry::JsonValue::to_string_compact),
+        Some("true".to_owned())
+    );
+
+    // The crash dump parses and names the stop.
+    let text = std::fs::read_to_string(&crash).expect("crash dump");
+    let dump = coyote_telemetry::parse_json(&text).expect("valid crash JSON");
+    assert_eq!(
+        dump.get("reason")
+            .and_then(coyote_telemetry::JsonValue::as_str),
+        Some("stopped")
+    );
+    assert!(dump.get("flight_recorder").is_some());
 }
 
 #[test]

@@ -87,7 +87,19 @@ fn injected_fill_corruption_is_caught_at_the_retiring_instruction() {
         divergence.deltas
     );
     assert!(!divergence.context.is_empty(), "per-core context missing");
+    // The flight-recorder tail rides along: the corrupting fill is the
+    // last completion the recorder saw before the diverging retirement.
+    assert!(
+        !divergence.trail.is_empty(),
+        "flight-recorder trail missing"
+    );
+    assert!(
+        divergence.trail.iter().any(|l| l.contains("completion")),
+        "trail should mention the corrupting fill: {:?}",
+        divergence.trail
+    );
     let rendered = divergence.to_string();
+    assert!(rendered.contains("recent events:"), "{rendered}");
     assert!(rendered.contains("core 0"), "{rendered}");
     assert!(rendered.contains("cycle"), "{rendered}");
     assert!(
@@ -113,7 +125,7 @@ fn corruption_without_oracle_goes_unnoticed() {
 
 #[test]
 fn deadlock_report_carries_core_snapshots() {
-    use coyote::CoreSnapshot;
+    use coyote::{CoreSnapshot, StallInfo};
     use coyote_iss::CoreState;
 
     let err = RunError::Deadlock {
@@ -126,6 +138,13 @@ fn deadlock_report_carries_core_snapshots() {
             pending_fetch: None,
             retired: 17,
         }],
+        stalls: vec![StallInfo {
+            core: 0,
+            pc: 0x8000_0040,
+            line: Some(0x8100_0000),
+            bank: Some(3),
+            issue_pc: Some(0x8000_0038),
+        }],
     };
     let rendered = err.to_string();
     assert!(rendered.contains("deadlock at cycle 1234"), "{rendered}");
@@ -133,4 +152,9 @@ fn deadlock_report_carries_core_snapshots() {
     assert!(rendered.contains("StalledDep"), "{rendered}");
     assert!(rendered.contains("2 data line(s) in flight"), "{rendered}");
     assert!(rendered.contains("17 retired"), "{rendered}");
+    // The stall attribution rides along with the snapshots.
+    assert!(rendered.contains("blocked on:"), "{rendered}");
+    assert!(rendered.contains("0x81000000"), "{rendered}");
+    assert!(rendered.contains("bank 3"), "{rendered}");
+    assert!(rendered.contains("0x80000038"), "{rendered}");
 }

@@ -538,6 +538,22 @@ impl Core {
         self.pending_data.len()
     }
 
+    /// Data line addresses this core is waiting on, ascending (sorted
+    /// so the diagnostic output is deterministic). Deadlock reports
+    /// and crash dumps use this to show what a stalled core blocks on.
+    #[must_use]
+    pub fn waiting_lines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self.pending_data.keys().copied().collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Instruction line the fetcher is blocked on, if any.
+    #[must_use]
+    pub fn pending_fetch_line(&self) -> Option<u64> {
+        self.pending_fetch
+    }
+
     /// Captures a diagnostic snapshot of this core.
     #[must_use]
     pub fn snapshot(&self) -> CoreSnapshot {

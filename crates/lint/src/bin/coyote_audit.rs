@@ -23,7 +23,10 @@
 //! phase). With `--certify` the perturbed run carries a static
 //! disjointness certificate while the baseline keeps the dynamic
 //! conflict sweeps, so the same diff proves the certified fast path is
-//! observationally identical down to digest and metrics bytes.
+//! observationally identical down to digest and metrics bytes. With
+//! `--status` both runs stream live status snapshots to a temp file
+//! while being diffed, so the same diff proves the introspection plane
+//! is observation-only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +38,7 @@ use coyote_lint::race::{self, CONFIG_NAMES};
 const USAGE: &str =
     "usage: coyote-audit --lint [--root DIR] [--baseline FILE] [--json | --format json]
        coyote-audit --race (--config NAME | --all) [--perturb-seed N] [--jobs N] [--profile] \
-[--certify] [--json]";
+[--certify] [--status] [--json]";
 
 struct Args {
     lint: bool,
@@ -47,6 +50,7 @@ struct Args {
     jobs: usize,
     profile: bool,
     certify: bool,
+    status: bool,
     json: bool,
     format_json: bool,
 }
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         profile: false,
         certify: false,
+        status: false,
         json: false,
         format_json: false,
     };
@@ -72,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
             "--race" => args.race = true,
             "--profile" => args.profile = true,
             "--certify" => args.certify = true,
+            "--status" => args.status = true,
             "--json" => args.json = true,
             "--format" => {
                 let format = take(&mut it, "--format")?;
@@ -118,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.certify && !args.race {
         return Err(format!("--certify requires --race\n{USAGE}"));
+    }
+    if args.status && !args.race {
+        return Err(format!("--status requires --race\n{USAGE}"));
     }
     if args.format_json && !args.lint {
         return Err(format!("--format json applies to --lint only\n{USAGE}"));
@@ -184,6 +193,7 @@ fn run_race(args: &Args) -> Result<bool, String> {
             args.jobs,
             args.profile,
             args.certify,
+            args.status,
             false,
         )?;
         if args.json {
@@ -214,7 +224,12 @@ fn run_race(args: &Args) -> Result<bool, String> {
                 outcome.cycles,
                 outcome.perturb_seed,
                 outcome.jobs,
-                if outcome.certified { ", certified" } else { "" }
+                match (outcome.certified, outcome.status) {
+                    (true, true) => ", certified, status-streamed",
+                    (true, false) => ", certified",
+                    (false, true) => ", status-streamed",
+                    (false, false) => "",
+                }
             );
         }
         if outcome.divergence.is_some() {

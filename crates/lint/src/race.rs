@@ -96,6 +96,10 @@ pub struct RaceOutcome {
     /// the byte-for-byte metrics comparison over the `host_profile`
     /// section.
     pub profiled: bool,
+    /// Whether both runs streamed live status snapshots while being
+    /// diffed — proving the introspection plane is observation-only
+    /// (digest and metrics bytes match with the stream attached).
+    pub status: bool,
     /// The perturbation seed of the second run.
     pub perturb_seed: u64,
     /// Host threads of the perturbed run's execute phase (the baseline
@@ -148,6 +152,7 @@ impl RaceOutcome {
         JsonValue::object()
             .with("config", self.config.clone())
             .with("profiled", self.profiled)
+            .with("status", self.status)
             .with("perturb_seed", self.perturb_seed)
             .with("jobs", self.jobs)
             .with("certified", self.certified)
@@ -175,6 +180,7 @@ struct RunKnobs {
     jobs: usize,
     profile: bool,
     certify: bool,
+    status: bool,
     log_events: bool,
     inject_unordered_drain: bool,
 }
@@ -199,6 +205,23 @@ fn run_once(
         .map_err(|e| format!("workload failed to assemble: {e}"))?;
     let mut sim = Simulation::new(config, &program).map_err(|e| e.to_string())?;
     workload.populate(&program, sim.memory_mut());
+    let status_path = if knobs.status {
+        // A short interval so snapshots actually fire during the run;
+        // emission is observation-only, so the diff below proves the
+        // stream cannot perturb digest or metrics bytes.
+        let path = std::env::temp_dir().join(format!(
+            "coyote-race-status-{}-s{}-j{}.jsonl",
+            std::process::id(),
+            knobs.perturb_seed,
+            knobs.jobs
+        ));
+        let emitter =
+            coyote::StatusEmitter::create(&path, 1).map_err(|e| format!("status stream: {e}"))?;
+        sim.set_status(emitter);
+        Some(path)
+    } else {
+        None
+    };
     sim.set_event_log(knobs.log_events);
     if knobs.inject_unordered_drain {
         sim.debug_inject_unordered_drain();
@@ -209,6 +232,9 @@ fn run_once(
     // byte-for-byte metrics comparison sees only model state.
     report.wall_time = Duration::ZERO;
     let metrics = metrics_json(&sim, &report).to_string_pretty();
+    if let Some(path) = status_path {
+        let _ = std::fs::remove_file(&path);
+    }
     Ok(RunArtifacts {
         exit_codes: report.exit_codes(),
         digest: sim.determinism_digest(),
@@ -282,6 +308,10 @@ fn localize(
 /// skips those sweeps entirely — is observationally identical to the
 /// swept schedule, down to digest and metrics bytes.
 ///
+/// `status` attaches a live status stream (1 ms cadence, temp file) to
+/// *both* runs; a clean diff then proves the introspection plane is
+/// observation-only all the way down to digest and metrics bytes.
+///
 /// # Errors
 ///
 /// Returns a message for unknown configuration names and for
@@ -292,6 +322,7 @@ pub fn check(
     jobs: usize,
     profile: bool,
     certify: bool,
+    status: bool,
     inject_unordered_drain: bool,
 ) -> Result<RaceOutcome, String> {
     let (config, workload) = named_config(name)
@@ -324,6 +355,7 @@ pub fn check(
         jobs: 1,
         profile,
         certify: false,
+        status,
         log_events: false,
         inject_unordered_drain,
     };
@@ -365,6 +397,7 @@ pub fn check(
         return Ok(RaceOutcome {
             config: name.to_owned(),
             profiled: profile,
+            status,
             perturb_seed: seed,
             jobs,
             certified: perturbed.certified,
@@ -403,6 +436,7 @@ pub fn check(
     Ok(RaceOutcome {
         config: name.to_owned(),
         profiled: profile,
+        status,
         perturb_seed: seed,
         jobs,
         certified: perturbed.certified,

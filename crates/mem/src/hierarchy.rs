@@ -371,6 +371,20 @@ impl Hierarchy {
         self.mcs.iter().map(|m| m.busy_channels(now)).sum()
     }
 
+    /// Diagnostic lookup: the home bank and issuing PC of the oldest
+    /// in-flight request for `line_addr`, if any. Deterministic — the
+    /// map scan feeds a minimum over request ids, so hash order cannot
+    /// show through. Deadlock reports use this to name the MSHR a
+    /// stalled core's waiting line is parked in.
+    #[must_use]
+    pub fn in_flight_line_info(&self, line_addr: u64) -> Option<(usize, u64)> {
+        self.states
+            .iter()
+            .filter(|(_, state)| state.req.line_addr == line_addr)
+            .min_by_key(|(&id, _)| id)
+            .map(|(_, state)| (state.bank, state.req.pc))
+    }
+
     /// Which tile hosts a global bank index.
     fn bank_tile(&self, bank: usize) -> usize {
         bank / self.config.banks_per_tile

@@ -75,10 +75,19 @@ pub struct Divergence {
     /// Snapshot of every core at divergence time (filled in by the
     /// orchestrator, which owns the cores).
     pub context: Vec<CoreSnapshot>,
+    /// The orchestrator's flight-recorder tail (rendered event lines,
+    /// oldest first, at most [`TRAIL_EVENTS`]): what the machine was
+    /// doing in the cycles leading up to the divergence. Filled in by
+    /// the orchestrator, like `context`.
+    pub trail: Vec<String>,
     /// RNG seed that regenerates the diverging program, when the run
     /// came from a property-test harness.
     pub replay_seed: Option<u64>,
 }
+
+/// Flight-recorder events the orchestrator attaches to a divergence
+/// report's [`Divergence::trail`].
+pub const TRAIL_EVENTS: usize = 16;
 
 impl Divergence {
     /// Max deltas collected per report; further mismatches are dropped.
@@ -105,6 +114,12 @@ impl fmt::Display for Divergence {
             write!(f, "\n  machine state at divergence:")?;
             for snap in &self.context {
                 write!(f, "\n    {snap}")?;
+            }
+        }
+        if !self.trail.is_empty() {
+            write!(f, "\n  recent events:")?;
+            for line in &self.trail {
+                write!(f, "\n    {line}")?;
             }
         }
         Ok(())
@@ -218,6 +233,7 @@ impl LockstepChecker {
                 inst,
                 deltas,
                 context: Vec::new(),
+                trail: Vec::new(),
                 replay_seed,
             })
         };

@@ -10,9 +10,10 @@
 //!
 //! # The wall-clock exception
 //!
-//! This is the **only** file in the workspace allowed to call
-//! [`Instant::now`]. The `wall-clock` lint in `crates/lint` pins the
-//! exception to this path; `Instant::now` anywhere else is a finding.
+//! This file (together with [`crate::live`], which paces the status
+//! stream) is allowed to call [`Instant::now`]. The `wall-clock` lint
+//! in `crates/lint` pins the exception to these paths; `Instant::now`
+//! anywhere else is a finding.
 //! Keeping every wall-clock read behind [`HostProf`] and [`WallClock`]
 //! makes the determinism argument local: host time can be *measured*
 //! here but never *returned into* simulated state, because nothing in
@@ -255,6 +256,17 @@ impl HostProf {
     #[must_use]
     pub fn roots(&self) -> &[usize] {
         &self.nodes[0].children
+    }
+
+    /// Names of the phases currently open, outermost first (empty when
+    /// nothing is open). Crash dumps use this to report what the
+    /// simulator was doing when a run died mid-phase.
+    #[must_use]
+    pub fn open_phases(&self) -> Vec<&'static str> {
+        self.stack[1..]
+            .iter()
+            .map(|&id| self.nodes[id].name)
+            .collect()
     }
 
     /// Read-only view of a phase node.

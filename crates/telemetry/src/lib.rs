@@ -17,13 +17,17 @@
 //!   drives, deliberately typed on plain numbers so this crate stays a
 //!   leaf dependency;
 //! - [`HostProf`] — the host-side self-profiler: phase timers and
-//!   counters for the simulator's *own* hot path.
+//!   counters for the simulator's *own* hot path;
+//! - [`StatusEmitter`] — the live plane: periodic JSON-lines status
+//!   snapshots replaced atomically for out-of-band watchers
+//!   (`coyote-top`).
 //!
 //! Everything that describes the simulated machine is deterministic:
 //! no hashing with random seeds, so identical simulations produce
-//! byte-identical exports. Wall-clock reads exist in exactly one
-//! place — [`hostprof`], path-pinned by the `wall-clock` lint — and
-//! measure the host without ever feeding time back into the model.
+//! byte-identical exports. Wall-clock reads exist in exactly two
+//! places — [`hostprof`] and [`live`], path-pinned by the `wall-clock`
+//! lint — and measure the host without ever feeding time back into
+//! the model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod chrome;
 pub mod hist;
 pub mod hostprof;
 pub mod json;
+pub mod live;
 pub mod series;
 pub mod topk;
 
@@ -39,6 +44,7 @@ pub use chrome::{ChromeEvent, ChromeTrace, FlowEvent};
 pub use hist::{Histogram, BUCKETS};
 pub use hostprof::{HostProf, ProfClock, SpanToken, WallClock};
 pub use json::{parse as parse_json, JsonParseError, JsonValue};
+pub use live::{CoreStatus, StatusEmitter, StatusSnapshot};
 pub use series::{Sample, TimeSeries};
 pub use topk::{PcEntry, TopK};
 
@@ -47,8 +53,10 @@ pub use topk::{PcEntry, TopK};
 /// `crates/core` pins it.
 ///
 /// v4 added the `host_profile` top-level section (null unless the run
-/// was profiled).
-pub const SCHEMA_VERSION: u64 = 4;
+/// was profiled). v5 added the `report.truncated` flag (true when a
+/// graceful stop cut the run short) and the status-snapshot lines
+/// emitted by [`live`], which carry the same version.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// A stage of the request lifecycle through the memory hierarchy.
 ///
